@@ -1,0 +1,333 @@
+//! Connection pooling.
+//!
+//! Sect. 3.5: "Tableau manages a certain number of active connections to
+//! each data source to implement concurrent execution of remote queries. The
+//! process of opening a connection ... [is] costly, therefore, connections
+//! are pooled and kept around even if idle. In addition, connection pooling
+//! plays an important role in preserving and reusing temporary structures
+//! stored in remote sessions. ... An age-wise eviction policy is used in
+//! case of local memory pressure or to release remote resources unused for
+//! longer periods of time."
+
+use crate::source::{Connection, DataSource};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tabviz_common::Result;
+
+/// Pool counters.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Connections physically opened (connect cost paid).
+    pub opened: usize,
+    /// Acquisitions served from an idle pooled connection.
+    pub reused: usize,
+    /// Acquisitions that had to wait for a connection to come back.
+    pub waited: usize,
+    /// Connections discarded by age-wise eviction.
+    pub evicted: usize,
+}
+
+struct Idle {
+    conn: Box<dyn Connection>,
+    last_used: Instant,
+}
+
+struct PoolInner {
+    idle: Vec<Idle>,
+    /// Connections currently handed out.
+    in_use: usize,
+    stats: PoolStats,
+}
+
+/// A pool of connections to one data source.
+pub struct ConnectionPool {
+    source: Arc<dyn DataSource>,
+    max_size: usize,
+    inner: Mutex<PoolInner>,
+    cv: Condvar,
+}
+
+/// RAII guard: returns the connection to the pool on drop.
+pub struct PooledConnection<'a> {
+    pool: &'a ConnectionPool,
+    conn: Option<Box<dyn Connection>>,
+}
+
+impl std::ops::Deref for PooledConnection<'_> {
+    type Target = Box<dyn Connection>;
+    fn deref(&self) -> &Self::Target {
+        self.conn.as_ref().expect("connection present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledConnection<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.conn.as_mut().expect("connection present until drop")
+    }
+}
+
+impl Drop for PooledConnection<'_> {
+    fn drop(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            let mut inner = self.pool.inner.lock();
+            inner.in_use -= 1;
+            inner.idle.push(Idle {
+                conn,
+                last_used: Instant::now(),
+            });
+            self.pool.cv.notify_one();
+        }
+    }
+}
+
+impl ConnectionPool {
+    /// Create a pool with at most `max_size` connections. A backend's own
+    /// connection limit further caps the effective size.
+    pub fn new(source: Arc<dyn DataSource>, max_size: usize) -> Self {
+        let caps_max = source.capabilities().max_connections;
+        let max_size = if caps_max > 0 {
+            max_size.min(caps_max)
+        } else {
+            max_size
+        }
+        .max(1);
+        ConnectionPool {
+            source,
+            max_size,
+            inner: Mutex::new(PoolInner {
+                idle: Vec::new(),
+                in_use: 0,
+                stats: PoolStats::default(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    pub fn source(&self) -> &Arc<dyn DataSource> {
+        &self.source
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Acquire a connection, preferring one that already holds the given
+    /// temp table ("queries ... are multiplexed across connections
+    /// regardless of their remote state", but routing to a session that has
+    /// the structure avoids re-creating it).
+    pub fn acquire_preferring(&self, temp_table: Option<&str>) -> Result<PooledConnection<'_>> {
+        let mut inner = self.inner.lock();
+        loop {
+            // 1. An idle connection holding the wanted temp structure.
+            if let Some(name) = temp_table {
+                if let Some(pos) = inner.idle.iter().position(|i| i.conn.has_temp_table(name)) {
+                    let idle = inner.idle.remove(pos);
+                    inner.in_use += 1;
+                    inner.stats.reused += 1;
+                    return Ok(PooledConnection { pool: self, conn: Some(idle.conn) });
+                }
+            }
+            // 2. Any idle connection (most recently used first, to keep the
+            //    working set warm and let old ones age out).
+            if let Some(idle) = inner.idle.pop() {
+                inner.in_use += 1;
+                inner.stats.reused += 1;
+                return Ok(PooledConnection { pool: self, conn: Some(idle.conn) });
+            }
+            // 3. Open a new one if under the cap.
+            if inner.in_use < self.max_size {
+                inner.in_use += 1;
+                inner.stats.opened += 1;
+                drop(inner);
+                match self.source.connect() {
+                    Ok(conn) => {
+                        return Ok(PooledConnection { pool: self, conn: Some(conn) });
+                    }
+                    Err(e) => {
+                        let mut inner = self.inner.lock();
+                        inner.in_use -= 1;
+                        inner.stats.opened -= 1;
+                        self.cv.notify_one();
+                        return Err(e);
+                    }
+                }
+            }
+            // 4. Wait for a connection to come back.
+            inner.stats.waited += 1;
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Acquire any connection.
+    pub fn acquire(&self) -> Result<PooledConnection<'_>> {
+        self.acquire_preferring(None)
+    }
+
+    /// Drop idle connections unused for longer than `max_age` (the age-wise
+    /// eviction policy). Returns how many were closed.
+    pub fn evict_idle(&self, max_age: Duration) -> usize {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        let before = inner.idle.len();
+        inner
+            .idle
+            .retain(|i| now.duration_since(i.last_used) <= max_age);
+        let evicted = before - inner.idle.len();
+        inner.stats.evicted += evicted;
+        evicted
+    }
+
+    /// Close every idle connection (connection refresh / data source close —
+    /// which also purges the remote temp state those sessions held).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let n = inner.idle.len();
+        inner.idle.clear();
+        inner.stats.evicted += n;
+    }
+
+    pub fn idle_count(&self) -> usize {
+        self.inner.lock().idle.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, SimDb};
+    use std::sync::Arc;
+    use tabviz_common::{Chunk, DataType, Field, Schema, Value};
+    use tabviz_storage::{Database, Table};
+
+    fn source() -> Arc<dyn DataSource> {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]).unwrap());
+        let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i)]).collect();
+        let db = Arc::new(Database::new("d"));
+        db.put(Table::from_chunk("t", &Chunk::from_rows(schema, &rows).unwrap(), &[]).unwrap())
+            .unwrap();
+        Arc::new(SimDb::new("s", db, SimConfig::default()))
+    }
+
+    #[test]
+    fn reuses_connections() {
+        let pool = ConnectionPool::new(source(), 4);
+        {
+            let _c = pool.acquire().unwrap();
+        }
+        {
+            let _c = pool.acquire().unwrap();
+        }
+        let st = pool.stats();
+        assert_eq!(st.opened, 1);
+        assert_eq!(st.reused, 1);
+        assert_eq!(pool.idle_count(), 1);
+    }
+
+    #[test]
+    fn blocks_at_capacity_until_release() {
+        let pool = Arc::new(ConnectionPool::new(source(), 1));
+        let c1 = pool.acquire().unwrap();
+        let p2 = Arc::clone(&pool);
+        let waiter = std::thread::spawn(move || {
+            let _c = p2.acquire().unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "should be blocked at capacity");
+        drop(c1);
+        waiter.join().unwrap();
+        assert!(pool.stats().waited >= 1);
+    }
+
+    #[test]
+    fn respects_backend_connection_limit() {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]).unwrap());
+        let db = Arc::new(Database::new("d"));
+        db.put(
+            Table::from_chunk("t", &Chunk::from_rows(schema, &[vec![Value::Int(1)]]).unwrap(), &[])
+                .unwrap(),
+        )
+        .unwrap();
+        let mut cfg = SimConfig::default();
+        cfg.capabilities.max_connections = 2;
+        let src: Arc<dyn DataSource> = Arc::new(SimDb::new("s", db, cfg));
+        let pool = ConnectionPool::new(src, 16);
+        assert_eq!(pool.max_size(), 2);
+    }
+
+    #[test]
+    fn temp_table_affinity() {
+        let pool = ConnectionPool::new(source(), 4);
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int)]).unwrap());
+        let data = Chunk::from_rows(schema, &[vec![Value::Int(1)]]).unwrap();
+        {
+            let mut c = pool.acquire().unwrap();
+            c.create_temp_table("big_filter", &data).unwrap();
+        }
+        {
+            // Open a second connection (no temp) and return it last, so it
+            // sits on top of the idle stack.
+            let c_a = pool.acquire_preferring(Some("big_filter")).unwrap();
+            assert!(c_a.has_temp_table("big_filter"));
+            let c_b = pool.acquire().unwrap();
+            assert!(!c_b.has_temp_table("big_filter"));
+            drop(c_a);
+            drop(c_b);
+        }
+        // Preferring the temp table picks the right session even though it
+        // is not on top.
+        let c = pool.acquire_preferring(Some("big_filter")).unwrap();
+        assert!(c.has_temp_table("big_filter"));
+    }
+
+    #[test]
+    fn stress_many_threads_share_a_small_pool() {
+        use tabviz_tql::parse_plan;
+        let pool = Arc::new(ConnectionPool::new(source(), 3));
+        let q = "(aggregate () ((count as n)) (scan t))";
+        let plan = parse_plan(q).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                let pool = Arc::clone(&pool);
+                let plan = plan.clone();
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let mut c = pool.acquire().unwrap();
+                        let out = c
+                            .execute(&crate::source::RemoteQuery::new(q.into(), plan.clone()))
+                            .unwrap();
+                        assert_eq!(out.row(0)[0], tabviz_common::Value::Int(10));
+                    }
+                });
+            }
+        });
+        let st = pool.stats();
+        assert!(st.opened <= 3, "never more than the cap: {}", st.opened);
+        assert_eq!(st.opened + st.reused, 16 * 5);
+        // (whether acquisitions had to wait is timing-dependent on a fast
+        // backend; the cap and the accounting are the invariants)
+    }
+
+    #[test]
+    fn age_wise_eviction() {
+        let pool = ConnectionPool::new(source(), 4);
+        {
+            let _c = pool.acquire().unwrap();
+        }
+        assert_eq!(pool.idle_count(), 1);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(pool.evict_idle(Duration::from_millis(5)), 1);
+        assert_eq!(pool.idle_count(), 0);
+        assert_eq!(pool.stats().evicted, 1);
+        // clear() also counts as eviction
+        {
+            let _c = pool.acquire().unwrap();
+        }
+        pool.clear();
+        assert_eq!(pool.idle_count(), 0);
+    }
+}

@@ -1,0 +1,604 @@
+//! Simulated remote databases.
+//!
+//! The paper evaluates against dozens of proprietary backends; this module
+//! substitutes a configurable server simulation whose *timing semantics*
+//! carry the phenomena Sect. 3.5 describes: connection-open cost (why pools
+//! exist), per-query dispatch overhead (why fusion reduces latency),
+//! thread-per-query vs parallel-plan CPU allocation (why multiple
+//! connections help, and by how much), query throttling, connection limits,
+//! and session-scoped temporary tables. Queries *really* execute — results
+//! come from an embedded serial TDE over shared base tables — so every
+//! higher layer is tested for correctness, not just latency.
+
+use crate::capability::{Capabilities, ServerArchitecture};
+use crate::source::{Connection, DataSource, RemoteQuery};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tabviz_common::{Chunk, Result, TvError};
+use tabviz_storage::{Database, Table};
+use tabviz_tde::{ExecOptions, Tde};
+use tabviz_tql::{Catalog, TableMeta};
+
+/// Time costs of talking to this server.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Opening a connection (+ metadata retrieval): "the process of opening
+    /// a connection, retrieving configuration information and metadata are
+    /// costly" (Sect. 3.5).
+    pub connect: Duration,
+    /// Fixed per-query overhead (parse/plan/dispatch).
+    pub dispatch: Duration,
+    /// Server CPU time per 1000 rows scanned (divided by allocated cores).
+    pub scan_per_kilorow: Duration,
+    /// Network transfer per 1000 result rows.
+    pub transfer_per_kilorow: Duration,
+}
+
+impl LatencyModel {
+    /// No artificial delays (unit tests).
+    pub fn instant() -> Self {
+        LatencyModel {
+            connect: Duration::ZERO,
+            dispatch: Duration::ZERO,
+            scan_per_kilorow: Duration::ZERO,
+            transfer_per_kilorow: Duration::ZERO,
+        }
+    }
+
+    /// A nearby warehouse on the LAN.
+    pub fn lan() -> Self {
+        LatencyModel {
+            connect: Duration::from_millis(20),
+            dispatch: Duration::from_millis(2),
+            scan_per_kilorow: Duration::from_micros(150),
+            transfer_per_kilorow: Duration::from_micros(400),
+        }
+    }
+
+    /// A cloud database across a WAN.
+    pub fn wan() -> Self {
+        LatencyModel {
+            connect: Duration::from_millis(120),
+            dispatch: Duration::from_millis(15),
+            scan_per_kilorow: Duration::from_micros(150),
+            transfer_per_kilorow: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Cumulative counters, for experiment reporting.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    pub connects: usize,
+    pub queries: usize,
+    pub rows_returned: u64,
+    pub bytes_uploaded: u64,
+    pub bytes_downloaded: u64,
+    pub temp_tables_created: usize,
+    /// Queries that piggybacked on an in-flight scan of the same table.
+    pub shared_scans: usize,
+    /// Total server-core busy time (for utilization accounting).
+    pub busy: Duration,
+}
+
+/// A counting semaphore (parking_lot has none; this is the classic
+/// mutex+condvar formulation).
+struct Semaphore {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            count: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self, n: usize) {
+        let mut c = self.count.lock();
+        while *c < n {
+            self.cv.wait(&mut c);
+        }
+        *c -= n;
+    }
+
+    fn release(&self, n: usize) {
+        let mut c = self.count.lock();
+        *c += n;
+        self.cv.notify_all();
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub capabilities: Capabilities,
+    pub latency: LatencyModel,
+    pub architecture: ServerArchitecture,
+    /// Total server cores contended by concurrent queries.
+    pub cores: usize,
+    /// The Sect. 3.5 "shared scans" feature ("present in several systems,
+    /// including SQL Server. It allows the storage layer to pipe pages of a
+    /// single table scan to multiple concurrently handled execution plans"):
+    /// a query arriving while another is scanning the same table piggybacks
+    /// on the in-flight scan and pays only a fraction of the scan cost.
+    pub shared_scans: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            capabilities: Capabilities::default(),
+            latency: LatencyModel::instant(),
+            architecture: ServerArchitecture::ThreadPerQuery,
+            cores: 8,
+            shared_scans: false,
+        }
+    }
+}
+
+/// Fraction of the scan cost a piggybacking query still pays (plan setup,
+/// partially-missed pages).
+const SHARED_SCAN_COST_FRACTION: f64 = 0.25;
+
+struct SimInner {
+    name: String,
+    config: SimConfig,
+    db: Arc<Database>,
+    cores: Semaphore,
+    throttle: Option<Semaphore>,
+    open_connections: AtomicUsize,
+    /// table → number of scans currently in flight (shared-scan detection).
+    scans_inflight: Mutex<std::collections::HashMap<String, usize>>,
+    stats: Mutex<SimStats>,
+    /// Failure injection: next CREATE TEMP TABLE fails (exercises the Data
+    /// Server's rewrite-without-temp-table fallback, Sect. 5.3).
+    fail_temp_tables: AtomicBool,
+}
+
+/// A simulated remote database server. Cheap to clone (shared internals).
+#[derive(Clone)]
+pub struct SimDb {
+    inner: Arc<SimInner>,
+}
+
+impl SimDb {
+    pub fn new(name: impl Into<String>, db: Arc<Database>, config: SimConfig) -> Self {
+        let throttle = (config.capabilities.max_concurrent_queries > 0)
+            .then(|| Semaphore::new(config.capabilities.max_concurrent_queries));
+        SimDb {
+            inner: Arc::new(SimInner {
+                name: name.into(),
+                cores: Semaphore::new(config.cores),
+                throttle,
+                open_connections: AtomicUsize::new(0),
+                scans_inflight: Mutex::new(std::collections::HashMap::new()),
+                stats: Mutex::new(SimStats::default()),
+                fail_temp_tables: AtomicBool::new(false),
+                config,
+                db,
+            }),
+        }
+    }
+
+    pub fn stats(&self) -> SimStats {
+        self.inner.stats.lock().clone()
+    }
+
+    pub fn reset_stats(&self) {
+        *self.inner.stats.lock() = SimStats::default();
+    }
+
+    /// Make subsequent `create_temp_table` calls fail (until unset).
+    pub fn set_fail_temp_tables(&self, fail: bool) {
+        self.inner.fail_temp_tables.store(fail, Ordering::SeqCst);
+    }
+
+    pub fn open_connection_count(&self) -> usize {
+        self.inner.open_connections.load(Ordering::SeqCst)
+    }
+
+    /// The shared base database (for test setup).
+    pub fn base_database(&self) -> &Arc<Database> {
+        &self.inner.db
+    }
+}
+
+impl DataSource for SimDb {
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn capabilities(&self) -> &Capabilities {
+        &self.inner.config.capabilities
+    }
+
+    fn connect(&self) -> Result<Box<dyn Connection>> {
+        let max = self.inner.config.capabilities.max_connections;
+        if max > 0 {
+            // Reserve a slot atomically.
+            let prev = self.inner.open_connections.fetch_add(1, Ordering::SeqCst);
+            if prev >= max {
+                self.inner.open_connections.fetch_sub(1, Ordering::SeqCst);
+                return Err(TvError::Backend(format!(
+                    "{}: connection limit ({max}) reached",
+                    self.inner.name
+                )));
+            }
+        } else {
+            self.inner.open_connections.fetch_add(1, Ordering::SeqCst);
+        }
+        sleep(self.inner.config.latency.connect);
+        {
+            let mut st = self.inner.stats.lock();
+            st.connects += 1;
+        }
+        let session_db = Arc::new(self.inner.db.session_view(format!(
+            "{}-session",
+            self.inner.name
+        )));
+        // A generic SQL server evaluates exactly the query it is sent: no
+        // Tableau-style join culling / referential-integrity assumptions
+        // (those belong to the client-side query processor).
+        let mut exec = ExecOptions::serial();
+        exec.optimizer.enable_join_culling = false;
+        exec.optimizer.assume_referential_integrity = false;
+        Ok(Box::new(SimConnection {
+            server: Arc::clone(&self.inner),
+            tde: Tde::new(Arc::clone(&session_db)),
+            session_db,
+            exec,
+        }))
+    }
+
+    fn table_meta(&self, table: &str) -> Result<TableMeta> {
+        tabviz_tde::TdeCatalog::new(Arc::clone(&self.inner.db)).table_meta(table)
+    }
+}
+
+fn sleep(d: Duration) {
+    if !d.is_zero() {
+        std::thread::sleep(d);
+    }
+}
+
+struct SimConnection {
+    server: Arc<SimInner>,
+    session_db: Arc<Database>,
+    tde: Tde,
+    exec: ExecOptions,
+}
+
+impl SimConnection {
+    /// Rows the server will touch to answer this plan: base + temp tables.
+    fn scan_rows(&self, plan: &tabviz_tql::LogicalPlan) -> usize {
+        plan.tables()
+            .iter()
+            .filter_map(|t| self.session_db.resolve(t).ok())
+            .map(|t| t.row_count())
+            .sum()
+    }
+}
+
+impl Connection for SimConnection {
+    fn execute(&mut self, query: &RemoteQuery) -> Result<Chunk> {
+        let cfg = &self.server.config;
+        {
+            let mut st = self.server.stats.lock();
+            st.queries += 1;
+            st.bytes_uploaded += query.upload_bytes() as u64;
+        }
+        sleep(cfg.latency.dispatch);
+
+        let want_cores = match cfg.architecture {
+            ServerArchitecture::ThreadPerQuery => 1,
+            ServerArchitecture::ParallelPlans { dop } => dop.clamp(1, cfg.cores),
+        };
+        if let Some(t) = &self.server.throttle {
+            t.acquire(1);
+        }
+        self.server.cores.acquire(want_cores);
+
+        let scan_rows = self.scan_rows(&query.plan);
+        let mut busy = Duration::from_nanos(
+            (cfg.latency.scan_per_kilorow.as_nanos() as u64)
+                .saturating_mul(scan_rows as u64)
+                / 1000
+                / want_cores as u64,
+        );
+        // Shared scans: piggyback on a scan of the same table already in
+        // flight and pay a fraction of the scan cost.
+        let tables = query.plan.tables();
+        let mut piggybacked = false;
+        if cfg.shared_scans {
+            let mut inflight = self.server.scans_inflight.lock();
+            piggybacked = tables.iter().any(|t| inflight.get(t).copied().unwrap_or(0) > 0);
+            for t in &tables {
+                *inflight.entry(t.clone()).or_insert(0) += 1;
+            }
+            if piggybacked {
+                busy = Duration::from_secs_f64(busy.as_secs_f64() * SHARED_SCAN_COST_FRACTION);
+                self.server.stats.lock().shared_scans += 1;
+            }
+        }
+        sleep(busy);
+        let result = self
+            .tde
+            .execute_plan(&query.plan, &self.exec)
+            .map_err(|e| TvError::Backend(format!("{}: {e}", self.server.name)));
+
+        self.server.cores.release(want_cores);
+        if cfg.shared_scans {
+            let mut inflight = self.server.scans_inflight.lock();
+            for t in &tables {
+                if let Some(n) = inflight.get_mut(t) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+        }
+        let _ = piggybacked;
+        if let Some(t) = &self.server.throttle {
+            t.release(1);
+        }
+        let chunk = result?;
+
+        let transfer = Duration::from_nanos(
+            (cfg.latency.transfer_per_kilorow.as_nanos() as u64)
+                .saturating_mul(chunk.len() as u64)
+                / 1000,
+        );
+        sleep(transfer);
+        {
+            let mut st = self.server.stats.lock();
+            st.rows_returned += chunk.len() as u64;
+            st.bytes_downloaded += chunk.approx_bytes() as u64;
+            st.busy += busy.max(Duration::from_nanos(1)) * want_cores as u32;
+        }
+        Ok(chunk)
+    }
+
+    fn create_temp_table(&mut self, name: &str, data: &Chunk) -> Result<()> {
+        if !self.server.config.capabilities.supports_temp_tables {
+            return Err(TvError::Unsupported(format!(
+                "{} does not support temporary tables",
+                self.server.name
+            )));
+        }
+        if self.server.fail_temp_tables.load(Ordering::SeqCst) {
+            return Err(TvError::Backend(format!(
+                "{}: temp table creation failed",
+                self.server.name
+            )));
+        }
+        sleep(self.server.config.latency.dispatch);
+        // Uploading the rows costs transfer time in the other direction.
+        let upload = Duration::from_nanos(
+            (self.server.config.latency.transfer_per_kilorow.as_nanos() as u64)
+                .saturating_mul(data.len() as u64)
+                / 1000,
+        );
+        sleep(upload);
+        self.session_db.put_temp(Table::from_chunk(name, data, &[])?)?;
+        let mut st = self.server.stats.lock();
+        st.temp_tables_created += 1;
+        st.bytes_uploaded += data.approx_bytes() as u64;
+        Ok(())
+    }
+
+    fn drop_temp_table(&mut self, name: &str) -> Result<()> {
+        self.session_db
+            .drop_table(tabviz_storage::database::TEMP_SCHEMA, name)
+    }
+
+    fn has_temp_table(&self, name: &str) -> bool {
+        self.session_db
+            .get_table(tabviz_storage::database::TEMP_SCHEMA, name)
+            .is_ok()
+    }
+
+    fn temp_tables(&self) -> Vec<String> {
+        self.session_db
+            .table_names(tabviz_storage::database::TEMP_SCHEMA)
+    }
+}
+
+impl Drop for SimConnection {
+    fn drop(&mut self) {
+        self.server.open_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabviz_common::{DataType, Field, Schema, Value};
+    use tabviz_tql::parse_plan;
+
+    fn base_db(rows: usize) -> Arc<Database> {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("delay", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| vec![Value::Str(["AA", "DL", "WN"][i % 3].into()), Value::Int(i as i64)])
+            .collect();
+        let db = Arc::new(Database::new("remote"));
+        db.put(Table::from_chunk("flights", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap())
+            .unwrap();
+        db
+    }
+
+    fn query(text: &str) -> RemoteQuery {
+        RemoteQuery::new(text.to_string(), parse_plan(text).unwrap())
+    }
+
+    #[test]
+    fn executes_real_results() {
+        let sim = SimDb::new("sql1", base_db(300), SimConfig::default());
+        let mut conn = sim.connect().unwrap();
+        let out = conn
+            .execute(&query("(aggregate ((carrier)) ((count as n)) (scan flights))"))
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        let st = sim.stats();
+        assert_eq!(st.queries, 1);
+        assert_eq!(st.connects, 1);
+        assert_eq!(st.rows_returned, 3);
+        assert!(st.bytes_uploaded > 0);
+    }
+
+    #[test]
+    fn session_temp_tables_are_isolated() {
+        let sim = SimDb::new("sql1", base_db(10), SimConfig::default());
+        let mut c1 = sim.connect().unwrap();
+        let mut c2 = sim.connect().unwrap();
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Str)]).unwrap());
+        let data = Chunk::from_rows(schema, &[vec!["AA".into()]]).unwrap();
+        c1.create_temp_table("filter1", &data).unwrap();
+        assert!(c1.has_temp_table("filter1"));
+        assert!(!c2.has_temp_table("filter1"));
+        // c1 can join against its temp.
+        let q = query("(aggregate () ((count as n)) (join inner ((carrier v)) (scan flights) (scan filter1)))");
+        let out = c1.execute(&q).unwrap();
+        assert_eq!(out.row(0)[0], Value::Int(4)); // AA appears at i%3==0 → 4 of 10
+        assert!(c2.execute(&q).is_err()); // c2's session has no such table
+        c1.drop_temp_table("filter1").unwrap();
+        assert!(!c1.has_temp_table("filter1"));
+    }
+
+    #[test]
+    fn connection_limit_enforced() {
+        let mut cfg = SimConfig::default();
+        cfg.capabilities.max_connections = 2;
+        let sim = SimDb::new("limited", base_db(5), cfg);
+        let c1 = sim.connect().unwrap();
+        let _c2 = sim.connect().unwrap();
+        assert!(sim.connect().is_err());
+        drop(c1);
+        assert!(sim.connect().is_ok());
+    }
+
+    #[test]
+    fn temp_table_failure_injection() {
+        let sim = SimDb::new("flaky", base_db(5), SimConfig::default());
+        let mut conn = sim.connect().unwrap();
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int)]).unwrap());
+        let data = Chunk::from_rows(schema, &[vec![Value::Int(1)]]).unwrap();
+        sim.set_fail_temp_tables(true);
+        assert!(conn.create_temp_table("t", &data).is_err());
+        sim.set_fail_temp_tables(false);
+        assert!(conn.create_temp_table("t", &data).is_ok());
+    }
+
+    #[test]
+    fn unsupported_temp_tables() {
+        let mut caps = Capabilities::limited();
+        caps.max_connections = 0;
+        let cfg = SimConfig { capabilities: caps, ..Default::default() };
+        let sim = SimDb::new("old", base_db(5), cfg);
+        let mut conn = sim.connect().unwrap();
+        let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int)]).unwrap());
+        let data = Chunk::from_rows(schema, &[vec![Value::Int(1)]]).unwrap();
+        assert!(matches!(
+            conn.create_temp_table("t", &data),
+            Err(TvError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn concurrency_beats_serial_on_thread_per_query() {
+        // 4 queries, each ~25ms of server CPU, thread-per-query, 8 cores:
+        // serial ≈ 100ms, concurrent ≈ 25ms.
+        let mut cfg = SimConfig::default();
+        cfg.latency.scan_per_kilorow = Duration::from_millis(5);
+        cfg.architecture = ServerArchitecture::ThreadPerQuery;
+        let sim = SimDb::new("warehouse", base_db(5_000), cfg);
+        let q = "(aggregate ((carrier)) ((count as n)) (scan flights))";
+
+        let t0 = std::time::Instant::now();
+        let mut conn = sim.connect().unwrap();
+        for _ in 0..4 {
+            conn.execute(&query(q)).unwrap();
+        }
+        let serial = t0.elapsed();
+
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sim = sim.clone();
+                s.spawn(move || {
+                    let mut c = sim.connect().unwrap();
+                    c.execute(&query(q)).unwrap();
+                });
+            }
+        });
+        let parallel = t0.elapsed();
+        assert!(
+            parallel < serial,
+            "parallel {parallel:?} should beat serial {serial:?}"
+        );
+    }
+
+    #[test]
+    fn shared_scans_make_concurrent_same_table_queries_cheaper() {
+        let mk = |shared: bool| {
+            let mut cfg = SimConfig::default();
+            cfg.latency.scan_per_kilorow = Duration::from_millis(8); // 40ms/query
+            cfg.shared_scans = shared;
+            SimDb::new("srv", base_db(5_000), cfg)
+        };
+        let run_pair = |sim: &SimDb| {
+            let q = "(aggregate ((carrier)) ((count as n)) (scan flights))";
+            let t0 = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let sim = sim.clone();
+                    s.spawn(move || {
+                        let mut c = sim.connect().unwrap();
+                        c.execute(&query(q)).unwrap();
+                    });
+                }
+            });
+            t0.elapsed()
+        };
+        let sim_off = mk(false);
+        let t_off = run_pair(&sim_off);
+        let sim_on = mk(true);
+        let t_on = run_pair(&sim_on);
+        assert!(sim_on.stats().shared_scans >= 1, "later arrivals piggyback");
+        assert_eq!(sim_off.stats().shared_scans, 0);
+        assert!(
+            t_on < t_off,
+            "shared scans {t_on:?} should beat independent scans {t_off:?}"
+        );
+    }
+
+    #[test]
+    fn throttle_limits_concurrency() {
+        let mut cfg = SimConfig::default();
+        cfg.latency.scan_per_kilorow = Duration::from_millis(4);
+        cfg.capabilities.max_concurrent_queries = 1;
+        let sim = SimDb::new("throttled", base_db(5_000), cfg);
+        let q = "(aggregate ((carrier)) ((count as n)) (scan flights))";
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let sim = sim.clone();
+                s.spawn(move || {
+                    let mut c = sim.connect().unwrap();
+                    c.execute(&query(q)).unwrap();
+                });
+            }
+        });
+        let elapsed = t0.elapsed();
+        // Three ~20ms queries forced serial by the throttle: ≥ 50ms.
+        assert!(elapsed >= Duration::from_millis(50), "{elapsed:?}");
+    }
+}

@@ -1,0 +1,65 @@
+//! The `DataSource` / `Connection` traits.
+//!
+//! A connection "most often maps to a database server connection maintained
+//! over a network stack" (Sect. 3.1); its session owns temporary structures
+//! ("temporary tables created for large filters ... are likely to be useful
+//! while formulating queries within the same query batch", Sect. 3.5).
+
+use crate::capability::Capabilities;
+use tabviz_common::{Chunk, Result};
+use tabviz_tql::{LogicalPlan, TableMeta};
+
+/// A query as shipped to a backend: the dialect text (what travels over the
+/// simulated network and keys the literal cache) plus the logical plan the
+/// simulated server executes.
+#[derive(Debug, Clone)]
+pub struct RemoteQuery {
+    pub text: String,
+    pub plan: LogicalPlan,
+}
+
+impl RemoteQuery {
+    pub fn new(text: String, plan: LogicalPlan) -> Self {
+        RemoteQuery { text, plan }
+    }
+
+    /// Bytes this query costs to transmit (query-text upload).
+    pub fn upload_bytes(&self) -> usize {
+        self.text.len()
+    }
+}
+
+/// An open session against a backend. Not `Sync`: one query at a time per
+/// connection, as with real drivers — concurrency comes from *multiple*
+/// connections (Sect. 3.5).
+pub trait Connection: Send {
+    /// Execute a query in this session.
+    fn execute(&mut self, query: &RemoteQuery) -> Result<Chunk>;
+
+    /// Create (or replace) a session-scoped temporary table.
+    fn create_temp_table(&mut self, name: &str, data: &Chunk) -> Result<()>;
+
+    fn drop_temp_table(&mut self, name: &str) -> Result<()>;
+
+    /// Whether the session currently holds the given temp table — used by
+    /// the pool to route queries to connections that already have the
+    /// structure ("popular temporary structures will be duplicated in
+    /// several connections", Sect. 3.5).
+    fn has_temp_table(&self, name: &str) -> bool;
+
+    /// Names of all session temp tables.
+    fn temp_tables(&self) -> Vec<String>;
+}
+
+/// A backend: factory of connections plus metadata.
+pub trait DataSource: Send + Sync {
+    fn name(&self) -> &str;
+
+    fn capabilities(&self) -> &Capabilities;
+
+    /// Open a new session. Pays the connect cost.
+    fn connect(&self) -> Result<Box<dyn Connection>>;
+
+    /// Table metadata, for query compilation.
+    fn table_meta(&self, table: &str) -> Result<TableMeta>;
+}

@@ -1,0 +1,270 @@
+//! Dialect-aware query text generation.
+//!
+//! Sect. 3.1: "A simplified query is subsequently translated into a textual
+//! representation that matches the dialect of the underlying data source.
+//! While most supported data sources speak a variant of SQL ..., each has
+//! their own exceptions to the standard." The generated text is what crosses
+//! the simulated network (so large IN-lists really cost bytes) and what keys
+//! the literal query cache.
+
+use crate::capability::Dialect;
+use tabviz_common::Value;
+use tabviz_tql::expr::Expr;
+use tabviz_tql::{JoinType, LogicalPlan, UnaryOp};
+
+/// Render a logical plan in the given dialect.
+pub fn to_sql(plan: &LogicalPlan, dialect: Dialect) -> String {
+    match dialect {
+        Dialect::Tql => plan.canonical_text(),
+        _ => render(plan, dialect, 0),
+    }
+}
+
+fn quote_ident(name: &str, dialect: Dialect) -> String {
+    match dialect {
+        Dialect::LegacySql => format!("[{name}]"),
+        _ => format!("\"{name}\""),
+    }
+}
+
+fn render(plan: &LogicalPlan, d: Dialect, depth: usize) -> String {
+    let alias = format!("q{depth}");
+    match plan {
+        LogicalPlan::TableScan { table, projection } => {
+            let cols = match projection {
+                None => "*".to_string(),
+                Some(p) => p
+                    .iter()
+                    .map(|c| quote_ident(c, d))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            };
+            format!("SELECT {cols} FROM {}", quote_ident(table, d))
+        }
+        LogicalPlan::Select { input, predicate } => {
+            format!(
+                "SELECT * FROM ({}) {alias} WHERE {}",
+                render(input, d, depth + 1),
+                render_expr(predicate, d)
+            )
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let items: Vec<String> = exprs
+                .iter()
+                .map(|(e, n)| format!("{} AS {}", render_expr(e, d), quote_ident(n, d)))
+                .collect();
+            format!(
+                "SELECT {} FROM ({}) {alias}",
+                items.join(", "),
+                render(input, d, depth + 1)
+            )
+        }
+        LogicalPlan::Join { left, right, on, join_type } => {
+            let kw = match join_type {
+                JoinType::Inner => "INNER JOIN",
+                JoinType::Left => "LEFT OUTER JOIN",
+            };
+            let conds: Vec<String> = on
+                .iter()
+                .map(|(l, r)| {
+                    format!(
+                        "{alias}l.{} = {alias}r.{}",
+                        quote_ident(l, d),
+                        quote_ident(r, d)
+                    )
+                })
+                .collect();
+            format!(
+                "SELECT * FROM ({}) {alias}l {kw} ({}) {alias}r ON {}",
+                render(left, d, depth + 1),
+                render(right, d, depth + 1),
+                if conds.is_empty() { "1 = 1".to_string() } else { conds.join(" AND ") }
+            )
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            let mut items: Vec<String> = group_by
+                .iter()
+                .map(|(e, n)| format!("{} AS {}", render_expr(e, d), quote_ident(n, d)))
+                .collect();
+            for a in aggs {
+                let arg = match &a.arg {
+                    None => "*".to_string(),
+                    Some(e) => render_expr(e, d),
+                };
+                let func = match a.func {
+                    tabviz_tql::AggFunc::CountD => format!("COUNT(DISTINCT {arg})"),
+                    f => format!("{}({arg})", f.name()),
+                };
+                items.push(format!("{func} AS {}", quote_ident(&a.alias, d)));
+            }
+            let group_clause = if group_by.is_empty() {
+                String::new()
+            } else {
+                let keys: Vec<String> =
+                    group_by.iter().map(|(e, _)| render_expr(e, d)).collect();
+                format!(" GROUP BY {}", keys.join(", "))
+            };
+            format!(
+                "SELECT {} FROM ({}) {alias}{group_clause}",
+                items.join(", "),
+                render(input, d, depth + 1)
+            )
+        }
+        LogicalPlan::Order { input, keys } => {
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|k| format!("{} {}", quote_ident(&k.column, d), dir(k.asc)))
+                .collect();
+            format!(
+                "SELECT * FROM ({}) {alias} ORDER BY {}",
+                render(input, d, depth + 1),
+                ks.join(", ")
+            )
+        }
+        LogicalPlan::TopN { input, keys, n } => {
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|k| format!("{} {}", quote_ident(&k.column, d), dir(k.asc)))
+                .collect();
+            match d {
+                // SQL-Server style: SELECT TOP n.
+                Dialect::LegacySql => format!(
+                    "SELECT TOP {n} * FROM ({}) {alias} ORDER BY {}",
+                    render(input, d, depth + 1),
+                    ks.join(", ")
+                ),
+                _ => format!(
+                    "SELECT * FROM ({}) {alias} ORDER BY {} LIMIT {n}",
+                    render(input, d, depth + 1),
+                    ks.join(", ")
+                ),
+            }
+        }
+        LogicalPlan::Distinct { input } => {
+            format!("SELECT DISTINCT * FROM ({}) {alias}", render(input, d, depth + 1))
+        }
+    }
+}
+
+fn dir(asc: bool) -> &'static str {
+    if asc {
+        "ASC"
+    } else {
+        "DESC"
+    }
+}
+
+fn render_expr(e: &Expr, d: Dialect) -> String {
+    match e {
+        Expr::Column(c) => quote_ident(c, d),
+        Expr::Literal(v) => v.to_literal(),
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => format!("NOT ({})", render_expr(expr, d)),
+            UnaryOp::Neg => format!("-({})", render_expr(expr, d)),
+            UnaryOp::IsNull => format!("({} IS NULL)", render_expr(expr, d)),
+            UnaryOp::IsNotNull => format!("({} IS NOT NULL)", render_expr(expr, d)),
+        },
+        Expr::Binary { op, left, right } => {
+            let sym = match op {
+                tabviz_tql::BinOp::Add => "+",
+                tabviz_tql::BinOp::Sub => "-",
+                tabviz_tql::BinOp::Mul => "*",
+                tabviz_tql::BinOp::Div => "/",
+                tabviz_tql::BinOp::Eq => "=",
+                tabviz_tql::BinOp::Ne => "<>",
+                tabviz_tql::BinOp::Lt => "<",
+                tabviz_tql::BinOp::Le => "<=",
+                tabviz_tql::BinOp::Gt => ">",
+                tabviz_tql::BinOp::Ge => ">=",
+                tabviz_tql::BinOp::And => "AND",
+                tabviz_tql::BinOp::Or => "OR",
+            };
+            format!("({} {sym} {})", render_expr(left, d), render_expr(right, d))
+        }
+        Expr::In { expr, list, negated } => {
+            let items: Vec<String> = list.iter().map(Value::to_literal).collect();
+            format!(
+                "({} {}IN ({}))",
+                render_expr(expr, d),
+                if *negated { "NOT " } else { "" },
+                items.join(", ")
+            )
+        }
+        Expr::Between { expr, low, high } => format!(
+            "({} BETWEEN {} AND {})",
+            render_expr(expr, d),
+            low.to_literal(),
+            high.to_literal()
+        ),
+        Expr::Func { func, args } => {
+            let items: Vec<String> = args.iter().map(|a| render_expr(a, d)).collect();
+            format!("{}({})", func.name(), items.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabviz_tql::expr::{bin, col, lit};
+    use tabviz_tql::{parse_plan, AggCall, AggFunc, BinOp, SortKey};
+
+    fn sample() -> LogicalPlan {
+        LogicalPlan::scan("flights")
+            .select(bin(BinOp::Gt, col("delay"), lit(10i64)))
+            .aggregate(
+                vec![(col("carrier"), "carrier".into())],
+                vec![AggCall::new(AggFunc::Count, None, "n")],
+            )
+            .topn(5, vec![SortKey::desc("n")])
+    }
+
+    #[test]
+    fn ansi_sql_uses_limit() {
+        let sql = to_sql(&sample(), Dialect::AnsiSql);
+        assert!(sql.contains("LIMIT 5"), "{sql}");
+        assert!(sql.contains("GROUP BY \"carrier\""), "{sql}");
+        assert!(sql.contains("WHERE (\"delay\" > 10)"), "{sql}");
+    }
+
+    #[test]
+    fn legacy_sql_uses_top_and_brackets() {
+        let sql = to_sql(&sample(), Dialect::LegacySql);
+        assert!(sql.contains("SELECT TOP 5"), "{sql}");
+        assert!(sql.contains("[carrier]"), "{sql}");
+        assert!(!sql.contains("LIMIT"), "{sql}");
+    }
+
+    #[test]
+    fn tql_dialect_is_canonical_text() {
+        let sql = to_sql(&sample(), Dialect::Tql);
+        assert!(sql.contains("TopN 5 by n DESC"));
+    }
+
+    #[test]
+    fn in_lists_render_fully() {
+        let plan = parse_plan("(select (in carrier \"AA\" \"DL\" \"WN\") (scan t))").unwrap();
+        let sql = to_sql(&plan, Dialect::AnsiSql);
+        assert!(sql.contains("IN ('AA', 'DL', 'WN')"), "{sql}");
+        // Bytes grow with the list — the cost temp tables avoid.
+        assert!(sql.len() > 30);
+    }
+
+    #[test]
+    fn countd_and_join_render() {
+        let plan = parse_plan(
+            "(aggregate ((name)) ((countd carrier as nc))
+               (join left ((carrier code)) (scan f) (scan d)))",
+        )
+        .unwrap();
+        let sql = to_sql(&plan, Dialect::AnsiSql);
+        assert!(sql.contains("COUNT(DISTINCT \"carrier\")"), "{sql}");
+        assert!(sql.contains("LEFT OUTER JOIN"), "{sql}");
+    }
+
+    #[test]
+    fn identical_plans_render_identically() {
+        // The literal-cache property: same plan → same text.
+        assert_eq!(to_sql(&sample(), Dialect::AnsiSql), to_sql(&sample(), Dialect::AnsiSql));
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion bench for E3: intelligent-cache lookup and post-processing
+//! costs (Sect. 3.2) — the "additional post-processing usually does not
+//! require much time" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use tabviz::cache::{intelligent::CacheConfig, IntelligentCache, QuerySpec};
+use tabviz::prelude::*;
+use tabviz_bench::faa_db;
+
+fn bench(c: &mut Criterion) {
+    let db = faa_db(200_000);
+    let tde = Tde::new(Arc::clone(&db));
+    let fine = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+        .group("carrier")
+        .group("origin_state")
+        .agg(AggCall::new(AggFunc::Count, None, "n"))
+        .agg(AggCall::new(AggFunc::Sum, Some(col("distance")), "dist"))
+        .agg(AggCall::new(AggFunc::Count, Some(col("distance")), "dc"));
+    let chunk = tde
+        .execute_plan(&fine.to_plan().unwrap(), &ExecOptions::serial())
+        .unwrap();
+    let cache = IntelligentCache::new(CacheConfig {
+        min_cost: Duration::ZERO,
+        ..Default::default()
+    });
+    cache.put(fine.clone(), chunk, Duration::from_millis(50));
+
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("exact_hit", |b| b.iter(|| cache.get(&fine).unwrap()));
+
+    let filtered = fine
+        .clone()
+        .filter(bin(BinOp::Eq, col("origin_state"), lit("CA")));
+    group.bench_function("filter_postprocess", |b| b.iter(|| cache.get(&filtered).unwrap()));
+
+    let rollup = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+        .group("carrier")
+        .agg(AggCall::new(AggFunc::Count, None, "n"))
+        .agg(AggCall::new(AggFunc::Avg, Some(col("distance")), "avg_dist"));
+    group.bench_function("rollup_postprocess", |b| b.iter(|| cache.get(&rollup).unwrap()));
+
+    // The cost of answering from the backend instead (what the cache saves).
+    group.sample_size(10);
+    group.bench_function("direct_execution_baseline", |b| {
+        b.iter(|| {
+            tde.execute_plan(&rollup.to_plan().unwrap(), &ExecOptions::serial())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for E10: RLE IndexTable range skipping (Sect. 4.3).
+
+#![allow(clippy::field_reassign_with_default)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tabviz::prelude::*;
+use tabviz_bench::faa_db;
+
+fn bench(c: &mut Criterion) {
+    let tde = Tde::new(faa_db(400_000));
+    let mut group = c.benchmark_group("rle_scan");
+    group.sample_size(10);
+    for (label, carriers) in [("1_carrier", "\"HA\""), ("4_carriers", "\"HA\" \"F9\" \"NK\" \"AS\"")] {
+        let q = format!(
+            "(aggregate ((origin_state)) ((count as n))
+               (select (in carrier {carriers}) (scan flights)))"
+        );
+        group.bench_with_input(BenchmarkId::new("rle_skip", label), &q, |b, q| {
+            b.iter(|| tde.query_with(q, &ExecOptions::serial()).unwrap())
+        });
+        let mut no_rle = ExecOptions::serial();
+        no_rle.physical.enable_rle_index = false;
+        group.bench_with_input(BenchmarkId::new("full_scan", label), &q, |b, q| {
+            b.iter(|| tde.query_with(q, &no_rle).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for E8: TDE serial vs parallel plans (Sect. 4.2).
+
+#![allow(clippy::field_reassign_with_default)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tabviz::prelude::*;
+use tabviz::tde::cost::CostProfile;
+use tabviz::tde::parallel::ParallelOptions;
+use tabviz_bench::faa_db;
+
+fn bench(c: &mut Criterion) {
+    let tde = Tde::new(faa_db(400_000));
+    let q = "(aggregate ((origin_state)) ((count as n) (avg arr_delay as d))
+               (select (= cancelled false) (scan flights)))";
+    let mut group = c.benchmark_group("tde_parallel");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| tde.query_with(q, &ExecOptions::serial()).unwrap())
+    });
+    for dop in [2usize, 4] {
+        let mut opts = ExecOptions::default();
+        opts.parallel = ParallelOptions {
+            profile: CostProfile { min_work_per_thread: 10_000, max_dop: dop },
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("parallel", dop), &opts, |b, opts| {
+            b.iter(|| tde.query_with(q, opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

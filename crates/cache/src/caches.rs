@@ -1,0 +1,175 @@
+//! The two cache levels combined.
+//!
+//! The lookup path mirrors Sect. 3.2: structural (intelligent) matching
+//! first; if that fails the query is compiled to text and the literal cache
+//! is consulted; only then does the query go to the backend. Both levels are
+//! populated on the way back.
+
+use crate::intelligent::{CacheConfig, IntelligentCache, IntelligentStats};
+use crate::literal::{LiteralCache, LiteralStats};
+use crate::spec::QuerySpec;
+use std::time::Duration;
+use tabviz_common::Chunk;
+
+/// Where an answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    IntelligentHit,
+    LiteralHit,
+    Miss,
+}
+
+/// Intelligent + literal cache pair.
+#[derive(Default)]
+pub struct QueryCaches {
+    pub intelligent: IntelligentCache,
+    pub literal: LiteralCache,
+}
+
+
+impl QueryCaches {
+    pub fn new(config: CacheConfig, literal_capacity: usize) -> Self {
+        QueryCaches {
+            intelligent: IntelligentCache::new(config),
+            literal: LiteralCache::new(literal_capacity),
+        }
+    }
+
+    /// Two-level lookup. `text` is the compiled query text (produced anyway
+    /// before dispatch, so the literal probe is free).
+    pub fn lookup(&self, spec: &QuerySpec, text: &str) -> (Option<Chunk>, CacheOutcome) {
+        if let Some(hit) = self.intelligent.get(spec) {
+            return (Some(hit), CacheOutcome::IntelligentHit);
+        }
+        if let Some(hit) = self.literal.get(&spec.source, text) {
+            return (Some(hit), CacheOutcome::LiteralHit);
+        }
+        (None, CacheOutcome::Miss)
+    }
+
+    /// Record a freshly computed result in both levels.
+    pub fn store(&self, spec: QuerySpec, text: &str, result: &Chunk, cost: Duration) {
+        self.literal.put(&spec.source, text, result.clone(), cost);
+        self.intelligent.put(spec, result.clone(), cost);
+    }
+
+    /// Connection closed/refreshed: purge both levels for the source.
+    pub fn purge_source(&self, source: &str) {
+        self.intelligent.purge_source(source);
+        self.literal.purge_source(source);
+    }
+
+    pub fn clear(&self) {
+        self.intelligent.clear();
+        self.literal.clear();
+    }
+
+    pub fn stats(&self) -> (IntelligentStats, LiteralStats) {
+        (self.intelligent.stats(), self.literal.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tabviz_common::{DataType, Field, Schema, Value};
+    use tabviz_tql::expr::col;
+    use tabviz_tql::{AggCall, AggFunc, LogicalPlan};
+
+    fn spec() -> QuerySpec {
+        QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"))
+    }
+
+    fn chunk() -> Chunk {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("n", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        Chunk::from_rows(schema, &[vec!["AA".into(), Value::Int(7)]]).unwrap()
+    }
+
+    #[test]
+    fn lookup_order_intelligent_first() {
+        let caches = QueryCaches::new(
+            CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+            1 << 20,
+        );
+        let (none, outcome) = caches.lookup(&spec(), "SQL");
+        assert!(none.is_none());
+        assert_eq!(outcome, CacheOutcome::Miss);
+        caches.store(spec(), "SQL", &chunk(), Duration::from_millis(5));
+        let (hit, outcome) = caches.lookup(&spec(), "SQL");
+        assert!(hit.is_some());
+        assert_eq!(outcome, CacheOutcome::IntelligentHit);
+    }
+
+    #[test]
+    fn literal_catches_post_compilation_collisions() {
+        let caches = QueryCaches::new(
+            CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+            1 << 20,
+        );
+        caches.store(spec(), "SELECT ...", &chunk(), Duration::from_millis(5));
+        // A structurally different spec (different relation ⇒ intelligent
+        // miss) that compiled to the same text — e.g. after join culling.
+        let other = QuerySpec::new("faa", LogicalPlan::scan("flights_joined"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        let (hit, outcome) = caches.lookup(&other, "SELECT ...");
+        assert!(hit.is_some());
+        assert_eq!(outcome, CacheOutcome::LiteralHit);
+    }
+
+    #[test]
+    fn purge_source_affects_both() {
+        let caches = QueryCaches::new(
+            CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+            1 << 20,
+        );
+        caches.store(spec(), "SQL", &chunk(), Duration::from_millis(5));
+        caches.purge_source("faa");
+        let (hit, _) = caches.lookup(&spec(), "SQL");
+        assert!(hit.is_none());
+    }
+
+    #[test]
+    fn agg_arg_reuse_via_avg() {
+        // A stored SUM+COUNT query answers a later AVG request — the paper's
+        // "query processor might choose to adjust queries before sending, in
+        // order to make the results more useful for future reuse".
+        let caches = QueryCaches::new(
+            CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+            1 << 20,
+        );
+        let stored = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Sum, Some(col("delay")), "s"))
+            .agg(AggCall::new(AggFunc::Count, Some(col("delay")), "c"));
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("s", DataType::Int),
+                Field::new("c", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let data = Chunk::from_rows(
+            schema,
+            &[vec!["AA".into(), Value::Int(100), Value::Int(20)]],
+        )
+        .unwrap();
+        caches.store(stored, "Q1", &data, Duration::from_millis(5));
+        let avg_req = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Avg, Some(col("delay")), "a"));
+        let (hit, outcome) = caches.lookup(&avg_req, "Q2");
+        assert_eq!(outcome, CacheOutcome::IntelligentHit);
+        assert_eq!(hit.unwrap().row(0)[1], Value::Real(5.0));
+    }
+}

@@ -1,0 +1,238 @@
+//! The Server-side distributed cache layer.
+//!
+//! Sect. 3.2: "Tableau Server does not persist the caches but it utilizes a
+//! distributed layer based on REDIS or Cassandra depending on the
+//! configuration. This allows sharing data across nodes in the cluster and
+//! keeping data warm regardless of which node handles particular requests.
+//! For efficiency, recent entries are also stored in memory on the nodes
+//! processing particular queries."
+//!
+//! [`ExternalStore`] simulates the external key-value service: a shared map
+//! with per-operation network latency and serialization (values cross the
+//! wire as encoded bytes, exactly like Redis values would). Structural
+//! subsumption matching is only possible against the node-local in-memory
+//! caches — the external layer is a dumb KV and serves exact (canonical-key)
+//! matches, which is how the real deployment behaves.
+
+use crate::caches::{CacheOutcome, QueryCaches};
+use crate::intelligent::CacheConfig;
+use crate::spec::QuerySpec;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+use tabviz_common::{Chunk, Result};
+use tabviz_storage::pack::{pack_table, unpack_table};
+use tabviz_storage::Table;
+
+/// Counters for the external KV service.
+#[derive(Debug, Clone, Default)]
+pub struct ExternalStats {
+    pub gets: u64,
+    pub get_hits: u64,
+    pub puts: u64,
+    pub bytes_stored: u64,
+}
+
+/// The Redis/Cassandra-like shared store.
+pub struct ExternalStore {
+    map: Mutex<HashMap<String, Bytes>>,
+    stats: Mutex<ExternalStats>,
+    /// Round-trip latency per operation.
+    pub op_latency: Duration,
+}
+
+impl ExternalStore {
+    pub fn new(op_latency: Duration) -> Self {
+        ExternalStore {
+            map: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ExternalStats::default()),
+            op_latency,
+        }
+    }
+
+    fn simulate_rtt(&self) {
+        if !self.op_latency.is_zero() {
+            std::thread::sleep(self.op_latency);
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.simulate_rtt();
+        let out = self.map.lock().get(key).cloned();
+        let mut st = self.stats.lock();
+        st.gets += 1;
+        if out.is_some() {
+            st.get_hits += 1;
+        }
+        out
+    }
+
+    pub fn put(&self, key: String, value: Bytes) {
+        self.simulate_rtt();
+        let mut st = self.stats.lock();
+        st.puts += 1;
+        st.bytes_stored += value.len() as u64;
+        drop(st);
+        self.map.lock().insert(key, value);
+    }
+
+    pub fn stats(&self) -> ExternalStats {
+        self.stats.lock().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-node counters.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    pub local_hits: u64,
+    pub external_hits: u64,
+    pub misses: u64,
+}
+
+/// One Tableau Server node's cache stack: local two-level caches over the
+/// shared external store.
+pub struct ServerNodeCache {
+    pub node_id: String,
+    pub local: QueryCaches,
+    external: std::sync::Arc<ExternalStore>,
+    stats: Mutex<NodeStats>,
+}
+
+impl ServerNodeCache {
+    pub fn new(node_id: impl Into<String>, external: std::sync::Arc<ExternalStore>) -> Self {
+        ServerNodeCache {
+            node_id: node_id.into(),
+            local: QueryCaches::new(
+                CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+                64 << 20,
+            ),
+            external,
+            stats: Mutex::new(NodeStats::default()),
+        }
+    }
+
+    /// Node lookup path: local intelligent/literal first, then the external
+    /// store by canonical key. External hits are pulled into local memory
+    /// ("recent entries are also stored in memory on the nodes").
+    pub fn lookup(&self, spec: &QuerySpec, text: &str) -> (Option<Chunk>, CacheOutcome) {
+        if let (Some(hit), outcome) = self.local.lookup(spec, text) {
+            self.stats.lock().local_hits += 1;
+            return (Some(hit), outcome);
+        }
+        let key = spec.canonical_text();
+        if let Some(bytes) = self.external.get(&key) {
+            if let Ok(chunk) = decode_chunk(&bytes) {
+                self.stats.lock().external_hits += 1;
+                self.local
+                    .store(spec.clone(), text, &chunk, Duration::from_millis(1));
+                return (Some(chunk), CacheOutcome::LiteralHit);
+            }
+        }
+        self.stats.lock().misses += 1;
+        (None, CacheOutcome::Miss)
+    }
+
+    /// Store a computed result locally and publish it cluster-wide.
+    pub fn store(&self, spec: QuerySpec, text: &str, result: &Chunk, cost: Duration) {
+        let key = spec.canonical_text();
+        self.local.store(spec, text, result, cost);
+        if let Ok(bytes) = encode_chunk(result) {
+            self.external.put(key, bytes);
+        }
+    }
+
+    pub fn stats(&self) -> NodeStats {
+        self.stats.lock().clone()
+    }
+}
+
+fn encode_chunk(chunk: &Chunk) -> Result<Bytes> {
+    Ok(pack_table(&Table::from_chunk("__d", chunk, &[])?))
+}
+
+fn decode_chunk(bytes: &[u8]) -> Result<Chunk> {
+    unpack_table(bytes)?.scan(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tabviz_common::{DataType, Field, Schema, Value};
+    use tabviz_tql::{AggCall, AggFunc, LogicalPlan};
+
+    fn spec() -> QuerySpec {
+        QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"))
+    }
+
+    fn chunk() -> Chunk {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("n", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        Chunk::from_rows(schema, &[vec!["AA".into(), Value::Int(3)]]).unwrap()
+    }
+
+    #[test]
+    fn cross_node_sharing() {
+        let external = Arc::new(ExternalStore::new(Duration::ZERO));
+        let node1 = ServerNodeCache::new("n1", Arc::clone(&external));
+        let node2 = ServerNodeCache::new("n2", Arc::clone(&external));
+
+        // Node 1 computes and publishes.
+        node1.store(spec(), "Q", &chunk(), Duration::from_millis(20));
+        // Node 2 never saw the query, but the external layer has it.
+        let (hit, _) = node2.lookup(&spec(), "Q");
+        assert_eq!(hit.unwrap().to_rows(), chunk().to_rows());
+        assert_eq!(node2.stats().external_hits, 1);
+
+        // Second lookup on node 2 is now node-local.
+        let (hit2, outcome) = node2.lookup(&spec(), "Q");
+        assert!(hit2.is_some());
+        assert_eq!(outcome, CacheOutcome::IntelligentHit);
+        assert_eq!(node2.stats().local_hits, 1);
+        // Only one external get round-trip happened on node2's path.
+        assert_eq!(external.stats().get_hits, 1);
+    }
+
+    #[test]
+    fn miss_path_counts() {
+        let external = Arc::new(ExternalStore::new(Duration::ZERO));
+        let node = ServerNodeCache::new("n", external);
+        let (hit, outcome) = node.lookup(&spec(), "Q");
+        assert!(hit.is_none());
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(node.stats().misses, 1);
+    }
+
+    #[test]
+    fn external_values_are_serialized_bytes() {
+        let external = Arc::new(ExternalStore::new(Duration::ZERO));
+        let node = ServerNodeCache::new("n", Arc::clone(&external));
+        node.store(spec(), "Q", &chunk(), Duration::from_millis(20));
+        assert_eq!(external.len(), 1);
+        assert!(external.stats().bytes_stored > 0);
+    }
+
+    #[test]
+    fn latency_is_charged_per_operation() {
+        let external = Arc::new(ExternalStore::new(Duration::from_millis(5)));
+        let t0 = std::time::Instant::now();
+        external.get("missing");
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+}

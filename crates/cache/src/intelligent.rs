@@ -1,0 +1,830 @@
+//! The intelligent (view-matching) query cache.
+//!
+//! Sect. 3.2: "The intelligent cache can be treated as a database
+//! view-matching component. It keeps the application highly responsive as
+//! long as covering data is available and can be post-processed. ... The
+//! latter includes roll-up, filtering, calculation projection, and column
+//! restriction."
+//!
+//! Matching rules (sound under the ASP query model):
+//! * same source and identical relation (FROM) subtree;
+//! * every cached filter conjunct is implied by some requested conjunct;
+//! * the requested grouping is a subset of the cached grouping (roll-up);
+//! * every requested aggregate is derivable: identical call when groupings
+//!   match, a roll-up function otherwise (`SUM` of `SUM`s, `SUM` of
+//!   `COUNT`s, `MIN`/`MAX` of themselves, `AVG` from cached `SUM`+`COUNT`);
+//!   `COUNTD` only at identical grouping;
+//! * residual filter conjuncts reference cached *group* columns only (a
+//!   detail-level filter cannot be applied to aggregated rows);
+//! * a cached Top-N result is reusable only for the structurally identical
+//!   request (truncation loses rows).
+//!
+//! Post-processing executes a real TDE plan over the cached chunk, reusing
+//! the tested engine rather than a second aggregation path.
+
+use crate::implication::implies;
+use crate::spec::QuerySpec;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tabviz_common::{Chunk, Result, TvError};
+use tabviz_storage::{Database, Table};
+use tabviz_tde::{ExecOptions, Tde};
+use tabviz_tql::expr::{and_all, bin, col, Expr};
+use tabviz_tql::{write_expr, AggCall, AggFunc, BinOp, LogicalPlan};
+
+/// How a requested aggregate is produced from the cached columns.
+#[derive(Debug, Clone)]
+enum AggSource {
+    /// Same grouping: copy the cached column.
+    Column(String),
+    /// Coarser grouping: re-aggregate the cached column with this function.
+    Rollup(AggFunc, String),
+    /// AVG at coarser grouping: SUM(sum_col) / SUM(count_col).
+    AvgOf { sum_col: String, cnt_col: String },
+}
+
+/// A successful match, ready for post-processing.
+#[derive(Debug, Clone)]
+struct MatchPlan {
+    residual: Vec<Expr>,
+    same_grouping: bool,
+    sources: Vec<AggSource>,
+}
+
+/// One cached result.
+struct Entry {
+    spec: QuerySpec,
+    result: Chunk,
+    bytes: usize,
+    created: Instant,
+    last_used: Instant,
+    use_count: u64,
+    /// What re-evaluating this query cost (eviction prefers keeping
+    /// expensive entries).
+    cost: Duration,
+}
+
+impl Entry {
+    /// Eviction score: higher = more worth keeping. "Cache entries ... are
+    /// purged based upon a combination of entry age, usage, and the expense
+    /// of re-evaluating the query."
+    fn score(&self, now: Instant) -> f64 {
+        let age = now.duration_since(self.created).as_secs_f64() + 1.0;
+        let idle = now.duration_since(self.last_used).as_secs_f64() + 1.0;
+        let cost = self.cost.as_secs_f64() * 1e3 + 1.0;
+        cost * (self.use_count as f64 + 1.0) / (age * idle)
+    }
+}
+
+/// Counters for experiments.
+#[derive(Debug, Clone, Default)]
+pub struct IntelligentStats {
+    pub exact_hits: u64,
+    pub subsumption_hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub rejected_inserts: u64,
+    pub evictions: u64,
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total result-byte budget.
+    pub capacity_bytes: usize,
+    /// "we cache all the query results unless ... the results are
+    /// excessively large".
+    pub max_entry_bytes: usize,
+    /// "... unless computation time is comparable with a cache lookup time".
+    pub min_cost: Duration,
+    /// Accept the first match instead of ranking by post-processing effort
+    /// (the paper's shipped 9.0 behavior; ranking is its stated plan).
+    pub first_match: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 << 20,
+            max_entry_bytes: 8 << 20,
+            min_cost: Duration::from_micros(50),
+            first_match: false,
+        }
+    }
+}
+
+struct Inner {
+    /// bucket key → entry ids (the relation-level index).
+    buckets: HashMap<String, Vec<u64>>,
+    entries: HashMap<u64, Entry>,
+    next_id: u64,
+    bytes: usize,
+    stats: IntelligentStats,
+}
+
+/// The intelligent cache. Thread-safe.
+pub struct IntelligentCache {
+    config: CacheConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Default for IntelligentCache {
+    fn default() -> Self {
+        Self::new(CacheConfig::default())
+    }
+}
+
+impl IntelligentCache {
+    pub fn new(config: CacheConfig) -> Self {
+        IntelligentCache {
+            config,
+            inner: Mutex::new(Inner {
+                buckets: HashMap::new(),
+                entries: HashMap::new(),
+                next_id: 0,
+                bytes: 0,
+                stats: IntelligentStats::default(),
+            }),
+        }
+    }
+
+    pub fn stats(&self) -> IntelligentStats {
+        self.inner.lock().stats.clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Look up a query; on a subsumption hit the cached chunk is
+    /// post-processed into the requested shape.
+    ///
+    /// The paper's shipped version "accept[s] the first match"; its stated
+    /// plan — "choose the entry that requires the least post-processing" —
+    /// is implemented here (and is the default): all matches in the bucket
+    /// are ranked by post-processing effort (exact < project/filter <
+    /// roll-up, ties broken by fewer cached rows) and the cheapest wins.
+    /// Set [`CacheConfig::first_match`] to reproduce the paper's shipped
+    /// behavior.
+    pub fn get(&self, spec: &QuerySpec) -> Option<Chunk> {
+        let mut inner = self.inner.lock();
+        let bucket = spec.bucket_key();
+        let ids: Vec<u64> = inner.buckets.get(&bucket).cloned().unwrap_or_default();
+        // Collect candidate matches (most recent first — interactions tend
+        // to refine the latest view, so recency breaks exact ties).
+        let mut candidates: Vec<(u64, MatchPlan, u32, usize)> = Vec::new();
+        for &id in ids.iter().rev() {
+            let entry = match inner.entries.get(&id) {
+                Some(e) => e,
+                None => continue,
+            };
+            let Some(plan) = match_specs(&entry.spec, spec) else {
+                continue;
+            };
+            let exact = plan.residual.is_empty()
+                && plan.same_grouping
+                && spec.topn.is_none()
+                && spec.order.is_empty()
+                && plan.sources.iter().enumerate().all(|(i, s)| {
+                    matches!(s, AggSource::Column(c) if *c == spec.aggs[i].alias)
+                })
+                && entry.spec.group_by == spec.group_by;
+            // Post-processing effort rank.
+            let effort: u32 = if exact {
+                0
+            } else if plan.same_grouping {
+                1 + u32::from(!plan.residual.is_empty())
+            } else {
+                3 + u32::from(!plan.residual.is_empty())
+            };
+            candidates.push((id, plan, effort, entry.result.len()));
+            if self.config.first_match || effort == 0 {
+                break;
+            }
+        }
+        // Least post-processing first; among equals, the smaller input.
+        candidates.sort_by_key(|&(_, _, effort, rows)| (effort, rows));
+
+        for (id, plan, effort, _) in candidates {
+            let entry = match inner.entries.get(&id) {
+                Some(e) => e,
+                None => continue,
+            };
+            let cached = entry.result.clone();
+            let cached_spec = entry.spec.clone();
+            // Update usage accounting.
+            let e = inner.entries.get_mut(&id).expect("entry exists");
+            e.use_count += 1;
+            e.last_used = Instant::now();
+            if effort == 0 {
+                inner.stats.exact_hits += 1;
+                return Some(cached);
+            }
+            match post_process(&cached_spec, cached, spec, &plan) {
+                Ok(out) => {
+                    inner.stats.subsumption_hits += 1;
+                    return Some(out);
+                }
+                Err(_) => continue, // be conservative: treat as non-match
+            }
+        }
+        inner.stats.misses += 1;
+        None
+    }
+
+    /// Insert a result. `cost` is what computing it took.
+    pub fn put(&self, spec: QuerySpec, result: Chunk, cost: Duration) {
+        let bytes = result.approx_bytes();
+        let mut inner = self.inner.lock();
+        if bytes > self.config.max_entry_bytes || cost < self.config.min_cost {
+            inner.stats.rejected_inserts += 1;
+            return;
+        }
+        let mut spec = spec;
+        spec.normalize();
+        let bucket = spec.bucket_key();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let now = Instant::now();
+        inner.entries.insert(
+            id,
+            Entry {
+                spec,
+                result,
+                bytes,
+                created: now,
+                last_used: now,
+                use_count: 0,
+                cost,
+            },
+        );
+        inner.buckets.entry(bucket).or_default().push(id);
+        inner.bytes += bytes;
+        inner.stats.inserts += 1;
+        self.enforce_capacity(&mut inner);
+    }
+
+    fn enforce_capacity(&self, inner: &mut Inner) {
+        while inner.bytes > self.config.capacity_bytes && inner.entries.len() > 1 {
+            let now = Instant::now();
+            let victim = inner
+                .entries
+                .iter()
+                .min_by(|a, b| {
+                    a.1.score(now)
+                        .partial_cmp(&b.1.score(now))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(id, _)| *id);
+            let Some(id) = victim else { break };
+            if let Some(e) = inner.entries.remove(&id) {
+                inner.bytes -= e.bytes;
+                inner.stats.evictions += 1;
+                let bucket = e.spec.bucket_key();
+                if let Some(ids) = inner.buckets.get_mut(&bucket) {
+                    ids.retain(|&i| i != id);
+                }
+            }
+        }
+    }
+
+    /// Purge every entry belonging to a source ("entries are also purged
+    /// when a connection to a data source is closed or refreshed").
+    pub fn purge_source(&self, source: &str) {
+        let mut inner = self.inner.lock();
+        let prefix = format!("{source}\u{1}");
+        let buckets: Vec<String> = inner
+            .buckets
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for b in buckets {
+            if let Some(ids) = inner.buckets.remove(&b) {
+                for id in ids {
+                    if let Some(e) = inner.entries.remove(&id) {
+                        inner.bytes -= e.bytes;
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.buckets.clear();
+        inner.entries.clear();
+        inner.bytes = 0;
+    }
+
+    /// Snapshot all entries (persistence).
+    pub fn snapshot(&self) -> Vec<(QuerySpec, Chunk, Duration)> {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .values()
+            .map(|e| (e.spec.clone(), e.result.clone(), e.cost))
+            .collect()
+    }
+}
+
+/// Public subsumption test: can a (hypothetical) cached result of `cached`
+/// answer `req` after post-processing? Used by the batch processor to build
+/// the Fig. 3 cache-hit-opportunity graph ("the latter is determined by the
+/// matching logic of the intelligent query cache", Sect. 3.3).
+pub fn subsumes(cached: &QuerySpec, req: &QuerySpec) -> bool {
+    match_specs(cached, req).is_some()
+}
+
+/// Try to match a cached spec against a request.
+fn match_specs(cached: &QuerySpec, req: &QuerySpec) -> Option<MatchPlan> {
+    if cached.source != req.source {
+        return None;
+    }
+    // Top-N cached results only serve identical requests.
+    if cached.topn.is_some() && cached.canonical_text() != req.canonical_text() {
+        return None;
+    }
+    // Grouping must coarsen: every requested group column is cached.
+    if !req.group_by.iter().all(|g| cached.group_by.contains(g)) {
+        return None;
+    }
+    let same_grouping = req.group_by.len() == cached.group_by.len();
+
+    // Filters: every cached conjunct must be implied by some requested one.
+    for c in &cached.filters {
+        if !req.filters.iter().any(|r| implies(r, c)) {
+            return None;
+        }
+    }
+    // Residual: requested conjuncts not already enforced verbatim.
+    let cached_texts: Vec<String> = cached.filters.iter().map(write_expr).collect();
+    let residual: Vec<Expr> = req
+        .filters
+        .iter()
+        .filter(|r| !cached_texts.contains(&write_expr(r)))
+        .cloned()
+        .collect();
+    // Residual conjuncts must be evaluable on the aggregated cache rows:
+    // they may touch cached group columns only.
+    for r in &residual {
+        if !r.columns().iter().all(|c| cached.group_by.contains(c)) {
+            return None;
+        }
+    }
+
+    // Aggregates.
+    let mut sources = Vec::with_capacity(req.aggs.len());
+    for a in &req.aggs {
+        let found = cached
+            .aggs
+            .iter()
+            .find(|c| c.func == a.func && c.arg == a.arg);
+        let source = match (found, same_grouping) {
+            (Some(c), true) => AggSource::Column(c.alias.clone()),
+            (Some(c), false) => match a.func.rollup_func() {
+                Some(f) => AggSource::Rollup(f, c.alias.clone()),
+                None if a.func == AggFunc::Avg => {
+                    avg_parts(cached, a)?
+                }
+                None => return None, // COUNTD at coarser grouping
+            },
+            // AVG derivable from cached SUM+COUNT even when AVG itself is
+            // not cached (at either grouping).
+            (None, _) if a.func == AggFunc::Avg => avg_parts(cached, a)?,
+            (None, _) => return None,
+        };
+        sources.push(source);
+    }
+    Some(MatchPlan {
+        residual,
+        same_grouping,
+        sources,
+    })
+}
+
+/// Locate cached SUM(arg) and COUNT(arg) columns for deriving an AVG.
+fn avg_parts(cached: &QuerySpec, avg: &AggCall) -> Option<AggSource> {
+    let sum = cached
+        .aggs
+        .iter()
+        .find(|c| c.func == AggFunc::Sum && c.arg == avg.arg)?;
+    let cnt = cached
+        .aggs
+        .iter()
+        .find(|c| c.func == AggFunc::Count && c.arg == avg.arg)?;
+    Some(AggSource::AvgOf {
+        sum_col: sum.alias.clone(),
+        cnt_col: cnt.alias.clone(),
+    })
+}
+
+/// Execute the post-processing (filter → roll-up → project → order/top-n)
+/// over the cached chunk with a throwaway TDE.
+fn post_process(
+    cached_spec: &QuerySpec,
+    cached: Chunk,
+    req: &QuerySpec,
+    mp: &MatchPlan,
+) -> Result<Chunk> {
+    let db = Arc::new(Database::new("__cache"));
+    db.put(Table::from_chunk("__cached", &cached, &[])?)?;
+    let mut plan = LogicalPlan::scan("__cached");
+    if !mp.residual.is_empty() {
+        plan = plan.select(and_all(mp.residual.clone()));
+    }
+    let _ = cached_spec;
+    if mp.same_grouping {
+        // Pure filter + projection.
+        let mut exprs: Vec<(Expr, String)> = req
+            .group_by
+            .iter()
+            .map(|g| (col(g.clone()), g.clone()))
+            .collect();
+        for (a, src) in req.aggs.iter().zip(&mp.sources) {
+            let e = match src {
+                AggSource::Column(c) => col(c.clone()),
+                AggSource::AvgOf { sum_col, cnt_col } => {
+                    bin(BinOp::Div, col(sum_col.clone()), col(cnt_col.clone()))
+                }
+                AggSource::Rollup(..) => {
+                    return Err(TvError::Plan("rollup with same grouping".into()))
+                }
+            };
+            exprs.push((e, a.alias.clone()));
+        }
+        plan = plan.project(exprs);
+    } else {
+        // Roll up to the coarser grouping.
+        let group_by: Vec<(Expr, String)> = req
+            .group_by
+            .iter()
+            .map(|g| (col(g.clone()), g.clone()))
+            .collect();
+        let mut calls: Vec<AggCall> = Vec::new();
+        let mut avg_fixups: Vec<(String, String, String)> = Vec::new(); // (alias, sum, cnt)
+        for (a, src) in req.aggs.iter().zip(&mp.sources) {
+            match src {
+                AggSource::Rollup(f, c) => {
+                    calls.push(AggCall::new(*f, Some(col(c.clone())), a.alias.clone()));
+                }
+                AggSource::AvgOf { sum_col, cnt_col } => {
+                    let s_alias = format!("__{}_s", a.alias);
+                    let c_alias = format!("__{}_c", a.alias);
+                    calls.push(AggCall::new(AggFunc::Sum, Some(col(sum_col.clone())), s_alias.clone()));
+                    calls.push(AggCall::new(AggFunc::Sum, Some(col(cnt_col.clone())), c_alias.clone()));
+                    avg_fixups.push((a.alias.clone(), s_alias, c_alias));
+                }
+                AggSource::Column(_) => {
+                    return Err(TvError::Plan("column passthrough at coarser grouping".into()))
+                }
+            }
+        }
+        plan = plan.aggregate(group_by, calls);
+        if !avg_fixups.is_empty() {
+            let mut exprs: Vec<(Expr, String)> = req
+                .group_by
+                .iter()
+                .map(|g| (col(g.clone()), g.clone()))
+                .collect();
+            for a in &req.aggs {
+                if let Some((_, s, c)) = avg_fixups.iter().find(|(al, _, _)| al == &a.alias) {
+                    exprs.push((bin(BinOp::Div, col(s.clone()), col(c.clone())), a.alias.clone()));
+                } else {
+                    exprs.push((col(&a.alias), a.alias.clone()));
+                }
+            }
+            plan = plan.project(exprs);
+        }
+    }
+    if !req.order.is_empty() {
+        plan = plan.order(req.order.clone());
+    }
+    if let Some(n) = req.topn {
+        plan = match plan {
+            LogicalPlan::Order { input, keys } => input.topn(n, keys),
+            other => other.topn(n, req.order.clone()),
+        };
+    }
+    Tde::new(db).execute_plan(&plan, &ExecOptions::serial())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use tabviz_common::{DataType, Field, Schema, Value};
+    use tabviz_tql::expr::lit;
+    use tabviz_tql::SortKey;
+
+    /// Ten rows per (carrier, origin) pair over 3 carriers × 2 origins.
+    fn detail_chunk() -> Chunk {
+        let schema = StdArc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("origin", DataType::Str),
+                Field::new("n", DataType::Int),
+                Field::new("total", DataType::Int),
+                Field::new("cnt", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        // Pre-aggregated at (carrier, origin): n = COUNT, total = SUM(delay),
+        // cnt = COUNT(delay).
+        let mut rows = Vec::new();
+        for c in ["AA", "DL", "WN"] {
+            for o in ["JFK", "LAX"] {
+                let base = (c.len() + o.len()) as i64;
+                rows.push(vec![
+                    Value::Str(c.into()),
+                    Value::Str(o.into()),
+                    Value::Int(10),
+                    Value::Int(base * 10),
+                    Value::Int(10),
+                ]);
+            }
+        }
+        Chunk::from_rows(schema, &rows).unwrap()
+    }
+
+    fn cached_spec() -> QuerySpec {
+        QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(0i64)))
+            .group("carrier")
+            .group("origin")
+            .agg(AggCall::new(AggFunc::Count, None, "n"))
+            .agg(AggCall::new(AggFunc::Sum, Some(col("delay")), "total"))
+            .agg(AggCall::new(AggFunc::Count, Some(col("delay")), "cnt"))
+    }
+
+    fn cache_with_entry() -> IntelligentCache {
+        let cache = IntelligentCache::new(CacheConfig {
+            min_cost: Duration::ZERO,
+            ..Default::default()
+        });
+        cache.put(cached_spec(), detail_chunk(), Duration::from_millis(100));
+        cache
+    }
+
+    #[test]
+    fn exact_hit() {
+        let cache = cache_with_entry();
+        let out = cache.get(&cached_spec()).unwrap();
+        assert_eq!(out.len(), 6);
+        let st = cache.stats();
+        assert_eq!(st.exact_hits, 1);
+        assert_eq!(st.subsumption_hits, 0);
+    }
+
+    #[test]
+    fn filter_on_group_column_subsumes() {
+        // Fig. 1 scenario: deselecting filter values is answered locally
+        // "as long as the filtering columns are included".
+        let cache = cache_with_entry();
+        let req = cached_spec().filter(bin(BinOp::Eq, col("origin"), lit("JFK")));
+        let out = cache.get(&req).unwrap();
+        assert_eq!(out.len(), 3);
+        for r in out.to_rows() {
+            assert_eq!(r[1], Value::Str("JFK".into()));
+        }
+        assert_eq!(cache.stats().subsumption_hits, 1);
+    }
+
+    #[test]
+    fn rollup_to_coarser_grouping() {
+        let cache = cache_with_entry();
+        let req = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(0i64)))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"))
+            .agg(AggCall::new(AggFunc::Sum, Some(col("delay")), "total"));
+        let out = cache.get(&req).unwrap();
+        assert_eq!(out.len(), 3);
+        let rows = out.to_rows();
+        let aa = rows.iter().find(|r| r[0] == Value::Str("AA".into())).unwrap();
+        // COUNT rolls up as SUM: 10 + 10 = 20.
+        assert_eq!(aa[1], Value::Int(20));
+        // SUM(delay): AA bases: (2+3)*10 + (2+3)*10 = 100.
+        assert_eq!(aa[2], Value::Int(100));
+    }
+
+    #[test]
+    fn avg_derived_from_sum_and_count() {
+        let cache = cache_with_entry();
+        let req = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(0i64)))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Avg, Some(col("delay")), "avg_delay"));
+        let out = cache.get(&req).unwrap();
+        let rows = out.to_rows();
+        let aa = rows.iter().find(|r| r[0] == Value::Str("AA".into())).unwrap();
+        assert_eq!(aa[1], Value::Real(5.0)); // 100 / 20
+    }
+
+    #[test]
+    fn narrower_filter_via_implication() {
+        let cache = cache_with_entry();
+        // delay > 5 implies the cached delay > 0 — but it is a residual
+        // referencing a NON-group column, so it cannot be applied.
+        let req = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(5i64)))
+            .group("carrier")
+            .group("origin")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        assert!(cache.get(&req).is_none(), "detail-level residual must miss");
+    }
+
+    #[test]
+    fn wider_filter_misses() {
+        let cache = cache_with_entry();
+        // delay > -5 does NOT imply cached delay > 0.
+        let req = cached_spec();
+        let mut req = req;
+        req.filters = vec![bin(BinOp::Gt, col("delay"), lit(-5i64))];
+        assert!(cache.get(&req).is_none());
+    }
+
+    #[test]
+    fn countd_never_rolls_up() {
+        let cache = IntelligentCache::new(CacheConfig {
+            min_cost: Duration::ZERO,
+            ..Default::default()
+        });
+        let spec = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .group("origin")
+            .agg(AggCall::new(AggFunc::CountD, Some(col("dest")), "nd"));
+        let schema = StdArc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("origin", DataType::Str),
+                Field::new("nd", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let chunk = Chunk::from_rows(
+            schema,
+            &[vec!["AA".into(), "JFK".into(), Value::Int(5)]],
+        )
+        .unwrap();
+        cache.put(spec.clone(), chunk, Duration::from_millis(10));
+        // Same grouping: fine.
+        assert!(cache.get(&spec).is_some());
+        // Coarser: COUNTD cannot re-aggregate.
+        let coarse = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::CountD, Some(col("dest")), "nd"));
+        assert!(cache.get(&coarse).is_none());
+    }
+
+    #[test]
+    fn topn_entries_only_serve_identical_requests() {
+        let cache = IntelligentCache::new(CacheConfig {
+            min_cost: Duration::ZERO,
+            ..Default::default()
+        });
+        let spec = cached_spec().order_by(vec![SortKey::desc("n")]).top(2);
+        cache.put(spec.clone(), detail_chunk().slice(0, 2), Duration::from_millis(10));
+        assert!(cache.get(&spec).is_some());
+        let broader = cached_spec();
+        assert!(cache.get(&broader).is_none(), "truncated result must not serve supersets");
+    }
+
+    #[test]
+    fn request_with_order_post_processes() {
+        let cache = cache_with_entry();
+        let req = cached_spec().order_by(vec![SortKey::desc("total")]).top(2);
+        let out = cache.get(&req).unwrap();
+        assert_eq!(out.len(), 2);
+        let t0 = out.row(0)[3].as_int().unwrap();
+        let t1 = out.row(1)[3].as_int().unwrap();
+        assert!(t0 >= t1);
+    }
+
+    #[test]
+    fn different_relation_or_source_misses() {
+        let cache = cache_with_entry();
+        let other_rel = QuerySpec::new("faa", LogicalPlan::scan("airports"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(0i64)))
+            .group("carrier")
+            .group("origin")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        assert!(cache.get(&other_rel).is_none());
+        let mut other_src = cached_spec();
+        other_src.source = "other".into();
+        assert!(cache.get(&other_src).is_none());
+    }
+
+    #[test]
+    fn insert_policy_rejects_cheap_and_huge() {
+        let cache = IntelligentCache::new(CacheConfig {
+            capacity_bytes: 1 << 20,
+            max_entry_bytes: 64,
+            min_cost: Duration::from_millis(1),
+            first_match: false,
+        });
+        cache.put(cached_spec(), detail_chunk(), Duration::from_micros(1)); // too cheap
+        assert_eq!(cache.len(), 0);
+        cache.put(cached_spec(), detail_chunk(), Duration::from_millis(5)); // too big (>64B)
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().rejected_inserts, 2);
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        let cache = IntelligentCache::new(CacheConfig {
+            capacity_bytes: 600,
+            max_entry_bytes: 1 << 20,
+            min_cost: Duration::ZERO,
+            first_match: false,
+        });
+        for i in 0..10 {
+            let spec = QuerySpec::new("faa", LogicalPlan::scan(format!("t{i}")))
+                .group("carrier")
+                .agg(AggCall::new(AggFunc::Count, None, "n"));
+            cache.put(spec, detail_chunk(), Duration::from_millis(10));
+        }
+        assert!(cache.bytes() <= 600 || cache.len() == 1);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn best_match_prefers_least_post_processing() {
+        // Two entries can answer the same request: a fine-grained one that
+        // needs a roll-up, and an exact one. Least-effort ranking must pick
+        // the exact entry even though the fine one is more recent.
+        let cache = IntelligentCache::new(CacheConfig {
+            min_cost: Duration::ZERO,
+            ..Default::default()
+        });
+        let coarse_req = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(0i64)))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        // Exact result for the coarse request: marker value 777 lets us see
+        // which entry served the answer.
+        let coarse_schema = StdArc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("n", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let exact_chunk = Chunk::from_rows(
+            StdArc::clone(&coarse_schema),
+            &[vec!["AA".into(), Value::Int(777)]],
+        )
+        .unwrap();
+        cache.put(coarse_req.clone(), exact_chunk, Duration::from_millis(10));
+        // The fine entry (would roll up to n=20 for AA) inserted AFTER, so
+        // first-match-by-recency would pick it.
+        cache.put(cached_spec(), detail_chunk(), Duration::from_millis(10));
+
+        let out = cache.get(&coarse_req).unwrap();
+        assert_eq!(out.row(0)[1], Value::Int(777), "exact entry must win");
+
+        // With first_match (the paper's shipped behavior) the most recent
+        // matching entry — the fine one — answers via roll-up instead.
+        let shipped = IntelligentCache::new(CacheConfig {
+            min_cost: Duration::ZERO,
+            first_match: true,
+            ..Default::default()
+        });
+        let exact_chunk2 = Chunk::from_rows(
+            coarse_schema,
+            &[vec!["AA".into(), Value::Int(777)]],
+        )
+        .unwrap();
+        shipped.put(coarse_req.clone(), exact_chunk2, Duration::from_millis(10));
+        shipped.put(cached_spec(), detail_chunk(), Duration::from_millis(10));
+        let out2 = shipped.get(&coarse_req).unwrap();
+        let aa = out2
+            .to_rows()
+            .into_iter()
+            .find(|r| r[0] == Value::Str("AA".into()))
+            .unwrap();
+        assert_eq!(aa[1], Value::Int(20), "first-match rolls up the fine entry");
+    }
+
+    #[test]
+    fn purge_source_clears_only_that_source() {
+        let cache = cache_with_entry();
+        let other = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        cache.put(other.clone(), detail_chunk(), Duration::from_millis(10));
+        cache.purge_source("faa");
+        assert!(cache.get(&cached_spec()).is_none());
+        assert!(cache.get(&other).is_some());
+    }
+}

@@ -1,0 +1,240 @@
+//! The literal query cache.
+//!
+//! Sect. 3.2: "The literal query cache contains low-level queries ...; it is
+//! keyed on the query text. It is used to match internal queries that end up
+//! having the same textual representation but where a match could not be
+//! proven upfront without performing complete query compilation. Predicate
+//! simplification based on domains or join culling are some examples of this
+//! scenario."
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tabviz_common::Chunk;
+
+struct Entry {
+    result: Chunk,
+    bytes: usize,
+    created: Instant,
+    last_used: Instant,
+    use_count: u64,
+    cost: Duration,
+}
+
+impl Entry {
+    fn score(&self, now: Instant) -> f64 {
+        let age = now.duration_since(self.created).as_secs_f64() + 1.0;
+        let idle = now.duration_since(self.last_used).as_secs_f64() + 1.0;
+        let cost = self.cost.as_secs_f64() * 1e3 + 1.0;
+        cost * (self.use_count as f64 + 1.0) / (age * idle)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct LiteralStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    bytes: usize,
+    stats: LiteralStats,
+}
+
+/// Text-keyed result cache. Keys include the source name so identical SQL
+/// against different servers never collides.
+pub struct LiteralCache {
+    capacity_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for LiteralCache {
+    fn default() -> Self {
+        Self::new(64 << 20)
+    }
+}
+
+impl LiteralCache {
+    pub fn new(capacity_bytes: usize) -> Self {
+        LiteralCache {
+            capacity_bytes,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                bytes: 0,
+                stats: LiteralStats::default(),
+            }),
+        }
+    }
+
+    fn key(source: &str, text: &str) -> String {
+        format!("{source}\u{1}{text}")
+    }
+
+    pub fn get(&self, source: &str, text: &str) -> Option<Chunk> {
+        let mut inner = self.inner.lock();
+        let key = Self::key(source, text);
+        match inner.entries.get_mut(&key) {
+            Some(e) => {
+                e.use_count += 1;
+                e.last_used = Instant::now();
+                let out = e.result.clone();
+                inner.stats.hits += 1;
+                Some(out)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub fn put(&self, source: &str, text: &str, result: Chunk, cost: Duration) {
+        let bytes = result.approx_bytes();
+        let mut inner = self.inner.lock();
+        let key = Self::key(source, text);
+        let now = Instant::now();
+        if let Some(old) = inner.entries.insert(
+            key,
+            Entry {
+                result,
+                bytes,
+                created: now,
+                last_used: now,
+                use_count: 0,
+                cost,
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        inner.stats.inserts += 1;
+        while inner.bytes > self.capacity_bytes && inner.entries.len() > 1 {
+            let now = Instant::now();
+            let victim = inner
+                .entries
+                .iter()
+                .min_by(|a, b| {
+                    a.1.score(now)
+                        .partial_cmp(&b.1.score(now))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(k, _)| k.clone());
+            let Some(k) = victim else { break };
+            if let Some(e) = inner.entries.remove(&k) {
+                inner.bytes -= e.bytes;
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+
+    pub fn purge_source(&self, source: &str) {
+        let mut inner = self.inner.lock();
+        let prefix = format!("{source}\u{1}");
+        let keys: Vec<String> = inner
+            .entries
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for k in keys {
+            if let Some(e) = inner.entries.remove(&k) {
+                inner.bytes -= e.bytes;
+            }
+        }
+    }
+
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.bytes = 0;
+    }
+
+    pub fn stats(&self) -> LiteralStats {
+        self.inner.lock().stats.clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Snapshot entries as `(source, text, chunk, cost)` for persistence.
+    pub fn snapshot(&self) -> Vec<(String, String, Chunk, Duration)> {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .map(|(k, e)| {
+                let (source, text) = k.split_once('\u{1}').unwrap_or(("", k));
+                (source.to_string(), text.to_string(), e.result.clone(), e.cost)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tabviz_common::{DataType, Field, Schema, Value};
+
+    fn chunk(n: usize) -> Chunk {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]).unwrap());
+        let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Int(i as i64)]).collect();
+        Chunk::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let c = LiteralCache::default();
+        assert!(c.get("s", "SELECT 1").is_none());
+        c.put("s", "SELECT 1", chunk(1), Duration::from_millis(5));
+        assert_eq!(c.get("s", "SELECT 1").unwrap().len(), 1);
+        let st = c.stats();
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+    }
+
+    #[test]
+    fn sources_are_isolated() {
+        let c = LiteralCache::default();
+        c.put("s1", "Q", chunk(1), Duration::from_millis(5));
+        assert!(c.get("s2", "Q").is_none());
+        c.purge_source("s1");
+        assert!(c.get("s1", "Q").is_none());
+    }
+
+    #[test]
+    fn replacement_updates_bytes() {
+        let c = LiteralCache::default();
+        c.put("s", "Q", chunk(100), Duration::from_millis(5));
+        let b1 = c.bytes();
+        c.put("s", "Q", chunk(10), Duration::from_millis(5));
+        assert!(c.bytes() < b1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_prefers_cheap_idle_entries() {
+        let c = LiteralCache::new(4000);
+        c.put("s", "expensive", chunk(100), Duration::from_secs(2));
+        for i in 0..20 {
+            c.put("s", &format!("cheap{i}"), chunk(100), Duration::from_micros(10));
+        }
+        assert!(c.stats().evictions > 0);
+        assert!(
+            c.get("s", "expensive").is_some(),
+            "high re-evaluation cost should survive eviction"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Column-level string collations.
+//!
+//! Sect. 4.1.1: "Unlike most analytical databases, the TDE supports
+//! column-level collated strings. This is important for keeping behavior in
+//! the live and Extract scenario in Tableau consistent." The intelligent
+//! cache also refuses matches across collation conflicts (Sect. 3.2), so the
+//! collation has to travel with every string column through the whole stack.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Supported string collations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Collation {
+    /// Byte-wise comparison (`BINARY`), the default.
+    #[default]
+    Binary,
+    /// ASCII case-insensitive comparison (`CI`): `'Alpha' = 'alpha'`.
+    CaseInsensitive,
+}
+
+impl Collation {
+    /// Compare two strings under this collation.
+    pub fn cmp_str(self, a: &str, b: &str) -> Ordering {
+        match self {
+            Collation::Binary => a.cmp(b),
+            Collation::CaseInsensitive => {
+                // Compare without allocating lowercase copies.
+                let mut ai = a.bytes().map(|c| c.to_ascii_lowercase());
+                let mut bi = b.bytes().map(|c| c.to_ascii_lowercase());
+                loop {
+                    match (ai.next(), bi.next()) {
+                        (None, None) => return Ordering::Equal,
+                        (None, Some(_)) => return Ordering::Less,
+                        (Some(_), None) => return Ordering::Greater,
+                        (Some(x), Some(y)) => match x.cmp(&y) {
+                            Ordering::Equal => continue,
+                            other => return other,
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    /// Equality under this collation.
+    pub fn eq_str(self, a: &str, b: &str) -> bool {
+        self.cmp_str(a, b) == Ordering::Equal
+    }
+
+    /// Canonical key for hashing/grouping: two strings equal under the
+    /// collation must map to the same key.
+    pub fn key(self, s: &str) -> String {
+        match self {
+            Collation::Binary => s.to_string(),
+            Collation::CaseInsensitive => s.to_ascii_lowercase(),
+        }
+    }
+}
+
+impl fmt::Display for Collation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Collation::Binary => "binary",
+            Collation::CaseInsensitive => "ci",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_is_case_sensitive() {
+        assert_eq!(Collation::Binary.cmp_str("A", "a"), Ordering::Less);
+        assert!(!Collation::Binary.eq_str("A", "a"));
+    }
+
+    #[test]
+    fn ci_equates_cases() {
+        assert!(Collation::CaseInsensitive.eq_str("DeLtA", "delta"));
+        assert_eq!(Collation::CaseInsensitive.cmp_str("ab", "AC"), Ordering::Less);
+    }
+
+    #[test]
+    fn ci_respects_length() {
+        assert_eq!(Collation::CaseInsensitive.cmp_str("ab", "abc"), Ordering::Less);
+        assert_eq!(Collation::CaseInsensitive.cmp_str("abc", "ab"), Ordering::Greater);
+    }
+
+    #[test]
+    fn keys_agree_with_equality() {
+        let c = Collation::CaseInsensitive;
+        assert_eq!(c.key("MiXeD"), c.key("mixed"));
+        assert_ne!(Collation::Binary.key("MiXeD"), Collation::Binary.key("mixed"));
+    }
+}

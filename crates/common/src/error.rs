@@ -1,0 +1,116 @@
+//! Error handling shared across all tabviz crates.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, TvError>;
+
+/// The error type for every fallible operation in the tabviz stack.
+///
+/// Variants are grouped by the subsystem that raises them; the payload is a
+/// human-readable message because errors here are diagnostics for developers
+/// and harnesses, not values to branch on (with the exception of
+/// [`TvError::CacheMiss`] and [`TvError::Unsupported`], which callers do
+/// inspect to fall back to slower paths, mirroring the paper's "if the Data
+/// Server fails to create a temporary table ... the query is rewritten").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TvError {
+    /// Schema-level problem: unknown column/table, duplicate names, arity.
+    Schema(String),
+    /// A value had the wrong type for the requested operation.
+    Type(String),
+    /// TQL text failed to parse.
+    Parse(String),
+    /// Binder/semantic analysis failure (unknown identifiers, bad aggregates).
+    Bind(String),
+    /// Plan-time invariant violation inside the optimizer.
+    Plan(String),
+    /// Runtime execution failure.
+    Exec(String),
+    /// Storage-layer failure (corrupt encoding, bad file image).
+    Storage(String),
+    /// I/O wrapper (file-backed databases, persisted caches).
+    Io(String),
+    /// The requested operation is not supported by the target backend; the
+    /// caller is expected to rewrite or post-process locally.
+    Unsupported(String),
+    /// Cache lookup found no usable entry.
+    CacheMiss,
+    /// A remote/simulated data source refused or dropped the request.
+    Backend(String),
+    /// Data Server: permission denied for the requesting user.
+    Permission(String),
+}
+
+impl TvError {
+    /// Short subsystem tag used in log-style formatting.
+    fn tag(&self) -> &'static str {
+        match self {
+            TvError::Schema(_) => "schema",
+            TvError::Type(_) => "type",
+            TvError::Parse(_) => "parse",
+            TvError::Bind(_) => "bind",
+            TvError::Plan(_) => "plan",
+            TvError::Exec(_) => "exec",
+            TvError::Storage(_) => "storage",
+            TvError::Io(_) => "io",
+            TvError::Unsupported(_) => "unsupported",
+            TvError::CacheMiss => "cache-miss",
+            TvError::Backend(_) => "backend",
+            TvError::Permission(_) => "permission",
+        }
+    }
+}
+
+impl fmt::Display for TvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TvError::CacheMiss => write!(f, "[cache-miss]"),
+            TvError::Schema(m)
+            | TvError::Type(m)
+            | TvError::Parse(m)
+            | TvError::Bind(m)
+            | TvError::Plan(m)
+            | TvError::Exec(m)
+            | TvError::Storage(m)
+            | TvError::Io(m)
+            | TvError::Unsupported(m)
+            | TvError::Backend(m)
+            | TvError::Permission(m) => write!(f, "[{}] {}", self.tag(), m),
+        }
+    }
+}
+
+impl std::error::Error for TvError {}
+
+impl From<std::io::Error> for TvError {
+    fn from(e: std::io::Error) -> Self {
+        TvError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_subsystem_tag() {
+        let e = TvError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "[parse] unexpected token");
+        assert_eq!(TvError::CacheMiss.to_string(), "[cache-miss]");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: TvError = io.into();
+        assert!(matches!(e, TvError::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(TvError::CacheMiss, TvError::CacheMiss);
+        assert_ne!(TvError::CacheMiss, TvError::Exec("x".into()));
+    }
+}

@@ -1,0 +1,206 @@
+//! Schemas: ordered, named, typed field lists.
+
+use crate::collation::Collation;
+use crate::error::{Result, TvError};
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column description.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+    /// Collation, meaningful only for `Str` columns.
+    pub collation: Collation,
+    pub nullable: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+            collation: Collation::Binary,
+            nullable: true,
+        }
+    }
+
+    pub fn with_collation(mut self, collation: Collation) -> Self {
+        self.collation = collation;
+        self
+    }
+
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+}
+
+/// An ordered set of fields with unique names.
+///
+/// Shared behind `Arc` between chunks of the same stream, so cloning a
+/// [`SchemaRef`] is cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema, rejecting duplicate field names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(TvError::Schema(format!("duplicate field name '{}'", f.name)));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Build without the duplicate check (for internal plan construction
+    /// where uniqueness is guaranteed by the caller).
+    pub fn new_unchecked(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Index of the field with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| TvError::Schema(format!("unknown column '{name}'")))
+    }
+
+    pub fn field_by_name(&self, name: &str) -> Result<&Field> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// Project a subset of fields by index, preserving the given order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenate two schemas (used by joins); duplicate names on the right
+    /// are disambiguated with a `r_` prefix, matching how the TDE exposes
+    /// join outputs.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let mut f = f.clone();
+            if fields.iter().any(|g| g.name == f.name) {
+                f.name = format!("r_{}", f.name);
+            }
+            fields.push(f);
+        }
+        Schema { fields }
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", fld.name, fld.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("carrier", DataType::Str),
+            Field::new("delay", DataType::Real),
+            Field::new("flights", DataType::Int).not_null(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Str),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, TvError::Schema(_)));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("delay").unwrap(), 1);
+        assert!(s.index_of("nope").is_err());
+        assert!(s.contains("carrier"));
+        assert_eq!(s.field_by_name("flights").unwrap().dtype, DataType::Int);
+    }
+
+    #[test]
+    fn projection_reorders() {
+        let s = sample().project(&[2, 0]);
+        assert_eq!(s.names(), vec!["flights", "carrier"]);
+    }
+
+    #[test]
+    fn join_disambiguates() {
+        let s = sample();
+        let j = s.join(&Schema::new(vec![Field::new("carrier", DataType::Str)]).unwrap());
+        assert_eq!(j.names(), vec!["carrier", "delay", "flights", "r_carrier"]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            sample().to_string(),
+            "(carrier: str, delay: real, flights: int)"
+        );
+    }
+
+    #[test]
+    fn not_null_and_collation_builders() {
+        let f = Field::new("c", DataType::Str).with_collation(Collation::CaseInsensitive);
+        assert_eq!(f.collation, Collation::CaseInsensitive);
+        assert!(f.nullable);
+        assert!(!Field::new("n", DataType::Int).not_null().nullable);
+    }
+}

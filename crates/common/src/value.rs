@@ -1,0 +1,329 @@
+//! Scalar values and their types.
+
+use crate::collation::Collation;
+use crate::error::{Result, TvError};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Logical data types supported by the engine.
+///
+/// The TDE stores fixed-width data natively; `Str` columns are
+/// dictionary-compressed in the storage layer (Sect. 4.1.1). `Date` is stored
+/// as days since the unix epoch, which keeps it fixed-width and sortable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Bool,
+    Int,
+    Real,
+    Str,
+    Date,
+}
+
+impl DataType {
+    /// `true` for types whose physical representation has a fixed width.
+    pub fn is_fixed_width(self) -> bool {
+        !matches!(self, DataType::Str)
+    }
+
+    /// `true` when values of this type participate in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Real)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Real => "real",
+            DataType::Str => "str",
+            DataType::Date => "date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value.
+///
+/// `Null` is typeless, as in SQL. Ordering places `Null` first, matches SQL
+/// `ORDER BY ... NULLS FIRST`, and compares reals with `total_cmp` so that the
+/// ordering is total (required by sort operators).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    /// Days since 1970-01-01.
+    Date(i32),
+}
+
+impl Value {
+    /// The type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Real(_) => Some(DataType::Real),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, promoting `Int`/`Date` to `f64`.
+    pub fn as_real(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Real(r) => Ok(*r),
+            Value::Date(d) => Ok(*d as f64),
+            other => Err(TvError::Type(format!("{other:?} is not numeric"))),
+        }
+    }
+
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Date(d) => Ok(*d as i64),
+            Value::Bool(b) => Ok(*b as i64),
+            other => Err(TvError::Type(format!("{other:?} is not an int"))),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(TvError::Type(format!("{other:?} is not a bool"))),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(TvError::Type(format!("{other:?} is not a string"))),
+        }
+    }
+
+    /// Compare two values under a string collation.
+    ///
+    /// Non-string comparisons ignore the collation. Cross-type numeric
+    /// comparisons (`Int` vs `Real`) are performed numerically, mirroring the
+    /// implicit type promotion the paper's query compiler applies before
+    /// dialect generation (Sect. 3.1).
+    pub fn cmp_collated(&self, other: &Value, collation: Collation) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Real(a), Real(b)) => a.total_cmp(b),
+            (Int(a), Real(b)) => (*a as f64).total_cmp(b),
+            (Real(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => collation.cmp_str(a, b),
+            // Distinct non-comparable types: order by type tag so sorting is
+            // still total. The planner prevents these comparisons in practice.
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Real(_) => 3,
+            Value::Date(_) => 4,
+            Value::Str(_) => 5,
+        }
+    }
+
+    /// Render using the engine's canonical literal syntax (used by the
+    /// literal query cache key and the SQL dialect generators).
+    pub fn to_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Real(r) => {
+                if r.fract() == 0.0 && r.is_finite() {
+                    format!("{r:.1}")
+                } else {
+                    format!("{r}")
+                }
+            }
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Date(d) => format!("DATE {d}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_collated(other, Collation::Binary) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_collated(other, Collation::Binary)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Real hash identically when the Real is integral so that
+            // Int(2) == Real(2.0) implies equal hashes.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Real(r) => {
+                2u8.hash(state);
+                r.to_bits().hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+            Value::Str(s) => {
+                5u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+/// `Display` matches the canonical literal syntax except strings, which render
+/// without quotes (for result tables).
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            other => f.write_str(&other.to_literal()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vs = [Value::Int(3), Value::Null, Value::Int(-1)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Int(-1));
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(2), Value::Real(2.0));
+        assert!(Value::Int(2) < Value::Real(2.5));
+        assert!(Value::Real(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn equal_values_hash_equal_across_int_real() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(&Value::Int(7)), h(&Value::Real(7.0)));
+    }
+
+    #[test]
+    fn collated_string_comparison() {
+        let a = Value::Str("Alpha".into());
+        let b = Value::Str("alpha".into());
+        assert_ne!(a.cmp_collated(&b, Collation::Binary), Ordering::Equal);
+        assert_eq!(
+            a.cmp_collated(&b, Collation::CaseInsensitive),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn literal_rendering() {
+        assert_eq!(Value::Str("d'oh".into()).to_literal(), "'d''oh'");
+        assert_eq!(Value::Real(2.0).to_literal(), "2.0");
+        assert_eq!(Value::Null.to_literal(), "NULL");
+        assert_eq!(Value::Bool(true).to_literal(), "TRUE");
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Int(3).as_real().unwrap(), 3.0);
+        assert_eq!(Value::Date(10).as_int().unwrap(), 10);
+        assert!(Value::Str("x".into()).as_real().is_err());
+    }
+
+    #[test]
+    fn total_order_on_reals_with_nan() {
+        let mut vs = [Value::Real(f64::NAN), Value::Real(1.0), Value::Real(-1.0)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Real(-1.0)); // NaN sorts after all numbers
+        assert!(matches!(vs[2], Value::Real(r) if r.is_nan()));
+    }
+
+    #[test]
+    fn data_type_properties() {
+        assert!(DataType::Int.is_numeric());
+        assert!(!DataType::Str.is_fixed_width());
+        assert!(DataType::Date.is_fixed_width());
+        assert_eq!(DataType::Real.to_string(), "real");
+    }
+}

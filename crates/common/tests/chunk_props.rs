@@ -1,0 +1,103 @@
+//! Property tests for the columnar chunk algebra.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tabviz_common::{Chunk, DataType, Field, Schema, SchemaRef, Value};
+
+fn schema() -> SchemaRef {
+    Arc::new(
+        Schema::new(vec![
+            Field::new("s", DataType::Str),
+            Field::new("i", DataType::Int),
+            Field::new("r", DataType::Real),
+        ])
+        .unwrap(),
+    )
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![
+                3 => proptest::sample::select(vec!["a", "b", "c", ""]).prop_map(|s| Value::Str(s.into())),
+                1 => Just(Value::Null),
+            ],
+            prop_oneof![3 => (-50i64..50).prop_map(Value::Int), 1 => Just(Value::Null)],
+            prop_oneof![3 => (-5.0f64..5.0).prop_map(Value::Real), 1 => Just(Value::Null)],
+        ),
+        0..80,
+    )
+    .prop_map(|rows| rows.into_iter().map(|(a, b, c)| vec![a, b, c]).collect())
+}
+
+proptest! {
+    #[test]
+    fn rows_roundtrip(rows in arb_rows()) {
+        let chunk = Chunk::from_rows(schema(), &rows).unwrap();
+        prop_assert_eq!(chunk.to_rows(), rows);
+    }
+
+    #[test]
+    fn filter_is_mask_semantics(rows in arb_rows(), seed in any::<u64>()) {
+        let chunk = Chunk::from_rows(schema(), &rows).unwrap();
+        let mask: Vec<bool> = (0..rows.len()).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let filtered = chunk.filter(&mask).unwrap();
+        let expected: Vec<Vec<Value>> = rows
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .map(|(r, _)| r.clone())
+            .collect();
+        prop_assert_eq!(filtered.to_rows(), expected);
+    }
+
+    #[test]
+    fn take_gathers(rows in arb_rows(), picks in proptest::collection::vec(0usize..80, 0..40)) {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let idx: Vec<usize> = picks.into_iter().map(|p| p % rows.len()).collect();
+        let chunk = Chunk::from_rows(schema(), &rows).unwrap();
+        let taken = chunk.take(&idx);
+        let expected: Vec<Vec<Value>> = idx.iter().map(|&i| rows[i].clone()).collect();
+        prop_assert_eq!(taken.to_rows(), expected);
+    }
+
+    #[test]
+    fn slice_concat_identity(rows in arb_rows(), cut_frac in 0.0f64..1.0) {
+        let chunk = Chunk::from_rows(schema(), &rows).unwrap();
+        let cut = ((rows.len() as f64) * cut_frac) as usize;
+        let left = chunk.slice(0, cut);
+        let right = chunk.slice(cut, rows.len() - cut);
+        let back = Chunk::concat(schema(), &[left, right]).unwrap();
+        prop_assert_eq!(back.to_rows(), rows);
+    }
+
+    #[test]
+    fn sort_is_stable_total_and_permutes(rows in arb_rows()) {
+        let chunk = Chunk::from_rows(schema(), &rows).unwrap();
+        let sorted = chunk.sort_by(&[(1, true), (0, false)]);
+        // Same multiset of rows.
+        let mut a = sorted.to_rows();
+        let mut b = rows.clone();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        // Non-decreasing in the primary key (nulls first).
+        for w in 0..sorted.len().saturating_sub(1) {
+            let x = sorted.row(w)[1].clone();
+            let y = sorted.row(w + 1)[1].clone();
+            prop_assert!(x <= y, "primary sort violated: {x:?} > {y:?}");
+        }
+    }
+
+    #[test]
+    fn project_keeps_columns(rows in arb_rows()) {
+        let chunk = Chunk::from_rows(schema(), &rows).unwrap();
+        let p = chunk.project(&[2, 0]);
+        prop_assert_eq!(p.schema().names(), vec!["r", "s"]);
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(p.row(i), vec![r[2].clone(), r[0].clone()]);
+        }
+    }
+}

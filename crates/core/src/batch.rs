@@ -1,0 +1,430 @@
+//! Query batch processing (Sect. 3.3).
+//!
+//! "Consider a query batch B = [q1, .., qn] ... consider a directed graph G
+//! with the queries as nodes and edges pointing from qi to qj iff the result
+//! of qj can be computed from the results of qi (Fig. 3). ... we process the
+//! batch in two phases. First, we analyze it and partition the nodes of G
+//! into two sets. One set contains queries that need to be sent to the
+//! remote back-ends; they correspond to the source nodes ... The second set
+//! contains queries that are cache hits that can be processed locally. In
+//! the second phase, remote queries are submitted for execution concurrently
+//! and the local ones are processed as soon as any of their predecessors in
+//! G finishes."
+//!
+//! Fusion (Sect. 3.4) runs first; originals are recovered from the fused
+//! results through the intelligent cache's post-processing.
+
+use crate::fusion::fuse;
+use crate::processor::QueryProcessor;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tabviz_cache::{subsumes, QuerySpec};
+use tabviz_common::{Chunk, Result, TvError};
+
+/// Batch execution strategy (each combination is an E1/E2 data point).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Apply query fusion before partitioning.
+    pub fuse: bool,
+    /// Submit remote queries concurrently (vs one at a time).
+    pub concurrent: bool,
+    /// Build the opportunity graph and run derivable queries locally
+    /// (vs sending every query to the backend).
+    pub cache_aware: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            fuse: true,
+            concurrent: true,
+            cache_aware: true,
+        }
+    }
+}
+
+/// Per-batch accounting.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    pub wall: Duration,
+    /// Queries dispatched to backends.
+    pub remote: usize,
+    /// Queries answered from cache/subsumption locally.
+    pub local: usize,
+    /// Queries eliminated by fusion.
+    pub fused_away: usize,
+}
+
+/// Results keyed by the caller's names.
+#[derive(Debug)]
+pub struct BatchResult {
+    pub results: HashMap<String, Chunk>,
+    pub report: BatchReport,
+}
+
+/// Build the Fig. 3 opportunity graph over deduplicated specs and return,
+/// for each node, the indices it can be derived from.
+pub fn opportunity_graph(specs: &[QuerySpec]) -> Vec<Vec<usize>> {
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); specs.len()];
+    for i in 0..specs.len() {
+        for j in 0..specs.len() {
+            if i == j {
+                continue;
+            }
+            if subsumes(&specs[i], &specs[j]) {
+                preds[j].push(i);
+            }
+        }
+    }
+    preds
+}
+
+/// Execute a named batch of queries.
+pub fn execute_batch(
+    processor: &QueryProcessor,
+    queries: &[(String, QuerySpec)],
+    options: &BatchOptions,
+) -> Result<BatchResult> {
+    let t0 = Instant::now();
+    let mut report = BatchReport::default();
+
+    let specs: Vec<QuerySpec> = queries.iter().map(|(_, s)| s.clone()).collect();
+
+    // Phase 0: fusion.
+    let (exec_specs, assignment): (Vec<QuerySpec>, Vec<usize>) = if options.fuse {
+        let plan = fuse(&specs);
+        report.fused_away = plan.saved();
+        (plan.fused, plan.assignment)
+    } else {
+        let idx = (0..specs.len()).collect();
+        (specs.clone(), idx)
+    };
+
+    // Phase 1: partition into remote sources and locally-derivable queries.
+    // Remote = nodes with no incoming edge (dedup first: mutual subsumption
+    // between identical specs would otherwise orphan both).
+    let mut canonical: HashMap<String, usize> = HashMap::new();
+    let mut unique: Vec<QuerySpec> = Vec::new();
+    let mut unique_of: Vec<usize> = Vec::with_capacity(exec_specs.len());
+    for s in &exec_specs {
+        let key = s.canonical_text();
+        let idx = *canonical.entry(key).or_insert_with(|| {
+            unique.push(s.clone());
+            unique.len() - 1
+        });
+        unique_of.push(idx);
+    }
+
+    let preds = if options.cache_aware {
+        opportunity_graph(&unique)
+    } else {
+        vec![Vec::new(); unique.len()]
+    };
+    let remote_idx: Vec<usize> = (0..unique.len())
+        .filter(|&i| preds[i].is_empty())
+        .collect();
+    let local_idx: Vec<usize> = (0..unique.len())
+        .filter(|&i| !preds[i].is_empty())
+        .collect();
+
+    // Phase 2: concurrent remote submission. Each remote execution lands in
+    // the shared caches, which is what unblocks the local set.
+    let mut executed: HashMap<String, Chunk> = HashMap::with_capacity(unique.len());
+    if options.concurrent && remote_idx.len() > 1 {
+        let outputs = std::thread::scope(|scope| -> Result<Vec<(usize, Chunk)>> {
+            let mut handles = Vec::new();
+            for &i in &remote_idx {
+                let spec = unique[i].clone();
+                handles.push((i, scope.spawn(move || processor.execute(&spec))));
+            }
+            let mut out = Vec::with_capacity(handles.len());
+            for (i, h) in handles {
+                let (chunk, _) = h
+                    .join()
+                    .map_err(|_| TvError::Exec("batch worker panicked".into()))??;
+                out.push((i, chunk));
+            }
+            Ok(out)
+        })?;
+        for (i, chunk) in outputs {
+            executed.insert(unique[i].canonical_text(), chunk);
+        }
+    } else {
+        for &i in &remote_idx {
+            let (chunk, _) = processor.execute(&unique[i])?;
+            executed.insert(unique[i].canonical_text(), chunk);
+        }
+    }
+    report.remote = remote_idx.len();
+
+    // Local queries: all predecessors are cached now; the processor's
+    // intelligent-cache path answers them without touching the backend.
+    for &i in &local_idx {
+        let (chunk, _) = processor.execute(&unique[i])?;
+        executed.insert(unique[i].canonical_text(), chunk);
+    }
+    report.local = local_idx.len();
+
+    // Deliver each original query's result: executed specs directly, fused
+    // originals projected back out of the fused entry by the cache.
+    let mut results = HashMap::with_capacity(queries.len());
+    for ((name, original), &fused_idx) in queries.iter().zip(&assignment) {
+        let exec_key = unique[unique_of[fused_idx]].canonical_text();
+        let chunk = if exec_key == original.canonical_text() {
+            executed
+                .get(&exec_key)
+                .cloned()
+                .ok_or_else(|| TvError::Exec("batch bookkeeping lost a result".into()))?
+        } else {
+            processor.execute(original)?.0
+        };
+        results.insert(name.clone(), chunk);
+    }
+
+    report.wall = t0.elapsed();
+    Ok(BatchResult { results, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::ExecOutcome;
+    use std::sync::Arc;
+    use std::time::Duration as StdDuration;
+    use tabviz_backend::{LatencyModel, SimConfig, SimDb};
+    use tabviz_common::{DataType, Field, Schema, Value};
+    use tabviz_storage::{Database, Table};
+    use tabviz_tql::expr::{bin, col, lit, BinOp};
+    use tabviz_tql::{AggCall, AggFunc, LogicalPlan, SortKey};
+
+    fn flights_db(rows: usize) -> Arc<Database> {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("origin", DataType::Str),
+                Field::new("delay", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| {
+                vec![
+                    Value::Str(["AA", "DL", "WN", "UA"][i % 4].into()),
+                    Value::Str(["JFK", "LAX", "SFO"][i % 3].into()),
+                    Value::Int((i % 120) as i64),
+                ]
+            })
+            .collect();
+        let db = Arc::new(Database::new("remote"));
+        db.put(Table::from_chunk("flights", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap())
+            .unwrap();
+        db
+    }
+
+    fn processor(latency: LatencyModel) -> (QueryProcessor, SimDb) {
+        let sim = SimDb::new(
+            "warehouse",
+            flights_db(3000),
+            SimConfig { latency, ..Default::default() },
+        );
+        let qp = QueryProcessor::default();
+        qp.registry.register(Arc::new(sim.clone()), 8);
+        (qp, sim)
+    }
+
+    /// A Fig. 1-style dashboard batch: several zones sharing filters, one
+    /// fine-grained query that subsumes a coarse one.
+    fn dashboard_batch() -> Vec<(String, QuerySpec)> {
+        let rel = || LogicalPlan::scan("flights");
+        let f = || bin(BinOp::Ge, col("delay"), lit(0i64));
+        vec![
+            (
+                "by_carrier_origin".into(),
+                QuerySpec::new("warehouse", rel())
+                    .filter(f())
+                    .group("carrier")
+                    .group("origin")
+                    .agg(AggCall::new(AggFunc::Count, None, "n"))
+                    .agg(AggCall::new(AggFunc::Sum, Some(col("delay")), "total"))
+                    .agg(AggCall::new(AggFunc::Count, Some(col("delay")), "cnt")),
+            ),
+            (
+                "by_carrier".into(),
+                QuerySpec::new("warehouse", rel())
+                    .filter(f())
+                    .group("carrier")
+                    .agg(AggCall::new(AggFunc::Count, None, "n")),
+            ),
+            (
+                "by_origin".into(),
+                QuerySpec::new("warehouse", rel())
+                    .filter(f())
+                    .group("origin")
+                    .agg(AggCall::new(AggFunc::Count, None, "n")),
+            ),
+            (
+                "avg_delay_by_carrier".into(),
+                QuerySpec::new("warehouse", rel())
+                    .filter(f())
+                    .group("carrier")
+                    .agg(AggCall::new(AggFunc::Avg, Some(col("delay")), "avg")),
+            ),
+            (
+                "top_carriers".into(),
+                QuerySpec::new("warehouse", rel())
+                    .filter(f())
+                    .group("carrier")
+                    .agg(AggCall::new(AggFunc::Count, None, "flights"))
+                    .order_by(vec![SortKey::desc("flights")])
+                    .top(2),
+            ),
+        ]
+    }
+
+    #[test]
+    fn opportunity_graph_edges() {
+        let specs: Vec<QuerySpec> = dashboard_batch().into_iter().map(|(_, s)| s).collect();
+        let preds = opportunity_graph(&specs);
+        // by_carrier (1), by_origin (2), avg (3) derive from the fine query (0).
+        assert!(preds[1].contains(&0));
+        assert!(preds[2].contains(&0));
+        assert!(preds[0].is_empty());
+    }
+
+    #[test]
+    fn batch_reduces_remote_queries() {
+        let (qp, sim) = processor(LatencyModel::instant());
+        let batch = dashboard_batch();
+        let out = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+        assert_eq!(out.results.len(), 5);
+        // All five zones answered with at most 2 remote queries (the fine
+        // grouping + the top-n, which can't fuse or derive).
+        assert!(
+            sim.stats().queries <= 2,
+            "remote queries: {}",
+            sim.stats().queries
+        );
+        assert!(out.report.local >= 1);
+        // Results are correct.
+        let by_carrier = &out.results["by_carrier"];
+        assert_eq!(by_carrier.len(), 4);
+        let total: i64 = by_carrier
+            .to_rows()
+            .iter()
+            .map(|r| r[1].as_int().unwrap())
+            .sum();
+        assert_eq!(total, 3000);
+    }
+
+    #[test]
+    fn naive_mode_sends_everything() {
+        // The full pre-optimization baseline: no fusion, no graph, no
+        // processor-level caches — every zone query reaches the backend.
+        let (mut qp, sim) = processor(LatencyModel::instant());
+        qp.options = crate::processor::ProcessorOptions {
+            use_intelligent_cache: false,
+            use_literal_cache: false,
+            ..Default::default()
+        };
+        let batch = dashboard_batch();
+        let opts = BatchOptions { fuse: false, concurrent: false, cache_aware: false };
+        execute_batch(&qp, &batch, &opts).unwrap();
+        assert_eq!(sim.stats().queries, 5);
+    }
+
+    #[test]
+    fn batch_results_identical_across_strategies() {
+        let configs = [
+            BatchOptions { fuse: false, concurrent: false, cache_aware: false },
+            BatchOptions { fuse: true, concurrent: false, cache_aware: false },
+            BatchOptions { fuse: false, concurrent: true, cache_aware: true },
+            BatchOptions::default(),
+        ];
+        let mut reference: Option<HashMap<String, Vec<Vec<Value>>>> = None;
+        for opts in configs {
+            let (qp, _) = processor(LatencyModel::instant());
+            let out = execute_batch(&qp, &dashboard_batch(), &opts).unwrap();
+            let normalized: HashMap<String, Vec<Vec<Value>>> = out
+                .results
+                .into_iter()
+                .map(|(k, v)| {
+                    let mut rows = v.to_rows();
+                    rows.sort();
+                    (k, rows)
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(normalized),
+                Some(r) => assert_eq!(r, &normalized, "strategy {opts:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_submission_is_faster_with_latency() {
+        let mut latency = LatencyModel::instant();
+        latency.dispatch = StdDuration::from_millis(15);
+        // Distinct relations so nothing fuses or derives: 4 genuine remotes.
+        let make_batch = |qp: &QueryProcessor| {
+            let db = qp.registry.get("warehouse").unwrap();
+            let _ = db;
+            (0..4)
+                .map(|i| {
+                    (
+                        format!("q{i}"),
+                        QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+                            .filter(bin(BinOp::Eq, col("origin"), lit(["JFK", "LAX", "SFO"][i % 3])))
+                            .filter(bin(BinOp::Ge, col("delay"), lit(i as i64)))
+                            .group("carrier")
+                            .agg(AggCall::new(AggFunc::Count, None, "n")),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let (mut qp1, _) = processor(latency);
+        qp1.options.widen_for_reuse = false;
+        let qp1 = qp1;
+        let serial = execute_batch(
+            &qp1,
+            &make_batch(&qp1),
+            &BatchOptions { concurrent: false, ..Default::default() },
+        )
+        .unwrap();
+        let (mut qp2, _) = processor(latency);
+        qp2.options.widen_for_reuse = false;
+        let qp2 = qp2;
+        let conc = execute_batch(&qp2, &make_batch(&qp2), &BatchOptions::default()).unwrap();
+        assert!(
+            conc.report.wall < serial.report.wall,
+            "concurrent {:?} vs serial {:?}",
+            conc.report.wall,
+            serial.report.wall
+        );
+    }
+
+    #[test]
+    fn duplicate_queries_collapse() {
+        let (qp, sim) = processor(LatencyModel::instant());
+        let spec = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        let batch = vec![
+            ("a".to_string(), spec.clone()),
+            ("b".to_string(), spec.clone()),
+            ("c".to_string(), spec),
+        ];
+        let out = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+        assert_eq!(out.results.len(), 3);
+        assert_eq!(sim.stats().queries, 1);
+    }
+
+    #[test]
+    fn fused_originals_recovered_from_cache() {
+        let (qp, _) = processor(LatencyModel::instant());
+        let batch = dashboard_batch();
+        execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+        // Running an original zone query again is an intelligent hit.
+        let (_, outcome) = qp.execute(&batch[3].1).unwrap();
+        assert_eq!(outcome, ExecOutcome::IntelligentHit);
+    }
+}

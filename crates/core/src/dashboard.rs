@@ -1,0 +1,475 @@
+//! Dashboards: zones, interactive filter actions, and the multi-pass render
+//! loop.
+//!
+//! Sect. 3: "A dashboard is a collection of zones ... One defines the
+//! behavior of individual zones first and then specifies dependencies
+//! between them." Fig. 2 walks through the interaction semantics this module
+//! reproduces: selecting a value in a source zone filters the target zones;
+//! when fresh results invalidate a previous selection (the selected value no
+//! longer appears), that selection is dropped and another render iteration
+//! runs — "rendering of a dashboard might require several iterations to
+//! complete" (Sect. 3.3).
+
+use crate::batch::{execute_batch, BatchOptions, BatchReport};
+use crate::processor::QueryProcessor;
+use std::collections::{BTreeMap, HashMap};
+use tabviz_cache::QuerySpec;
+use tabviz_common::{Chunk, Result, Value};
+use tabviz_tql::expr::Expr;
+use tabviz_tql::{AggCall, LogicalPlan, SortKey};
+
+/// One visualization zone.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    pub name: String,
+    /// Dimensions shown (group-by columns). The first one is also the column
+    /// interactive selections apply to.
+    pub group_by: Vec<String>,
+    /// Measures shown.
+    pub aggs: Vec<AggCall>,
+    pub order: Vec<SortKey>,
+    pub topn: Option<usize>,
+    /// Extra zone-local filters (e.g. the Fig. 2 Carrier zone's
+    /// "more than 1,400 Flights/Day" is modeled as a plain filter).
+    pub filters: Vec<Expr>,
+}
+
+impl Zone {
+    pub fn new(name: impl Into<String>) -> Self {
+        Zone {
+            name: name.into(),
+            group_by: vec![],
+            aggs: vec![],
+            order: vec![],
+            topn: None,
+            filters: vec![],
+        }
+    }
+
+    pub fn group(mut self, col: impl Into<String>) -> Self {
+        self.group_by.push(col.into());
+        self
+    }
+
+    pub fn agg(mut self, call: AggCall) -> Self {
+        self.aggs.push(call);
+        self
+    }
+
+    pub fn filter(mut self, e: Expr) -> Self {
+        self.filters.push(e);
+        self
+    }
+
+    pub fn top(mut self, n: usize, keys: Vec<SortKey>) -> Self {
+        self.topn = Some(n);
+        self.order = keys;
+        self
+    }
+
+    /// The column selections in this zone constrain.
+    pub fn selection_column(&self) -> Option<&str> {
+        self.group_by.first().map(String::as_str)
+    }
+}
+
+/// "selecting a field in the Market zone will filter the results in the
+/// Carrier and Airline Name zones" — a directed filter dependency.
+#[derive(Debug, Clone)]
+pub struct FilterAction {
+    pub source_zone: String,
+    pub target_zones: Vec<String>,
+}
+
+/// A dashboard definition.
+#[derive(Debug, Clone)]
+pub struct Dashboard {
+    pub name: String,
+    /// The data source all zones query.
+    pub source: String,
+    /// The shared FROM relation.
+    pub relation: LogicalPlan,
+    pub zones: Vec<Zone>,
+    pub actions: Vec<FilterAction>,
+    /// Dashboard-wide quick filters: column → selected values (empty map
+    /// entry = all values selected = no constraint, matching Fig. 1's
+    /// right-hand side).
+    pub quick_filter_columns: Vec<String>,
+}
+
+/// Mutable interaction state.
+#[derive(Debug, Clone, Default)]
+pub struct DashboardState {
+    /// zone name → selected value in that zone's selection column.
+    pub selections: BTreeMap<String, Value>,
+    /// quick filter column → currently selected values (None = all).
+    pub quick_filters: BTreeMap<String, Option<Vec<Value>>>,
+}
+
+impl DashboardState {
+    pub fn select(&mut self, zone: impl Into<String>, value: Value) {
+        self.selections.insert(zone.into(), value);
+    }
+
+    pub fn clear_selection(&mut self, zone: &str) {
+        self.selections.remove(zone);
+    }
+
+    pub fn set_quick_filter(&mut self, column: impl Into<String>, values: Vec<Value>) {
+        self.quick_filters.insert(column.into(), Some(values));
+    }
+}
+
+/// What a full render did.
+#[derive(Debug, Clone, Default)]
+pub struct RenderReport {
+    /// Batch iterations needed (Fig. 2's cascade takes 2).
+    pub iterations: usize,
+    pub batches: Vec<BatchReport>,
+    /// Selections dropped because their value disappeared.
+    pub invalidated_selections: Vec<String>,
+}
+
+impl Dashboard {
+    pub fn zone(&self, name: &str) -> Option<&Zone> {
+        self.zones.iter().find(|z| z.name == name)
+    }
+
+    /// Filters incoming to `zone` from actions, given the current state.
+    fn incoming_filters(&self, zone: &str, state: &DashboardState) -> Vec<Expr> {
+        let mut out = Vec::new();
+        for action in &self.actions {
+            if !action.target_zones.iter().any(|t| t == zone) {
+                continue;
+            }
+            let Some(selected) = state.selections.get(&action.source_zone) else {
+                continue;
+            };
+            let Some(src_zone) = self.zone(&action.source_zone) else {
+                continue;
+            };
+            let Some(col_name) = src_zone.selection_column() else {
+                continue;
+            };
+            out.push(Expr::Binary {
+                op: tabviz_tql::BinOp::Eq,
+                left: Box::new(Expr::Column(col_name.to_string())),
+                right: Box::new(Expr::Literal(selected.clone())),
+            });
+        }
+        out
+    }
+
+    /// The query a zone needs under the current state.
+    pub fn zone_query(&self, zone: &Zone, state: &DashboardState) -> QuerySpec {
+        let mut spec = QuerySpec::new(self.source.clone(), self.relation.clone());
+        for f in &zone.filters {
+            spec = spec.filter(f.clone());
+        }
+        for f in self.incoming_filters(&zone.name, state) {
+            spec = spec.filter(f);
+        }
+        for (col_name, values) in &state.quick_filters {
+            if let Some(vs) = values {
+                spec = spec.filter(Expr::In {
+                    expr: Box::new(Expr::Column(col_name.clone())),
+                    list: vs.clone(),
+                    negated: false,
+                });
+            }
+        }
+        for g in &zone.group_by {
+            spec = spec.group(g.clone());
+        }
+        for a in &zone.aggs {
+            spec = spec.agg(a.clone());
+        }
+        if !zone.order.is_empty() {
+            spec = spec.order_by(zone.order.clone());
+        }
+        if let Some(n) = zone.topn {
+            spec = spec.top(n);
+        }
+        spec
+    }
+
+    /// Quick-filter domain queries ("the queries for the domains of filters
+    /// on the right need to be sent only once", Sect. 3.2): one distinct-
+    /// values query per quick-filter column, with no filters applied.
+    pub fn domain_queries(&self) -> Vec<(String, QuerySpec)> {
+        self.quick_filter_columns
+            .iter()
+            .map(|c| {
+                (
+                    format!("__domain_{c}"),
+                    QuerySpec::new(self.source.clone(), self.relation.clone()).group(c.clone()),
+                )
+            })
+            .collect()
+    }
+
+    /// The batch for one render pass.
+    pub fn batch(&self, state: &DashboardState, include_domains: bool) -> Vec<(String, QuerySpec)> {
+        let mut out = Vec::new();
+        if include_domains {
+            out.extend(self.domain_queries());
+        }
+        for z in &self.zones {
+            out.push((z.name.clone(), self.zone_query(z, state)));
+        }
+        out
+    }
+
+    /// Render to a fixed point: run the batch, then drop selections whose
+    /// value vanished from the refreshed source zone (Fig. 2's "one
+    /// side-effect of these updated results is that the previous
+    /// user-selection (AA) ... is eliminated") and re-render until stable.
+    pub fn render(
+        &self,
+        processor: &QueryProcessor,
+        state: &mut DashboardState,
+        options: &BatchOptions,
+        include_domains: bool,
+    ) -> Result<(HashMap<String, Chunk>, RenderReport)> {
+        let mut report = RenderReport::default();
+        let mut results = HashMap::new();
+        for _pass in 0..8 {
+            report.iterations += 1;
+            let batch = self.batch(state, include_domains && report.iterations == 1);
+            let out = execute_batch(processor, &batch, options)?;
+            report.batches.push(out.report.clone());
+            results = out.results;
+
+            // Validate selections against the refreshed source zones.
+            let mut dropped = Vec::new();
+            for (zone_name, selected) in state.selections.clone() {
+                let Some(zone) = self.zone(&zone_name) else {
+                    continue;
+                };
+                let Some(col_name) = zone.selection_column() else {
+                    continue;
+                };
+                let Some(chunk) = results.get(&zone_name) else {
+                    continue;
+                };
+                let Ok(col_idx) = chunk.schema().index_of(col_name) else {
+                    continue;
+                };
+                let still_present =
+                    (0..chunk.len()).any(|i| chunk.column(col_idx).get(i) == selected);
+                if !still_present {
+                    dropped.push(zone_name);
+                }
+            }
+            if dropped.is_empty() {
+                return Ok((results, report));
+            }
+            for z in dropped {
+                state.clear_selection(&z);
+                report.invalidated_selections.push(z);
+            }
+        }
+        Ok((results, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tabviz_backend::{SimConfig, SimDb};
+    use tabviz_common::{DataType, Field, Schema};
+    use tabviz_storage::{Database, Table};
+    use tabviz_tql::AggFunc;
+
+    /// Fig. 2's data shape: markets flown by different carrier sets. AA
+    /// flies LAX-SFO but not HNL-OGG.
+    fn market_db() -> Arc<Database> {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("market", DataType::Str),
+                Field::new("carrier", DataType::Str),
+                Field::new("airline_name", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        let mut rows = Vec::new();
+        let data = [
+            ("LAX-SFO", "AA", "American"),
+            ("LAX-SFO", "WN", "Southwest"),
+            ("LAX-SFO", "UA", "United"),
+            ("HNL-OGG", "HA", "Hawaiian"),
+            ("HNL-OGG", "WN", "Southwest"),
+        ];
+        for (m, c, n) in data {
+            for _ in 0..10 {
+                rows.push(vec![
+                    Value::Str(m.into()),
+                    Value::Str(c.into()),
+                    Value::Str(n.into()),
+                ]);
+            }
+        }
+        let db = Arc::new(Database::new("remote"));
+        db.put(
+            Table::from_chunk(
+                "flights",
+                &Chunk::from_rows(schema, &rows).unwrap(),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    /// The Fig. 2 dashboard: Market → {Carrier, Airline Name},
+    /// Carrier → {Airline Name}.
+    fn fig2_dashboard() -> Dashboard {
+        Dashboard {
+            name: "fig2".into(),
+            source: "warehouse".into(),
+            relation: LogicalPlan::scan("flights"),
+            zones: vec![
+                Zone::new("Market")
+                    .group("market")
+                    .agg(AggCall::new(AggFunc::Count, None, "flights")),
+                Zone::new("Carrier")
+                    .group("carrier")
+                    .agg(AggCall::new(AggFunc::Count, None, "flights")),
+                Zone::new("AirlineName")
+                    .group("airline_name")
+                    .agg(AggCall::new(AggFunc::Count, None, "flights")),
+            ],
+            actions: vec![
+                FilterAction {
+                    source_zone: "Market".into(),
+                    target_zones: vec!["Carrier".into(), "AirlineName".into()],
+                },
+                FilterAction {
+                    source_zone: "Carrier".into(),
+                    target_zones: vec!["AirlineName".into()],
+                },
+            ],
+            quick_filter_columns: vec![],
+        }
+    }
+
+    fn processor() -> QueryProcessor {
+        let sim = SimDb::new("warehouse", market_db(), SimConfig::default());
+        let qp = QueryProcessor::default();
+        qp.registry.register(Arc::new(sim), 4);
+        qp
+    }
+
+    #[test]
+    fn initial_render_single_iteration() {
+        let qp = processor();
+        let dash = fig2_dashboard();
+        let mut state = DashboardState::default();
+        let (results, report) = dash
+            .render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        assert_eq!(report.iterations, 1);
+        assert_eq!(results["Market"].len(), 2);
+        assert_eq!(results["Carrier"].len(), 4);
+        assert_eq!(results["AirlineName"].len(), 4);
+    }
+
+    #[test]
+    fn selection_filters_targets() {
+        let qp = processor();
+        let dash = fig2_dashboard();
+        let mut state = DashboardState::default();
+        state.select("Market", Value::Str("LAX-SFO".into()));
+        state.select("Carrier", Value::Str("AA".into()));
+        let (results, report) = dash
+            .render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        assert_eq!(report.iterations, 1);
+        // Market zone is unfiltered; Carrier filtered to LAX-SFO carriers;
+        // AirlineName filtered by both market and carrier.
+        assert_eq!(results["Market"].len(), 2);
+        assert_eq!(results["Carrier"].len(), 3);
+        assert_eq!(results["AirlineName"].len(), 1);
+        assert_eq!(
+            results["AirlineName"].row(0)[0],
+            Value::Str("American".into())
+        );
+    }
+
+    #[test]
+    fn fig2_cascade_invalidates_selection() {
+        // "If the user selects HNL-OGG in Market ... the previous
+        // user-selection (AA) in the Carrier zone is eliminated, as AA is
+        // not a carrier for the HNL-OGG market. Subsequently ... a query
+        // without a filter on Carrier [is] generated to update the Airline
+        // Name zone."
+        let qp = processor();
+        let dash = fig2_dashboard();
+        let mut state = DashboardState::default();
+        state.select("Market", Value::Str("LAX-SFO".into()));
+        state.select("Carrier", Value::Str("AA".into()));
+        dash.render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+
+        // Now the user clicks HNL-OGG.
+        state.select("Market", Value::Str("HNL-OGG".into()));
+        let (results, report) = dash
+            .render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        assert_eq!(report.iterations, 2, "cascade takes a second pass");
+        assert_eq!(report.invalidated_selections, vec!["Carrier".to_string()]);
+        assert!(!state.selections.contains_key("Carrier"));
+        // Airline Name now shows both HNL-OGG airlines (no carrier filter).
+        assert_eq!(results["AirlineName"].len(), 2);
+    }
+
+    #[test]
+    fn quick_filter_domains_stay_unfiltered() {
+        let qp = processor();
+        let mut dash = fig2_dashboard();
+        dash.quick_filter_columns = vec!["carrier".into()];
+        let mut state = DashboardState::default();
+        state.set_quick_filter(
+            "carrier",
+            vec![Value::Str("WN".into()), Value::Str("HA".into())],
+        );
+        let (results, _) = dash
+            .render(&qp, &mut state, &BatchOptions::default(), true)
+            .unwrap();
+        // Domain query sees all 4 carriers even though the view filters to 2.
+        assert_eq!(results["__domain_carrier"].len(), 4);
+        assert_eq!(results["Carrier"].len(), 2);
+    }
+
+    #[test]
+    fn filter_interaction_is_cache_hit() {
+        // Fig. 1 discussion: "data for other charts got cached with all the
+        // filtering values selected. If a user deselects some of the values
+        // ... the intelligent cache will be able to filter out the necessary
+        // rows" — the second render must not touch the backend.
+        let sim = SimDb::new("warehouse", market_db(), SimConfig::default());
+        let qp = QueryProcessor::default();
+        qp.registry.register(Arc::new(sim.clone()), 4);
+        let dash = fig2_dashboard();
+        let mut state = DashboardState::default();
+        dash.render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        let before = sim.stats().queries;
+
+        // Select a market: every refreshed zone groups by columns already
+        // cached... Carrier zone filtered by market needs market in the
+        // cached grouping, which it is not — so Carrier goes remote, but the
+        // unfiltered Market zone itself stays a pure cache hit.
+        state.select("Market", Value::Str("LAX-SFO".into()));
+        dash.render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        let after = sim.stats().queries;
+        assert!(after > before, "filtered zones legitimately re-query");
+        // Re-render with no change: zero backend traffic.
+        dash.render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        assert_eq!(sim.stats().queries, after, "unchanged render is fully cached");
+    }
+}

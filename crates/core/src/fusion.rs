@@ -1,0 +1,179 @@
+//! Query fusion (Sect. 3.4).
+//!
+//! "We replace a group of queries of the form [πP1(R), .., πPn(R)] with a
+//! single query πP(R), where R is the common relation ... and P = ∪ Pi. ...
+//! it is quite common for different zones of a dashboard to share the same
+//! filters but request different columns."
+//!
+//! In the ASP query model, "same relation" means same source, FROM subtree,
+//! normalized filter set, and grouping; the fusable difference is the
+//! aggregate list. Each original query is later answered from the fused
+//! result by the intelligent cache's projection post-processing.
+
+use std::collections::HashMap;
+use tabviz_cache::QuerySpec;
+use tabviz_tql::write_expr;
+
+/// The outcome of fusing a batch.
+#[derive(Debug, Clone)]
+pub struct FusionPlan {
+    /// Queries to actually execute (one per fusion group).
+    pub fused: Vec<QuerySpec>,
+    /// For each input query, the index of the fused query covering it.
+    pub assignment: Vec<usize>,
+}
+
+impl FusionPlan {
+    /// How many queries fusion eliminated.
+    pub fn saved(&self) -> usize {
+        self.assignment.len() - self.fused.len()
+    }
+}
+
+/// Fusion-group key: everything that must coincide for projection-list
+/// fusion to be valid.
+fn fusion_key(spec: &QuerySpec) -> String {
+    let mut s = spec.clone();
+    s.normalize();
+    let filters: Vec<String> = s.filters.iter().map(write_expr).collect();
+    let mut groups = s.group_by.clone();
+    groups.sort();
+    format!(
+        "{}\u{1}{}\u{1}{}",
+        s.bucket_key(),
+        filters.join("\u{2}"),
+        groups.join("\u{2}")
+    )
+}
+
+/// Fuse a batch of queries.
+///
+/// Queries with ordering or Top-N are left alone (their result shape depends
+/// on the projection, so merging would change semantics); everything else
+/// groups by [`fusion_key`] and unions aggregate lists.
+pub fn fuse(specs: &[QuerySpec]) -> FusionPlan {
+    let mut fused: Vec<QuerySpec> = Vec::new();
+    let mut assignment = Vec::with_capacity(specs.len());
+    let mut groups: HashMap<String, usize> = HashMap::new();
+    for spec in specs {
+        if spec.topn.is_some() || !spec.order.is_empty() {
+            assignment.push(fused.len());
+            fused.push(spec.clone());
+            continue;
+        }
+        let key = fusion_key(spec);
+        match groups.get(&key) {
+            Some(&idx) => {
+                let target = &mut fused[idx];
+                for a in &spec.aggs {
+                    let covered = target
+                        .aggs
+                        .iter()
+                        .any(|t| t.func == a.func && t.arg == a.arg);
+                    if !covered {
+                        let mut call = a.clone();
+                        // Avoid alias collisions across fused queries.
+                        if target.aggs.iter().any(|t| t.alias == call.alias) {
+                            call.alias = format!("{}_{}", call.alias, target.aggs.len());
+                        }
+                        target.aggs.push(call);
+                    }
+                }
+                assignment.push(idx);
+            }
+            None => {
+                groups.insert(key, fused.len());
+                assignment.push(fused.len());
+                fused.push(spec.clone());
+            }
+        }
+    }
+    FusionPlan { fused, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabviz_cache::subsumes;
+    use tabviz_tql::expr::{bin, col, lit, BinOp};
+    use tabviz_tql::{AggCall, AggFunc, LogicalPlan, SortKey};
+
+    fn base() -> QuerySpec {
+        QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(0i64)))
+            .group("carrier")
+    }
+
+    #[test]
+    fn same_relation_different_measures_fuse() {
+        let q1 = base().agg(AggCall::new(AggFunc::Count, None, "n"));
+        let q2 = base().agg(AggCall::new(AggFunc::Avg, Some(col("delay")), "avg"));
+        let q3 = base().agg(AggCall::new(AggFunc::Count, None, "n2"));
+        let plan = fuse(&[q1.clone(), q2.clone(), q3.clone()]);
+        assert_eq!(plan.fused.len(), 1);
+        assert_eq!(plan.saved(), 2);
+        assert_eq!(plan.assignment, vec![0, 0, 0]);
+        // Union of distinct (func, arg) pairs: COUNT(*) and AVG(delay).
+        assert_eq!(plan.fused[0].aggs.len(), 2);
+        // The fused query must subsume each original.
+        for q in [&q1, &q2] {
+            assert!(subsumes(&plan.fused[0], q), "fused must cover {q:?}");
+        }
+    }
+
+    #[test]
+    fn different_filters_do_not_fuse() {
+        let q1 = base().agg(AggCall::new(AggFunc::Count, None, "n"));
+        let q2 = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(10i64)))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        let plan = fuse(&[q1, q2]);
+        assert_eq!(plan.fused.len(), 2);
+        assert_eq!(plan.saved(), 0);
+    }
+
+    #[test]
+    fn different_grouping_does_not_fuse() {
+        let q1 = base().agg(AggCall::new(AggFunc::Count, None, "n"));
+        let q2 = base().group("origin").agg(AggCall::new(AggFunc::Count, None, "n"));
+        assert_eq!(fuse(&[q1, q2]).fused.len(), 2);
+    }
+
+    #[test]
+    fn filter_order_is_irrelevant() {
+        let a = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(0i64)))
+            .filter(bin(BinOp::Lt, col("dist"), lit(100i64)))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        let b = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Lt, col("dist"), lit(100i64)))
+            .filter(bin(BinOp::Gt, col("delay"), lit(0i64)))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Sum, Some(col("delay")), "s"));
+        assert_eq!(fuse(&[a, b]).fused.len(), 1);
+    }
+
+    #[test]
+    fn topn_queries_never_fuse() {
+        let q1 = base()
+            .agg(AggCall::new(AggFunc::Count, None, "n"))
+            .order_by(vec![SortKey::desc("n")])
+            .top(5);
+        let q2 = base().agg(AggCall::new(AggFunc::Sum, Some(col("delay")), "s"));
+        let plan = fuse(&[q1, q2]);
+        assert_eq!(plan.fused.len(), 2);
+    }
+
+    #[test]
+    fn alias_collisions_resolved() {
+        let q1 = base().agg(AggCall::new(AggFunc::Count, None, "x"));
+        let q2 = base().agg(AggCall::new(AggFunc::Sum, Some(col("delay")), "x"));
+        let plan = fuse(&[q1, q2]);
+        assert_eq!(plan.fused.len(), 1);
+        let aliases: Vec<&str> = plan.fused[0].aggs.iter().map(|a| a.alias.as_str()).collect();
+        assert_eq!(aliases.len(), 2);
+        assert_ne!(aliases[0], aliases[1]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Speculative prefetching — the paper's future-work item (Sect. 7):
+//! "both data exploration and dashboard generation could become more
+//! responsive if requested data has been accurately predicted and
+//! prefetched. ... prediction approaches such as DICE are good examples in
+//! this field."
+//!
+//! The predictor is DICE-like in spirit: from the current dashboard state it
+//! enumerates the *neighboring interactions* — selecting each of the top
+//! values in an interactive zone's freshly rendered result, or clearing an
+//! existing selection — and warms the caches with the query batches those
+//! states would need. Predictions execute through the normal processor, so
+//! a correct prediction turns the user's next render into pure cache hits.
+
+use crate::batch::{execute_batch, BatchOptions};
+use crate::dashboard::{Dashboard, DashboardState};
+use crate::processor::QueryProcessor;
+use std::collections::HashMap;
+use tabviz_common::{Chunk, Result, Value};
+
+/// What a prefetch pass did.
+#[derive(Debug, Clone, Default)]
+pub struct PrefetchReport {
+    /// Predicted next states that were warmed.
+    pub predicted_states: usize,
+    /// Queries issued while warming (cache misses among predictions).
+    pub queries_warmed: usize,
+}
+
+/// Enumerate likely next states: for each interactive (action-source) zone,
+/// select each of the first `per_zone` values of its current result; plus
+/// clearing each active selection.
+pub fn predict_states(
+    dashboard: &Dashboard,
+    state: &DashboardState,
+    results: &HashMap<String, Chunk>,
+    per_zone: usize,
+) -> Vec<DashboardState> {
+    let mut out = Vec::new();
+    for action in &dashboard.actions {
+        let zone_name = &action.source_zone;
+        let Some(zone) = dashboard.zone(zone_name) else {
+            continue;
+        };
+        let Some(col_name) = zone.selection_column() else {
+            continue;
+        };
+        let Some(chunk) = results.get(zone_name) else {
+            continue;
+        };
+        let Ok(col_idx) = chunk.schema().index_of(col_name) else {
+            continue;
+        };
+        for row in 0..chunk.len().min(per_zone) {
+            let candidate = chunk.column(col_idx).get(row);
+            if candidate.is_null() {
+                continue;
+            }
+            if state.selections.get(zone_name) == Some(&candidate) {
+                continue; // already selected
+            }
+            let mut next = state.clone();
+            next.select(zone_name.clone(), candidate);
+            out.push(next);
+        }
+        if state.selections.contains_key(zone_name) {
+            let mut cleared = state.clone();
+            cleared.clear_selection(zone_name);
+            out.push(cleared);
+        }
+    }
+    out
+}
+
+/// Warm the processor's caches for the predicted states. Returns what was
+/// prefetched; errors on individual predictions are swallowed (a failed
+/// speculation must never break the real session).
+pub fn prefetch(
+    processor: &QueryProcessor,
+    dashboard: &Dashboard,
+    state: &DashboardState,
+    results: &HashMap<String, Chunk>,
+    per_zone: usize,
+    max_states: usize,
+) -> Result<PrefetchReport> {
+    let mut report = PrefetchReport::default();
+    let states = predict_states(dashboard, state, results, per_zone);
+    for next in states.into_iter().take(max_states) {
+        let batch = dashboard.batch(&next, false);
+        let before = processor.stats().remote_queries;
+        if execute_batch(processor, &batch, &BatchOptions::default()).is_ok() {
+            report.predicted_states += 1;
+            report.queries_warmed +=
+                (processor.stats().remote_queries - before) as usize;
+        }
+    }
+    Ok(report)
+}
+
+/// Values shown by a zone in the current results (helper for traffic
+/// generators that need selection candidates).
+pub fn zone_values(results: &HashMap<String, Chunk>, zone: &str, column: usize) -> Vec<Value> {
+    results
+        .get(zone)
+        .map(|c| (0..c.len()).map(|i| c.column(column).get(i)).collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dashboard::{FilterAction, Zone};
+    use std::sync::Arc;
+    use tabviz_backend::{SimConfig, SimDb};
+    use tabviz_common::{DataType, Field, Schema};
+    use tabviz_storage::{Database, Table};
+    
+    use tabviz_tql::{AggCall, AggFunc, LogicalPlan};
+
+    fn setup() -> (QueryProcessor, SimDb, Dashboard) {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("market", DataType::Str),
+                Field::new("carrier", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        let rows: Vec<Vec<Value>> = (0..300)
+            .map(|i| {
+                vec![
+                    Value::Str(format!("M{}", i % 5)),
+                    Value::Str(["AA", "DL", "WN"][i % 3].into()),
+                ]
+            })
+            .collect();
+        let db = Arc::new(Database::new("d"));
+        db.put(
+            Table::from_chunk("flights", &Chunk::from_rows(schema, &rows).unwrap(), &[])
+                .unwrap(),
+        )
+        .unwrap();
+        let sim = SimDb::new("warehouse", db, SimConfig::default());
+        let qp = QueryProcessor::default();
+        qp.registry.register(Arc::new(sim.clone()), 8);
+        let dash = Dashboard {
+            name: "d".into(),
+            source: "warehouse".into(),
+            relation: LogicalPlan::scan("flights"),
+            zones: vec![
+                Zone::new("Market")
+                    .group("market")
+                    .agg(AggCall::new(AggFunc::Count, None, "n")),
+                Zone::new("Carrier")
+                    .group("carrier")
+                    .agg(AggCall::new(AggFunc::Count, None, "n")),
+            ],
+            actions: vec![FilterAction {
+                source_zone: "Market".into(),
+                target_zones: vec!["Carrier".into()],
+            }],
+            quick_filter_columns: vec![],
+        };
+        (qp, sim, dash)
+    }
+
+    #[test]
+    fn predicts_neighboring_selections() {
+        let (qp, _, dash) = setup();
+        let mut state = DashboardState::default();
+        let (results, _) = dash
+            .render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        let states = predict_states(&dash, &state, &results, 3);
+        // Three candidate market selections, no clear (nothing selected).
+        assert_eq!(states.len(), 3);
+        assert!(states.iter().all(|s| s.selections.contains_key("Market")));
+
+        // With a selection active, clearing it is also predicted and the
+        // current selection is not re-proposed.
+        state.select("Market", Value::Str("M0".into()));
+        let (results, _) = dash
+            .render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        let states = predict_states(&dash, &state, &results, 3);
+        assert!(states
+            .iter()
+            .any(|s| !s.selections.contains_key("Market")));
+        assert!(!states
+            .iter()
+            .any(|s| s.selections.get("Market") == Some(&Value::Str("M0".into()))));
+    }
+
+    #[test]
+    fn prefetch_turns_next_interaction_into_cache_hits() {
+        let (qp, sim, dash) = setup();
+        let mut state = DashboardState::default();
+        let (results, _) = dash
+            .render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        let report = prefetch(&qp, &dash, &state, &results, 5, 8).unwrap();
+        assert!(report.predicted_states >= 5);
+        let warmed = sim.stats().queries;
+
+        // The user now actually clicks a market: zero new backend queries.
+        state.select("Market", Value::Str("M2".into()));
+        dash.render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        assert_eq!(
+            sim.stats().queries,
+            warmed,
+            "predicted interaction must be served from cache"
+        );
+    }
+
+    #[test]
+    fn failed_speculation_is_not_fatal() {
+        let (qp, _, dash) = setup();
+        // Empty results: nothing to predict, no error.
+        let report = prefetch(&qp, &dash, &DashboardState::default(), &HashMap::new(), 3, 8)
+            .unwrap();
+        assert_eq!(report.predicted_states, 0);
+    }
+}

@@ -1,0 +1,548 @@
+//! The cached query execution pipeline.
+//!
+//! Per query (Sect. 3.1–3.2): probe the intelligent cache on the internal
+//! structure; compile to the backend dialect; probe the literal cache on the
+//! text; otherwise acquire a pooled connection, materialize any required
+//! temp tables in the session (falling back to inline compilation when temp
+//! creation fails, as the Data Server does in Sect. 5.3), execute remotely,
+//! apply local post-processing, and populate both cache levels.
+
+use crate::compile::{apply_local_post, compile_spec, CompiledQuery};
+use crate::registry::{ManagedSource, SourceRegistry};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tabviz_backend::Capabilities;
+use tabviz_cache::{QueryCaches, QuerySpec};
+use tabviz_common::{Chunk, Result, TvError};
+
+/// How a query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    IntelligentHit,
+    LiteralHit,
+    Remote,
+}
+
+/// Cumulative processor counters.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessorStats {
+    pub intelligent_hits: u64,
+    pub literal_hits: u64,
+    pub remote_queries: u64,
+    /// Remote queries that were widened for reuse before dispatch.
+    pub widened_queries: u64,
+    pub temp_table_fallbacks: u64,
+    pub remote_time: Duration,
+}
+
+/// Feature switches (each is an experiment baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct ProcessorOptions {
+    pub use_intelligent_cache: bool,
+    pub use_literal_cache: bool,
+    /// Sect. 3.2: "The query processor might choose to adjust queries before
+    /// sending, in order to make the results more useful for future reuse."
+    /// On a miss, single-value-set filters are folded into the grouping of
+    /// the remote query; the original is then answered (and every future
+    /// filter variation served) from the widened cached result.
+    pub widen_for_reuse: bool,
+    /// Cap on extra grouping columns widening may add (cardinality guard).
+    pub widen_max_extra_columns: usize,
+}
+
+impl Default for ProcessorOptions {
+    fn default() -> Self {
+        ProcessorOptions {
+            use_intelligent_cache: true,
+            use_literal_cache: true,
+            widen_for_reuse: true,
+            widen_max_extra_columns: 2,
+        }
+    }
+}
+
+/// Filters widening may lift into the grouping: *categorical* single-column
+/// constraints (`=` / `IN`) — the dashboard quick-filter shapes. Range
+/// filters stay put: folding a continuous column into the grouping would
+/// explode cardinality.
+fn widenable_column(f: &tabviz_tql::Expr) -> Option<String> {
+    use tabviz_tql::{BinOp, Expr};
+    match f {
+        Expr::Binary { op: BinOp::Eq, left, right } => {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(c), Expr::Literal(_)) | (Expr::Literal(_), Expr::Column(c)) => {
+                    Some(c.clone())
+                }
+                _ => None,
+            }
+        }
+        // Small enumerations only: large IN-lists are the temp-table
+        // externalization case (Sect. 3.1), not the widening case.
+        Expr::In { expr, list, negated: false } if list.len() <= WIDEN_MAX_IN_LIST => {
+            match expr.as_ref() {
+                Expr::Column(c) => Some(c.clone()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// IN-lists above this size are left for externalization instead of being
+/// folded into the grouping.
+const WIDEN_MAX_IN_LIST: usize = 16;
+
+/// Build the widened variant of a spec, or `None` when widening does not
+/// apply (no liftable filters, COUNTD present, or too many extra columns).
+fn widen_spec(spec: &QuerySpec, max_extra: usize) -> Option<QuerySpec> {
+    use tabviz_tql::AggFunc;
+    if spec.aggs.iter().any(|a| a.func == AggFunc::CountD) {
+        return None; // COUNTD cannot roll back up
+    }
+    let mut extra: Vec<String> = Vec::new();
+    let mut lifted = 0usize;
+    for f in &spec.filters {
+        if let Some(c) = widenable_column(f) {
+            if !spec.group_by.contains(&c) {
+                if !extra.contains(&c) {
+                    extra.push(c);
+                }
+                lifted += 1;
+            }
+        }
+    }
+    if lifted == 0 || extra.len() > max_extra {
+        return None;
+    }
+    let mut widened = spec.clone();
+    widened.order.clear();
+    widened.topn = None;
+    // Drop the lifted filters; their columns join the grouping so the cache
+    // can re-apply them (and any future variant) as residuals.
+    widened.filters.retain(|f| {
+        widenable_column(f).is_none_or(|c| spec.group_by.contains(&c))
+    });
+    widened.group_by.extend(extra);
+    // AVG needs its SUM/COUNT decomposition cached alongside for roll-up.
+    let mut additions = Vec::new();
+    for a in &spec.aggs {
+        if a.func == AggFunc::Avg {
+            let has = |f: AggFunc| {
+                widened
+                    .aggs
+                    .iter()
+                    .any(|x| x.func == f && x.arg == a.arg)
+            };
+            if !has(AggFunc::Sum) {
+                additions.push(tabviz_tql::AggCall::new(
+                    AggFunc::Sum,
+                    a.arg.clone(),
+                    format!("__w_{}_sum", a.alias),
+                ));
+            }
+            if !has(AggFunc::Count) {
+                additions.push(tabviz_tql::AggCall::new(
+                    AggFunc::Count,
+                    a.arg.clone(),
+                    format!("__w_{}_cnt", a.alias),
+                ));
+            }
+        }
+    }
+    widened.aggs.extend(additions);
+    widened.normalize();
+    Some(widened)
+}
+
+/// The query processor: sources + caches.
+pub struct QueryProcessor {
+    pub registry: SourceRegistry,
+    pub caches: QueryCaches,
+    pub options: ProcessorOptions,
+    stats: Mutex<ProcessorStats>,
+}
+
+impl Default for QueryProcessor {
+    fn default() -> Self {
+        Self::new(QueryCaches::default())
+    }
+}
+
+impl QueryProcessor {
+    pub fn new(caches: QueryCaches) -> Self {
+        QueryProcessor {
+            registry: SourceRegistry::new(),
+            caches,
+            options: ProcessorOptions::default(),
+            stats: Mutex::new(ProcessorStats::default()),
+        }
+    }
+
+    pub fn stats(&self) -> ProcessorStats {
+        self.stats.lock().clone()
+    }
+
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = ProcessorStats::default();
+    }
+
+    /// Execute one internal query through the full pipeline.
+    pub fn execute(&self, spec: &QuerySpec) -> Result<(Chunk, ExecOutcome)> {
+        let managed = self.registry.get(&spec.source)?;
+        if self.options.use_intelligent_cache {
+            if let Some(hit) = self.caches.intelligent.get(spec) {
+                self.stats.lock().intelligent_hits += 1;
+                return Ok((hit, ExecOutcome::IntelligentHit));
+            }
+        }
+        let compiled = compile_spec(spec, managed.capabilities(), &managed.compile_options)?;
+        if self.options.use_literal_cache {
+            if let Some(hit) = self.caches.literal.get(&spec.source, &compiled.remote.text) {
+                self.stats.lock().literal_hits += 1;
+                return Ok((hit, ExecOutcome::LiteralHit));
+            }
+        }
+        // Widening: send a more reusable remote query and answer this (and
+        // future filter variations) from its cached result.
+        if self.options.widen_for_reuse && self.options.use_intelligent_cache {
+            if let Some(widened) = widen_spec(spec, self.options.widen_max_extra_columns) {
+                if let Ok(compiled_w) =
+                    compile_spec(&widened, managed.capabilities(), &managed.compile_options)
+                {
+                    let t0 = Instant::now();
+                    if let Ok(chunk_w) = self.run_remote(&managed, &widened, &compiled_w) {
+                        let cost = t0.elapsed();
+                        {
+                            let mut st = self.stats.lock();
+                            st.remote_queries += 1;
+                            st.widened_queries += 1;
+                            st.remote_time += cost;
+                        }
+                        self.caches
+                            .intelligent
+                            .put(widened, chunk_w, cost.max(Duration::from_millis(1)));
+                        if let Some(hit) = self.caches.intelligent.get(spec) {
+                            return Ok((hit, ExecOutcome::Remote));
+                        }
+                        // Fall through: the widened entry unexpectedly failed
+                        // to cover the original; execute it directly.
+                    }
+                }
+            }
+        }
+        let t0 = Instant::now();
+        let chunk = self.run_remote(&managed, spec, &compiled)?;
+        let cost = t0.elapsed();
+        {
+            let mut st = self.stats.lock();
+            st.remote_queries += 1;
+            st.remote_time += cost;
+        }
+        if self.options.use_literal_cache {
+            self.caches
+                .literal
+                .put(&spec.source, &compiled.remote.text, chunk.clone(), cost);
+        }
+        if self.options.use_intelligent_cache {
+            self.caches.intelligent.put(spec.clone(), chunk.clone(), cost);
+        }
+        Ok((chunk, ExecOutcome::Remote))
+    }
+
+    /// Acquire a session (preferring one that already holds the needed temp
+    /// structure), materialize temp tables, execute, post-process.
+    fn run_remote(
+        &self,
+        managed: &Arc<ManagedSource>,
+        spec: &QuerySpec,
+        compiled: &CompiledQuery,
+    ) -> Result<Chunk> {
+        let preferred = compiled.temp_tables.first().map(|(n, _)| n.as_str());
+        let mut conn = managed.pool.acquire_preferring(preferred)?;
+        for (name, data) in &compiled.temp_tables {
+            if conn.has_temp_table(name) {
+                continue;
+            }
+            if let Err(e) = conn.create_temp_table(name, data) {
+                // "If the Data Server fails to create a temporary table on
+                // the database, the query is rewritten to produce a query
+                // that can be evaluated without it" (Sect. 5.3).
+                drop(conn);
+                self.stats.lock().temp_table_fallbacks += 1;
+                let inline_caps = Capabilities {
+                    supports_temp_tables: false,
+                    ..managed.capabilities().clone()
+                };
+                let inline = compile_spec(spec, &inline_caps, &managed.compile_options)?;
+                if !inline.temp_tables.is_empty() {
+                    return Err(TvError::Exec(format!(
+                        "inline recompilation still requires temp tables: {e}"
+                    )));
+                }
+                let mut conn = managed.pool.acquire()?;
+                let chunk = conn.execute(&inline.remote)?;
+                return Ok(apply_local_post(chunk, &inline.local_post));
+            }
+        }
+        let chunk = conn.execute(&compiled.remote)?;
+        Ok(apply_local_post(chunk, &compiled.local_post))
+    }
+
+    /// Close a data source: release pooled sessions and purge cache entries
+    /// ("entries are also purged when a connection to a data source is
+    /// closed or refreshed").
+    pub fn close_source(&self, name: &str) -> Result<()> {
+        self.registry.close(name)?;
+        self.caches.purge_source(name);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tabviz_backend::{SimConfig, SimDb};
+    use tabviz_common::{DataType, Field, Schema, Value};
+    use tabviz_storage::{Database, Table};
+    use tabviz_tql::expr::{bin, col, lit, BinOp, Expr};
+    use tabviz_tql::{AggCall, AggFunc, LogicalPlan};
+
+    fn flights_db(rows: usize) -> Arc<Database> {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("market", DataType::Str),
+                Field::new("delay", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| {
+                vec![
+                    Value::Str(["AA", "DL", "WN"][i % 3].into()),
+                    Value::Str(format!("M{}", i % 50)),
+                    Value::Int((i % 100) as i64),
+                ]
+            })
+            .collect();
+        let db = Arc::new(Database::new("remote"));
+        db.put(Table::from_chunk("flights", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap())
+            .unwrap();
+        db
+    }
+
+    fn processor_with_sim(rows: usize) -> (QueryProcessor, SimDb) {
+        let sim = SimDb::new("warehouse", flights_db(rows), SimConfig::default());
+        let mut qp = QueryProcessor::default();
+        // Most tests here pin the externalization path; widening would lift
+        // the big IN filters into the grouping instead.
+        qp.options.widen_for_reuse = false;
+        qp.registry.register(Arc::new(sim.clone()), 4);
+        (qp, sim)
+    }
+
+    fn count_by_carrier() -> QuerySpec {
+        QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"))
+    }
+
+    #[test]
+    fn remote_then_cached() {
+        let (qp, sim) = processor_with_sim(300);
+        let (out1, o1) = qp.execute(&count_by_carrier()).unwrap();
+        assert_eq!(o1, ExecOutcome::Remote);
+        assert_eq!(out1.len(), 3);
+        let (out2, o2) = qp.execute(&count_by_carrier()).unwrap();
+        assert_eq!(o2, ExecOutcome::IntelligentHit);
+        assert_eq!(out2.to_rows(), out1.to_rows());
+        assert_eq!(sim.stats().queries, 1, "second answer must not hit the backend");
+    }
+
+    #[test]
+    fn subsumption_avoids_remote() {
+        let (qp, sim) = processor_with_sim(300);
+        let fine = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .group("market")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        qp.execute(&fine).unwrap();
+        // Coarser query + group-column filter: answered locally.
+        let coarse = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Eq, col("carrier"), lit("AA")))
+            .group("market")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        let (out, outcome) = qp.execute(&coarse).unwrap();
+        assert_eq!(outcome, ExecOutcome::IntelligentHit);
+        assert_eq!(out.len(), 50);
+        assert_eq!(sim.stats().queries, 1);
+    }
+
+    #[test]
+    fn large_filter_creates_and_reuses_temp_table() {
+        let (qp, sim) = processor_with_sim(600);
+        let markets: Vec<Value> = (0..40).map(|i| Value::Str(format!("M{i}"))).collect();
+        let spec = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .filter(Expr::In {
+                expr: Box::new(col("market")),
+                list: markets.clone(),
+                negated: false,
+            })
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        let (out, _) = qp.execute(&spec).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(sim.stats().temp_tables_created, 1);
+        // Different aggregates, same filter: temp table reused via affinity.
+        let spec2 = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .filter(Expr::In {
+                expr: Box::new(col("market")),
+                list: markets,
+                negated: false,
+            })
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Sum, Some(col("delay")), "total"));
+        qp.execute(&spec2).unwrap();
+        assert_eq!(sim.stats().temp_tables_created, 1, "no duplicate temp table");
+    }
+
+    #[test]
+    fn temp_table_failure_falls_back_to_inline() {
+        let (qp, sim) = processor_with_sim(600);
+        sim.set_fail_temp_tables(true);
+        let markets: Vec<Value> = (0..40).map(|i| Value::Str(format!("M{i}"))).collect();
+        let spec = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .filter(Expr::In {
+                expr: Box::new(col("market")),
+                list: markets,
+                negated: false,
+            })
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        let (out, _) = qp.execute(&spec).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(qp.stats().temp_table_fallbacks, 1);
+        assert_eq!(sim.stats().temp_tables_created, 0);
+    }
+
+    #[test]
+    fn results_match_between_inline_and_externalized() {
+        let (qp, _) = processor_with_sim(600);
+        let markets: Vec<Value> = (0..40).map(|i| Value::Str(format!("M{i}"))).collect();
+        let make = |list: Vec<Value>| {
+            QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+                .filter(Expr::In { expr: Box::new(col("market")), list, negated: false })
+                .group("carrier")
+                .agg(AggCall::new(AggFunc::Count, None, "n"))
+        };
+        let (ext, _) = qp.execute(&make(markets.clone())).unwrap();
+
+        // Processor without temp-table support (inline IN-list).
+        let sim2 = SimDb::new(
+            "warehouse",
+            flights_db(600),
+            SimConfig {
+                capabilities: Capabilities { supports_temp_tables: false, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let qp2 = QueryProcessor::default();
+        qp2.registry.register(Arc::new(sim2), 4);
+        let (inline, _) = qp2.execute(&make(markets)).unwrap();
+        let mut a = ext.to_rows();
+        let mut b = inline.to_rows();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn widening_serves_future_filter_variations() {
+        // Sect. 3.2: the processor "adjusts queries before sending" — the
+        // first filtered query is widened, so *different* filter subsets
+        // afterwards never touch the backend.
+        let sim = SimDb::new("warehouse", flights_db(600), SimConfig::default());
+        let qp = QueryProcessor::default(); // widening on by default
+        qp.registry.register(Arc::new(sim.clone()), 4);
+        let with_filter = |subset: &[&str]| {
+            QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+                .filter(Expr::In {
+                    expr: Box::new(col("carrier")),
+                    list: subset.iter().map(|&s| Value::from(s)).collect(),
+                    negated: false,
+                })
+                .group("market")
+                .agg(AggCall::new(AggFunc::Count, None, "n"))
+                .agg(AggCall::new(AggFunc::Avg, Some(col("delay")), "avg"))
+        };
+        let (out1, o1) = qp.execute(&with_filter(&["AA", "DL"])).unwrap();
+        assert_eq!(o1, ExecOutcome::Remote);
+        assert_eq!(qp.stats().widened_queries, 1);
+        // A different subset: pure cache work.
+        let (out2, o2) = qp.execute(&with_filter(&["WN"])).unwrap();
+        assert_eq!(o2, ExecOutcome::IntelligentHit);
+        assert_eq!(sim.stats().queries, 1, "one widened backend query serves all");
+        // Correctness: widened-path answers equal direct execution.
+        let mut qp2 = QueryProcessor::default();
+        qp2.options.widen_for_reuse = false;
+        qp2.options.use_intelligent_cache = false;
+        qp2.options.use_literal_cache = false;
+        let sim2 = SimDb::new("warehouse", flights_db(600), SimConfig::default());
+        qp2.registry.register(Arc::new(sim2), 4);
+        for (subset, widened_out) in
+            [(vec!["AA", "DL"], &out1), (vec!["WN"], &out2)]
+        {
+            let (direct, _) = qp2.execute(&with_filter(&subset)).unwrap();
+            let mut a = widened_out.to_rows();
+            let mut b = direct.to_rows();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn widening_skips_countd_and_range_filters() {
+        let sim = SimDb::new("warehouse", flights_db(300), SimConfig::default());
+        let qp = QueryProcessor::default();
+        qp.registry.register(Arc::new(sim.clone()), 4);
+        // Range filter only: nothing liftable.
+        let range_spec = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(10i64)))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        qp.execute(&range_spec).unwrap();
+        assert_eq!(qp.stats().widened_queries, 0);
+        // COUNTD blocks widening even with a categorical filter.
+        let countd_spec = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Eq, col("market"), lit("M1")))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::CountD, Some(col("delay")), "nd"));
+        qp.execute(&countd_spec).unwrap();
+        assert_eq!(qp.stats().widened_queries, 0);
+    }
+
+    #[test]
+    fn close_source_purges() {
+        let (qp, _) = processor_with_sim(300);
+        qp.execute(&count_by_carrier()).unwrap();
+        qp.close_source("warehouse").unwrap();
+        assert!(qp.execute(&count_by_carrier()).is_err()); // source gone
+    }
+
+    #[test]
+    fn caches_can_be_disabled() {
+        let (mut qp_holder, sim) = processor_with_sim(300);
+        qp_holder.options = ProcessorOptions {
+            use_intelligent_cache: false,
+            use_literal_cache: false,
+            ..Default::default()
+        };
+        let qp = qp_holder;
+        qp.execute(&count_by_carrier()).unwrap();
+        qp.execute(&count_by_carrier()).unwrap();
+        assert_eq!(sim.stats().queries, 2);
+    }
+}

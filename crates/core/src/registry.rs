@@ -1,0 +1,113 @@
+//! Managed data sources.
+//!
+//! Each registered source carries its connection pool (Sect. 3.5) and the
+//! capability profile the compiler consults (Sect. 3.1).
+
+use crate::compile::CompileOptions;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use tabviz_backend::{Capabilities, ConnectionPool, DataSource};
+use tabviz_common::{Result, TvError};
+
+/// A data source plus its pool.
+pub struct ManagedSource {
+    pub name: String,
+    pub source: Arc<dyn DataSource>,
+    pub pool: ConnectionPool,
+    pub compile_options: CompileOptions,
+}
+
+impl ManagedSource {
+    pub fn capabilities(&self) -> &Capabilities {
+        self.source.capabilities()
+    }
+}
+
+/// All sources known to a query processor.
+#[derive(Default)]
+pub struct SourceRegistry {
+    sources: RwLock<HashMap<String, Arc<ManagedSource>>>,
+}
+
+impl SourceRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a source with a pool of `pool_size` connections.
+    pub fn register(&self, source: Arc<dyn DataSource>, pool_size: usize) -> Arc<ManagedSource> {
+        let name = source.name().to_string();
+        let managed = Arc::new(ManagedSource {
+            name: name.clone(),
+            pool: ConnectionPool::new(Arc::clone(&source), pool_size),
+            source,
+            compile_options: CompileOptions::default(),
+        });
+        self.sources.write().insert(name, Arc::clone(&managed));
+        managed
+    }
+
+    pub fn get(&self, name: &str) -> Result<Arc<ManagedSource>> {
+        self.sources
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| TvError::Bind(format!("unknown data source '{name}'")))
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        self.sources.read().keys().cloned().collect()
+    }
+
+    /// Close a source: drop its pooled connections (which releases remote
+    /// session state). The caller is responsible for purging caches.
+    pub fn close(&self, name: &str) -> Result<()> {
+        let managed = self.get(name)?;
+        managed.pool.clear();
+        self.sources.write().remove(name);
+        Ok(())
+    }
+
+    /// Run age-wise idle eviction across every pool.
+    pub fn evict_idle(&self, max_age: Duration) -> usize {
+        self.sources
+            .read()
+            .values()
+            .map(|m| m.pool.evict_idle(max_age))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabviz_backend::{SimConfig, SimDb};
+    use tabviz_storage::Database;
+
+    fn sim() -> Arc<dyn DataSource> {
+        Arc::new(SimDb::new(
+            "warehouse",
+            Arc::new(Database::new("d")),
+            SimConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = SourceRegistry::new();
+        reg.register(sim(), 4);
+        assert!(reg.get("warehouse").is_ok());
+        assert!(reg.get("nope").is_err());
+        assert_eq!(reg.names(), vec!["warehouse"]);
+    }
+
+    #[test]
+    fn close_removes() {
+        let reg = SourceRegistry::new();
+        reg.register(sim(), 4);
+        reg.close("warehouse").unwrap();
+        assert!(reg.get("warehouse").is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! The Tableau Data Server (Sect. 5).
+//!
+//! "The Tableau Data Server is a part of Tableau Server that reduces the
+//! overhead of sharing calculations and extracts across workbooks. Data
+//! Server also allows filters to be applied to a published data source to
+//! restrict individual users' access to the data. ... Data Server parses the
+//! query into an internal representation, optimizes it and generates the
+//! query for the specific underlying database" — through the *same* pipeline
+//! as the desktop query processor ("in Tableau 9.0, these pipelines got
+//! unified", Sect. 5.3).
+//!
+//! * [`published`] — published data sources: shared relation, named
+//!   calculations, row-level user filters, shared extracts;
+//! * [`server`] — the proxy: client sessions, metadata handout, in-memory
+//!   temporary tables with definition sharing (Sect. 5.4), query evaluation
+//!   with network accounting.
+
+pub mod published;
+pub mod server;
+
+pub use published::PublishedSource;
+pub use server::{ClientQuery, ClientSession, DataServer, ServerStats};

@@ -1,0 +1,161 @@
+//! Published data sources.
+//!
+//! "By publishing a data source to Data Server, a complex calculation in a
+//! data source can be defined once and used everywhere. ... Modifications to
+//! a published data source affect all visualizations that refer to it.
+//! TDE extracts can be published with a data source. Instead of 100
+//! workbooks with distinct copies of the same extract, a single extract is
+//! created" (Sect. 5.2).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use tabviz_tql::expr::Expr;
+use tabviz_tql::LogicalPlan;
+
+/// A data source published to the Data Server.
+pub struct PublishedSource {
+    pub name: String,
+    /// The backing data source (registered in the server's processor).
+    pub backing: String,
+    /// The data model: the FROM relation every client query runs against.
+    pub relation: LogicalPlan,
+    /// Named calculations, substitutable into filters and aggregate
+    /// arguments ("defined once and used everywhere").
+    calculations: RwLock<HashMap<String, Expr>>,
+    /// Row-level security: user → mandatory filter ("an individual
+    /// salesperson may only be able to see customers in their region").
+    user_filters: RwLock<HashMap<String, Expr>>,
+    /// Extract refresh counter (one shared extract, not one per workbook).
+    refreshes: RwLock<u64>,
+}
+
+impl PublishedSource {
+    pub fn new(
+        name: impl Into<String>,
+        backing: impl Into<String>,
+        relation: LogicalPlan,
+    ) -> Self {
+        PublishedSource {
+            name: name.into(),
+            backing: backing.into(),
+            relation,
+            calculations: RwLock::new(HashMap::new()),
+            user_filters: RwLock::new(HashMap::new()),
+            refreshes: RwLock::new(0),
+        }
+    }
+
+    /// Define or update a named calculation; every referring visualization
+    /// picks up the change on its next query.
+    pub fn define_calculation(&self, name: impl Into<String>, expr: Expr) {
+        self.calculations.write().insert(name.into(), expr);
+    }
+
+    pub fn calculation(&self, name: &str) -> Option<Expr> {
+        self.calculations.read().get(name).cloned()
+    }
+
+    /// Substitute calculation references (columns named like a calculation)
+    /// recursively.
+    pub fn substitute(&self, e: &Expr) -> Expr {
+        let calcs = self.calculations.read();
+        substitute_calcs(e, &calcs)
+    }
+
+    pub fn set_user_filter(&self, user: impl Into<String>, filter: Expr) {
+        self.user_filters.write().insert(user.into(), filter);
+    }
+
+    pub fn user_filter(&self, user: &str) -> Option<Expr> {
+        self.user_filters.read().get(user).cloned()
+    }
+
+    /// Record an extract refresh (the benefit measured in E12/EXPERIMENTS:
+    /// one refresh instead of one per workbook copy).
+    pub fn record_refresh(&self) {
+        *self.refreshes.write() += 1;
+    }
+
+    pub fn refresh_count(&self) -> u64 {
+        *self.refreshes.read()
+    }
+}
+
+fn substitute_calcs(e: &Expr, calcs: &HashMap<String, Expr>) -> Expr {
+    match e {
+        Expr::Column(name) => match calcs.get(name) {
+            // Calculations may reference other calculations.
+            Some(def) => substitute_calcs(def, calcs),
+            None => e.clone(),
+        },
+        Expr::Literal(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute_calcs(expr, calcs)),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(substitute_calcs(left, calcs)),
+            right: Box::new(substitute_calcs(right, calcs)),
+        },
+        Expr::In { expr, list, negated } => Expr::In {
+            expr: Box::new(substitute_calcs(expr, calcs)),
+            list: list.clone(),
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high } => Expr::Between {
+            expr: Box::new(substitute_calcs(expr, calcs)),
+            low: low.clone(),
+            high: high.clone(),
+        },
+        Expr::Func { func, args } => Expr::Func {
+            func: *func,
+            args: args.iter().map(|a| substitute_calcs(a, calcs)).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabviz_tql::expr::{bin, col, lit, BinOp};
+
+    #[test]
+    fn calculation_substitution_is_recursive() {
+        let p = PublishedSource::new("sales", "warehouse", LogicalPlan::scan("orders"));
+        p.define_calculation("margin", bin(BinOp::Sub, col("revenue"), col("cost")));
+        p.define_calculation(
+            "good_margin",
+            bin(BinOp::Gt, col("margin"), lit(100i64)),
+        );
+        let out = p.substitute(&col("good_margin"));
+        assert_eq!(out.to_string(), "(([revenue] - [cost]) > 100)");
+        // Non-calculation columns pass through.
+        assert_eq!(p.substitute(&col("region")), col("region"));
+    }
+
+    #[test]
+    fn calculation_update_affects_subsequent_queries() {
+        let p = PublishedSource::new("sales", "warehouse", LogicalPlan::scan("orders"));
+        p.define_calculation("m", col("a"));
+        assert_eq!(p.substitute(&col("m")), col("a"));
+        p.define_calculation("m", col("b"));
+        assert_eq!(p.substitute(&col("m")), col("b"));
+    }
+
+    #[test]
+    fn user_filters() {
+        let p = PublishedSource::new("sales", "warehouse", LogicalPlan::scan("orders"));
+        p.set_user_filter("alice", bin(BinOp::Eq, col("region"), lit("west")));
+        assert!(p.user_filter("alice").is_some());
+        assert!(p.user_filter("manager").is_none());
+    }
+
+    #[test]
+    fn refresh_counter() {
+        let p = PublishedSource::new("sales", "warehouse", LogicalPlan::scan("orders"));
+        p.record_refresh();
+        p.record_refresh();
+        assert_eq!(p.refresh_count(), 2);
+    }
+}

@@ -1,0 +1,501 @@
+//! The Data Server proxy and client sessions.
+//!
+//! "Clients can directly connect to databases or connect to data sources
+//! published to Data Server, which acts as a proxy between clients and the
+//! underlying database. When a client connects to a published data source,
+//! it receives metadata ... As fields are dragged to the visualization,
+//! queries are dispatched from the client to Data Server" (Sect. 5.2).
+//!
+//! Temporary tables (Sect. 5.3–5.4): a client uploads a large value set
+//! *once* (`define_set`); the in-memory definition is shared across client
+//! connections by reference count; later queries reference it by name,
+//! cutting client→server traffic. During evaluation the definition is
+//! incorporated into the query — and pushed down to the backing database as
+//! a session temp table by the shared compilation pipeline, with the inline
+//! rewrite as fallback. In-memory temp tables can be disabled, trading
+//! network traffic for unchanged database-side behavior.
+
+use crate::published::PublishedSource;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tabviz_cache::QuerySpec;
+use tabviz_common::{Chunk, Result, TvError, Value};
+use tabviz_core::processor::QueryProcessor;
+use tabviz_core::ExecOutcome;
+use tabviz_tql::expr::Expr;
+use tabviz_tql::{AggCall, SortKey};
+
+/// What a client sends per query: fields only — the client never sees the
+/// underlying relation or dialect.
+#[derive(Debug, Clone, Default)]
+pub struct ClientQuery {
+    pub filters: Vec<Expr>,
+    pub group_by: Vec<String>,
+    pub aggs: Vec<AggCall>,
+    pub order: Vec<SortKey>,
+    pub topn: Option<usize>,
+    /// Named value-set references (server-held temp definitions).
+    pub set_refs: Vec<String>,
+}
+
+impl ClientQuery {
+    /// Approximate client→server wire size of this request.
+    pub fn wire_bytes(&self) -> usize {
+        let mut n = 0;
+        for f in &self.filters {
+            n += tabviz_tql::write_expr(f).len();
+        }
+        for g in &self.group_by {
+            n += g.len();
+        }
+        for a in &self.aggs {
+            n += a.alias.len() + 8;
+        }
+        n += self.set_refs.iter().map(|s| s.len() + 4).sum::<usize>();
+        n + 16
+    }
+}
+
+/// A shared in-memory value-set definition ("temporary table definitions
+/// are shared across client connections ... removed when all references to
+/// them are removed", Sect. 5.4).
+struct SetDef {
+    column: String,
+    values: Vec<Value>,
+    refs: usize,
+}
+
+/// Server-side counters.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    pub queries: u64,
+    pub client_bytes_in: u64,
+    pub client_bytes_out: u64,
+    pub set_definitions: u64,
+    pub answered_from_memory: u64,
+}
+
+/// The Data Server.
+pub struct DataServer {
+    pub processor: QueryProcessor,
+    published: RwLock<HashMap<String, Arc<PublishedSource>>>,
+    sets: Mutex<HashMap<String, SetDef>>,
+    stats: Mutex<ServerStats>,
+    /// "If desired, in-memory temporary tables on Data Server can be
+    /// disabled."
+    pub enable_memory_temp_tables: bool,
+}
+
+impl DataServer {
+    pub fn new(processor: QueryProcessor) -> Self {
+        DataServer {
+            processor,
+            published: RwLock::new(HashMap::new()),
+            sets: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ServerStats::default()),
+            enable_memory_temp_tables: true,
+        }
+    }
+
+    pub fn publish(&self, source: PublishedSource) -> Arc<PublishedSource> {
+        let arc = Arc::new(source);
+        self.published
+            .write()
+            .insert(arc.name.clone(), Arc::clone(&arc));
+        arc
+    }
+
+    pub fn published(&self, name: &str) -> Result<Arc<PublishedSource>> {
+        self.published
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| TvError::Bind(format!("unknown published source '{name}'")))
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        self.stats.lock().clone()
+    }
+
+    /// A client connects: receives metadata (the schema of the published
+    /// relation and whether temp structures are available — "this
+    /// information is conveyed back to the client", Sect. 5.3).
+    pub fn connect(
+        self: &Arc<Self>,
+        published_name: &str,
+        user: impl Into<String>,
+    ) -> Result<ClientSession> {
+        let published = self.published(published_name)?;
+        // Verify the backing source exists.
+        self.processor.registry.get(&published.backing)?;
+        Ok(ClientSession {
+            server: Arc::clone(self),
+            published,
+            user: user.into(),
+            my_sets: Vec::new(),
+        })
+    }
+
+    fn build_spec(
+        &self,
+        published: &PublishedSource,
+        user: &str,
+        query: &ClientQuery,
+    ) -> Result<QuerySpec> {
+        let mut spec = QuerySpec::new(published.backing.clone(), published.relation.clone());
+        for f in &query.filters {
+            spec = spec.filter(published.substitute(f));
+        }
+        // Mandatory row-level security filter.
+        if let Some(f) = published.user_filter(user) {
+            spec = spec.filter(published.substitute(&f));
+        }
+        // Incorporate referenced set definitions as IN filters; the shared
+        // compilation pipeline will externalize them into backing-DB temp
+        // tables (or inline them if that fails).
+        {
+            let sets = self.sets.lock();
+            for name in &query.set_refs {
+                let def = sets.get(name).ok_or_else(|| {
+                    TvError::Bind(format!("unknown set definition '{name}'"))
+                })?;
+                spec = spec.filter(Expr::In {
+                    expr: Box::new(Expr::Column(def.column.clone())),
+                    list: def.values.clone(),
+                    negated: false,
+                });
+            }
+        }
+        for g in &query.group_by {
+            spec = spec.group(g.clone());
+        }
+        for a in &query.aggs {
+            let mut call = a.clone();
+            call.arg = call.arg.map(|e| published.substitute(&e));
+            spec = spec.agg(call);
+        }
+        if !query.order.is_empty() {
+            spec = spec.order_by(query.order.clone());
+        }
+        if let Some(n) = query.topn {
+            spec = spec.top(n);
+        }
+        Ok(spec)
+    }
+}
+
+/// One client's connection to one published source.
+pub struct ClientSession {
+    server: Arc<DataServer>,
+    published: Arc<PublishedSource>,
+    user: String,
+    my_sets: Vec<String>,
+}
+
+impl ClientSession {
+    /// The published source's schema, as the client's data window sees it.
+    pub fn metadata(&self) -> Result<tabviz_common::SchemaRef> {
+        let managed = self.server.processor.registry.get(&self.published.backing)?;
+        let catalog = ManagedCatalog(&managed);
+        self.published.relation.schema(&catalog)
+    }
+
+    /// Whether the session may use named sets (server memory temp tables).
+    pub fn supports_sets(&self) -> bool {
+        self.server.enable_memory_temp_tables
+    }
+
+    /// Upload a value set once; returns its name. Subsequent queries
+    /// reference it without resending the values.
+    pub fn define_set(&mut self, column: &str, values: Vec<Value>) -> Result<String> {
+        if !self.server.enable_memory_temp_tables {
+            return Err(TvError::Unsupported(
+                "in-memory temp tables are disabled on this Data Server".into(),
+            ));
+        }
+        let name = tabviz_core::compile::temp_table_name(column, &values);
+        let bytes: usize = values.iter().map(|v| v.to_literal().len()).sum();
+        let mut sets = self.server.sets.lock();
+        match sets.get_mut(&name) {
+            Some(def) => def.refs += 1,
+            None => {
+                sets.insert(
+                    name.clone(),
+                    SetDef {
+                        column: column.to_string(),
+                        values,
+                        refs: 1,
+                    },
+                );
+                let mut st = self.server.stats.lock();
+                st.set_definitions += 1;
+                st.client_bytes_in += bytes as u64;
+            }
+        }
+        self.my_sets.push(name.clone());
+        Ok(name)
+    }
+
+    /// The domain of a defined set — answered from Data Server memory, no
+    /// database interaction ("in some cases, the query may be evaluated
+    /// without interacting with the underlying database").
+    pub fn set_domain(&self, name: &str) -> Result<Vec<Value>> {
+        let sets = self.server.sets.lock();
+        let def = sets
+            .get(name)
+            .ok_or_else(|| TvError::Bind(format!("unknown set definition '{name}'")))?;
+        self.server.stats.lock().answered_from_memory += 1;
+        Ok(def.values.clone())
+    }
+
+    /// Evaluate a client query through the unified pipeline.
+    pub fn query(&self, query: &ClientQuery) -> Result<(Chunk, ExecOutcome)> {
+        {
+            let mut st = self.server.stats.lock();
+            st.queries += 1;
+            st.client_bytes_in += query.wire_bytes() as u64;
+        }
+        let spec = self
+            .server
+            .build_spec(&self.published, &self.user, query)?;
+        let (chunk, outcome) = self.server.processor.execute(&spec)?;
+        self.server.stats.lock().client_bytes_out += chunk.approx_bytes() as u64;
+        Ok((chunk, outcome))
+    }
+}
+
+impl Drop for ClientSession {
+    fn drop(&mut self) {
+        // "This state is maintained while the client connection to Data
+        // Server remains active; it is reclaimed when the connection is
+        // closed. ... The definitions are removed when all references to
+        // them are removed."
+        let mut sets = self.server.sets.lock();
+        for name in &self.my_sets {
+            if let Some(def) = sets.get_mut(name) {
+                def.refs -= 1;
+                if def.refs == 0 {
+                    sets.remove(name);
+                }
+            }
+        }
+    }
+}
+
+/// Catalog adapter over a managed source's metadata.
+struct ManagedCatalog<'a>(&'a Arc<tabviz_core::ManagedSource>);
+
+impl tabviz_tql::Catalog for ManagedCatalog<'_> {
+    fn table_meta(&self, name: &str) -> Result<tabviz_tql::TableMeta> {
+        self.0.source.table_meta(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabviz_backend::{SimConfig, SimDb};
+    use tabviz_common::{DataType, Field, Schema};
+    use tabviz_storage::{Database, Table};
+    use tabviz_tql::expr::{bin, col, lit, BinOp};
+    use tabviz_tql::{AggFunc, LogicalPlan};
+
+    fn sales_db() -> Arc<Database> {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("region", DataType::Str),
+                Field::new("customer", DataType::Str),
+                Field::new("revenue", DataType::Int),
+                Field::new("cost", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let rows: Vec<Vec<Value>> = (0..400)
+            .map(|i| {
+                vec![
+                    Value::Str(["west", "east"][i % 2].into()),
+                    Value::Str(format!("C{}", i % 100)),
+                    Value::Int((i * 7 % 500) as i64),
+                    Value::Int((i * 3 % 200) as i64),
+                ]
+            })
+            .collect();
+        let db = Arc::new(Database::new("crm"));
+        db.put(Table::from_chunk("orders", &Chunk::from_rows(schema, &rows).unwrap(), &[]).unwrap())
+            .unwrap();
+        db
+    }
+
+    fn server() -> (Arc<DataServer>, SimDb) {
+        let sim = SimDb::new("warehouse", sales_db(), SimConfig::default());
+        let qp = QueryProcessor::default();
+        qp.registry.register(Arc::new(sim.clone()), 4);
+        let server = Arc::new(DataServer::new(qp));
+        let p = PublishedSource::new("sales", "warehouse", LogicalPlan::scan("orders"));
+        p.define_calculation("margin", bin(BinOp::Sub, col("revenue"), col("cost")));
+        p.set_user_filter("alice", bin(BinOp::Eq, col("region"), lit("west")));
+        p.set_user_filter("bob", bin(BinOp::Eq, col("region"), lit("east")));
+        server.publish(p);
+        (server, sim)
+    }
+
+    fn revenue_by_region() -> ClientQuery {
+        ClientQuery {
+            group_by: vec!["region".into()],
+            aggs: vec![AggCall::new(AggFunc::Sum, Some(col("revenue")), "rev")],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn metadata_handout() {
+        let (server, _) = server();
+        let session = server.connect("sales", "manager").unwrap();
+        let schema = session.metadata().unwrap();
+        assert_eq!(schema.names(), vec!["region", "customer", "revenue", "cost"]);
+        assert!(session.supports_sets());
+    }
+
+    #[test]
+    fn row_level_security_applies() {
+        let (server, _) = server();
+        let alice = server.connect("sales", "alice").unwrap();
+        let (out, _) = alice.query(&revenue_by_region()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0)[0], Value::Str("west".into()));
+        // A user with no filter sees everything.
+        let manager = server.connect("sales", "manager").unwrap();
+        let (all, _) = manager.query(&revenue_by_region()).unwrap();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn security_filters_never_leak_across_users() {
+        let (server, _) = server();
+        let manager = server.connect("sales", "manager").unwrap();
+        manager.query(&revenue_by_region()).unwrap(); // caches the full result
+        let bob = server.connect("sales", "bob").unwrap();
+        let (out, _) = bob.query(&revenue_by_region()).unwrap();
+        // Bob's result is east-only even though the full result was cached
+        // (the mandatory filter is part of the cache key / post-processing).
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0)[0], Value::Str("east".into()));
+    }
+
+    #[test]
+    fn shared_calculation_used_in_query() {
+        let (server, _) = server();
+        let s = server.connect("sales", "manager").unwrap();
+        let q = ClientQuery {
+            group_by: vec!["region".into()],
+            aggs: vec![AggCall::new(AggFunc::Sum, Some(col("margin")), "m")],
+            ..Default::default()
+        };
+        let (out, _) = s.query(&q).unwrap();
+        assert_eq!(out.len(), 2);
+        // margin = revenue - cost; verify against direct computation.
+        let q2 = ClientQuery {
+            group_by: vec!["region".into()],
+            aggs: vec![AggCall::new(
+                AggFunc::Sum,
+                Some(bin(BinOp::Sub, col("revenue"), col("cost"))),
+                "m",
+            )],
+            ..Default::default()
+        };
+        let (out2, _) = s.query(&q2).unwrap();
+        let mut a = out.to_rows();
+        let mut b = out2.to_rows();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_definition_reduces_traffic_and_pushes_down() {
+        let (server, sim) = server();
+        let mut s = server.connect("sales", "manager").unwrap();
+        let customers: Vec<Value> = (0..60).map(|i| Value::Str(format!("C{i}"))).collect();
+        let set = s.define_set("customer", customers.clone()).unwrap();
+        let base_in = server.stats().client_bytes_in;
+
+        let q = ClientQuery {
+            group_by: vec!["region".into()],
+            aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+            set_refs: vec![set.clone()],
+            ..Default::default()
+        };
+        s.query(&q).unwrap();
+        let after_one = server.stats().client_bytes_in;
+        // Referencing the set costs far less than re-uploading 60 values.
+        assert!((after_one - base_in) < 200, "wire cost {}", after_one - base_in);
+        // The set was pushed down as a temp table on the backing database.
+        assert_eq!(sim.stats().temp_tables_created, 1);
+
+        // Inline equivalent gives identical rows.
+        let q_inline = ClientQuery {
+            filters: vec![Expr::In {
+                expr: Box::new(col("customer")),
+                list: customers,
+                negated: false,
+            }],
+            group_by: vec!["region".into()],
+            aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+            ..Default::default()
+        };
+        let (a, _) = s.query(&q).unwrap();
+        let (b, _) = s.query(&q_inline).unwrap();
+        let mut ar = a.to_rows();
+        let mut br = b.to_rows();
+        ar.sort();
+        br.sort();
+        assert_eq!(ar, br);
+    }
+
+    #[test]
+    fn set_definitions_shared_and_refcounted() {
+        let (server, _) = server();
+        let mut s1 = server.connect("sales", "alice").unwrap();
+        let mut s2 = server.connect("sales", "bob").unwrap();
+        let values: Vec<Value> = (0..40).map(|i| Value::Str(format!("C{i}"))).collect();
+        let n1 = s1.define_set("customer", values.clone()).unwrap();
+        let n2 = s2.define_set("customer", values).unwrap();
+        assert_eq!(n1, n2, "identical definitions share one entry");
+        assert_eq!(server.stats().set_definitions, 1);
+        assert_eq!(s2.set_domain(&n2).unwrap().len(), 40);
+        drop(s1);
+        // Still alive: s2 holds a reference.
+        assert!(s2.set_domain(&n2).is_ok());
+        let name = n2.clone();
+        drop(s2);
+        // All references gone → definition removed.
+        let s3 = server.connect("sales", "manager").unwrap();
+        assert!(s3.set_domain(&name).is_err());
+    }
+
+    #[test]
+    fn memory_temp_tables_can_be_disabled() {
+        let (server, _) = server();
+        let mut server_mut = Arc::try_unwrap(server).map_err(|_| ()).unwrap_or_else(|_| panic!());
+        server_mut.enable_memory_temp_tables = false;
+        let server = Arc::new(server_mut);
+        let mut s = server.connect("sales", "manager").unwrap();
+        assert!(!s.supports_sets());
+        let err = s.define_set("customer", vec![Value::Str("C1".into())]);
+        assert!(matches!(err, Err(TvError::Unsupported(_))));
+    }
+
+    #[test]
+    fn unknown_published_source_and_set() {
+        let (server, _) = server();
+        assert!(server.connect("nope", "u").is_err());
+        let s = server.connect("sales", "u").unwrap();
+        let q = ClientQuery {
+            group_by: vec!["region".into()],
+            set_refs: vec!["missing".into()],
+            ..Default::default()
+        };
+        assert!(s.query(&q).is_err());
+    }
+}

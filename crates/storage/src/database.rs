@@ -1,0 +1,222 @@
+//! The schema / table / column namespace.
+//!
+//! Sect. 4.1.1: "the TDE has a three-layer namespace for logical objects in a
+//! database: schema, table and column ... The metadata is stored in the
+//! reserved SYS schema." Temp tables (shadow extracts, Data Server filter
+//! tables) live in the reserved `TEMP` schema and are excluded from packing.
+
+use crate::table::Table;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tabviz_common::{Result, TvError};
+
+/// Reserved schema names.
+pub const SYS_SCHEMA: &str = "SYS";
+pub const TEMP_SCHEMA: &str = "TEMP";
+/// Default user schema.
+pub const DEFAULT_SCHEMA: &str = "Extract";
+
+/// A named collection of schemas, each holding tables.
+///
+/// Thread-safe: the TDE server deployment shares one `Database` across
+/// worker threads (shared-everything, Sect. 4.1.4).
+#[derive(Debug)]
+pub struct Database {
+    name: String,
+    schemas: RwLock<BTreeMap<String, BTreeMap<String, Arc<Table>>>>,
+}
+
+impl Database {
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut schemas = BTreeMap::new();
+        schemas.insert(DEFAULT_SCHEMA.to_string(), BTreeMap::new());
+        schemas.insert(SYS_SCHEMA.to_string(), BTreeMap::new());
+        schemas.insert(TEMP_SCHEMA.to_string(), BTreeMap::new());
+        Database {
+            name: name.into(),
+            schemas: RwLock::new(schemas),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn create_schema(&self, schema: &str) -> Result<()> {
+        let mut s = self.schemas.write();
+        if s.contains_key(schema) {
+            return Err(TvError::Schema(format!("schema '{schema}' already exists")));
+        }
+        s.insert(schema.to_string(), BTreeMap::new());
+        Ok(())
+    }
+
+    pub fn schema_names(&self) -> Vec<String> {
+        self.schemas.read().keys().cloned().collect()
+    }
+
+    /// Register a table in a schema; replaces any existing table of the same
+    /// name (extract refresh semantics — Sect. 2: "extracts can be refreshed
+    /// when appropriate").
+    pub fn put_table(&self, schema: &str, table: Table) -> Result<Arc<Table>> {
+        self.put_table_arc(schema, Arc::new(table))
+    }
+
+    /// Register an already-shared table without copying its columns — used
+    /// to build cheap per-session views of a database (simulated backend
+    /// sessions share base tables but own their temp tables).
+    pub fn put_table_arc(&self, schema: &str, table: Arc<Table>) -> Result<Arc<Table>> {
+        let mut s = self.schemas.write();
+        let tables = s
+            .get_mut(schema)
+            .ok_or_else(|| TvError::Schema(format!("unknown schema '{schema}'")))?;
+        tables.insert(table.name().to_string(), Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// A new database sharing this one's user tables by reference; reserved
+    /// schemas (SYS, TEMP) start empty. Session-scoped temp tables go into
+    /// the clone without becoming visible to other sessions.
+    pub fn session_view(&self, name: impl Into<String>) -> Database {
+        let view = Database::new(name);
+        for (schema, table) in self.user_tables() {
+            if !view.schema_names().contains(&schema) {
+                let _ = view.create_schema(&schema);
+            }
+            let _ = view.put_table_arc(&schema, table);
+        }
+        view
+    }
+
+    /// Register in the default user schema.
+    pub fn put(&self, table: Table) -> Result<Arc<Table>> {
+        self.put_table(DEFAULT_SCHEMA, table)
+    }
+
+    /// Register a temp table (shadow extracts, filter tables).
+    pub fn put_temp(&self, table: Table) -> Result<Arc<Table>> {
+        self.put_table(TEMP_SCHEMA, table)
+    }
+
+    pub fn get_table(&self, schema: &str, name: &str) -> Result<Arc<Table>> {
+        self.schemas
+            .read()
+            .get(schema)
+            .and_then(|t| t.get(name))
+            .cloned()
+            .ok_or_else(|| TvError::Schema(format!("unknown table '{schema}.{name}'")))
+    }
+
+    /// Resolve an unqualified name: user schema first, then TEMP.
+    pub fn resolve(&self, name: &str) -> Result<Arc<Table>> {
+        if let Some((schema, table)) = name.split_once('.') {
+            return self.get_table(schema, table);
+        }
+        self.get_table(DEFAULT_SCHEMA, name)
+            .or_else(|_| self.get_table(TEMP_SCHEMA, name))
+    }
+
+    pub fn drop_table(&self, schema: &str, name: &str) -> Result<()> {
+        let mut s = self.schemas.write();
+        let tables = s
+            .get_mut(schema)
+            .ok_or_else(|| TvError::Schema(format!("unknown schema '{schema}'")))?;
+        tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| TvError::Schema(format!("unknown table '{schema}.{name}'")))
+    }
+
+    /// Drop every temp table (connection close / session expiry, Sect. 5.4).
+    pub fn clear_temp(&self) {
+        if let Some(t) = self.schemas.write().get_mut(TEMP_SCHEMA) {
+            t.clear();
+        }
+    }
+
+    pub fn table_names(&self, schema: &str) -> Vec<String> {
+        self.schemas
+            .read()
+            .get(schema)
+            .map(|t| t.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// All `(schema, table)` pairs excluding reserved schemas — the content
+    /// that gets packed into a single file.
+    pub fn user_tables(&self) -> Vec<(String, Arc<Table>)> {
+        self.schemas
+            .read()
+            .iter()
+            .filter(|(name, _)| name.as_str() != SYS_SCHEMA && name.as_str() != TEMP_SCHEMA)
+            .flat_map(|(schema, tables)| {
+                tables
+                    .values()
+                    .map(|t| (schema.clone(), Arc::clone(t)))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use tabviz_common::{Chunk, DataType, Field, Schema, Value};
+
+    fn tiny_table(name: &str) -> Table {
+        let schema = StdArc::new(Schema::new(vec![Field::new("x", DataType::Int)]).unwrap());
+        let chunk = Chunk::from_rows(schema, &[vec![Value::Int(1)]]).unwrap();
+        Table::from_chunk(name, &chunk, &[]).unwrap()
+    }
+
+    #[test]
+    fn put_get_drop() {
+        let db = Database::new("db");
+        db.put(tiny_table("t")).unwrap();
+        assert_eq!(db.get_table(DEFAULT_SCHEMA, "t").unwrap().row_count(), 1);
+        assert!(db.resolve("t").is_ok());
+        db.drop_table(DEFAULT_SCHEMA, "t").unwrap();
+        assert!(db.resolve("t").is_err());
+    }
+
+    #[test]
+    fn temp_resolution_and_clear() {
+        let db = Database::new("db");
+        db.put_temp(tiny_table("shadow")).unwrap();
+        assert!(db.resolve("shadow").is_ok());
+        assert!(db.resolve("TEMP.shadow").is_ok());
+        db.clear_temp();
+        assert!(db.resolve("shadow").is_err());
+    }
+
+    #[test]
+    fn replace_on_refresh() {
+        let db = Database::new("db");
+        db.put(tiny_table("t")).unwrap();
+        db.put(tiny_table("t")).unwrap(); // refresh replaces silently
+        assert_eq!(db.table_names(DEFAULT_SCHEMA), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let db = Database::new("db");
+        db.create_schema("other").unwrap();
+        db.put_table("other", tiny_table("t")).unwrap();
+        assert!(db.resolve("t").is_err());
+        assert!(db.resolve("other.t").is_ok());
+        assert!(db.create_schema("other").is_err());
+    }
+
+    #[test]
+    fn user_tables_excludes_reserved() {
+        let db = Database::new("db");
+        db.put(tiny_table("a")).unwrap();
+        db.put_temp(tiny_table("b")).unwrap();
+        let user = db.user_tables();
+        assert_eq!(user.len(), 1);
+        assert_eq!(user[0].1.name(), "a");
+    }
+}

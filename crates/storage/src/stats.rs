@@ -1,0 +1,117 @@
+//! Per-column statistics.
+//!
+//! The paper's query compiler "incorporates information about cardinalities
+//! [and] domains" (Sect. 3.1) and the TDE's parallel planner consults
+//! "metadata, such as data volume stored in a table" (Sect. 4.2.2). These
+//! statistics are computed once at load time, when the data is already being
+//! scanned for encoding.
+
+use tabviz_common::Value;
+
+/// Summary statistics for one stored column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Smallest non-null value, if any non-null value exists.
+    pub min: Option<Value>,
+    /// Largest non-null value.
+    pub max: Option<Value>,
+    /// Exact number of distinct non-null values.
+    pub distinct: usize,
+    /// Number of null rows.
+    pub null_count: usize,
+    /// Total rows.
+    pub row_count: usize,
+    /// Whether the column is non-decreasing top-to-bottom (nulls first).
+    pub sorted: bool,
+}
+
+impl ColumnStats {
+    /// Compute stats from materialized values. `O(n log n)` due to the exact
+    /// distinct count; run once per column at table-build time.
+    pub fn compute(values: &[Value]) -> Self {
+        let row_count = values.len();
+        let null_count = values.iter().filter(|v| v.is_null()).count();
+        let mut sorted = true;
+        for w in values.windows(2) {
+            if w[0] > w[1] {
+                sorted = false;
+                break;
+            }
+        }
+        let mut non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+        non_null.sort();
+        let min = non_null.first().map(|v| (*v).clone());
+        let max = non_null.last().map(|v| (*v).clone());
+        non_null.dedup();
+        ColumnStats {
+            min,
+            max,
+            distinct: non_null.len(),
+            null_count,
+            row_count,
+            sorted,
+        }
+    }
+
+    /// Fraction of rows expected to match an equality predicate against one
+    /// value, assuming a uniform distribution over the distinct values.
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.distinct == 0 {
+            0.0
+        } else {
+            1.0 / self.distinct as f64
+        }
+    }
+
+    /// `true` when every non-null value is distinct — a uniqueness property
+    /// the optimizer uses for join culling (Sect. 4.1.2).
+    pub fn is_unique(&self) -> bool {
+        self.distinct + self.null_count == self.row_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let vals = vec![
+            Value::Int(3),
+            Value::Null,
+            Value::Int(1),
+            Value::Int(3),
+        ];
+        let s = ColumnStats::compute(&vals);
+        assert_eq!(s.min, Some(Value::Int(1)));
+        assert_eq!(s.max, Some(Value::Int(3)));
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.null_count, 1);
+        assert!(!s.sorted);
+        assert!(!s.is_unique());
+    }
+
+    #[test]
+    fn sorted_detection_counts_nulls_first() {
+        let vals = vec![Value::Null, Value::Int(1), Value::Int(1), Value::Int(2)];
+        assert!(ColumnStats::compute(&vals).sorted);
+        let vals2 = vec![Value::Int(1), Value::Null];
+        assert!(!ColumnStats::compute(&vals2).sorted);
+    }
+
+    #[test]
+    fn unique_detection() {
+        let s = ColumnStats::compute(&[Value::Int(1), Value::Int(2), Value::Null]);
+        assert!(s.is_unique());
+        assert!((s.eq_selectivity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_column() {
+        let s = ColumnStats::compute(&[]);
+        assert_eq!(s.min, None);
+        assert_eq!(s.distinct, 0);
+        assert!(s.sorted);
+        assert_eq!(s.eq_selectivity(), 0.0);
+    }
+}

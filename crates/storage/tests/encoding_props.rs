@@ -1,0 +1,161 @@
+//! Property tests: every codec must round-trip any column exactly, and
+//! range decoding must agree with slicing the full decode.
+
+use proptest::prelude::*;
+use tabviz_common::{ColumnVec, DataType, Field, Value};
+use tabviz_storage::column::{Codec, StoredColumn};
+
+fn arb_value(dtype: DataType) -> BoxedStrategy<Value> {
+    match dtype {
+        DataType::Int => prop_oneof![
+            3 => (-100i64..100).prop_map(Value::Int),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Real => prop_oneof![
+            3 => (-100.0f64..100.0).prop_map(Value::Real),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Bool => prop_oneof![
+            2 => any::<bool>().prop_map(Value::Bool),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Date => prop_oneof![
+            3 => (-5000i32..5000).prop_map(Value::Date),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+        DataType::Str => prop_oneof![
+            3 => proptest::sample::select(vec!["AA", "DL", "WN", "UA", "", "日本", "O'Hare"])
+                .prop_map(|s| Value::Str(s.to_string())),
+            1 => Just(Value::Null),
+        ]
+        .boxed(),
+    }
+}
+
+fn arb_dtype() -> impl Strategy<Value = DataType> {
+    proptest::sample::select(vec![
+        DataType::Int,
+        DataType::Real,
+        DataType::Bool,
+        DataType::Date,
+        DataType::Str,
+    ])
+}
+
+fn arb_column() -> impl Strategy<Value = (DataType, Vec<Value>)> {
+    arb_dtype().prop_flat_map(|dt| {
+        proptest::collection::vec(arb_value(dt), 0..200).prop_map(move |vs| (dt, vs))
+    })
+}
+
+/// Columns with long runs, to exercise RLE properly.
+fn arb_runny_column() -> impl Strategy<Value = (DataType, Vec<Value>)> {
+    proptest::collection::vec((0i64..5, 1usize..30), 1..20).prop_map(|runs| {
+        let mut vs = Vec::new();
+        for (v, n) in runs {
+            for _ in 0..n {
+                vs.push(if v == 4 { Value::Null } else { Value::Int(v) });
+            }
+        }
+        (DataType::Int, vs)
+    })
+}
+
+fn column_vec(dtype: DataType, values: &[Value]) -> ColumnVec {
+    ColumnVec::from_iter_typed(dtype, values.iter()).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn every_codec_roundtrips((dtype, values) in arb_column()) {
+        let col = column_vec(dtype, &values);
+        for codec in [Codec::Auto, Codec::Plain, Codec::Rle, Codec::Delta] {
+            let mut field = Field::new("c", dtype);
+            field.nullable = true;
+            let sc = StoredColumn::encode_with(field, &col, codec).unwrap();
+            let decoded = sc.decode().unwrap();
+            prop_assert_eq!(decoded.len(), values.len());
+            for (i, v) in values.iter().enumerate() {
+                prop_assert_eq!(&decoded.get(i), v, "codec {:?} row {}", codec, i);
+                prop_assert_eq!(&sc.value_at(i), v, "value_at codec {:?} row {}", codec, i);
+            }
+        }
+    }
+
+    #[test]
+    fn range_decode_equals_full_slice(
+        (dtype, values) in arb_column(),
+        frac in 0.0f64..1.0,
+        lenfrac in 0.0f64..1.0,
+    ) {
+        if values.is_empty() {
+            return Ok(());
+        }
+        let col = column_vec(dtype, &values);
+        let start = ((values.len() - 1) as f64 * frac) as usize;
+        let len = (((values.len() - start) as f64) * lenfrac) as usize;
+        for codec in [Codec::Plain, Codec::Rle, Codec::Delta] {
+            let sc = StoredColumn::encode_with(Field::new("c", dtype), &col, codec).unwrap();
+            let part = sc.decode_range(start, len).unwrap();
+            prop_assert_eq!(part.len(), len);
+            for i in 0..len {
+                prop_assert_eq!(part.get(i), values[start + i].clone());
+            }
+        }
+    }
+
+    #[test]
+    fn rle_runs_reconstruct_the_column((_, values) in arb_runny_column()) {
+        let col = column_vec(DataType::Int, &values);
+        let sc = StoredColumn::encode_with(Field::new("c", DataType::Int), &col, Codec::Rle).unwrap();
+        let runs = sc.rle_runs().expect("rle codec must expose runs");
+        // Runs must tile [0, len) exactly and agree with the data.
+        let mut cursor = 0usize;
+        for r in &runs {
+            prop_assert_eq!(r.start, cursor);
+            for v in &values[r.start..r.start + r.count] {
+                prop_assert_eq!(v, &r.value);
+            }
+            cursor += r.count;
+        }
+        prop_assert_eq!(cursor, values.len());
+        // Adjacent runs hold different values (maximal runs).
+        for w in runs.windows(2) {
+            prop_assert_ne!(&w[0].value, &w[1].value);
+        }
+    }
+
+    #[test]
+    fn pack_roundtrip_preserves_tables((dtype, values) in arb_column()) {
+        use tabviz_common::{Chunk, Schema};
+        use std::sync::Arc;
+        let schema = Arc::new(Schema::new(vec![Field::new("c", dtype)]).unwrap());
+        let rows: Vec<Vec<Value>> = values.iter().map(|v| vec![v.clone()]).collect();
+        let chunk = Chunk::from_rows(schema, &rows).unwrap();
+        let db = tabviz_storage::Database::new("p");
+        db.put(tabviz_storage::Table::from_chunk("t", &chunk, &[]).unwrap()).unwrap();
+        let img = tabviz_storage::pack::pack(&db);
+        let db2 = tabviz_storage::pack::unpack(&img).unwrap();
+        let back = db2.resolve("t").unwrap().scan(None).unwrap();
+        prop_assert_eq!(back.to_rows(), chunk.to_rows());
+    }
+
+    #[test]
+    fn stats_bound_the_data((dtype, values) in arb_column()) {
+        let col = column_vec(dtype, &values);
+        let sc = StoredColumn::encode(Field::new("c", dtype), &col).unwrap();
+        let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+        prop_assert_eq!(sc.stats.null_count, values.len() - non_null.len());
+        if let (Some(min), Some(max)) = (&sc.stats.min, &sc.stats.max) {
+            for v in &non_null {
+                prop_assert!(*v >= min && *v <= max);
+            }
+        } else {
+            prop_assert!(non_null.is_empty());
+        }
+    }
+}

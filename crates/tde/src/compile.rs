@@ -1,0 +1,287 @@
+//! Classic compiler rewrites.
+//!
+//! Sect. 4.1.2: "the compiler also performs classic rewrites of the tree, for
+//! example, expressing SELECT DISTINCT as a GROUP BY query." This module also
+//! performs constant folding and predicate simplification — the paper's query
+//! processor applies "predicate simplification" before dialect generation
+//! (Sect. 3.1), and notes that such simplification can make *different*
+//! internal queries compile to the *same* text, which is exactly what the
+//! literal query cache catches (Sect. 3.2).
+
+use tabviz_common::{Result, Value};
+use tabviz_tql::expr::Expr;
+use tabviz_tql::{BinOp, Catalog, LogicalPlan, UnaryOp};
+
+/// Run all compile-time rewrites.
+pub fn compile(plan: LogicalPlan, catalog: &dyn Catalog) -> Result<LogicalPlan> {
+    let plan = rewrite_distinct(plan, catalog)?;
+    simplify_plan(plan)
+}
+
+/// Rewrite `Distinct` into a grouping aggregate over all output columns.
+pub fn rewrite_distinct(plan: LogicalPlan, catalog: &dyn Catalog) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Distinct { input } => {
+            let input = rewrite_distinct(*input, catalog)?;
+            let schema = input.schema(catalog)?;
+            let group_by = schema
+                .fields()
+                .iter()
+                .map(|f| (Expr::Column(f.name.clone()), f.name.clone()))
+                .collect();
+            LogicalPlan::Aggregate {
+                input: Box::new(input),
+                group_by,
+                aggs: vec![],
+            }
+        }
+        LogicalPlan::TableScan { .. } => plan,
+        LogicalPlan::Select { input, predicate } => LogicalPlan::Select {
+            input: Box::new(rewrite_distinct(*input, catalog)?),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(rewrite_distinct(*input, catalog)?),
+            exprs,
+        },
+        LogicalPlan::Join { left, right, on, join_type } => LogicalPlan::Join {
+            left: Box::new(rewrite_distinct(*left, catalog)?),
+            right: Box::new(rewrite_distinct(*right, catalog)?),
+            on,
+            join_type,
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite_distinct(*input, catalog)?),
+            group_by,
+            aggs,
+        },
+        LogicalPlan::Order { input, keys } => LogicalPlan::Order {
+            input: Box::new(rewrite_distinct(*input, catalog)?),
+            keys,
+        },
+        LogicalPlan::TopN { input, keys, n } => LogicalPlan::TopN {
+            input: Box::new(rewrite_distinct(*input, catalog)?),
+            keys,
+            n,
+        },
+    })
+}
+
+/// Fold constants and simplify boolean structure throughout the plan; drop
+/// `Select TRUE` nodes entirely.
+pub fn simplify_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Select { input, predicate } => {
+            let input = simplify_plan(*input)?;
+            let predicate = simplify_expr(predicate);
+            if predicate == Expr::Literal(Value::Bool(true)) {
+                input
+            } else {
+                LogicalPlan::Select { input: Box::new(input), predicate }
+            }
+        }
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(simplify_plan(*input)?),
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (simplify_expr(e), n))
+                .collect(),
+        },
+        LogicalPlan::Join { left, right, on, join_type } => LogicalPlan::Join {
+            left: Box::new(simplify_plan(*left)?),
+            right: Box::new(simplify_plan(*right)?),
+            on,
+            join_type,
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(simplify_plan(*input)?),
+            group_by: group_by
+                .into_iter()
+                .map(|(e, n)| (simplify_expr(e), n))
+                .collect(),
+            aggs,
+        },
+        LogicalPlan::Order { input, keys } => LogicalPlan::Order {
+            input: Box::new(simplify_plan(*input)?),
+            keys,
+        },
+        LogicalPlan::TopN { input, keys, n } => LogicalPlan::TopN {
+            input: Box::new(simplify_plan(*input)?),
+            keys,
+            n,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(simplify_plan(*input)?),
+        },
+        leaf @ LogicalPlan::TableScan { .. } => leaf,
+    })
+}
+
+/// Bottom-up expression simplification: constant folding plus boolean
+/// identities (`TRUE AND p → p`, `FALSE AND p → FALSE`, `NOT NOT p → p`,
+/// single-element IN → equality).
+pub fn simplify_expr(e: Expr) -> Expr {
+    // Fold entire constant subtrees first.
+    if let Some(v) = e.const_eval() {
+        return Expr::Literal(v);
+    }
+    match e {
+        Expr::Binary { op, left, right } => {
+            let l = simplify_expr(*left);
+            let r = simplify_expr(*right);
+            match op {
+                BinOp::And => match (&l, &r) {
+                    (Expr::Literal(Value::Bool(true)), _) => r,
+                    (_, Expr::Literal(Value::Bool(true))) => l,
+                    (Expr::Literal(Value::Bool(false)), _)
+                    | (_, Expr::Literal(Value::Bool(false))) => {
+                        Expr::Literal(Value::Bool(false))
+                    }
+                    _ => Expr::Binary { op, left: Box::new(l), right: Box::new(r) },
+                },
+                BinOp::Or => match (&l, &r) {
+                    (Expr::Literal(Value::Bool(false)), _) => r,
+                    (_, Expr::Literal(Value::Bool(false))) => l,
+                    (Expr::Literal(Value::Bool(true)), _)
+                    | (_, Expr::Literal(Value::Bool(true))) => Expr::Literal(Value::Bool(true)),
+                    _ => Expr::Binary { op, left: Box::new(l), right: Box::new(r) },
+                },
+                _ => Expr::Binary { op, left: Box::new(l), right: Box::new(r) },
+            }
+        }
+        Expr::Unary { op, expr } => {
+            let inner = simplify_expr(*expr);
+            if op == UnaryOp::Not {
+                if let Expr::Unary { op: UnaryOp::Not, expr: inner2 } = inner {
+                    return *inner2;
+                }
+            }
+            Expr::Unary { op, expr: Box::new(inner) }
+        }
+        Expr::In { expr, mut list, negated } => {
+            let inner = simplify_expr(*expr);
+            list.sort();
+            list.dedup();
+            if list.len() == 1 && !negated {
+                return Expr::Binary {
+                    op: BinOp::Eq,
+                    left: Box::new(inner),
+                    right: Box::new(Expr::Literal(list.pop().unwrap())),
+                };
+            }
+            Expr::In { expr: Box::new(inner), list, negated }
+        }
+        Expr::Between { expr, low, high } => Expr::Between {
+            expr: Box::new(simplify_expr(*expr)),
+            low,
+            high,
+        },
+        Expr::Func { func, args } => Expr::Func {
+            func,
+            args: args.into_iter().map(simplify_expr).collect(),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tabviz_common::{DataType, Field, Schema};
+    use tabviz_tql::catalog::{MemoryCatalog, TableMeta};
+    use tabviz_tql::expr::{bin, col, lit};
+
+    fn catalog() -> MemoryCatalog {
+        let mut cat = MemoryCatalog::new();
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Str),
+                Field::new("b", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        cat.add("t", TableMeta::new(schema, 10));
+        cat
+    }
+
+    #[test]
+    fn distinct_becomes_group_by() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t").distinct();
+        let compiled = compile(plan, &cat).unwrap();
+        match compiled {
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                assert_eq!(group_by.len(), 2);
+                assert!(aggs.is_empty());
+            }
+            other => panic!("expected aggregate, got {other}"),
+        }
+    }
+
+    #[test]
+    fn constant_predicates_fold() {
+        let e = bin(BinOp::Gt, bin(BinOp::Add, lit(1i64), lit(1i64)), lit(1i64));
+        assert_eq!(simplify_expr(e), lit(true));
+    }
+
+    #[test]
+    fn select_true_is_dropped() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t").select(bin(
+            BinOp::Or,
+            bin(BinOp::Eq, col("a"), lit("x")),
+            lit(true),
+        ));
+        let compiled = compile(plan, &cat).unwrap();
+        assert_eq!(compiled, LogicalPlan::scan("t"));
+    }
+
+    #[test]
+    fn and_or_identities() {
+        let p = bin(BinOp::Eq, col("a"), lit("x"));
+        assert_eq!(simplify_expr(bin(BinOp::And, lit(true), p.clone())), p);
+        assert_eq!(
+            simplify_expr(bin(BinOp::And, p.clone(), lit(false))),
+            lit(false)
+        );
+        assert_eq!(simplify_expr(bin(BinOp::Or, lit(false), p.clone())), p);
+        assert_eq!(simplify_expr(bin(BinOp::Or, p.clone(), lit(true))), lit(true));
+    }
+
+    #[test]
+    fn double_negation_and_singleton_in() {
+        let p = bin(BinOp::Eq, col("a"), lit("x"));
+        let nn = Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(Expr::Unary { op: UnaryOp::Not, expr: Box::new(p.clone()) }),
+        };
+        assert_eq!(simplify_expr(nn), p);
+        let single_in = Expr::In {
+            expr: Box::new(col("a")),
+            list: vec!["x".into(), "x".into()],
+            negated: false,
+        };
+        assert_eq!(
+            simplify_expr(single_in),
+            bin(BinOp::Eq, col("a"), lit("x"))
+        );
+    }
+
+    #[test]
+    fn in_list_dedup_and_sort_normalizes_text() {
+        // Two differently-written IN lists end up with identical canonical
+        // text — the literal-cache collision scenario from Sect. 3.2.
+        let a = Expr::In {
+            expr: Box::new(col("a")),
+            list: vec!["b".into(), "a".into(), "b".into()],
+            negated: false,
+        };
+        let b = Expr::In {
+            expr: Box::new(col("a")),
+            list: vec!["a".into(), "b".into()],
+            negated: false,
+        };
+        assert_eq!(simplify_expr(a).to_string(), simplify_expr(b).to_string());
+    }
+}

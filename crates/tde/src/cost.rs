@@ -1,0 +1,84 @@
+//! The TDE's empirical cost profile.
+//!
+//! Sect. 4.2.2: "The TDE also has a cost profile for different supported
+//! elementary functions. The cost constants are obtained by empirical
+//! measuring. ... The cost profile is used to determine how expensive an
+//! expression could be. This further affects the decision of the
+//! parallelization."
+
+use tabviz_tql::Expr;
+
+/// Tuning constants for parallel-plan decisions.
+#[derive(Debug, Clone, Copy)]
+pub struct CostProfile {
+    /// Minimum weighted work units per thread before adding parallelism.
+    /// Roughly: rows × expression-cost must exceed this per extra thread.
+    pub min_work_per_thread: u64,
+    /// Hard cap on the degree of parallelism (machine size).
+    pub max_dop: usize,
+}
+
+impl Default for CostProfile {
+    fn default() -> Self {
+        CostProfile {
+            min_work_per_thread: 200_000,
+            max_dop: default_dop(),
+        }
+    }
+}
+
+/// Default degree of parallelism: the number of available cores.
+pub fn default_dop() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+impl CostProfile {
+    /// Decide a scan's degree of parallelism from the table's row count and
+    /// the total per-row cost of the expressions evaluated above it.
+    pub fn scan_dop(&self, row_count: usize, expr_cost: u32) -> usize {
+        let work = row_count as u64 * u64::from(expr_cost.max(1));
+        let by_work = (work / self.min_work_per_thread.max(1)) as usize;
+        by_work.clamp(1, self.max_dop)
+    }
+
+    /// Total per-row cost of a set of expressions.
+    pub fn exprs_cost(exprs: &[&Expr]) -> u32 {
+        exprs.iter().map(|e| e.cost_weight()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabviz_tql::expr::{bin, col, lit, BinOp};
+
+    #[test]
+    fn small_tables_stay_serial() {
+        let p = CostProfile { min_work_per_thread: 200_000, max_dop: 8 };
+        assert_eq!(p.scan_dop(1_000, 2), 1);
+    }
+
+    #[test]
+    fn big_tables_parallelize_up_to_cap() {
+        let p = CostProfile { min_work_per_thread: 200_000, max_dop: 8 };
+        assert_eq!(p.scan_dop(10_000_000, 4), 8);
+    }
+
+    #[test]
+    fn expensive_expressions_lower_the_threshold() {
+        let p = CostProfile { min_work_per_thread: 200_000, max_dop: 8 };
+        let cheap = p.scan_dop(150_000, 1);
+        let pricey = p.scan_dop(150_000, 24);
+        assert_eq!(cheap, 1);
+        assert!(pricey > cheap);
+    }
+
+    #[test]
+    fn exprs_cost_sums() {
+        let e1 = bin(BinOp::Gt, col("a"), lit(1i64));
+        let e2 = col("b");
+        assert_eq!(CostProfile::exprs_cost(&[&e1, &e2]), e1.cost_weight() + 1);
+    }
+}

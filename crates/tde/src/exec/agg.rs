@@ -1,0 +1,434 @@
+//! Aggregation operators.
+//!
+//! [`HashAggOp`] is the stop-and-go hash aggregate ("normal aggregate
+//! (currently based on hashing only in the TDE)", Sect. 4.2.4).
+//! [`StreamAggOp`] is the streaming variant applicable when "the data is
+//! grouped according to the group by columns"; it emits groups as they
+//! complete instead of materializing the whole hash table.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use tabviz_common::{Chunk, Collation, ColumnVec, Result, SchemaRef, Value};
+use tabviz_tql::agg::AggState;
+use tabviz_tql::expr::Expr;
+use tabviz_tql::AggCall;
+
+use super::join::normalize_key;
+use super::PhysOp;
+
+/// Evaluate group expressions and aggregate arguments for one chunk.
+struct EvalSet {
+    groups: Vec<ColumnVec>,
+    args: Vec<Option<ColumnVec>>,
+}
+
+fn eval_set(chunk: &Chunk, group_by: &[(Expr, String)], aggs: &[AggCall]) -> Result<EvalSet> {
+    let groups = group_by
+        .iter()
+        .map(|(e, _)| e.eval(chunk))
+        .collect::<Result<Vec<_>>>()?;
+    let args = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| e.eval(chunk)).transpose())
+        .collect::<Result<Vec<_>>>()?;
+    Ok(EvalSet { groups, args })
+}
+
+/// Group collations come from the output schema's group fields.
+fn group_collations(schema: &SchemaRef, n_groups: usize) -> Vec<Collation> {
+    (0..n_groups).map(|i| schema.field(i).collation).collect()
+}
+
+/// Assemble the output chunk from per-group representative values + states.
+fn finish_groups(
+    schema: &SchemaRef,
+    groups: Vec<(Vec<Value>, Vec<AggState>)>,
+) -> Result<Chunk> {
+    let rows: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|(mut reps, states)| {
+            reps.extend(states.iter().map(AggState::finish));
+            reps
+        })
+        .collect();
+    Chunk::from_rows(Arc::clone(schema), &rows)
+}
+
+/// Stop-and-go hash aggregation.
+pub struct HashAggOp {
+    input: Box<dyn PhysOp>,
+    group_by: Vec<(Expr, String)>,
+    aggs: Vec<AggCall>,
+    schema: SchemaRef,
+    done: bool,
+}
+
+impl HashAggOp {
+    pub fn new(
+        input: Box<dyn PhysOp>,
+        group_by: Vec<(Expr, String)>,
+        aggs: Vec<AggCall>,
+        schema: SchemaRef,
+    ) -> Self {
+        HashAggOp {
+            input,
+            group_by,
+            aggs,
+            schema,
+            done: false,
+        }
+    }
+}
+
+impl PhysOp for HashAggOp {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let collations = group_collations(&self.schema, self.group_by.len());
+        // key → (representative raw values, states)
+        let mut table: HashMap<Vec<Value>, (Vec<Value>, Vec<AggState>)> = HashMap::new();
+        // Preserve first-seen group order for deterministic output.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        while let Some(chunk) = self.input.next()? {
+            let ev = eval_set(&chunk, &self.group_by, &self.aggs)?;
+            for row in 0..chunk.len() {
+                let mut key = Vec::with_capacity(ev.groups.len());
+                let mut reps = Vec::with_capacity(ev.groups.len());
+                for (gi, g) in ev.groups.iter().enumerate() {
+                    let raw = g.get(row);
+                    key.push(normalize_key(raw.clone(), collations[gi]));
+                    reps.push(raw);
+                }
+                let entry = table.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    (reps, self.aggs.iter().map(|a| AggState::new(a.func)).collect())
+                });
+                for (ai, st) in entry.1.iter_mut().enumerate() {
+                    match &ev.args[ai] {
+                        None => st.update(None)?,
+                        Some(col) => st.update(Some(&col.get(row)))?,
+                    }
+                }
+            }
+        }
+        // Global (no GROUP BY) aggregates emit one row even on empty input.
+        if table.is_empty() && self.group_by.is_empty() {
+            let states: Vec<AggState> = self.aggs.iter().map(|a| AggState::new(a.func)).collect();
+            return Ok(Some(finish_groups(&self.schema, vec![(vec![], states)])?));
+        }
+        if table.is_empty() {
+            return Ok(None);
+        }
+        let groups: Vec<(Vec<Value>, Vec<AggState>)> = order
+            .into_iter()
+            .map(|k| table.remove(&k).expect("ordered key present"))
+            .collect();
+        Ok(Some(finish_groups(&self.schema, groups)?))
+    }
+}
+
+/// Streaming aggregation over grouped input.
+pub struct StreamAggOp {
+    input: Box<dyn PhysOp>,
+    group_by: Vec<(Expr, String)>,
+    aggs: Vec<AggCall>,
+    schema: SchemaRef,
+    current: Option<(Vec<Value>, Vec<Value>, Vec<AggState>)>, // (key, reps, states)
+    input_done: bool,
+    emitted_empty_global: bool,
+}
+
+impl StreamAggOp {
+    pub fn new(
+        input: Box<dyn PhysOp>,
+        group_by: Vec<(Expr, String)>,
+        aggs: Vec<AggCall>,
+        schema: SchemaRef,
+    ) -> Self {
+        StreamAggOp {
+            input,
+            group_by,
+            aggs,
+            schema,
+            current: None,
+            input_done: false,
+            emitted_empty_global: false,
+        }
+    }
+
+    fn new_states(&self) -> Vec<AggState> {
+        self.aggs.iter().map(|a| AggState::new(a.func)).collect()
+    }
+}
+
+impl PhysOp for StreamAggOp {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        if self.input_done {
+            // Flush the trailing group.
+            if let Some((_, reps, states)) = self.current.take() {
+                return Ok(Some(finish_groups(&self.schema, vec![(reps, states)])?));
+            }
+            if self.group_by.is_empty() && !self.emitted_empty_global {
+                self.emitted_empty_global = true;
+                return Ok(Some(finish_groups(
+                    &self.schema,
+                    vec![(vec![], self.new_states())],
+                )?));
+            }
+            return Ok(None);
+        }
+        let collations = group_collations(&self.schema, self.group_by.len());
+        let mut finished: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
+        loop {
+            let Some(chunk) = self.input.next()? else {
+                self.input_done = true;
+                break;
+            };
+            let ev = eval_set(&chunk, &self.group_by, &self.aggs)?;
+            for row in 0..chunk.len() {
+                let mut key = Vec::with_capacity(ev.groups.len());
+                let mut reps = Vec::with_capacity(ev.groups.len());
+                for (gi, g) in ev.groups.iter().enumerate() {
+                    let raw = g.get(row);
+                    key.push(normalize_key(raw.clone(), collations[gi]));
+                    reps.push(raw);
+                }
+                let fresh: Vec<AggState> =
+                    self.aggs.iter().map(|a| AggState::new(a.func)).collect();
+                match &mut self.current {
+                    Some((ck, _, states)) if *ck == key => {
+                        for (ai, st) in states.iter_mut().enumerate() {
+                            match &ev.args[ai] {
+                                None => st.update(None)?,
+                                Some(col) => st.update(Some(&col.get(row)))?,
+                            }
+                        }
+                    }
+                    slot => {
+                        if let Some((_, reps_old, states_old)) = slot.take() {
+                            finished.push((reps_old, states_old));
+                        }
+                        let mut states = fresh;
+                        for (ai, st) in states.iter_mut().enumerate() {
+                            match &ev.args[ai] {
+                                None => st.update(None)?,
+                                Some(col) => st.update(Some(&col.get(row)))?,
+                            }
+                        }
+                        *slot = Some((key, reps, states));
+                    }
+                }
+            }
+            if !finished.is_empty() {
+                return Ok(Some(finish_groups(
+                    &self.schema,
+                    std::mem::take(&mut finished),
+                )?));
+            }
+        }
+        if !finished.is_empty() {
+            return Ok(Some(finish_groups(&self.schema, finished)?));
+        }
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ScanOp;
+    use tabviz_common::{DataType, Field, Schema};
+    use tabviz_storage::Table;
+    use tabviz_tql::expr::col;
+    use tabviz_tql::AggFunc;
+
+    fn flights(sorted: bool) -> Arc<Table> {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("delay", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let rows: Vec<Vec<Value>> = [
+            ("AA", 10),
+            ("WN", 4),
+            ("AA", 20),
+            ("DL", 7),
+            ("WN", 2),
+            ("AA", 3),
+        ]
+        .iter()
+        .map(|&(c, d)| vec![Value::Str(c.into()), Value::Int(d)])
+        .collect();
+        let chunk = Chunk::from_rows(schema, &rows).unwrap();
+        let keys: &[&str] = if sorted { &["carrier"] } else { &[] };
+        Arc::new(Table::from_chunk("f", &chunk, keys).unwrap())
+    }
+
+    fn agg_calls() -> Vec<AggCall> {
+        vec![
+            AggCall::new(AggFunc::Count, None, "n"),
+            AggCall::new(AggFunc::Sum, Some(col("delay")), "total"),
+            AggCall::new(AggFunc::Avg, Some(col("delay")), "avg"),
+        ]
+    }
+
+    fn out_schema(t: &Arc<Table>) -> SchemaRef {
+        crate::physical::agg_schema(
+            t.schema(),
+            &[(col("carrier"), "carrier".to_string())],
+            &agg_calls(),
+            crate::physical::AggMode::Single,
+        )
+        .unwrap()
+    }
+
+    fn collect(op: &mut dyn PhysOp) -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        while let Some(c) = op.next().unwrap() {
+            rows.extend(c.to_rows());
+        }
+        rows
+    }
+
+    #[test]
+    fn hash_agg_groups() {
+        let t = flights(false);
+        let scan = ScanOp::new(Arc::clone(&t), vec![(0, t.row_count())], None);
+        let mut op = HashAggOp::new(
+            Box::new(scan),
+            vec![(col("carrier"), "carrier".into())],
+            agg_calls(),
+            out_schema(&t),
+        );
+        let mut rows = collect(&mut op);
+        rows.sort();
+        assert_eq!(rows.len(), 3);
+        let aa = rows.iter().find(|r| r[0] == Value::Str("AA".into())).unwrap();
+        assert_eq!(aa[1], Value::Int(3));
+        assert_eq!(aa[2], Value::Int(33));
+        assert_eq!(aa[3], Value::Real(11.0));
+    }
+
+    #[test]
+    fn stream_agg_matches_hash_on_sorted_input() {
+        let t = flights(true); // table sorted by carrier
+        let scan = ScanOp::new(Arc::clone(&t), vec![(0, t.row_count())], None);
+        let mut sop = StreamAggOp::new(
+            Box::new(scan),
+            vec![(col("carrier"), "carrier".into())],
+            agg_calls(),
+            out_schema(&t),
+        );
+        let mut srows = collect(&mut sop);
+
+        let scan2 = ScanOp::new(Arc::clone(&t), vec![(0, t.row_count())], None);
+        let mut hop = HashAggOp::new(
+            Box::new(scan2),
+            vec![(col("carrier"), "carrier".into())],
+            agg_calls(),
+            out_schema(&t),
+        );
+        let mut hrows = collect(&mut hop);
+        srows.sort();
+        hrows.sort();
+        assert_eq!(srows, hrows);
+    }
+
+    #[test]
+    fn global_aggregate_no_groups() {
+        let t = flights(false);
+        let scan = ScanOp::new(Arc::clone(&t), vec![(0, t.row_count())], None);
+        let schema = crate::physical::agg_schema(
+            t.schema(),
+            &[],
+            &agg_calls(),
+            crate::physical::AggMode::Single,
+        )
+        .unwrap();
+        let mut op = HashAggOp::new(Box::new(scan), vec![], agg_calls(), schema);
+        let rows = collect(&mut op);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(6));
+        assert_eq!(rows[0][1], Value::Int(46));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let t = flights(false);
+        let scan = ScanOp::new(Arc::clone(&t), vec![], None); // no ranges
+        let schema = crate::physical::agg_schema(
+            t.schema(),
+            &[],
+            &agg_calls(),
+            crate::physical::AggMode::Single,
+        )
+        .unwrap();
+        let mut op = HashAggOp::new(Box::new(scan), vec![], agg_calls(), schema.clone());
+        let rows = collect(&mut op);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(0)); // COUNT
+        assert_eq!(rows[0][1], Value::Null); // SUM
+        // Streaming variant agrees.
+        let scan2 = ScanOp::new(Arc::clone(&t), vec![], None);
+        let mut sop = StreamAggOp::new(Box::new(scan2), vec![], agg_calls(), schema);
+        let srows = collect(&mut sop);
+        assert_eq!(srows, rows);
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_input_is_empty() {
+        let t = flights(false);
+        let scan = ScanOp::new(Arc::clone(&t), vec![], None);
+        let mut op = HashAggOp::new(
+            Box::new(scan),
+            vec![(col("carrier"), "carrier".into())],
+            agg_calls(),
+            out_schema(&t),
+        );
+        assert!(collect(&mut op).is_empty());
+    }
+
+    #[test]
+    fn ci_collation_merges_groups() {
+        let schema = Arc::new(
+            Schema::new(vec![Field::new("c", DataType::Str)
+                .with_collation(Collation::CaseInsensitive)])
+            .unwrap(),
+        );
+        let chunk = Chunk::from_rows(
+            Arc::clone(&schema),
+            &[vec!["AA".into()], vec!["aa".into()], vec!["DL".into()]],
+        )
+        .unwrap();
+        let t = Arc::new(Table::from_chunk("c", &chunk, &[]).unwrap());
+        let calls = vec![AggCall::new(AggFunc::Count, None, "n")];
+        let out = crate::physical::agg_schema(
+            t.schema(),
+            &[(col("c"), "c".to_string())],
+            &calls,
+            crate::physical::AggMode::Single,
+        )
+        .unwrap();
+        let scan = ScanOp::new(Arc::clone(&t), vec![(0, 3)], None);
+        let mut op = HashAggOp::new(
+            Box::new(scan),
+            vec![(col("c"), "c".into())],
+            calls,
+            out,
+        );
+        let rows = collect(&mut op);
+        assert_eq!(rows.len(), 2, "AA and aa should merge under CI collation");
+    }
+}

@@ -1,0 +1,294 @@
+//! The Exchange operator.
+//!
+//! Sect. 4.2.1: "the TDE execution engine uses the Exchange operator to
+//! handle the parallel part of the query plan. ... In Tableau 9.0, we limited
+//! the usage of the Exchange operator to only support N inputs and one
+//! output" — no repartitioning, no order preservation. Each input pipeline
+//! runs on its own thread; chunks funnel into one bounded channel.
+
+use crossbeam::channel::{bounded, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use tabviz_common::{Chunk, Result, SchemaRef, TvError};
+
+use super::{make_op, PhysOp};
+use crate::physical::PhysPlan;
+
+/// Per-input channel capacity: enough to keep producers busy without
+/// unbounded buffering.
+const CHANNEL_DEPTH: usize = 4;
+
+/// N→1 exchange: merges the outputs of its input pipelines — in arrival
+/// order by default, or in *branch* order when `ordered` is set ("it has a
+/// capability to ... preserve the order of the input if needed",
+/// Sect. 4.2.1; producers still run concurrently, the consumer just drains
+/// their buffered channels input-by-input).
+pub struct ExchangeOp {
+    schema: SchemaRef,
+    inputs: Vec<PhysPlan>,
+    ordered: bool,
+    state: Option<Running>,
+    finished: bool,
+}
+
+struct Running {
+    /// Unordered mode: one shared channel. Ordered mode: one per input.
+    rxs: Vec<Receiver<Result<Chunk>>>,
+    /// Cursor into `rxs` for ordered draining.
+    current: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ExchangeOp {
+    pub fn new(inputs: &[PhysPlan]) -> Result<Self> {
+        Self::with_order(inputs, false)
+    }
+
+    pub fn new_ordered(inputs: &[PhysPlan]) -> Result<Self> {
+        Self::with_order(inputs, true)
+    }
+
+    fn with_order(inputs: &[PhysPlan], ordered: bool) -> Result<Self> {
+        if inputs.is_empty() {
+            return Err(TvError::Plan("Exchange with no inputs".into()));
+        }
+        let schema = inputs[0].schema()?;
+        for i in &inputs[1..] {
+            if i.schema()?.len() != schema.len() {
+                return Err(TvError::Plan("Exchange inputs disagree on schema".into()));
+            }
+        }
+        Ok(ExchangeOp {
+            schema,
+            inputs: inputs.to_vec(),
+            ordered,
+            state: None,
+            finished: false,
+        })
+    }
+
+    fn start(&mut self) -> Result<()> {
+        let mut rxs = Vec::new();
+        let mut handles = Vec::with_capacity(self.inputs.len());
+        let shared = if self.ordered {
+            None
+        } else {
+            Some(bounded::<Result<Chunk>>(CHANNEL_DEPTH * self.inputs.len()))
+        };
+        for plan in self.inputs.drain(..) {
+            let tx = match &shared {
+                Some((tx, _)) => tx.clone(),
+                None => {
+                    let (tx, rx) = bounded::<Result<Chunk>>(CHANNEL_DEPTH);
+                    rxs.push(rx);
+                    tx
+                }
+            };
+            let handle = std::thread::spawn(move || {
+                // Operator construction happens on the worker thread so scan
+                // decoding and join builds overlap across pipelines.
+                let mut op = match make_op(&plan) {
+                    Ok(op) => op,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                };
+                loop {
+                    match op.next() {
+                        Ok(Some(chunk)) => {
+                            if tx.send(Ok(chunk)).is_err() {
+                                return; // consumer gone
+                            }
+                        }
+                        Ok(None) => return,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+            });
+            handles.push(handle);
+        }
+        if let Some((tx, rx)) = shared {
+            drop(tx);
+            rxs.push(rx);
+        }
+        self.state = Some(Running { rxs, current: 0, handles });
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        self.finished = true;
+        if let Some(state) = self.state.take() {
+            drop(state.rxs);
+            for h in state.handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl PhysOp for ExchangeOp {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        if self.finished {
+            return Ok(None);
+        }
+        if self.state.is_none() {
+            self.start()?;
+        }
+        loop {
+            let running = self.state.as_mut().expect("started above");
+            let Some(rx) = running.rxs.get(running.current) else {
+                self.finish();
+                return Ok(None);
+            };
+            match rx.recv() {
+                Ok(Ok(chunk)) => return Ok(Some(chunk)),
+                Ok(Err(e)) => {
+                    self.finish();
+                    return Err(e);
+                }
+                Err(_) => {
+                    // Channel closed: ordered mode moves to the next input;
+                    // unordered mode (single channel) is done.
+                    running.current += 1;
+                    if running.current >= running.rxs.len() {
+                        self.finish();
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ExchangeOp {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            drop(state.rxs);
+            for h in state.handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabviz_common::{DataType, Field, Schema, Value};
+    use tabviz_storage::Table;
+
+    fn table(rows: usize) -> Arc<Table> {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]).unwrap());
+        let data: Vec<Vec<Value>> = (0..rows).map(|i| vec![Value::Int(i as i64)]).collect();
+        Arc::new(Table::from_chunk("t", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap())
+    }
+
+    #[test]
+    fn merges_all_fractions() {
+        let t = table(1000);
+        let inputs: Vec<PhysPlan> = t
+            .fractions(4)
+            .into_iter()
+            .map(|r| PhysPlan::Scan {
+                table: Arc::clone(&t),
+                ranges: vec![r],
+                projection: None,
+                via_rle_index: false,
+            })
+            .collect();
+        let mut op = ExchangeOp::new(&inputs).unwrap();
+        let mut total = 0usize;
+        let mut sum = 0i64;
+        while let Some(c) = op.next().unwrap() {
+            total += c.len();
+            for i in 0..c.len() {
+                sum += c.row(i)[0].as_int().unwrap();
+            }
+        }
+        assert_eq!(total, 1000);
+        assert_eq!(sum, (0..1000).sum::<i64>());
+    }
+
+    #[test]
+    fn ordered_exchange_preserves_branch_order() {
+        let t = table(1000);
+        let inputs: Vec<PhysPlan> = t
+            .fractions(4)
+            .into_iter()
+            .map(|r| PhysPlan::Scan {
+                table: Arc::clone(&t),
+                ranges: vec![r],
+                projection: None,
+                via_rle_index: false,
+            })
+            .collect();
+        let mut op = ExchangeOp::new_ordered(&inputs).unwrap();
+        let mut seen = Vec::new();
+        while let Some(c) = op.next().unwrap() {
+            for i in 0..c.len() {
+                seen.push(c.row(i)[0].as_int().unwrap());
+            }
+        }
+        let expect: Vec<i64> = (0..1000).collect();
+        assert_eq!(seen, expect, "ordered mode must reproduce the row order");
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let t = table(10);
+        // A filter with a type error triggers at runtime inside the thread.
+        let bad = PhysPlan::Filter {
+            input: Box::new(PhysPlan::Scan {
+                table: Arc::clone(&t),
+                ranges: vec![(0, 10)],
+                projection: None,
+                via_rle_index: false,
+            }),
+            predicate: tabviz_tql::expr::col("x"), // not a bool predicate
+        };
+        let mut op = ExchangeOp::new(&[bad]).unwrap();
+        let mut saw_err = false;
+        loop {
+            match op.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => {
+                    saw_err = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_err);
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        assert!(ExchangeOp::new(&[]).is_err());
+    }
+
+    #[test]
+    fn early_drop_terminates_producers() {
+        let t = table(100_000);
+        let inputs: Vec<PhysPlan> = t
+            .fractions(4)
+            .into_iter()
+            .map(|r| PhysPlan::Scan {
+                table: Arc::clone(&t),
+                ranges: vec![r],
+                projection: None,
+                via_rle_index: false,
+            })
+            .collect();
+        let mut op = ExchangeOp::new(&inputs).unwrap();
+        let _ = op.next().unwrap();
+        drop(op); // must not deadlock
+    }
+}

@@ -1,0 +1,398 @@
+//! Chunked Volcano execution operators.
+//!
+//! Sect. 4.1.3: "The TDE execution engine is based on the Volcano execution
+//! framework ... Operators are of two types: streaming, and stop-and-go."
+//! Here operators pull [`Chunk`]s instead of single rows; `Scan`, `Filter`,
+//! `Project`, `StreamAgg` and the probe phase of `HashJoin` are streaming,
+//! while `Sort`, `TopN` and `HashAgg` are stop-and-go.
+
+pub mod agg;
+pub mod exchange;
+pub mod join;
+
+use std::sync::Arc;
+use tabviz_common::{Chunk, Result, SchemaRef, TvError};
+use tabviz_storage::Table;
+use tabviz_tql::expr::Expr;
+use tabviz_tql::SortKey;
+
+use crate::physical::PhysPlan;
+
+/// Rows per chunk produced by scans.
+pub const CHUNK_ROWS: usize = 64 * 1024;
+
+/// A physical operator: pulls chunks until `None`.
+pub trait PhysOp: Send {
+    fn schema(&self) -> SchemaRef;
+    fn next(&mut self) -> Result<Option<Chunk>>;
+}
+
+/// Instantiate the operator tree for a physical plan.
+pub fn make_op(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
+    Ok(match plan {
+        PhysPlan::Scan { table, ranges, projection, .. } => Box::new(ScanOp::new(
+            Arc::clone(table),
+            ranges.clone(),
+            projection.clone(),
+        )),
+        PhysPlan::Filter { input, predicate } => Box::new(FilterOp {
+            input: make_op(input)?,
+            predicate: predicate.clone(),
+        }),
+        PhysPlan::Project { input, exprs } => {
+            let schema = plan.schema()?;
+            Box::new(ProjectOp {
+                input: make_op(input)?,
+                exprs: exprs.clone(),
+                schema,
+            })
+        }
+        PhysPlan::HashJoin { probe, build, probe_keys, join_type } => {
+            let schema = plan.schema()?;
+            Box::new(join::HashJoinOp::new(
+                make_op(probe)?,
+                Arc::clone(build),
+                probe_keys.clone(),
+                *join_type,
+                schema,
+            )?)
+        }
+        PhysPlan::HashAgg { input, group_by, aggs, .. } => {
+            let schema = plan.schema()?;
+            Box::new(agg::HashAggOp::new(make_op(input)?, group_by.clone(), aggs.clone(), schema))
+        }
+        PhysPlan::StreamAgg { input, group_by, aggs } => {
+            let schema = plan.schema()?;
+            Box::new(agg::StreamAggOp::new(
+                make_op(input)?,
+                group_by.clone(),
+                aggs.clone(),
+                schema,
+            ))
+        }
+        PhysPlan::Sort { input, keys } => Box::new(SortOp {
+            input: Some(make_op(input)?),
+            keys: keys.clone(),
+            done: false,
+        }),
+        PhysPlan::TopN { input, keys, n } => Box::new(TopNOp {
+            input: Some(make_op(input)?),
+            keys: keys.clone(),
+            n: *n,
+            done: false,
+        }),
+        PhysPlan::Exchange { inputs, ordered } => Box::new(if *ordered {
+            exchange::ExchangeOp::new_ordered(inputs)?
+        } else {
+            exchange::ExchangeOp::new(inputs)?
+        }),
+    })
+}
+
+/// Streaming scan over the assigned row ranges of a table.
+pub struct ScanOp {
+    table: Arc<Table>,
+    ranges: Vec<(usize, usize)>,
+    projection: Option<Vec<usize>>,
+    schema: SchemaRef,
+    /// (range index, offset within range)
+    cursor: (usize, usize),
+}
+
+impl ScanOp {
+    pub fn new(table: Arc<Table>, ranges: Vec<(usize, usize)>, projection: Option<Vec<usize>>) -> Self {
+        let schema = match &projection {
+            None => Arc::clone(table.schema()),
+            Some(idx) => Arc::new(table.schema().project(idx)),
+        };
+        ScanOp {
+            table,
+            ranges,
+            projection,
+            schema,
+            cursor: (0, 0),
+        }
+    }
+}
+
+impl PhysOp for ScanOp {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        loop {
+            let (ri, off) = self.cursor;
+            let Some(&(start, len)) = self.ranges.get(ri) else {
+                return Ok(None);
+            };
+            if off >= len {
+                self.cursor = (ri + 1, 0);
+                continue;
+            }
+            let take = (len - off).min(CHUNK_ROWS);
+            let chunk = self
+                .table
+                .scan_range(start + off, take, self.projection.as_deref())?;
+            self.cursor = (ri, off + take);
+            return Ok(Some(chunk));
+        }
+    }
+}
+
+/// Streaming filter.
+pub struct FilterOp {
+    input: Box<dyn PhysOp>,
+    predicate: Expr,
+}
+
+impl PhysOp for FilterOp {
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        while let Some(chunk) = self.input.next()? {
+            let mask = self.predicate.eval_predicate(&chunk)?;
+            let filtered = chunk.filter(&mask)?;
+            if !filtered.is_empty() {
+                return Ok(Some(filtered));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Streaming projection (vectorized expression evaluation).
+pub struct ProjectOp {
+    input: Box<dyn PhysOp>,
+    exprs: Vec<(Expr, String)>,
+    schema: SchemaRef,
+}
+
+impl PhysOp for ProjectOp {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(chunk) => {
+                let cols = self
+                    .exprs
+                    .iter()
+                    .map(|(e, _)| e.eval(&chunk))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Some(Chunk::new(Arc::clone(&self.schema), cols)?))
+            }
+        }
+    }
+}
+
+/// Resolve sort keys to `(column index, ascending)` pairs.
+fn key_indices(schema: &SchemaRef, keys: &[SortKey]) -> Result<Vec<(usize, bool)>> {
+    keys.iter()
+        .map(|k| Ok((schema.index_of(&k.column)?, k.asc)))
+        .collect()
+}
+
+/// Stop-and-go total sort.
+pub struct SortOp {
+    input: Option<Box<dyn PhysOp>>,
+    keys: Vec<SortKey>,
+    done: bool,
+}
+
+impl PhysOp for SortOp {
+    fn schema(&self) -> SchemaRef {
+        self.input.as_ref().expect("sort input taken").schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut input = self.input.take().ok_or_else(|| TvError::Exec("sort re-run".into()))?;
+        let schema = input.schema();
+        let mut chunks = Vec::new();
+        while let Some(c) = input.next()? {
+            chunks.push(c);
+        }
+        let all = Chunk::concat(Arc::clone(&schema), &chunks)?;
+        let keys = key_indices(&schema, &self.keys)?;
+        self.input = Some(input);
+        if all.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(all.sort_by(&keys)))
+    }
+}
+
+/// Stop-and-go Top-N with periodic pruning so memory stays O(n).
+pub struct TopNOp {
+    input: Option<Box<dyn PhysOp>>,
+    keys: Vec<SortKey>,
+    n: usize,
+    done: bool,
+}
+
+impl PhysOp for TopNOp {
+    fn schema(&self) -> SchemaRef {
+        self.input.as_ref().expect("topn input taken").schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut input = self.input.take().ok_or_else(|| TvError::Exec("topn re-run".into()))?;
+        let schema = input.schema();
+        let keys = key_indices(&schema, &self.keys)?;
+        let mut buffer: Option<Chunk> = None;
+        while let Some(c) = input.next()? {
+            let merged = match buffer.take() {
+                None => c,
+                Some(b) => Chunk::concat(Arc::clone(&schema), &[b, c])?,
+            };
+            // Prune once the buffer grows well past n.
+            buffer = Some(if merged.len() > self.n.saturating_mul(4).max(CHUNK_ROWS) {
+                let sorted = merged.sort_by(&keys);
+                sorted.slice(0, self.n.min(sorted.len()))
+            } else {
+                merged
+            });
+        }
+        self.input = Some(input);
+        match buffer {
+            None => Ok(None),
+            Some(b) => {
+                let sorted = b.sort_by(&keys);
+                Ok(Some(sorted.slice(0, self.n.min(sorted.len()))))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabviz_common::{DataType, Field, Schema, Value};
+    use tabviz_tql::expr::{bin, col, lit, BinOp};
+
+    fn table(rows: usize) -> Arc<Table> {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| vec![Value::Int(i as i64), Value::Int((i % 10) as i64)])
+            .collect();
+        Arc::new(Table::from_chunk("t", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap())
+    }
+
+    #[test]
+    fn scan_chunks_and_ranges() {
+        let t = table(10);
+        let mut op = ScanOp::new(Arc::clone(&t), vec![(0, 3), (7, 2)], None);
+        let c1 = op.next().unwrap().unwrap();
+        assert_eq!(c1.len(), 3);
+        let c2 = op.next().unwrap().unwrap();
+        assert_eq!(c2.len(), 2);
+        assert_eq!(c2.row(0)[0], Value::Int(7));
+        assert!(op.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn scan_projection() {
+        let t = table(4);
+        let mut op = ScanOp::new(t, vec![(0, 4)], Some(vec![1]));
+        let c = op.next().unwrap().unwrap();
+        assert_eq!(c.schema().names(), vec!["v"]);
+    }
+
+    #[test]
+    fn filter_drops_rows() {
+        let t = table(100);
+        let mut op = FilterOp {
+            input: Box::new(ScanOp::new(t, vec![(0, 100)], None)),
+            predicate: bin(BinOp::Lt, col("k"), lit(5i64)),
+        };
+        let c = op.next().unwrap().unwrap();
+        assert_eq!(c.len(), 5);
+        assert!(op.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn project_computes() {
+        let t = table(3);
+        let plan = PhysPlan::Project {
+            input: Box::new(PhysPlan::Scan {
+                table: t,
+                ranges: vec![(0, 3)],
+                projection: None,
+                via_rle_index: false,
+            }),
+            exprs: vec![(bin(BinOp::Mul, col("k"), lit(2i64)), "dbl".into())],
+        };
+        let mut op = make_op(&plan).unwrap();
+        let c = op.next().unwrap().unwrap();
+        assert_eq!(c.schema().names(), vec!["dbl"]);
+        assert_eq!(c.row(2)[0], Value::Int(4));
+    }
+
+    #[test]
+    fn sort_and_topn() {
+        let t = table(50);
+        let sort_plan = PhysPlan::Sort {
+            input: Box::new(PhysPlan::Scan {
+                table: Arc::clone(&t),
+                ranges: vec![(0, 50)],
+                projection: None,
+                via_rle_index: false,
+            }),
+            keys: vec![SortKey::desc("k")],
+        };
+        let mut op = make_op(&sort_plan).unwrap();
+        let c = op.next().unwrap().unwrap();
+        assert_eq!(c.row(0)[0], Value::Int(49));
+        assert!(op.next().unwrap().is_none());
+
+        let topn_plan = PhysPlan::TopN {
+            input: Box::new(PhysPlan::Scan {
+                table: t,
+                ranges: vec![(0, 50)],
+                projection: None,
+                via_rle_index: false,
+            }),
+            keys: vec![SortKey::desc("k")],
+            n: 3,
+        };
+        let mut op = make_op(&topn_plan).unwrap();
+        let c = op.next().unwrap().unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.row(0)[0], Value::Int(49));
+        assert_eq!(c.row(2)[0], Value::Int(47));
+    }
+
+    #[test]
+    fn empty_input_handling() {
+        let t = table(0);
+        let plan = PhysPlan::Sort {
+            input: Box::new(PhysPlan::Scan {
+                table: t,
+                ranges: vec![],
+                projection: None,
+                via_rle_index: false,
+            }),
+            keys: vec![SortKey::asc("k")],
+        };
+        let mut op = make_op(&plan).unwrap();
+        assert!(op.next().unwrap().is_none());
+    }
+}

@@ -1,0 +1,753 @@
+//! Parallel plan generation.
+//!
+//! Sect. 4.2.2's bottom-up algorithm: "Leaf nodes are TableScan operators. At
+//! the TableScan operator the optimizer ... makes a decision to partition the
+//! table into N fractions ... If the parent is a flow operator such as Select
+//! or Project, the parent inherits the degree of parallelism from the child.
+//! If the parent is a stop-and-go operator, such as Aggregate, Order or TopN,
+//! the optimizer inserts an Exchange operator between the child and the
+//! parent. If the root has a degree of parallelism that is larger than one,
+//! the optimizer inserts an Exchange operator to close the parallelism."
+//!
+//! On top of that skeleton this module implements:
+//! * **join handling** (Sect. 4.2.2): the probe side joins the main
+//!   parallelism; the build side forms "a separate and independent parallel
+//!   unit" whose hash table is shared by every probe branch;
+//! * **local/global aggregation** (Sect. 4.2.3): per-branch partial
+//!   aggregates, Exchange, a global roll-up, and an AVG-recombining project;
+//! * **range-partitioned aggregation** (Sect. 4.2.3, Lemmas 1–3): when a
+//!   permutation of a subset of the GROUP BY columns prefixes the table's
+//!   sort order, fractions cut at group boundaries make the global aggregate
+//!   redundant — each branch aggregates its groups completely;
+//! * **local/global TopN** ("the same approach can also be applied to the
+//!   TopN operator");
+//! * the Sect. 4.2.4 interaction: a serial streaming aggregate is traded for
+//!   the parallel hash variant unless range partitioning preserves grouped
+//!   input per branch.
+
+use std::sync::Arc;
+use tabviz_common::Result;
+use tabviz_tql::expr::{bin, col, Expr};
+use tabviz_tql::{AggCall, AggFunc, BinOp};
+
+use crate::cost::CostProfile;
+use crate::physical::{AggMode, BuildSide, PhysPlan};
+
+/// Parallel-planner switches (each backs an ablation bench).
+#[derive(Debug, Clone)]
+pub struct ParallelOptions {
+    pub profile: CostProfile,
+    pub enable_local_global: bool,
+    pub enable_range_partition: bool,
+    pub enable_local_topn: bool,
+    /// Minimum distinct values (per degree of parallelism) in the leading
+    /// partition column before range partitioning is trusted — the paper's
+    /// "data skew and low cardinality" caveat.
+    pub range_partition_min_distinct_per_dop: usize,
+    /// The Sect. 4.2.4 alternative the paper evaluated and rejected: keep a
+    /// *streaming* aggregate above an order-preserving Exchange instead of
+    /// switching to hash local/global. Off by default (as shipped);
+    /// exercised by the E9 ablation.
+    pub prefer_ordered_exchange_streaming: bool,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            profile: CostProfile::default(),
+            enable_local_global: true,
+            enable_range_partition: true,
+            enable_local_topn: true,
+            range_partition_min_distinct_per_dop: 2,
+            prefer_ordered_exchange_streaming: false,
+        }
+    }
+}
+
+/// Result of parallelizing a subtree.
+enum Par {
+    Serial(PhysPlan),
+    Parallel {
+        branches: Vec<PhysPlan>,
+        /// True when every group (w.r.t. the aggregate requirement pushed
+        /// down) lives entirely within one branch (Lemma 2).
+        groups_partitioned: bool,
+        /// True when the branches are contiguous row-order fractions, so an
+        /// *ordered* Exchange reproduces the input's global order.
+        ordered_fractions: bool,
+    },
+}
+
+impl Par {
+    fn close(self) -> PhysPlan {
+        match self {
+            Par::Serial(p) => p,
+            Par::Parallel { branches, .. } => {
+                if branches.len() == 1 {
+                    branches.into_iter().next().expect("len checked")
+                } else {
+                    PhysPlan::Exchange { inputs: branches, ordered: false }
+                }
+            }
+        }
+    }
+}
+
+/// Rewrite a serial physical plan into a parallel one.
+pub fn parallelize(plan: &PhysPlan, opts: &ParallelOptions) -> Result<PhysPlan> {
+    Ok(go(plan, opts, 1, None)?.close())
+}
+
+/// `expr_cost` accumulates the per-row cost of expressions evaluated above
+/// the current node (the Sect. 4.2.2 cost-profile input to the DOP choice);
+/// `agg_groups` carries the nearest enclosing aggregate's group columns
+/// ("the TableScan only gets the partition requirements from the nearest
+/// Aggregate operator").
+fn go(
+    plan: &PhysPlan,
+    opts: &ParallelOptions,
+    expr_cost: u32,
+    agg_groups: Option<&[String]>,
+) -> Result<Par> {
+    match plan {
+        PhysPlan::Scan { table, ranges, projection, via_rle_index } => {
+            let rows: usize = ranges.iter().map(|&(_, l)| l).sum();
+            let dop = opts.profile.scan_dop(rows, expr_cost);
+            if dop <= 1 {
+                return Ok(Par::Serial(plan.clone()));
+            }
+            // Range partitioning: only for a contiguous full scan of a
+            // sorted table whose sort-key prefix is covered by the group set.
+            if !via_rle_index && opts.enable_range_partition {
+                if let Some(groups) = agg_groups {
+                    if let Some(prefix_len) = partition_prefix(table, groups) {
+                        let lead_col = table.sort_key()[0];
+                        let distinct = table.column(lead_col).stats.distinct;
+                        if distinct >= opts.range_partition_min_distinct_per_dop * dop {
+                            if let Some(fractions) = table.range_fractions(dop, prefix_len) {
+                                let branches = fractions
+                                    .into_iter()
+                                    .map(|r| PhysPlan::Scan {
+                                        table: Arc::clone(table),
+                                        ranges: vec![r],
+                                        projection: projection.clone(),
+                                        via_rle_index: false,
+                                    })
+                                    .collect();
+                                return Ok(Par::Parallel {
+                                    branches,
+                                    groups_partitioned: true,
+                                    ordered_fractions: true,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Random (row-count) partitioning. RLE-index scans distribute
+            // their ranges round-robin across threads (Sect. 4.3: "these
+            // threads then scan different ranges of the same input table").
+            let branches: Vec<PhysPlan> = if *via_rle_index {
+                let mut buckets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); dop];
+                for (i, r) in ranges.iter().enumerate() {
+                    buckets[i % dop].push(*r);
+                }
+                buckets
+                    .into_iter()
+                    .filter(|b| !b.is_empty())
+                    .map(|rs| PhysPlan::Scan {
+                        table: Arc::clone(table),
+                        ranges: rs,
+                        projection: projection.clone(),
+                        via_rle_index: true,
+                    })
+                    .collect()
+            } else {
+                table
+                    .fractions(dop)
+                    .into_iter()
+                    .map(|r| PhysPlan::Scan {
+                        table: Arc::clone(table),
+                        ranges: vec![r],
+                        projection: projection.clone(),
+                        via_rle_index: false,
+                    })
+                    .collect()
+            };
+            if branches.len() <= 1 {
+                return Ok(Par::Serial(plan.clone()));
+            }
+            // RLE round-robin buckets interleave row ranges; plain fractions
+            // stay contiguous and ordered.
+            Ok(Par::Parallel {
+                branches,
+                groups_partitioned: false,
+                ordered_fractions: !*via_rle_index,
+            })
+        }
+
+        // Flow operators inherit the child's parallelism.
+        PhysPlan::Filter { input, predicate } => {
+            let child = go(input, opts, expr_cost + predicate.cost_weight(), agg_groups)?;
+            Ok(map_branches(child, |b| PhysPlan::Filter {
+                input: Box::new(b),
+                predicate: predicate.clone(),
+            }))
+        }
+        PhysPlan::Project { input, exprs } => {
+            let cost: u32 = exprs.iter().map(|(e, _)| e.cost_weight()).sum();
+            // Translate the aggregate's group requirement through renames.
+            let translated: Option<Vec<String>> = agg_groups.and_then(|groups| {
+                groups
+                    .iter()
+                    .map(|g| {
+                        exprs.iter().find_map(|(e, name)| match e {
+                            Expr::Column(src) if name == g => Some(src.clone()),
+                            _ => None,
+                        })
+                    })
+                    .collect()
+            });
+            let child = go(input, opts, expr_cost + cost, translated.as_deref())?;
+            Ok(map_branches(child, |b| PhysPlan::Project {
+                input: Box::new(b),
+                exprs: exprs.clone(),
+            }))
+        }
+
+        // The probe side participates in the main parallelism; the build
+        // side becomes its own parallel unit, shared across branches.
+        PhysPlan::HashJoin { probe, build, probe_keys, join_type } => {
+            let built_plan = parallelize(&build.plan, opts)?;
+            let shared = Arc::new(BuildSide::new(
+                built_plan,
+                Arc::clone(&build.schema),
+                build.key_cols.clone(),
+            ));
+            let child = go(probe, opts, expr_cost + 2, agg_groups)?;
+            // Conservative: a join may introduce build-side group columns,
+            // so the partition guarantee is dropped.
+            let par = map_branches(child, |b| PhysPlan::HashJoin {
+                probe: Box::new(b),
+                build: Arc::clone(&shared),
+                probe_keys: probe_keys.clone(),
+                join_type: *join_type,
+            });
+            Ok(match par {
+                Par::Parallel { branches, ordered_fractions, .. } => Par::Parallel {
+                    branches,
+                    groups_partitioned: false,
+                    ordered_fractions,
+                },
+                serial => serial,
+            })
+        }
+
+        PhysPlan::HashAgg { input, group_by, aggs, .. } => {
+            parallel_aggregate(input, group_by, aggs, false, opts, expr_cost)
+        }
+        PhysPlan::StreamAgg { input, group_by, aggs } => {
+            parallel_aggregate(input, group_by, aggs, true, opts, expr_cost)
+        }
+
+        // Stop-and-go: close parallelism below.
+        PhysPlan::Sort { input, keys } => {
+            let child = go(input, opts, expr_cost, None)?.close();
+            Ok(Par::Serial(PhysPlan::Sort {
+                input: Box::new(child),
+                keys: keys.clone(),
+            }))
+        }
+        PhysPlan::TopN { input, keys, n } => {
+            let child = go(input, opts, expr_cost, None)?;
+            match child {
+                Par::Parallel { branches, .. } if opts.enable_local_topn => {
+                    // Local/global TopN: each branch keeps its local top n,
+                    // the global TopN re-ranks the union.
+                    let local: Vec<PhysPlan> = branches
+                        .into_iter()
+                        .map(|b| PhysPlan::TopN {
+                            input: Box::new(b),
+                            keys: keys.clone(),
+                            n: *n,
+                        })
+                        .collect();
+                    Ok(Par::Serial(PhysPlan::TopN {
+                        input: Box::new(PhysPlan::Exchange { inputs: local, ordered: false }),
+                        keys: keys.clone(),
+                        n: *n,
+                    }))
+                }
+                other => Ok(Par::Serial(PhysPlan::TopN {
+                    input: Box::new(other.close()),
+                    keys: keys.clone(),
+                    n: *n,
+                })),
+            }
+        }
+
+        // Already-parallel input (shouldn't occur from the serial planner).
+        PhysPlan::Exchange { .. } => Ok(Par::Serial(plan.clone())),
+    }
+}
+
+fn map_branches(par: Par, f: impl Fn(PhysPlan) -> PhysPlan) -> Par {
+    match par {
+        Par::Serial(p) => Par::Serial(f(p)),
+        Par::Parallel { branches, groups_partitioned, ordered_fractions } => Par::Parallel {
+            branches: branches.into_iter().map(f).collect(),
+            groups_partitioned,
+            ordered_fractions,
+        },
+    }
+}
+
+/// Longest prefix of the table's sort key entirely contained in the group
+/// column set (Lemma 3's "permutation of a subset ... is a prefix").
+fn partition_prefix(table: &tabviz_storage::Table, groups: &[String]) -> Option<usize> {
+    if table.sort_key().is_empty() || groups.is_empty() {
+        return None;
+    }
+    let schema = table.schema();
+    let mut len = 0usize;
+    for &ci in table.sort_key() {
+        let name = &schema.field(ci).name;
+        if groups.iter().any(|g| g == name) {
+            len += 1;
+        } else {
+            break;
+        }
+    }
+    (len > 0).then_some(len)
+}
+
+/// Parallelize an aggregate node, choosing among range-partitioned,
+/// local/global, and Exchange-then-serial (Sect. 4.2.3).
+fn parallel_aggregate(
+    input: &PhysPlan,
+    group_by: &[(Expr, String)],
+    aggs: &[AggCall],
+    input_was_streaming: bool,
+    opts: &ParallelOptions,
+    expr_cost: u32,
+) -> Result<Par> {
+    // Group requirement pushed to the scan: only simple column groups apply.
+    let group_cols: Option<Vec<String>> = group_by
+        .iter()
+        .map(|(e, _)| match e {
+            Expr::Column(c) => Some(c.clone()),
+            _ => None,
+        })
+        .collect();
+    let agg_cost: u32 = group_by.iter().map(|(e, _)| e.cost_weight()).sum::<u32>()
+        + aggs
+            .iter()
+            .filter_map(|a| a.arg.as_ref())
+            .map(Expr::cost_weight)
+            .sum::<u32>();
+    let child = go(
+        input,
+        opts,
+        expr_cost + agg_cost,
+        group_cols.as_deref().filter(|g| !g.is_empty()),
+    )?;
+
+    match child {
+        Par::Serial(p) => {
+            // Stays serial; keep the streaming choice made by the serial
+            // planner (Sect. 4.2.4's cost-based decision).
+            let node = if input_was_streaming {
+                PhysPlan::StreamAgg {
+                    input: Box::new(p),
+                    group_by: group_by.to_vec(),
+                    aggs: aggs.to_vec(),
+                }
+            } else {
+                PhysPlan::HashAgg {
+                    input: Box::new(p),
+                    group_by: group_by.to_vec(),
+                    aggs: aggs.to_vec(),
+                    mode: AggMode::Single,
+                }
+            };
+            Ok(Par::Serial(node))
+        }
+        Par::Parallel { branches, groups_partitioned, ordered_fractions } => {
+            if groups_partitioned {
+                // Lemma 3: each branch owns whole groups — aggregate fully
+                // per branch, no global aggregate needed. Range fractions
+                // keep rows contiguous and sorted, so the streaming variant
+                // survives parallelization here.
+                let locals: Vec<PhysPlan> = branches
+                    .into_iter()
+                    .map(|b| {
+                        if input_was_streaming {
+                            PhysPlan::StreamAgg {
+                                input: Box::new(b),
+                                group_by: group_by.to_vec(),
+                                aggs: aggs.to_vec(),
+                            }
+                        } else {
+                            PhysPlan::HashAgg {
+                                input: Box::new(b),
+                                group_by: group_by.to_vec(),
+                                aggs: aggs.to_vec(),
+                                mode: AggMode::Single,
+                            }
+                        }
+                    })
+                    .collect();
+                return Ok(Par::Parallel {
+                    branches: locals,
+                    groups_partitioned: false,
+                    ordered_fractions,
+                });
+            }
+
+            // Sect. 4.2.4's rejected alternative: a single streaming
+            // aggregate above an order-preserving Exchange. Contiguous
+            // ordered fractions reconstruct the sorted input exactly.
+            if opts.prefer_ordered_exchange_streaming
+                && input_was_streaming
+                && ordered_fractions
+            {
+                return Ok(Par::Serial(PhysPlan::StreamAgg {
+                    input: Box::new(PhysPlan::Exchange { inputs: branches, ordered: true }),
+                    group_by: group_by.to_vec(),
+                    aggs: aggs.to_vec(),
+                }));
+            }
+
+            let decomposable = opts.enable_local_global
+                && aggs.iter().all(|a| a.func.supports_local_global());
+            if !decomposable {
+                // COUNTD (or local/global disabled): Exchange, then one
+                // global hash aggregate — "aggregation is still a
+                // serialization point".
+                let node = PhysPlan::HashAgg {
+                    input: Box::new(PhysPlan::Exchange { inputs: branches, ordered: false }),
+                    group_by: group_by.to_vec(),
+                    aggs: aggs.to_vec(),
+                    mode: AggMode::Single,
+                };
+                return Ok(Par::Serial(node));
+            }
+
+            // Local/global split.
+            let plan = build_local_global(branches, group_by, aggs);
+            Ok(Par::Serial(plan))
+        }
+    }
+}
+
+/// Construct partial → Exchange → global → (recombine) for local/global
+/// aggregation, decomposing AVG into SUM + COUNT.
+fn build_local_global(
+    branches: Vec<PhysPlan>,
+    group_by: &[(Expr, String)],
+    aggs: &[AggCall],
+) -> PhysPlan {
+    let mut partial_calls: Vec<AggCall> = Vec::new();
+    let mut final_calls: Vec<AggCall> = Vec::new();
+    let mut needs_recombine = false;
+    for a in aggs {
+        match a.func {
+            AggFunc::Avg => {
+                needs_recombine = true;
+                let sum_name = format!("__{}_sum", a.alias);
+                let cnt_name = format!("__{}_cnt", a.alias);
+                partial_calls.push(AggCall::new(AggFunc::Sum, a.arg.clone(), sum_name.clone()));
+                partial_calls.push(AggCall::new(AggFunc::Count, a.arg.clone(), cnt_name.clone()));
+                final_calls.push(AggCall::new(AggFunc::Sum, Some(col(&sum_name)), sum_name));
+                final_calls.push(AggCall::new(AggFunc::Sum, Some(col(&cnt_name)), cnt_name));
+            }
+            func => {
+                let rollup = func.rollup_func().expect("checked decomposable");
+                partial_calls.push(AggCall::new(func, a.arg.clone(), a.alias.clone()));
+                final_calls.push(AggCall::new(rollup, Some(col(&a.alias)), a.alias.clone()));
+            }
+        }
+    }
+
+    // Partial aggregate in each branch.
+    let locals: Vec<PhysPlan> = branches
+        .into_iter()
+        .map(|b| PhysPlan::HashAgg {
+            input: Box::new(b),
+            group_by: group_by.to_vec(),
+            aggs: partial_calls.clone(),
+            mode: AggMode::Partial,
+        })
+        .collect();
+
+    // Global roll-up groups on the (now materialized) group columns.
+    let final_groups: Vec<(Expr, String)> = group_by
+        .iter()
+        .map(|(_, name)| (col(name.clone()), name.clone()))
+        .collect();
+    let global = PhysPlan::HashAgg {
+        input: Box::new(PhysPlan::Exchange { inputs: locals, ordered: false }),
+        group_by: final_groups,
+        aggs: final_calls,
+        mode: AggMode::Final,
+    };
+
+    if !needs_recombine {
+        return global;
+    }
+    // Recombine AVG = SUM/COUNT and restore the requested column order.
+    let mut exprs: Vec<(Expr, String)> = group_by
+        .iter()
+        .map(|(_, name)| (col(name.clone()), name.clone()))
+        .collect();
+    for a in aggs {
+        match a.func {
+            AggFunc::Avg => exprs.push((
+                bin(
+                    BinOp::Div,
+                    col(format!("__{}_sum", a.alias)),
+                    col(format!("__{}_cnt", a.alias)),
+                ),
+                a.alias.clone(),
+            )),
+            _ => exprs.push((col(&a.alias), a.alias.clone())),
+        }
+    }
+    PhysPlan::Project {
+        input: Box::new(global),
+        exprs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{create_physical, execute_to_chunk, PhysicalOptions};
+    use crate::TdeCatalog;
+    use std::sync::Arc as StdArc;
+    use tabviz_common::{Chunk, DataType, Field, Schema, Value};
+    use tabviz_storage::{Database, Table};
+    use tabviz_tql::expr::lit;
+    use tabviz_tql::{LogicalPlan, SortKey};
+
+    fn make_db(rows: usize, sorted: bool) -> StdArc<Database> {
+        let schema = StdArc::new(
+            Schema::new(vec![
+                Field::new("carrier", DataType::Str),
+                Field::new("delay", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let carriers = ["AA", "AS", "B6", "DL", "EV", "F9", "HA", "NK", "OO", "UA", "VX", "WN"];
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| {
+                vec![
+                    Value::Str(carriers[i % carriers.len()].into()),
+                    Value::Int((i % 120) as i64 - 10),
+                ]
+            })
+            .collect();
+        let chunk = Chunk::from_rows(schema, &data).unwrap();
+        let keys: &[&str] = if sorted { &["carrier"] } else { &[] };
+        let db = StdArc::new(Database::new("d"));
+        db.put(Table::from_chunk("flights", &chunk, keys).unwrap()).unwrap();
+        db
+    }
+
+    fn agg_plan() -> LogicalPlan {
+        use tabviz_tql::expr::col;
+        LogicalPlan::scan("flights").aggregate(
+            vec![(col("carrier"), "carrier".into())],
+            vec![
+                AggCall::new(AggFunc::Count, None, "n"),
+                AggCall::new(AggFunc::Sum, Some(col("delay")), "total"),
+                AggCall::new(AggFunc::Avg, Some(col("delay")), "avg"),
+            ],
+        )
+    }
+
+    fn small_profile(max_dop: usize) -> ParallelOptions {
+        ParallelOptions {
+            profile: CostProfile { min_work_per_thread: 1_000, max_dop },
+            ..Default::default()
+        }
+    }
+
+    fn plan_and_run(
+        db: &StdArc<Database>,
+        logical: &LogicalPlan,
+        popts: &ParallelOptions,
+    ) -> (PhysPlan, Chunk) {
+        let cat = TdeCatalog::new(StdArc::clone(db));
+        let serial =
+            create_physical(logical, db.as_ref(), &cat, &PhysicalOptions::default()).unwrap();
+        let parallel = parallelize(&serial, popts).unwrap();
+        let out = execute_to_chunk(&parallel).unwrap();
+        (parallel, out)
+    }
+
+    fn sorted_rows(c: &Chunk) -> Vec<Vec<Value>> {
+        let mut rows = c.to_rows();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn local_global_matches_serial() {
+        let db = make_db(20_000, false);
+        let logical = agg_plan();
+        let cat = TdeCatalog::new(StdArc::clone(&db));
+        let serial =
+            create_physical(&logical, db.as_ref(), &cat, &PhysicalOptions::default()).unwrap();
+        let serial_out = execute_to_chunk(&serial).unwrap();
+
+        let (par_plan, par_out) = plan_and_run(&db, &logical, &small_profile(4));
+        let text = par_plan.explain();
+        assert!(text.contains("Exchange"), "{text}");
+        assert!(text.contains("HashAgg(Partial)"), "{text}");
+        assert!(text.contains("HashAgg(Final)"), "{text}");
+        assert_eq!(sorted_rows(&serial_out), sorted_rows(&par_out));
+    }
+
+    #[test]
+    fn range_partition_removes_global_agg() {
+        let db = make_db(20_000, true); // sorted by carrier
+        let logical = agg_plan();
+        let (par_plan, par_out) = plan_and_run(&db, &logical, &small_profile(4));
+        let text = par_plan.explain();
+        // No Partial/Final split — each branch aggregates completely.
+        assert!(!text.contains("Partial"), "{text}");
+        assert!(text.contains("Exchange"), "{text}");
+        assert_eq!(par_out.len(), 12);
+
+        let serial_db = make_db(20_000, true);
+        let cat = TdeCatalog::new(StdArc::clone(&serial_db));
+        let serial = create_physical(
+            &agg_plan(),
+            serial_db.as_ref(),
+            &cat,
+            &PhysicalOptions::default(),
+        )
+        .unwrap();
+        let serial_out = execute_to_chunk(&serial).unwrap();
+        assert_eq!(sorted_rows(&serial_out), sorted_rows(&par_out));
+    }
+
+    #[test]
+    fn countd_forces_global_serialization() {
+        use tabviz_tql::expr::col;
+        let db = make_db(20_000, false);
+        let logical = LogicalPlan::scan("flights").aggregate(
+            vec![(col("carrier"), "carrier".into())],
+            vec![AggCall::new(AggFunc::CountD, Some(col("delay")), "nd")],
+        );
+        let (par_plan, out) = plan_and_run(&db, &logical, &small_profile(4));
+        let text = par_plan.explain();
+        assert!(!text.contains("Partial"), "{text}");
+        // Exchange feeds a single global aggregate.
+        assert!(text.contains("Exchange"), "{text}");
+        assert_eq!(out.len(), 12);
+        // delays for carrier c are {d-10 : d in 0..120, d ≡ c (mod 12)} → 10 distinct
+        assert_eq!(out.row(0)[1], Value::Int(10));
+    }
+
+    #[test]
+    fn small_tables_stay_serial() {
+        let db = make_db(100, false);
+        let logical = agg_plan();
+        let popts = ParallelOptions::default(); // real threshold
+        let (par_plan, _) = plan_and_run(&db, &logical, &popts);
+        assert!(!par_plan.explain().contains("Exchange"));
+    }
+
+    #[test]
+    fn local_topn_applies() {
+        let db = make_db(20_000, false);
+        let logical = LogicalPlan::scan("flights")
+            .select(bin(BinOp::Ge, col("delay"), lit(0i64)))
+            .topn(5, vec![SortKey::desc("delay")]);
+        let (par_plan, out) = plan_and_run(&db, &logical, &small_profile(4));
+        let text = par_plan.explain();
+        assert!(text.matches("TopN").count() >= 2, "local+global TopN: {text}");
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.row(0)[1], Value::Int(109));
+    }
+
+    #[test]
+    fn parallel_join_shares_build() {
+        use tabviz_tql::expr::col;
+        let db = make_db(20_000, false);
+        // dimension with names
+        let dschema = StdArc::new(
+            Schema::new(vec![
+                Field::new("code", DataType::Str),
+                Field::new("name", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        let drows: Vec<Vec<Value>> = ["AA", "AS", "B6", "DL", "EV", "F9", "HA", "NK", "OO", "UA", "VX", "WN"]
+            .iter()
+            .map(|c| vec![Value::Str((*c).into()), Value::Str(format!("{c} Airlines"))])
+            .collect();
+        db.put(
+            Table::from_chunk(
+                "carriers",
+                &Chunk::from_rows(dschema, &drows).unwrap(),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let logical = LogicalPlan::scan("flights")
+            .join(
+                LogicalPlan::scan("carriers"),
+                vec![("carrier".into(), "code".into())],
+                tabviz_tql::JoinType::Inner,
+            )
+            .aggregate(
+                vec![(col("name"), "name".into())],
+                vec![AggCall::new(AggFunc::Count, None, "n")],
+            );
+        let (par_plan, out) = plan_and_run(&db, &logical, &small_profile(4));
+        let text = par_plan.explain();
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("Exchange"), "{text}");
+        assert_eq!(out.len(), 12);
+        let total: i64 = (0..out.len()).map(|i| out.row(i)[1].as_int().unwrap()).sum();
+        assert_eq!(total, 20_000);
+    }
+
+    #[test]
+    fn ordered_exchange_streaming_variant() {
+        // The Sect. 4.2.4 rejected alternative: StreamAgg over an
+        // order-preserving Exchange, valid because contiguous fractions of a
+        // sorted table concatenate back into sorted input.
+        let db = make_db(20_000, true);
+        let logical = agg_plan();
+        let mut popts = small_profile(4);
+        popts.enable_range_partition = false;
+        popts.prefer_ordered_exchange_streaming = true;
+        let (plan, out) = plan_and_run(&db, &logical, &popts);
+        let text = plan.explain();
+        assert!(text.contains("Exchange order-preserving"), "{text}");
+        assert!(text.contains("StreamAgg"), "{text}");
+        assert!(!text.contains("Partial"), "{text}");
+        // Same answer as the default local/global plan.
+        let (_, baseline) = plan_and_run(&db, &logical, &small_profile(4));
+        assert_eq!(sorted_rows(&out), sorted_rows(&baseline));
+    }
+
+    #[test]
+    fn ablation_switches_work() {
+        let db = make_db(20_000, true);
+        let logical = agg_plan();
+        let mut popts = small_profile(4);
+        popts.enable_range_partition = false;
+        let (plan1, out1) = plan_and_run(&db, &logical, &popts);
+        assert!(plan1.explain().contains("Partial"));
+        popts.enable_local_global = false;
+        let (plan2, out2) = plan_and_run(&db, &logical, &popts);
+        assert!(!plan2.explain().contains("Partial"));
+        assert_eq!(sorted_rows(&out1), sorted_rows(&out2));
+    }
+}

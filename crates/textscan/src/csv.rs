@@ -1,0 +1,382 @@
+//! CSV parsing with metadata inference.
+
+use std::sync::Arc;
+use tabviz_common::{Chunk, DataType, Field, Result, Schema, SchemaRef, TvError, Value};
+use tabviz_tql::datefn;
+
+/// Whether the first record holds column names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeaderMode {
+    /// Detect: a first row whose cells are all non-numeric strings while the
+    /// second row contains at least one non-string value is taken as header.
+    #[default]
+    Auto,
+    Yes,
+    No,
+}
+
+/// Parser configuration.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    pub delimiter: char,
+    pub header: HeaderMode,
+    /// Cell texts treated as NULL (besides the empty string).
+    pub null_tokens: Vec<String>,
+    /// Explicit schema (the "schema file"); skips inference entirely.
+    pub schema: Option<SchemaRef>,
+    /// Rows sampled for type inference.
+    pub infer_rows: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            header: HeaderMode::Auto,
+            null_tokens: vec!["NULL".into(), "NA".into()],
+            schema: None,
+            infer_rows: 1000,
+        }
+    }
+}
+
+/// Split raw text into records of fields, honoring quotes.
+fn split_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if field.is_empty() {
+                    in_quotes = true;
+                } else {
+                    field.push('"');
+                }
+            }
+            c if c == delimiter => {
+                record.push(std::mem::take(&mut field));
+                any = true;
+            }
+            '\r' => {} // swallow CR of CRLF
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                if record.len() > 1 || !record[0].is_empty() {
+                    records.push(std::mem::take(&mut record));
+                } else {
+                    record.clear(); // skip blank line
+                }
+                any = false;
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(TvError::Parse("unterminated quoted field".into()));
+    }
+    if !field.is_empty() || any || !record.is_empty() {
+        record.push(field);
+        if record.len() > 1 || !record[0].is_empty() {
+            records.push(record);
+        }
+    }
+    Ok(records)
+}
+
+/// Try to interpret a cell as the narrowest matching type.
+fn sniff(cell: &str) -> DataType {
+    let t = cell.trim();
+    if t.parse::<i64>().is_ok() {
+        return DataType::Int;
+    }
+    if t.parse::<f64>().is_ok() {
+        return DataType::Real;
+    }
+    if parse_date(t).is_some() {
+        return DataType::Date;
+    }
+    if t.eq_ignore_ascii_case("true") || t.eq_ignore_ascii_case("false") {
+        return DataType::Bool;
+    }
+    DataType::Str
+}
+
+/// `YYYY-MM-DD` (or `/`-separated) dates.
+fn parse_date(t: &str) -> Option<i32> {
+    let sep = if t.contains('-') { '-' } else { '/' };
+    let parts: Vec<&str> = t.split(sep).collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let y: i32 = parts[0].parse().ok()?;
+    let m: u32 = parts[1].parse().ok()?;
+    let d: u32 = parts[2].parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) || !(1000..=9999).contains(&y) {
+        return None;
+    }
+    Some(datefn::days_from_civil(y, m, d))
+}
+
+/// Widen `a` to also accommodate `b`.
+fn unify(a: DataType, b: DataType) -> DataType {
+    use DataType::*;
+    match (a, b) {
+        (x, y) if x == y => x,
+        (Int, Real) | (Real, Int) => Real,
+        _ => Str,
+    }
+}
+
+fn is_null(cell: &str, opts: &CsvOptions) -> bool {
+    let t = cell.trim();
+    t.is_empty() || opts.null_tokens.iter().any(|n| n.eq_ignore_ascii_case(t))
+}
+
+/// Parse CSV text into a chunk, inferring names and types unless an explicit
+/// schema is supplied.
+pub fn parse_csv(text: &str, opts: &CsvOptions) -> Result<Chunk> {
+    let records = split_records(text, opts.delimiter)?;
+    if records.is_empty() {
+        return Ok(Chunk::empty(
+            opts.schema
+                .clone()
+                .unwrap_or_else(|| Arc::new(Schema::empty())),
+        ));
+    }
+    let width = records.iter().map(Vec::len).max().unwrap_or(0);
+
+    // Header decision.
+    let has_header = match opts.header {
+        HeaderMode::Yes => true,
+        HeaderMode::No => false,
+        HeaderMode::Auto => {
+            let first_all_str = records[0]
+                .iter()
+                .all(|c| !is_null(c, opts) && sniff(c) == DataType::Str);
+            let second_typed = records.len() > 1
+                && records[1]
+                    .iter()
+                    .any(|c| !is_null(c, opts) && sniff(c) != DataType::Str);
+            first_all_str && second_typed
+        }
+    };
+    let data_start = usize::from(has_header);
+
+    let schema: SchemaRef = match &opts.schema {
+        Some(s) => {
+            if s.len() != width {
+                return Err(TvError::Schema(format!(
+                    "schema has {} columns but file has {width}",
+                    s.len()
+                )));
+            }
+            Arc::clone(s)
+        }
+        None => {
+            // Column names: header cells or F1..Fn.
+            let names: Vec<String> = (0..width)
+                .map(|i| {
+                    if has_header {
+                        records[0]
+                            .get(i)
+                            .filter(|s| !s.trim().is_empty())
+                            .map(|s| s.trim().to_string())
+                            .unwrap_or_else(|| format!("F{}", i + 1))
+                    } else {
+                        format!("F{}", i + 1)
+                    }
+                })
+                .collect();
+            // Type inference over a sample.
+            let mut types: Vec<Option<DataType>> = vec![None; width];
+            for rec in records.iter().skip(data_start).take(opts.infer_rows) {
+                for (i, slot) in types.iter_mut().enumerate() {
+                    let cell = rec.get(i).map(String::as_str).unwrap_or("");
+                    if is_null(cell, opts) {
+                        continue;
+                    }
+                    let t = sniff(cell);
+                    *slot = Some(match *slot {
+                        None => t,
+                        Some(prev) => unify(prev, t),
+                    });
+                }
+            }
+            let fields: Vec<Field> = names
+                .into_iter()
+                .zip(types)
+                .map(|(n, t)| Field::new(n, t.unwrap_or(DataType::Str)))
+                .collect();
+            Arc::new(Schema::new(fields)?)
+        }
+    };
+
+    // Materialize values.
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(records.len() - data_start);
+    for rec in records.iter().skip(data_start) {
+        let mut row = Vec::with_capacity(width);
+        for (i, f) in schema.fields().iter().enumerate() {
+            let cell = rec.get(i).map(String::as_str).unwrap_or("");
+            row.push(parse_cell(cell, f.dtype, opts)?);
+        }
+        rows.push(row);
+    }
+    Chunk::from_rows(schema, &rows)
+}
+
+fn parse_cell(cell: &str, dtype: DataType, opts: &CsvOptions) -> Result<Value> {
+    if is_null(cell, opts) {
+        return Ok(Value::Null);
+    }
+    let t = cell.trim();
+    Ok(match dtype {
+        DataType::Int => match t.parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::Null, // row outside the inference sample
+        },
+        DataType::Real => t.parse::<f64>().map(Value::Real).unwrap_or(Value::Null),
+        DataType::Date => parse_date(t).map(Value::Date).unwrap_or(Value::Null),
+        DataType::Bool => {
+            if t.eq_ignore_ascii_case("true") {
+                Value::Bool(true)
+            } else if t.eq_ignore_ascii_case("false") {
+                Value::Bool(false)
+            } else {
+                Value::Null
+            }
+        }
+        DataType::Str => Value::Str(cell.to_string()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_header_and_types() {
+        let text = "carrier,delay,date,ok\nAA,12,2015-05-31,true\nDL,,2015-06-01,false\n";
+        let c = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(c.schema().names(), vec!["carrier", "delay", "date", "ok"]);
+        assert_eq!(c.schema().field(1).dtype, DataType::Int);
+        assert_eq!(c.schema().field(2).dtype, DataType::Date);
+        assert_eq!(c.schema().field(3).dtype, DataType::Bool);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.row(1)[1], Value::Null);
+    }
+
+    #[test]
+    fn no_header_generates_names() {
+        let text = "1,2.5\n3,4.0\n";
+        let c = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(c.schema().names(), vec!["F1", "F2"]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.schema().field(0).dtype, DataType::Int);
+        assert_eq!(c.schema().field(1).dtype, DataType::Real);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let text = "name,notes\n\"O'Hare, Chicago\",\"said \"\"hi\"\"\"\n\"multi\nline\",x\n";
+        let opts = CsvOptions { header: HeaderMode::Yes, ..Default::default() };
+        let c = parse_csv(text, &opts).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.row(0)[0], Value::Str("O'Hare, Chicago".into()));
+        assert_eq!(c.row(0)[1], Value::Str("said \"hi\"".into()));
+        assert_eq!(c.row(1)[0], Value::Str("multi\nline".into()));
+    }
+
+    #[test]
+    fn int_widens_to_real_then_str() {
+        let text = "x\n1\n2.5\n";
+        let c = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(c.schema().field(0).dtype, DataType::Real);
+        let text2 = "x\n1\nabc\n";
+        let c2 = parse_csv(text2, &CsvOptions::default()).unwrap();
+        assert_eq!(c2.schema().field(0).dtype, DataType::Str);
+    }
+
+    #[test]
+    fn explicit_schema_skips_inference() {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Str),
+                Field::new("b", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        let text = "a,b\n1,2\n";
+        let opts = CsvOptions {
+            schema: Some(schema),
+            header: HeaderMode::Yes,
+            ..Default::default()
+        };
+        let c = parse_csv(text, &opts).unwrap();
+        assert_eq!(c.row(0)[0], Value::Str("1".into()));
+        // Arity mismatch rejected.
+        let bad = CsvOptions {
+            schema: Some(Arc::new(Schema::new(vec![Field::new("a", DataType::Str)]).unwrap())),
+            ..Default::default()
+        };
+        assert!(parse_csv(text, &bad).is_err());
+    }
+
+    #[test]
+    fn custom_delimiter_and_nulls() {
+        let text = "a|b\n1|NA\n2|x\n";
+        let opts = CsvOptions {
+            delimiter: '|',
+            ..Default::default()
+        };
+        let c = parse_csv(text, &opts).unwrap();
+        assert_eq!(c.row(0)[1], Value::Null);
+        assert_eq!(c.row(1)[1], Value::Str("x".into()));
+    }
+
+    #[test]
+    fn crlf_and_blank_lines() {
+        let text = "a,b\r\n1,2\r\n\r\n3,4\r\n";
+        let c = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.row(1)[0], Value::Int(3));
+    }
+
+    #[test]
+    fn ragged_rows_pad_with_null() {
+        let text = "a,b,c\n1,2,3\n4,5\n";
+        let c = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(c.row(1)[2], Value::Null);
+    }
+
+    #[test]
+    fn empty_and_malformed() {
+        assert_eq!(parse_csv("", &CsvOptions::default()).unwrap().len(), 0);
+        assert!(parse_csv("a\n\"unterminated", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn header_auto_negative_case() {
+        // All-string rows everywhere: first row is data, not a header.
+        let text = "AA,JFK\nDL,LAX\n";
+        let c = parse_csv(text, &CsvOptions::default()).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.schema().names(), vec!["F1", "F2"]);
+    }
+}

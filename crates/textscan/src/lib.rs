@@ -1,0 +1,20 @@
+//! Text-file parsing and shadow extracts.
+//!
+//! Sect. 4.4 of the paper: querying text/Excel files through Jet "was
+//! inherently slow because the system had to parse the file for every query.
+//! Shadow extracts have been introduced to speed up the query execution":
+//! the file is parsed once into TDE temp tables and all subsequent queries
+//! run against the engine. "The text parser accepts a schema file as
+//! additional input if one is available. Otherwise, it attempts to discover
+//! the metadata by performing type and column name inference."
+//!
+//! * [`csv`] — an in-house CSV parser (quoted fields, escapes, embedded
+//!   newlines) with type and header inference;
+//! * [`shadow`] — shadow-extract management over a TDE database, plus the
+//!   parse-per-query baseline used by the benchmarks.
+
+pub mod csv;
+pub mod shadow;
+
+pub use csv::{parse_csv, CsvOptions, HeaderMode};
+pub use shadow::ShadowExtracts;

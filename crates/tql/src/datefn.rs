@@ -1,0 +1,98 @@
+//! Calendar arithmetic for `Date` values (days since 1970-01-01).
+//!
+//! Uses the standard civil-calendar conversion (Howard Hinnant's
+//! `days_from_civil` / `civil_from_days` algorithms), which is exact over the
+//! full proleptic Gregorian calendar.
+
+/// Convert a civil date to days since 1970-01-01.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146097 + doe - 719468) as i32
+}
+
+/// Convert days since 1970-01-01 to a `(year, month, day)` civil date.
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m, d)
+}
+
+/// Year of a date value.
+pub fn year(days: i32) -> i32 {
+    civil_from_days(days).0
+}
+
+/// Month (1–12) of a date value.
+pub fn month(days: i32) -> u32 {
+    civil_from_days(days).1
+}
+
+/// Day of month (1–31) of a date value.
+pub fn day(days: i32) -> u32 {
+    civil_from_days(days).2
+}
+
+/// Day of week: 0 = Sunday .. 6 = Saturday (1970-01-01 was a Thursday).
+pub fn weekday(days: i32) -> u32 {
+    (days + 4).rem_euclid(7) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970_01_01() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(weekday(0), 4); // Thursday
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2015-05-31: first day of SIGMOD'15, a Sunday.
+        let d = days_from_civil(2015, 5, 31);
+        assert_eq!(civil_from_days(d), (2015, 5, 31));
+        assert_eq!(weekday(d), 0);
+        assert_eq!(year(d), 2015);
+        assert_eq!(month(d), 5);
+        assert_eq!(day(d), 31);
+    }
+
+    #[test]
+    fn leap_years() {
+        let d = days_from_civil(2000, 2, 29);
+        assert_eq!(civil_from_days(d), (2000, 2, 29));
+        assert_eq!(civil_from_days(d + 1), (2000, 3, 1));
+        // 1900 was not a leap year
+        let d = days_from_civil(1900, 2, 28);
+        assert_eq!(civil_from_days(d + 1), (1900, 3, 1));
+    }
+
+    #[test]
+    fn roundtrip_sweep() {
+        for z in (-200_000..200_000).step_by(37) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+
+    #[test]
+    fn negative_days_before_epoch() {
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+        assert_eq!(weekday(-1), 3); // Wednesday
+    }
+}

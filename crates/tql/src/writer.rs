@@ -1,0 +1,280 @@
+//! Render plans and expressions back to parseable TQL text.
+//!
+//! `parse_plan(write_plan(p)) == p` — used by the persisted query cache
+//! (Sect. 3.2: "In Tableau Desktop query caches get persisted") to serialize
+//! query specifications, and by tests as a round-trip oracle.
+
+use crate::agg::AggCall;
+use crate::expr::{BinOp, Expr, UnaryOp};
+use crate::plan::{JoinType, LogicalPlan, SortKey};
+use std::fmt::Write;
+use tabviz_common::Value;
+
+/// Render a logical plan as TQL text.
+pub fn write_plan(plan: &LogicalPlan) -> String {
+    let mut s = String::new();
+    plan_text(plan, &mut s);
+    s
+}
+
+/// Render an expression as TQL text.
+pub fn write_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    expr_text(e, &mut s);
+    s
+}
+
+fn lit_text(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Real(r) => {
+            if r.fract() == 0.0 && r.is_finite() {
+                let _ = write!(out, "{r:.1}");
+            } else {
+                let _ = write!(out, "{r}");
+            }
+        }
+        Value::Date(d) => {
+            let _ = write!(out, "date@{d}");
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                if c == '"' || c == '\\' {
+                    out.push('\\');
+                }
+                out.push(c);
+            }
+            out.push('"');
+        }
+    }
+}
+
+fn expr_text(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Column(c) => out.push_str(c),
+        Expr::Literal(v) => lit_text(v, out),
+        Expr::Unary { op, expr } => {
+            let name = match op {
+                UnaryOp::Not => "not",
+                UnaryOp::Neg => "neg",
+                UnaryOp::IsNull => "isnull",
+                UnaryOp::IsNotNull => "notnull",
+            };
+            let _ = write!(out, "({name} ");
+            expr_text(expr, out);
+            out.push(')');
+        }
+        Expr::Binary { op, left, right } => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "and",
+                BinOp::Or => "or",
+            };
+            let _ = write!(out, "({sym} ");
+            expr_text(left, out);
+            out.push(' ');
+            expr_text(right, out);
+            out.push(')');
+        }
+        Expr::In { expr, list, negated } => {
+            let _ = write!(out, "({} ", if *negated { "notin" } else { "in" });
+            expr_text(expr, out);
+            for v in list {
+                out.push(' ');
+                lit_text(v, out);
+            }
+            out.push(')');
+        }
+        Expr::Between { expr, low, high } => {
+            out.push_str("(between ");
+            expr_text(expr, out);
+            out.push(' ');
+            lit_text(low, out);
+            out.push(' ');
+            lit_text(high, out);
+            out.push(')');
+        }
+        Expr::Func { func, args } => {
+            let _ = write!(out, "({}", func.name().to_ascii_lowercase());
+            for a in args {
+                out.push(' ');
+                expr_text(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn named_expr_text(e: &Expr, name: &str, out: &mut String) {
+    out.push('(');
+    expr_text(e, out);
+    let _ = write!(out, " as {name})");
+}
+
+fn agg_text(a: &AggCall, out: &mut String) {
+    let _ = write!(out, "({}", a.func.name().to_ascii_lowercase());
+    if let Some(arg) = &a.arg {
+        out.push(' ');
+        expr_text(arg, out);
+    }
+    let _ = write!(out, " as {})", a.alias);
+}
+
+fn keys_text(keys: &[SortKey], out: &mut String) {
+    out.push('(');
+    for (i, k) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "({} {})", k.column, if k.asc { "asc" } else { "desc" });
+    }
+    out.push(')');
+}
+
+fn plan_text(plan: &LogicalPlan, out: &mut String) {
+    match plan {
+        LogicalPlan::TableScan { table, projection } => {
+            let _ = write!(out, "(scan {table}");
+            if let Some(p) = projection {
+                for c in p {
+                    let _ = write!(out, " {c}");
+                }
+            }
+            out.push(')');
+        }
+        LogicalPlan::Select { input, predicate } => {
+            out.push_str("(select ");
+            expr_text(predicate, out);
+            out.push(' ');
+            plan_text(input, out);
+            out.push(')');
+        }
+        LogicalPlan::Project { input, exprs } => {
+            out.push_str("(project (");
+            for (i, (e, n)) in exprs.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                named_expr_text(e, n, out);
+            }
+            out.push_str(") ");
+            plan_text(input, out);
+            out.push(')');
+        }
+        LogicalPlan::Join { left, right, on, join_type } => {
+            let jt = match join_type {
+                JoinType::Inner => "inner",
+                JoinType::Left => "left",
+            };
+            let _ = write!(out, "(join {jt} (");
+            for (i, (l, r)) in on.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "({l} {r})");
+            }
+            out.push_str(") ");
+            plan_text(left, out);
+            out.push(' ');
+            plan_text(right, out);
+            out.push(')');
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            out.push_str("(aggregate (");
+            for (i, (e, n)) in group_by.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                named_expr_text(e, n, out);
+            }
+            out.push_str(") (");
+            for (i, a) in aggs.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                agg_text(a, out);
+            }
+            out.push_str(") ");
+            plan_text(input, out);
+            out.push(')');
+        }
+        LogicalPlan::Order { input, keys } => {
+            out.push_str("(order ");
+            keys_text(keys, out);
+            out.push(' ');
+            plan_text(input, out);
+            out.push(')');
+        }
+        LogicalPlan::TopN { input, keys, n } => {
+            let _ = write!(out, "(topn {n} ");
+            keys_text(keys, out);
+            out.push(' ');
+            plan_text(input, out);
+            out.push(')');
+        }
+        LogicalPlan::Distinct { input } => {
+            out.push_str("(distinct ");
+            plan_text(input, out);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_plan};
+
+    #[test]
+    fn plan_roundtrip() {
+        let text = "(topn 5 ((flights desc))
+            (aggregate ((carrier) ((year day) as y))
+                       ((count as flights) (avg delay as avg_delay) (countd origin as no))
+              (select (and (> delay 10) (in carrier \"AA\" \"DL\"))
+                (join left ((carrier code)) (scan flights carrier delay day origin) (scan carriers)))))";
+        let plan = parse_plan(text).unwrap();
+        let written = write_plan(&plan);
+        let reparsed = parse_plan(&written).unwrap();
+        assert_eq!(plan, reparsed, "written: {written}");
+    }
+
+    #[test]
+    fn expr_roundtrip_with_escapes() {
+        let cases = [
+            "(= carrier \"O'Hare \\\"ORD\\\"\")",
+            "(between day date@100 date@200)",
+            "(notin x 1 2 3)",
+            "(or (isnull a) (notnull b))",
+            "(upper s)",
+            "(ifnull a 0)",
+            "(neg (+ a 1.5))",
+        ];
+        for c in cases {
+            let e = parse_expr(c).unwrap();
+            let w = write_expr(&e);
+            assert_eq!(parse_expr(&w).unwrap(), e, "case {c} → {w}");
+        }
+    }
+
+    #[test]
+    fn distinct_and_order_roundtrip() {
+        let text = "(distinct (order ((a asc) (b desc)) (scan t)))";
+        let plan = parse_plan(text).unwrap();
+        assert_eq!(parse_plan(&write_plan(&plan)).unwrap(), plan);
+    }
+}

@@ -1,0 +1,176 @@
+//! The paper's two example dashboards, reconstructed.
+
+use tabviz_core::{Dashboard, FilterAction, Zone};
+use tabviz_tql::expr::col;
+use tabviz_tql::{AggCall, AggFunc, JoinType, LogicalPlan, SortKey};
+
+/// Fig. 1: "the two upper maps show the number of flight origins and
+/// destinations by state and ... allow specifying origins and destinations
+/// for the slave charts at the bottom. Each chart is annotated with average
+/// delays and flights per day. The bottom charts cover airlines operating
+/// the flights, destination airports, breakdown of cancellations and delays
+/// by weekdays, and distribution of arrival delays broken down by hours of a
+/// day. The right-hand side has filtering, total count of visible records
+/// and static legends."
+pub fn fig1_dashboard(source: impl Into<String>, flights_table: &str) -> Dashboard {
+    let annotate = |z: Zone| -> Zone {
+        z.agg(AggCall::new(AggFunc::Count, None, "flights"))
+            .agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg_delay"))
+    };
+    let zones = vec![
+        annotate(Zone::new("OriginsByState").group("origin_state")),
+        annotate(Zone::new("DestsByState").group("dest_state")),
+        annotate(Zone::new("Airlines").group("carrier")),
+        annotate(Zone::new("DestAirports").group("dest")),
+        Zone::new("CancellationsByWeekday")
+            .group("weekday")
+            .agg(AggCall::new(AggFunc::Count, None, "flights"))
+            .agg(AggCall::new(AggFunc::CountD, Some(col("date")), "days")),
+        Zone::new("DelayByHour")
+            .group("dep_hour")
+            .agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg_delay"))
+            .agg(AggCall::new(AggFunc::Count, None, "flights")),
+        Zone::new("TotalVisible").agg(AggCall::new(AggFunc::Count, None, "records")),
+    ];
+    Dashboard {
+        name: "faa-on-time".into(),
+        source: source.into(),
+        relation: weekday_relation(flights_table),
+        zones,
+        actions: vec![
+            FilterAction {
+                source_zone: "OriginsByState".into(),
+                target_zones: vec![
+                    "Airlines".into(),
+                    "DestAirports".into(),
+                    "CancellationsByWeekday".into(),
+                    "DelayByHour".into(),
+                    "TotalVisible".into(),
+                ],
+            },
+            FilterAction {
+                source_zone: "DestsByState".into(),
+                target_zones: vec![
+                    "Airlines".into(),
+                    "DestAirports".into(),
+                    "CancellationsByWeekday".into(),
+                    "DelayByHour".into(),
+                    "TotalVisible".into(),
+                ],
+            },
+        ],
+        quick_filter_columns: vec!["carrier".into()],
+    }
+}
+
+/// The base relation for Fig. 1 (the generator materializes `weekday`
+/// directly, so the relation is a plain scan).
+fn weekday_relation(flights_table: &str) -> LogicalPlan {
+    LogicalPlan::scan(flights_table)
+}
+
+/// Fig. 2: "a dashboard with three zones, linked by two interactive filter
+/// actions. Selecting items in either the Market or Carrier zones filters
+/// the viz results." The Carrier zone is top-5 by flights.
+pub fn fig2_dashboard(source: impl Into<String>, flights_table: &str, carriers_table: &str) -> Dashboard {
+    Dashboard {
+        name: "market-carrier-airline".into(),
+        source: source.into(),
+        relation: LogicalPlan::scan(flights_table).join(
+            LogicalPlan::scan(carriers_table),
+            vec![("carrier".into(), "code".into())],
+            JoinType::Inner,
+        ),
+        zones: vec![
+            Zone::new("Market")
+                .group("market")
+                .agg(AggCall::new(AggFunc::Count, None, "flights")),
+            Zone::new("Carrier")
+                .group("carrier")
+                .agg(AggCall::new(AggFunc::Count, None, "flights"))
+                .top(5, vec![SortKey::desc("flights")]),
+            Zone::new("AirlineName")
+                .group("name")
+                .agg(AggCall::new(AggFunc::Count, None, "flights")),
+        ],
+        actions: vec![
+            FilterAction {
+                source_zone: "Market".into(),
+                target_zones: vec!["Carrier".into(), "AirlineName".into()],
+            },
+            FilterAction {
+                source_zone: "Carrier".into(),
+                target_zones: vec!["AirlineName".into()],
+            },
+        ],
+        quick_filter_columns: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faa::{carriers_dim, generate_flights, FaaConfig};
+    use std::sync::Arc;
+    use tabviz_backend::{SimConfig, SimDb};
+    use tabviz_core::{BatchOptions, DashboardState, QueryProcessor};
+    use tabviz_storage::{Database, Table};
+    use tabviz_common::Value;
+
+    fn processor() -> QueryProcessor {
+        let flights = generate_flights(&FaaConfig { rows: 5_000, ..Default::default() }).unwrap();
+        let db = Arc::new(Database::new("faa"));
+        db.put(Table::from_chunk("flights", &flights, &["carrier"]).unwrap())
+            .unwrap();
+        db.put(Table::from_chunk("carriers", &carriers_dim().unwrap(), &["code"]).unwrap())
+            .unwrap();
+        let sim = SimDb::new("warehouse", db, SimConfig::default());
+        let qp = QueryProcessor::default();
+        qp.registry.register(Arc::new(sim), 8);
+        qp
+    }
+
+    #[test]
+    fn fig1_renders() {
+        let qp = processor();
+        let dash = fig1_dashboard("warehouse", "flights");
+        let mut state = DashboardState::default();
+        let (results, report) = dash
+            .render(&qp, &mut state, &BatchOptions::default(), true)
+            .unwrap();
+        assert_eq!(report.iterations, 1);
+        assert!(results["OriginsByState"].len() > 5);
+        assert_eq!(results["TotalVisible"].row(0)[0], Value::Int(5_000));
+        assert_eq!(results["__domain_carrier"].len(), 12);
+    }
+
+    #[test]
+    fn fig1_state_selection_filters_slaves() {
+        let qp = processor();
+        let dash = fig1_dashboard("warehouse", "flights");
+        let mut state = DashboardState::default();
+        dash.render(&qp, &mut state, &BatchOptions::default(), false).unwrap();
+        state.select("OriginsByState", Value::Str("CA".into()));
+        let (results, _) = dash
+            .render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        let total = results["TotalVisible"].row(0)[0].as_int().unwrap();
+        assert!(total > 0 && total < 5_000, "CA subset: {total}");
+    }
+
+    #[test]
+    fn fig2_renders_with_join_and_topn() {
+        let qp = processor();
+        let dash = fig2_dashboard("warehouse", "flights", "carriers");
+        let mut state = DashboardState::default();
+        let (results, _) = dash
+            .render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
+        assert_eq!(results["Carrier"].len(), 5, "top-5 carriers");
+        assert_eq!(results["AirlineName"].len(), 12);
+        // Carrier zone is ordered descending.
+        let f0 = results["Carrier"].row(0)[1].as_int().unwrap();
+        let f4 = results["Carrier"].row(4)[1].as_int().unwrap();
+        assert!(f0 >= f4);
+    }
+}

@@ -1,0 +1,274 @@
+//! Synthetic FAA Flights On-Time data.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+use tabviz_common::{Chunk, DataType, Field, Result, Schema, Value};
+use tabviz_tql::datefn;
+
+/// The carriers in the synthetic fleet, with rough relative volumes
+/// (zipf-ish: a few majors dominate, like the real data).
+pub const CARRIERS: &[(&str, &str, u32)] = &[
+    ("WN", "Southwest Airlines", 100),
+    ("DL", "Delta Air Lines", 80),
+    ("AA", "American Airlines", 75),
+    ("UA", "United Airlines", 60),
+    ("US", "US Airways", 45),
+    ("EV", "ExpressJet", 40),
+    ("OO", "SkyWest", 38),
+    ("B6", "JetBlue Airways", 25),
+    ("AS", "Alaska Airlines", 18),
+    ("NK", "Spirit Airlines", 12),
+    ("F9", "Frontier Airlines", 9),
+    ("HA", "Hawaiian Airlines", 6),
+];
+
+/// Airports: (code, state), biggest hubs first.
+pub const AIRPORTS: &[(&str, &str)] = &[
+    ("ATL", "GA"), ("ORD", "IL"), ("DFW", "TX"), ("DEN", "CO"), ("LAX", "CA"),
+    ("SFO", "CA"), ("PHX", "AZ"), ("IAH", "TX"), ("LAS", "NV"), ("SEA", "WA"),
+    ("MSP", "MN"), ("DTW", "MI"), ("BOS", "MA"), ("EWR", "NJ"), ("CLT", "NC"),
+    ("LGA", "NY"), ("JFK", "NY"), ("SLC", "UT"), ("BWI", "MD"), ("MDW", "IL"),
+    ("MCO", "FL"), ("MIA", "FL"), ("SAN", "CA"), ("TPA", "FL"), ("PDX", "OR"),
+    ("STL", "MO"), ("HNL", "HI"), ("OGG", "HI"), ("DCA", "VA"), ("PHL", "PA"),
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FaaConfig {
+    pub rows: usize,
+    pub seed: u64,
+    /// First day (days since epoch) — defaults to 2005-01-01, covering the
+    /// paper's "past decade".
+    pub start_day: i32,
+    pub n_days: i32,
+}
+
+impl Default for FaaConfig {
+    fn default() -> Self {
+        FaaConfig {
+            rows: 100_000,
+            seed: 0x5EED,
+            start_day: datefn::days_from_civil(2005, 1, 1),
+            n_days: 3650,
+        }
+    }
+}
+
+impl FaaConfig {
+    pub fn with_rows(rows: usize) -> Self {
+        FaaConfig { rows, ..Default::default() }
+    }
+}
+
+/// The fact-table schema.
+pub fn flights_schema() -> Arc<Schema> {
+    Arc::new(Schema::new_unchecked(vec![
+        Field::new("date", DataType::Date).not_null(),
+        Field::new("carrier", DataType::Str).not_null(),
+        Field::new("origin", DataType::Str).not_null(),
+        Field::new("dest", DataType::Str).not_null(),
+        Field::new("origin_state", DataType::Str).not_null(),
+        Field::new("dest_state", DataType::Str).not_null(),
+        Field::new("market", DataType::Str).not_null(),
+        Field::new("dep_hour", DataType::Int).not_null(),
+        Field::new("weekday", DataType::Int).not_null(),
+        Field::new("distance", DataType::Int).not_null(),
+        Field::new("dep_delay", DataType::Int),
+        Field::new("arr_delay", DataType::Int),
+        Field::new("cancelled", DataType::Bool).not_null(),
+    ]))
+}
+
+/// Generate the flights fact table. Deterministic in `seed`.
+pub fn generate_flights(config: &FaaConfig) -> Result<Chunk> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Cumulative carrier weights for sampling.
+    let total_w: u32 = CARRIERS.iter().map(|&(_, _, w)| w).sum();
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(config.rows);
+    for _ in 0..config.rows {
+        let day = config.start_day + rng.random_range(0..config.n_days.max(1));
+        let weekday = datefn::weekday(day);
+        let month = datefn::month(day);
+
+        let mut pick = rng.random_range(0..total_w);
+        let mut carrier = CARRIERS[0];
+        for &c in CARRIERS {
+            if pick < c.2 {
+                carrier = c;
+                break;
+            }
+            pick -= c.2;
+        }
+
+        // Hubs dominate: index sampled with quadratic bias toward 0.
+        let oi = biased_index(&mut rng, AIRPORTS.len());
+        let mut di = biased_index(&mut rng, AIRPORTS.len());
+        if di == oi {
+            di = (di + 1) % AIRPORTS.len();
+        }
+        let (origin, ostate) = AIRPORTS[oi];
+        let (dest, dstate) = AIRPORTS[di];
+        let market = if origin < dest {
+            format!("{origin}-{dest}")
+        } else {
+            format!("{dest}-{origin}")
+        };
+
+        let dep_hour = sample_hour(&mut rng);
+        // Delay model: base noise + evening cascades + winter/summer bumps
+        // + Friday/Sunday peaks; heavy tail via occasional big delays.
+        let mut delay = rng.random_range(-10..15) as f64;
+        delay += (dep_hour as f64 - 8.0).max(0.0) * 1.2;
+        if month == 12 || month == 1 || month == 6 || month == 7 {
+            delay += 4.0;
+        }
+        if weekday == 5 || weekday == 0 {
+            delay += 3.0;
+        }
+        if rng.random::<f64>() < 0.05 {
+            delay += rng.random_range(30..240) as f64;
+        }
+        let dep_delay = delay.round() as i64;
+        let arr_delay = dep_delay + rng.random_range(-12..10);
+
+        let cancelled = rng.random::<f64>() < 0.018 + if month == 1 { 0.012 } else { 0.0 };
+        let distance = 150 + ((oi as i64 * 37 + di as i64 * 53) % 2300);
+
+        rows.push(vec![
+            Value::Date(day),
+            Value::Str(carrier.0.to_string()),
+            Value::Str(origin.to_string()),
+            Value::Str(dest.to_string()),
+            Value::Str(ostate.to_string()),
+            Value::Str(dstate.to_string()),
+            Value::Str(market),
+            Value::Int(dep_hour as i64),
+            Value::Int(weekday as i64),
+            Value::Int(distance),
+            if cancelled { Value::Null } else { Value::Int(dep_delay) },
+            if cancelled { Value::Null } else { Value::Int(arr_delay) },
+            Value::Bool(cancelled),
+        ]);
+    }
+    Chunk::from_rows(flights_schema(), &rows)
+}
+
+fn biased_index(rng: &mut StdRng, n: usize) -> usize {
+    let u: f64 = rng.random();
+    ((u * u) * n as f64) as usize % n
+}
+
+fn sample_hour(rng: &mut StdRng) -> u32 {
+    // Bimodal: morning and late-afternoon banks.
+    if rng.random::<f64>() < 0.5 {
+        6 + rng.random_range(0..5)
+    } else {
+        15 + rng.random_range(0..6)
+    }
+}
+
+/// The carriers dimension table: `code`, `name`.
+pub fn carriers_dim() -> Result<Chunk> {
+    let schema = Arc::new(Schema::new_unchecked(vec![
+        Field::new("code", DataType::Str).not_null(),
+        Field::new("name", DataType::Str).not_null(),
+    ]));
+    let rows: Vec<Vec<Value>> = CARRIERS
+        .iter()
+        .map(|&(code, name, _)| vec![Value::Str(code.into()), Value::Str(name.into())])
+        .collect();
+    Chunk::from_rows(schema, &rows)
+}
+
+/// The airports dimension table: `code`, `state`.
+pub fn airports_dim() -> Result<Chunk> {
+    let schema = Arc::new(Schema::new_unchecked(vec![
+        Field::new("code", DataType::Str).not_null(),
+        Field::new("state", DataType::Str).not_null(),
+    ]));
+    let rows: Vec<Vec<Value>> = AIRPORTS
+        .iter()
+        .map(|&(code, state)| vec![Value::Str(code.into()), Value::Str(state.into())])
+        .collect();
+    Chunk::from_rows(schema, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = FaaConfig { rows: 500, ..Default::default() };
+        let a = generate_flights(&c).unwrap();
+        let b = generate_flights(&c).unwrap();
+        assert_eq!(a.to_rows(), b.to_rows());
+        let c2 = FaaConfig { seed: 99, ..c };
+        let d = generate_flights(&c2).unwrap();
+        assert_ne!(a.to_rows(), d.to_rows());
+    }
+
+    #[test]
+    fn shape_matches_schema() {
+        let c = generate_flights(&FaaConfig { rows: 1000, ..Default::default() }).unwrap();
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.num_columns(), 13);
+        // Cancelled flights have NULL delays.
+        for r in c.to_rows() {
+            if r[12] == Value::Bool(true) {
+                assert_eq!(r[10], Value::Null);
+            } else {
+                assert_ne!(r[10], Value::Null);
+            }
+        }
+    }
+
+    #[test]
+    fn carrier_volumes_are_skewed() {
+        let c = generate_flights(&FaaConfig { rows: 20_000, ..Default::default() }).unwrap();
+        let carrier_idx = 1;
+        let mut wn = 0;
+        let mut ha = 0;
+        for i in 0..c.len() {
+            match c.column(carrier_idx).get(i) {
+                Value::Str(s) if s == "WN" => wn += 1,
+                Value::Str(s) if s == "HA" => ha += 1,
+                _ => {}
+            }
+        }
+        assert!(wn > ha * 5, "WN {wn} should dwarf HA {ha}");
+    }
+
+    #[test]
+    fn cancellation_rate_plausible() {
+        let c = generate_flights(&FaaConfig { rows: 20_000, ..Default::default() }).unwrap();
+        let cancelled = c
+            .to_rows()
+            .iter()
+            .filter(|r| r[12] == Value::Bool(true))
+            .count();
+        let rate = cancelled as f64 / 20_000.0;
+        assert!(rate > 0.005 && rate < 0.06, "rate {rate}");
+    }
+
+    #[test]
+    fn market_is_direction_independent() {
+        let c = generate_flights(&FaaConfig { rows: 2_000, ..Default::default() }).unwrap();
+        for r in c.to_rows() {
+            let (Value::Str(o), Value::Str(d), Value::Str(m)) = (&r[2], &r[3], &r[6]) else {
+                panic!("bad types");
+            };
+            let expect = if o < d { format!("{o}-{d}") } else { format!("{d}-{o}") };
+            assert_eq!(*m, expect);
+        }
+    }
+
+    #[test]
+    fn dimensions_cover_fact_values() {
+        let dims = carriers_dim().unwrap();
+        assert_eq!(dims.len(), CARRIERS.len());
+        let air = airports_dim().unwrap();
+        assert_eq!(air.len(), AIRPORTS.len());
+    }
+}

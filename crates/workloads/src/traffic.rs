@@ -1,0 +1,144 @@
+//! Interaction traffic models.
+//!
+//! Two workload regimes from the paper: ad-hoc exploration ("each user
+//! interaction with the application generates an adhoc query workload",
+//! Sect. 1) and shared published dashboards, whose extreme is Tableau Public:
+//! "the user-generated traffic is saturated by initial load requests, as
+//! many viewers just read content with the initial state of a dashboard and
+//! make further interactions rarely" (Sect. 3.2).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tabviz_common::Value;
+use tabviz_core::Dashboard;
+
+/// One user action against a dashboard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Interaction {
+    /// Open the dashboard in its initial state.
+    Load,
+    /// Select a value in a zone (driving its filter actions).
+    Select { zone: String, value: Value },
+    /// Clear a zone's selection.
+    Clear { zone: String },
+    /// Narrow a quick filter to a subset of its domain.
+    QuickFilter { column: String, values: Vec<Value> },
+}
+
+/// A single analyst exploring: load, then a mix of selections on the
+/// dashboard's interactive zones and quick-filter changes.
+///
+/// `candidates` supplies per-zone selectable values (normally the domains
+/// from an initial render).
+pub fn exploration_session(
+    dashboard: &Dashboard,
+    candidates: &[(String, Vec<Value>)],
+    steps: usize,
+    seed: u64,
+) -> Vec<Interaction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![Interaction::Load];
+    let interactive: Vec<&String> = dashboard
+        .actions
+        .iter()
+        .map(|a| &a.source_zone)
+        .collect();
+    for _ in 0..steps {
+        let roll: f64 = rng.random();
+        if roll < 0.6 && !interactive.is_empty() {
+            let zone = interactive[rng.random_range(0..interactive.len())].clone();
+            if let Some((_, values)) = candidates.iter().find(|(z, _)| *z == zone) {
+                if !values.is_empty() {
+                    let v = values[rng.random_range(0..values.len())].clone();
+                    out.push(Interaction::Select { zone, value: v });
+                    continue;
+                }
+            }
+            out.push(Interaction::Clear { zone });
+        } else if roll < 0.8 && !dashboard.quick_filter_columns.is_empty() {
+            let column = dashboard.quick_filter_columns
+                [rng.random_range(0..dashboard.quick_filter_columns.len())]
+            .clone();
+            if let Some((_, values)) = candidates.iter().find(|(z, _)| *z == column) {
+                let keep = 1 + rng.random_range(0..values.len().max(2) - 1);
+                let mut subset: Vec<Value> = values.clone();
+                while subset.len() > keep {
+                    let i = rng.random_range(0..subset.len());
+                    subset.remove(i);
+                }
+                out.push(Interaction::QuickFilter { column, values: subset });
+                continue;
+            }
+            out.push(Interaction::Load);
+        } else if !interactive.is_empty() {
+            let zone = interactive[rng.random_range(0..interactive.len())].clone();
+            out.push(Interaction::Clear { zone });
+        } else {
+            out.push(Interaction::Load);
+        }
+    }
+    out
+}
+
+/// Tableau-Public-style traffic: `(user, interaction)` events where most
+/// users only load and a small fraction interact further.
+pub fn public_traffic(
+    dashboard: &Dashboard,
+    candidates: &[(String, Vec<Value>)],
+    n_users: usize,
+    interact_fraction: f64,
+    seed: u64,
+) -> Vec<(usize, Interaction)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for user in 0..n_users {
+        out.push((user, Interaction::Load));
+        if rng.random::<f64>() < interact_fraction {
+            let extra = exploration_session(dashboard, candidates, 2, seed ^ user as u64);
+            for i in extra.into_iter().skip(1) {
+                out.push((user, i));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dashboards::fig2_dashboard;
+
+    fn candidates() -> Vec<(String, Vec<Value>)> {
+        vec![
+            (
+                "Market".into(),
+                vec![Value::Str("LAX-SFO".into()), Value::Str("HNL-OGG".into())],
+            ),
+            (
+                "Carrier".into(),
+                vec![Value::Str("AA".into()), Value::Str("WN".into())],
+            ),
+        ]
+    }
+
+    #[test]
+    fn exploration_is_deterministic_and_starts_with_load() {
+        let dash = fig2_dashboard("warehouse", "flights", "carriers");
+        let a = exploration_session(&dash, &candidates(), 10, 7);
+        let b = exploration_session(&dash, &candidates(), 10, 7);
+        assert_eq!(a, b);
+        assert_eq!(a[0], Interaction::Load);
+        assert_eq!(a.len(), 11);
+        assert!(a.iter().any(|i| matches!(i, Interaction::Select { .. })));
+    }
+
+    #[test]
+    fn public_traffic_is_load_dominated() {
+        let dash = fig2_dashboard("warehouse", "flights", "carriers");
+        let t = public_traffic(&dash, &candidates(), 200, 0.1, 3);
+        let loads = t.iter().filter(|(_, i)| *i == Interaction::Load).count();
+        let others = t.len() - loads;
+        assert!(loads >= 200);
+        assert!(others < loads / 2, "loads {loads}, others {others}");
+    }
+}

@@ -1,0 +1,93 @@
+//! TDE parallel execution (Sect. 4.2) and RLE index scans (Sect. 4.3):
+//! serial vs parallel plans, local/global vs range-partitioned aggregation,
+//! and range skipping on an RLE-sorted column — with plan explains.
+//!
+//! Run with: `cargo run --release --example parallel_tde`
+
+#![allow(clippy::field_reassign_with_default)]
+
+use std::sync::Arc;
+use std::time::Instant;
+use tabviz::prelude::*;
+use tabviz::tde::cost::CostProfile;
+use tabviz::tde::parallel::ParallelOptions;
+use tabviz::workloads::{generate_flights, FaaConfig};
+
+fn time_query(tde: &Tde, q: &str, opts: &ExecOptions) -> Result<(usize, std::time::Duration)> {
+    let t0 = Instant::now();
+    let out = tde.query_with(q, opts)?;
+    Ok((out.len(), t0.elapsed()))
+}
+
+fn main() -> Result<()> {
+    let rows = 4_000_000;
+    println!("generating {rows} flights ...");
+    let flights = generate_flights(&FaaConfig::with_rows(rows))?;
+    let db = Arc::new(Database::new("faa"));
+    // Sorted by carrier: carrier is RLE-encoded and range-partitionable.
+    db.put(Table::from_chunk("flights", &flights, &["carrier", "date"])?)?;
+    let tde = Tde::new(db);
+
+    let agg_q = "(aggregate ((carrier))
+                            ((count as n) (avg arr_delay as avg_delay) (max dep_delay as worst))
+                   (scan flights))";
+
+    // --- Serial vs parallel aggregation ---
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("available cores: {cores} (parallel wall-clock gains require >1)");
+    let dop = cores.max(4); // force parallel plan shapes even on small boxes
+    let profile = CostProfile { min_work_per_thread: 50_000, max_dop: dop };
+
+    let serial = ExecOptions::serial();
+    let (n, t_serial) = time_query(&tde, agg_q, &serial)?;
+    println!("serial aggregate:            {n:>4} groups in {t_serial:?}");
+
+    let mut parallel = ExecOptions::default();
+    parallel.parallel = ParallelOptions { profile, range_partition_min_distinct_per_dop: 1, ..Default::default() };
+    let (n, t_par) = time_query(&tde, agg_q, &parallel)?;
+    println!(
+        "parallel (range-partitioned): {n:>4} groups in {t_par:?}  ({:.2}x)",
+        t_serial.as_secs_f64() / t_par.as_secs_f64()
+    );
+
+    let mut no_range = ExecOptions::default();
+    no_range.parallel = ParallelOptions {
+        enable_range_partition: false,
+        profile,
+        ..Default::default()
+    };
+    let (_, t_lg) = time_query(&tde, agg_q, &no_range)?;
+    println!(
+        "parallel (local/global):      {n:>4} groups in {t_lg:?}  ({:.2}x)",
+        t_serial.as_secs_f64() / t_lg.as_secs_f64()
+    );
+
+    // Show the two parallel plans.
+    let plan = parse_plan(agg_q)?;
+    println!(
+        "\nrange-partitioned plan:\n{}",
+        tde.plan_physical(&plan, &parallel)?.explain()
+    );
+    println!(
+        "local/global plan:\n{}",
+        tde.plan_physical(&plan, &no_range)?.explain()
+    );
+
+    // --- RLE index scan: selective filter on the sorted carrier column ---
+    let filter_q = "(aggregate ((origin_state)) ((count as n) (avg arr_delay as d))
+                      (select (= carrier \"HA\") (scan flights)))";
+    let mut no_rle = ExecOptions::serial();
+    no_rle.physical.enable_rle_index = false;
+    let (_, t_full) = time_query(&tde, filter_q, &no_rle)?;
+    let (_, t_rle) = time_query(&tde, filter_q, &ExecOptions::serial())?;
+    println!(
+        "\nselective filter (carrier = HA, ~1% of rows):\n  full scan: {t_full:?}\n  RLE range skip: {t_rle:?} ({:.1}x)",
+        t_full.as_secs_f64() / t_rle.as_secs_f64()
+    );
+    let fplan = parse_plan(filter_q)?;
+    println!(
+        "plan:\n{}",
+        tde.plan_physical(&fplan, &ExecOptions::serial())?.explain()
+    );
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Quickstart: load data into the TDE, query it with TQL, then drive the
+//! cached query processor the way a Tableau client would.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+use tabviz::prelude::*;
+use tabviz::workloads::{generate_flights, FaaConfig};
+
+fn main() -> Result<()> {
+    // --- 1. Build an extract: synthetic FAA flights in a TDE database. ---
+    let flights = generate_flights(&FaaConfig::with_rows(200_000))?;
+    let db = Arc::new(Database::new("faa"));
+    db.put(Table::from_chunk("flights", &flights, &["carrier", "date"])?)?;
+    println!("loaded {} flights into the TDE", flights.len());
+
+    // The TDE packs a database into a single file (Sect. 4.1).
+    let path = std::env::temp_dir().join("faa_quickstart.tvdb");
+    tabviz::storage::pack::pack_to_file(&db, &path)?;
+    println!(
+        "packed database: {} ({} KiB)",
+        path.display(),
+        std::fs::metadata(&path)?.len() / 1024
+    );
+
+    // --- 2. Query with TQL text. ---
+    let tde = Tde::new(Arc::clone(&db));
+    let top = tde.query(
+        "(topn 5 ((flights desc))
+           (aggregate ((carrier))
+                      ((count as flights) (avg arr_delay as avg_delay))
+             (select (= cancelled false)
+               (scan flights))))",
+    )?;
+    println!("\ntop 5 carriers by flights:\n{top}");
+
+    // Explain shows the compiler / optimizer / parallel-plan pipeline.
+    let explain = tde.explain(
+        "(aggregate ((origin_state)) ((count as n)) (scan flights))",
+        &ExecOptions::default(),
+    )?;
+    println!("explain:\n{explain}");
+
+    // --- 3. The cached query processor over a simulated remote server. ---
+    let sim = SimDb::new(
+        "warehouse",
+        Arc::clone(&db),
+        SimConfig {
+            latency: LatencyModel::lan(),
+            ..Default::default()
+        },
+    );
+    let qp = QueryProcessor::default();
+    qp.registry.register(Arc::new(sim), 4);
+
+    let spec = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+        .group("carrier")
+        .group("origin_state")
+        .agg(AggCall::new(AggFunc::Count, None, "n"))
+        .agg(AggCall::new(AggFunc::Sum, Some(col("arr_delay")), "total_delay"))
+        .agg(AggCall::new(AggFunc::Count, Some(col("arr_delay")), "cnt_delay"));
+
+    let t0 = std::time::Instant::now();
+    let (out, outcome) = qp.execute(&spec)?;
+    println!(
+        "first run: {} rows, {:?}, {:?}",
+        out.len(),
+        outcome,
+        t0.elapsed()
+    );
+
+    // The same question again: answered by the intelligent cache.
+    let t0 = std::time::Instant::now();
+    let (_, outcome) = qp.execute(&spec)?;
+    println!("second run: {:?}, {:?}", outcome, t0.elapsed());
+
+    // A *coarser* question with a filter: also answered locally, by roll-up
+    // + filter post-processing (Sect. 3.2's view matching).
+    let coarse = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+        .filter(bin(BinOp::Eq, col("origin_state"), lit("CA")))
+        .group("carrier")
+        .agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg_delay"));
+    let t0 = std::time::Instant::now();
+    let (ca, outcome) = qp.execute(&coarse)?;
+    println!(
+        "derived question (CA avg delay by carrier): {} rows, {:?}, {:?}",
+        ca.len(),
+        outcome,
+        t0.elapsed()
+    );
+    assert_eq!(outcome, ExecOutcome::IntelligentHit);
+
+    std::fs::remove_file(path).ok();
+    Ok(())
+}

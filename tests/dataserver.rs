@@ -1,0 +1,154 @@
+//! Data Server integration: the proxy path must be semantically identical
+//! to a direct connection (Sect. 5.3: "other than imposing data permissions,
+//! there is conceptually no reason why proxied interactions ... would be
+//! different from the ones against equivalent direct connections").
+
+use std::sync::Arc;
+use tabviz::prelude::*;
+use tabviz::workloads::{generate_flights, FaaConfig};
+
+fn setup() -> (Arc<DataServer>, SimDb, Arc<Database>) {
+    let flights = generate_flights(&FaaConfig::with_rows(30_000)).unwrap();
+    let db = Arc::new(Database::new("faa"));
+    db.put(Table::from_chunk("flights", &flights, &["carrier"]).unwrap())
+        .unwrap();
+    let sim = SimDb::new("warehouse", Arc::clone(&db), SimConfig::default());
+    let qp = QueryProcessor::default();
+    qp.registry.register(Arc::new(sim.clone()), 8);
+    let server = Arc::new(DataServer::new(qp));
+    server.publish(PublishedSource::new(
+        "flights-model",
+        "warehouse",
+        LogicalPlan::scan("flights"),
+    ));
+    (server, sim, db)
+}
+
+#[test]
+fn proxied_equals_direct() {
+    let (server, _, db) = setup();
+    let session = server.connect("flights-model", "anyone").unwrap();
+    let q = ClientQuery {
+        filters: vec![bin(BinOp::Eq, col("cancelled"), lit(false))],
+        group_by: vec!["carrier".into()],
+        aggs: vec![
+            AggCall::new(AggFunc::Count, None, "n"),
+            AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "d"),
+        ],
+        ..Default::default()
+    };
+    let (proxied, _) = session.query(&q).unwrap();
+
+    let tde = Tde::new(db);
+    let direct = tde
+        .query(
+            "(aggregate ((carrier)) ((count as n) (avg arr_delay as d))
+               (select (= cancelled false) (scan flights)))",
+        )
+        .unwrap();
+    let mut a = proxied.to_rows();
+    let mut b = direct.to_rows();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn user_filters_partition_the_data_exactly() {
+    let (server, _, _) = setup();
+    let p = server.published("flights-model").unwrap();
+    p.set_user_filter("west", bin(BinOp::Eq, col("origin_state"), lit("CA")));
+    p.set_user_filter(
+        "not_west",
+        Expr::Unary {
+            op: tabviz::tql::UnaryOp::Not,
+            expr: Box::new(bin(BinOp::Eq, col("origin_state"), lit("CA"))),
+        },
+    );
+    let q = ClientQuery {
+        group_by: vec![],
+        aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+        ..Default::default()
+    };
+    let count = |user: &str| {
+        let s = server.connect("flights-model", user).unwrap();
+        s.query(&q).unwrap().0.row(0)[0].as_int().unwrap()
+    };
+    let all = count("admin");
+    let west = count("west");
+    let rest = count("not_west");
+    assert_eq!(all, 30_000);
+    assert!(west > 0);
+    assert_eq!(west + rest, all);
+}
+
+#[test]
+fn temp_table_pushdown_vs_fallback_same_results() {
+    let (server, sim, _) = setup();
+    let mut session = server.connect("flights-model", "hq").unwrap();
+    let markets: Vec<Value> = (0..80).map(|i| Value::Str(format!("M{i}"))).collect();
+    let set = session.define_set("market", markets.clone()).unwrap();
+    let q = ClientQuery {
+        group_by: vec!["carrier".into()],
+        aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+        set_refs: vec![set],
+        ..Default::default()
+    };
+    let (with_push, _) = session.query(&q).unwrap();
+    assert!(sim.stats().temp_tables_created >= 1);
+
+    // Break temp-table creation: the server rewrites to inline evaluation.
+    sim.set_fail_temp_tables(true);
+    server.processor.caches.clear();
+    let (with_fallback, _) = session.query(&q).unwrap();
+    let mut a = with_push.to_rows();
+    let mut b = with_fallback.to_rows();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn server_side_caching_spans_clients() {
+    let (server, sim, _) = setup();
+    let q = ClientQuery {
+        group_by: vec!["origin_state".into()],
+        aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+        ..Default::default()
+    };
+    let s1 = server.connect("flights-model", "u1").unwrap();
+    let (_, o1) = s1.query(&q).unwrap();
+    assert_eq!(o1, ExecOutcome::Remote);
+    // A different client asking the same question is a cache hit.
+    let s2 = server.connect("flights-model", "u2").unwrap();
+    let (_, o2) = s2.query(&q).unwrap();
+    assert_eq!(o2, ExecOutcome::IntelligentHit);
+    assert_eq!(sim.stats().queries, 1);
+}
+
+#[test]
+fn shared_extract_refresh_instead_of_per_workbook() {
+    let (server, _, db) = setup();
+    let p = server.published("flights-model").unwrap();
+    // 100 "workbooks" use the shared extract; refreshing it is one load.
+    let new_data = generate_flights(&FaaConfig {
+        rows: 1_000,
+        seed: 9,
+        ..Default::default()
+    })
+    .unwrap();
+    db.put(Table::from_chunk("flights", &new_data, &["carrier"]).unwrap())
+        .unwrap();
+    p.record_refresh();
+    server.processor.caches.purge_source("warehouse");
+    assert_eq!(p.refresh_count(), 1);
+
+    let s = server.connect("flights-model", "u").unwrap();
+    let q = ClientQuery {
+        aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+        group_by: vec![],
+        ..Default::default()
+    };
+    let (out, _) = s.query(&q).unwrap();
+    assert_eq!(out.row(0)[0], Value::Int(1_000), "refreshed data visible");
+}

@@ -1,0 +1,191 @@
+//! Parallel-plan correctness: for randomized queries, every planner
+//! configuration (serial, local/global, range-partitioned, ablations, RLE
+//! on/off) must return identical result sets.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tabviz::prelude::*;
+use tabviz::tde::cost::CostProfile;
+use tabviz::tde::parallel::ParallelOptions;
+use tabviz::workloads::{generate_flights, FaaConfig};
+
+fn engine(rows: usize, sorted: bool) -> Tde {
+    let flights = generate_flights(&FaaConfig {
+        rows,
+        seed: 7,
+        ..Default::default()
+    })
+    .unwrap();
+    let db = Arc::new(Database::new("faa"));
+    let keys: &[&str] = if sorted { &["carrier", "date"] } else { &[] };
+    db.put(Table::from_chunk("flights", &flights, keys).unwrap())
+        .unwrap();
+    Tde::new(db)
+}
+
+fn configs() -> Vec<(&'static str, ExecOptions)> {
+    let forced = CostProfile {
+        min_work_per_thread: 500,
+        max_dop: 4,
+    };
+    let mut all = vec![("serial", ExecOptions::serial())];
+    let mut p1 = ExecOptions::default();
+    p1.parallel = ParallelOptions {
+        profile: forced,
+        range_partition_min_distinct_per_dop: 1,
+        ..Default::default()
+    };
+    all.push(("parallel-full", p1));
+    let mut p2 = ExecOptions::default();
+    p2.parallel = ParallelOptions {
+        profile: forced,
+        enable_range_partition: false,
+        ..Default::default()
+    };
+    all.push(("local-global", p2));
+    let mut p3 = ExecOptions::default();
+    p3.parallel = ParallelOptions {
+        profile: forced,
+        enable_range_partition: false,
+        enable_local_global: false,
+        enable_local_topn: false,
+        ..Default::default()
+    };
+    all.push(("exchange-serial-agg", p3));
+    let mut p4 = ExecOptions::serial();
+    p4.physical.enable_rle_index = false;
+    all.push(("no-rle-index", p4));
+    let mut p5 = ExecOptions::serial();
+    p5.physical.enable_streaming_agg = false;
+    all.push(("hash-agg-only", p5));
+    let mut p6 = ExecOptions::default();
+    p6.parallel = ParallelOptions {
+        profile: forced,
+        enable_range_partition: false,
+        prefer_ordered_exchange_streaming: true,
+        ..Default::default()
+    };
+    all.push(("ordered-exchange-streaming", p6));
+    all
+}
+
+fn agg_pool() -> Vec<&'static str> {
+    vec![
+        "(count as n)",
+        "(sum distance as dist)",
+        "(avg arr_delay as d)",
+        "(min dep_delay as lo)",
+        "(max dep_delay as hi)",
+        "(countd origin as no)",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_plan_configs_agree(
+        groups in proptest::sample::subsequence(
+            vec!["carrier", "origin_state", "weekday"], 1..=2),
+        aggs in proptest::sample::subsequence(agg_pool(), 1..=3),
+        filter_carrier in proptest::option::of(
+            proptest::sample::select(vec!["WN", "DL", "HA", "NK"])),
+        sorted in any::<bool>(),
+    ) {
+        let tde = engine(6_000, sorted);
+        let filter = match filter_carrier {
+            Some(c) => format!("(select (= carrier \"{c}\") (scan flights))"),
+            None => "(scan flights)".to_string(),
+        };
+        let q = format!(
+            "(aggregate ({}) ({}) {})",
+            groups.join(" "),
+            aggs.join(" "),
+            filter
+        );
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for (name, opts) in configs() {
+            let mut rows = tde.query_with(&q, &opts).unwrap().to_rows();
+            rows.sort();
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => prop_assert_eq!(r, &rows, "config {} diverged on {}", name, q),
+            }
+        }
+    }
+
+    #[test]
+    fn topn_agrees_across_configs(
+        n in 1usize..8,
+        desc in any::<bool>(),
+    ) {
+        let tde = engine(6_000, true);
+        let dir = if desc { "desc" } else { "asc" };
+        let q = format!(
+            "(topn {n} ((total {dir}) (carrier asc))
+               (aggregate ((carrier)) ((sum distance as total)) (scan flights)))"
+        );
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for (name, opts) in configs() {
+            let rows = tde.query_with(&q, &opts).unwrap().to_rows();
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => prop_assert_eq!(r, &rows, "config {} diverged", name),
+            }
+        }
+    }
+}
+
+#[test]
+fn exchange_results_complete_under_many_threads() {
+    // Stress the Exchange with more branches than cores.
+    let tde = engine(50_000, false);
+    let mut opts = ExecOptions::default();
+    opts.parallel = ParallelOptions {
+        profile: CostProfile {
+            min_work_per_thread: 100,
+            max_dop: 16,
+        },
+        ..Default::default()
+    };
+    let total = tde
+        .query_with("(aggregate () ((count as n)) (scan flights))", &opts)
+        .unwrap();
+    assert_eq!(total.row(0)[0], Value::Int(50_000));
+}
+
+#[test]
+fn parallel_join_correctness() {
+    let flights = generate_flights(&FaaConfig::with_rows(20_000)).unwrap();
+    let db = Arc::new(Database::new("faa"));
+    db.put(Table::from_chunk("flights", &flights, &["carrier"]).unwrap())
+        .unwrap();
+    db.put(
+        Table::from_chunk(
+            "carriers",
+            &tabviz::workloads::carriers_dim().unwrap(),
+            &["code"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let tde = Tde::new(db);
+    let q = "(aggregate ((name)) ((count as n))
+               (join inner ((carrier code)) (scan flights) (scan carriers)))";
+    let serial = tde.query_with(q, &ExecOptions::serial()).unwrap();
+    let mut fast = ExecOptions::default();
+    fast.parallel.profile = CostProfile {
+        min_work_per_thread: 500,
+        max_dop: 4,
+    };
+    let parallel = tde.query_with(q, &fast).unwrap();
+    let mut a = serial.to_rows();
+    let mut b = parallel.to_rows();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    let total: i64 = a.iter().map(|r| r[1].as_int().unwrap()).sum();
+    assert_eq!(total, 20_000);
+}
