@@ -29,5 +29,5 @@ pub mod sql;
 pub use capability::{Capabilities, Dialect, ServerArchitecture};
 pub use local::TdeDataSource;
 pub use pool::{ConnectionPool, PoolStats};
-pub use sim::{LatencyModel, SimConfig, SimDb, SimStats};
+pub use sim::{FaultPlan, LatencyModel, SimConfig, SimDb, SimStats};
 pub use source::{Connection, DataSource, RemoteQuery};

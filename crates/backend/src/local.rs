@@ -80,7 +80,8 @@ impl Connection for TdeConnection {
     }
 
     fn create_temp_table(&mut self, name: &str, data: &Chunk) -> Result<()> {
-        self.session_db.put_temp(Table::from_chunk(name, data, &[])?)?;
+        self.session_db
+            .put_temp(Table::from_chunk(name, data, &[])?)?;
         Ok(())
     }
 

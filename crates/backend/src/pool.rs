@@ -11,9 +11,10 @@
 
 use crate::source::{Connection, DataSource};
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tabviz_common::Result;
+use tabviz_common::{Result, TvError};
 
 /// Pool counters.
 #[derive(Debug, Clone, Default)]
@@ -26,6 +27,56 @@ pub struct PoolStats {
     pub waited: usize,
     /// Connections discarded by age-wise eviction.
     pub evicted: usize,
+    /// Unhealthy connections discarded instead of being recycled.
+    pub poisoned: usize,
+    /// Transient connect failures that were retried.
+    pub connect_retries: usize,
+    /// Acquisitions that gave up because the acquire deadline elapsed.
+    pub acquire_timeouts: usize,
+}
+
+/// Retry/backoff/deadline policy for the pool.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Extra connect attempts after a transient failure (0 = fail fast).
+    pub connect_retries: usize,
+    /// First backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// How long an acquisition may block waiting for a free connection
+    /// before returning [`TvError::Timeout`]. `None` waits forever (the
+    /// pre-resilience behavior).
+    pub acquire_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            connect_retries: 3,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(250),
+            acquire_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Exponential backoff with deterministic jitter for the `attempt`-th
+    /// retry (0-based). Jitter (0–50% of the step) decorrelates contending
+    /// acquirers; deriving it from a counter keeps runs reproducible.
+    fn backoff(&self, attempt: usize, salt: u64) -> Duration {
+        let step = self
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(16) as u32)
+            .min(self.backoff_cap);
+        // SplitMix64 finalizer over the salt.
+        let mut z = salt.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        let frac = ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        step + Duration::from_secs_f64(step.as_secs_f64() * 0.5 * frac)
+    }
 }
 
 struct Idle {
@@ -44,14 +95,28 @@ struct PoolInner {
 pub struct ConnectionPool {
     source: Arc<dyn DataSource>,
     max_size: usize,
+    policy: RetryPolicy,
+    /// Monotonic salt for deterministic backoff jitter.
+    backoff_salt: AtomicU64,
     inner: Mutex<PoolInner>,
     cv: Condvar,
 }
 
-/// RAII guard: returns the connection to the pool on drop.
+/// RAII guard: returns the connection to the pool on drop — unless the
+/// session is unhealthy (or explicitly poisoned), in which case it is
+/// discarded so no later acquirer receives a dead connection.
 pub struct PooledConnection<'a> {
     pool: &'a ConnectionPool,
     conn: Option<Box<dyn Connection>>,
+    poisoned: bool,
+}
+
+impl PooledConnection<'_> {
+    /// Force-discard this connection on drop even if it reports healthy
+    /// (e.g. the caller observed a protocol error the backend missed).
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
 }
 
 impl std::ops::Deref for PooledConnection<'_> {
@@ -72,10 +137,16 @@ impl Drop for PooledConnection<'_> {
         if let Some(conn) = self.conn.take() {
             let mut inner = self.pool.inner.lock();
             inner.in_use -= 1;
-            inner.idle.push(Idle {
-                conn,
-                last_used: Instant::now(),
-            });
+            if self.poisoned || !conn.healthy() {
+                // Dropping the boxed connection closes the session; the
+                // freed capacity lets a waiter open a fresh one.
+                inner.stats.poisoned += 1;
+            } else {
+                inner.idle.push(Idle {
+                    conn,
+                    last_used: Instant::now(),
+                });
+            }
             self.pool.cv.notify_one();
         }
     }
@@ -95,6 +166,8 @@ impl ConnectionPool {
         ConnectionPool {
             source,
             max_size,
+            policy: RetryPolicy::default(),
+            backoff_salt: AtomicU64::new(0),
             inner: Mutex::new(PoolInner {
                 idle: Vec::new(),
                 in_use: 0,
@@ -102,6 +175,28 @@ impl ConnectionPool {
             }),
             cv: Condvar::new(),
         }
+    }
+
+    /// Replace the retry/deadline policy (builder style).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Backoff duration for an external retry loop's `attempt`-th retry,
+    /// advancing the shared jitter salt (query-level retries and connect
+    /// retries stay decorrelated but deterministic).
+    pub fn next_backoff(&self, attempt: usize) -> Duration {
+        let salt = self.backoff_salt.fetch_add(1, Ordering::Relaxed);
+        self.policy.backoff(attempt, salt)
     }
 
     pub fn max_size(&self) -> usize {
@@ -119,17 +214,37 @@ impl ConnectionPool {
     /// Acquire a connection, preferring one that already holds the given
     /// temp table ("queries ... are multiplexed across connections
     /// regardless of their remote state", but routing to a session that has
-    /// the structure avoids re-creating it).
+    /// the structure avoids re-creating it). Blocks at most the policy's
+    /// `acquire_timeout`.
     pub fn acquire_preferring(&self, temp_table: Option<&str>) -> Result<PooledConnection<'_>> {
+        self.acquire_within(temp_table, self.policy.acquire_timeout)
+    }
+
+    /// Acquire with an explicit deadline override (`None` = wait forever).
+    pub fn acquire_within(
+        &self,
+        temp_table: Option<&str>,
+        timeout: Option<Duration>,
+    ) -> Result<PooledConnection<'_>> {
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut inner = self.inner.lock();
         loop {
+            // 0. Sessions that died while idle are discarded, never reused.
+            let before = inner.idle.len();
+            inner.idle.retain(|i| i.conn.healthy());
+            inner.stats.poisoned += before - inner.idle.len();
+
             // 1. An idle connection holding the wanted temp structure.
             if let Some(name) = temp_table {
                 if let Some(pos) = inner.idle.iter().position(|i| i.conn.has_temp_table(name)) {
                     let idle = inner.idle.remove(pos);
                     inner.in_use += 1;
                     inner.stats.reused += 1;
-                    return Ok(PooledConnection { pool: self, conn: Some(idle.conn) });
+                    return Ok(PooledConnection {
+                        pool: self,
+                        conn: Some(idle.conn),
+                        poisoned: false,
+                    });
                 }
             }
             // 2. Any idle connection (most recently used first, to keep the
@@ -137,29 +252,65 @@ impl ConnectionPool {
             if let Some(idle) = inner.idle.pop() {
                 inner.in_use += 1;
                 inner.stats.reused += 1;
-                return Ok(PooledConnection { pool: self, conn: Some(idle.conn) });
+                return Ok(PooledConnection {
+                    pool: self,
+                    conn: Some(idle.conn),
+                    poisoned: false,
+                });
             }
-            // 3. Open a new one if under the cap.
+            // 3. Open a new one if under the cap, retrying transient connect
+            //    failures with exponential backoff + deterministic jitter.
             if inner.in_use < self.max_size {
                 inner.in_use += 1;
                 inner.stats.opened += 1;
                 drop(inner);
-                match self.source.connect() {
-                    Ok(conn) => {
-                        return Ok(PooledConnection { pool: self, conn: Some(conn) });
-                    }
-                    Err(e) => {
-                        let mut inner = self.inner.lock();
-                        inner.in_use -= 1;
-                        inner.stats.opened -= 1;
-                        self.cv.notify_one();
-                        return Err(e);
+                let mut attempt = 0usize;
+                loop {
+                    match self.source.connect() {
+                        Ok(conn) => {
+                            return Ok(PooledConnection {
+                                pool: self,
+                                conn: Some(conn),
+                                poisoned: false,
+                            });
+                        }
+                        Err(e)
+                            if e.is_transient()
+                                && attempt < self.policy.connect_retries
+                                && deadline.is_none_or(|d| Instant::now() < d) =>
+                        {
+                            let salt = self.backoff_salt.fetch_add(1, Ordering::Relaxed);
+                            self.inner.lock().stats.connect_retries += 1;
+                            std::thread::sleep(self.policy.backoff(attempt, salt));
+                            attempt += 1;
+                        }
+                        Err(e) => {
+                            let mut inner = self.inner.lock();
+                            inner.in_use -= 1;
+                            inner.stats.opened -= 1;
+                            self.cv.notify_one();
+                            return Err(e);
+                        }
                     }
                 }
             }
-            // 4. Wait for a connection to come back.
+            // 4. Wait for a connection to come back, up to the deadline.
             inner.stats.waited += 1;
-            self.cv.wait(&mut inner);
+            match deadline {
+                None => self.cv.wait(&mut inner),
+                Some(d) => {
+                    if Instant::now() >= d {
+                        inner.stats.acquire_timeouts += 1;
+                        return Err(TvError::Timeout(format!(
+                            "acquiring a '{}' connection exceeded {:?} (pool size {})",
+                            self.source.name(),
+                            timeout.unwrap_or_default(),
+                            self.max_size
+                        )));
+                    }
+                    self.cv.wait_until(&mut inner, d);
+                }
+            }
         }
     }
 
@@ -199,7 +350,7 @@ impl ConnectionPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::{SimConfig, SimDb};
+    use crate::sim::{FaultPlan, SimConfig, SimDb};
     use std::sync::Arc;
     use tabviz_common::{Chunk, DataType, Field, Schema, Value};
     use tabviz_storage::{Database, Table};
@@ -248,8 +399,12 @@ mod tests {
         let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]).unwrap());
         let db = Arc::new(Database::new("d"));
         db.put(
-            Table::from_chunk("t", &Chunk::from_rows(schema, &[vec![Value::Int(1)]]).unwrap(), &[])
-                .unwrap(),
+            Table::from_chunk(
+                "t",
+                &Chunk::from_rows(schema, &[vec![Value::Int(1)]]).unwrap(),
+                &[],
+            )
+            .unwrap(),
         )
         .unwrap();
         let mut cfg = SimConfig::default();
@@ -310,6 +465,96 @@ mod tests {
         assert_eq!(st.opened + st.reused, 16 * 5);
         // (whether acquisitions had to wait is timing-dependent on a fast
         // backend; the cap and the accounting are the invariants)
+    }
+
+    fn faulty_source(plan: FaultPlan) -> Arc<dyn DataSource> {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]).unwrap());
+        let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i)]).collect();
+        let db = Arc::new(Database::new("d"));
+        db.put(Table::from_chunk("t", &Chunk::from_rows(schema, &rows).unwrap(), &[]).unwrap())
+            .unwrap();
+        let cfg = SimConfig {
+            faults: Some(plan),
+            ..Default::default()
+        };
+        Arc::new(SimDb::new("s", db, cfg))
+    }
+
+    fn fast_retry_policy(retries: usize) -> RetryPolicy {
+        RetryPolicy {
+            connect_retries: retries,
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(2),
+            acquire_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+
+    #[test]
+    fn dropped_connection_is_discarded_not_reused() {
+        use tabviz_tql::parse_plan;
+        let mut plan = FaultPlan::seeded(7);
+        plan.connection_drop = 1.0; // every query drops the session
+        let pool = ConnectionPool::new(faulty_source(plan), 4);
+        {
+            let mut c = pool.acquire().unwrap();
+            let q = "(aggregate () ((count as n)) (scan t))";
+            let rq = crate::source::RemoteQuery::new(q.into(), parse_plan(q).unwrap());
+            let err = c.execute(&rq).unwrap_err();
+            assert!(err.is_transient());
+            assert!(!c.healthy());
+        }
+        // The poisoned session must not land back in the idle set.
+        assert_eq!(pool.idle_count(), 0);
+        assert_eq!(pool.stats().poisoned, 1);
+        let _c2 = pool.acquire().unwrap();
+        assert_eq!(pool.stats().opened, 2);
+    }
+
+    #[test]
+    fn explicit_poison_discards_a_healthy_connection() {
+        let pool = ConnectionPool::new(source(), 4);
+        {
+            let mut c = pool.acquire().unwrap();
+            c.poison();
+        }
+        assert_eq!(pool.idle_count(), 0);
+        assert_eq!(pool.stats().poisoned, 1);
+    }
+
+    #[test]
+    fn connect_retries_exhaust_with_typed_error() {
+        let mut plan = FaultPlan::seeded(3);
+        plan.connect_failure = 1.0; // connects never succeed
+        let pool = ConnectionPool::new(faulty_source(plan), 4).with_policy(fast_retry_policy(2));
+        let err = pool.acquire().err().expect("acquire should fail");
+        assert!(err.is_transient(), "unexpected error: {err}");
+        let st = pool.stats();
+        assert_eq!(st.connect_retries, 2);
+        // The failed slot was released: a later acquire still gets to try.
+        assert_eq!(st.opened, 0);
+    }
+
+    #[test]
+    fn connect_retries_recover_from_transient_failures() {
+        let mut plan = FaultPlan::seeded(11);
+        plan.connect_failure = 0.7; // deterministic per-ordinal outcomes
+        let pool = ConnectionPool::new(faulty_source(plan), 4).with_policy(fast_retry_policy(20));
+        let _c = pool.acquire().unwrap();
+        let st = pool.stats();
+        assert!(st.connect_retries >= 1, "expected at least one retry");
+        assert_eq!(st.opened, 1);
+    }
+
+    #[test]
+    fn acquire_times_out_when_pool_is_exhausted() {
+        let pool = ConnectionPool::new(source(), 1);
+        let _held = pool.acquire().unwrap();
+        let err = pool
+            .acquire_within(None, Some(Duration::from_millis(30)))
+            .err()
+            .expect("acquire should time out");
+        assert!(matches!(err, TvError::Timeout(_)), "got: {err}");
+        assert_eq!(pool.stats().acquire_timeouts, 1);
     }
 
     #[test]

@@ -13,9 +13,9 @@
 use crate::capability::{Capabilities, ServerArchitecture};
 use crate::source::{Connection, DataSource, RemoteQuery};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tabviz_common::{Chunk, Result, TvError};
 use tabviz_storage::{Database, Table};
 use tabviz_tde::{ExecOptions, Tde};
@@ -81,6 +81,89 @@ pub struct SimStats {
     pub shared_scans: usize,
     /// Total server-core busy time (for utilization accounting).
     pub busy: Duration,
+    /// Injected faults, by kind (all zero without a [`FaultPlan`]).
+    pub connect_faults: usize,
+    pub transient_faults: usize,
+    pub dropped_connections: usize,
+    pub slow_queries: usize,
+    pub temp_table_faults: usize,
+    /// Queries that exceeded their [`RemoteQuery::timeout`] deadline.
+    pub timeouts: usize,
+}
+
+/// A deterministic fault-injection schedule for a simulated backend.
+///
+/// Each probability is evaluated against a pure hash of
+/// `(seed, fault site, operation ordinal)`, **not** a shared mutable RNG:
+/// the n-th connect attempt (or n-th query on the server) behaves
+/// identically on every run regardless of thread interleaving, which is
+/// what makes the fault-tolerance suite repeatable. Ordinals are
+/// per-server, assigned by atomic counters.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    pub seed: u64,
+    /// Probability a connect attempt fails with a transient error (after
+    /// paying the connect latency, like a real refused/reset handshake).
+    pub connect_failure: f64,
+    /// Probability a query fails with a transient error after dispatch.
+    pub transient_query_failure: f64,
+    /// Probability a query is slowed by `slow_query_delay` (models a
+    /// stuck/overloaded server; with a [`RemoteQuery::timeout`] this becomes
+    /// a bounded timeout instead of a hang).
+    pub slow_query: f64,
+    pub slow_query_delay: Duration,
+    /// Probability the connection drops mid-query: the query fails
+    /// transiently and the session is permanently poisoned
+    /// ([`Connection::healthy`] turns false).
+    pub connection_drop: f64,
+    /// Probability a temp-table creation fails transiently (on top of the
+    /// unconditional [`SimDb::set_fail_temp_tables`] switch).
+    pub temp_table_failure: f64,
+}
+
+impl FaultPlan {
+    /// No faults; the identity plan.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            connect_failure: 0.0,
+            transient_query_failure: 0.0,
+            slow_query: 0.0,
+            slow_query_delay: Duration::ZERO,
+            connection_drop: 0.0,
+            temp_table_failure: 0.0,
+        }
+    }
+
+    /// All-zero plan carrying a seed, for builder-style setup.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Fault decision sites (salts for the deterministic roll).
+const SITE_CONNECT: u64 = 1;
+const SITE_QUERY_TRANSIENT: u64 = 2;
+const SITE_QUERY_SLOW: u64 = 3;
+const SITE_QUERY_DROP: u64 = 4;
+const SITE_TEMP_TABLE: u64 = 5;
+
+/// Uniform [0, 1) roll from `(seed, site, ordinal)` via SplitMix64 mixing.
+fn fault_roll(seed: u64, site: u64, n: u64) -> f64 {
+    let mut z = seed ^ site.wrapping_mul(0x9E3779B97F4A7C15) ^ n.wrapping_mul(0xD1B54A32D192ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// A counting semaphore (parking_lot has none; this is the classic
@@ -127,6 +210,8 @@ pub struct SimConfig {
     /// a query arriving while another is scanning the same table piggybacks
     /// on the in-flight scan and pays only a fraction of the scan cost.
     pub shared_scans: bool,
+    /// Deterministic fault injection (none by default).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -137,6 +222,7 @@ impl Default for SimConfig {
             architecture: ServerArchitecture::ThreadPerQuery,
             cores: 8,
             shared_scans: false,
+            faults: None,
         }
     }
 }
@@ -158,6 +244,35 @@ struct SimInner {
     /// Failure injection: next CREATE TEMP TABLE fails (exercises the Data
     /// Server's rewrite-without-temp-table fallback, Sect. 5.3).
     fail_temp_tables: AtomicBool,
+    /// Installed fault plan (from config, or replaced via
+    /// [`SimDb::set_fault_plan`]).
+    faults: Mutex<Option<FaultPlan>>,
+    /// Per-site operation ordinals driving the deterministic fault rolls.
+    connect_ops: AtomicU64,
+    query_ops: AtomicU64,
+    temp_ops: AtomicU64,
+}
+
+impl SimInner {
+    /// Deterministic decision for the `n`-th operation at a fault site.
+    fn fault_fires(&self, site: u64, n: u64, pick: impl Fn(&FaultPlan) -> f64) -> bool {
+        let faults = self.faults.lock();
+        match faults.as_ref() {
+            Some(plan) => {
+                let p = pick(plan);
+                p > 0.0 && fault_roll(plan.seed, site, n) < p
+            }
+            None => false,
+        }
+    }
+
+    fn slow_query_delay(&self) -> Duration {
+        self.faults
+            .lock()
+            .as_ref()
+            .map(|p| p.slow_query_delay)
+            .unwrap_or(Duration::ZERO)
+    }
 }
 
 /// A simulated remote database server. Cheap to clone (shared internals).
@@ -179,6 +294,10 @@ impl SimDb {
                 scans_inflight: Mutex::new(std::collections::HashMap::new()),
                 stats: Mutex::new(SimStats::default()),
                 fail_temp_tables: AtomicBool::new(false),
+                faults: Mutex::new(config.faults.clone()),
+                connect_ops: AtomicU64::new(0),
+                query_ops: AtomicU64::new(0),
+                temp_ops: AtomicU64::new(0),
                 config,
                 db,
             }),
@@ -196,6 +315,13 @@ impl SimDb {
     /// Make subsequent `create_temp_table` calls fail (until unset).
     pub fn set_fail_temp_tables(&self, fail: bool) {
         self.inner.fail_temp_tables.store(fail, Ordering::SeqCst);
+    }
+
+    /// Install (or clear) a fault plan at runtime. Operation ordinals are
+    /// not reset, so a replaced plan continues the deterministic schedule
+    /// from the current position.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.faults.lock() = plan;
     }
 
     pub fn open_connection_count(&self) -> usize {
@@ -233,14 +359,29 @@ impl DataSource for SimDb {
             self.inner.open_connections.fetch_add(1, Ordering::SeqCst);
         }
         sleep(self.inner.config.latency.connect);
+        // Connect-time fault: the handshake latency is paid (as with a real
+        // refused/reset connection) but no session comes back.
+        let n = self.inner.connect_ops.fetch_add(1, Ordering::SeqCst);
+        if self
+            .inner
+            .fault_fires(SITE_CONNECT, n, |p| p.connect_failure)
+        {
+            self.inner.open_connections.fetch_sub(1, Ordering::SeqCst);
+            self.inner.stats.lock().connect_faults += 1;
+            return Err(TvError::Transient(format!(
+                "{}: connect attempt refused",
+                self.inner.name
+            )));
+        }
         {
             let mut st = self.inner.stats.lock();
             st.connects += 1;
         }
-        let session_db = Arc::new(self.inner.db.session_view(format!(
-            "{}-session",
-            self.inner.name
-        )));
+        let session_db = Arc::new(
+            self.inner
+                .db
+                .session_view(format!("{}-session", self.inner.name)),
+        );
         // A generic SQL server evaluates exactly the query it is sent: no
         // Tableau-style join culling / referential-integrity assumptions
         // (those belong to the client-side query processor).
@@ -252,6 +393,7 @@ impl DataSource for SimDb {
             tde: Tde::new(Arc::clone(&session_db)),
             session_db,
             exec,
+            dropped: false,
         }))
     }
 
@@ -266,11 +408,37 @@ fn sleep(d: Duration) {
     }
 }
 
+/// Sleep for `d`, but never past `deadline`. `Err(())` means the full
+/// duration did not fit: the simulated work would still be running when the
+/// statement timeout fires, so the caller must report a timeout. This is
+/// what keeps an injected slow-query "hang" bounded instead of wedging the
+/// whole batch.
+fn sleep_within(d: Duration, deadline: Option<Instant>) -> std::result::Result<(), ()> {
+    match deadline {
+        None => {
+            sleep(d);
+            Ok(())
+        }
+        Some(dl) => {
+            let remaining = dl.saturating_duration_since(Instant::now());
+            if d <= remaining {
+                sleep(d);
+                Ok(())
+            } else {
+                sleep(remaining);
+                Err(())
+            }
+        }
+    }
+}
+
 struct SimConnection {
     server: Arc<SimInner>,
     session_db: Arc<Database>,
     tde: Tde,
     exec: ExecOptions,
+    /// Set when a connection-drop fault fires; the session is then dead.
+    dropped: bool,
 }
 
 impl SimConnection {
@@ -284,15 +452,60 @@ impl SimConnection {
     }
 }
 
+impl SimConnection {
+    fn timeout_err(&self, query: &RemoteQuery) -> TvError {
+        self.server.stats.lock().timeouts += 1;
+        TvError::Timeout(format!(
+            "{}: query exceeded its {:?} deadline",
+            self.server.name,
+            query.timeout.unwrap_or_default()
+        ))
+    }
+}
+
 impl Connection for SimConnection {
     fn execute(&mut self, query: &RemoteQuery) -> Result<Chunk> {
+        if self.dropped {
+            return Err(TvError::Transient(format!(
+                "{}: connection is dropped",
+                self.server.name
+            )));
+        }
         let cfg = &self.server.config;
+        let deadline = query.timeout.map(|t| Instant::now() + t);
         {
             let mut st = self.server.stats.lock();
             st.queries += 1;
             st.bytes_uploaded += query.upload_bytes() as u64;
         }
-        sleep(cfg.latency.dispatch);
+        let n = self.server.query_ops.fetch_add(1, Ordering::SeqCst);
+        if sleep_within(cfg.latency.dispatch, deadline).is_err() {
+            return Err(self.timeout_err(query));
+        }
+        // Mid-query connection drop: the query fails transiently AND the
+        // session is poisoned — later use of this connection also fails, and
+        // the pool must not recycle it.
+        if self
+            .server
+            .fault_fires(SITE_QUERY_DROP, n, |p| p.connection_drop)
+        {
+            self.dropped = true;
+            self.server.stats.lock().dropped_connections += 1;
+            return Err(TvError::Transient(format!(
+                "{}: connection dropped mid-query",
+                self.server.name
+            )));
+        }
+        if self
+            .server
+            .fault_fires(SITE_QUERY_TRANSIENT, n, |p| p.transient_query_failure)
+        {
+            self.server.stats.lock().transient_faults += 1;
+            return Err(TvError::Transient(format!(
+                "{}: transient server error",
+                self.server.name
+            )));
+        }
 
         let want_cores = match cfg.architecture {
             ServerArchitecture::ThreadPerQuery => 1,
@@ -305,18 +518,29 @@ impl Connection for SimConnection {
 
         let scan_rows = self.scan_rows(&query.plan);
         let mut busy = Duration::from_nanos(
-            (cfg.latency.scan_per_kilorow.as_nanos() as u64)
-                .saturating_mul(scan_rows as u64)
+            (cfg.latency.scan_per_kilorow.as_nanos() as u64).saturating_mul(scan_rows as u64)
                 / 1000
                 / want_cores as u64,
         );
+        // Injected slow query: the server stalls for an extra delay (GC
+        // pause, lock wait, overloaded I/O). Without a query timeout this
+        // is simply slow; with one it surfaces as a bounded Timeout.
+        if self
+            .server
+            .fault_fires(SITE_QUERY_SLOW, n, |p| p.slow_query)
+        {
+            busy += self.server.slow_query_delay();
+            self.server.stats.lock().slow_queries += 1;
+        }
         // Shared scans: piggyback on a scan of the same table already in
         // flight and pay a fraction of the scan cost.
         let tables = query.plan.tables();
         let mut piggybacked = false;
         if cfg.shared_scans {
             let mut inflight = self.server.scans_inflight.lock();
-            piggybacked = tables.iter().any(|t| inflight.get(t).copied().unwrap_or(0) > 0);
+            piggybacked = tables
+                .iter()
+                .any(|t| inflight.get(t).copied().unwrap_or(0) > 0);
             for t in &tables {
                 *inflight.entry(t.clone()).or_insert(0) += 1;
             }
@@ -325,11 +549,14 @@ impl Connection for SimConnection {
                 self.server.stats.lock().shared_scans += 1;
             }
         }
-        sleep(busy);
-        let result = self
-            .tde
-            .execute_plan(&query.plan, &self.exec)
-            .map_err(|e| TvError::Backend(format!("{}: {e}", self.server.name)));
+        let timed_out = sleep_within(busy, deadline).is_err();
+        let result = if timed_out {
+            Err(self.timeout_err(query))
+        } else {
+            self.tde
+                .execute_plan(&query.plan, &self.exec)
+                .map_err(|e| TvError::Backend(format!("{}: {e}", self.server.name)))
+        };
 
         self.server.cores.release(want_cores);
         if cfg.shared_scans {
@@ -347,11 +574,12 @@ impl Connection for SimConnection {
         let chunk = result?;
 
         let transfer = Duration::from_nanos(
-            (cfg.latency.transfer_per_kilorow.as_nanos() as u64)
-                .saturating_mul(chunk.len() as u64)
+            (cfg.latency.transfer_per_kilorow.as_nanos() as u64).saturating_mul(chunk.len() as u64)
                 / 1000,
         );
-        sleep(transfer);
+        if sleep_within(transfer, deadline).is_err() {
+            return Err(self.timeout_err(query));
+        }
         {
             let mut st = self.server.stats.lock();
             st.rows_returned += chunk.len() as u64;
@@ -362,6 +590,12 @@ impl Connection for SimConnection {
     }
 
     fn create_temp_table(&mut self, name: &str, data: &Chunk) -> Result<()> {
+        if self.dropped {
+            return Err(TvError::Transient(format!(
+                "{}: connection is dropped",
+                self.server.name
+            )));
+        }
         if !self.server.config.capabilities.supports_temp_tables {
             return Err(TvError::Unsupported(format!(
                 "{} does not support temporary tables",
@@ -374,6 +608,17 @@ impl Connection for SimConnection {
                 self.server.name
             )));
         }
+        let n = self.server.temp_ops.fetch_add(1, Ordering::SeqCst);
+        if self
+            .server
+            .fault_fires(SITE_TEMP_TABLE, n, |p| p.temp_table_failure)
+        {
+            self.server.stats.lock().temp_table_faults += 1;
+            return Err(TvError::Transient(format!(
+                "{}: temp table creation failed transiently",
+                self.server.name
+            )));
+        }
         sleep(self.server.config.latency.dispatch);
         // Uploading the rows costs transfer time in the other direction.
         let upload = Duration::from_nanos(
@@ -382,7 +627,8 @@ impl Connection for SimConnection {
                 / 1000,
         );
         sleep(upload);
-        self.session_db.put_temp(Table::from_chunk(name, data, &[])?)?;
+        self.session_db
+            .put_temp(Table::from_chunk(name, data, &[])?)?;
         let mut st = self.server.stats.lock();
         st.temp_tables_created += 1;
         st.bytes_uploaded += data.approx_bytes() as u64;
@@ -403,6 +649,10 @@ impl Connection for SimConnection {
     fn temp_tables(&self) -> Vec<String> {
         self.session_db
             .table_names(tabviz_storage::database::TEMP_SCHEMA)
+    }
+
+    fn healthy(&self) -> bool {
+        !self.dropped
     }
 }
 
@@ -427,11 +677,18 @@ mod tests {
             .unwrap(),
         );
         let data: Vec<Vec<Value>> = (0..rows)
-            .map(|i| vec![Value::Str(["AA", "DL", "WN"][i % 3].into()), Value::Int(i as i64)])
+            .map(|i| {
+                vec![
+                    Value::Str(["AA", "DL", "WN"][i % 3].into()),
+                    Value::Int(i as i64),
+                ]
+            })
             .collect();
         let db = Arc::new(Database::new("remote"));
-        db.put(Table::from_chunk("flights", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap())
-            .unwrap();
+        db.put(
+            Table::from_chunk("flights", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap(),
+        )
+        .unwrap();
         db
     }
 
@@ -444,7 +701,9 @@ mod tests {
         let sim = SimDb::new("sql1", base_db(300), SimConfig::default());
         let mut conn = sim.connect().unwrap();
         let out = conn
-            .execute(&query("(aggregate ((carrier)) ((count as n)) (scan flights))"))
+            .execute(&query(
+                "(aggregate ((carrier)) ((count as n)) (scan flights))",
+            ))
             .unwrap();
         assert_eq!(out.len(), 3);
         let st = sim.stats();
@@ -501,7 +760,10 @@ mod tests {
     fn unsupported_temp_tables() {
         let mut caps = Capabilities::limited();
         caps.max_connections = 0;
-        let cfg = SimConfig { capabilities: caps, ..Default::default() };
+        let cfg = SimConfig {
+            capabilities: caps,
+            ..Default::default()
+        };
         let sim = SimDb::new("old", base_db(5), cfg);
         let mut conn = sim.connect().unwrap();
         let schema = Arc::new(Schema::new(vec![Field::new("v", DataType::Int)]).unwrap());
@@ -578,6 +840,111 @@ mod tests {
             t_on < t_off,
             "shared scans {t_on:?} should beat independent scans {t_off:?}"
         );
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let plan = FaultPlan {
+            transient_query_failure: 0.4,
+            connection_drop: 0.1,
+            ..FaultPlan::seeded(7)
+        };
+        let outcomes = |seed: u64| {
+            let mut plan = plan.clone();
+            plan.seed = seed;
+            let cfg = SimConfig {
+                faults: Some(plan),
+                ..Default::default()
+            };
+            let sim = SimDb::new("flaky", base_db(50), cfg);
+            let q = query("(aggregate ((carrier)) ((count as n)) (scan flights))");
+            (0..32)
+                .map(|_| {
+                    // Fresh connection per query so a drop doesn't cascade.
+                    let mut c = sim.connect().unwrap();
+                    match c.execute(&q) {
+                        Ok(_) => 'o',
+                        Err(TvError::Transient(_)) => 't',
+                        Err(_) => 'x',
+                    }
+                })
+                .collect::<String>()
+        };
+        let a = outcomes(7);
+        assert_eq!(a, outcomes(7), "same seed, same schedule");
+        assert_ne!(a, outcomes(8), "different seed, different schedule");
+        assert!(a.contains('t'), "faults actually fire: {a}");
+        assert!(a.contains('o'), "not everything fails: {a}");
+    }
+
+    #[test]
+    fn connect_failures_fire_and_release_the_slot() {
+        let mut cfg = SimConfig::default();
+        cfg.capabilities.max_connections = 2;
+        cfg.faults = Some(FaultPlan {
+            connect_failure: 0.5,
+            ..FaultPlan::seeded(3)
+        });
+        let sim = SimDb::new("flaky", base_db(5), cfg);
+        let mut failures = 0;
+        for _ in 0..20 {
+            match sim.connect() {
+                Ok(c) => drop(c),
+                Err(TvError::Transient(_)) => failures += 1,
+                Err(e) => panic!("unexpected error class: {e}"),
+            }
+        }
+        assert!(failures > 0);
+        assert_eq!(sim.stats().connect_faults, failures);
+        // Failed attempts must not leak connection-limit slots.
+        sim.set_fault_plan(None);
+        let _a = sim.connect().unwrap();
+        let _b = sim.connect().unwrap();
+    }
+
+    #[test]
+    fn dropped_connection_is_poisoned() {
+        let cfg = SimConfig {
+            faults: Some(FaultPlan {
+                connection_drop: 1.0,
+                ..FaultPlan::seeded(1)
+            }),
+            ..Default::default()
+        };
+        let sim = SimDb::new("flaky", base_db(10), cfg);
+        let mut conn = sim.connect().unwrap();
+        assert!(conn.healthy());
+        let q = query("(aggregate () ((count as n)) (scan flights))");
+        assert!(matches!(conn.execute(&q), Err(TvError::Transient(_))));
+        assert!(!conn.healthy(), "drop poisons the session");
+        // Every later use fails too — without consuming more fault ordinals.
+        assert!(matches!(conn.execute(&q), Err(TvError::Transient(_))));
+        assert_eq!(sim.stats().dropped_connections, 1);
+    }
+
+    #[test]
+    fn slow_query_bounded_by_timeout() {
+        let cfg = SimConfig {
+            faults: Some(FaultPlan {
+                slow_query: 1.0,
+                slow_query_delay: Duration::from_secs(30),
+                ..FaultPlan::seeded(2)
+            }),
+            ..Default::default()
+        };
+        let sim = SimDb::new("stuck", base_db(10), cfg);
+        let mut conn = sim.connect().unwrap();
+        let q = query("(aggregate () ((count as n)) (scan flights))")
+            .with_timeout(Duration::from_millis(30));
+        let t0 = std::time::Instant::now();
+        let err = conn.execute(&q).unwrap_err();
+        assert!(matches!(err, TvError::Timeout(_)), "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "a 30s stall must be cut off by the 30ms deadline"
+        );
+        assert_eq!(sim.stats().timeouts, 1);
+        assert!(conn.healthy(), "a timeout does not poison the session");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! while formulating queries within the same query batch", Sect. 3.5).
 
 use crate::capability::Capabilities;
+use std::time::Duration;
 use tabviz_common::{Chunk, Result};
 use tabviz_tql::{LogicalPlan, TableMeta};
 
@@ -16,11 +17,24 @@ use tabviz_tql::{LogicalPlan, TableMeta};
 pub struct RemoteQuery {
     pub text: String,
     pub plan: LogicalPlan,
+    /// Per-query deadline. A backend that cannot answer within it returns
+    /// [`tabviz_common::TvError::Timeout`] instead of letting the caller
+    /// hang — the driver-level statement timeout every real backend offers.
+    pub timeout: Option<Duration>,
 }
 
 impl RemoteQuery {
     pub fn new(text: String, plan: LogicalPlan) -> Self {
-        RemoteQuery { text, plan }
+        RemoteQuery {
+            text,
+            plan,
+            timeout: None,
+        }
+    }
+
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
     }
 
     /// Bytes this query costs to transmit (query-text upload).
@@ -49,6 +63,14 @@ pub trait Connection: Send {
 
     /// Names of all session temp tables.
     fn temp_tables(&self) -> Vec<String>;
+
+    /// Whether the session is still usable. A connection that was dropped
+    /// mid-query reports `false`; the pool discards such sessions instead of
+    /// returning them to the idle set ("poisoned" connections must never be
+    /// handed to a later acquirer).
+    fn healthy(&self) -> bool {
+        true
+    }
 }
 
 /// A backend: factory of connections plus metadata.

@@ -59,7 +59,12 @@ fn render(plan: &LogicalPlan, d: Dialect, depth: usize) -> String {
                 render(input, d, depth + 1)
             )
         }
-        LogicalPlan::Join { left, right, on, join_type } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
             let kw = match join_type {
                 JoinType::Inner => "INNER JOIN",
                 JoinType::Left => "LEFT OUTER JOIN",
@@ -78,10 +83,18 @@ fn render(plan: &LogicalPlan, d: Dialect, depth: usize) -> String {
                 "SELECT * FROM ({}) {alias}l {kw} ({}) {alias}r ON {}",
                 render(left, d, depth + 1),
                 render(right, d, depth + 1),
-                if conds.is_empty() { "1 = 1".to_string() } else { conds.join(" AND ") }
+                if conds.is_empty() {
+                    "1 = 1".to_string()
+                } else {
+                    conds.join(" AND ")
+                }
             )
         }
-        LogicalPlan::Aggregate { input, group_by, aggs } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let mut items: Vec<String> = group_by
                 .iter()
                 .map(|(e, n)| format!("{} AS {}", render_expr(e, d), quote_ident(n, d)))
@@ -100,8 +113,7 @@ fn render(plan: &LogicalPlan, d: Dialect, depth: usize) -> String {
             let group_clause = if group_by.is_empty() {
                 String::new()
             } else {
-                let keys: Vec<String> =
-                    group_by.iter().map(|(e, _)| render_expr(e, d)).collect();
+                let keys: Vec<String> = group_by.iter().map(|(e, _)| render_expr(e, d)).collect();
                 format!(" GROUP BY {}", keys.join(", "))
             };
             format!(
@@ -141,7 +153,10 @@ fn render(plan: &LogicalPlan, d: Dialect, depth: usize) -> String {
             }
         }
         LogicalPlan::Distinct { input } => {
-            format!("SELECT DISTINCT * FROM ({}) {alias}", render(input, d, depth + 1))
+            format!(
+                "SELECT DISTINCT * FROM ({}) {alias}",
+                render(input, d, depth + 1)
+            )
         }
     }
 }
@@ -181,7 +196,11 @@ fn render_expr(e: &Expr, d: Dialect) -> String {
             };
             format!("({} {sym} {})", render_expr(left, d), render_expr(right, d))
         }
-        Expr::In { expr, list, negated } => {
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } => {
             let items: Vec<String> = list.iter().map(Value::to_literal).collect();
             format!(
                 "({} {}IN ({}))",
@@ -265,6 +284,9 @@ mod tests {
     #[test]
     fn identical_plans_render_identically() {
         // The literal-cache property: same plan → same text.
-        assert_eq!(to_sql(&sample(), Dialect::AnsiSql), to_sql(&sample(), Dialect::AnsiSql));
+        assert_eq!(
+            to_sql(&sample(), Dialect::AnsiSql),
+            to_sql(&sample(), Dialect::AnsiSql)
+        );
     }
 }

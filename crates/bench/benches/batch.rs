@@ -12,8 +12,22 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch");
     group.sample_size(10);
     let configs = [
-        ("serial_naive", BatchOptions { fuse: false, concurrent: false, cache_aware: false }),
-        ("concurrent", BatchOptions { fuse: false, concurrent: true, cache_aware: false }),
+        (
+            "serial_naive",
+            BatchOptions {
+                fuse: false,
+                concurrent: false,
+                cache_aware: false,
+            },
+        ),
+        (
+            "concurrent",
+            BatchOptions {
+                fuse: false,
+                concurrent: true,
+                cache_aware: false,
+            },
+        ),
         ("full_pipeline", BatchOptions::default()),
     ];
     for (name, opts) in configs {
@@ -22,7 +36,10 @@ fn bench(c: &mut Criterion) {
                 || {
                     let (mut qp, _) = processor_over(
                         Arc::clone(&db),
-                        SimConfig { latency: LatencyModel::lan(), ..Default::default() },
+                        SimConfig {
+                            latency: LatencyModel::lan(),
+                            ..Default::default()
+                        },
                         8,
                     );
                     if name == "serial_naive" {

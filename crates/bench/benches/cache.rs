@@ -33,13 +33,21 @@ fn bench(c: &mut Criterion) {
     let filtered = fine
         .clone()
         .filter(bin(BinOp::Eq, col("origin_state"), lit("CA")));
-    group.bench_function("filter_postprocess", |b| b.iter(|| cache.get(&filtered).unwrap()));
+    group.bench_function("filter_postprocess", |b| {
+        b.iter(|| cache.get(&filtered).unwrap())
+    });
 
     let rollup = QuerySpec::new("faa", LogicalPlan::scan("flights"))
         .group("carrier")
         .agg(AggCall::new(AggFunc::Count, None, "n"))
-        .agg(AggCall::new(AggFunc::Avg, Some(col("distance")), "avg_dist"));
-    group.bench_function("rollup_postprocess", |b| b.iter(|| cache.get(&rollup).unwrap()));
+        .agg(AggCall::new(
+            AggFunc::Avg,
+            Some(col("distance")),
+            "avg_dist",
+        ));
+    group.bench_function("rollup_postprocess", |b| {
+        b.iter(|| cache.get(&rollup).unwrap())
+    });
 
     // The cost of answering from the backend instead (what the cache saves).
     group.sample_size(10);

@@ -12,11 +12,26 @@ fn zones(src: &str) -> Vec<(String, QuerySpec)> {
             .group("carrier")
     };
     vec![
-        ("n".into(), base().agg(AggCall::new(AggFunc::Count, None, "n"))),
-        ("dist".into(), base().agg(AggCall::new(AggFunc::Sum, Some(col("distance")), "dist"))),
-        ("avg".into(), base().agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg"))),
-        ("lo".into(), base().agg(AggCall::new(AggFunc::Min, Some(col("dep_delay")), "lo"))),
-        ("hi".into(), base().agg(AggCall::new(AggFunc::Max, Some(col("dep_delay")), "hi"))),
+        (
+            "n".into(),
+            base().agg(AggCall::new(AggFunc::Count, None, "n")),
+        ),
+        (
+            "dist".into(),
+            base().agg(AggCall::new(AggFunc::Sum, Some(col("distance")), "dist")),
+        ),
+        (
+            "avg".into(),
+            base().agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg")),
+        ),
+        (
+            "lo".into(),
+            base().agg(AggCall::new(AggFunc::Min, Some(col("dep_delay")), "lo")),
+        ),
+        (
+            "hi".into(),
+            base().agg(AggCall::new(AggFunc::Max, Some(col("dep_delay")), "hi")),
+        ),
     ]
 }
 
@@ -31,7 +46,10 @@ fn bench(c: &mut Criterion) {
                 || {
                     let (mut qp, _) = processor_over(
                         Arc::clone(&db),
-                        SimConfig { latency: LatencyModel::lan(), ..Default::default() },
+                        SimConfig {
+                            latency: LatencyModel::lan(),
+                            ..Default::default()
+                        },
                         8,
                     );
                     qp.options.use_intelligent_cache = fuse;
@@ -39,7 +57,11 @@ fn bench(c: &mut Criterion) {
                     qp
                 },
                 |qp| {
-                    let opts = BatchOptions { fuse, concurrent: false, cache_aware: false };
+                    let opts = BatchOptions {
+                        fuse,
+                        concurrent: false,
+                        cache_aware: false,
+                    };
                     execute_batch(&qp, &batch, &opts).unwrap()
                 },
                 criterion::BatchSize::PerIteration,

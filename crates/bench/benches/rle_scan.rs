@@ -10,7 +10,10 @@ fn bench(c: &mut Criterion) {
     let tde = Tde::new(faa_db(400_000));
     let mut group = c.benchmark_group("rle_scan");
     group.sample_size(10);
-    for (label, carriers) in [("1_carrier", "\"HA\""), ("4_carriers", "\"HA\" \"F9\" \"NK\" \"AS\"")] {
+    for (label, carriers) in [
+        ("1_carrier", "\"HA\""),
+        ("4_carriers", "\"HA\" \"F9\" \"NK\" \"AS\""),
+    ] {
         let q = format!(
             "(aggregate ((origin_state)) ((count as n))
                (select (in carrier {carriers}) (scan flights)))"

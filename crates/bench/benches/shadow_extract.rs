@@ -28,7 +28,10 @@ fn csv(rows: usize) -> String {
 
 fn bench(c: &mut Criterion) {
     let text = csv(10_000);
-    let opts = CsvOptions { header: HeaderMode::Yes, ..Default::default() };
+    let opts = CsvOptions {
+        header: HeaderMode::Yes,
+        ..Default::default()
+    };
     let q = "(aggregate ((carrier)) ((count as n)) (scan flights_csv))";
     let mut group = c.benchmark_group("shadow_extract");
     group.sample_size(10);

@@ -11,7 +11,10 @@ use tabviz_bench::faa_db;
 fn bench(c: &mut Criterion) {
     let tde = Tde::new(faa_db(400_000));
     let q = "(aggregate ((carrier)) ((count as n) (sum distance as dist) (avg arr_delay as d)) (scan flights))";
-    let forced = CostProfile { min_work_per_thread: 10_000, max_dop: 4 };
+    let forced = CostProfile {
+        min_work_per_thread: 10_000,
+        max_dop: 4,
+    };
     let mut group = c.benchmark_group("tde_agg");
     group.sample_size(10);
 

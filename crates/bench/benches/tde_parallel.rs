@@ -20,7 +20,10 @@ fn bench(c: &mut Criterion) {
     for dop in [2usize, 4] {
         let mut opts = ExecOptions::default();
         opts.parallel = ParallelOptions {
-            profile: CostProfile { min_work_per_thread: 10_000, max_dop: dop },
+            profile: CostProfile {
+                min_work_per_thread: 10_000,
+                max_dop: dop,
+            },
             ..Default::default()
         };
         group.bench_with_input(BenchmarkId::new("parallel", dop), &opts, |b, opts| {

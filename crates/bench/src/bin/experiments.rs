@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates a results table for every performance
 //! claim / figure in the paper (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e15|all]`
+//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e16|all]`
 
 #![allow(clippy::field_reassign_with_default)] // options structs read better mutated
 
@@ -64,10 +64,15 @@ fn main() {
     if all || which == "e15" {
         e15_prefetching();
     }
+    if all || which == "e16" {
+        e16_fault_resilience();
+    }
 }
 
 fn cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn lan_config() -> SimConfig {
@@ -87,17 +92,29 @@ fn e1_batch_strategies() {
     let strategies: Vec<(&str, BatchOptions, bool)> = vec![
         (
             "serial, no caching",
-            BatchOptions { fuse: false, concurrent: false, cache_aware: false },
+            BatchOptions {
+                fuse: false,
+                concurrent: false,
+                cache_aware: false,
+            },
             false,
         ),
         (
             "serial + caches",
-            BatchOptions { fuse: false, concurrent: false, cache_aware: false },
+            BatchOptions {
+                fuse: false,
+                concurrent: false,
+                cache_aware: false,
+            },
             true,
         ),
         (
             "concurrent submission",
-            BatchOptions { fuse: false, concurrent: true, cache_aware: false },
+            BatchOptions {
+                fuse: false,
+                concurrent: true,
+                cache_aware: false,
+            },
             true,
         ),
         (
@@ -127,7 +144,14 @@ fn e1_batch_strategies() {
     }
     print_table(
         "E1 — dashboard load (Fig.1, 8 zones + domains) by batch strategy",
-        &["strategy", "wall ms", "remote", "local", "fused away", "backend queries"],
+        &[
+            "strategy",
+            "wall ms",
+            "remote",
+            "local",
+            "fused away",
+            "backend queries",
+        ],
         &out,
     );
 }
@@ -145,12 +169,30 @@ fn e2_query_fusion() {
                 .group("carrier")
         };
         vec![
-            ("n".into(), base().agg(AggCall::new(AggFunc::Count, None, "n"))),
-            ("dist".into(), base().agg(AggCall::new(AggFunc::Sum, Some(col("distance")), "dist"))),
-            ("avg".into(), base().agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg"))),
-            ("lo".into(), base().agg(AggCall::new(AggFunc::Min, Some(col("dep_delay")), "lo"))),
-            ("hi".into(), base().agg(AggCall::new(AggFunc::Max, Some(col("dep_delay")), "hi"))),
-            ("dep".into(), base().agg(AggCall::new(AggFunc::Avg, Some(col("dep_delay")), "dep"))),
+            (
+                "n".into(),
+                base().agg(AggCall::new(AggFunc::Count, None, "n")),
+            ),
+            (
+                "dist".into(),
+                base().agg(AggCall::new(AggFunc::Sum, Some(col("distance")), "dist")),
+            ),
+            (
+                "avg".into(),
+                base().agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg")),
+            ),
+            (
+                "lo".into(),
+                base().agg(AggCall::new(AggFunc::Min, Some(col("dep_delay")), "lo")),
+            ),
+            (
+                "hi".into(),
+                base().agg(AggCall::new(AggFunc::Max, Some(col("dep_delay")), "hi")),
+            ),
+            (
+                "dep".into(),
+                base().agg(AggCall::new(AggFunc::Avg, Some(col("dep_delay")), "dep")),
+            ),
         ]
     };
     let mut out = Vec::new();
@@ -159,8 +201,13 @@ fn e2_query_fusion() {
         // Disable subsumption so fusion's effect is isolated.
         qp.options.use_intelligent_cache = fuse;
         qp.options.use_literal_cache = false;
-        let opts = BatchOptions { fuse, concurrent: false, cache_aware: false };
-        let (res, wall) = time_it(|| execute_batch(&qp, &batch("warehouse"), &opts).expect("batch"));
+        let opts = BatchOptions {
+            fuse,
+            concurrent: false,
+            cache_aware: false,
+        };
+        let (res, wall) =
+            time_it(|| execute_batch(&qp, &batch("warehouse"), &opts).expect("batch"));
         out.push(vec![
             name.to_string(),
             ms(wall),
@@ -197,7 +244,8 @@ fn e3_intelligent_cache_session() {
         qp.options.widen_for_reuse = widen;
         let mut state = DashboardState::default();
         let (_, load) = time_it(|| {
-            dash.render(&qp, &mut state, &BatchOptions::default(), true).expect("load")
+            dash.render(&qp, &mut state, &BatchOptions::default(), true)
+                .expect("load")
         });
         // Interaction: shrink the carrier quick filter step by step — the
         // Fig. 1 "deselect values" scenario.
@@ -206,7 +254,8 @@ fn e3_intelligent_cache_session() {
             let subset: Vec<Value> = carriers[..k].iter().map(|&c| Value::from(c)).collect();
             state.set_quick_filter("carrier", subset);
             let (_, t) = time_it(|| {
-                dash.render(&qp, &mut state, &BatchOptions::default(), false).expect("interact")
+                dash.render(&qp, &mut state, &BatchOptions::default(), false)
+                    .expect("interact")
             });
             interact_total += t;
         }
@@ -219,7 +268,12 @@ fn e3_intelligent_cache_session() {
     }
     print_table(
         "E3 — filter-interaction session (initial load + 6 quick-filter changes)",
-        &["cache mode", "load ms", "avg interaction ms", "backend queries"],
+        &[
+            "cache mode",
+            "load ms",
+            "avg interaction ms",
+            "backend queries",
+        ],
         &out,
     );
 }
@@ -242,8 +296,16 @@ fn e4_literal_cache() {
     let (_, t1) = time_it(|| qp.execute(&spec_of(convoluted.clone())).expect("q1"));
     let ((_, outcome2), t2) = time_it(|| qp.execute(&spec_of(plain.clone())).expect("q2"));
     let rows = vec![
-        vec!["convoluted predicate (first)".into(), ms(t1), "Remote".into()],
-        vec!["simplified twin (second)".into(), ms(t2), format!("{outcome2:?}")],
+        vec![
+            "convoluted predicate (first)".into(),
+            ms(t1),
+            "Remote".into(),
+        ],
+        vec![
+            "simplified twin (second)".into(),
+            ms(t2),
+            format!("{outcome2:?}"),
+        ],
     ];
     print_table(
         "E4 — literal cache: structurally different, textually identical after simplification",
@@ -348,7 +410,8 @@ fn e6_persisted_cache() {
     let (qp1, _) = processor_over(Arc::clone(&db), lan_config(), 8);
     let mut state = DashboardState::default();
     let (_, cold) = time_it(|| {
-        dash.render(&qp1, &mut state, &BatchOptions::default(), true).expect("load")
+        dash.render(&qp1, &mut state, &BatchOptions::default(), true)
+            .expect("load")
     });
     tabviz::cache::persist::save_to_file(&qp1.caches, &path).expect("save");
 
@@ -357,14 +420,16 @@ fn e6_persisted_cache() {
     let loaded = tabviz::cache::persist::load_from_file(&qp2.caches, &path).expect("load");
     let mut state2 = DashboardState::default();
     let (_, warm) = time_it(|| {
-        dash.render(&qp2, &mut state2, &BatchOptions::default(), true).expect("render")
+        dash.render(&qp2, &mut state2, &BatchOptions::default(), true)
+            .expect("render")
     });
 
     // Session 3: restart without the persisted file (the baseline).
     let (qp3, sim3) = processor_over(Arc::clone(&db), lan_config(), 8);
     let mut state3 = DashboardState::default();
     let (_, cold2) = time_it(|| {
-        dash.render(&qp3, &mut state3, &BatchOptions::default(), true).expect("render")
+        dash.render(&qp3, &mut state3, &BatchOptions::default(), true)
+            .expect("render")
     });
 
     print_table(
@@ -463,7 +528,11 @@ fn e7_connection_concurrency() {
             let (mut qp, _) = processor_over(Arc::clone(&db), config.clone(), pool);
             qp.options.use_intelligent_cache = false;
             qp.options.use_literal_cache = false;
-            let opts = BatchOptions { fuse: false, concurrent: true, cache_aware: false };
+            let opts = BatchOptions {
+                fuse: false,
+                concurrent: true,
+                cache_aware: false,
+            };
             let (_, wall) = time_it(|| execute_batch(&qp, &batch, &opts).expect("batch"));
             cells.push(ms(wall));
         }
@@ -491,7 +560,10 @@ fn e8_tde_parallel_scan() {
     for dop in [2usize, 4, 8] {
         let mut opts = ExecOptions::default();
         opts.parallel = ParallelOptions {
-            profile: CostProfile { min_work_per_thread: 10_000, max_dop: dop },
+            profile: CostProfile {
+                min_work_per_thread: 10_000,
+                max_dop: dop,
+            },
             ..Default::default()
         };
         let (_, t) = time_it(|| tde.query_with(q, &opts).expect("parallel"));
@@ -502,12 +574,17 @@ fn e8_tde_parallel_scan() {
         ]);
     }
     print_table(
-        &format!("E8 — TDE parallel plans: {rows} rows, filter+aggregate, by DOP ({} cores present)", cores()),
+        &format!(
+            "E8 — TDE parallel plans: {rows} rows, filter+aggregate, by DOP ({} cores present)",
+            cores()
+        ),
         &["DOP", "wall ms", "speedup vs serial"],
         &out,
     );
     if cores() == 1 {
-        println!("note: single-core host — parallel plans can only tie or lose here; see EXPERIMENTS.md");
+        println!(
+            "note: single-core host — parallel plans can only tie or lose here; see EXPERIMENTS.md"
+        );
     }
 }
 
@@ -518,7 +595,10 @@ fn e9_aggregation_strategies() {
     let rows = 1_500_000;
     let sorted = Tde::new(faa_db(rows));
     let q = "(aggregate ((carrier)) ((count as n) (sum distance as dist) (avg arr_delay as d)) (scan flights))";
-    let forced = CostProfile { min_work_per_thread: 10_000, max_dop: 4 };
+    let forced = CostProfile {
+        min_work_per_thread: 10_000,
+        max_dop: 4,
+    };
 
     let mut rows_out = Vec::new();
     let run = |name: &str, opts: &ExecOptions, rows_out: &mut Vec<Vec<String>>| {
@@ -542,7 +622,11 @@ fn e9_aggregation_strategies() {
         rows_out.push(vec![name.to_string(), marker.to_string(), ms(t)]);
     };
 
-    run("serial streaming (sorted input)", &ExecOptions::serial(), &mut rows_out);
+    run(
+        "serial streaming (sorted input)",
+        &ExecOptions::serial(),
+        &mut rows_out,
+    );
     let mut hash_only = ExecOptions::serial();
     hash_only.physical.enable_streaming_agg = false;
     run("serial hash", &hash_only, &mut rows_out);
@@ -575,7 +659,11 @@ fn e9_aggregation_strategies() {
         prefer_ordered_exchange_streaming: true,
         ..Default::default()
     };
-    run("ordered exchange + streaming (4.2.4 variant)", &ordered, &mut rows_out);
+    run(
+        "ordered exchange + streaming (4.2.4 variant)",
+        &ordered,
+        &mut rows_out,
+    );
 
     print_table(
         &format!("E9 — aggregation strategies, {rows} rows sorted by carrier"),
@@ -595,7 +683,10 @@ fn e9_aggregation_strategies() {
     };
     let tde2 = Tde::new(db2);
     let mut rp2 = ExecOptions::default();
-    rp2.parallel = ParallelOptions { profile: forced, ..Default::default() };
+    rp2.parallel = ParallelOptions {
+        profile: forced,
+        ..Default::default()
+    };
     let plan2 = tabviz::tql::parse_plan(q2).expect("parse");
     let explain = tde2.plan_physical(&plan2, &rp2).expect("plan").explain();
     println!(
@@ -610,7 +701,9 @@ fn e9_aggregation_strategies() {
 fn e10_rle_index_scan() {
     let rows = 1_500_000;
     let tde = Tde::new(faa_db(rows));
-    let all = ["HA", "F9", "NK", "AS", "B6", "OO", "EV", "US", "UA", "AA", "DL", "WN"];
+    let all = [
+        "HA", "F9", "NK", "AS", "B6", "OO", "EV", "US", "UA", "AA", "DL", "WN",
+    ];
     let mut out = Vec::new();
     for k in [1usize, 2, 4, 8, 12] {
         let list = all[..k]
@@ -642,7 +735,13 @@ fn e10_rle_index_scan() {
     }
     print_table(
         &format!("E10 — selective filters on the RLE carrier column ({rows} rows)"),
-        &["selectivity", "full scan ms", "rle path ms", "speedup", "index used"],
+        &[
+            "selectivity",
+            "full scan ms",
+            "rle path ms",
+            "speedup",
+            "index used",
+        ],
         &out,
     );
 }
@@ -671,7 +770,10 @@ fn e11_shadow_extract() {
         csv.push_str(&cells.join(","));
         csv.push('\n');
     }
-    let opts = CsvOptions { header: HeaderMode::Yes, ..Default::default() };
+    let opts = CsvOptions {
+        header: HeaderMode::Yes,
+        ..Default::default()
+    };
     let q = "(aggregate ((carrier)) ((count as n) (avg arr_delay as d)) (scan flights_csv))";
 
     let mut out = Vec::new();
@@ -692,7 +794,8 @@ fn e11_shadow_extract() {
         let db2 = Arc::new(Database::new("d2"));
         let se2 = ShadowExtracts::new(Arc::clone(&db2));
         let (_, t_extract) = time_it(|| {
-            se2.connect_text("flights_csv", &csv, &opts).expect("extract");
+            se2.connect_text("flights_csv", &csv, &opts)
+                .expect("extract");
             let tde = Tde::new(Arc::clone(&db2));
             for _ in 0..n_queries {
                 tde.query(q).expect("q");
@@ -707,7 +810,12 @@ fn e11_shadow_extract() {
     }
     print_table(
         "E11 — text source: parse-per-query (Jet-era) vs shadow extract, 40k-row CSV",
-        &["queries", "parse-per-query ms", "shadow extract ms", "speedup"],
+        &[
+            "queries",
+            "parse-per-query ms",
+            "shadow extract ms",
+            "speedup",
+        ],
         &out,
     );
 }
@@ -733,13 +841,23 @@ fn e12_dataserver_temp_tables() {
     let mut out = Vec::new();
     for &size in &[10usize, 50, 200, 400] {
         let size = size.min(markets.len());
-        let values: Vec<Value> = markets[..size].iter().map(|m| Value::from(m.as_str())).collect();
+        let values: Vec<Value> = markets[..size]
+            .iter()
+            .map(|m| Value::from(m.as_str()))
+            .collect();
 
         // (a) Inline IN-list resent with every query.
-        let sim_cfg = SimConfig { latency: LatencyModel::wan(), ..Default::default() };
+        let sim_cfg = SimConfig {
+            latency: LatencyModel::wan(),
+            ..Default::default()
+        };
         let (qp, sim) = processor_over(Arc::clone(&db), sim_cfg.clone(), 4);
         let server = Arc::new(DataServer::new(qp));
-        server.publish(PublishedSource::new("m", "warehouse", LogicalPlan::scan("flights")));
+        server.publish(PublishedSource::new(
+            "m",
+            "warehouse",
+            LogicalPlan::scan("flights"),
+        ));
         let session = server.connect("m", "u").expect("connect");
         let inline_q = ClientQuery {
             filters: vec![Expr::In {
@@ -767,7 +885,11 @@ fn e12_dataserver_temp_tables() {
         // (b) Set defined once, referenced thereafter (+ temp pushdown).
         let (qp2, sim2) = processor_over(Arc::clone(&db), sim_cfg, 4);
         let server2 = Arc::new(DataServer::new(qp2));
-        server2.publish(PublishedSource::new("m", "warehouse", LogicalPlan::scan("flights")));
+        server2.publish(PublishedSource::new(
+            "m",
+            "warehouse",
+            LogicalPlan::scan("flights"),
+        ));
         let mut session2 = server2.connect("m", "u").expect("connect");
         let (_, t_set) = time_it(|| {
             let set = session2.define_set("market", values.clone()).expect("set");
@@ -832,14 +954,18 @@ fn e14_streaming_vs_hash() {
     let mut hash_only = ExecOptions::serial();
     hash_only.physical.enable_streaming_agg = false;
     let (_, t_hash_sorted) = time_it(|| sorted.query_with(q, &hash_only).expect("h"));
-    let (_, t_hash_unsorted) = time_it(|| unsorted.query_with(q, &ExecOptions::serial()).expect("u"));
+    let (_, t_hash_unsorted) =
+        time_it(|| unsorted.query_with(q, &ExecOptions::serial()).expect("u"));
     print_table(
         &format!("E14 — streaming vs hash aggregation ({rows} rows)"),
         &["configuration", "wall ms"],
         &[
             vec!["sorted input, streaming agg".into(), ms(t_stream)],
             vec!["sorted input, hash agg (forced)".into(), ms(t_hash_sorted)],
-            vec!["unsorted input, hash agg (only option)".into(), ms(t_hash_unsorted)],
+            vec![
+                "unsorted input, hash agg (only option)".into(),
+                ms(t_hash_unsorted),
+            ],
         ],
     );
 }
@@ -881,7 +1007,76 @@ fn e15_prefetching() {
     }
     print_table(
         "E15 — speculative prefetching of predicted interactions (Sect. 7 future work)",
-        &["mode", "idle prefetch ms", "interaction ms", "backend queries during interaction"],
+        &[
+            "mode",
+            "idle prefetch ms",
+            "interaction ms",
+            "backend queries during interaction",
+        ],
+        &out,
+    );
+}
+
+// ---------------------------------------------------------------- E16 ----
+
+/// Fault sweep: the E7 batch under increasing backend fault rates, with the
+/// resilience layer (bounded retries + degraded stale serving) on vs off.
+/// Deterministic: fault decisions hash a fixed seed per operation ordinal.
+fn e16_fault_resilience() {
+    let db = faa_db(40_000);
+    let batch: Vec<(String, QuerySpec)> = (0..8)
+        .map(|i| {
+            (
+                format!("q{i}"),
+                QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+                    .filter(bin(BinOp::Ge, col("dep_hour"), lit(i as i64)))
+                    .group("carrier")
+                    .agg(AggCall::new(AggFunc::Count, None, "n")),
+            )
+        })
+        .collect();
+    let mut out = Vec::new();
+    for drop_rate in [0.0f64, 0.2, 0.5, 0.9] {
+        for resilient in [true, false] {
+            let (mut qp, sim) = processor_over(Arc::clone(&db), lan_config(), 4);
+            if !resilient {
+                qp.options.transient_retries = 0;
+                qp.options.serve_stale_on_failure = false;
+            }
+            // A healthy pass fills the caches; the refresh then demotes them
+            // to stale, so the faulty pass must go remote (or degrade).
+            execute_batch(&qp, &batch, &BatchOptions::default()).expect("warm");
+            qp.mark_source_stale("warehouse");
+            let mut plan = FaultPlan::seeded(42);
+            plan.connection_drop = drop_rate;
+            plan.transient_query_failure = drop_rate / 2.0;
+            sim.set_fault_plan(Some(plan));
+            let (res, wall) =
+                time_it(|| execute_batch(&qp, &batch, &BatchOptions::default()).expect("batch"));
+            out.push(vec![
+                format!(
+                    "{:.0}% drops{}",
+                    drop_rate * 100.0,
+                    if resilient { "" } else { ", no resilience" }
+                ),
+                ms(wall),
+                res.results.len().to_string(),
+                res.stale.len().to_string(),
+                res.failed.len().to_string(),
+                qp.stats().transient_retries.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "E16 — batch of 8 queries under injected faults: retries + stale serving vs fail-fast",
+        &[
+            "fault rate",
+            "wall ms",
+            "rendered",
+            "stale",
+            "failed",
+            "retries",
+        ],
         &out,
     );
 }

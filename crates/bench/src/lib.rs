@@ -27,7 +27,11 @@ pub fn faa_db_unsorted(rows: usize) -> Arc<Database> {
 }
 
 /// A query processor over one simulated warehouse.
-pub fn processor_over(db: Arc<Database>, config: SimConfig, pool: usize) -> (QueryProcessor, SimDb) {
+pub fn processor_over(
+    db: Arc<Database>,
+    config: SimConfig,
+    pool: usize,
+) -> (QueryProcessor, SimDb) {
     let sim = SimDb::new("warehouse", db, config);
     let qp = QueryProcessor::default();
     qp.registry.register(Arc::new(sim.clone()), pool);

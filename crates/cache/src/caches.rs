@@ -26,7 +26,6 @@ pub struct QueryCaches {
     pub literal: LiteralCache,
 }
 
-
 impl QueryCaches {
     pub fn new(config: CacheConfig, literal_capacity: usize) -> Self {
         QueryCaches {
@@ -51,6 +50,23 @@ impl QueryCaches {
     pub fn store(&self, spec: QuerySpec, text: &str, result: &Chunk, cost: Duration) {
         self.literal.put(&spec.source, text, result.clone(), cost);
         self.intelligent.put(spec, result.clone(), cost);
+    }
+
+    /// Degraded two-level lookup: consulted only after the backend failed,
+    /// it also serves entries marked stale. The caller is responsible for
+    /// flagging the answer as stale to the user.
+    pub fn lookup_stale(&self, spec: &QuerySpec, text: &str) -> Option<Chunk> {
+        if let Some(hit) = self.intelligent.get_stale(spec) {
+            return Some(hit);
+        }
+        self.literal.get_stale(&spec.source, text)
+    }
+
+    /// Source refreshed while its backend is unreachable: demote both
+    /// levels' entries to stale instead of purging, keeping them available
+    /// for degraded serving. Returns how many entries were marked.
+    pub fn mark_source_stale(&self, source: &str) -> usize {
+        self.intelligent.mark_source_stale(source) + self.literal.mark_source_stale(source)
     }
 
     /// Connection closed/refreshed: purge both levels for the source.
@@ -97,7 +113,10 @@ mod tests {
     #[test]
     fn lookup_order_intelligent_first() {
         let caches = QueryCaches::new(
-            CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+            CacheConfig {
+                min_cost: Duration::ZERO,
+                ..Default::default()
+            },
             1 << 20,
         );
         let (none, outcome) = caches.lookup(&spec(), "SQL");
@@ -112,7 +131,10 @@ mod tests {
     #[test]
     fn literal_catches_post_compilation_collisions() {
         let caches = QueryCaches::new(
-            CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+            CacheConfig {
+                min_cost: Duration::ZERO,
+                ..Default::default()
+            },
             1 << 20,
         );
         caches.store(spec(), "SELECT ...", &chunk(), Duration::from_millis(5));
@@ -129,7 +151,10 @@ mod tests {
     #[test]
     fn purge_source_affects_both() {
         let caches = QueryCaches::new(
-            CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+            CacheConfig {
+                min_cost: Duration::ZERO,
+                ..Default::default()
+            },
             1 << 20,
         );
         caches.store(spec(), "SQL", &chunk(), Duration::from_millis(5));
@@ -139,12 +164,60 @@ mod tests {
     }
 
     #[test]
+    fn stale_entries_hide_from_lookup_but_serve_degraded() {
+        let caches = QueryCaches::new(
+            CacheConfig {
+                min_cost: Duration::ZERO,
+                ..Default::default()
+            },
+            1 << 20,
+        );
+        caches.store(spec(), "SQL", &chunk(), Duration::from_millis(5));
+        assert_eq!(caches.mark_source_stale("faa"), 2); // both levels
+                                                        // Normal lookup refuses stale data.
+        let (hit, outcome) = caches.lookup(&spec(), "SQL");
+        assert!(hit.is_none());
+        assert_eq!(outcome, CacheOutcome::Miss);
+        // The degraded path still serves it.
+        let stale = caches.lookup_stale(&spec(), "SQL").unwrap();
+        assert_eq!(stale.row(0)[1], Value::Int(7));
+        assert_eq!(caches.intelligent.stats().stale_serves, 1);
+        // A fresh store supersedes the stale entry for normal lookups.
+        caches.store(spec(), "SQL", &chunk(), Duration::from_millis(5));
+        let (hit, _) = caches.lookup(&spec(), "SQL");
+        assert!(hit.is_some());
+        // Other sources are untouched by the marking.
+        let other = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        caches.store(other.clone(), "W", &chunk(), Duration::from_millis(5));
+        caches.mark_source_stale("faa");
+        let (hit, _) = caches.lookup(&other, "W");
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn literal_stale_marking() {
+        let c = crate::literal::LiteralCache::default();
+        c.put("s", "Q", chunk(), Duration::from_millis(5));
+        assert_eq!(c.mark_source_stale("s"), 1);
+        assert_eq!(c.mark_source_stale("s"), 0, "already stale");
+        assert!(c.get("s", "Q").is_none());
+        assert!(c.get_stale("s", "Q").is_some());
+        assert!(c.get_stale("s", "missing").is_none());
+        assert_eq!(c.stats().stale_serves, 1);
+    }
+
+    #[test]
     fn agg_arg_reuse_via_avg() {
         // A stored SUM+COUNT query answers a later AVG request — the paper's
         // "query processor might choose to adjust queries before sending, in
         // order to make the results more useful for future reuse".
         let caches = QueryCaches::new(
-            CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+            CacheConfig {
+                min_cost: Duration::ZERO,
+                ..Default::default()
+            },
             1 << 20,
         );
         let stored = QuerySpec::new("faa", LogicalPlan::scan("flights"))

@@ -112,7 +112,10 @@ impl ServerNodeCache {
         ServerNodeCache {
             node_id: node_id.into(),
             local: QueryCaches::new(
-                CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+                CacheConfig {
+                    min_cost: Duration::ZERO,
+                    ..Default::default()
+                },
                 64 << 20,
             ),
             external,

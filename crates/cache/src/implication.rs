@@ -77,7 +77,11 @@ impl Constraint {
                 }
                 Some(k)
             }
-            Expr::In { expr, list, negated } => {
+            Expr::In {
+                expr,
+                list,
+                negated,
+            } => {
                 if *negated {
                     return None;
                 }
@@ -116,9 +120,7 @@ impl Constraint {
             // set can never contain a (dense) range
             (Some(_), None) => false,
             // range ⊇ range
-            (None, None) => {
-                bound_le(&self.low, &other.low) && bound_ge(&self.high, &other.high)
-            }
+            (None, None) => bound_le(&self.low, &other.low) && bound_ge(&self.high, &other.high),
         }
     }
 

@@ -64,6 +64,10 @@ struct Entry {
     /// What re-evaluating this query cost (eviction prefers keeping
     /// expensive entries).
     cost: Duration,
+    /// Set when the source was refreshed while its backend was unreachable:
+    /// the entry no longer serves normal lookups but remains available for
+    /// degraded (stale) serving until a fresh result replaces it.
+    stale: bool,
 }
 
 impl Entry {
@@ -87,6 +91,8 @@ pub struct IntelligentStats {
     pub inserts: u64,
     pub rejected_inserts: u64,
     pub evictions: u64,
+    /// Degraded lookups answered from an entry marked stale.
+    pub stale_serves: u64,
 }
 
 /// Cache configuration.
@@ -177,6 +183,19 @@ impl IntelligentCache {
     /// Set [`CacheConfig::first_match`] to reproduce the paper's shipped
     /// behavior.
     pub fn get(&self, spec: &QuerySpec) -> Option<Chunk> {
+        self.lookup(spec, false)
+    }
+
+    /// Degraded-path lookup: also considers entries marked stale by
+    /// [`IntelligentCache::mark_source_stale`]. Used when the backend is
+    /// unreachable and a stale answer beats a failed dashboard. Serves count
+    /// as `stale_serves`; misses here do not inflate the miss counter (the
+    /// normal lookup already recorded one).
+    pub fn get_stale(&self, spec: &QuerySpec) -> Option<Chunk> {
+        self.lookup(spec, true)
+    }
+
+    fn lookup(&self, spec: &QuerySpec, allow_stale: bool) -> Option<Chunk> {
         let mut inner = self.inner.lock();
         let bucket = spec.bucket_key();
         let ids: Vec<u64> = inner.buckets.get(&bucket).cloned().unwrap_or_default();
@@ -188,17 +207,26 @@ impl IntelligentCache {
                 Some(e) => e,
                 None => continue,
             };
+            if entry.stale && !allow_stale {
+                continue;
+            }
             let Some(plan) = match_specs(&entry.spec, spec) else {
                 continue;
             };
-            let exact = plan.residual.is_empty()
-                && plan.same_grouping
-                && spec.topn.is_none()
-                && spec.order.is_empty()
-                && plan.sources.iter().enumerate().all(|(i, s)| {
-                    matches!(s, AggSource::Column(c) if *c == spec.aggs[i].alias)
-                })
-                && entry.spec.group_by == spec.group_by;
+            // Exact only if the cached chunk is column-for-column the
+            // requested shape: same groups, and the SAME NUMBER of
+            // aggregates (a fused/widened superset entry must be projected,
+            // not returned verbatim with its extra columns).
+            let exact =
+                plan.residual.is_empty()
+                    && plan.same_grouping
+                    && spec.topn.is_none()
+                    && spec.order.is_empty()
+                    && entry.spec.aggs.len() == spec.aggs.len()
+                    && plan.sources.iter().enumerate().all(
+                        |(i, s)| matches!(s, AggSource::Column(c) if *c == spec.aggs[i].alias),
+                    )
+                    && entry.spec.group_by == spec.group_by;
             // Post-processing effort rank.
             let effort: u32 = if exact {
                 0
@@ -227,18 +255,28 @@ impl IntelligentCache {
             e.use_count += 1;
             e.last_used = Instant::now();
             if effort == 0 {
-                inner.stats.exact_hits += 1;
+                if allow_stale {
+                    inner.stats.stale_serves += 1;
+                } else {
+                    inner.stats.exact_hits += 1;
+                }
                 return Some(cached);
             }
             match post_process(&cached_spec, cached, spec, &plan) {
                 Ok(out) => {
-                    inner.stats.subsumption_hits += 1;
+                    if allow_stale {
+                        inner.stats.stale_serves += 1;
+                    } else {
+                        inner.stats.subsumption_hits += 1;
+                    }
                     return Some(out);
                 }
                 Err(_) => continue, // be conservative: treat as non-match
             }
         }
-        inner.stats.misses += 1;
+        if !allow_stale {
+            inner.stats.misses += 1;
+        }
         None
     }
 
@@ -266,6 +304,7 @@ impl IntelligentCache {
                 last_used: now,
                 use_count: 0,
                 cost,
+                stale: false,
             },
         );
         inner.buckets.entry(bucket).or_default().push(id);
@@ -296,6 +335,31 @@ impl IntelligentCache {
                 }
             }
         }
+    }
+
+    /// Mark every entry of a source stale instead of purging it: the data
+    /// may be outdated (refresh signalled while the backend was unreachable)
+    /// but is still worth serving in degraded mode. Returns how many entries
+    /// were newly marked.
+    pub fn mark_source_stale(&self, source: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let prefix = format!("{source}\u{1}");
+        let ids: Vec<u64> = inner
+            .buckets
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        let mut marked = 0;
+        for id in ids {
+            if let Some(e) = inner.entries.get_mut(&id) {
+                if !e.stale {
+                    e.stale = true;
+                    marked += 1;
+                }
+            }
+        }
+        marked
     }
 
     /// Purge every entry belonging to a source ("entries are also purged
@@ -394,9 +458,7 @@ fn match_specs(cached: &QuerySpec, req: &QuerySpec) -> Option<MatchPlan> {
             (Some(c), true) => AggSource::Column(c.alias.clone()),
             (Some(c), false) => match a.func.rollup_func() {
                 Some(f) => AggSource::Rollup(f, c.alias.clone()),
-                None if a.func == AggFunc::Avg => {
-                    avg_parts(cached, a)?
-                }
+                None if a.func == AggFunc::Avg => avg_parts(cached, a)?,
                 None => return None, // COUNTD at coarser grouping
             },
             // AVG derivable from cached SUM+COUNT even when AVG itself is
@@ -481,12 +543,22 @@ fn post_process(
                 AggSource::AvgOf { sum_col, cnt_col } => {
                     let s_alias = format!("__{}_s", a.alias);
                     let c_alias = format!("__{}_c", a.alias);
-                    calls.push(AggCall::new(AggFunc::Sum, Some(col(sum_col.clone())), s_alias.clone()));
-                    calls.push(AggCall::new(AggFunc::Sum, Some(col(cnt_col.clone())), c_alias.clone()));
+                    calls.push(AggCall::new(
+                        AggFunc::Sum,
+                        Some(col(sum_col.clone())),
+                        s_alias.clone(),
+                    ));
+                    calls.push(AggCall::new(
+                        AggFunc::Sum,
+                        Some(col(cnt_col.clone())),
+                        c_alias.clone(),
+                    ));
                     avg_fixups.push((a.alias.clone(), s_alias, c_alias));
                 }
                 AggSource::Column(_) => {
-                    return Err(TvError::Plan("column passthrough at coarser grouping".into()))
+                    return Err(TvError::Plan(
+                        "column passthrough at coarser grouping".into(),
+                    ))
                 }
             }
         }
@@ -499,7 +571,10 @@ fn post_process(
                 .collect();
             for a in &req.aggs {
                 if let Some((_, s, c)) = avg_fixups.iter().find(|(al, _, _)| al == &a.alias) {
-                    exprs.push((bin(BinOp::Div, col(s.clone()), col(c.clone())), a.alias.clone()));
+                    exprs.push((
+                        bin(BinOp::Div, col(s.clone()), col(c.clone())),
+                        a.alias.clone(),
+                    ));
                 } else {
                     exprs.push((col(&a.alias), a.alias.clone()));
                 }
@@ -611,7 +686,10 @@ mod tests {
         let out = cache.get(&req).unwrap();
         assert_eq!(out.len(), 3);
         let rows = out.to_rows();
-        let aa = rows.iter().find(|r| r[0] == Value::Str("AA".into())).unwrap();
+        let aa = rows
+            .iter()
+            .find(|r| r[0] == Value::Str("AA".into()))
+            .unwrap();
         // COUNT rolls up as SUM: 10 + 10 = 20.
         assert_eq!(aa[1], Value::Int(20));
         // SUM(delay): AA bases: (2+3)*10 + (2+3)*10 = 100.
@@ -627,7 +705,10 @@ mod tests {
             .agg(AggCall::new(AggFunc::Avg, Some(col("delay")), "avg_delay"));
         let out = cache.get(&req).unwrap();
         let rows = out.to_rows();
-        let aa = rows.iter().find(|r| r[0] == Value::Str("AA".into())).unwrap();
+        let aa = rows
+            .iter()
+            .find(|r| r[0] == Value::Str("AA".into()))
+            .unwrap();
         assert_eq!(aa[1], Value::Real(5.0)); // 100 / 20
     }
 
@@ -672,11 +753,8 @@ mod tests {
             ])
             .unwrap(),
         );
-        let chunk = Chunk::from_rows(
-            schema,
-            &[vec!["AA".into(), "JFK".into(), Value::Int(5)]],
-        )
-        .unwrap();
+        let chunk =
+            Chunk::from_rows(schema, &[vec!["AA".into(), "JFK".into(), Value::Int(5)]]).unwrap();
         cache.put(spec.clone(), chunk, Duration::from_millis(10));
         // Same grouping: fine.
         assert!(cache.get(&spec).is_some());
@@ -694,10 +772,17 @@ mod tests {
             ..Default::default()
         });
         let spec = cached_spec().order_by(vec![SortKey::desc("n")]).top(2);
-        cache.put(spec.clone(), detail_chunk().slice(0, 2), Duration::from_millis(10));
+        cache.put(
+            spec.clone(),
+            detail_chunk().slice(0, 2),
+            Duration::from_millis(10),
+        );
         assert!(cache.get(&spec).is_some());
         let broader = cached_spec();
-        assert!(cache.get(&broader).is_none(), "truncated result must not serve supersets");
+        assert!(
+            cache.get(&broader).is_none(),
+            "truncated result must not serve supersets"
+        );
     }
 
     #[test]
@@ -800,11 +885,8 @@ mod tests {
             first_match: true,
             ..Default::default()
         });
-        let exact_chunk2 = Chunk::from_rows(
-            coarse_schema,
-            &[vec!["AA".into(), Value::Int(777)]],
-        )
-        .unwrap();
+        let exact_chunk2 =
+            Chunk::from_rows(coarse_schema, &[vec!["AA".into(), Value::Int(777)]]).unwrap();
         shipped.put(coarse_req.clone(), exact_chunk2, Duration::from_millis(10));
         shipped.put(cached_spec(), detail_chunk(), Duration::from_millis(10));
         let out2 = shipped.get(&coarse_req).unwrap();
@@ -814,6 +896,30 @@ mod tests {
             .find(|r| r[0] == Value::Str("AA".into()))
             .unwrap();
         assert_eq!(aa[1], Value::Int(20), "first-match rolls up the fine entry");
+    }
+
+    #[test]
+    fn superset_entry_is_projected_not_returned_verbatim() {
+        // A fused/widened entry caches MORE aggregate columns than the
+        // request asks for; the answer must be projected down to exactly
+        // the requested shape, never served verbatim with extra columns.
+        let cache = cache_with_entry();
+        let req = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Gt, col("delay"), lit(0i64)))
+            .group("carrier")
+            .group("origin")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        let out = cache.get(&req).unwrap();
+        assert_eq!(
+            out.schema().fields().len(),
+            3,
+            "got columns {:?}",
+            out.schema().fields()
+        );
+        assert_eq!(out.len(), 6);
+        for r in out.to_rows() {
+            assert_eq!(r[2], Value::Int(10));
+        }
     }
 
     #[test]

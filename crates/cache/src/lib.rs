@@ -39,7 +39,11 @@ use tabviz_tql::BinOp;
 /// matching).
 pub(crate) fn split_and(e: &Expr) -> Vec<Expr> {
     match e {
-        Expr::Binary { op: BinOp::And, left, right } => {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
             let mut out = split_and(left);
             out.extend(split_and(right));
             out

@@ -19,6 +19,9 @@ struct Entry {
     last_used: Instant,
     use_count: u64,
     cost: Duration,
+    /// Marked by [`LiteralCache::mark_source_stale`]: hidden from normal
+    /// lookups, still available for degraded serving.
+    stale: bool,
 }
 
 impl Entry {
@@ -36,6 +39,8 @@ pub struct LiteralStats {
     pub misses: u64,
     pub inserts: u64,
     pub evictions: u64,
+    /// Degraded lookups answered from an entry marked stale.
+    pub stale_serves: u64,
 }
 
 struct Inner {
@@ -77,18 +82,32 @@ impl LiteralCache {
         let mut inner = self.inner.lock();
         let key = Self::key(source, text);
         match inner.entries.get_mut(&key) {
-            Some(e) => {
+            Some(e) if !e.stale => {
                 e.use_count += 1;
                 e.last_used = Instant::now();
                 let out = e.result.clone();
                 inner.stats.hits += 1;
                 Some(out)
             }
-            None => {
+            _ => {
                 inner.stats.misses += 1;
                 None
             }
         }
+    }
+
+    /// Degraded-path lookup: serves entries even when stale. Counts as a
+    /// `stale_serves` hit, never as a miss (the normal lookup already
+    /// recorded the miss).
+    pub fn get_stale(&self, source: &str, text: &str) -> Option<Chunk> {
+        let mut inner = self.inner.lock();
+        let key = Self::key(source, text);
+        let e = inner.entries.get_mut(&key)?;
+        e.use_count += 1;
+        e.last_used = Instant::now();
+        let out = e.result.clone();
+        inner.stats.stale_serves += 1;
+        Some(out)
     }
 
     pub fn put(&self, source: &str, text: &str, result: Chunk, cost: Duration) {
@@ -105,6 +124,7 @@ impl LiteralCache {
                 last_used: now,
                 use_count: 0,
                 cost,
+                stale: false,
             },
         ) {
             inner.bytes -= old.bytes;
@@ -128,6 +148,21 @@ impl LiteralCache {
                 inner.stats.evictions += 1;
             }
         }
+    }
+
+    /// Mark every entry of a source stale (refresh while the backend is
+    /// unreachable). Returns how many entries were newly marked.
+    pub fn mark_source_stale(&self, source: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let prefix = format!("{source}\u{1}");
+        let mut marked = 0;
+        for (k, e) in inner.entries.iter_mut() {
+            if k.starts_with(&prefix) && !e.stale {
+                e.stale = true;
+                marked += 1;
+            }
+        }
+        marked
     }
 
     pub fn purge_source(&self, source: &str) {
@@ -176,7 +211,12 @@ impl LiteralCache {
             .iter()
             .map(|(k, e)| {
                 let (source, text) = k.split_once('\u{1}').unwrap_or(("", k));
-                (source.to_string(), text.to_string(), e.result.clone(), e.cost)
+                (
+                    source.to_string(),
+                    text.to_string(),
+                    e.result.clone(),
+                    e.cost,
+                )
             })
             .collect()
     }
@@ -229,7 +269,12 @@ mod tests {
         let c = LiteralCache::new(4000);
         c.put("s", "expensive", chunk(100), Duration::from_secs(2));
         for i in 0..20 {
-            c.put("s", &format!("cheap{i}"), chunk(100), Duration::from_micros(10));
+            c.put(
+                "s",
+                &format!("cheap{i}"),
+                chunk(100),
+                Duration::from_micros(10),
+            );
         }
         assert!(c.stats().evictions > 0);
         assert!(

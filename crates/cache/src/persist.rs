@@ -69,7 +69,9 @@ pub fn load(caches: &QueryCaches, mut buf: &[u8]) -> Result<usize> {
         let chunk = get_chunk(&mut buf)?;
         if let Ok(plan) = parse_plan(&plan_text) {
             if let Some(spec) = QuerySpec::from_plan(&source, &plan) {
-                caches.intelligent.put(spec, chunk, cost.max(Duration::from_millis(1)));
+                caches
+                    .intelligent
+                    .put(spec, chunk, cost.max(Duration::from_millis(1)));
                 loaded += 1;
             }
         }
@@ -81,7 +83,9 @@ pub fn load(caches: &QueryCaches, mut buf: &[u8]) -> Result<usize> {
         let text = get_str(&mut buf)?;
         let cost = Duration::from_micros(get_u64(&mut buf)?);
         let chunk = get_chunk(&mut buf)?;
-        caches.literal.put(&source, &text, chunk, cost.max(Duration::from_millis(1)));
+        caches
+            .literal
+            .put(&source, &text, chunk, cost.max(Duration::from_millis(1)));
         loaded += 1;
     }
     Ok(loaded)
@@ -156,7 +160,10 @@ mod tests {
 
     fn caches() -> QueryCaches {
         QueryCaches::new(
-            CacheConfig { min_cost: Duration::ZERO, ..Default::default() },
+            CacheConfig {
+                min_cost: Duration::ZERO,
+                ..Default::default()
+            },
             1 << 20,
         )
     }

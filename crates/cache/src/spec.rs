@@ -127,7 +127,12 @@ impl QuerySpec {
             order = keys.clone();
             node = input;
         }
-        let LogicalPlan::Aggregate { input, group_by, aggs } = node else {
+        let LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } = node
+        else {
             return None;
         };
         let mut group_cols = Vec::with_capacity(group_by.len());
@@ -255,9 +260,10 @@ mod tests {
             vec![("carrier".into(), "code".into())],
             JoinType::Inner,
         );
-        let s = QuerySpec::new("faa", rel)
-            .group("name")
-            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        let s =
+            QuerySpec::new("faa", rel)
+                .group("name")
+                .agg(AggCall::new(AggFunc::Count, None, "n"));
         let plan = s.to_plan().unwrap();
         let back = QuerySpec::from_plan("faa", &plan).unwrap();
         assert_eq!(back.bucket_key(), s.bucket_key());

@@ -299,7 +299,13 @@ impl ColumnVec {
     }
 
     /// Compare rows `i` and `j` of two columns of the same type.
-    pub fn cmp_rows(&self, i: usize, other: &ColumnVec, j: usize, collation: Collation) -> Ordering {
+    pub fn cmp_rows(
+        &self,
+        i: usize,
+        other: &ColumnVec,
+        j: usize,
+        collation: Collation,
+    ) -> Ordering {
         match (self.nulls.is_valid(i), other.nulls.is_valid(j)) {
             (false, false) => Ordering::Equal,
             (false, true) => Ordering::Less,
@@ -349,7 +355,11 @@ impl Chunk {
                 return Err(TvError::Schema("ragged chunk columns".into()));
             }
         }
-        Ok(Chunk { schema, columns, len })
+        Ok(Chunk {
+            schema,
+            columns,
+            len,
+        })
     }
 
     /// Zero-row chunk with the given schema.
@@ -359,7 +369,11 @@ impl Chunk {
             .iter()
             .map(|f| ColumnVec::from_values(Values::with_capacity(f.dtype, 0)))
             .collect();
-        Chunk { schema, columns, len: 0 }
+        Chunk {
+            schema,
+            columns,
+            len: 0,
+        }
     }
 
     /// Build from row-major values (convenient in tests and small results).
@@ -368,9 +382,7 @@ impl Chunk {
         for (ci, f) in schema.fields().iter().enumerate() {
             let col = ColumnVec::from_iter_typed(
                 f.dtype,
-                rows.iter().map(|r| {
-                    r.get(ci).unwrap_or(&Value::Null)
-                }),
+                rows.iter().map(|r| r.get(ci).unwrap_or(&Value::Null)),
             )?;
             columns.push(col);
         }
@@ -380,7 +392,11 @@ impl Chunk {
                 return Err(TvError::Schema("row arity mismatch".into()));
             }
         }
-        Ok(Chunk { schema, columns, len })
+        Ok(Chunk {
+            schema,
+            columns,
+            len,
+        })
     }
 
     pub fn schema(&self) -> &SchemaRef {
@@ -616,15 +632,13 @@ mod tests {
     #[test]
     fn sort_respects_collation() {
         let s = Arc::new(
-            Schema::new(vec![Field::new("k", DataType::Str)
-                .with_collation(Collation::CaseInsensitive)])
+            Schema::new(vec![
+                Field::new("k", DataType::Str).with_collation(Collation::CaseInsensitive)
+            ])
             .unwrap(),
         );
-        let ch = Chunk::from_rows(
-            s,
-            &[vec!["b".into()], vec!["A".into()], vec!["a".into()]],
-        )
-        .unwrap();
+        let ch =
+            Chunk::from_rows(s, &[vec!["b".into()], vec!["A".into()], vec!["a".into()]]).unwrap();
         let sorted = ch.sort_by(&[(0, true)]);
         // case-insensitive: A and a tie, stable order preserved, b last
         assert_eq!(sorted.row(0)[0], Value::Str("A".into()));
@@ -634,10 +648,7 @@ mod tests {
 
     #[test]
     fn schema_validation() {
-        let bad = Chunk::new(
-            schema(),
-            vec![ColumnVec::from_values(Values::Int(vec![1]))],
-        );
+        let bad = Chunk::new(schema(), vec![ColumnVec::from_values(Values::Int(vec![1]))]);
         assert!(bad.is_err());
         let wrong_type = Chunk::new(
             schema(),

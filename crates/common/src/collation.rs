@@ -6,12 +6,11 @@
 //! cache also refuses matches across collation conflicts (Sect. 3.2), so the
 //! collation has to travel with every string column through the whole stack.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// Supported string collations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Collation {
     /// Byte-wise comparison (`BINARY`), the default.
     #[default]
@@ -81,19 +80,31 @@ mod tests {
     #[test]
     fn ci_equates_cases() {
         assert!(Collation::CaseInsensitive.eq_str("DeLtA", "delta"));
-        assert_eq!(Collation::CaseInsensitive.cmp_str("ab", "AC"), Ordering::Less);
+        assert_eq!(
+            Collation::CaseInsensitive.cmp_str("ab", "AC"),
+            Ordering::Less
+        );
     }
 
     #[test]
     fn ci_respects_length() {
-        assert_eq!(Collation::CaseInsensitive.cmp_str("ab", "abc"), Ordering::Less);
-        assert_eq!(Collation::CaseInsensitive.cmp_str("abc", "ab"), Ordering::Greater);
+        assert_eq!(
+            Collation::CaseInsensitive.cmp_str("ab", "abc"),
+            Ordering::Less
+        );
+        assert_eq!(
+            Collation::CaseInsensitive.cmp_str("abc", "ab"),
+            Ordering::Greater
+        );
     }
 
     #[test]
     fn keys_agree_with_equality() {
         let c = Collation::CaseInsensitive;
         assert_eq!(c.key("MiXeD"), c.key("mixed"));
-        assert_ne!(Collation::Binary.key("MiXeD"), Collation::Binary.key("mixed"));
+        assert_ne!(
+            Collation::Binary.key("MiXeD"),
+            Collation::Binary.key("mixed")
+        );
     }
 }

@@ -40,6 +40,16 @@ pub enum TvError {
     Backend(String),
     /// Data Server: permission denied for the requesting user.
     Permission(String),
+    /// A backend failure that is expected to be recoverable: a dropped
+    /// connection, a refused connect, a network blip. Callers may retry
+    /// (bounded) or degrade to a stale cached answer.
+    Transient(String),
+    /// A deadline elapsed: pool acquisition or remote query execution took
+    /// longer than the caller allowed. Not retried (the budget is spent),
+    /// but eligible for degraded stale-cache serving.
+    Timeout(String),
+    /// Work abandoned because a sibling in the same batch failed fatally.
+    Cancelled(String),
 }
 
 impl TvError {
@@ -58,7 +68,29 @@ impl TvError {
             TvError::CacheMiss => "cache-miss",
             TvError::Backend(_) => "backend",
             TvError::Permission(_) => "permission",
+            TvError::Transient(_) => "transient",
+            TvError::Timeout(_) => "timeout",
+            TvError::Cancelled(_) => "cancelled",
         }
+    }
+
+    /// Whether a bounded retry against the same backend is worthwhile.
+    ///
+    /// Only [`TvError::Transient`] qualifies: timeouts have already consumed
+    /// the caller's latency budget, and every other variant is deterministic
+    /// (the same query would fail the same way).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TvError::Transient(_))
+    }
+
+    /// Whether the failure is a *backend availability* problem rather than a
+    /// defect in the query itself — the class of errors where serving a
+    /// stale cached answer beats failing the dashboard.
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            TvError::Transient(_) | TvError::Timeout(_) | TvError::Backend(_)
+        )
     }
 }
 
@@ -76,7 +108,10 @@ impl fmt::Display for TvError {
             | TvError::Io(m)
             | TvError::Unsupported(m)
             | TvError::Backend(m)
-            | TvError::Permission(m) => write!(f, "[{}] {}", self.tag(), m),
+            | TvError::Permission(m)
+            | TvError::Transient(m)
+            | TvError::Timeout(m)
+            | TvError::Cancelled(m) => write!(f, "[{}] {}", self.tag(), m),
         }
     }
 }
@@ -112,5 +147,17 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(TvError::CacheMiss, TvError::CacheMiss);
         assert_ne!(TvError::CacheMiss, TvError::Exec("x".into()));
+    }
+
+    #[test]
+    fn transient_and_degradable_classification() {
+        assert!(TvError::Transient("blip".into()).is_transient());
+        assert!(!TvError::Timeout("slow".into()).is_transient());
+        assert!(!TvError::Exec("bug".into()).is_transient());
+        assert!(TvError::Transient("blip".into()).is_degradable());
+        assert!(TvError::Timeout("slow".into()).is_degradable());
+        assert!(TvError::Backend("down".into()).is_degradable());
+        assert!(!TvError::Bind("typo".into()).is_degradable());
+        assert!(!TvError::Cancelled("sibling".into()).is_degradable());
     }
 }

@@ -3,12 +3,11 @@
 use crate::collation::Collation;
 use crate::error::{Result, TvError};
 use crate::value::DataType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// A single column description.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     pub name: String,
     pub dtype: DataType,
@@ -42,7 +41,7 @@ impl Field {
 ///
 /// Shared behind `Arc` between chunks of the same stream, so cloning a
 /// [`SchemaRef`] is cheap.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Schema {
     fields: Vec<Field>,
 }
@@ -55,7 +54,10 @@ impl Schema {
     pub fn new(fields: Vec<Field>) -> Result<Self> {
         for (i, f) in fields.iter().enumerate() {
             if fields[..i].iter().any(|g| g.name == f.name) {
-                return Err(TvError::Schema(format!("duplicate field name '{}'", f.name)));
+                return Err(TvError::Schema(format!(
+                    "duplicate field name '{}'",
+                    f.name
+                )));
             }
         }
         Ok(Schema { fields })

@@ -2,7 +2,6 @@
 
 use crate::collation::Collation;
 use crate::error::{Result, TvError};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -12,7 +11,7 @@ use std::hash::{Hash, Hasher};
 /// The TDE stores fixed-width data natively; `Str` columns are
 /// dictionary-compressed in the storage layer (Sect. 4.1.1). `Date` is stored
 /// as days since the unix epoch, which keeps it fixed-width and sortable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Bool,
     Int,
@@ -51,7 +50,7 @@ impl fmt::Display for DataType {
 /// `Null` is typeless, as in SQL. Ordering places `Null` first, matches SQL
 /// `ORDER BY ... NULLS FIRST`, and compares reals with `total_cmp` so that the
 /// ordering is total (required by sort operators).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),

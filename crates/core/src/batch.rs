@@ -15,8 +15,9 @@
 //! results through the intelligent cache's post-processing.
 
 use crate::fusion::fuse;
-use crate::processor::QueryProcessor;
-use std::collections::HashMap;
+use crate::processor::{ExecOutcome, QueryProcessor};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 use tabviz_cache::{subsumes, QuerySpec};
 use tabviz_common::{Chunk, Result, TvError};
@@ -53,13 +54,37 @@ pub struct BatchReport {
     pub local: usize,
     /// Queries eliminated by fusion.
     pub fused_away: usize,
+    /// Zones rendered from a stale cache entry (backend unavailable).
+    pub degraded: usize,
+    /// Zones that produced no result at all.
+    pub failed: usize,
+    /// Zones abandoned because a sibling failed fatally.
+    pub cancelled: usize,
 }
 
 /// Results keyed by the caller's names.
+///
+/// A batch against a faulty backend degrades rather than failing wholesale:
+/// every zone lands in exactly one of `results` (fresh or stale — see
+/// [`BatchResult::stale`]) or `failed` (typed error). Only infrastructure
+/// defects (bookkeeping bugs, poisoned worker threads) abort the whole call.
 #[derive(Debug)]
 pub struct BatchResult {
     pub results: HashMap<String, Chunk>,
+    /// Names in `results` that were answered from a cache entry marked
+    /// stale: rendered, but the caller should badge them as outdated.
+    pub stale: HashSet<String>,
+    /// Names with no usable result, and why. Siblings abandoned after a
+    /// fatal failure carry [`TvError::Cancelled`].
+    pub failed: HashMap<String, TvError>,
     pub report: BatchReport,
+}
+
+impl BatchResult {
+    /// Every zone rendered, none of them from stale data.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty() && self.stale.is_empty()
+    }
 }
 
 /// Build the Fig. 3 opportunity graph over deduplicated specs and return,
@@ -120,39 +145,59 @@ pub fn execute_batch(
     } else {
         vec![Vec::new(); unique.len()]
     };
-    let remote_idx: Vec<usize> = (0..unique.len())
-        .filter(|&i| preds[i].is_empty())
-        .collect();
+    let remote_idx: Vec<usize> = (0..unique.len()).filter(|&i| preds[i].is_empty()).collect();
     let local_idx: Vec<usize> = (0..unique.len())
         .filter(|&i| !preds[i].is_empty())
         .collect();
 
     // Phase 2: concurrent remote submission. Each remote execution lands in
-    // the shared caches, which is what unblocks the local set.
-    let mut executed: HashMap<String, Chunk> = HashMap::with_capacity(unique.len());
+    // the shared caches, which is what unblocks the local set. A fatal
+    // (non-degradable) failure raises the cancel flag so queries that have
+    // not started yet are abandoned instead of piling onto a broken batch.
+    let cancel = AtomicBool::new(false);
+    let run_one = |spec: &QuerySpec| -> Result<(Chunk, bool)> {
+        if cancel.load(Ordering::SeqCst) {
+            return Err(TvError::Cancelled(
+                "abandoned: a sibling batch query failed fatally".into(),
+            ));
+        }
+        match processor.execute(spec) {
+            Ok((chunk, outcome)) => Ok((chunk, outcome == ExecOutcome::DegradedStale)),
+            Err(e) => {
+                if !e.is_degradable() {
+                    cancel.store(true, Ordering::SeqCst);
+                }
+                Err(e)
+            }
+        }
+    };
+
+    let mut executed: HashMap<String, Result<(Chunk, bool)>> = HashMap::with_capacity(unique.len());
     if options.concurrent && remote_idx.len() > 1 {
-        let outputs = std::thread::scope(|scope| -> Result<Vec<(usize, Chunk)>> {
+        let outputs = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for &i in &remote_idx {
                 let spec = unique[i].clone();
-                handles.push((i, scope.spawn(move || processor.execute(&spec))));
+                let run_one = &run_one;
+                handles.push((i, scope.spawn(move || run_one(&spec))));
             }
-            let mut out = Vec::with_capacity(handles.len());
-            for (i, h) in handles {
-                let (chunk, _) = h
-                    .join()
-                    .map_err(|_| TvError::Exec("batch worker panicked".into()))??;
-                out.push((i, chunk));
-            }
-            Ok(out)
-        })?;
-        for (i, chunk) in outputs {
-            executed.insert(unique[i].canonical_text(), chunk);
+            handles
+                .into_iter()
+                .map(|(i, h)| {
+                    let r = h
+                        .join()
+                        .unwrap_or_else(|_| Err(TvError::Exec("batch worker panicked".into())));
+                    (i, r)
+                })
+                .collect::<Vec<_>>()
+        });
+        for (i, r) in outputs {
+            executed.insert(unique[i].canonical_text(), r);
         }
     } else {
         for &i in &remote_idx {
-            let (chunk, _) = processor.execute(&unique[i])?;
-            executed.insert(unique[i].canonical_text(), chunk);
+            let r = run_one(&unique[i]);
+            executed.insert(unique[i].canonical_text(), r);
         }
     }
     report.remote = remote_idx.len();
@@ -160,29 +205,72 @@ pub fn execute_batch(
     // Local queries: all predecessors are cached now; the processor's
     // intelligent-cache path answers them without touching the backend.
     for &i in &local_idx {
-        let (chunk, _) = processor.execute(&unique[i])?;
-        executed.insert(unique[i].canonical_text(), chunk);
+        let r = run_one(&unique[i]);
+        executed.insert(unique[i].canonical_text(), r);
     }
     report.local = local_idx.len();
 
     // Deliver each original query's result: executed specs directly, fused
-    // originals projected back out of the fused entry by the cache.
+    // originals projected back out of the fused entry by the cache. A zone
+    // whose executing query failed gets one last degraded chance: a stale
+    // intelligent-cache entry covering the original (no further remote
+    // traffic).
     let mut results = HashMap::with_capacity(queries.len());
+    let mut stale: HashSet<String> = HashSet::new();
+    let mut failed: HashMap<String, TvError> = HashMap::new();
     for ((name, original), &fused_idx) in queries.iter().zip(&assignment) {
         let exec_key = unique[unique_of[fused_idx]].canonical_text();
-        let chunk = if exec_key == original.canonical_text() {
-            executed
-                .get(&exec_key)
-                .cloned()
-                .ok_or_else(|| TvError::Exec("batch bookkeeping lost a result".into()))?
-        } else {
-            processor.execute(original)?.0
-        };
-        results.insert(name.clone(), chunk);
+        let outcome = executed
+            .get(&exec_key)
+            .ok_or_else(|| TvError::Exec("batch bookkeeping lost a result".into()))?;
+        match outcome {
+            Ok((chunk, was_stale)) if exec_key == original.canonical_text() => {
+                results.insert(name.clone(), chunk.clone());
+                if *was_stale {
+                    stale.insert(name.clone());
+                }
+            }
+            Ok((_, was_stale)) => match processor.execute(original) {
+                Ok((chunk, o)) => {
+                    results.insert(name.clone(), chunk);
+                    if *was_stale || o == ExecOutcome::DegradedStale {
+                        stale.insert(name.clone());
+                    }
+                }
+                Err(e) => {
+                    failed.insert(name.clone(), e);
+                }
+            },
+            Err(e) => match processor
+                .options
+                .serve_stale_on_failure
+                .then(|| processor.caches.intelligent.get_stale(original))
+                .flatten()
+            {
+                Some(chunk) => {
+                    results.insert(name.clone(), chunk);
+                    stale.insert(name.clone());
+                }
+                None => {
+                    failed.insert(name.clone(), e.clone());
+                }
+            },
+        }
     }
 
+    report.degraded = stale.len();
+    report.failed = failed.len();
+    report.cancelled = failed
+        .values()
+        .filter(|e| matches!(e, TvError::Cancelled(_)))
+        .count();
     report.wall = t0.elapsed();
-    Ok(BatchResult { results, report })
+    Ok(BatchResult {
+        results,
+        stale,
+        failed,
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -216,8 +304,10 @@ mod tests {
             })
             .collect();
         let db = Arc::new(Database::new("remote"));
-        db.put(Table::from_chunk("flights", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap())
-            .unwrap();
+        db.put(
+            Table::from_chunk("flights", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap(),
+        )
+        .unwrap();
         db
     }
 
@@ -225,7 +315,10 @@ mod tests {
         let sim = SimDb::new(
             "warehouse",
             flights_db(3000),
-            SimConfig { latency, ..Default::default() },
+            SimConfig {
+                latency,
+                ..Default::default()
+            },
         );
         let qp = QueryProcessor::default();
         qp.registry.register(Arc::new(sim.clone()), 8);
@@ -327,7 +420,11 @@ mod tests {
             ..Default::default()
         };
         let batch = dashboard_batch();
-        let opts = BatchOptions { fuse: false, concurrent: false, cache_aware: false };
+        let opts = BatchOptions {
+            fuse: false,
+            concurrent: false,
+            cache_aware: false,
+        };
         execute_batch(&qp, &batch, &opts).unwrap();
         assert_eq!(sim.stats().queries, 5);
     }
@@ -335,9 +432,21 @@ mod tests {
     #[test]
     fn batch_results_identical_across_strategies() {
         let configs = [
-            BatchOptions { fuse: false, concurrent: false, cache_aware: false },
-            BatchOptions { fuse: true, concurrent: false, cache_aware: false },
-            BatchOptions { fuse: false, concurrent: true, cache_aware: true },
+            BatchOptions {
+                fuse: false,
+                concurrent: false,
+                cache_aware: false,
+            },
+            BatchOptions {
+                fuse: true,
+                concurrent: false,
+                cache_aware: false,
+            },
+            BatchOptions {
+                fuse: false,
+                concurrent: true,
+                cache_aware: true,
+            },
             BatchOptions::default(),
         ];
         let mut reference: Option<HashMap<String, Vec<Vec<Value>>>> = None;
@@ -373,7 +482,11 @@ mod tests {
                     (
                         format!("q{i}"),
                         QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
-                            .filter(bin(BinOp::Eq, col("origin"), lit(["JFK", "LAX", "SFO"][i % 3])))
+                            .filter(bin(
+                                BinOp::Eq,
+                                col("origin"),
+                                lit(["JFK", "LAX", "SFO"][i % 3]),
+                            ))
                             .filter(bin(BinOp::Ge, col("delay"), lit(i as i64)))
                             .group("carrier")
                             .agg(AggCall::new(AggFunc::Count, None, "n")),
@@ -387,7 +500,10 @@ mod tests {
         let serial = execute_batch(
             &qp1,
             &make_batch(&qp1),
-            &BatchOptions { concurrent: false, ..Default::default() },
+            &BatchOptions {
+                concurrent: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let (mut qp2, _) = processor(latency);
@@ -416,6 +532,117 @@ mod tests {
         let out = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
         assert_eq!(out.results.len(), 3);
         assert_eq!(sim.stats().queries, 1);
+    }
+
+    #[test]
+    fn healthy_batch_is_complete() {
+        let (qp, _) = processor(LatencyModel::instant());
+        let out = execute_batch(&qp, &dashboard_batch(), &BatchOptions::default()).unwrap();
+        assert!(out.is_complete());
+        assert!(out.stale.is_empty() && out.failed.is_empty());
+        assert_eq!(out.report.degraded, 0);
+        assert_eq!(out.report.failed, 0);
+    }
+
+    #[test]
+    fn mid_batch_connection_drops_degrade_to_stale_rendering() {
+        use tabviz_backend::FaultPlan;
+        let (qp, sim) = processor(LatencyModel::instant());
+        let batch = dashboard_batch();
+        // A healthy run fills the caches, then a refresh marks them stale.
+        let healthy = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+        assert!(healthy.is_complete());
+        qp.mark_source_stale("warehouse");
+        // Every subsequent query drops its connection mid-flight.
+        let mut plan = FaultPlan::seeded(4);
+        plan.connection_drop = 1.0;
+        sim.set_fault_plan(Some(plan));
+        let degraded = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+        // The dashboard still renders: every zone has a result, each marked
+        // stale, none hard-failed.
+        assert_eq!(degraded.results.len(), batch.len());
+        assert!(degraded.failed.is_empty(), "failed: {:?}", degraded.failed);
+        assert_eq!(
+            degraded.stale.len(),
+            batch.len(),
+            "stale: {:?}",
+            degraded.stale
+        );
+        assert_eq!(degraded.report.degraded, batch.len());
+        // And the stale answers carry the same data the healthy run produced.
+        for (name, chunk) in &degraded.results {
+            let mut a = chunk.to_rows();
+            let mut b = healthy.results[name].to_rows();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "zone {name} diverged");
+        }
+    }
+
+    #[test]
+    fn fatal_failure_cancels_remaining_siblings() {
+        let (qp, _) = processor(LatencyModel::instant());
+        // A spec referencing an unregistered source fails fatally at bind;
+        // run serially so the cancel flag is observable deterministically.
+        let rel = || LogicalPlan::scan("flights");
+        let batch = vec![
+            (
+                "bad".to_string(),
+                QuerySpec::new("no_such_source", rel())
+                    .group("carrier")
+                    .agg(AggCall::new(AggFunc::Count, None, "n")),
+            ),
+            (
+                "late".to_string(),
+                QuerySpec::new("warehouse", rel())
+                    .group("origin")
+                    .agg(AggCall::new(AggFunc::Count, None, "n")),
+            ),
+        ];
+        let opts = BatchOptions {
+            concurrent: false,
+            ..Default::default()
+        };
+        let out = execute_batch(&qp, &batch, &opts).unwrap();
+        assert!(
+            out.results.is_empty(),
+            "results: {:?} failed: {:?}",
+            out.results.keys(),
+            out.failed
+        );
+        assert_eq!(out.failed.len(), 2);
+        assert!(
+            !matches!(out.failed["bad"], TvError::Cancelled(_)),
+            "the trigger keeps its own error: {:?}",
+            out.failed["bad"]
+        );
+        assert!(matches!(out.failed["late"], TvError::Cancelled(_)));
+        assert_eq!(out.report.cancelled, 1);
+        assert_eq!(out.report.failed, 2);
+    }
+
+    #[test]
+    fn transient_outage_without_cache_yields_typed_failures_not_hangs() {
+        use tabviz_backend::FaultPlan;
+        let (qp, sim) = processor(LatencyModel::instant());
+        let mut plan = FaultPlan::seeded(6);
+        plan.connection_drop = 1.0;
+        sim.set_fault_plan(Some(plan));
+        // Cold caches: nothing stale to fall back on.
+        let out = execute_batch(&qp, &dashboard_batch(), &BatchOptions::default()).unwrap();
+        assert!(
+            out.results.is_empty(),
+            "results: {:?} failed: {:?}",
+            out.results.keys(),
+            out.failed
+        );
+        assert_eq!(out.failed.len(), 5);
+        for e in out.failed.values() {
+            assert!(
+                e.is_degradable() || matches!(e, TvError::Cancelled(_)),
+                "unexpected error class: {e:?}"
+            );
+        }
     }
 
     #[test]

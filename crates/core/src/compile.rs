@@ -77,9 +77,11 @@ pub fn compile_spec(
         let mut kept = Vec::with_capacity(spec.filters.len());
         for f in std::mem::take(&mut spec.filters) {
             match &f {
-                Expr::In { expr, list, negated: false }
-                    if list.len() >= options.externalize_threshold =>
-                {
+                Expr::In {
+                    expr,
+                    list,
+                    negated: false,
+                } if list.len() >= options.externalize_threshold => {
                     if let Expr::Column(col_name) = expr.as_ref() {
                         let name = temp_table_name(col_name, list);
                         let chunk = values_chunk(list)?;
@@ -190,9 +192,14 @@ mod tests {
             list: vec!["AA".into(), "DL".into()],
             negated: false,
         });
-        let out = compile_spec(&spec, &Capabilities::default(), &CompileOptions::default()).unwrap();
+        let out =
+            compile_spec(&spec, &Capabilities::default(), &CompileOptions::default()).unwrap();
         assert!(out.temp_tables.is_empty());
-        assert!(out.remote.text.contains("IN ('AA', 'DL')"), "{}", out.remote.text);
+        assert!(
+            out.remote.text.contains("IN ('AA', 'DL')"),
+            "{}",
+            out.remote.text
+        );
     }
 
     #[test]
@@ -203,16 +210,22 @@ mod tests {
             list: values.clone(),
             negated: false,
         });
-        let out = compile_spec(&spec, &Capabilities::default(), &CompileOptions::default()).unwrap();
+        let out =
+            compile_spec(&spec, &Capabilities::default(), &CompileOptions::default()).unwrap();
         assert_eq!(out.temp_tables.len(), 1);
         assert_eq!(out.temp_tables[0].1.len(), 100);
         assert!(out.remote.text.contains("JOIN"), "{}", out.remote.text);
         assert!(!out.remote.text.contains("M37"), "values must not inline");
         // The externalized text is drastically shorter.
-        let inline =
-            compile_spec(&spec, &Capabilities { supports_temp_tables: false, ..Default::default() },
-                &CompileOptions::default())
-            .unwrap();
+        let inline = compile_spec(
+            &spec,
+            &Capabilities {
+                supports_temp_tables: false,
+                ..Default::default()
+            },
+            &CompileOptions::default(),
+        )
+        .unwrap();
         assert!(out.remote.upload_bytes() < inline.remote.upload_bytes() / 2);
     }
 
@@ -227,7 +240,10 @@ mod tests {
     #[test]
     fn topn_falls_back_to_local_post() {
         let spec = base_spec().order_by(vec![SortKey::desc("n")]).top(3);
-        let caps = Capabilities { supports_topn: false, ..Default::default() };
+        let caps = Capabilities {
+            supports_topn: false,
+            ..Default::default()
+        };
         let out = compile_spec(&spec, &caps, &CompileOptions::default()).unwrap();
         assert!(out.local_post.topn.is_some());
         assert!(!out.remote.text.contains("LIMIT"), "{}", out.remote.text);
@@ -256,7 +272,8 @@ mod tests {
             bin(BinOp::Eq, col("carrier"), lit("AA")),
             lit(true),
         ));
-        let out = compile_spec(&spec, &Capabilities::default(), &CompileOptions::default()).unwrap();
+        let out =
+            compile_spec(&spec, &Capabilities::default(), &CompileOptions::default()).unwrap();
         // The tautology vanished; only the delay filter remains.
         assert_eq!(out.remote.text.matches("WHERE").count(), 1);
         assert!(!out.remote.text.contains("TRUE OR"));
@@ -265,10 +282,14 @@ mod tests {
     #[test]
     fn dialects_differ() {
         let spec = base_spec().order_by(vec![SortKey::desc("n")]).top(3);
-        let ansi = compile_spec(&spec, &Capabilities::default(), &CompileOptions::default()).unwrap();
+        let ansi =
+            compile_spec(&spec, &Capabilities::default(), &CompileOptions::default()).unwrap();
         let legacy = compile_spec(
             &spec,
-            &Capabilities { dialect: Dialect::LegacySql, ..Default::default() },
+            &Capabilities {
+                dialect: Dialect::LegacySql,
+                ..Default::default()
+            },
             &CompileOptions::default(),
         )
         .unwrap();
@@ -278,8 +299,18 @@ mod tests {
 
     #[test]
     fn identical_specs_compile_to_identical_text() {
-        let a = compile_spec(&base_spec(), &Capabilities::default(), &CompileOptions::default()).unwrap();
-        let b = compile_spec(&base_spec(), &Capabilities::default(), &CompileOptions::default()).unwrap();
+        let a = compile_spec(
+            &base_spec(),
+            &Capabilities::default(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let b = compile_spec(
+            &base_spec(),
+            &Capabilities::default(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.remote.text, b.remote.text);
     }
 }

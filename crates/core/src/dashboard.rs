@@ -312,12 +312,7 @@ mod tests {
         }
         let db = Arc::new(Database::new("remote"));
         db.put(
-            Table::from_chunk(
-                "flights",
-                &Chunk::from_rows(schema, &rows).unwrap(),
-                &[],
-            )
-            .unwrap(),
+            Table::from_chunk("flights", &Chunk::from_rows(schema, &rows).unwrap(), &[]).unwrap(),
         )
         .unwrap();
         db
@@ -331,12 +326,16 @@ mod tests {
             source: "warehouse".into(),
             relation: LogicalPlan::scan("flights"),
             zones: vec![
-                Zone::new("Market")
-                    .group("market")
-                    .agg(AggCall::new(AggFunc::Count, None, "flights")),
-                Zone::new("Carrier")
-                    .group("carrier")
-                    .agg(AggCall::new(AggFunc::Count, None, "flights")),
+                Zone::new("Market").group("market").agg(AggCall::new(
+                    AggFunc::Count,
+                    None,
+                    "flights",
+                )),
+                Zone::new("Carrier").group("carrier").agg(AggCall::new(
+                    AggFunc::Count,
+                    None,
+                    "flights",
+                )),
                 Zone::new("AirlineName")
                     .group("airline_name")
                     .agg(AggCall::new(AggFunc::Count, None, "flights")),
@@ -470,6 +469,10 @@ mod tests {
         // Re-render with no change: zero backend traffic.
         dash.render(&qp, &mut state, &BatchOptions::default(), false)
             .unwrap();
-        assert_eq!(sim.stats().queries, after, "unchanged render is fully cached");
+        assert_eq!(
+            sim.stats().queries,
+            after,
+            "unchanged render is fully cached"
+        );
     }
 }

@@ -136,7 +136,9 @@ mod tests {
     #[test]
     fn different_grouping_does_not_fuse() {
         let q1 = base().agg(AggCall::new(AggFunc::Count, None, "n"));
-        let q2 = base().group("origin").agg(AggCall::new(AggFunc::Count, None, "n"));
+        let q2 = base()
+            .group("origin")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
         assert_eq!(fuse(&[q1, q2]).fused.len(), 2);
     }
 
@@ -172,7 +174,11 @@ mod tests {
         let q2 = base().agg(AggCall::new(AggFunc::Sum, Some(col("delay")), "x"));
         let plan = fuse(&[q1, q2]);
         assert_eq!(plan.fused.len(), 1);
-        let aliases: Vec<&str> = plan.fused[0].aggs.iter().map(|a| a.alias.as_str()).collect();
+        let aliases: Vec<&str> = plan.fused[0]
+            .aggs
+            .iter()
+            .map(|a| a.alias.as_str())
+            .collect();
         assert_eq!(aliases.len(), 2);
         assert_ne!(aliases[0], aliases[1]);
     }

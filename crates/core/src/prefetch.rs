@@ -89,8 +89,7 @@ pub fn prefetch(
         let before = processor.stats().remote_queries;
         if execute_batch(processor, &batch, &BatchOptions::default()).is_ok() {
             report.predicted_states += 1;
-            report.queries_warmed +=
-                (processor.stats().remote_queries - before) as usize;
+            report.queries_warmed += (processor.stats().remote_queries - before) as usize;
         }
     }
     Ok(report)
@@ -113,7 +112,7 @@ mod tests {
     use tabviz_backend::{SimConfig, SimDb};
     use tabviz_common::{DataType, Field, Schema};
     use tabviz_storage::{Database, Table};
-    
+
     use tabviz_tql::{AggCall, AggFunc, LogicalPlan};
 
     fn setup() -> (QueryProcessor, SimDb, Dashboard) {
@@ -134,8 +133,7 @@ mod tests {
             .collect();
         let db = Arc::new(Database::new("d"));
         db.put(
-            Table::from_chunk("flights", &Chunk::from_rows(schema, &rows).unwrap(), &[])
-                .unwrap(),
+            Table::from_chunk("flights", &Chunk::from_rows(schema, &rows).unwrap(), &[]).unwrap(),
         )
         .unwrap();
         let sim = SimDb::new("warehouse", db, SimConfig::default());
@@ -181,9 +179,7 @@ mod tests {
             .render(&qp, &mut state, &BatchOptions::default(), false)
             .unwrap();
         let states = predict_states(&dash, &state, &results, 3);
-        assert!(states
-            .iter()
-            .any(|s| !s.selections.contains_key("Market")));
+        assert!(states.iter().any(|s| !s.selections.contains_key("Market")));
         assert!(!states
             .iter()
             .any(|s| s.selections.get("Market") == Some(&Value::Str("M0".into()))));
@@ -215,8 +211,15 @@ mod tests {
     fn failed_speculation_is_not_fatal() {
         let (qp, _, dash) = setup();
         // Empty results: nothing to predict, no error.
-        let report = prefetch(&qp, &dash, &DashboardState::default(), &HashMap::new(), 3, 8)
-            .unwrap();
+        let report = prefetch(
+            &qp,
+            &dash,
+            &DashboardState::default(),
+            &HashMap::new(),
+            3,
+            8,
+        )
+        .unwrap();
         assert_eq!(report.predicted_states, 0);
     }
 }

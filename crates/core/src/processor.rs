@@ -22,6 +22,9 @@ pub enum ExecOutcome {
     IntelligentHit,
     LiteralHit,
     Remote,
+    /// The backend was unavailable; the answer came from a cache entry
+    /// marked stale. Degraded but rendered — the caller should flag it.
+    DegradedStale,
 }
 
 /// Cumulative processor counters.
@@ -34,6 +37,10 @@ pub struct ProcessorStats {
     pub widened_queries: u64,
     pub temp_table_fallbacks: u64,
     pub remote_time: Duration,
+    /// Remote attempts repeated after a transient failure.
+    pub transient_retries: u64,
+    /// Queries answered from a stale cache entry after the backend failed.
+    pub degraded_serves: u64,
 }
 
 /// Feature switches (each is an experiment baseline).
@@ -49,6 +56,15 @@ pub struct ProcessorOptions {
     pub widen_for_reuse: bool,
     /// Cap on extra grouping columns widening may add (cardinality guard).
     pub widen_max_extra_columns: usize,
+    /// Per-remote-query deadline; a backend that cannot answer in time
+    /// returns [`TvError::Timeout`] instead of hanging the dashboard.
+    pub query_timeout: Option<Duration>,
+    /// Extra attempts after a transient remote failure (dropped connection,
+    /// refused connect). Timeouts are not retried: the budget is spent.
+    pub transient_retries: usize,
+    /// When the backend stays down after retries, serve a matching cache
+    /// entry even if marked stale (degraded rendering) instead of failing.
+    pub serve_stale_on_failure: bool,
 }
 
 impl Default for ProcessorOptions {
@@ -58,6 +74,9 @@ impl Default for ProcessorOptions {
             use_literal_cache: true,
             widen_for_reuse: true,
             widen_max_extra_columns: 2,
+            query_timeout: Some(Duration::from_secs(30)),
+            transient_retries: 2,
+            serve_stale_on_failure: true,
         }
     }
 }
@@ -69,22 +88,26 @@ impl Default for ProcessorOptions {
 fn widenable_column(f: &tabviz_tql::Expr) -> Option<String> {
     use tabviz_tql::{BinOp, Expr};
     match f {
-        Expr::Binary { op: BinOp::Eq, left, right } => {
-            match (left.as_ref(), right.as_ref()) {
-                (Expr::Column(c), Expr::Literal(_)) | (Expr::Literal(_), Expr::Column(c)) => {
-                    Some(c.clone())
-                }
-                _ => None,
+        Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column(c), Expr::Literal(_)) | (Expr::Literal(_), Expr::Column(c)) => {
+                Some(c.clone())
             }
-        }
+            _ => None,
+        },
         // Small enumerations only: large IN-lists are the temp-table
         // externalization case (Sect. 3.1), not the widening case.
-        Expr::In { expr, list, negated: false } if list.len() <= WIDEN_MAX_IN_LIST => {
-            match expr.as_ref() {
-                Expr::Column(c) => Some(c.clone()),
-                _ => None,
-            }
-        }
+        Expr::In {
+            expr,
+            list,
+            negated: false,
+        } if list.len() <= WIDEN_MAX_IN_LIST => match expr.as_ref() {
+            Expr::Column(c) => Some(c.clone()),
+            _ => None,
+        },
         _ => None,
     }
 }
@@ -120,20 +143,15 @@ fn widen_spec(spec: &QuerySpec, max_extra: usize) -> Option<QuerySpec> {
     widened.topn = None;
     // Drop the lifted filters; their columns join the grouping so the cache
     // can re-apply them (and any future variant) as residuals.
-    widened.filters.retain(|f| {
-        widenable_column(f).is_none_or(|c| spec.group_by.contains(&c))
-    });
+    widened
+        .filters
+        .retain(|f| widenable_column(f).is_none_or(|c| spec.group_by.contains(&c)));
     widened.group_by.extend(extra);
     // AVG needs its SUM/COUNT decomposition cached alongside for roll-up.
     let mut additions = Vec::new();
     for a in &spec.aggs {
         if a.func == AggFunc::Avg {
-            let has = |f: AggFunc| {
-                widened
-                    .aggs
-                    .iter()
-                    .any(|x| x.func == f && x.arg == a.arg)
-            };
+            let has = |f: AggFunc| widened.aggs.iter().any(|x| x.func == f && x.arg == a.arg);
             if !has(AggFunc::Sum) {
                 additions.push(tabviz_tql::AggCall::new(
                     AggFunc::Sum,
@@ -211,7 +229,8 @@ impl QueryProcessor {
                     compile_spec(&widened, managed.capabilities(), &managed.compile_options)
                 {
                     let t0 = Instant::now();
-                    if let Ok(chunk_w) = self.run_remote(&managed, &widened, &compiled_w) {
+                    if let Ok(chunk_w) = self.run_remote_resilient(&managed, &widened, &compiled_w)
+                    {
                         let cost = t0.elapsed();
                         {
                             let mut st = self.stats.lock();
@@ -219,9 +238,11 @@ impl QueryProcessor {
                             st.widened_queries += 1;
                             st.remote_time += cost;
                         }
-                        self.caches
-                            .intelligent
-                            .put(widened, chunk_w, cost.max(Duration::from_millis(1)));
+                        self.caches.intelligent.put(
+                            widened,
+                            chunk_w,
+                            cost.max(Duration::from_millis(1)),
+                        );
                         if let Some(hit) = self.caches.intelligent.get(spec) {
                             return Ok((hit, ExecOutcome::Remote));
                         }
@@ -232,7 +253,21 @@ impl QueryProcessor {
             }
         }
         let t0 = Instant::now();
-        let chunk = self.run_remote(&managed, spec, &compiled)?;
+        let chunk = match self.run_remote_resilient(&managed, spec, &compiled) {
+            Ok(chunk) => chunk,
+            Err(e) if e.is_degradable() && self.options.serve_stale_on_failure => {
+                // Degraded rendering: a stale cached answer beats a failed
+                // dashboard when the backend is unavailable.
+                match self.caches.lookup_stale(spec, &compiled.remote.text) {
+                    Some(stale) => {
+                        self.stats.lock().degraded_serves += 1;
+                        return Ok((stale, ExecOutcome::DegradedStale));
+                    }
+                    None => return Err(e),
+                }
+            }
+            Err(e) => return Err(e),
+        };
         let cost = t0.elapsed();
         {
             let mut st = self.stats.lock();
@@ -245,13 +280,41 @@ impl QueryProcessor {
                 .put(&spec.source, &compiled.remote.text, chunk.clone(), cost);
         }
         if self.options.use_intelligent_cache {
-            self.caches.intelligent.put(spec.clone(), chunk.clone(), cost);
+            self.caches
+                .intelligent
+                .put(spec.clone(), chunk.clone(), cost);
         }
         Ok((chunk, ExecOutcome::Remote))
     }
 
+    /// [`QueryProcessor::run_remote`] with bounded retries on transient
+    /// failures. The backoff shares the pool's deterministic jitter salt.
+    fn run_remote_resilient(
+        &self,
+        managed: &Arc<ManagedSource>,
+        spec: &QuerySpec,
+        compiled: &CompiledQuery,
+    ) -> Result<Chunk> {
+        let mut attempt = 0usize;
+        loop {
+            match self.run_remote(managed, spec, compiled) {
+                Ok(chunk) => return Ok(chunk),
+                Err(e) if e.is_transient() && attempt < self.options.transient_retries => {
+                    self.stats.lock().transient_retries += 1;
+                    std::thread::sleep(managed.pool.next_backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Acquire a session (preferring one that already holds the needed temp
     /// structure), materialize temp tables, execute, post-process.
+    ///
+    /// A session that turns unhealthy (dropped mid-query) is automatically
+    /// discarded by the pool guard on drop, so errors here never leak a
+    /// poisoned connection to a later acquirer.
     fn run_remote(
         &self,
         managed: &Arc<ManagedSource>,
@@ -281,12 +344,26 @@ impl QueryProcessor {
                     )));
                 }
                 let mut conn = managed.pool.acquire()?;
-                let chunk = conn.execute(&inline.remote)?;
+                let chunk = conn.execute(&self.with_deadline(&inline.remote))?;
                 return Ok(apply_local_post(chunk, &inline.local_post));
             }
         }
-        let chunk = conn.execute(&compiled.remote)?;
+        let chunk = conn.execute(&self.with_deadline(&compiled.remote))?;
         Ok(apply_local_post(chunk, &compiled.local_post))
+    }
+
+    /// Stamp the configured per-query deadline onto an outgoing query.
+    fn with_deadline(&self, rq: &tabviz_backend::RemoteQuery) -> tabviz_backend::RemoteQuery {
+        let mut rq = rq.clone();
+        rq.timeout = self.options.query_timeout;
+        rq
+    }
+
+    /// Refresh a data source while its backend is unreachable: instead of
+    /// purging, demote its cache entries to stale so they remain available
+    /// for degraded serving. Returns how many entries were marked.
+    pub fn mark_source_stale(&self, name: &str) -> usize {
+        self.caches.mark_source_stale(name)
     }
 
     /// Close a data source: release pooled sessions and purge cache entries
@@ -328,8 +405,10 @@ mod tests {
             })
             .collect();
         let db = Arc::new(Database::new("remote"));
-        db.put(Table::from_chunk("flights", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap())
-            .unwrap();
+        db.put(
+            Table::from_chunk("flights", &Chunk::from_rows(schema, &data).unwrap(), &[]).unwrap(),
+        )
+        .unwrap();
         db
     }
 
@@ -358,7 +437,11 @@ mod tests {
         let (out2, o2) = qp.execute(&count_by_carrier()).unwrap();
         assert_eq!(o2, ExecOutcome::IntelligentHit);
         assert_eq!(out2.to_rows(), out1.to_rows());
-        assert_eq!(sim.stats().queries, 1, "second answer must not hit the backend");
+        assert_eq!(
+            sim.stats().queries,
+            1,
+            "second answer must not hit the backend"
+        );
     }
 
     #[test]
@@ -405,7 +488,11 @@ mod tests {
             .group("carrier")
             .agg(AggCall::new(AggFunc::Sum, Some(col("delay")), "total"));
         qp.execute(&spec2).unwrap();
-        assert_eq!(sim.stats().temp_tables_created, 1, "no duplicate temp table");
+        assert_eq!(
+            sim.stats().temp_tables_created,
+            1,
+            "no duplicate temp table"
+        );
     }
 
     #[test]
@@ -433,7 +520,11 @@ mod tests {
         let markets: Vec<Value> = (0..40).map(|i| Value::Str(format!("M{i}"))).collect();
         let make = |list: Vec<Value>| {
             QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
-                .filter(Expr::In { expr: Box::new(col("market")), list, negated: false })
+                .filter(Expr::In {
+                    expr: Box::new(col("market")),
+                    list,
+                    negated: false,
+                })
                 .group("carrier")
                 .agg(AggCall::new(AggFunc::Count, None, "n"))
         };
@@ -444,7 +535,10 @@ mod tests {
             "warehouse",
             flights_db(600),
             SimConfig {
-                capabilities: Capabilities { supports_temp_tables: false, ..Default::default() },
+                capabilities: Capabilities {
+                    supports_temp_tables: false,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
@@ -483,7 +577,11 @@ mod tests {
         // A different subset: pure cache work.
         let (out2, o2) = qp.execute(&with_filter(&["WN"])).unwrap();
         assert_eq!(o2, ExecOutcome::IntelligentHit);
-        assert_eq!(sim.stats().queries, 1, "one widened backend query serves all");
+        assert_eq!(
+            sim.stats().queries,
+            1,
+            "one widened backend query serves all"
+        );
         // Correctness: widened-path answers equal direct execution.
         let mut qp2 = QueryProcessor::default();
         qp2.options.widen_for_reuse = false;
@@ -491,9 +589,7 @@ mod tests {
         qp2.options.use_literal_cache = false;
         let sim2 = SimDb::new("warehouse", flights_db(600), SimConfig::default());
         qp2.registry.register(Arc::new(sim2), 4);
-        for (subset, widened_out) in
-            [(vec!["AA", "DL"], &out1), (vec!["WN"], &out2)]
-        {
+        for (subset, widened_out) in [(vec!["AA", "DL"], &out1), (vec!["WN"], &out2)] {
             let (direct, _) = qp2.execute(&with_filter(&subset)).unwrap();
             let mut a = widened_out.to_rows();
             let mut b = direct.to_rows();
@@ -522,6 +618,72 @@ mod tests {
             .agg(AggCall::new(AggFunc::CountD, Some(col("delay")), "nd"));
         qp.execute(&countd_spec).unwrap();
         assert_eq!(qp.stats().widened_queries, 0);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_then_typed() {
+        use tabviz_backend::FaultPlan;
+        let (qp, sim) = processor_with_sim(300);
+        let mut plan = FaultPlan::seeded(5);
+        plan.transient_query_failure = 1.0; // every attempt fails
+        sim.set_fault_plan(Some(plan));
+        let err = qp.execute(&count_by_carrier()).expect_err("must fail");
+        assert!(err.is_transient(), "got: {err}");
+        // Default budget: 1 initial attempt + 2 retries.
+        assert_eq!(qp.stats().transient_retries, 2);
+        assert_eq!(sim.stats().transient_faults, 3);
+        // Clearing the faults heals the source with no other intervention.
+        sim.set_fault_plan(None);
+        let (out, o) = qp.execute(&count_by_carrier()).unwrap();
+        assert_eq!(o, ExecOutcome::Remote);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn backend_outage_serves_stale_cache_degraded() {
+        use tabviz_backend::FaultPlan;
+        let (qp, sim) = processor_with_sim(300);
+        // Healthy pass populates both cache levels.
+        let (fresh, _) = qp.execute(&count_by_carrier()).unwrap();
+        // A refresh arrives while the backend starts dropping every
+        // connection mid-query.
+        assert!(qp.mark_source_stale("warehouse") >= 1);
+        let mut plan = FaultPlan::seeded(9);
+        plan.connection_drop = 1.0;
+        sim.set_fault_plan(Some(plan));
+        let (out, outcome) = qp.execute(&count_by_carrier()).unwrap();
+        assert_eq!(outcome, ExecOutcome::DegradedStale);
+        assert_eq!(out.to_rows(), fresh.to_rows(), "stale answer, right data");
+        assert_eq!(qp.stats().degraded_serves, 1);
+        // With stale serving disabled the same outage is a hard error.
+        let (mut qp2, sim2) = processor_with_sim(300);
+        qp2.options.serve_stale_on_failure = false;
+        qp2.execute(&count_by_carrier()).unwrap();
+        qp2.mark_source_stale("warehouse");
+        let mut plan2 = FaultPlan::seeded(9);
+        plan2.connection_drop = 1.0;
+        sim2.set_fault_plan(Some(plan2));
+        assert!(qp2.execute(&count_by_carrier()).is_err());
+    }
+
+    #[test]
+    fn slow_backend_times_out_instead_of_hanging() {
+        use tabviz_backend::FaultPlan;
+        let (mut qp, sim) = processor_with_sim(300);
+        qp.options.query_timeout = Some(Duration::from_millis(40));
+        qp.options.serve_stale_on_failure = false;
+        let mut plan = FaultPlan::seeded(2);
+        plan.slow_query = 1.0;
+        plan.slow_query_delay = Duration::from_secs(60); // would hang a minute
+        sim.set_fault_plan(Some(plan));
+        let t0 = Instant::now();
+        let err = qp.execute(&count_by_carrier()).expect_err("must time out");
+        assert!(matches!(err, TvError::Timeout(_)), "got: {err}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "deadline must bound the wait"
+        );
+        assert_eq!(qp.stats().transient_retries, 0, "timeouts are not retried");
     }
 
     #[test]

@@ -30,11 +30,7 @@ pub struct PublishedSource {
 }
 
 impl PublishedSource {
-    pub fn new(
-        name: impl Into<String>,
-        backing: impl Into<String>,
-        relation: LogicalPlan,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, backing: impl Into<String>, relation: LogicalPlan) -> Self {
         PublishedSource {
             name: name.into(),
             backing: backing.into(),
@@ -98,7 +94,11 @@ fn substitute_calcs(e: &Expr, calcs: &HashMap<String, Expr>) -> Expr {
             left: Box::new(substitute_calcs(left, calcs)),
             right: Box::new(substitute_calcs(right, calcs)),
         },
-        Expr::In { expr, list, negated } => Expr::In {
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } => Expr::In {
             expr: Box::new(substitute_calcs(expr, calcs)),
             list: list.clone(),
             negated: *negated,
@@ -124,10 +124,7 @@ mod tests {
     fn calculation_substitution_is_recursive() {
         let p = PublishedSource::new("sales", "warehouse", LogicalPlan::scan("orders"));
         p.define_calculation("margin", bin(BinOp::Sub, col("revenue"), col("cost")));
-        p.define_calculation(
-            "good_margin",
-            bin(BinOp::Gt, col("margin"), lit(100i64)),
-        );
+        p.define_calculation("good_margin", bin(BinOp::Gt, col("margin"), lit(100i64)));
         let out = p.substitute(&col("good_margin"));
         assert_eq!(out.to_string(), "(([revenue] - [cost]) > 100)");
         // Non-calculation columns pass through.

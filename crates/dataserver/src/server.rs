@@ -74,6 +74,9 @@ pub struct ServerStats {
     pub client_bytes_out: u64,
     pub set_definitions: u64,
     pub answered_from_memory: u64,
+    /// Client queries answered from a stale cache entry because the backing
+    /// database was unavailable (degraded rendering).
+    pub degraded_serves: u64,
 }
 
 /// The Data Server.
@@ -137,6 +140,15 @@ impl DataServer {
         })
     }
 
+    /// A published source's data was refreshed while its backing database is
+    /// unreachable: demote the cached results to stale instead of purging so
+    /// clients keep rendering (flagged) until the backend recovers. Returns
+    /// how many cache entries were marked.
+    pub fn mark_backing_stale(&self, published_name: &str) -> Result<usize> {
+        let published = self.published(published_name)?;
+        Ok(self.processor.mark_source_stale(&published.backing))
+    }
+
     fn build_spec(
         &self,
         published: &PublishedSource,
@@ -157,9 +169,9 @@ impl DataServer {
         {
             let sets = self.sets.lock();
             for name in &query.set_refs {
-                let def = sets.get(name).ok_or_else(|| {
-                    TvError::Bind(format!("unknown set definition '{name}'"))
-                })?;
+                let def = sets
+                    .get(name)
+                    .ok_or_else(|| TvError::Bind(format!("unknown set definition '{name}'")))?;
                 spec = spec.filter(Expr::In {
                     expr: Box::new(Expr::Column(def.column.clone())),
                     list: def.values.clone(),
@@ -196,7 +208,11 @@ pub struct ClientSession {
 impl ClientSession {
     /// The published source's schema, as the client's data window sees it.
     pub fn metadata(&self) -> Result<tabviz_common::SchemaRef> {
-        let managed = self.server.processor.registry.get(&self.published.backing)?;
+        let managed = self
+            .server
+            .processor
+            .registry
+            .get(&self.published.backing)?;
         let catalog = ManagedCatalog(&managed);
         self.published.relation.schema(&catalog)
     }
@@ -256,11 +272,15 @@ impl ClientSession {
             st.queries += 1;
             st.client_bytes_in += query.wire_bytes() as u64;
         }
-        let spec = self
-            .server
-            .build_spec(&self.published, &self.user, query)?;
+        let spec = self.server.build_spec(&self.published, &self.user, query)?;
         let (chunk, outcome) = self.server.processor.execute(&spec)?;
-        self.server.stats.lock().client_bytes_out += chunk.approx_bytes() as u64;
+        {
+            let mut st = self.server.stats.lock();
+            st.client_bytes_out += chunk.approx_bytes() as u64;
+            if outcome == ExecOutcome::DegradedStale {
+                st.degraded_serves += 1;
+            }
+        }
         Ok((chunk, outcome))
     }
 }
@@ -322,8 +342,10 @@ mod tests {
             })
             .collect();
         let db = Arc::new(Database::new("crm"));
-        db.put(Table::from_chunk("orders", &Chunk::from_rows(schema, &rows).unwrap(), &[]).unwrap())
-            .unwrap();
+        db.put(
+            Table::from_chunk("orders", &Chunk::from_rows(schema, &rows).unwrap(), &[]).unwrap(),
+        )
+        .unwrap();
         db
     }
 
@@ -353,7 +375,10 @@ mod tests {
         let (server, _) = server();
         let session = server.connect("sales", "manager").unwrap();
         let schema = session.metadata().unwrap();
-        assert_eq!(schema.names(), vec!["region", "customer", "revenue", "cost"]);
+        assert_eq!(
+            schema.names(),
+            vec!["region", "customer", "revenue", "cost"]
+        );
         assert!(session.supports_sets());
     }
 
@@ -429,7 +454,11 @@ mod tests {
         s.query(&q).unwrap();
         let after_one = server.stats().client_bytes_in;
         // Referencing the set costs far less than re-uploading 60 values.
-        assert!((after_one - base_in) < 200, "wire cost {}", after_one - base_in);
+        assert!(
+            (after_one - base_in) < 200,
+            "wire cost {}",
+            after_one - base_in
+        );
         // The set was pushed down as a temp table on the backing database.
         assert_eq!(sim.stats().temp_tables_created, 1);
 
@@ -477,13 +506,38 @@ mod tests {
     #[test]
     fn memory_temp_tables_can_be_disabled() {
         let (server, _) = server();
-        let mut server_mut = Arc::try_unwrap(server).map_err(|_| ()).unwrap_or_else(|_| panic!());
+        let mut server_mut = Arc::try_unwrap(server)
+            .map_err(|_| ())
+            .unwrap_or_else(|_| panic!());
         server_mut.enable_memory_temp_tables = false;
         let server = Arc::new(server_mut);
         let mut s = server.connect("sales", "manager").unwrap();
         assert!(!s.supports_sets());
         let err = s.define_set("customer", vec![Value::Str("C1".into())]);
         assert!(matches!(err, Err(TvError::Unsupported(_))));
+    }
+
+    #[test]
+    fn outage_serves_stale_results_to_clients() {
+        use tabviz_backend::FaultPlan;
+        use tabviz_core::ExecOutcome;
+        let (server, sim) = server();
+        let s = server.connect("sales", "manager").unwrap();
+        let (fresh, _) = s.query(&revenue_by_region()).unwrap();
+        // Data refresh arrives while the warehouse starts dropping every
+        // connection mid-query.
+        assert!(server.mark_backing_stale("sales").unwrap() >= 1);
+        let mut plan = FaultPlan::seeded(8);
+        plan.connection_drop = 1.0;
+        sim.set_fault_plan(Some(plan));
+        let (out, outcome) = s.query(&revenue_by_region()).unwrap();
+        assert_eq!(outcome, ExecOutcome::DegradedStale);
+        assert_eq!(out.to_rows(), fresh.to_rows());
+        assert_eq!(server.stats().degraded_serves, 1);
+        // Backend heals: the next query is fresh again and re-caches.
+        sim.set_fault_plan(None);
+        let (_, outcome) = s.query(&revenue_by_region()).unwrap();
+        assert_ne!(outcome, ExecOutcome::DegradedStale);
     }
 
     #[test]

@@ -161,7 +161,12 @@ impl StoredColumn {
                 (PhysVec::Code(codes), Some(Arc::new(dict)))
             }
             DataType::Bool => (
-                PhysVec::Bool(values.iter().map(|v| matches!(v, Value::Bool(true))).collect()),
+                PhysVec::Bool(
+                    values
+                        .iter()
+                        .map(|v| matches!(v, Value::Bool(true)))
+                        .collect(),
+                ),
                 None,
             ),
             DataType::Int => (
@@ -248,7 +253,11 @@ impl StoredColumn {
     /// column is not run-length encoded.
     pub fn rle_runs(&self) -> Option<Vec<RleRun>> {
         match &self.data {
-            ColumnData::Rle { values, counts, starts } => {
+            ColumnData::Rle {
+                values,
+                counts,
+                starts,
+            } => {
                 let mut runs = Vec::with_capacity(counts.len());
                 for k in 0..counts.len() {
                     let start = starts[k] as usize;
@@ -366,7 +375,9 @@ impl StoredColumn {
                 }
             }
         };
-        let bits: Vec<bool> = (start..start + len).map(|i| self.nulls.is_valid(i)).collect();
+        let bits: Vec<bool> = (start..start + len)
+            .map(|i| self.nulls.is_valid(i))
+            .collect();
         Ok(ColumnVec::new(values, NullMask::from_valid_bits(bits)))
     }
 
@@ -396,17 +407,33 @@ impl StoredColumn {
             .map_or(0, |d| d.iter().map(|s| s.len() + 8).sum());
         let data_bytes = match &self.data {
             ColumnData::Plain(p) => phys_bytes(p),
-            ColumnData::Rle { values, counts, starts } => {
-                phys_bytes(values) + counts.len() * 4 + starts.len() * 8
-            }
+            ColumnData::Rle {
+                values,
+                counts,
+                starts,
+            } => phys_bytes(values) + counts.len() * 4 + starts.len() * 8,
             ColumnData::Delta { deltas, .. } => 8 + deltas.len() * 8,
         };
         dict_bytes + data_bytes
     }
 
     /// Internal accessors for the pack module.
-    pub(crate) fn parts(&self) -> (&Field, usize, &NullMask, &ColumnData, Option<&Arc<Vec<String>>>) {
-        (&self.field, self.len, &self.nulls, &self.data, self.dict.as_ref())
+    pub(crate) fn parts(
+        &self,
+    ) -> (
+        &Field,
+        usize,
+        &NullMask,
+        &ColumnData,
+        Option<&Arc<Vec<String>>>,
+    ) {
+        (
+            &self.field,
+            self.len,
+            &self.nulls,
+            &self.data,
+            self.dict.as_ref(),
+        )
     }
 
     pub(crate) fn from_parts(
@@ -499,7 +526,11 @@ fn rle_encode(phys: &PhysVec, nulls: &NullMask) -> ColumnData {
         starts.push(i as u64);
         i = j;
     }
-    ColumnData::Rle { values, counts, starts }
+    ColumnData::Rle {
+        values,
+        counts,
+        starts,
+    }
 }
 
 /// Delta-encode integer-like data; `None` when the type or nulls make it
@@ -514,7 +545,10 @@ fn delta_encode(phys: &PhysVec, nulls: &NullMask) -> Option<ColumnData> {
         _ => return None,
     };
     if as_i64.is_empty() {
-        return Some(ColumnData::Delta { first: 0, deltas: vec![] });
+        return Some(ColumnData::Delta {
+            first: 0,
+            deltas: vec![],
+        });
     }
     let first = as_i64[0];
     let deltas = as_i64.windows(2).map(|w| w[1] - w[0]).collect();
@@ -528,7 +562,13 @@ fn decoded_values_builder(dtype: DataType, cap: usize) -> Values {
 }
 
 /// Append `n` copies of run `k`'s value to a decoded output vector.
-fn append_repeat(out: &mut Values, run_values: &PhysVec, k: usize, dict: Option<&Vec<String>>, n: usize) {
+fn append_repeat(
+    out: &mut Values,
+    run_values: &PhysVec,
+    k: usize,
+    dict: Option<&Vec<String>>,
+    n: usize,
+) {
     match (out, run_values) {
         (Values::Bool(o), PhysVec::Bool(v)) => o.extend(std::iter::repeat_n(v[k], n)),
         (Values::Int(o), PhysVec::Int(v)) => o.extend(std::iter::repeat_n(v[k], n)),
@@ -591,9 +631,30 @@ mod tests {
         assert_eq!(sc.decode().unwrap(), col);
         let runs = sc.rle_runs().unwrap();
         assert_eq!(runs.len(), 3);
-        assert_eq!(runs[0], RleRun { value: Value::Int(7), start: 0, count: 3 });
-        assert_eq!(runs[1], RleRun { value: Value::Null, start: 3, count: 2 });
-        assert_eq!(runs[2], RleRun { value: Value::Int(2), start: 5, count: 1 });
+        assert_eq!(
+            runs[0],
+            RleRun {
+                value: Value::Int(7),
+                start: 0,
+                count: 3
+            }
+        );
+        assert_eq!(
+            runs[1],
+            RleRun {
+                value: Value::Null,
+                start: 3,
+                count: 2
+            }
+        );
+        assert_eq!(
+            runs[2],
+            RleRun {
+                value: Value::Int(2),
+                start: 5,
+                count: 1
+            }
+        );
     }
 
     #[test]
@@ -652,24 +713,21 @@ mod tests {
         let vals: Vec<Option<i64>> = std::iter::repeat_n(Some(1), 100)
             .chain(std::iter::repeat_n(Some(2), 100))
             .collect();
-        let sc =
-            StoredColumn::encode(Field::new("x", DataType::Int), &int_col(&vals)).unwrap();
+        let sc = StoredColumn::encode(Field::new("x", DataType::Int), &int_col(&vals)).unwrap();
         assert_eq!(sc.codec_name(), "rle");
     }
 
     #[test]
     fn auto_picks_delta_for_sorted_unique() {
         let vals: Vec<Option<i64>> = (0..100).map(|i| Some(i * 3)).collect();
-        let sc =
-            StoredColumn::encode(Field::new("x", DataType::Int), &int_col(&vals)).unwrap();
+        let sc = StoredColumn::encode(Field::new("x", DataType::Int), &int_col(&vals)).unwrap();
         assert_eq!(sc.codec_name(), "delta");
     }
 
     #[test]
     fn auto_picks_plain_for_random() {
         let vals: Vec<Option<i64>> = (0..100).map(|i| Some((i * 7919) % 97)).collect();
-        let sc =
-            StoredColumn::encode(Field::new("x", DataType::Int), &int_col(&vals)).unwrap();
+        let sc = StoredColumn::encode(Field::new("x", DataType::Int), &int_col(&vals)).unwrap();
         assert_eq!(sc.codec_name(), "plain");
     }
 

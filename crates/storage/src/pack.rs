@@ -67,7 +67,9 @@ pub fn unpack(mut buf: &[u8]) -> Result<Database> {
     }
     let version = buf.get_u8();
     if version != VERSION {
-        return Err(TvError::Storage(format!("unsupported pack version {version}")));
+        return Err(TvError::Storage(format!(
+            "unsupported pack version {version}"
+        )));
     }
     let name = get_str(&mut buf)?;
     let db = Database::new(name);
@@ -138,7 +140,9 @@ pub fn unpack_table(mut buf: &[u8]) -> Result<Table> {
     let schema = Arc::new(Schema::new(
         columns.iter().map(|c| c.field.clone()).collect(),
     )?);
-    Ok(Table::from_encoded(name, schema, columns, sort_key, row_count))
+    Ok(Table::from_encoded(
+        name, schema, columns, sort_key, row_count,
+    ))
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -223,7 +227,11 @@ fn put_column(buf: &mut BytesMut, col: &StoredColumn) {
             buf.put_u8(0);
             put_phys(buf, p);
         }
-        ColumnData::Rle { values, counts, starts } => {
+        ColumnData::Rle {
+            values,
+            counts,
+            starts,
+        } => {
             buf.put_u8(1);
             put_phys(buf, values);
             buf.put_u32_le(counts.len() as u32);
@@ -301,7 +309,11 @@ fn get_column(buf: &mut &[u8]) -> Result<StoredColumn> {
             for _ in 0..n {
                 starts.push(checked_u64(buf)?);
             }
-            ColumnData::Rle { values, counts, starts }
+            ColumnData::Rle {
+                values,
+                counts,
+                starts,
+            }
         }
         2 => {
             if buf.remaining() < 8 {
@@ -433,7 +445,11 @@ mod tests {
             .map(|i| {
                 vec![
                     Value::Str(["AA", "DL", "WN"][i % 3].into()),
-                    if i % 7 == 0 { Value::Null } else { Value::Int(i as i64) },
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i as i64)
+                    },
                     Value::Real(i as f64 * 0.5),
                 ]
             })

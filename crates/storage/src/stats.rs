@@ -76,12 +76,7 @@ mod tests {
 
     #[test]
     fn basic_stats() {
-        let vals = vec![
-            Value::Int(3),
-            Value::Null,
-            Value::Int(1),
-            Value::Int(3),
-        ];
+        let vals = vec![Value::Int(3), Value::Null, Value::Int(1), Value::Int(3)];
         let s = ColumnStats::compute(&vals);
         assert_eq!(s.min, Some(Value::Int(1)));
         assert_eq!(s.max, Some(Value::Int(3)));

@@ -98,7 +98,12 @@ impl Table {
     }
 
     /// Decode a row range, optionally projecting a subset of columns.
-    pub fn scan_range(&self, start: usize, len: usize, projection: Option<&[usize]>) -> Result<Chunk> {
+    pub fn scan_range(
+        &self,
+        start: usize,
+        len: usize,
+        projection: Option<&[usize]>,
+    ) -> Result<Chunk> {
         let indices: Vec<usize> = match projection {
             Some(p) => p.to_vec(),
             None => (0..self.columns.len()).collect(),

@@ -60,7 +60,7 @@ pub use tabviz_workloads as workloads;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use tabviz_backend::{
-        Capabilities, ConnectionPool, DataSource, Dialect, LatencyModel, RemoteQuery,
+        Capabilities, ConnectionPool, DataSource, Dialect, FaultPlan, LatencyModel, RemoteQuery,
         ServerArchitecture, SimConfig, SimDb, TdeDataSource,
     };
     pub use tabviz_cache::{CacheOutcome, QueryCaches, QuerySpec};

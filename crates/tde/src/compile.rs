@@ -44,13 +44,22 @@ pub fn rewrite_distinct(plan: LogicalPlan, catalog: &dyn Catalog) -> Result<Logi
             input: Box::new(rewrite_distinct(*input, catalog)?),
             exprs,
         },
-        LogicalPlan::Join { left, right, on, join_type } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => LogicalPlan::Join {
             left: Box::new(rewrite_distinct(*left, catalog)?),
             right: Box::new(rewrite_distinct(*right, catalog)?),
             on,
             join_type,
         },
-        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
             input: Box::new(rewrite_distinct(*input, catalog)?),
             group_by,
             aggs,
@@ -77,7 +86,10 @@ pub fn simplify_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
             if predicate == Expr::Literal(Value::Bool(true)) {
                 input
             } else {
-                LogicalPlan::Select { input: Box::new(input), predicate }
+                LogicalPlan::Select {
+                    input: Box::new(input),
+                    predicate,
+                }
             }
         }
         LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
@@ -87,13 +99,22 @@ pub fn simplify_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
                 .map(|(e, n)| (simplify_expr(e), n))
                 .collect(),
         },
-        LogicalPlan::Join { left, right, on, join_type } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => LogicalPlan::Join {
             left: Box::new(simplify_plan(*left)?),
             right: Box::new(simplify_plan(*right)?),
             on,
             join_type,
         },
-        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
             input: Box::new(simplify_plan(*input)?),
             group_by: group_by
                 .into_iter()
@@ -134,31 +155,52 @@ pub fn simplify_expr(e: Expr) -> Expr {
                     (Expr::Literal(Value::Bool(true)), _) => r,
                     (_, Expr::Literal(Value::Bool(true))) => l,
                     (Expr::Literal(Value::Bool(false)), _)
-                    | (_, Expr::Literal(Value::Bool(false))) => {
-                        Expr::Literal(Value::Bool(false))
-                    }
-                    _ => Expr::Binary { op, left: Box::new(l), right: Box::new(r) },
+                    | (_, Expr::Literal(Value::Bool(false))) => Expr::Literal(Value::Bool(false)),
+                    _ => Expr::Binary {
+                        op,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
                 },
                 BinOp::Or => match (&l, &r) {
                     (Expr::Literal(Value::Bool(false)), _) => r,
                     (_, Expr::Literal(Value::Bool(false))) => l,
                     (Expr::Literal(Value::Bool(true)), _)
                     | (_, Expr::Literal(Value::Bool(true))) => Expr::Literal(Value::Bool(true)),
-                    _ => Expr::Binary { op, left: Box::new(l), right: Box::new(r) },
+                    _ => Expr::Binary {
+                        op,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
                 },
-                _ => Expr::Binary { op, left: Box::new(l), right: Box::new(r) },
+                _ => Expr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                },
             }
         }
         Expr::Unary { op, expr } => {
             let inner = simplify_expr(*expr);
             if op == UnaryOp::Not {
-                if let Expr::Unary { op: UnaryOp::Not, expr: inner2 } = inner {
+                if let Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: inner2,
+                } = inner
+                {
                     return *inner2;
                 }
             }
-            Expr::Unary { op, expr: Box::new(inner) }
+            Expr::Unary {
+                op,
+                expr: Box::new(inner),
+            }
         }
-        Expr::In { expr, mut list, negated } => {
+        Expr::In {
+            expr,
+            mut list,
+            negated,
+        } => {
             let inner = simplify_expr(*expr);
             list.sort();
             list.dedup();
@@ -169,7 +211,11 @@ pub fn simplify_expr(e: Expr) -> Expr {
                     right: Box::new(Expr::Literal(list.pop().unwrap())),
                 };
             }
-            Expr::In { expr: Box::new(inner), list, negated }
+            Expr::In {
+                expr: Box::new(inner),
+                list,
+                negated,
+            }
         }
         Expr::Between { expr, low, high } => Expr::Between {
             expr: Box::new(simplify_expr(*expr)),
@@ -246,7 +292,10 @@ mod tests {
             lit(false)
         );
         assert_eq!(simplify_expr(bin(BinOp::Or, lit(false), p.clone())), p);
-        assert_eq!(simplify_expr(bin(BinOp::Or, p.clone(), lit(true))), lit(true));
+        assert_eq!(
+            simplify_expr(bin(BinOp::Or, p.clone(), lit(true))),
+            lit(true)
+        );
     }
 
     #[test]
@@ -254,7 +303,10 @@ mod tests {
         let p = bin(BinOp::Eq, col("a"), lit("x"));
         let nn = Expr::Unary {
             op: UnaryOp::Not,
-            expr: Box::new(Expr::Unary { op: UnaryOp::Not, expr: Box::new(p.clone()) }),
+            expr: Box::new(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(p.clone()),
+            }),
         };
         assert_eq!(simplify_expr(nn), p);
         let single_in = Expr::In {
@@ -262,10 +314,7 @@ mod tests {
             list: vec!["x".into(), "x".into()],
             negated: false,
         };
-        assert_eq!(
-            simplify_expr(single_in),
-            bin(BinOp::Eq, col("a"), lit("x"))
-        );
+        assert_eq!(simplify_expr(single_in), bin(BinOp::Eq, col("a"), lit("x")));
     }
 
     #[test]

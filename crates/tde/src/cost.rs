@@ -56,19 +56,28 @@ mod tests {
 
     #[test]
     fn small_tables_stay_serial() {
-        let p = CostProfile { min_work_per_thread: 200_000, max_dop: 8 };
+        let p = CostProfile {
+            min_work_per_thread: 200_000,
+            max_dop: 8,
+        };
         assert_eq!(p.scan_dop(1_000, 2), 1);
     }
 
     #[test]
     fn big_tables_parallelize_up_to_cap() {
-        let p = CostProfile { min_work_per_thread: 200_000, max_dop: 8 };
+        let p = CostProfile {
+            min_work_per_thread: 200_000,
+            max_dop: 8,
+        };
         assert_eq!(p.scan_dop(10_000_000, 4), 8);
     }
 
     #[test]
     fn expensive_expressions_lower_the_threshold() {
-        let p = CostProfile { min_work_per_thread: 200_000, max_dop: 8 };
+        let p = CostProfile {
+            min_work_per_thread: 200_000,
+            max_dop: 8,
+        };
         let cheap = p.scan_dop(150_000, 1);
         let pricey = p.scan_dop(150_000, 24);
         assert_eq!(cheap, 1);

@@ -53,12 +53,16 @@ impl Tde {
 
     /// Open an empty in-memory engine.
     pub fn empty(name: &str) -> Self {
-        Tde { db: Arc::new(Database::new(name)) }
+        Tde {
+            db: Arc::new(Database::new(name)),
+        }
     }
 
     /// Open from a packed single-file database image.
     pub fn open_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
-        Ok(Tde { db: Arc::new(tabviz_storage::pack::unpack_from_file(path)?) })
+        Ok(Tde {
+            db: Arc::new(tabviz_storage::pack::unpack_from_file(path)?),
+        })
     }
 
     pub fn database(&self) -> &Arc<Database> {
@@ -138,9 +142,8 @@ fn conform(out: Chunk, wanted: &SchemaRef) -> Result<Chunk> {
         .names()
         .iter()
         .map(|n| {
-            have.index_of(n).map_err(|_| {
-                TvError::Exec(format!("planner lost output column '{n}'"))
-            })
+            have.index_of(n)
+                .map_err(|_| TvError::Exec(format!("planner lost output column '{n}'")))
         })
         .collect::<Result<_>>()?;
     Ok(out.project(&idx))

@@ -40,10 +40,7 @@ fn group_collations(schema: &SchemaRef, n_groups: usize) -> Vec<Collation> {
 }
 
 /// Assemble the output chunk from per-group representative values + states.
-fn finish_groups(
-    schema: &SchemaRef,
-    groups: Vec<(Vec<Value>, Vec<AggState>)>,
-) -> Result<Chunk> {
+fn finish_groups(schema: &SchemaRef, groups: Vec<(Vec<Value>, Vec<AggState>)>) -> Result<Chunk> {
     let rows: Vec<Vec<Value>> = groups
         .into_iter()
         .map(|(mut reps, states)| {
@@ -107,7 +104,10 @@ impl PhysOp for HashAggOp {
                 }
                 let entry = table.entry(key.clone()).or_insert_with(|| {
                     order.push(key);
-                    (reps, self.aggs.iter().map(|a| AggState::new(a.func)).collect())
+                    (
+                        reps,
+                        self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    )
                 });
                 for (ai, st) in entry.1.iter_mut().enumerate() {
                     match &ev.args[ai] {
@@ -315,7 +315,10 @@ mod tests {
         let mut rows = collect(&mut op);
         rows.sort();
         assert_eq!(rows.len(), 3);
-        let aa = rows.iter().find(|r| r[0] == Value::Str("AA".into())).unwrap();
+        let aa = rows
+            .iter()
+            .find(|r| r[0] == Value::Str("AA".into()))
+            .unwrap();
         assert_eq!(aa[1], Value::Int(3));
         assert_eq!(aa[2], Value::Int(33));
         assert_eq!(aa[3], Value::Real(11.0));
@@ -380,7 +383,7 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], Value::Int(0)); // COUNT
         assert_eq!(rows[0][1], Value::Null); // SUM
-        // Streaming variant agrees.
+                                             // Streaming variant agrees.
         let scan2 = ScanOp::new(Arc::clone(&t), vec![], None);
         let mut sop = StreamAggOp::new(Box::new(scan2), vec![], agg_calls(), schema);
         let srows = collect(&mut sop);
@@ -403,8 +406,9 @@ mod tests {
     #[test]
     fn ci_collation_merges_groups() {
         let schema = Arc::new(
-            Schema::new(vec![Field::new("c", DataType::Str)
-                .with_collation(Collation::CaseInsensitive)])
+            Schema::new(vec![
+                Field::new("c", DataType::Str).with_collation(Collation::CaseInsensitive)
+            ])
             .unwrap(),
         );
         let chunk = Chunk::from_rows(
@@ -422,12 +426,7 @@ mod tests {
         )
         .unwrap();
         let scan = ScanOp::new(Arc::clone(&t), vec![(0, 3)], None);
-        let mut op = HashAggOp::new(
-            Box::new(scan),
-            vec![(col("c"), "c".into())],
-            calls,
-            out,
-        );
+        let mut op = HashAggOp::new(Box::new(scan), vec![(col("c"), "c".into())], calls, out);
         let rows = collect(&mut op);
         assert_eq!(rows.len(), 2, "AA and aa should merge under CI collation");
     }

@@ -115,7 +115,11 @@ impl ExchangeOp {
             drop(tx);
             rxs.push(rx);
         }
-        self.state = Some(Running { rxs, current: 0, handles });
+        self.state = Some(Running {
+            rxs,
+            current: 0,
+            handles,
+        });
         Ok(())
     }
 

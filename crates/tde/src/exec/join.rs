@@ -36,8 +36,10 @@ pub struct JoinBuild {
 impl JoinBuild {
     /// Build the hash table over `key_cols` of `chunk`.
     pub fn build(chunk: Chunk, key_cols: &[usize], schema: &SchemaRef) -> Result<Self> {
-        let key_collations: Vec<Collation> =
-            key_cols.iter().map(|&i| schema.field(i).collation).collect();
+        let key_collations: Vec<Collation> = key_cols
+            .iter()
+            .map(|&i| schema.field(i).collation)
+            .collect();
         let mut index: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(chunk.len());
         for row in 0..chunk.len() {
             let mut key = Vec::with_capacity(key_cols.len());
@@ -124,7 +126,11 @@ impl PhysOp for HashJoinOp {
                     }
                     key.push(normalize_key(v, build.key_collations[k]));
                 }
-                let matches = if has_null { None } else { build.index.get(&key) };
+                let matches = if has_null {
+                    None
+                } else {
+                    build.index.get(&key)
+                };
                 match matches {
                     Some(rows) => {
                         for &br in rows {
@@ -159,7 +165,10 @@ impl PhysOp for HashJoinOp {
                     })
                     .collect();
                 let dtype = self.schema.field(probe_part.num_columns() + ci).dtype;
-                cols.push(tabviz_common::ColumnVec::from_iter_typed(dtype, values.iter())?);
+                cols.push(tabviz_common::ColumnVec::from_iter_typed(
+                    dtype,
+                    values.iter(),
+                )?);
             }
             debug_assert_eq!(cols.len(), self.schema.len());
             let out = Chunk::new(Arc::clone(&self.schema), cols).map_err(|e| {
@@ -244,7 +253,10 @@ mod tests {
     fn inner_join_drops_unmatched() {
         let out = run(&join_plan(JoinType::Inner));
         assert_eq!(out.len(), 3);
-        assert_eq!(out.schema().names(), vec!["carrier", "delay", "code", "name"]);
+        assert_eq!(
+            out.schema().names(),
+            vec!["carrier", "delay", "code", "name"]
+        );
         assert_eq!(out.row(0)[3], Value::Str("American".into()));
     }
 
@@ -263,9 +275,7 @@ mod tests {
 
     #[test]
     fn null_keys_never_match() {
-        let schema = Arc::new(
-            Schema::new(vec![Field::new("k", DataType::Int)]).unwrap(),
-        );
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int)]).unwrap());
         let with_null = Chunk::from_rows(
             Arc::clone(&schema),
             &[vec![Value::Null], vec![Value::Int(1)]],
@@ -311,8 +321,9 @@ mod tests {
     #[test]
     fn collated_join_keys() {
         let ci_schema = Arc::new(
-            Schema::new(vec![Field::new("k", DataType::Str)
-                .with_collation(Collation::CaseInsensitive)])
+            Schema::new(vec![
+                Field::new("k", DataType::Str).with_collation(Collation::CaseInsensitive)
+            ])
             .unwrap(),
         );
         let upper = Chunk::from_rows(Arc::clone(&ci_schema), &[vec!["AA".into()]]).unwrap();

@@ -30,7 +30,12 @@ pub trait PhysOp: Send {
 /// Instantiate the operator tree for a physical plan.
 pub fn make_op(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
     Ok(match plan {
-        PhysPlan::Scan { table, ranges, projection, .. } => Box::new(ScanOp::new(
+        PhysPlan::Scan {
+            table,
+            ranges,
+            projection,
+            ..
+        } => Box::new(ScanOp::new(
             Arc::clone(table),
             ranges.clone(),
             projection.clone(),
@@ -47,7 +52,12 @@ pub fn make_op(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
                 schema,
             })
         }
-        PhysPlan::HashJoin { probe, build, probe_keys, join_type } => {
+        PhysPlan::HashJoin {
+            probe,
+            build,
+            probe_keys,
+            join_type,
+        } => {
             let schema = plan.schema()?;
             Box::new(join::HashJoinOp::new(
                 make_op(probe)?,
@@ -57,11 +67,25 @@ pub fn make_op(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
                 schema,
             )?)
         }
-        PhysPlan::HashAgg { input, group_by, aggs, .. } => {
+        PhysPlan::HashAgg {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
             let schema = plan.schema()?;
-            Box::new(agg::HashAggOp::new(make_op(input)?, group_by.clone(), aggs.clone(), schema))
+            Box::new(agg::HashAggOp::new(
+                make_op(input)?,
+                group_by.clone(),
+                aggs.clone(),
+                schema,
+            ))
         }
-        PhysPlan::StreamAgg { input, group_by, aggs } => {
+        PhysPlan::StreamAgg {
+            input,
+            group_by,
+            aggs,
+        } => {
             let schema = plan.schema()?;
             Box::new(agg::StreamAggOp::new(
                 make_op(input)?,
@@ -100,7 +124,11 @@ pub struct ScanOp {
 }
 
 impl ScanOp {
-    pub fn new(table: Arc<Table>, ranges: Vec<(usize, usize)>, projection: Option<Vec<usize>>) -> Self {
+    pub fn new(
+        table: Arc<Table>,
+        ranges: Vec<(usize, usize)>,
+        projection: Option<Vec<usize>>,
+    ) -> Self {
         let schema = match &projection {
             None => Arc::clone(table.schema()),
             Some(idx) => Arc::new(table.schema().project(idx)),
@@ -214,7 +242,10 @@ impl PhysOp for SortOp {
             return Ok(None);
         }
         self.done = true;
-        let mut input = self.input.take().ok_or_else(|| TvError::Exec("sort re-run".into()))?;
+        let mut input = self
+            .input
+            .take()
+            .ok_or_else(|| TvError::Exec("sort re-run".into()))?;
         let schema = input.schema();
         let mut chunks = Vec::new();
         while let Some(c) = input.next()? {
@@ -248,7 +279,10 @@ impl PhysOp for TopNOp {
             return Ok(None);
         }
         self.done = true;
-        let mut input = self.input.take().ok_or_else(|| TvError::Exec("topn re-run".into()))?;
+        let mut input = self
+            .input
+            .take()
+            .ok_or_else(|| TvError::Exec("topn re-run".into()))?;
         let schema = input.schema();
         let keys = key_indices(&schema, &self.keys)?;
         let mut buffer: Option<Chunk> = None;

@@ -71,7 +71,11 @@ pub fn optimize(
 /// Split a conjunction into its conjuncts.
 pub fn split_conjuncts(e: &Expr) -> Vec<Expr> {
     match e {
-        Expr::Binary { op: BinOp::And, left, right } => {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
             let mut out = split_conjuncts(left);
             out.extend(split_conjuncts(right));
             out
@@ -91,13 +95,22 @@ fn push_down_filters(plan: LogicalPlan, catalog: &dyn Catalog) -> Result<Logical
             input: Box::new(push_down_filters(*input, catalog)?),
             exprs,
         }),
-        LogicalPlan::Join { left, right, on, join_type } => Ok(LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => Ok(LogicalPlan::Join {
             left: Box::new(push_down_filters(*left, catalog)?),
             right: Box::new(push_down_filters(*right, catalog)?),
             on,
             join_type,
         }),
-        LogicalPlan::Aggregate { input, group_by, aggs } => Ok(LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Ok(LogicalPlan::Aggregate {
             input: Box::new(push_down_filters(*input, catalog)?),
             group_by,
             aggs,
@@ -127,12 +140,18 @@ fn push_predicate(
 ) -> Result<LogicalPlan> {
     match input {
         // Merge adjacent selects, then continue through the lower one's input.
-        LogicalPlan::Select { input: inner, predicate } => {
+        LogicalPlan::Select {
+            input: inner,
+            predicate,
+        } => {
             let mut all = conjuncts;
             all.extend(split_conjuncts(&predicate));
             push_predicate(*inner, all, catalog)
         }
-        LogicalPlan::Project { input: inner, exprs } => {
+        LogicalPlan::Project {
+            input: inner,
+            exprs,
+        } => {
             // A conjunct sinks when every column it uses is a pass-through
             // column reference in the projection.
             let mut below = Vec::new();
@@ -158,10 +177,18 @@ fn push_predicate(
             if !below.is_empty() {
                 new_input = push_predicate(new_input, below, catalog)?;
             }
-            let projected = LogicalPlan::Project { input: Box::new(new_input), exprs };
+            let projected = LogicalPlan::Project {
+                input: Box::new(new_input),
+                exprs,
+            };
             Ok(wrap_select(projected, above))
         }
-        LogicalPlan::Join { left, right, on, join_type } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
             let ls = left.schema(catalog)?;
             let rs = right.schema(catalog)?;
             let mut to_left = Vec::new();
@@ -198,7 +225,11 @@ fn push_predicate(
             };
             Ok(wrap_select(joined, above))
         }
-        LogicalPlan::Aggregate { input: inner, group_by, aggs } => {
+        LogicalPlan::Aggregate {
+            input: inner,
+            group_by,
+            aggs,
+        } => {
             // Conjuncts over pass-through group columns sink below the
             // aggregate (classic group-key pushdown).
             let mut below = Vec::new();
@@ -234,7 +265,10 @@ fn push_predicate(
         LogicalPlan::Order { input: inner, keys } => {
             // Filtering commutes with sorting.
             let pushed = push_predicate(*inner, conjuncts, catalog)?;
-            Ok(LogicalPlan::Order { input: Box::new(pushed), keys })
+            Ok(LogicalPlan::Order {
+                input: Box::new(pushed),
+                keys,
+            })
         }
         // TopN truncates: filtering before vs after differs. Stay above.
         topn @ LogicalPlan::TopN { .. } => Ok(wrap_select(topn, conjuncts)),
@@ -289,7 +323,10 @@ fn prune_columns(
                     cols = existing;
                 }
             }
-            Ok(LogicalPlan::TableScan { table, projection: Some(cols) })
+            Ok(LogicalPlan::TableScan {
+                table,
+                projection: Some(cols),
+            })
         }
         LogicalPlan::Select { input, predicate } => {
             let child_req = required.map(|mut r| {
@@ -326,7 +363,11 @@ fn prune_columns(
                 exprs: kept,
             })
         }
-        LogicalPlan::Aggregate { input, group_by, aggs } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let kept_aggs = match &required {
                 None => aggs,
                 Some(r) => aggs.into_iter().filter(|a| r.contains(&a.alias)).collect(),
@@ -346,7 +387,12 @@ fn prune_columns(
                 aggs: kept_aggs,
             })
         }
-        LogicalPlan::Join { left, right, on, join_type } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
             let ls = left.schema(catalog)?;
             let rs = right.schema(catalog)?;
             // Columns each side must produce for the consumer.
@@ -366,8 +412,8 @@ fn prune_columns(
             // the surviving side.
             if config.enable_join_culling && required.is_some() {
                 let right_unique = unique_columns(&right, catalog)?;
-                let right_key_unique = !on.is_empty()
-                    && on.iter().all(|(_, r)| right_unique.contains(r));
+                let right_key_unique =
+                    !on.is_empty() && on.iter().all(|(_, r)| right_unique.contains(r));
                 let can_cull_right = right_out.is_empty()
                     && right_key_unique
                     && (join_type == JoinType::Left
@@ -376,8 +422,8 @@ fn prune_columns(
                     return prune_columns(*left, required, catalog, config);
                 }
                 let left_unique = unique_columns(&left, catalog)?;
-                let left_key_unique = !on.is_empty()
-                    && on.iter().all(|(l, _)| left_unique.contains(l));
+                let left_key_unique =
+                    !on.is_empty() && on.iter().all(|(l, _)| left_unique.contains(l));
                 let can_cull_left = left_out.is_empty()
                     && left_key_unique
                     && join_type == JoinType::Inner
@@ -446,7 +492,11 @@ fn strip_redundant_orders(plan: LogicalPlan, order_irrelevant: bool) -> LogicalP
             keys,
             n,
         },
-        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
             input: Box::new(strip_redundant_orders(*input, true)),
             group_by,
             aggs,
@@ -459,7 +509,12 @@ fn strip_redundant_orders(plan: LogicalPlan, order_irrelevant: bool) -> LogicalP
             input: Box::new(strip_redundant_orders(*input, order_irrelevant)),
             exprs,
         },
-        LogicalPlan::Join { left, right, on, join_type } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => LogicalPlan::Join {
             // The build (right) side's order never matters for a hash join.
             left: Box::new(strip_redundant_orders(*left, order_irrelevant)),
             right: Box::new(strip_redundant_orders(*right, true)),
@@ -513,7 +568,10 @@ mod tests {
     #[test]
     fn filter_sinks_below_project_and_order() {
         let plan = LogicalPlan::scan("flights")
-            .project(vec![(col("carrier"), "c".into()), (col("delay"), "d".into())])
+            .project(vec![
+                (col("carrier"), "c".into()),
+                (col("delay"), "d".into()),
+            ])
             .order(vec![SortKey::asc("c")])
             .select(bin(BinOp::Gt, col("d"), lit(10i64)));
         let optimized = opt(plan);
@@ -571,7 +629,10 @@ mod tests {
         let text = opt(plan).canonical_text();
         let agg_pos = text.find("Aggregate").unwrap();
         let sel_pos = text.find("Select").unwrap();
-        assert!(agg_pos < sel_pos, "filter should sink below aggregate:\n{text}");
+        assert!(
+            agg_pos < sel_pos,
+            "filter should sink below aggregate:\n{text}"
+        );
     }
 
     #[test]
@@ -593,7 +654,10 @@ mod tests {
             vec![AggCall::new(AggFunc::Avg, Some(col("delay")), "d")],
         );
         let text = opt(plan).canonical_text();
-        assert!(text.contains("TableScan flights [carrier, delay]"), "{text}");
+        assert!(
+            text.contains("TableScan flights [carrier, delay]"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -664,7 +728,10 @@ mod tests {
                 JoinType::Inner,
             )
             .aggregate(vec![(col("carrier"), "carrier".into())], vec![]);
-        let cfg = OptimizerConfig { enable_join_culling: false, ..Default::default() };
+        let cfg = OptimizerConfig {
+            enable_join_culling: false,
+            ..Default::default()
+        };
         let text = optimize(plan, &catalog(), &cfg).unwrap().canonical_text();
         assert!(text.contains("Join"));
     }

@@ -86,7 +86,10 @@ impl Par {
                 if branches.len() == 1 {
                     branches.into_iter().next().expect("len checked")
                 } else {
-                    PhysPlan::Exchange { inputs: branches, ordered: false }
+                    PhysPlan::Exchange {
+                        inputs: branches,
+                        ordered: false,
+                    }
                 }
             }
         }
@@ -110,7 +113,12 @@ fn go(
     agg_groups: Option<&[String]>,
 ) -> Result<Par> {
     match plan {
-        PhysPlan::Scan { table, ranges, projection, via_rle_index } => {
+        PhysPlan::Scan {
+            table,
+            ranges,
+            projection,
+            via_rle_index,
+        } => {
             let rows: usize = ranges.iter().map(|&(_, l)| l).sum();
             let dop = opts.profile.scan_dop(rows, expr_cost);
             if dop <= 1 {
@@ -217,7 +225,12 @@ fn go(
 
         // The probe side participates in the main parallelism; the build
         // side becomes its own parallel unit, shared across branches.
-        PhysPlan::HashJoin { probe, build, probe_keys, join_type } => {
+        PhysPlan::HashJoin {
+            probe,
+            build,
+            probe_keys,
+            join_type,
+        } => {
             let built_plan = parallelize(&build.plan, opts)?;
             let shared = Arc::new(BuildSide::new(
                 built_plan,
@@ -234,7 +247,11 @@ fn go(
                 join_type: *join_type,
             });
             Ok(match par {
-                Par::Parallel { branches, ordered_fractions, .. } => Par::Parallel {
+                Par::Parallel {
+                    branches,
+                    ordered_fractions,
+                    ..
+                } => Par::Parallel {
                     branches,
                     groups_partitioned: false,
                     ordered_fractions,
@@ -243,12 +260,17 @@ fn go(
             })
         }
 
-        PhysPlan::HashAgg { input, group_by, aggs, .. } => {
-            parallel_aggregate(input, group_by, aggs, false, opts, expr_cost)
-        }
-        PhysPlan::StreamAgg { input, group_by, aggs } => {
-            parallel_aggregate(input, group_by, aggs, true, opts, expr_cost)
-        }
+        PhysPlan::HashAgg {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => parallel_aggregate(input, group_by, aggs, false, opts, expr_cost),
+        PhysPlan::StreamAgg {
+            input,
+            group_by,
+            aggs,
+        } => parallel_aggregate(input, group_by, aggs, true, opts, expr_cost),
 
         // Stop-and-go: close parallelism below.
         PhysPlan::Sort { input, keys } => {
@@ -273,7 +295,10 @@ fn go(
                         })
                         .collect();
                     Ok(Par::Serial(PhysPlan::TopN {
-                        input: Box::new(PhysPlan::Exchange { inputs: local, ordered: false }),
+                        input: Box::new(PhysPlan::Exchange {
+                            inputs: local,
+                            ordered: false,
+                        }),
                         keys: keys.clone(),
                         n: *n,
                     }))
@@ -294,7 +319,11 @@ fn go(
 fn map_branches(par: Par, f: impl Fn(PhysPlan) -> PhysPlan) -> Par {
     match par {
         Par::Serial(p) => Par::Serial(f(p)),
-        Par::Parallel { branches, groups_partitioned, ordered_fractions } => Par::Parallel {
+        Par::Parallel {
+            branches,
+            groups_partitioned,
+            ordered_fractions,
+        } => Par::Parallel {
             branches: branches.into_iter().map(f).collect(),
             groups_partitioned,
             ordered_fractions,
@@ -372,7 +401,11 @@ fn parallel_aggregate(
             };
             Ok(Par::Serial(node))
         }
-        Par::Parallel { branches, groups_partitioned, ordered_fractions } => {
+        Par::Parallel {
+            branches,
+            groups_partitioned,
+            ordered_fractions,
+        } => {
             if groups_partitioned {
                 // Lemma 3: each branch owns whole groups — aggregate fully
                 // per branch, no global aggregate needed. Range fractions
@@ -407,25 +440,28 @@ fn parallel_aggregate(
             // Sect. 4.2.4's rejected alternative: a single streaming
             // aggregate above an order-preserving Exchange. Contiguous
             // ordered fractions reconstruct the sorted input exactly.
-            if opts.prefer_ordered_exchange_streaming
-                && input_was_streaming
-                && ordered_fractions
-            {
+            if opts.prefer_ordered_exchange_streaming && input_was_streaming && ordered_fractions {
                 return Ok(Par::Serial(PhysPlan::StreamAgg {
-                    input: Box::new(PhysPlan::Exchange { inputs: branches, ordered: true }),
+                    input: Box::new(PhysPlan::Exchange {
+                        inputs: branches,
+                        ordered: true,
+                    }),
                     group_by: group_by.to_vec(),
                     aggs: aggs.to_vec(),
                 }));
             }
 
-            let decomposable = opts.enable_local_global
-                && aggs.iter().all(|a| a.func.supports_local_global());
+            let decomposable =
+                opts.enable_local_global && aggs.iter().all(|a| a.func.supports_local_global());
             if !decomposable {
                 // COUNTD (or local/global disabled): Exchange, then one
                 // global hash aggregate — "aggregation is still a
                 // serialization point".
                 let node = PhysPlan::HashAgg {
-                    input: Box::new(PhysPlan::Exchange { inputs: branches, ordered: false }),
+                    input: Box::new(PhysPlan::Exchange {
+                        inputs: branches,
+                        ordered: false,
+                    }),
                     group_by: group_by.to_vec(),
                     aggs: aggs.to_vec(),
                     mode: AggMode::Single,
@@ -457,7 +493,11 @@ fn build_local_global(
                 let sum_name = format!("__{}_sum", a.alias);
                 let cnt_name = format!("__{}_cnt", a.alias);
                 partial_calls.push(AggCall::new(AggFunc::Sum, a.arg.clone(), sum_name.clone()));
-                partial_calls.push(AggCall::new(AggFunc::Count, a.arg.clone(), cnt_name.clone()));
+                partial_calls.push(AggCall::new(
+                    AggFunc::Count,
+                    a.arg.clone(),
+                    cnt_name.clone(),
+                ));
                 final_calls.push(AggCall::new(AggFunc::Sum, Some(col(&sum_name)), sum_name));
                 final_calls.push(AggCall::new(AggFunc::Sum, Some(col(&cnt_name)), cnt_name));
             }
@@ -486,7 +526,10 @@ fn build_local_global(
         .map(|(_, name)| (col(name.clone()), name.clone()))
         .collect();
     let global = PhysPlan::HashAgg {
-        input: Box::new(PhysPlan::Exchange { inputs: locals, ordered: false }),
+        input: Box::new(PhysPlan::Exchange {
+            inputs: locals,
+            ordered: false,
+        }),
         group_by: final_groups,
         aggs: final_calls,
         mode: AggMode::Final,
@@ -538,7 +581,9 @@ mod tests {
             ])
             .unwrap(),
         );
-        let carriers = ["AA", "AS", "B6", "DL", "EV", "F9", "HA", "NK", "OO", "UA", "VX", "WN"];
+        let carriers = [
+            "AA", "AS", "B6", "DL", "EV", "F9", "HA", "NK", "OO", "UA", "VX", "WN",
+        ];
         let data: Vec<Vec<Value>> = (0..rows)
             .map(|i| {
                 vec![
@@ -550,7 +595,8 @@ mod tests {
         let chunk = Chunk::from_rows(schema, &data).unwrap();
         let keys: &[&str] = if sorted { &["carrier"] } else { &[] };
         let db = StdArc::new(Database::new("d"));
-        db.put(Table::from_chunk("flights", &chunk, keys).unwrap()).unwrap();
+        db.put(Table::from_chunk("flights", &chunk, keys).unwrap())
+            .unwrap();
         db
     }
 
@@ -568,7 +614,10 @@ mod tests {
 
     fn small_profile(max_dop: usize) -> ParallelOptions {
         ParallelOptions {
-            profile: CostProfile { min_work_per_thread: 1_000, max_dop },
+            profile: CostProfile {
+                min_work_per_thread: 1_000,
+                max_dop,
+            },
             ..Default::default()
         }
     }
@@ -668,7 +717,10 @@ mod tests {
             .topn(5, vec![SortKey::desc("delay")]);
         let (par_plan, out) = plan_and_run(&db, &logical, &small_profile(4));
         let text = par_plan.explain();
-        assert!(text.matches("TopN").count() >= 2, "local+global TopN: {text}");
+        assert!(
+            text.matches("TopN").count() >= 2,
+            "local+global TopN: {text}"
+        );
         assert_eq!(out.len(), 5);
         assert_eq!(out.row(0)[1], Value::Int(109));
     }
@@ -685,17 +737,15 @@ mod tests {
             ])
             .unwrap(),
         );
-        let drows: Vec<Vec<Value>> = ["AA", "AS", "B6", "DL", "EV", "F9", "HA", "NK", "OO", "UA", "VX", "WN"]
-            .iter()
-            .map(|c| vec![Value::Str((*c).into()), Value::Str(format!("{c} Airlines"))])
-            .collect();
+        let drows: Vec<Vec<Value>> = [
+            "AA", "AS", "B6", "DL", "EV", "F9", "HA", "NK", "OO", "UA", "VX", "WN",
+        ]
+        .iter()
+        .map(|c| vec![Value::Str((*c).into()), Value::Str(format!("{c} Airlines"))])
+        .collect();
         db.put(
-            Table::from_chunk(
-                "carriers",
-                &Chunk::from_rows(dschema, &drows).unwrap(),
-                &[],
-            )
-            .unwrap(),
+            Table::from_chunk("carriers", &Chunk::from_rows(dschema, &drows).unwrap(), &[])
+                .unwrap(),
         )
         .unwrap();
         let logical = LogicalPlan::scan("flights")
@@ -713,7 +763,9 @@ mod tests {
         assert!(text.contains("HashJoin"), "{text}");
         assert!(text.contains("Exchange"), "{text}");
         assert_eq!(out.len(), 12);
-        let total: i64 = (0..out.len()).map(|i| out.row(i)[1].as_int().unwrap()).sum();
+        let total: i64 = (0..out.len())
+            .map(|i| out.row(i)[1].as_int().unwrap())
+            .sum();
         assert_eq!(total, 20_000);
     }
 

@@ -128,14 +128,19 @@ pub enum PhysPlan {
     /// branches in order, preserving the input's global sort order — the
     /// Sect. 4.2.4 variant the paper evaluated ("variations of the parallel
     /// plans with ... order-preserving Exchange").
-    Exchange { inputs: Vec<PhysPlan>, ordered: bool },
+    Exchange {
+        inputs: Vec<PhysPlan>,
+        ordered: bool,
+    },
 }
 
 impl PhysPlan {
     /// Output schema of this physical node.
     pub fn schema(&self) -> Result<SchemaRef> {
         match self {
-            PhysPlan::Scan { table, projection, .. } => Ok(match projection {
+            PhysPlan::Scan {
+                table, projection, ..
+            } => Ok(match projection {
                 None => Arc::clone(table.schema()),
                 Some(idx) => Arc::new(table.schema().project(idx)),
             }),
@@ -156,11 +161,20 @@ impl PhysPlan {
             PhysPlan::HashJoin { probe, build, .. } => {
                 Ok(Arc::new(probe.schema()?.join(&build.schema)))
             }
-            PhysPlan::HashAgg { input, group_by, aggs, mode } => {
+            PhysPlan::HashAgg {
+                input,
+                group_by,
+                aggs,
+                mode,
+            } => {
                 let s = input.schema()?;
                 agg_schema(s.as_ref(), group_by, aggs, *mode)
             }
-            PhysPlan::StreamAgg { input, group_by, aggs } => {
+            PhysPlan::StreamAgg {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let s = input.schema()?;
                 agg_schema(s.as_ref(), group_by, aggs, AggMode::Single)
             }
@@ -183,14 +197,22 @@ impl PhysPlan {
         use std::fmt::Write;
         let pad = "  ".repeat(depth);
         match self {
-            PhysPlan::Scan { table, ranges, projection, via_rle_index } => {
+            PhysPlan::Scan {
+                table,
+                ranges,
+                projection,
+                via_rle_index,
+            } => {
                 let rows: usize = ranges.iter().map(|&(_, l)| l).sum();
                 let _ = write!(out, "{pad}Scan {} rows={rows}", table.name());
                 if *via_rle_index {
                     let _ = write!(out, " via-rle-index ranges={}", ranges.len());
                 }
                 if let Some(p) = projection {
-                    let names: Vec<&str> = p.iter().map(|&i| table.schema().field(i).name.as_str()).collect();
+                    let names: Vec<&str> = p
+                        .iter()
+                        .map(|&i| table.schema().field(i).name.as_str())
+                        .collect();
                     let _ = write!(out, " [{}]", names.join(", "));
                 }
                 let _ = writeln!(out);
@@ -204,22 +226,56 @@ impl PhysPlan {
                 let _ = writeln!(out, "{pad}Project {}", items.join(", "));
                 input.render(out, depth + 1);
             }
-            PhysPlan::HashJoin { probe, build, probe_keys, join_type } => {
-                let _ = writeln!(out, "{pad}HashJoin({join_type:?}) probe-keys=[{}]", probe_keys.join(", "));
+            PhysPlan::HashJoin {
+                probe,
+                build,
+                probe_keys,
+                join_type,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashJoin({join_type:?}) probe-keys=[{}]",
+                    probe_keys.join(", ")
+                );
                 probe.render(out, depth + 1);
                 let _ = writeln!(out, "{}build (shared):", "  ".repeat(depth + 1));
                 build.plan.render(out, depth + 2);
             }
-            PhysPlan::HashAgg { input, group_by, aggs, mode } => {
-                let gb: Vec<String> = group_by.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+            PhysPlan::HashAgg {
+                input,
+                group_by,
+                aggs,
+                mode,
+            } => {
+                let gb: Vec<String> = group_by
+                    .iter()
+                    .map(|(e, n)| format!("{e} AS {n}"))
+                    .collect();
                 let ag: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
-                let _ = writeln!(out, "{pad}HashAgg({mode:?}) [{}] [{}]", gb.join(", "), ag.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{pad}HashAgg({mode:?}) [{}] [{}]",
+                    gb.join(", "),
+                    ag.join(", ")
+                );
                 input.render(out, depth + 1);
             }
-            PhysPlan::StreamAgg { input, group_by, aggs } => {
-                let gb: Vec<String> = group_by.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+            PhysPlan::StreamAgg {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let gb: Vec<String> = group_by
+                    .iter()
+                    .map(|(e, n)| format!("{e} AS {n}"))
+                    .collect();
                 let ag: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
-                let _ = writeln!(out, "{pad}StreamAgg [{}] [{}]", gb.join(", "), ag.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{pad}StreamAgg [{}] [{}]",
+                    gb.join(", "),
+                    ag.join(", ")
+                );
                 input.render(out, depth + 1);
             }
             PhysPlan::Sort { input, keys } => {
@@ -353,7 +409,12 @@ pub fn create_physical(
             input: Box::new(create_physical(input, tables, catalog, options)?),
             exprs: exprs.clone(),
         }),
-        LogicalPlan::Join { left, right, on, join_type } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
             let probe = create_physical(left, tables, catalog, options)?;
             let build_plan = create_physical(right, tables, catalog, options)?;
             let build_schema = build_plan.schema()?;
@@ -369,7 +430,11 @@ pub fn create_physical(
                 join_type: *join_type,
             })
         }
-        LogicalPlan::Aggregate { input, group_by, aggs } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let child = create_physical(input, tables, catalog, options)?;
             // Streaming aggregate when the input arrives grouped: the sort
             // order's first k columns must be exactly the group column set.

@@ -94,7 +94,9 @@ pub fn unique_columns(plan: &LogicalPlan, catalog: &dyn Catalog) -> Result<BTree
                 .collect()
         }
         // An n:1 join (unique build key) preserves probe-side uniqueness.
-        LogicalPlan::Join { left, right, on, .. } => {
+        LogicalPlan::Join {
+            left, right, on, ..
+        } => {
             let right_unique = unique_columns(right, catalog)?;
             let n_to_1 = on.iter().all(|(_, r)| right_unique.contains(r));
             if n_to_1 {
@@ -172,10 +174,7 @@ mod tests {
         let cat = catalog();
         let p = LogicalPlan::scan("flights")
             .select(bin(BinOp::Gt, col("delay"), lit(0i64)))
-            .project(vec![
-                (col("carrier"), "c".into()),
-                (col("day"), "d".into()),
-            ]);
+            .project(vec![(col("carrier"), "c".into()), (col("day"), "d".into())]);
         assert_eq!(sort_order(&p, &cat).unwrap(), vec!["c", "d"]);
     }
 
@@ -194,10 +193,8 @@ mod tests {
         let cat = catalog();
         let o = LogicalPlan::scan("flights").order(vec![SortKey::desc("delay")]);
         assert_eq!(sort_order(&o, &cat).unwrap(), vec!["delay"]);
-        let a = LogicalPlan::scan("flights").aggregate(
-            vec![(col("carrier"), "carrier".into())],
-            vec![],
-        );
+        let a = LogicalPlan::scan("flights")
+            .aggregate(vec![(col("carrier"), "carrier".into())], vec![]);
         assert!(sort_order(&a, &cat).unwrap().is_empty());
     }
 

@@ -33,7 +33,11 @@ fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
     )
     .prop_map(|rows| {
         rows.into_iter()
-            .map(|(k, g, v)| Row { k: k.to_string(), g, v })
+            .map(|(k, g, v)| Row {
+                k: k.to_string(),
+                g,
+                v,
+            })
             .collect()
     })
 }
@@ -79,10 +83,7 @@ impl Filt {
 fn reference(rows: &[Row], filt: &Filt, by_key: bool, by_g: bool) -> Vec<Vec<Value>> {
     let mut groups: BTreeMap<(Option<String>, Option<i64>), Vec<&Row>> = BTreeMap::new();
     for r in rows.iter().filter(|r| filt.keep(r)) {
-        let key = (
-            by_key.then(|| r.k.clone()),
-            by_g.then_some(r.g),
-        );
+        let key = (by_key.then(|| r.k.clone()), by_g.then_some(r.g));
         groups.entry(key).or_default().push(r);
     }
     let mut out = Vec::new();
@@ -104,7 +105,12 @@ fn reference(rows: &[Row], filt: &Filt, by_key: bool, by_g: bool) -> Vec<Vec<Val
             Value::Int(vs.iter().sum())
         });
         // MIN(v)
-        row.push(vs.iter().min().map(|&m| Value::Int(m)).unwrap_or(Value::Null));
+        row.push(
+            vs.iter()
+                .min()
+                .map(|&m| Value::Int(m))
+                .unwrap_or(Value::Null),
+        );
         // AVG(v)
         row.push(if vs.is_empty() {
             Value::Null
@@ -143,7 +149,8 @@ fn table_of(rows: &[Row], sorted: bool) -> Arc<Database> {
     let chunk = Chunk::from_rows(schema, &data).unwrap();
     let keys: &[&str] = if sorted { &["k"] } else { &[] };
     let db = Arc::new(Database::new("oracle"));
-    db.put(Table::from_chunk("t", &chunk, keys).unwrap()).unwrap();
+    db.put(Table::from_chunk("t", &chunk, keys).unwrap())
+        .unwrap();
     db
 }
 

@@ -295,7 +295,10 @@ mod tests {
     #[test]
     fn quoted_fields_and_escapes() {
         let text = "name,notes\n\"O'Hare, Chicago\",\"said \"\"hi\"\"\"\n\"multi\nline\",x\n";
-        let opts = CsvOptions { header: HeaderMode::Yes, ..Default::default() };
+        let opts = CsvOptions {
+            header: HeaderMode::Yes,
+            ..Default::default()
+        };
         let c = parse_csv(text, &opts).unwrap();
         assert_eq!(c.len(), 2);
         assert_eq!(c.row(0)[0], Value::Str("O'Hare, Chicago".into()));
@@ -332,7 +335,9 @@ mod tests {
         assert_eq!(c.row(0)[0], Value::Str("1".into()));
         // Arity mismatch rejected.
         let bad = CsvOptions {
-            schema: Some(Arc::new(Schema::new(vec![Field::new("a", DataType::Str)]).unwrap())),
+            schema: Some(Arc::new(
+                Schema::new(vec![Field::new("a", DataType::Str)]).unwrap(),
+            )),
             ..Default::default()
         };
         assert!(parse_csv(text, &bad).is_err());

@@ -44,17 +44,15 @@ impl ShadowExtracts {
     /// Connect to a text source: parse once, store as a TEMP table, and on
     /// subsequent calls with unchanged content reuse the stored extract.
     /// Returns the extract table.
-    pub fn connect_text(
-        &self,
-        name: &str,
-        text: &str,
-        opts: &CsvOptions,
-    ) -> Result<Arc<Table>> {
+    pub fn connect_text(&self, name: &str, text: &str, opts: &CsvOptions) -> Result<Arc<Table>> {
         let fp = fingerprint(text);
         {
             let fps = self.fingerprints.lock();
             if fps.get(name) == Some(&fp) {
-                if let Ok(t) = self.db.get_table(tabviz_storage::database::TEMP_SCHEMA, name) {
+                if let Ok(t) = self
+                    .db
+                    .get_table(tabviz_storage::database::TEMP_SCHEMA, name)
+                {
                     return Ok(t);
                 }
             }
@@ -107,11 +105,15 @@ mod tests {
         let db = Arc::new(Database::new("d"));
         let se = ShadowExtracts::new(Arc::clone(&db));
         let text = csv(100);
-        let t1 = se.connect_text("flights_csv", &text, &CsvOptions::default()).unwrap();
+        let t1 = se
+            .connect_text("flights_csv", &text, &CsvOptions::default())
+            .unwrap();
         assert_eq!(t1.row_count(), 100);
         assert_eq!(se.parse_count(), 1);
         // Re-connect with identical content: no new parse.
-        let t2 = se.connect_text("flights_csv", &text, &CsvOptions::default()).unwrap();
+        let t2 = se
+            .connect_text("flights_csv", &text, &CsvOptions::default())
+            .unwrap();
         assert_eq!(se.parse_count(), 1);
         assert!(Arc::ptr_eq(&t1, &t2));
     }
@@ -120,8 +122,11 @@ mod tests {
     fn changed_content_reparses() {
         let db = Arc::new(Database::new("d"));
         let se = ShadowExtracts::new(Arc::clone(&db));
-        se.connect_text("f", &csv(10), &CsvOptions::default()).unwrap();
-        let t = se.connect_text("f", &csv(20), &CsvOptions::default()).unwrap();
+        se.connect_text("f", &csv(10), &CsvOptions::default())
+            .unwrap();
+        let t = se
+            .connect_text("f", &csv(20), &CsvOptions::default())
+            .unwrap();
         assert_eq!(se.parse_count(), 2);
         assert_eq!(t.row_count(), 20);
     }
@@ -130,7 +135,8 @@ mod tests {
     fn queryable_through_tde() {
         let db = Arc::new(Database::new("d"));
         let se = ShadowExtracts::new(Arc::clone(&db));
-        se.connect_text("flights_csv", &csv(300), &CsvOptions::default()).unwrap();
+        se.connect_text("flights_csv", &csv(300), &CsvOptions::default())
+            .unwrap();
         let tde = tabviz_tde::Tde::new(db);
         let out = tde
             .query("(aggregate ((carrier)) ((count as n)) (scan flights_csv))")
@@ -156,11 +162,14 @@ mod tests {
     fn clear_drops_extracts() {
         let db = Arc::new(Database::new("d"));
         let se = ShadowExtracts::new(Arc::clone(&db));
-        se.connect_text("f", &csv(10), &CsvOptions::default()).unwrap();
+        se.connect_text("f", &csv(10), &CsvOptions::default())
+            .unwrap();
         se.clear();
         assert!(db.resolve("f").is_err());
         // Reconnect re-parses even with the same fingerprint.
-        let t = se.connect_text("f", &csv(10), &CsvOptions::default()).unwrap();
+        let t = se
+            .connect_text("f", &csv(10), &CsvOptions::default())
+            .unwrap();
         assert_eq!(se.parse_count(), 2);
         assert_eq!(t.scan(None).unwrap().row(0)[0], Value::Str("AA".into()));
     }

@@ -107,7 +107,10 @@ impl AggCall {
             },
             AggFunc::Min | AggFunc::Max => match &self.arg {
                 Some(e) => e.data_type(schema),
-                None => Err(TvError::Bind(format!("{} requires an argument", self.func.name()))),
+                None => Err(TvError::Bind(format!(
+                    "{} requires an argument",
+                    self.func.name()
+                ))),
             },
         }
     }
@@ -125,18 +128,31 @@ impl fmt::Display for AggCall {
 /// A running accumulator for one aggregate over one group.
 #[derive(Debug, Clone)]
 pub enum AggState {
-    Sum { int: i64, real: f64, is_real: bool, seen: bool },
+    Sum {
+        int: i64,
+        real: f64,
+        is_real: bool,
+        seen: bool,
+    },
     Count(i64),
     CountD(HashSet<Value>),
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, count: i64 },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
 }
 
 impl AggState {
     pub fn new(func: AggFunc) -> Self {
         match func {
-            AggFunc::Sum => AggState::Sum { int: 0, real: 0.0, is_real: false, seen: false },
+            AggFunc::Sum => AggState::Sum {
+                int: 0,
+                real: 0.0,
+                is_real: false,
+                seen: false,
+            },
             AggFunc::Count => AggState::Count(0),
             AggFunc::CountD => AggState::CountD(HashSet::new()),
             AggFunc::Min => AggState::Min(None),
@@ -155,7 +171,12 @@ impl AggState {
                 Some(val) if !val.is_null() => *c += 1,
                 _ => {}
             },
-            AggState::Sum { int, real, is_real, seen } => {
+            AggState::Sum {
+                int,
+                real,
+                is_real,
+                seen,
+            } => {
                 if let Some(val) = v {
                     match val {
                         Value::Null => {}
@@ -214,8 +235,18 @@ impl AggState {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
             (
-                AggState::Sum { int, real, is_real, seen },
-                AggState::Sum { int: bi, real: br, is_real: bir, seen: bs },
+                AggState::Sum {
+                    int,
+                    real,
+                    is_real,
+                    seen,
+                },
+                AggState::Sum {
+                    int: bi,
+                    real: br,
+                    is_real: bir,
+                    seen: bs,
+                },
             ) => {
                 *int += bi;
                 *real += br;
@@ -250,7 +281,12 @@ impl AggState {
     pub fn finish(&self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(*c),
-            AggState::Sum { int, real, is_real, seen } => {
+            AggState::Sum {
+                int,
+                real,
+                is_real,
+                seen,
+            } => {
                 if !seen {
                     Value::Null
                 } else if *is_real {
@@ -286,7 +322,10 @@ mod tests {
 
     #[test]
     fn sum_int_and_real() {
-        assert_eq!(run(AggFunc::Sum, &[Value::Int(1), Value::Int(2)]), Value::Int(3));
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Int(2)]),
+            Value::Int(3)
+        );
         assert_eq!(
             run(AggFunc::Sum, &[Value::Int(1), Value::Real(0.5)]),
             Value::Real(1.5)
@@ -311,7 +350,11 @@ mod tests {
         assert_eq!(
             run(
                 AggFunc::CountD,
-                &[Value::Str("a".into()), Value::Str("a".into()), Value::Str("b".into())]
+                &[
+                    Value::Str("a".into()),
+                    Value::Str("a".into()),
+                    Value::Str("b".into())
+                ]
             ),
             Value::Int(2)
         );
@@ -341,7 +384,14 @@ mod tests {
 
     #[test]
     fn merge_equals_single_pass() {
-        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::CountD, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for func in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::CountD,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             let vals: Vec<Value> = (0..10).map(|i| Value::Int(i % 4)).collect();
             let mut whole = AggState::new(func);
             for v in &vals {
@@ -386,18 +436,28 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(
-            AggCall::new(AggFunc::Sum, Some(col("i")), "x").output_type(&schema).unwrap(),
+            AggCall::new(AggFunc::Sum, Some(col("i")), "x")
+                .output_type(&schema)
+                .unwrap(),
             DataType::Int
         );
         assert_eq!(
-            AggCall::new(AggFunc::Avg, Some(col("i")), "x").output_type(&schema).unwrap(),
+            AggCall::new(AggFunc::Avg, Some(col("i")), "x")
+                .output_type(&schema)
+                .unwrap(),
             DataType::Real
         );
         assert_eq!(
-            AggCall::new(AggFunc::Min, Some(col("s")), "x").output_type(&schema).unwrap(),
+            AggCall::new(AggFunc::Min, Some(col("s")), "x")
+                .output_type(&schema)
+                .unwrap(),
             DataType::Str
         );
-        assert!(AggCall::new(AggFunc::Sum, Some(col("s")), "x").output_type(&schema).is_err());
-        assert!(AggCall::new(AggFunc::Sum, None, "x").output_type(&schema).is_err());
+        assert!(AggCall::new(AggFunc::Sum, Some(col("s")), "x")
+            .output_type(&schema)
+            .is_err());
+        assert!(AggCall::new(AggFunc::Sum, None, "x")
+            .output_type(&schema)
+            .is_err());
     }
 }

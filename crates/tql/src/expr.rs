@@ -251,7 +251,11 @@ impl Expr {
                 left: Box::new(left.rename_columns(f)),
                 right: Box::new(right.rename_columns(f)),
             },
-            Expr::In { expr, list, negated } => Expr::In {
+            Expr::In {
+                expr,
+                list,
+                negated,
+            } => Expr::In {
                 expr: Box::new(expr.rename_columns(f)),
                 list: list.clone(),
                 negated: *negated,
@@ -359,7 +363,11 @@ impl Expr {
                 let collation = binary_collation(left, right, chunk.schema());
                 eval_binary(*op, &l, &r, collation)
             }
-            Expr::In { expr, list, negated } => {
+            Expr::In {
+                expr,
+                list,
+                negated,
+            } => {
                 let input = expr.eval(chunk)?;
                 let collation = expr_collation(expr, chunk.schema());
                 let mut sorted: Vec<Value> = list.clone();
@@ -466,11 +474,13 @@ fn expr_collation(e: &Expr, schema: &Schema) -> Collation {
             .field_by_name(n)
             .map(|f| f.collation)
             .unwrap_or_default(),
-        Expr::Func { func: ScalarFunc::Upper | ScalarFunc::Lower, args } => {
-            args.first()
-                .map(|a| expr_collation(a, schema))
-                .unwrap_or_default()
-        }
+        Expr::Func {
+            func: ScalarFunc::Upper | ScalarFunc::Lower,
+            args,
+        } => args
+            .first()
+            .map(|a| expr_collation(a, schema))
+            .unwrap_or_default(),
         _ => Collation::Binary,
     }
 }
@@ -505,7 +515,10 @@ fn eval_unary(op: UnaryOp, input: &ColumnVec) -> Result<ColumnVec> {
                 let out = v.iter().map(|b| !b).collect();
                 Ok(ColumnVec::new(Values::Bool(out), input.nulls.clone()))
             }
-            other => Err(TvError::Type(format!("NOT requires bool, got {}", other.data_type()))),
+            other => Err(TvError::Type(format!(
+                "NOT requires bool, got {}",
+                other.data_type()
+            ))),
         },
         UnaryOp::Neg => match &input.values {
             Values::Int(v) => Ok(ColumnVec::new(
@@ -516,7 +529,10 @@ fn eval_unary(op: UnaryOp, input: &ColumnVec) -> Result<ColumnVec> {
                 Values::Real(v.iter().map(|x| -x).collect()),
                 input.nulls.clone(),
             )),
-            other => Err(TvError::Type(format!("cannot negate {}", other.data_type()))),
+            other => Err(TvError::Type(format!(
+                "cannot negate {}",
+                other.data_type()
+            ))),
         },
     }
 }
@@ -741,7 +757,10 @@ fn eval_func(func: ScalarFunc, inputs: &[ColumnVec]) -> Result<ColumnVec> {
                 let out: Vec<i64> = v.iter().map(|s| s.chars().count() as i64).collect();
                 Ok(ColumnVec::new(Values::Int(out), a.nulls.clone()))
             }
-            other => Err(TvError::Type(format!("STRLEN requires a string, got {}", other.data_type()))),
+            other => Err(TvError::Type(format!(
+                "STRLEN requires a string, got {}",
+                other.data_type()
+            ))),
         },
         ScalarFunc::Abs => match &a.values {
             Values::Int(v) => Ok(ColumnVec::new(
@@ -752,7 +771,10 @@ fn eval_func(func: ScalarFunc, inputs: &[ColumnVec]) -> Result<ColumnVec> {
                 Values::Real(v.iter().map(|x| x.abs()).collect()),
                 a.nulls.clone(),
             )),
-            other => Err(TvError::Type(format!("ABS requires a number, got {}", other.data_type()))),
+            other => Err(TvError::Type(format!(
+                "ABS requires a number, got {}",
+                other.data_type()
+            ))),
         },
         ScalarFunc::Floor | ScalarFunc::Ceil => match &a.values {
             Values::Real(v) => {
@@ -810,7 +832,11 @@ impl fmt::Display for Expr {
             Expr::Binary { op, left, right } => {
                 write!(f, "({left} {} {right})", op.symbol())
             }
-            Expr::In { expr, list, negated } => {
+            Expr::In {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, v) in list.iter().enumerate() {
                     if i > 0 {
@@ -821,7 +847,12 @@ impl fmt::Display for Expr {
                 write!(f, "))")
             }
             Expr::Between { expr, low, high } => {
-                write!(f, "({expr} BETWEEN {} AND {})", low.to_literal(), high.to_literal())
+                write!(
+                    f,
+                    "({expr} BETWEEN {} AND {})",
+                    low.to_literal(),
+                    high.to_literal()
+                )
             }
             Expr::Func { func, args } => {
                 write!(f, "{}(", func.name())?;
@@ -856,9 +887,19 @@ mod tests {
         Chunk::from_rows(
             schema,
             &[
-                vec!["AA".into(), Value::Int(10), Value::Real(100.0), Value::Date(0)],
+                vec![
+                    "AA".into(),
+                    Value::Int(10),
+                    Value::Real(100.0),
+                    Value::Date(0),
+                ],
                 vec!["DL".into(), Value::Null, Value::Real(50.0), Value::Date(1)],
-                vec!["WN".into(), Value::Int(-5), Value::Real(0.0), Value::Date(16_222)],
+                vec![
+                    "WN".into(),
+                    Value::Int(-5),
+                    Value::Real(0.0),
+                    Value::Date(16_222),
+                ],
             ],
         )
         .unwrap()
@@ -1049,17 +1090,24 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(
-            bin(BinOp::Gt, col("i"), lit(1i64)).data_type(&schema).unwrap(),
+            bin(BinOp::Gt, col("i"), lit(1i64))
+                .data_type(&schema)
+                .unwrap(),
             DataType::Bool
         );
         assert_eq!(
-            bin(BinOp::Div, col("i"), lit(2i64)).data_type(&schema).unwrap(),
+            bin(BinOp::Div, col("i"), lit(2i64))
+                .data_type(&schema)
+                .unwrap(),
             DataType::Real
         );
         assert_eq!(
-            Expr::Func { func: ScalarFunc::Strlen, args: vec![col("s")] }
-                .data_type(&schema)
-                .unwrap(),
+            Expr::Func {
+                func: ScalarFunc::Strlen,
+                args: vec![col("s")]
+            }
+            .data_type(&schema)
+            .unwrap(),
             DataType::Int
         );
     }

@@ -30,5 +30,5 @@ pub use agg::{AggCall, AggFunc};
 pub use catalog::{Catalog, TableMeta};
 pub use expr::{BinOp, Expr, ScalarFunc, UnaryOp};
 pub use parser::parse_plan;
-pub use writer::{write_expr, write_plan};
 pub use plan::{JoinType, LogicalPlan, SortKey};
+pub use writer::{write_expr, write_plan};

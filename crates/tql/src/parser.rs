@@ -395,9 +395,16 @@ fn sort_keys(s: &Sexp) -> Result<Vec<SortKey>> {
                     Some("desc") => false,
                     _ => return Err(TvError::Parse("sort direction must be asc or desc".into())),
                 };
-                keys.push(SortKey { column: name.to_string(), asc });
+                keys.push(SortKey {
+                    column: name.to_string(),
+                    asc,
+                });
             }
-            _ => return Err(TvError::Parse("sort key must be NAME or (NAME asc|desc)".into())),
+            _ => {
+                return Err(TvError::Parse(
+                    "sort key must be NAME or (NAME asc|desc)".into(),
+                ))
+            }
         }
     }
     Ok(keys)
@@ -406,8 +413,9 @@ fn sort_keys(s: &Sexp) -> Result<Vec<SortKey>> {
 fn literal_from_sexp(s: &Sexp) -> Result<Value> {
     match s {
         Sexp::Str(v) => Ok(Value::Str(v.clone())),
-        Sexp::Atom(a) => atom_literal(a)
-            .ok_or_else(|| TvError::Parse(format!("expected a literal, got '{a}'"))),
+        Sexp::Atom(a) => {
+            atom_literal(a).ok_or_else(|| TvError::Parse(format!("expected a literal, got '{a}'")))
+        }
         Sexp::List(_) => Err(TvError::Parse("expected a literal, got a list".into())),
     }
 }
@@ -444,10 +452,9 @@ fn expr_from_sexp(s: &Sexp) -> Result<Expr> {
             }
         }
         Sexp::List(items) => {
-            let head = items
-                .first()
-                .and_then(Sexp::atom)
-                .ok_or_else(|| TvError::Parse("expression list must start with an operator".into()))?;
+            let head = items.first().and_then(Sexp::atom).ok_or_else(|| {
+                TvError::Parse("expression list must start with an operator".into())
+            })?;
             let binop = match head {
                 "+" => Some(BinOp::Add),
                 "-" => Some(BinOp::Sub),
@@ -474,7 +481,11 @@ fn expr_from_sexp(s: &Sexp) -> Result<Expr> {
                     if items.len() < 3 {
                         return Err(TvError::Parse(format!("{head} needs ≥2 operands")));
                     }
-                    let op = if head.eq_ignore_ascii_case("and") { BinOp::And } else { BinOp::Or };
+                    let op = if head.eq_ignore_ascii_case("and") {
+                        BinOp::And
+                    } else {
+                        BinOp::Or
+                    };
                     let mut operands = items[1..]
                         .iter()
                         .map(expr_from_sexp)
@@ -492,19 +503,31 @@ fn expr_from_sexp(s: &Sexp) -> Result<Expr> {
                 }
                 "not" => {
                     expect_len(items, 2, "(not EXPR)")?;
-                    Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(expr_from_sexp(&items[1])?) })
+                    Ok(Expr::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(expr_from_sexp(&items[1])?),
+                    })
                 }
                 "neg" => {
                     expect_len(items, 2, "(neg EXPR)")?;
-                    Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(expr_from_sexp(&items[1])?) })
+                    Ok(Expr::Unary {
+                        op: UnaryOp::Neg,
+                        expr: Box::new(expr_from_sexp(&items[1])?),
+                    })
                 }
                 "isnull" => {
                     expect_len(items, 2, "(isnull EXPR)")?;
-                    Ok(Expr::Unary { op: UnaryOp::IsNull, expr: Box::new(expr_from_sexp(&items[1])?) })
+                    Ok(Expr::Unary {
+                        op: UnaryOp::IsNull,
+                        expr: Box::new(expr_from_sexp(&items[1])?),
+                    })
                 }
                 "notnull" => {
                     expect_len(items, 2, "(notnull EXPR)")?;
-                    Ok(Expr::Unary { op: UnaryOp::IsNotNull, expr: Box::new(expr_from_sexp(&items[1])?) })
+                    Ok(Expr::Unary {
+                        op: UnaryOp::IsNotNull,
+                        expr: Box::new(expr_from_sexp(&items[1])?),
+                    })
                 }
                 "in" | "notin" => {
                     if items.len() < 3 {
@@ -567,7 +590,9 @@ mod tests {
         .unwrap();
         let text = plan.canonical_text();
         assert!(text.contains("TopN 5 by flights DESC"));
-        assert!(text.contains("Aggregate [[carrier] AS carrier] [COUNT(*) AS flights, AVG([delay]) AS avg_delay]"));
+        assert!(text.contains(
+            "Aggregate [[carrier] AS carrier] [COUNT(*) AS flights, AVG([delay]) AS avg_delay]"
+        ));
     }
 
     #[test]
@@ -600,7 +625,10 @@ mod tests {
 
     #[test]
     fn parses_distinct_order_scan_projection() {
-        let p = parse_plan("(distinct (order ((carrier asc) (delay desc)) (scan flights carrier delay)))").unwrap();
+        let p = parse_plan(
+            "(distinct (order ((carrier asc) (delay desc)) (scan flights carrier delay)))",
+        )
+        .unwrap();
         let text = p.canonical_text();
         assert!(text.contains("Distinct"));
         assert!(text.contains("Order carrier ASC, delay DESC"));
@@ -613,7 +641,10 @@ mod tests {
         assert_eq!(parse_expr("null").unwrap(), Expr::Literal(Value::Null));
         assert_eq!(parse_expr("3.25").unwrap(), lit(3.25));
         assert_eq!(parse_expr("-7").unwrap(), lit(-7i64));
-        assert_eq!(parse_expr("date@42").unwrap(), Expr::Literal(Value::Date(42)));
+        assert_eq!(
+            parse_expr("date@42").unwrap(),
+            Expr::Literal(Value::Date(42))
+        );
         assert_eq!(
             parse_expr("\"O'Hare \\\"ORD\\\"\"").unwrap(),
             Expr::Literal(Value::Str("O'Hare \"ORD\"".into()))

@@ -31,11 +31,17 @@ pub struct SortKey {
 
 impl SortKey {
     pub fn asc(column: impl Into<String>) -> Self {
-        SortKey { column: column.into(), asc: true }
+        SortKey {
+            column: column.into(),
+            asc: true,
+        }
     }
 
     pub fn desc(column: impl Into<String>) -> Self {
-        SortKey { column: column.into(), asc: false }
+        SortKey {
+            column: column.into(),
+            asc: false,
+        }
     }
 }
 
@@ -123,7 +129,12 @@ impl LogicalPlan {
                 }
                 Ok(Arc::new(Schema::new(fields)?))
             }
-            LogicalPlan::Join { left, right, on, join_type: _ } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                join_type: _,
+            } => {
                 let ls = left.schema(catalog)?;
                 let rs = right.schema(catalog)?;
                 for (l, r) in on {
@@ -132,7 +143,11 @@ impl LogicalPlan {
                 }
                 Ok(Arc::new(ls.join(&rs)))
             }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let in_schema = input.schema(catalog)?;
                 let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
                 for (e, name) in group_by {
@@ -214,23 +229,37 @@ impl LogicalPlan {
                 input.render(out, depth + 1);
             }
             LogicalPlan::Project { input, exprs } => {
-                let items: Vec<String> = exprs
-                    .iter()
-                    .map(|(e, n)| format!("{e} AS {n}"))
-                    .collect();
+                let items: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 let _ = writeln!(out, "{pad}Project {}", items.join(", "));
                 input.render(out, depth + 1);
             }
-            LogicalPlan::Join { left, right, on, join_type } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                join_type,
+            } => {
                 let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
                 let _ = writeln!(out, "{pad}{join_type:?}Join on {}", keys.join(" AND "));
                 left.render(out, depth + 1);
                 right.render(out, depth + 1);
             }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
-                let gb: Vec<String> = group_by.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let gb: Vec<String> = group_by
+                    .iter()
+                    .map(|(e, n)| format!("{e} AS {n}"))
+                    .collect();
                 let ag: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
-                let _ = writeln!(out, "{pad}Aggregate [{}] [{}]", gb.join(", "), ag.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate [{}] [{}]",
+                    gb.join(", "),
+                    ag.join(", ")
+                );
                 input.render(out, depth + 1);
             }
             LogicalPlan::Order { input, keys } => {
@@ -258,30 +287,55 @@ impl LogicalPlan {
 
     /// Convenience builders for fluent plan construction.
     pub fn scan(table: impl Into<String>) -> LogicalPlan {
-        LogicalPlan::TableScan { table: table.into(), projection: None }
+        LogicalPlan::TableScan {
+            table: table.into(),
+            projection: None,
+        }
     }
 
     pub fn select(self, predicate: Expr) -> LogicalPlan {
-        LogicalPlan::Select { input: Box::new(self), predicate }
+        LogicalPlan::Select {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     pub fn project(self, exprs: Vec<(Expr, String)>) -> LogicalPlan {
-        LogicalPlan::Project { input: Box::new(self), exprs }
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs,
+        }
     }
 
     pub fn aggregate(self, group_by: Vec<(Expr, String)>, aggs: Vec<AggCall>) -> LogicalPlan {
-        LogicalPlan::Aggregate { input: Box::new(self), group_by, aggs }
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
     }
 
     pub fn order(self, keys: Vec<SortKey>) -> LogicalPlan {
-        LogicalPlan::Order { input: Box::new(self), keys }
+        LogicalPlan::Order {
+            input: Box::new(self),
+            keys,
+        }
     }
 
     pub fn topn(self, n: usize, keys: Vec<SortKey>) -> LogicalPlan {
-        LogicalPlan::TopN { input: Box::new(self), keys, n }
+        LogicalPlan::TopN {
+            input: Box::new(self),
+            keys,
+            n,
+        }
     }
 
-    pub fn join(self, right: LogicalPlan, on: Vec<(String, String)>, join_type: JoinType) -> LogicalPlan {
+    pub fn join(
+        self,
+        right: LogicalPlan,
+        on: Vec<(String, String)>,
+        join_type: JoinType,
+    ) -> LogicalPlan {
         LogicalPlan::Join {
             left: Box::new(self),
             right: Box::new(right),
@@ -291,7 +345,9 @@ impl LogicalPlan {
     }
 
     pub fn distinct(self) -> LogicalPlan {
-        LogicalPlan::Distinct { input: Box::new(self) }
+        LogicalPlan::Distinct {
+            input: Box::new(self),
+        }
     }
 }
 
@@ -359,8 +415,14 @@ mod tests {
         let cat = catalog();
         let schema = sample_plan().schema(&cat).unwrap();
         assert_eq!(schema.names(), vec!["carrier", "flights", "avg_delay"]);
-        assert_eq!(schema.field_by_name("flights").unwrap().dtype, DataType::Int);
-        assert_eq!(schema.field_by_name("avg_delay").unwrap().dtype, DataType::Real);
+        assert_eq!(
+            schema.field_by_name("flights").unwrap().dtype,
+            DataType::Int
+        );
+        assert_eq!(
+            schema.field_by_name("avg_delay").unwrap().dtype,
+            DataType::Real
+        );
     }
 
     #[test]
@@ -383,7 +445,10 @@ mod tests {
             JoinType::Inner,
         );
         let s = j.schema(&cat).unwrap();
-        assert_eq!(s.names(), vec!["carrier", "delay", "origin", "code", "name"]);
+        assert_eq!(
+            s.names(),
+            vec!["carrier", "delay", "origin", "code", "name"]
+        );
     }
 
     #[test]
@@ -408,11 +473,7 @@ mod tests {
 
     #[test]
     fn tables_collects_all_scans() {
-        let j = LogicalPlan::scan("a").join(
-            LogicalPlan::scan("b"),
-            vec![],
-            JoinType::Inner,
-        );
+        let j = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![], JoinType::Inner);
         assert_eq!(j.tables(), vec!["a", "b"]);
     }
 

@@ -91,7 +91,11 @@ fn expr_text(e: &Expr, out: &mut String) {
             expr_text(right, out);
             out.push(')');
         }
-        Expr::In { expr, list, negated } => {
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } => {
             let _ = write!(out, "({} ", if *negated { "notin" } else { "in" });
             expr_text(expr, out);
             for v in list {
@@ -176,7 +180,12 @@ fn plan_text(plan: &LogicalPlan, out: &mut String) {
             plan_text(input, out);
             out.push(')');
         }
-        LogicalPlan::Join { left, right, on, join_type } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
             let jt = match join_type {
                 JoinType::Inner => "inner",
                 JoinType::Left => "left",
@@ -194,7 +203,11 @@ fn plan_text(plan: &LogicalPlan, out: &mut String) {
             plan_text(right, out);
             out.push(')');
         }
-        LogicalPlan::Aggregate { input, group_by, aggs } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             out.push_str("(aggregate (");
             for (i, (e, n)) in group_by.iter().enumerate() {
                 if i > 0 {

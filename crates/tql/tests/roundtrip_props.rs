@@ -28,9 +28,18 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         prop_oneof![
             (
                 proptest::sample::select(vec![
-                    BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div,
-                    BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge,
-                    BinOp::And, BinOp::Or,
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::And,
+                    BinOp::Or,
                 ]),
                 inner.clone(),
                 inner.clone(),
@@ -42,12 +51,22 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 }),
             (
                 proptest::sample::select(vec![
-                    UnaryOp::Not, UnaryOp::Neg, UnaryOp::IsNull, UnaryOp::IsNotNull
+                    UnaryOp::Not,
+                    UnaryOp::Neg,
+                    UnaryOp::IsNull,
+                    UnaryOp::IsNotNull
                 ]),
                 inner.clone(),
             )
-                .prop_map(|(op, e)| Expr::Unary { op, expr: Box::new(e) }),
-            (inner.clone(), proptest::collection::vec(arb_literal(), 1..4), any::<bool>())
+                .prop_map(|(op, e)| Expr::Unary {
+                    op,
+                    expr: Box::new(e)
+                }),
+            (
+                inner.clone(),
+                proptest::collection::vec(arb_literal(), 1..4),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, negated)| Expr::In {
                     expr: Box::new(e),
                     list,

@@ -15,7 +15,11 @@ use tabviz_tql::{AggCall, AggFunc, JoinType, LogicalPlan, SortKey};
 pub fn fig1_dashboard(source: impl Into<String>, flights_table: &str) -> Dashboard {
     let annotate = |z: Zone| -> Zone {
         z.agg(AggCall::new(AggFunc::Count, None, "flights"))
-            .agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg_delay"))
+            .agg(AggCall::new(
+                AggFunc::Avg,
+                Some(col("arr_delay")),
+                "avg_delay",
+            ))
     };
     let zones = vec![
         annotate(Zone::new("OriginsByState").group("origin_state")),
@@ -28,7 +32,11 @@ pub fn fig1_dashboard(source: impl Into<String>, flights_table: &str) -> Dashboa
             .agg(AggCall::new(AggFunc::CountD, Some(col("date")), "days")),
         Zone::new("DelayByHour")
             .group("dep_hour")
-            .agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg_delay"))
+            .agg(AggCall::new(
+                AggFunc::Avg,
+                Some(col("arr_delay")),
+                "avg_delay",
+            ))
             .agg(AggCall::new(AggFunc::Count, None, "flights")),
         Zone::new("TotalVisible").agg(AggCall::new(AggFunc::Count, None, "records")),
     ];
@@ -72,7 +80,11 @@ fn weekday_relation(flights_table: &str) -> LogicalPlan {
 /// Fig. 2: "a dashboard with three zones, linked by two interactive filter
 /// actions. Selecting items in either the Market or Carrier zones filters
 /// the viz results." The Carrier zone is top-5 by flights.
-pub fn fig2_dashboard(source: impl Into<String>, flights_table: &str, carriers_table: &str) -> Dashboard {
+pub fn fig2_dashboard(
+    source: impl Into<String>,
+    flights_table: &str,
+    carriers_table: &str,
+) -> Dashboard {
     Dashboard {
         name: "market-carrier-airline".into(),
         source: source.into(),
@@ -89,9 +101,11 @@ pub fn fig2_dashboard(source: impl Into<String>, flights_table: &str, carriers_t
                 .group("carrier")
                 .agg(AggCall::new(AggFunc::Count, None, "flights"))
                 .top(5, vec![SortKey::desc("flights")]),
-            Zone::new("AirlineName")
-                .group("name")
-                .agg(AggCall::new(AggFunc::Count, None, "flights")),
+            Zone::new("AirlineName").group("name").agg(AggCall::new(
+                AggFunc::Count,
+                None,
+                "flights",
+            )),
         ],
         actions: vec![
             FilterAction {
@@ -113,12 +127,16 @@ mod tests {
     use crate::faa::{carriers_dim, generate_flights, FaaConfig};
     use std::sync::Arc;
     use tabviz_backend::{SimConfig, SimDb};
+    use tabviz_common::Value;
     use tabviz_core::{BatchOptions, DashboardState, QueryProcessor};
     use tabviz_storage::{Database, Table};
-    use tabviz_common::Value;
 
     fn processor() -> QueryProcessor {
-        let flights = generate_flights(&FaaConfig { rows: 5_000, ..Default::default() }).unwrap();
+        let flights = generate_flights(&FaaConfig {
+            rows: 5_000,
+            ..Default::default()
+        })
+        .unwrap();
         let db = Arc::new(Database::new("faa"));
         db.put(Table::from_chunk("flights", &flights, &["carrier"]).unwrap())
             .unwrap();
@@ -149,7 +167,8 @@ mod tests {
         let qp = processor();
         let dash = fig1_dashboard("warehouse", "flights");
         let mut state = DashboardState::default();
-        dash.render(&qp, &mut state, &BatchOptions::default(), false).unwrap();
+        dash.render(&qp, &mut state, &BatchOptions::default(), false)
+            .unwrap();
         state.select("OriginsByState", Value::Str("CA".into()));
         let (results, _) = dash
             .render(&qp, &mut state, &BatchOptions::default(), false)

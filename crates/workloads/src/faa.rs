@@ -25,12 +25,36 @@ pub const CARRIERS: &[(&str, &str, u32)] = &[
 
 /// Airports: (code, state), biggest hubs first.
 pub const AIRPORTS: &[(&str, &str)] = &[
-    ("ATL", "GA"), ("ORD", "IL"), ("DFW", "TX"), ("DEN", "CO"), ("LAX", "CA"),
-    ("SFO", "CA"), ("PHX", "AZ"), ("IAH", "TX"), ("LAS", "NV"), ("SEA", "WA"),
-    ("MSP", "MN"), ("DTW", "MI"), ("BOS", "MA"), ("EWR", "NJ"), ("CLT", "NC"),
-    ("LGA", "NY"), ("JFK", "NY"), ("SLC", "UT"), ("BWI", "MD"), ("MDW", "IL"),
-    ("MCO", "FL"), ("MIA", "FL"), ("SAN", "CA"), ("TPA", "FL"), ("PDX", "OR"),
-    ("STL", "MO"), ("HNL", "HI"), ("OGG", "HI"), ("DCA", "VA"), ("PHL", "PA"),
+    ("ATL", "GA"),
+    ("ORD", "IL"),
+    ("DFW", "TX"),
+    ("DEN", "CO"),
+    ("LAX", "CA"),
+    ("SFO", "CA"),
+    ("PHX", "AZ"),
+    ("IAH", "TX"),
+    ("LAS", "NV"),
+    ("SEA", "WA"),
+    ("MSP", "MN"),
+    ("DTW", "MI"),
+    ("BOS", "MA"),
+    ("EWR", "NJ"),
+    ("CLT", "NC"),
+    ("LGA", "NY"),
+    ("JFK", "NY"),
+    ("SLC", "UT"),
+    ("BWI", "MD"),
+    ("MDW", "IL"),
+    ("MCO", "FL"),
+    ("MIA", "FL"),
+    ("SAN", "CA"),
+    ("TPA", "FL"),
+    ("PDX", "OR"),
+    ("STL", "MO"),
+    ("HNL", "HI"),
+    ("OGG", "HI"),
+    ("DCA", "VA"),
+    ("PHL", "PA"),
 ];
 
 /// Generator configuration.
@@ -57,7 +81,10 @@ impl Default for FaaConfig {
 
 impl FaaConfig {
     pub fn with_rows(rows: usize) -> Self {
-        FaaConfig { rows, ..Default::default() }
+        FaaConfig {
+            rows,
+            ..Default::default()
+        }
     }
 }
 
@@ -146,8 +173,16 @@ pub fn generate_flights(config: &FaaConfig) -> Result<Chunk> {
             Value::Int(dep_hour as i64),
             Value::Int(weekday as i64),
             Value::Int(distance),
-            if cancelled { Value::Null } else { Value::Int(dep_delay) },
-            if cancelled { Value::Null } else { Value::Int(arr_delay) },
+            if cancelled {
+                Value::Null
+            } else {
+                Value::Int(dep_delay)
+            },
+            if cancelled {
+                Value::Null
+            } else {
+                Value::Int(arr_delay)
+            },
             Value::Bool(cancelled),
         ]);
     }
@@ -200,7 +235,10 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let c = FaaConfig { rows: 500, ..Default::default() };
+        let c = FaaConfig {
+            rows: 500,
+            ..Default::default()
+        };
         let a = generate_flights(&c).unwrap();
         let b = generate_flights(&c).unwrap();
         assert_eq!(a.to_rows(), b.to_rows());
@@ -211,7 +249,11 @@ mod tests {
 
     #[test]
     fn shape_matches_schema() {
-        let c = generate_flights(&FaaConfig { rows: 1000, ..Default::default() }).unwrap();
+        let c = generate_flights(&FaaConfig {
+            rows: 1000,
+            ..Default::default()
+        })
+        .unwrap();
         assert_eq!(c.len(), 1000);
         assert_eq!(c.num_columns(), 13);
         // Cancelled flights have NULL delays.
@@ -226,7 +268,11 @@ mod tests {
 
     #[test]
     fn carrier_volumes_are_skewed() {
-        let c = generate_flights(&FaaConfig { rows: 20_000, ..Default::default() }).unwrap();
+        let c = generate_flights(&FaaConfig {
+            rows: 20_000,
+            ..Default::default()
+        })
+        .unwrap();
         let carrier_idx = 1;
         let mut wn = 0;
         let mut ha = 0;
@@ -242,7 +288,11 @@ mod tests {
 
     #[test]
     fn cancellation_rate_plausible() {
-        let c = generate_flights(&FaaConfig { rows: 20_000, ..Default::default() }).unwrap();
+        let c = generate_flights(&FaaConfig {
+            rows: 20_000,
+            ..Default::default()
+        })
+        .unwrap();
         let cancelled = c
             .to_rows()
             .iter()
@@ -254,12 +304,20 @@ mod tests {
 
     #[test]
     fn market_is_direction_independent() {
-        let c = generate_flights(&FaaConfig { rows: 2_000, ..Default::default() }).unwrap();
+        let c = generate_flights(&FaaConfig {
+            rows: 2_000,
+            ..Default::default()
+        })
+        .unwrap();
         for r in c.to_rows() {
             let (Value::Str(o), Value::Str(d), Value::Str(m)) = (&r[2], &r[3], &r[6]) else {
                 panic!("bad types");
             };
-            let expect = if o < d { format!("{o}-{d}") } else { format!("{d}-{o}") };
+            let expect = if o < d {
+                format!("{o}-{d}")
+            } else {
+                format!("{d}-{o}")
+            };
             assert_eq!(*m, expect);
         }
     }

@@ -38,11 +38,7 @@ pub fn exploration_session(
 ) -> Vec<Interaction> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = vec![Interaction::Load];
-    let interactive: Vec<&String> = dashboard
-        .actions
-        .iter()
-        .map(|a| &a.source_zone)
-        .collect();
+    let interactive: Vec<&String> = dashboard.actions.iter().map(|a| &a.source_zone).collect();
     for _ in 0..steps {
         let roll: f64 = rng.random();
         if roll < 0.6 && !interactive.is_empty() {
@@ -66,7 +62,10 @@ pub fn exploration_session(
                     let i = rng.random_range(0..subset.len());
                     subset.remove(i);
                 }
-                out.push(Interaction::QuickFilter { column, values: subset });
+                out.push(Interaction::QuickFilter {
+                    column,
+                    values: subset,
+                });
                 continue;
             }
             out.push(Interaction::Load);

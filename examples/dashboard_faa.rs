@@ -5,7 +5,9 @@
 
 use std::sync::Arc;
 use tabviz::prelude::*;
-use tabviz::workloads::{carriers_dim, fig1_dashboard, fig2_dashboard, generate_flights, FaaConfig};
+use tabviz::workloads::{
+    carriers_dim, fig1_dashboard, fig2_dashboard, generate_flights, FaaConfig,
+};
 
 fn main() -> Result<()> {
     let flights = generate_flights(&FaaConfig::with_rows(300_000))?;
@@ -76,7 +78,10 @@ fn main() -> Result<()> {
         "\nFig.2 cascade: {} iterations, invalidated selections: {:?}",
         report2.iterations, report2.invalidated_selections
     );
-    println!("AirlineName zone after cascade:\n{}", results2["AirlineName"]);
+    println!(
+        "AirlineName zone after cascade:\n{}",
+        results2["AirlineName"]
+    );
 
     let (istats, lstats) = qp.caches.stats();
     println!(

@@ -49,7 +49,8 @@ fn main() -> Result<()> {
     let qp = QueryProcessor::default();
     qp.registry.register(Arc::new(sim.clone()), 8);
     let server = Arc::new(DataServer::new(qp));
-    let published = PublishedSource::new("flights-model", "warehouse", LogicalPlan::scan("flights"));
+    let published =
+        PublishedSource::new("flights-model", "warehouse", LogicalPlan::scan("flights"));
     // One shared calculation, defined once, used by every workbook.
     published.define_calculation("is_late", bin(BinOp::Gt, col("arr_delay"), lit(15i64)));
     // Regional analysts only see their states.
@@ -70,9 +71,7 @@ fn main() -> Result<()> {
 
     // A big filter set uploaded once, referenced by name afterwards.
     let mut session = server.connect("flights-model", "hq")?;
-    let markets: Vec<Value> = (0..200)
-        .map(|i| Value::Str(format!("M{i:03}")))
-        .collect();
+    let markets: Vec<Value> = (0..200).map(|i| Value::Str(format!("M{i:03}"))).collect();
     let set = session.define_set("market", markets)?;
     let q = ClientQuery {
         group_by: vec!["carrier".into()],

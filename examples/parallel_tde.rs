@@ -25,7 +25,11 @@ fn main() -> Result<()> {
     let flights = generate_flights(&FaaConfig::with_rows(rows))?;
     let db = Arc::new(Database::new("faa"));
     // Sorted by carrier: carrier is RLE-encoded and range-partitionable.
-    db.put(Table::from_chunk("flights", &flights, &["carrier", "date"])?)?;
+    db.put(Table::from_chunk(
+        "flights",
+        &flights,
+        &["carrier", "date"],
+    )?)?;
     let tde = Tde::new(db);
 
     let agg_q = "(aggregate ((carrier))
@@ -33,17 +37,26 @@ fn main() -> Result<()> {
                    (scan flights))";
 
     // --- Serial vs parallel aggregation ---
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("available cores: {cores} (parallel wall-clock gains require >1)");
     let dop = cores.max(4); // force parallel plan shapes even on small boxes
-    let profile = CostProfile { min_work_per_thread: 50_000, max_dop: dop };
+    let profile = CostProfile {
+        min_work_per_thread: 50_000,
+        max_dop: dop,
+    };
 
     let serial = ExecOptions::serial();
     let (n, t_serial) = time_query(&tde, agg_q, &serial)?;
     println!("serial aggregate:            {n:>4} groups in {t_serial:?}");
 
     let mut parallel = ExecOptions::default();
-    parallel.parallel = ParallelOptions { profile, range_partition_min_distinct_per_dop: 1, ..Default::default() };
+    parallel.parallel = ParallelOptions {
+        profile,
+        range_partition_min_distinct_per_dop: 1,
+        ..Default::default()
+    };
     let (n, t_par) = time_query(&tde, agg_q, &parallel)?;
     println!(
         "parallel (range-partitioned): {n:>4} groups in {t_par:?}  ({:.2}x)",

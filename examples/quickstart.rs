@@ -11,7 +11,11 @@ fn main() -> Result<()> {
     // --- 1. Build an extract: synthetic FAA flights in a TDE database. ---
     let flights = generate_flights(&FaaConfig::with_rows(200_000))?;
     let db = Arc::new(Database::new("faa"));
-    db.put(Table::from_chunk("flights", &flights, &["carrier", "date"])?)?;
+    db.put(Table::from_chunk(
+        "flights",
+        &flights,
+        &["carrier", "date"],
+    )?)?;
     println!("loaded {} flights into the TDE", flights.len());
 
     // The TDE packs a database into a single file (Sect. 4.1).
@@ -57,8 +61,16 @@ fn main() -> Result<()> {
         .group("carrier")
         .group("origin_state")
         .agg(AggCall::new(AggFunc::Count, None, "n"))
-        .agg(AggCall::new(AggFunc::Sum, Some(col("arr_delay")), "total_delay"))
-        .agg(AggCall::new(AggFunc::Count, Some(col("arr_delay")), "cnt_delay"));
+        .agg(AggCall::new(
+            AggFunc::Sum,
+            Some(col("arr_delay")),
+            "total_delay",
+        ))
+        .agg(AggCall::new(
+            AggFunc::Count,
+            Some(col("arr_delay")),
+            "cnt_delay",
+        ));
 
     let t0 = std::time::Instant::now();
     let (out, outcome) = qp.execute(&spec)?;
@@ -79,7 +91,11 @@ fn main() -> Result<()> {
     let coarse = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
         .filter(bin(BinOp::Eq, col("origin_state"), lit("CA")))
         .group("carrier")
-        .agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg_delay"));
+        .agg(AggCall::new(
+            AggFunc::Avg,
+            Some(col("arr_delay")),
+            "avg_delay",
+        ));
     let t0 = std::time::Instant::now();
     let (ca, outcome) = qp.execute(&coarse)?;
     println!(

@@ -58,8 +58,11 @@ fn arb_filter() -> impl Strategy<Value = Expr> {
             }
         }),
         // origin_state = X
-        proptest::sample::select(STATES.to_vec())
-            .prop_map(|s| bin(BinOp::Eq, col("origin_state"), lit(s))),
+        proptest::sample::select(STATES.to_vec()).prop_map(|s| bin(
+            BinOp::Eq,
+            col("origin_state"),
+            lit(s)
+        )),
         // weekday range
         (0i64..5).prop_map(|lo| Expr::Between {
             expr: Box::new(col("weekday")),
@@ -86,7 +89,11 @@ fn arb_fine_spec() -> impl Strategy<Value = QuerySpec> {
             }
             spec.agg(AggCall::new(AggFunc::Count, None, "n"))
                 .agg(AggCall::new(AggFunc::Sum, Some(col("distance")), "dist"))
-                .agg(AggCall::new(AggFunc::Count, Some(col("distance")), "dist_cnt"))
+                .agg(AggCall::new(
+                    AggFunc::Count,
+                    Some(col("distance")),
+                    "dist_cnt",
+                ))
                 .agg(AggCall::new(AggFunc::Min, Some(col("dep_delay")), "lo"))
                 .agg(AggCall::new(AggFunc::Max, Some(col("dep_delay")), "hi"))
         })
@@ -172,6 +179,136 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Implication prover soundness: `implies(a, b)` claims every row satisfying
+// `a` satisfies `b`. Check that claim against a brute-force evaluation of
+// both predicates over a dense value grid — a false implication here would
+// mean the intelligent cache can serve wrong rows.
+// ---------------------------------------------------------------------------
+
+/// Brute-force row-level oracle for the single-column constraint shapes the
+/// prover handles. `None` = shape not evaluable (never generated below).
+fn row_satisfies(e: &Expr, v: &Value) -> Option<bool> {
+    fn side(e: &Expr, v: &Value) -> Option<Value> {
+        match e {
+            Expr::Column(_) => Some(v.clone()),
+            Expr::Literal(l) => Some(l.clone()),
+            _ => None,
+        }
+    }
+    match e {
+        Expr::Binary { op, left, right } => {
+            let (l, r) = (side(left, v)?, side(right, v)?);
+            let ord = l.cmp(&r);
+            Some(match op {
+                BinOp::Eq => ord.is_eq(),
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                _ => return None,
+            })
+        }
+        Expr::In { list, negated, .. } => Some(list.contains(v) != *negated),
+        Expr::Between { low, high, .. } => Some(v.cmp(low).is_ge() && v.cmp(high).is_le()),
+        _ => None,
+    }
+}
+
+fn cmp_ops() -> Vec<BinOp> {
+    vec![BinOp::Eq, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge]
+}
+
+/// Single-column integer constraints in every shape the prover analyzes,
+/// including flipped literal-comparison order.
+fn arb_int_constraint() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (
+            proptest::sample::select(cmp_ops()),
+            -5i64..15,
+            any::<bool>()
+        )
+            .prop_map(|(op, v, flipped)| {
+                if flipped {
+                    bin(op, lit(v), col("x"))
+                } else {
+                    bin(op, col("x"), lit(v))
+                }
+            }),
+        proptest::collection::btree_set(-5i64..15, 1..5).prop_map(|s| Expr::In {
+            expr: Box::new(col("x")),
+            list: s.into_iter().map(Value::Int).collect(),
+            negated: false,
+        }),
+        (-5i64..15, 0i64..8).prop_map(|(lo, w)| Expr::Between {
+            expr: Box::new(col("x")),
+            low: Value::Int(lo),
+            high: Value::Int(lo + w),
+        }),
+    ]
+}
+
+/// String constraints: equality and IN over a small alphabet.
+fn arb_str_constraint() -> impl Strategy<Value = Expr> {
+    let alphabet = || vec!["a", "b", "c", "d", "e"];
+    prop_oneof![
+        proptest::sample::select(alphabet()).prop_map(|s| bin(BinOp::Eq, col("s"), lit(s))),
+        proptest::sample::subsequence(alphabet(), 1..4).prop_map(|ss| Expr::In {
+            expr: Box::new(col("s")),
+            list: ss.into_iter().map(Value::from).collect(),
+            negated: false,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// No false implications over integers: whenever the prover says
+    /// `a ⇒ b`, every grid value satisfying `a` must satisfy `b`.
+    #[test]
+    fn implication_is_sound_over_int_grid(
+        a in arb_int_constraint(),
+        b in arb_int_constraint(),
+    ) {
+        prop_assume!(tabviz::cache::implication::implies(&a, &b));
+        for i in -12i64..=25 {
+            let v = Value::Int(i);
+            let sat_a = row_satisfies(&a, &v).expect("generated shape is evaluable");
+            let sat_b = row_satisfies(&b, &v).expect("generated shape is evaluable");
+            prop_assert!(
+                !sat_a || sat_b,
+                "false implication: {a:?} => {b:?} but x={i} satisfies only the premise"
+            );
+        }
+    }
+
+    /// Same soundness property over the string domain.
+    #[test]
+    fn implication_is_sound_over_str_grid(
+        a in arb_str_constraint(),
+        b in arb_str_constraint(),
+    ) {
+        prop_assume!(tabviz::cache::implication::implies(&a, &b));
+        for s in ["a", "b", "c", "d", "e", "f", ""] {
+            let v = Value::from(s);
+            let sat_a = row_satisfies(&a, &v).expect("generated shape is evaluable");
+            let sat_b = row_satisfies(&b, &v).expect("generated shape is evaluable");
+            prop_assert!(
+                !sat_a || sat_b,
+                "false implication: {a:?} => {b:?} but s={s:?} satisfies only the premise"
+            );
+        }
+    }
+
+    /// The prover must at least accept reflexivity — a constraint implies
+    /// itself — so provable cache hits are not silently lost.
+    #[test]
+    fn implication_is_reflexive(a in arb_int_constraint()) {
+        prop_assert!(tabviz::cache::implication::implies(&a, &a));
+    }
+}
+
 #[test]
 fn persisted_cache_round_trip_preserves_answers() {
     let oracle = Oracle::new();
@@ -209,7 +346,11 @@ fn persisted_cache_round_trip_preserves_answers() {
     let req = QuerySpec::new("faa", LogicalPlan::scan("flights"))
         .filter(bin(BinOp::Ge, col("dep_hour"), lit(6i64)))
         .group("carrier")
-        .agg(AggCall::new(AggFunc::Avg, Some(col("distance")), "avg_dist"));
+        .agg(AggCall::new(
+            AggFunc::Avg,
+            Some(col("distance")),
+            "avg_dist",
+        ));
     let got = session2
         .intelligent
         .get(&req)

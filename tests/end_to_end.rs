@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 use tabviz::prelude::*;
-use tabviz::workloads::{carriers_dim, fig1_dashboard, fig2_dashboard, generate_flights, FaaConfig};
+use tabviz::workloads::{
+    carriers_dim, fig1_dashboard, fig2_dashboard, generate_flights, FaaConfig,
+};
 
 fn warehouse(rows: usize) -> (QueryProcessor, SimDb, Arc<Database>) {
     let flights = generate_flights(&FaaConfig::with_rows(rows)).unwrap();
@@ -145,8 +147,11 @@ fn multi_source_isolation() {
         .register(Arc::new(SimDb::new("other", db2, SimConfig::default())), 4);
 
     let count = |source: &str| {
-        let spec = QuerySpec::new(source, LogicalPlan::scan("flights"))
-            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        let spec = QuerySpec::new(source, LogicalPlan::scan("flights")).agg(AggCall::new(
+            AggFunc::Count,
+            None,
+            "n",
+        ));
         qp.execute(&spec).unwrap().0.row(0)[0].as_int().unwrap()
     };
     assert_eq!(count("warehouse"), 1_000);

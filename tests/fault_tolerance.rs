@@ -1,0 +1,285 @@
+//! Fault-tolerance contract for the dashboard pipeline: under any injected
+//! backend fault, a batch must (a) complete with correct fresh results,
+//! (b) render marked-stale cached results, or (c) fail with a typed error —
+//! never hang and never return wrong data. Fault injection is seeded, so
+//! identical plans must produce identical outcomes run after run.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tabviz::core::processor::ProcessorOptions;
+use tabviz::prelude::*;
+use tabviz::workloads::{generate_flights, FaaConfig};
+
+/// One processor + simulated warehouse over FAA-style flight data.
+fn harness(pool: usize) -> (QueryProcessor, SimDb) {
+    let flights = generate_flights(&FaaConfig {
+        rows: 3_000,
+        seed: 17,
+        ..Default::default()
+    })
+    .unwrap();
+    let db = Arc::new(Database::new("remote"));
+    db.put(Table::from_chunk("flights", &flights, &[]).unwrap())
+        .unwrap();
+    let sim = SimDb::new("warehouse", db, SimConfig::default());
+    let qp = QueryProcessor::default();
+    qp.registry.register(Arc::new(sim.clone()), pool);
+    (qp, sim)
+}
+
+/// A five-zone dashboard batch with derivation opportunities.
+fn dashboard() -> Vec<(String, QuerySpec)> {
+    let rel = || LogicalPlan::scan("flights");
+    let f = || bin(BinOp::Ge, col("dep_hour"), lit(6i64));
+    vec![
+        (
+            "carrier_state".into(),
+            QuerySpec::new("warehouse", rel())
+                .filter(f())
+                .group("carrier")
+                .group("origin_state")
+                .agg(AggCall::new(AggFunc::Count, None, "n"))
+                .agg(AggCall::new(AggFunc::Sum, Some(col("distance")), "dist"))
+                .agg(AggCall::new(AggFunc::Count, Some(col("distance")), "dc")),
+        ),
+        (
+            "by_carrier".into(),
+            QuerySpec::new("warehouse", rel())
+                .filter(f())
+                .group("carrier")
+                .agg(AggCall::new(AggFunc::Count, None, "n")),
+        ),
+        (
+            "by_state".into(),
+            QuerySpec::new("warehouse", rel())
+                .filter(f())
+                .group("origin_state")
+                .agg(AggCall::new(AggFunc::Count, None, "n")),
+        ),
+        (
+            "avg_distance".into(),
+            QuerySpec::new("warehouse", rel())
+                .filter(f())
+                .group("carrier")
+                .agg(AggCall::new(AggFunc::Avg, Some(col("distance")), "avg")),
+        ),
+        (
+            "by_weekday".into(),
+            QuerySpec::new("warehouse", rel())
+                .filter(f())
+                .group("weekday")
+                .agg(AggCall::new(AggFunc::Count, None, "n"))
+                .agg(AggCall::new(AggFunc::Sum, Some(col("distance")), "dist")),
+        ),
+    ]
+}
+
+fn kind(e: &TvError) -> &'static str {
+    match e {
+        TvError::Transient(_) => "transient",
+        TvError::Timeout(_) => "timeout",
+        TvError::Cancelled(_) => "cancelled",
+        TvError::Backend(_) => "backend",
+        _ => "other",
+    }
+}
+
+/// Collapse a batch outcome into a comparable per-zone summary:
+/// `ok`/`stale` with the (sorted) rows, or the failure's error class.
+fn summarize(out: &tabviz::core::BatchResult) -> BTreeMap<String, String> {
+    let mut summary = BTreeMap::new();
+    for (name, chunk) in &out.results {
+        let mut rows = chunk.to_rows();
+        rows.sort();
+        let tag = if out.stale.contains(name) {
+            "stale"
+        } else {
+            "ok"
+        };
+        summary.insert(name.clone(), format!("{tag}:{rows:?}"));
+    }
+    for (name, err) in &out.failed {
+        summary.insert(name.clone(), format!("err:{}", kind(err)));
+    }
+    summary
+}
+
+/// The same seeded fault plan must yield byte-identical batch outcomes on
+/// every run. (Serial submission: the per-site fault ordinals are consumed
+/// in query order, so the roll sequence is reproducible.)
+#[test]
+fn fault_outcomes_are_deterministic_across_runs() {
+    let mut reference: Option<BTreeMap<String, String>> = None;
+    for run in 0..3 {
+        let (qp, sim) = harness(4);
+        let mut plan = FaultPlan::seeded(21);
+        plan.connection_drop = 0.4;
+        plan.transient_query_failure = 0.3;
+        sim.set_fault_plan(Some(plan));
+        let opts = BatchOptions {
+            concurrent: false,
+            ..Default::default()
+        };
+        let out = execute_batch(&qp, &dashboard(), &opts).unwrap();
+        let summary = summarize(&out);
+        assert_eq!(
+            summary.len(),
+            dashboard().len(),
+            "run {run}: every zone must land in exactly one bucket"
+        );
+        match &reference {
+            None => reference = Some(summary),
+            Some(r) => assert_eq!(r, &summary, "run {run} diverged from run 0"),
+        }
+    }
+}
+
+/// The acceptance scenario: connections drop mid-batch after the caches have
+/// been warmed (and invalidated to stale). The dashboard renders every zone
+/// from stale cache entries — degraded, flagged, but never blank and never
+/// wrong.
+#[test]
+fn connection_drops_degrade_to_stale_dashboard_not_errors() {
+    let (qp, sim) = harness(4);
+    let batch = dashboard();
+    let healthy = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+    assert!(healthy.is_complete(), "failed: {:?}", healthy.failed);
+    qp.mark_source_stale("warehouse");
+
+    let mut plan = FaultPlan::seeded(9);
+    plan.connection_drop = 1.0;
+    sim.set_fault_plan(Some(plan));
+    let degraded = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+
+    assert_eq!(degraded.results.len(), batch.len());
+    assert!(degraded.failed.is_empty(), "failed: {:?}", degraded.failed);
+    assert_eq!(degraded.stale.len(), batch.len());
+    for (name, chunk) in &degraded.results {
+        let mut got = chunk.to_rows();
+        let mut want = healthy.results[name].to_rows();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "stale zone {name} served wrong data");
+    }
+
+    // Once the backend heals, the next batch is fresh again.
+    sim.set_fault_plan(None);
+    let fresh = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+    assert!(fresh.stale.is_empty(), "healed batch still stale");
+    assert!(fresh.failed.is_empty());
+}
+
+/// With cold caches there is nothing to degrade to: a full outage must
+/// surface as typed, retryable-or-cancelled errors — quickly, not by
+/// hanging on a dead backend.
+#[test]
+fn cold_cache_outage_fails_typed_and_fast() {
+    let (qp, sim) = harness(4);
+    let mut plan = FaultPlan::seeded(33);
+    plan.connection_drop = 1.0;
+    sim.set_fault_plan(Some(plan));
+    let t0 = Instant::now();
+    let out = execute_batch(&qp, &dashboard(), &BatchOptions::default()).unwrap();
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "outage handling took {:?}",
+        t0.elapsed()
+    );
+    assert!(
+        out.results.is_empty(),
+        "rendered from nothing: {:?}",
+        out.results.keys()
+    );
+    assert_eq!(out.failed.len(), dashboard().len());
+    for (name, e) in &out.failed {
+        assert!(
+            e.is_degradable() || matches!(e, TvError::Cancelled(_)),
+            "zone {name}: unexpected error class {e:?}"
+        );
+    }
+}
+
+/// A backend that stalls for a minute must be cut off by the per-query
+/// deadline, producing `TvError::Timeout` in bounded time.
+#[test]
+fn slow_backend_times_out_instead_of_hanging() {
+    let (mut qp, sim) = harness(2);
+    qp.options = ProcessorOptions {
+        query_timeout: Some(Duration::from_millis(50)),
+        ..Default::default()
+    };
+    let mut plan = FaultPlan::seeded(5);
+    plan.slow_query = 1.0;
+    plan.slow_query_delay = Duration::from_secs(60);
+    sim.set_fault_plan(Some(plan));
+
+    let spec = QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+        .group("carrier")
+        .agg(AggCall::new(AggFunc::Count, None, "n"));
+    let t0 = Instant::now();
+    let err = qp
+        .execute(&spec)
+        .expect_err("stalled query must not succeed");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "deadline did not bound the stall: {:?}",
+        t0.elapsed()
+    );
+    assert!(matches!(err, TvError::Timeout(_)), "got {err:?}");
+    assert!(sim.stats().timeouts >= 1);
+}
+
+/// Partial-fault sweep: at every fault rate, each zone lands in exactly one
+/// of `results`/`failed`, stale flags only mark rendered zones, and every
+/// rendered chunk — fresh or stale — matches the fault-free oracle.
+#[test]
+fn partial_faults_never_produce_wrong_or_duplicated_zones() {
+    let batch = dashboard();
+    let oracle = {
+        let (qp, _) = harness(4);
+        let healthy = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+        assert!(healthy.is_complete());
+        healthy
+            .results
+            .into_iter()
+            .map(|(name, chunk)| {
+                let mut rows = chunk.to_rows();
+                rows.sort();
+                (name, rows)
+            })
+            .collect::<BTreeMap<_, _>>()
+    };
+
+    for (seed, rate) in [(101u64, 0.3f64), (202, 0.7)] {
+        let (qp, sim) = harness(4);
+        // Warm, then invalidate, so the degraded path is reachable too.
+        execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+        qp.mark_source_stale("warehouse");
+        let mut plan = FaultPlan::seeded(seed);
+        plan.connection_drop = rate;
+        plan.transient_query_failure = rate / 2.0;
+        sim.set_fault_plan(Some(plan));
+
+        let out = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+        for (name, _) in &batch {
+            let rendered = out.results.contains_key(name);
+            let failed = out.failed.contains_key(name);
+            assert!(
+                rendered ^ failed,
+                "rate {rate}: zone {name} rendered={rendered} failed={failed}"
+            );
+        }
+        for name in &out.stale {
+            assert!(
+                out.results.contains_key(name),
+                "rate {rate}: stale flag on unrendered zone {name}"
+            );
+        }
+        for (name, chunk) in &out.results {
+            let mut got = chunk.to_rows();
+            got.sort();
+            assert_eq!(&got, &oracle[name], "rate {rate}: zone {name} wrong data");
+        }
+    }
+}

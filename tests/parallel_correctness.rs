@@ -138,6 +138,127 @@ proptest! {
     }
 }
 
+/// RLE-index selectivity sweep: on sorted (run-length-friendly) data, drive
+/// filters from empty through near-total selectivity and require the RLE
+/// index scan to agree with the plain scan — and with every parallel
+/// configuration — at each point. Off-by-one run boundaries show up at the
+/// extremes of this sweep.
+#[test]
+fn rle_selectivity_sweep_agrees_across_configs() {
+    let tde = engine(8_000, true);
+    // "ZZ" matches nothing; "WN" is the most common carrier; dep_hour
+    // bounds cover none / few / most / all rows.
+    let filters = [
+        "(= carrier \"ZZ\")".to_string(),
+        "(= carrier \"HA\")".to_string(),
+        "(= carrier \"WN\")".to_string(),
+        "(in carrier \"WN\" \"DL\" \"AA\" \"UA\")".to_string(),
+        "(>= dep_hour 23)".to_string(),
+        "(>= dep_hour 18)".to_string(),
+        "(>= dep_hour 6)".to_string(),
+        "(>= dep_hour 0)".to_string(),
+        "(between dep_hour 9 9)".to_string(),
+    ];
+    let mut selectivities = Vec::new();
+    for f in &filters {
+        let q = format!(
+            "(aggregate ((carrier) (weekday)) \
+               ((count as n) (sum distance as dist) (min dep_delay as lo)) \
+               (select {f} (scan flights)))"
+        );
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for (name, opts) in configs() {
+            let mut rows = tde.query_with(&q, &opts).unwrap().to_rows();
+            rows.sort();
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(r, &rows, "config {name} diverged on filter {f}"),
+            }
+        }
+        let matched: i64 = reference
+            .unwrap()
+            .iter()
+            .map(|r| r[2].as_int().unwrap())
+            .sum();
+        selectivities.push(matched);
+    }
+    // The sweep must actually span the range: an empty point and a
+    // (near-)total point.
+    assert_eq!(selectivities[0], 0, "ZZ must match no rows");
+    assert_eq!(
+        *selectivities.iter().max().unwrap(),
+        8_000,
+        "dep_hour >= 0 must match all rows"
+    );
+}
+
+/// Aggregations over an empty input: grouped queries return zero rows and
+/// global (group-less) aggregates return their identity row — identically
+/// under every plan configuration.
+#[test]
+fn empty_input_aggregations_agree_across_configs() {
+    let tde = engine(4_000, true);
+    let empty = "(select (= carrier \"ZZ\") (scan flights))";
+    // Grouped: no groups exist, so no rows.
+    let grouped = format!("(aggregate ((carrier)) ((count as n) (sum distance as dist)) {empty})");
+    for (name, opts) in configs() {
+        let out = tde.query_with(&grouped, &opts).unwrap();
+        assert_eq!(out.len(), 0, "config {name}: grouped agg over empty input");
+    }
+    // Global: one row per configuration, and they all agree with serial.
+    let global = format!(
+        "(aggregate () ((count as n) (min dep_delay as lo) (max dep_delay as hi)) {empty})"
+    );
+    let reference = tde
+        .query_with(&global, &ExecOptions::serial())
+        .unwrap()
+        .to_rows();
+    assert_eq!(
+        reference[0][0],
+        Value::Int(0),
+        "COUNT over empty input is 0"
+    );
+    for (name, opts) in configs() {
+        let rows = tde.query_with(&global, &opts).unwrap().to_rows();
+        assert_eq!(
+            rows, reference,
+            "config {name}: global agg over empty input"
+        );
+    }
+}
+
+/// A filter isolating a single group must produce exactly one identical row
+/// everywhere — the degenerate case for local/global merging and range
+/// partitioning (one partition gets everything, the rest get nothing).
+#[test]
+fn single_group_aggregations_agree_across_configs() {
+    let tde = engine(4_000, true);
+    for q in [
+        // One group row survives the filter.
+        "(aggregate ((carrier)) ((count as n) (sum distance as dist) (avg arr_delay as d)) \
+           (select (= carrier \"WN\") (scan flights)))"
+            .to_string(),
+        // Group-less global aggregate over the whole table.
+        "(aggregate () ((count as n) (countd carrier as nc) (sum distance as dist)) \
+           (scan flights))"
+            .to_string(),
+    ] {
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for (name, opts) in configs() {
+            let rows = tde.query_with(&q, &opts).unwrap().to_rows();
+            assert_eq!(
+                rows.len(),
+                1,
+                "config {name}: expected a single row for {q}"
+            );
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(r, &rows, "config {name} diverged on {q}"),
+            }
+        }
+    }
+}
+
 #[test]
 fn exchange_results_complete_under_many_threads() {
     // Stress the Exchange with more branches than cores.

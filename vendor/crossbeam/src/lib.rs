@@ -1,0 +1,268 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the `crossbeam::channel` surface tabviz uses: `bounded` /
+//! `unbounded` mpmc channels with cloneable senders *and* receivers, blocking
+//! `send`/`recv`, and disconnect semantics (recv errors once all senders are
+//! gone and the buffer drains; send errors once all receivers are gone).
+//! Built on a mutex + two condvars around a `VecDeque`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        /// Space available (senders wait on this).
+        not_full: Condvar,
+        /// Items available (receivers wait on this).
+        not_empty: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by `send` when every receiver has been dropped.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by `recv` when the channel is empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut st = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.senders += 1;
+            drop(st);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut st = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.receivers += 1;
+            drop(st);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; fails only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if st.buf.len() >= cap => {
+                        st = self
+                            .shared
+                            .not_full
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
+            }
+            st.buf.push_back(value);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; fails once the channel is drained and every
+        /// sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive: `None` when nothing is buffered right now.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut st = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match st.buf.pop_front() {
+                Some(v) => {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    Ok(v)
+                }
+                None => Err(RecvError),
+            }
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                buf: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A channel that blocks senders once `cap` items are buffered.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
+    /// A channel with no backpressure.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError};
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_applies_backpressure_and_mpmc_works() {
+        let (tx, rx) = bounded(2);
+        let producers: Vec<_> = (0..3)
+            .map(|k| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        tx.send(k * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let rx2 = rx.clone();
+        let consumer = std::thread::spawn(move || {
+            let mut n = 0;
+            while rx2.recv().is_ok() {
+                n += 1;
+            }
+            n
+        });
+        let mut n = 0;
+        while rx.recv().is_ok() {
+            n += 1;
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(n + consumer.join().unwrap(), 150);
+    }
+
+    #[test]
+    fn send_fails_after_receivers_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

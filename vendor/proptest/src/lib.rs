@@ -1,0 +1,727 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy-combinator surface the tabviz property tests use
+//! (`prop_map`, `prop_flat_map`, `prop_recursive`, `prop_oneof!`, `Just`,
+//! ranges, `sample::select/subsequence`, `collection::vec`, `option::of`,
+//! `any`, `proptest!`, `prop_assert*`) over a deterministically seeded RNG.
+//!
+//! Differences from real proptest, chosen deliberately for an offline
+//! container: no shrinking (a failing case panics with the assertion message
+//! directly), and each test's case stream is seeded from the test's module
+//! path, so failures reproduce across runs and machines without a
+//! `proptest-regressions` directory.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod test_runner {
+    use super::*;
+
+    /// Per-test deterministic RNG.
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Seed from the fully qualified test name plus the case index: each
+        /// case draws from an independent, reproducible stream.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37)),
+            }
+        }
+    }
+
+    /// Runner configuration. Only `cases` is consulted; the rest of real
+    /// proptest's knobs have no meaning without shrinking.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        /// Accepted for API compatibility; there is no shrinking to bound.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Failure type for proptest bodies that `return Ok(())` early or use
+    /// `prop_assume!`. Without shrinking, a rejection simply skips the case.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        Reject(String),
+        Fail(String),
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub use test_runner::Config as ProptestConfig;
+use test_runner::TestRng;
+
+/// A generator of values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies, unrolled eagerly to `depth` levels: each level
+    /// chooses the leaf 1/3 of the time and recurses 2/3 of the time, which
+    /// bounds expected size like real proptest's budget does.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(cur).boxed();
+            cur = Union {
+                arms: vec![(1, leaf.clone()), (2, deeper)],
+            }
+            .boxed();
+        }
+        cur
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// Object-safe bridge for boxing.
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cloneable type-erased strategy (Arc-backed, like real proptest).
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Weighted union of same-typed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut roll = rng.rng.random_range(0..total.max(1));
+        for (w, s) in &self.arms {
+            if roll < *w {
+                return s.generate(rng);
+            }
+            roll -= w;
+        }
+        self.arms.last().expect("non-empty").1.generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()` for the primitives the tests draw.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_via_random {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.rng.random()
+            }
+        }
+    )*};
+}
+
+arb_via_random!(bool, u32, u64, usize, i64, f64);
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.random::<u32>() as i32
+    }
+}
+
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Bounds for collection/subsequence sizes, convertible from ranges.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub min: usize,
+    /// Inclusive.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+pub mod sample {
+    use super::*;
+
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.rng.random_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// Uniformly pick one of the given options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty vec");
+        Select { options }
+    }
+
+    pub struct Subsequence<T: Clone> {
+        options: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let max = self.size.max.min(self.options.len());
+            let min = self.size.min.min(max);
+            let want = rng.rng.random_range(min..=max);
+            // Draw indices without replacement, then emit in original order
+            // (real subsequence semantics).
+            let mut picked = vec![false; self.options.len()];
+            let mut left = want;
+            while left > 0 {
+                let i = rng.rng.random_range(0..self.options.len());
+                if !picked[i] {
+                    picked[i] = true;
+                    left -= 1;
+                }
+            }
+            self.options
+                .iter()
+                .zip(&picked)
+                .filter(|(_, &p)| p)
+                .map(|(v, _)| v.clone())
+                .collect()
+        }
+    }
+
+    /// An order-preserving random subsequence with len in `size`.
+    pub fn subsequence<T: Clone>(options: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            options,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng.random_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.rng.random_range(self.size.min..=self.size.max);
+            let mut set = std::collections::BTreeSet::new();
+            // Duplicates collapse, so draw with a bounded surplus of
+            // attempts; a sparse element domain may yield fewer than `n`.
+            for _ in 0..(4 * n.max(1)) {
+                if set.len() >= n {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            while set.len() < self.size.min {
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// A set of roughly `size` distinct elements drawn from `element`.
+    /// The element domain must be able to produce `size.min` distinct
+    /// values, or generation loops.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // 3/4 Some, like real proptest's default weight.
+            if rng.rng.random_range(0..4u32) > 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy, Union};
+}
+
+pub mod prelude {
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    pub use super::{BoxedStrategy, Just, Strategy};
+}
+
+/// Weighted/unweighted strategy choice. Every arm is boxed to a common type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Without shrinking, prop-asserts are plain asserts: the panic carries the
+/// formatted values and the deterministic seed reproduces the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when a generated input doesn't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat_param in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                // Build each strategy once; generation reuses it per case.
+                let strategies = ($($strat,)+);
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $crate::__proptest_bind!(__rng, strategies, ($($arg),+));
+                    // The closure lets bodies `return Ok(())` early, as with
+                    // real proptest's Result-returning test harness.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} failed: {}", __case, msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $tuple:expr, ($a:pat_param)) => {
+        let $a = $crate::Strategy::generate(&$tuple.0, &mut $rng);
+    };
+    ($rng:ident, $tuple:expr, ($a:pat_param, $b:pat_param)) => {
+        let $a = $crate::Strategy::generate(&$tuple.0, &mut $rng);
+        let $b = $crate::Strategy::generate(&$tuple.1, &mut $rng);
+    };
+    ($rng:ident, $tuple:expr, ($a:pat_param, $b:pat_param, $c:pat_param)) => {
+        let $a = $crate::Strategy::generate(&$tuple.0, &mut $rng);
+        let $b = $crate::Strategy::generate(&$tuple.1, &mut $rng);
+        let $c = $crate::Strategy::generate(&$tuple.2, &mut $rng);
+    };
+    ($rng:ident, $tuple:expr, ($a:pat_param, $b:pat_param, $c:pat_param, $d:pat_param)) => {
+        let $a = $crate::Strategy::generate(&$tuple.0, &mut $rng);
+        let $b = $crate::Strategy::generate(&$tuple.1, &mut $rng);
+        let $c = $crate::Strategy::generate(&$tuple.2, &mut $rng);
+        let $d = $crate::Strategy::generate(&$tuple.3, &mut $rng);
+    };
+    ($rng:ident, $tuple:expr, ($a:pat_param, $b:pat_param, $c:pat_param, $d:pat_param, $e:pat_param)) => {
+        let $a = $crate::Strategy::generate(&$tuple.0, &mut $rng);
+        let $b = $crate::Strategy::generate(&$tuple.1, &mut $rng);
+        let $c = $crate::Strategy::generate(&$tuple.2, &mut $rng);
+        let $d = $crate::Strategy::generate(&$tuple.3, &mut $rng);
+        let $e = $crate::Strategy::generate(&$tuple.4, &mut $rng);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = proptest::test_runner::TestRng::for_case("t1", 0);
+        let s = (0i64..100).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((0..200).contains(&v) && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = proptest::test_runner::TestRng::for_case("t2", 0);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_len() {
+        let mut rng = proptest::test_runner::TestRng::for_case("t3", 0);
+        let s = proptest::sample::subsequence(vec![1, 2, 3, 4, 5], 2..=4);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "order kept: {v:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let s = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            });
+        let mut rng = proptest::test_runner::TestRng::for_case("t4", 1);
+        for _ in 0..50 {
+            let t = s.generate(&mut rng);
+            assert!(depth(&t) <= 4, "depth bounded: {t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+        #[test]
+        fn macro_form_runs(x in 0u32..50, (a, b) in (0i64..5, 0i64..5)) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a - 1, a);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen = |case| {
+            let mut rng = proptest::test_runner::TestRng::for_case("det", case);
+            proptest::collection::vec(0i64..1000, 3..6).generate(&mut rng)
+        };
+        assert_eq!(gen(0), gen(0));
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(0), gen(1));
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the surface tabviz uses — `rngs::StdRng`, `SeedableRng`, and the
+//! `RngExt` extension with `random::<T>()` / `random_range(range)` /
+//! `random_bool(p)` — on top of xoshiro256** seeded through SplitMix64.
+//! Deterministic for a given seed, which is all the workloads and the fault
+//! injector require; no cryptographic claims.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG trait: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut eight = [0u8; 8];
+        eight.copy_from_slice(&seed[..8]);
+        Self::seed_from_u64(u64::from_le_bytes(eight))
+    }
+}
+
+/// Types drawable uniformly from an RNG (`rng.random::<T>()`).
+pub trait Standard: Sized {
+    fn draw(rng: &mut impl RngCore) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for i64 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for usize {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in [0, 1): 53 mantissa bits.
+    fn draw(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open or inclusive range.
+///
+/// The blanket `SampleRange` impls below are generic over this trait rather
+/// than enumerating concrete range types; a single applicable impl is what
+/// lets integer-literal ranges unify with the call site's expected type
+/// (e.g. `i64_val + rng.random_range(-12..10)`), matching real rand.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_in(lo: Self, hi: Self, inclusive: bool, rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, inclusive: bool, rng: &mut impl RngCore) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "empty range in random_range");
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in(lo: Self, hi: Self, _inclusive: bool, rng: &mut impl RngCore) -> Self {
+        lo + f64::draw(rng) * (hi - lo)
+    }
+}
+
+/// Ranges samplable via `rng.random_range(range)`.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_in(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// The ergonomic extension methods (rand 0.9+ naming).
+pub trait RngExt: RngCore + Sized {
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Legacy alias: older call sites name the trait `Rng`.
+pub use self::RngExt as Rng;
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the same generator family real `StdRng` builds are
+    /// benchmarked against; 2^256-1 period, passes BigCrush.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// A small-state generator for cheap per-call jitter.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.random_range(-10..15);
+            assert!((-10..15).contains(&v));
+            let u: usize = rng.random_range(0..3);
+            assert!(u < 3);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let w: usize = rng.random_range(0..=4);
+            assert!(w <= 4);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to stay sorted");
+    }
+}
