@@ -12,9 +12,39 @@
 use crate::source::{Connection, DataSource};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use tabviz_common::{Result, TvError};
+use tabviz_obs::{stage, Counter, Histogram, Registry};
+
+/// Pre-resolved metric handles (`tv_backend_pool_*`), bound once via
+/// [`ConnectionPool::bind_obs`]; the hot path pays one `OnceLock` load plus
+/// relaxed atomic increments.
+struct PoolMetrics {
+    opened: Counter,
+    reused: Counter,
+    waited: Counter,
+    evicted: Counter,
+    poisoned: Counter,
+    connect_retries: Counter,
+    acquire_timeouts: Counter,
+    acquire_wait: Histogram,
+}
+
+impl PoolMetrics {
+    fn bind(registry: &Registry) -> Self {
+        PoolMetrics {
+            opened: registry.counter("tv_backend_pool_opened_total"),
+            reused: registry.counter("tv_backend_pool_reused_total"),
+            waited: registry.counter("tv_backend_pool_waited_total"),
+            evicted: registry.counter("tv_backend_pool_evicted_total"),
+            poisoned: registry.counter("tv_backend_pool_poisoned_total"),
+            connect_retries: registry.counter("tv_backend_pool_connect_retries_total"),
+            acquire_timeouts: registry.counter("tv_backend_pool_acquire_timeouts_total"),
+            acquire_wait: registry.histogram("tv_backend_pool_acquire_wait_seconds"),
+        }
+    }
+}
 
 /// Pool counters.
 #[derive(Debug, Clone, Default)]
@@ -100,6 +130,7 @@ pub struct ConnectionPool {
     backoff_salt: AtomicU64,
     inner: Mutex<PoolInner>,
     cv: Condvar,
+    metrics: OnceLock<PoolMetrics>,
 }
 
 /// RAII guard: returns the connection to the pool on drop — unless the
@@ -141,6 +172,9 @@ impl Drop for PooledConnection<'_> {
                 // Dropping the boxed connection closes the session; the
                 // freed capacity lets a waiter open a fresh one.
                 inner.stats.poisoned += 1;
+                if let Some(m) = self.pool.obs() {
+                    m.poisoned.inc();
+                }
             } else {
                 inner.idle.push(Idle {
                     conn,
@@ -174,7 +208,18 @@ impl ConnectionPool {
                 stats: PoolStats::default(),
             }),
             cv: Condvar::new(),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Resolve this pool's `tv_backend_pool_*` metrics against a registry.
+    /// Idempotent; the first binding wins.
+    pub fn bind_obs(&self, registry: &Registry) {
+        let _ = self.metrics.set(PoolMetrics::bind(registry));
+    }
+
+    fn obs(&self) -> Option<&PoolMetrics> {
+        self.metrics.get()
     }
 
     /// Replace the retry/deadline policy (builder style).
@@ -226,13 +271,19 @@ impl ConnectionPool {
         temp_table: Option<&str>,
         timeout: Option<Duration>,
     ) -> Result<PooledConnection<'_>> {
-        let deadline = timeout.map(|t| Instant::now() + t);
+        let wait_start = Instant::now();
+        let mut span = tabviz_obs::span(stage::POOL_ACQUIRE);
+        let deadline = timeout.map(|t| wait_start + t);
         let mut inner = self.inner.lock();
         loop {
             // 0. Sessions that died while idle are discarded, never reused.
             let before = inner.idle.len();
             inner.idle.retain(|i| i.conn.healthy());
-            inner.stats.poisoned += before - inner.idle.len();
+            let culled = before - inner.idle.len();
+            inner.stats.poisoned += culled;
+            if let Some(m) = self.obs() {
+                m.poisoned.add(culled as u64);
+            }
 
             // 1. An idle connection holding the wanted temp structure.
             if let Some(name) = temp_table {
@@ -240,6 +291,8 @@ impl ConnectionPool {
                     let idle = inner.idle.remove(pos);
                     inner.in_use += 1;
                     inner.stats.reused += 1;
+                    span.label("temp_affinity");
+                    self.observe_acquire(|m| &m.reused, wait_start);
                     return Ok(PooledConnection {
                         pool: self,
                         conn: Some(idle.conn),
@@ -252,6 +305,8 @@ impl ConnectionPool {
             if let Some(idle) = inner.idle.pop() {
                 inner.in_use += 1;
                 inner.stats.reused += 1;
+                span.label("reused");
+                self.observe_acquire(|m| &m.reused, wait_start);
                 return Ok(PooledConnection {
                     pool: self,
                     conn: Some(idle.conn),
@@ -268,6 +323,8 @@ impl ConnectionPool {
                 loop {
                     match self.source.connect() {
                         Ok(conn) => {
+                            span.label("opened");
+                            self.observe_acquire(|m| &m.opened, wait_start);
                             return Ok(PooledConnection {
                                 pool: self,
                                 conn: Some(conn),
@@ -281,6 +338,10 @@ impl ConnectionPool {
                         {
                             let salt = self.backoff_salt.fetch_add(1, Ordering::Relaxed);
                             self.inner.lock().stats.connect_retries += 1;
+                            if let Some(m) = self.obs() {
+                                m.connect_retries.inc();
+                            }
+                            tabviz_obs::event(stage::RETRY, Some("connect"), Some(attempt as u64));
                             std::thread::sleep(self.policy.backoff(attempt, salt));
                             attempt += 1;
                         }
@@ -289,6 +350,7 @@ impl ConnectionPool {
                             inner.in_use -= 1;
                             inner.stats.opened -= 1;
                             self.cv.notify_one();
+                            span.label("connect_failed");
                             return Err(e);
                         }
                     }
@@ -296,11 +358,19 @@ impl ConnectionPool {
             }
             // 4. Wait for a connection to come back, up to the deadline.
             inner.stats.waited += 1;
+            if let Some(m) = self.obs() {
+                m.waited.inc();
+            }
             match deadline {
                 None => self.cv.wait(&mut inner),
                 Some(d) => {
                     if Instant::now() >= d {
                         inner.stats.acquire_timeouts += 1;
+                        span.label("timeout");
+                        if let Some(m) = self.obs() {
+                            m.acquire_timeouts.inc();
+                            m.acquire_wait.observe(wait_start.elapsed());
+                        }
                         return Err(TvError::Timeout(format!(
                             "acquiring a '{}' connection exceeded {:?} (pool size {})",
                             self.source.name(),
@@ -311,6 +381,15 @@ impl ConnectionPool {
                     self.cv.wait_until(&mut inner, d);
                 }
             }
+        }
+    }
+
+    /// Record a successful acquisition: bump the path's counter and observe
+    /// how long the caller waited.
+    fn observe_acquire(&self, which: impl Fn(&PoolMetrics) -> &Counter, wait_start: Instant) {
+        if let Some(m) = self.obs() {
+            which(m).inc();
+            m.acquire_wait.observe(wait_start.elapsed());
         }
     }
 
@@ -330,6 +409,9 @@ impl ConnectionPool {
             .retain(|i| now.duration_since(i.last_used) <= max_age);
         let evicted = before - inner.idle.len();
         inner.stats.evicted += evicted;
+        if let Some(m) = self.obs() {
+            m.evicted.add(evicted as u64);
+        }
         evicted
     }
 
@@ -340,6 +422,9 @@ impl ConnectionPool {
         let n = inner.idle.len();
         inner.idle.clear();
         inner.stats.evicted += n;
+        if let Some(m) = self.obs() {
+            m.evicted.add(n as u64);
+        }
     }
 
     pub fn idle_count(&self) -> usize {

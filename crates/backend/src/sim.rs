@@ -253,16 +253,46 @@ struct SimInner {
     temp_ops: AtomicU64,
 }
 
+/// Human-readable fault-site name (event labels, error attribution).
+fn site_name(site: u64) -> &'static str {
+    match site {
+        SITE_CONNECT => "connect_failure",
+        SITE_QUERY_TRANSIENT => "transient_query_failure",
+        SITE_QUERY_SLOW => "slow_query",
+        SITE_QUERY_DROP => "connection_drop",
+        SITE_TEMP_TABLE => "temp_table_failure",
+        _ => "unknown",
+    }
+}
+
 impl SimInner {
     /// Deterministic decision for the `n`-th operation at a fault site.
     fn fault_fires(&self, site: u64, n: u64, pick: impl Fn(&FaultPlan) -> f64) -> bool {
+        self.fault_fires_tagged(site, n, pick).is_some()
+    }
+
+    /// Like [`Self::fault_fires`], but when the fault fires it also records
+    /// a trace event naming the site and seed-roll ordinal — so a query
+    /// profile (or a failing test's error text) can name the exact fault —
+    /// and returns the plan seed for error attribution.
+    fn fault_fires_tagged(
+        &self,
+        site: u64,
+        n: u64,
+        pick: impl Fn(&FaultPlan) -> f64,
+    ) -> Option<u64> {
         let faults = self.faults.lock();
-        match faults.as_ref() {
-            Some(plan) => {
-                let p = pick(plan);
-                p > 0.0 && fault_roll(plan.seed, site, n) < p
-            }
-            None => false,
+        let plan = faults.as_ref()?;
+        let p = pick(plan);
+        if p > 0.0 && fault_roll(plan.seed, site, n) < p {
+            tabviz_obs::event(
+                tabviz_obs::stage::FAULT_INJECTED,
+                Some(site_name(site)),
+                Some(n),
+            );
+            Some(plan.seed)
+        } else {
+            None
         }
     }
 
@@ -362,14 +392,14 @@ impl DataSource for SimDb {
         // Connect-time fault: the handshake latency is paid (as with a real
         // refused/reset connection) but no session comes back.
         let n = self.inner.connect_ops.fetch_add(1, Ordering::SeqCst);
-        if self
+        if let Some(seed) = self
             .inner
-            .fault_fires(SITE_CONNECT, n, |p| p.connect_failure)
+            .fault_fires_tagged(SITE_CONNECT, n, |p| p.connect_failure)
         {
             self.inner.open_connections.fetch_sub(1, Ordering::SeqCst);
             self.inner.stats.lock().connect_faults += 1;
             return Err(TvError::Transient(format!(
-                "{}: connect attempt refused",
+                "{}: connect attempt refused (fault connect_failure#{n} seed {seed})",
                 self.inner.name
             )));
         }
@@ -485,24 +515,24 @@ impl Connection for SimConnection {
         // Mid-query connection drop: the query fails transiently AND the
         // session is poisoned — later use of this connection also fails, and
         // the pool must not recycle it.
-        if self
+        if let Some(seed) = self
             .server
-            .fault_fires(SITE_QUERY_DROP, n, |p| p.connection_drop)
+            .fault_fires_tagged(SITE_QUERY_DROP, n, |p| p.connection_drop)
         {
             self.dropped = true;
             self.server.stats.lock().dropped_connections += 1;
             return Err(TvError::Transient(format!(
-                "{}: connection dropped mid-query",
+                "{}: connection dropped mid-query (fault connection_drop#{n} seed {seed})",
                 self.server.name
             )));
         }
-        if self
+        if let Some(seed) = self
             .server
-            .fault_fires(SITE_QUERY_TRANSIENT, n, |p| p.transient_query_failure)
+            .fault_fires_tagged(SITE_QUERY_TRANSIENT, n, |p| p.transient_query_failure)
         {
             self.server.stats.lock().transient_faults += 1;
             return Err(TvError::Transient(format!(
-                "{}: transient server error",
+                "{}: transient server error (fault transient_query_failure#{n} seed {seed})",
                 self.server.name
             )));
         }
@@ -609,13 +639,13 @@ impl Connection for SimConnection {
             )));
         }
         let n = self.server.temp_ops.fetch_add(1, Ordering::SeqCst);
-        if self
+        if let Some(seed) = self
             .server
-            .fault_fires(SITE_TEMP_TABLE, n, |p| p.temp_table_failure)
+            .fault_fires_tagged(SITE_TEMP_TABLE, n, |p| p.temp_table_failure)
         {
             self.server.stats.lock().temp_table_faults += 1;
             return Err(TvError::Transient(format!(
-                "{}: temp table creation failed transiently",
+                "{}: temp table creation failed transiently (fault temp_table_failure#{n} seed {seed})",
                 self.server.name
             )));
         }

@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates a results table for every performance
 //! claim / figure in the paper (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e16|all]`
+//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e17|all]`
 
 #![allow(clippy::field_reassign_with_default)] // options structs read better mutated
 
@@ -66,6 +66,9 @@ fn main() {
     }
     if all || which == "e16" {
         e16_fault_resilience();
+    }
+    if all || which == "e17" {
+        e17_observability();
     }
 }
 
@@ -1079,4 +1082,107 @@ fn e16_fault_resilience() {
         ],
         &out,
     );
+}
+
+// ---------------------------------------------------------------- E17 ----
+
+/// Sect. 3: where does user response time go? A Fig. 1 dashboard is run
+/// cold (everything remote) and warm (everything cached); per-query
+/// response-time profiles are aggregated into a stage-level latency
+/// breakdown, and the metrics registry is dumped for the CI smoke check.
+fn e17_observability() {
+    use tabviz::obs::MetricValue;
+
+    let db = faa_db(60_000);
+    let (qp, _sim) = processor_over(db, lan_config(), 4);
+    let dash = fig1_dashboard("warehouse", "flights");
+    let batch = dash.batch(&DashboardState::default(), true);
+
+    let (_cold, cold_wall) =
+        time_it(|| execute_batch(&qp, &batch, &BatchOptions::default()).expect("cold"));
+    let cold_stats = qp.stats();
+    let (_warm, warm_wall) =
+        time_it(|| execute_batch(&qp, &batch, &BatchOptions::default()).expect("warm"));
+    let warm_stats = qp.stats();
+
+    // Aggregate the per-query profiles into a per-stage latency table.
+    let profiles = qp.obs.profiles.all();
+    let mut by_stage: std::collections::BTreeMap<&'static str, Vec<Duration>> =
+        std::collections::BTreeMap::new();
+    for p in &profiles {
+        for s in &p.stages {
+            by_stage.entry(s.stage).or_default().push(s.dur);
+        }
+    }
+    let pct = |durs: &[Duration], q: f64| -> Duration {
+        let rank = ((q * durs.len() as f64).ceil() as usize).clamp(1, durs.len());
+        durs[rank - 1]
+    };
+    let mut rows: Vec<(Duration, Vec<String>)> = by_stage
+        .into_iter()
+        .map(|(stage, mut durs)| {
+            durs.sort();
+            let total: Duration = durs.iter().sum();
+            (
+                total,
+                vec![
+                    stage.to_string(),
+                    durs.len().to_string(),
+                    ms(total),
+                    ms(pct(&durs, 0.5)),
+                    ms(pct(&durs, 0.95)),
+                ],
+            )
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.0));
+    print_table(
+        &format!(
+            "E17 — stage-level latency breakdown over {} profiled queries (cold {} ms, warm {} ms)",
+            profiles.len(),
+            ms(cold_wall),
+            ms(warm_wall),
+        ),
+        &["stage", "count", "total ms", "p50 ms", "p95 ms"],
+        &rows.into_iter().map(|(_, r)| r).collect::<Vec<_>>(),
+    );
+
+    // One full per-query timeline, as the profile renderer prints it.
+    if let Some(remote) = profiles
+        .iter()
+        .find(|p| p.outcome == ProfileOutcome::Remote)
+    {
+        println!("\nsample cold profile:\n{}", remote.render());
+    }
+    if let Some(hit) = profiles
+        .iter()
+        .rev()
+        .find(|p| p.outcome == ProfileOutcome::Hit)
+    {
+        println!("sample warm profile:\n{}", hit.render());
+    }
+
+    // Machine-checkable summary lines (the CI smoke test greps these).
+    let warm_queries =
+        (warm_stats.intelligent_hits + warm_stats.literal_hits + warm_stats.remote_queries)
+            - (cold_stats.intelligent_hits + cold_stats.literal_hits + cold_stats.remote_queries);
+    let warm_hits = (warm_stats.intelligent_hits + warm_stats.literal_hits)
+        - (cold_stats.intelligent_hits + cold_stats.literal_hits);
+    println!(
+        "e17_warm_hit_rate {:.3}",
+        warm_hits as f64 / warm_queries.max(1) as f64
+    );
+    for (name, value) in qp.obs.registry.snapshot() {
+        match value {
+            MetricValue::Counter(v) => println!("e17_metric {name} {v}"),
+            MetricValue::Gauge(v) => println!("e17_metric {name} {v}"),
+            MetricValue::Histogram(h) => println!(
+                "e17_metric {name} count={} p50us={} p95us={} p99us={}",
+                h.count,
+                h.p50_micros.unwrap_or(0),
+                h.p95_micros.unwrap_or(0),
+                h.p99_micros.unwrap_or(0)
+            ),
+        }
+    }
 }

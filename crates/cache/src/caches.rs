@@ -34,6 +34,13 @@ impl QueryCaches {
         }
     }
 
+    /// Resolve both levels' `tv_cache_*` metrics against a registry.
+    /// Idempotent; the first binding wins.
+    pub fn bind_obs(&self, registry: &tabviz_obs::Registry) {
+        self.intelligent.bind_obs(registry);
+        self.literal.bind_obs(registry);
+    }
+
     /// Two-level lookup. `text` is the compiled query text (produced anyway
     /// before dispatch, so the literal probe is free).
     pub fn lookup(&self, spec: &QuerySpec, text: &str) -> (Option<Chunk>, CacheOutcome) {

@@ -26,9 +26,10 @@ use crate::implication::implies;
 use crate::spec::QuerySpec;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use tabviz_common::{Chunk, Result, TvError};
+use tabviz_obs::{stage, Counter, Histogram, Registry};
 use tabviz_storage::{Database, Table};
 use tabviz_tde::{ExecOptions, Tde};
 use tabviz_tql::expr::{and_all, bin, col, Expr};
@@ -130,10 +131,40 @@ struct Inner {
     stats: IntelligentStats,
 }
 
+/// Pre-resolved `tv_cache_intelligent_*` metric handles (see
+/// [`IntelligentCache::bind_obs`]). `stale_age` records age-at-serve of
+/// every degraded (stale) answer — the data the stale-TTL policy needs.
+struct CacheMetrics {
+    exact_hits: Counter,
+    subsumption_hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    rejected_inserts: Counter,
+    evictions: Counter,
+    stale_serves: Counter,
+    stale_age: Histogram,
+}
+
+impl CacheMetrics {
+    fn bind(registry: &Registry) -> Self {
+        CacheMetrics {
+            exact_hits: registry.counter("tv_cache_intelligent_exact_hits_total"),
+            subsumption_hits: registry.counter("tv_cache_intelligent_subsumption_hits_total"),
+            misses: registry.counter("tv_cache_intelligent_misses_total"),
+            inserts: registry.counter("tv_cache_intelligent_inserts_total"),
+            rejected_inserts: registry.counter("tv_cache_intelligent_rejected_inserts_total"),
+            evictions: registry.counter("tv_cache_intelligent_evictions_total"),
+            stale_serves: registry.counter("tv_cache_intelligent_stale_serves_total"),
+            stale_age: registry.histogram("tv_cache_stale_age_seconds"),
+        }
+    }
+}
+
 /// The intelligent cache. Thread-safe.
 pub struct IntelligentCache {
     config: CacheConfig,
     inner: Mutex<Inner>,
+    metrics: OnceLock<CacheMetrics>,
 }
 
 impl Default for IntelligentCache {
@@ -153,7 +184,18 @@ impl IntelligentCache {
                 bytes: 0,
                 stats: IntelligentStats::default(),
             }),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Resolve this cache's `tv_cache_intelligent_*` metrics against a
+    /// registry. Idempotent; the first binding wins.
+    pub fn bind_obs(&self, registry: &Registry) {
+        let _ = self.metrics.set(CacheMetrics::bind(registry));
+    }
+
+    fn obs(&self) -> Option<&CacheMetrics> {
+        self.metrics.get()
     }
 
     pub fn stats(&self) -> IntelligentStats {
@@ -250,6 +292,7 @@ impl IntelligentCache {
             };
             let cached = entry.result.clone();
             let cached_spec = entry.spec.clone();
+            let created = entry.created;
             // Update usage accounting.
             let e = inner.entries.get_mut(&id).expect("entry exists");
             e.use_count += 1;
@@ -257,8 +300,12 @@ impl IntelligentCache {
             if effort == 0 {
                 if allow_stale {
                     inner.stats.stale_serves += 1;
+                    self.observe_stale_serve(created);
                 } else {
                     inner.stats.exact_hits += 1;
+                    if let Some(m) = self.obs() {
+                        m.exact_hits.inc();
+                    }
                 }
                 return Some(cached);
             }
@@ -266,8 +313,12 @@ impl IntelligentCache {
                 Ok(out) => {
                     if allow_stale {
                         inner.stats.stale_serves += 1;
+                        self.observe_stale_serve(created);
                     } else {
                         inner.stats.subsumption_hits += 1;
+                        if let Some(m) = self.obs() {
+                            m.subsumption_hits.inc();
+                        }
                     }
                     return Some(out);
                 }
@@ -276,8 +327,26 @@ impl IntelligentCache {
         }
         if !allow_stale {
             inner.stats.misses += 1;
+            if let Some(m) = self.obs() {
+                m.misses.inc();
+            }
         }
         None
+    }
+
+    /// A stale entry was served degraded: record its age-at-serve (the data
+    /// a future stale-TTL policy needs) and tag the current trace.
+    fn observe_stale_serve(&self, created: Instant) {
+        let age = created.elapsed();
+        if let Some(m) = self.obs() {
+            m.stale_serves.inc();
+            m.stale_age.observe(age);
+        }
+        tabviz_obs::event(
+            stage::STALE_SERVE,
+            Some("intelligent"),
+            Some(age.as_micros().min(u64::MAX as u128) as u64),
+        );
     }
 
     /// Insert a result. `cost` is what computing it took.
@@ -286,6 +355,9 @@ impl IntelligentCache {
         let mut inner = self.inner.lock();
         if bytes > self.config.max_entry_bytes || cost < self.config.min_cost {
             inner.stats.rejected_inserts += 1;
+            if let Some(m) = self.obs() {
+                m.rejected_inserts.inc();
+            }
             return;
         }
         let mut spec = spec;
@@ -310,6 +382,9 @@ impl IntelligentCache {
         inner.buckets.entry(bucket).or_default().push(id);
         inner.bytes += bytes;
         inner.stats.inserts += 1;
+        if let Some(m) = self.obs() {
+            m.inserts.inc();
+        }
         self.enforce_capacity(&mut inner);
     }
 
@@ -329,6 +404,9 @@ impl IntelligentCache {
             if let Some(e) = inner.entries.remove(&id) {
                 inner.bytes -= e.bytes;
                 inner.stats.evictions += 1;
+                if let Some(m) = self.obs() {
+                    m.evictions.inc();
+                }
                 let bucket = e.spec.bucket_key();
                 if let Some(ids) = inner.buckets.get_mut(&bucket) {
                     ids.retain(|&i| i != id);

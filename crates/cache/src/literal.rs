@@ -9,8 +9,10 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 use tabviz_common::Chunk;
+use tabviz_obs::{stage, Counter, Histogram, Registry};
 
 struct Entry {
     result: Chunk,
@@ -49,11 +51,37 @@ struct Inner {
     stats: LiteralStats,
 }
 
+/// Pre-resolved `tv_cache_literal_*` metric handles (see
+/// [`LiteralCache::bind_obs`]). `stale_age` shares the cross-cache
+/// `tv_cache_stale_age_seconds` histogram.
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    evictions: Counter,
+    stale_serves: Counter,
+    stale_age: Histogram,
+}
+
+impl CacheMetrics {
+    fn bind(registry: &Registry) -> Self {
+        CacheMetrics {
+            hits: registry.counter("tv_cache_literal_hits_total"),
+            misses: registry.counter("tv_cache_literal_misses_total"),
+            inserts: registry.counter("tv_cache_literal_inserts_total"),
+            evictions: registry.counter("tv_cache_literal_evictions_total"),
+            stale_serves: registry.counter("tv_cache_literal_stale_serves_total"),
+            stale_age: registry.histogram("tv_cache_stale_age_seconds"),
+        }
+    }
+}
+
 /// Text-keyed result cache. Keys include the source name so identical SQL
 /// against different servers never collides.
 pub struct LiteralCache {
     capacity_bytes: usize,
     inner: Mutex<Inner>,
+    metrics: OnceLock<CacheMetrics>,
 }
 
 impl Default for LiteralCache {
@@ -71,7 +99,18 @@ impl LiteralCache {
                 bytes: 0,
                 stats: LiteralStats::default(),
             }),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Resolve this cache's `tv_cache_literal_*` metrics against a
+    /// registry. Idempotent; the first binding wins.
+    pub fn bind_obs(&self, registry: &Registry) {
+        let _ = self.metrics.set(CacheMetrics::bind(registry));
+    }
+
+    fn obs(&self) -> Option<&CacheMetrics> {
+        self.metrics.get()
     }
 
     fn key(source: &str, text: &str) -> String {
@@ -87,10 +126,16 @@ impl LiteralCache {
                 e.last_used = Instant::now();
                 let out = e.result.clone();
                 inner.stats.hits += 1;
+                if let Some(m) = self.obs() {
+                    m.hits.inc();
+                }
                 Some(out)
             }
             _ => {
                 inner.stats.misses += 1;
+                if let Some(m) = self.obs() {
+                    m.misses.inc();
+                }
                 None
             }
         }
@@ -106,7 +151,17 @@ impl LiteralCache {
         e.use_count += 1;
         e.last_used = Instant::now();
         let out = e.result.clone();
+        let age = e.created.elapsed();
         inner.stats.stale_serves += 1;
+        if let Some(m) = self.obs() {
+            m.stale_serves.inc();
+            m.stale_age.observe(age);
+        }
+        tabviz_obs::event(
+            stage::STALE_SERVE,
+            Some("literal"),
+            Some(age.as_micros().min(u64::MAX as u128) as u64),
+        );
         Some(out)
     }
 
@@ -131,6 +186,9 @@ impl LiteralCache {
         }
         inner.bytes += bytes;
         inner.stats.inserts += 1;
+        if let Some(m) = self.obs() {
+            m.inserts.inc();
+        }
         while inner.bytes > self.capacity_bytes && inner.entries.len() > 1 {
             let now = Instant::now();
             let victim = inner
@@ -146,6 +204,9 @@ impl LiteralCache {
             if let Some(e) = inner.entries.remove(&k) {
                 inner.bytes -= e.bytes;
                 inner.stats.evictions += 1;
+                if let Some(m) = self.obs() {
+                    m.evictions.inc();
+                }
             }
         }
     }

@@ -117,8 +117,10 @@ pub fn execute_batch(
 
     // Phase 0: fusion.
     let (exec_specs, assignment): (Vec<QuerySpec>, Vec<usize>) = if options.fuse {
+        let mut fspan = tabviz_obs::span(tabviz_obs::stage::FUSION);
         let plan = fuse(&specs);
         report.fused_away = plan.saved();
+        fspan.detail(plan.saved() as u64);
         (plan.fused, plan.assignment)
     } else {
         let idx = (0..specs.len()).collect();
@@ -128,6 +130,7 @@ pub fn execute_batch(
     // Phase 1: partition into remote sources and locally-derivable queries.
     // Remote = nodes with no incoming edge (dedup first: mutual subsumption
     // between identical specs would otherwise orphan both).
+    let mut pspan = tabviz_obs::span(tabviz_obs::stage::BATCH_PARTITION);
     let mut canonical: HashMap<String, usize> = HashMap::new();
     let mut unique: Vec<QuerySpec> = Vec::new();
     let mut unique_of: Vec<usize> = Vec::with_capacity(exec_specs.len());
@@ -149,6 +152,8 @@ pub fn execute_batch(
     let local_idx: Vec<usize> = (0..unique.len())
         .filter(|&i| !preds[i].is_empty())
         .collect();
+    pspan.detail(remote_idx.len() as u64);
+    drop(pspan);
 
     // Phase 2: concurrent remote submission. Each remote execution lands in
     // the shared caches, which is what unblocks the local set. A fatal
@@ -265,6 +270,24 @@ pub fn execute_batch(
         .filter(|e| matches!(e, TvError::Cancelled(_)))
         .count();
     report.wall = t0.elapsed();
+
+    // Per-batch completion metrics (get-or-create is a read-lock fast path).
+    let reg = &processor.obs.registry;
+    reg.counter("tv_core_batches_total").inc();
+    reg.counter("tv_core_batch_zones_total")
+        .add(queries.len() as u64);
+    reg.counter("tv_core_batch_remote_total")
+        .add(report.remote as u64);
+    reg.counter("tv_core_batch_local_total")
+        .add(report.local as u64);
+    reg.counter("tv_core_batch_fused_away_total")
+        .add(report.fused_away as u64);
+    reg.counter("tv_core_batch_degraded_total")
+        .add(report.degraded as u64);
+    reg.counter("tv_core_batch_failed_total")
+        .add(report.failed as u64);
+    reg.histogram("tv_core_batch_seconds").observe(report.wall);
+
     Ok(BatchResult {
         results,
         stale,

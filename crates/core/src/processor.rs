@@ -9,12 +9,13 @@
 
 use crate::compile::{apply_local_post, compile_spec, CompiledQuery};
 use crate::registry::{ManagedSource, SourceRegistry};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tabviz_backend::Capabilities;
 use tabviz_cache::{QueryCaches, QuerySpec};
 use tabviz_common::{Chunk, Result, TvError};
+use tabviz_obs::{stage, Counter, Histogram, Obs, ProfileOutcome};
 
 /// How a query was answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +28,8 @@ pub enum ExecOutcome {
     DegradedStale,
 }
 
-/// Cumulative processor counters.
+/// Cumulative processor counters (a point-in-time copy; see
+/// [`QueryProcessor::stats`]).
 #[derive(Debug, Clone, Default)]
 pub struct ProcessorStats {
     pub intelligent_hits: u64,
@@ -41,6 +43,82 @@ pub struct ProcessorStats {
     pub transient_retries: u64,
     /// Queries answered from a stale cache entry after the backend failed.
     pub degraded_serves: u64,
+}
+
+/// Lock-free backing store for [`ProcessorStats`]: per-field atomics instead
+/// of one mutex, so concurrent batch workers never serialize on bookkeeping.
+#[derive(Default)]
+struct AtomicStats {
+    intelligent_hits: AtomicU64,
+    literal_hits: AtomicU64,
+    remote_queries: AtomicU64,
+    widened_queries: AtomicU64,
+    temp_table_fallbacks: AtomicU64,
+    remote_time_nanos: AtomicU64,
+    transient_retries: AtomicU64,
+    degraded_serves: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ProcessorStats {
+        ProcessorStats {
+            intelligent_hits: self.intelligent_hits.load(Relaxed),
+            literal_hits: self.literal_hits.load(Relaxed),
+            remote_queries: self.remote_queries.load(Relaxed),
+            widened_queries: self.widened_queries.load(Relaxed),
+            temp_table_fallbacks: self.temp_table_fallbacks.load(Relaxed),
+            remote_time: Duration::from_nanos(self.remote_time_nanos.load(Relaxed)),
+            transient_retries: self.transient_retries.load(Relaxed),
+            degraded_serves: self.degraded_serves.load(Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.intelligent_hits.store(0, Relaxed);
+        self.literal_hits.store(0, Relaxed);
+        self.remote_queries.store(0, Relaxed);
+        self.widened_queries.store(0, Relaxed);
+        self.temp_table_fallbacks.store(0, Relaxed);
+        self.remote_time_nanos.store(0, Relaxed);
+        self.transient_retries.store(0, Relaxed);
+        self.degraded_serves.store(0, Relaxed);
+    }
+}
+
+/// Registry-visible processor metrics (`tv_core_*`), bound once at
+/// construction. These shadow [`AtomicStats`] where the names overlap; the
+/// registry versions are for exposition, the stats struct is the stable
+/// programmatic API.
+struct CoreMetrics {
+    queries: Counter,
+    intelligent_hits: Counter,
+    literal_hits: Counter,
+    remote_queries: Counter,
+    widened_queries: Counter,
+    transient_retries: Counter,
+    degraded_serves: Counter,
+    temp_table_fallbacks: Counter,
+    timeouts: Counter,
+    query_time: Histogram,
+    remote_time: Histogram,
+}
+
+impl CoreMetrics {
+    fn bind(registry: &tabviz_obs::Registry) -> Self {
+        CoreMetrics {
+            queries: registry.counter("tv_core_queries_total"),
+            intelligent_hits: registry.counter("tv_core_intelligent_hits_total"),
+            literal_hits: registry.counter("tv_core_literal_hits_total"),
+            remote_queries: registry.counter("tv_core_remote_queries_total"),
+            widened_queries: registry.counter("tv_core_widened_queries_total"),
+            transient_retries: registry.counter("tv_core_transient_retries_total"),
+            degraded_serves: registry.counter("tv_core_degraded_serves_total"),
+            temp_table_fallbacks: registry.counter("tv_core_temp_table_fallbacks_total"),
+            timeouts: registry.counter("tv_core_timeouts_total"),
+            query_time: registry.histogram("tv_core_query_seconds"),
+            remote_time: registry.histogram("tv_core_remote_seconds"),
+        }
+    }
 }
 
 /// Feature switches (each is an experiment baseline).
@@ -173,12 +251,15 @@ fn widen_spec(spec: &QuerySpec, max_extra: usize) -> Option<QuerySpec> {
     Some(widened)
 }
 
-/// The query processor: sources + caches.
+/// The query processor: sources + caches + observability.
 pub struct QueryProcessor {
     pub registry: SourceRegistry,
     pub caches: QueryCaches,
     pub options: ProcessorOptions,
-    stats: Mutex<ProcessorStats>,
+    /// Per-processor observability: metrics registry + recent profiles.
+    pub obs: Arc<Obs>,
+    stats: AtomicStats,
+    metrics: CoreMetrics,
 }
 
 impl Default for QueryProcessor {
@@ -189,42 +270,102 @@ impl Default for QueryProcessor {
 
 impl QueryProcessor {
     pub fn new(caches: QueryCaches) -> Self {
+        let obs = Arc::new(Obs::new());
+        caches.bind_obs(&obs.registry);
+        let registry = SourceRegistry::new();
+        registry.set_obs(obs.registry.clone());
+        let metrics = CoreMetrics::bind(&obs.registry);
         QueryProcessor {
-            registry: SourceRegistry::new(),
+            registry,
             caches,
             options: ProcessorOptions::default(),
-            stats: Mutex::new(ProcessorStats::default()),
+            obs,
+            stats: AtomicStats::default(),
+            metrics,
         }
     }
 
     pub fn stats(&self) -> ProcessorStats {
-        self.stats.lock().clone()
+        self.stats.snapshot()
     }
 
     pub fn reset_stats(&self) {
-        *self.stats.lock() = ProcessorStats::default();
+        self.stats.reset();
     }
 
-    /// Execute one internal query through the full pipeline.
+    /// Execute one internal query through the full pipeline, recording a
+    /// per-query [`tabviz_obs::QueryProfile`] (timeline of stages, retry
+    /// count, fault attribution, outcome) into [`Self::obs`].
     pub fn execute(&self, spec: &QuerySpec) -> Result<(Chunk, ExecOutcome)> {
+        let started = Instant::now();
+        let trace_mark = tabviz_obs::mark();
+        let result = self.execute_inner(spec);
+        let total = started.elapsed();
+        self.metrics.queries.inc();
+        self.metrics.query_time.observe(total);
+        if matches!(result, Err(TvError::Timeout(_))) {
+            self.metrics.timeouts.inc();
+        }
+        let events = tabviz_obs::collect_since(&trace_mark);
+        let outcome = match &result {
+            Ok((_, _, profile_outcome)) => *profile_outcome,
+            Err(_) => ProfileOutcome::Failed,
+        };
+        let retries = events
+            .iter()
+            .filter(|e| e.stage == stage::RETRY && e.label == Some("transient"))
+            .count() as u64;
+        let profile = tabviz_obs::assemble(
+            spec.canonical_text().replace('\u{1}', " "),
+            spec.source.clone(),
+            outcome,
+            retries,
+            started,
+            total,
+            &events,
+        );
+        self.obs.profiles.record(profile);
+        result.map(|(chunk, exec, _)| (chunk, exec))
+    }
+
+    /// The untraced pipeline body. Returns the public [`ExecOutcome`] plus
+    /// the finer-grained [`ProfileOutcome`] (widened serves are `Derived`,
+    /// not `Remote`).
+    fn execute_inner(&self, spec: &QuerySpec) -> Result<(Chunk, ExecOutcome, ProfileOutcome)> {
         let managed = self.registry.get(&spec.source)?;
         if self.options.use_intelligent_cache {
-            if let Some(hit) = self.caches.intelligent.get(spec) {
-                self.stats.lock().intelligent_hits += 1;
-                return Ok((hit, ExecOutcome::IntelligentHit));
+            let hit = {
+                let mut s = tabviz_obs::span(stage::CACHE_LOOKUP);
+                s.label("intelligent");
+                self.caches.intelligent.get(spec)
+            };
+            if let Some(hit) = hit {
+                self.stats.intelligent_hits.fetch_add(1, Relaxed);
+                self.metrics.intelligent_hits.inc();
+                return Ok((hit, ExecOutcome::IntelligentHit, ProfileOutcome::Hit));
             }
         }
-        let compiled = compile_spec(spec, managed.capabilities(), &managed.compile_options)?;
+        let compiled = {
+            let _s = tabviz_obs::span(stage::COMPILE);
+            compile_spec(spec, managed.capabilities(), &managed.compile_options)?
+        };
         if self.options.use_literal_cache {
-            if let Some(hit) = self.caches.literal.get(&spec.source, &compiled.remote.text) {
-                self.stats.lock().literal_hits += 1;
-                return Ok((hit, ExecOutcome::LiteralHit));
+            let hit = {
+                let mut s = tabviz_obs::span(stage::CACHE_LOOKUP);
+                s.label("literal");
+                self.caches.literal.get(&spec.source, &compiled.remote.text)
+            };
+            if let Some(hit) = hit {
+                self.stats.literal_hits.fetch_add(1, Relaxed);
+                self.metrics.literal_hits.inc();
+                return Ok((hit, ExecOutcome::LiteralHit, ProfileOutcome::Hit));
             }
         }
         // Widening: send a more reusable remote query and answer this (and
         // future filter variations) from its cached result.
         if self.options.widen_for_reuse && self.options.use_intelligent_cache {
             if let Some(widened) = widen_spec(spec, self.options.widen_max_extra_columns) {
+                let _w = tabviz_obs::span(stage::WIDEN);
                 if let Ok(compiled_w) =
                     compile_spec(&widened, managed.capabilities(), &managed.compile_options)
                 {
@@ -232,19 +373,29 @@ impl QueryProcessor {
                     if let Ok(chunk_w) = self.run_remote_resilient(&managed, &widened, &compiled_w)
                     {
                         let cost = t0.elapsed();
+                        self.stats.remote_queries.fetch_add(1, Relaxed);
+                        self.stats.widened_queries.fetch_add(1, Relaxed);
+                        self.stats
+                            .remote_time_nanos
+                            .fetch_add(cost.as_nanos() as u64, Relaxed);
+                        self.metrics.remote_queries.inc();
+                        self.metrics.widened_queries.inc();
+                        self.metrics.remote_time.observe(cost);
                         {
-                            let mut st = self.stats.lock();
-                            st.remote_queries += 1;
-                            st.widened_queries += 1;
-                            st.remote_time += cost;
+                            let _s = tabviz_obs::span(stage::CACHE_STORE);
+                            self.caches.intelligent.put(
+                                widened,
+                                chunk_w,
+                                cost.max(Duration::from_millis(1)),
+                            );
                         }
-                        self.caches.intelligent.put(
-                            widened,
-                            chunk_w,
-                            cost.max(Duration::from_millis(1)),
-                        );
-                        if let Some(hit) = self.caches.intelligent.get(spec) {
-                            return Ok((hit, ExecOutcome::Remote));
+                        let hit = {
+                            let mut s = tabviz_obs::span(stage::CACHE_LOOKUP);
+                            s.label("intelligent");
+                            self.caches.intelligent.get(spec)
+                        };
+                        if let Some(hit) = hit {
+                            return Ok((hit, ExecOutcome::Remote, ProfileOutcome::Derived));
                         }
                         // Fall through: the widened entry unexpectedly failed
                         // to cover the original; execute it directly.
@@ -260,8 +411,13 @@ impl QueryProcessor {
                 // dashboard when the backend is unavailable.
                 match self.caches.lookup_stale(spec, &compiled.remote.text) {
                     Some(stale) => {
-                        self.stats.lock().degraded_serves += 1;
-                        return Ok((stale, ExecOutcome::DegradedStale));
+                        self.stats.degraded_serves.fetch_add(1, Relaxed);
+                        self.metrics.degraded_serves.inc();
+                        return Ok((
+                            stale,
+                            ExecOutcome::DegradedStale,
+                            ProfileOutcome::DegradedStale,
+                        ));
                     }
                     None => return Err(e),
                 }
@@ -269,22 +425,26 @@ impl QueryProcessor {
             Err(e) => return Err(e),
         };
         let cost = t0.elapsed();
-        {
-            let mut st = self.stats.lock();
-            st.remote_queries += 1;
-            st.remote_time += cost;
+        self.stats.remote_queries.fetch_add(1, Relaxed);
+        self.stats
+            .remote_time_nanos
+            .fetch_add(cost.as_nanos() as u64, Relaxed);
+        self.metrics.remote_queries.inc();
+        self.metrics.remote_time.observe(cost);
+        if self.options.use_literal_cache || self.options.use_intelligent_cache {
+            let _s = tabviz_obs::span(stage::CACHE_STORE);
+            if self.options.use_literal_cache {
+                self.caches
+                    .literal
+                    .put(&spec.source, &compiled.remote.text, chunk.clone(), cost);
+            }
+            if self.options.use_intelligent_cache {
+                self.caches
+                    .intelligent
+                    .put(spec.clone(), chunk.clone(), cost);
+            }
         }
-        if self.options.use_literal_cache {
-            self.caches
-                .literal
-                .put(&spec.source, &compiled.remote.text, chunk.clone(), cost);
-        }
-        if self.options.use_intelligent_cache {
-            self.caches
-                .intelligent
-                .put(spec.clone(), chunk.clone(), cost);
-        }
-        Ok((chunk, ExecOutcome::Remote))
+        Ok((chunk, ExecOutcome::Remote, ProfileOutcome::Remote))
     }
 
     /// [`QueryProcessor::run_remote`] with bounded retries on transient
@@ -300,7 +460,9 @@ impl QueryProcessor {
             match self.run_remote(managed, spec, compiled) {
                 Ok(chunk) => return Ok(chunk),
                 Err(e) if e.is_transient() && attempt < self.options.transient_retries => {
-                    self.stats.lock().transient_retries += 1;
+                    self.stats.transient_retries.fetch_add(1, Relaxed);
+                    self.metrics.transient_retries.inc();
+                    tabviz_obs::event(stage::RETRY, Some("transient"), Some(attempt as u64));
                     std::thread::sleep(managed.pool.next_backoff(attempt));
                     attempt += 1;
                 }
@@ -323,32 +485,50 @@ impl QueryProcessor {
     ) -> Result<Chunk> {
         let preferred = compiled.temp_tables.first().map(|(n, _)| n.as_str());
         let mut conn = managed.pool.acquire_preferring(preferred)?;
-        for (name, data) in &compiled.temp_tables {
-            if conn.has_temp_table(name) {
-                continue;
-            }
-            if let Err(e) = conn.create_temp_table(name, data) {
-                // "If the Data Server fails to create a temporary table on
-                // the database, the query is rewritten to produce a query
-                // that can be evaluated without it" (Sect. 5.3).
-                drop(conn);
-                self.stats.lock().temp_table_fallbacks += 1;
-                let inline_caps = Capabilities {
-                    supports_temp_tables: false,
-                    ..managed.capabilities().clone()
-                };
-                let inline = compile_spec(spec, &inline_caps, &managed.compile_options)?;
-                if !inline.temp_tables.is_empty() {
-                    return Err(TvError::Exec(format!(
-                        "inline recompilation still requires temp tables: {e}"
-                    )));
+        if !compiled.temp_tables.is_empty() {
+            let mut tspan = tabviz_obs::span(stage::TEMP_TABLES);
+            tspan.detail(compiled.temp_tables.len() as u64);
+            for (name, data) in &compiled.temp_tables {
+                if conn.has_temp_table(name) {
+                    tspan.label("reused");
+                    continue;
                 }
-                let mut conn = managed.pool.acquire()?;
-                let chunk = conn.execute(&self.with_deadline(&inline.remote))?;
-                return Ok(apply_local_post(chunk, &inline.local_post));
+                if let Err(e) = conn.create_temp_table(name, data) {
+                    // "If the Data Server fails to create a temporary table on
+                    // the database, the query is rewritten to produce a query
+                    // that can be evaluated without it" (Sect. 5.3).
+                    tspan.label("inline_fallback");
+                    drop(tspan);
+                    drop(conn);
+                    self.stats.temp_table_fallbacks.fetch_add(1, Relaxed);
+                    self.metrics.temp_table_fallbacks.inc();
+                    let inline_caps = Capabilities {
+                        supports_temp_tables: false,
+                        ..managed.capabilities().clone()
+                    };
+                    let inline = compile_spec(spec, &inline_caps, &managed.compile_options)?;
+                    if !inline.temp_tables.is_empty() {
+                        return Err(TvError::Exec(format!(
+                            "inline recompilation still requires temp tables: {e}"
+                        )));
+                    }
+                    let mut conn = managed.pool.acquire()?;
+                    let chunk = {
+                        let _s = tabviz_obs::span(stage::REMOTE_EXEC);
+                        conn.execute(&self.with_deadline(&inline.remote))?
+                    };
+                    let _p = tabviz_obs::span(stage::POST_PROCESS);
+                    return Ok(apply_local_post(chunk, &inline.local_post));
+                }
             }
         }
-        let chunk = conn.execute(&self.with_deadline(&compiled.remote))?;
+        let chunk = {
+            let mut s = tabviz_obs::span(stage::REMOTE_EXEC);
+            let chunk = conn.execute(&self.with_deadline(&compiled.remote))?;
+            s.detail(chunk.len() as u64);
+            chunk
+        };
+        let _p = tabviz_obs::span(stage::POST_PROCESS);
         Ok(apply_local_post(chunk, &compiled.local_post))
     }
 

@@ -29,6 +29,9 @@ impl ManagedSource {
 #[derive(Default)]
 pub struct SourceRegistry {
     sources: RwLock<HashMap<String, Arc<ManagedSource>>>,
+    /// Metrics registry pools are bound to at registration (set once by the
+    /// owning processor; sources registered before that stay unbound).
+    obs: std::sync::OnceLock<tabviz_obs::Registry>,
 }
 
 impl SourceRegistry {
@@ -36,12 +39,22 @@ impl SourceRegistry {
         Self::default()
     }
 
+    /// Attach the metrics registry every subsequently registered source's
+    /// pool reports into. First call wins.
+    pub fn set_obs(&self, registry: tabviz_obs::Registry) {
+        let _ = self.obs.set(registry);
+    }
+
     /// Register a source with a pool of `pool_size` connections.
     pub fn register(&self, source: Arc<dyn DataSource>, pool_size: usize) -> Arc<ManagedSource> {
         let name = source.name().to_string();
+        let pool = ConnectionPool::new(Arc::clone(&source), pool_size);
+        if let Some(registry) = self.obs.get() {
+            pool.bind_obs(registry);
+        }
         let managed = Arc::new(ManagedSource {
             name: name.clone(),
-            pool: ConnectionPool::new(Arc::clone(&source), pool_size),
+            pool,
             source,
             compile_options: CompileOptions::default(),
         });

@@ -18,6 +18,7 @@
 use crate::published::PublishedSource;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use tabviz_cache::QuerySpec;
 use tabviz_common::{Chunk, Result, TvError, Value};
@@ -121,6 +122,17 @@ impl DataServer {
         self.stats.lock().clone()
     }
 
+    /// Prometheus-style exposition of every metric the server's processor
+    /// (and the pools, caches and backends beneath it) has registered.
+    pub fn metrics_text(&self) -> String {
+        self.processor.obs.registry.render_text()
+    }
+
+    /// Stable sorted snapshot of the same metrics, for programmatic checks.
+    pub fn metrics_snapshot(&self) -> std::collections::BTreeMap<String, tabviz_obs::MetricValue> {
+        self.processor.obs.registry.snapshot()
+    }
+
     /// A client connects: receives metadata (the schema of the published
     /// relation and whether temp structures are available — "this
     /// information is conveyed back to the client", Sect. 5.3).
@@ -137,6 +149,8 @@ impl DataServer {
             published,
             user: user.into(),
             my_sets: Vec::new(),
+            queries: AtomicU64::new(0),
+            degraded_serves: AtomicU64::new(0),
         })
     }
 
@@ -203,6 +217,10 @@ pub struct ClientSession {
     published: Arc<PublishedSource>,
     user: String,
     my_sets: Vec<String>,
+    queries: AtomicU64,
+    /// Queries this session had answered from stale cache entries while the
+    /// backing database was down — the client-facing "outdated data" badge.
+    degraded_serves: AtomicU64,
 }
 
 impl ClientSession {
@@ -267,21 +285,52 @@ impl ClientSession {
 
     /// Evaluate a client query through the unified pipeline.
     pub fn query(&self, query: &ClientQuery) -> Result<(Chunk, ExecOutcome)> {
+        let reg = &self.server.processor.obs.registry;
+        let wire_in = query.wire_bytes() as u64;
         {
             let mut st = self.server.stats.lock();
             st.queries += 1;
-            st.client_bytes_in += query.wire_bytes() as u64;
+            st.client_bytes_in += wire_in;
         }
+        self.queries.fetch_add(1, Relaxed);
+        reg.counter("tv_dataserver_queries_total").inc();
+        reg.counter("tv_dataserver_client_bytes_in_total")
+            .add(wire_in);
         let spec = self.server.build_spec(&self.published, &self.user, query)?;
         let (chunk, outcome) = self.server.processor.execute(&spec)?;
+        let wire_out = chunk.approx_bytes() as u64;
         {
             let mut st = self.server.stats.lock();
-            st.client_bytes_out += chunk.approx_bytes() as u64;
+            st.client_bytes_out += wire_out;
             if outcome == ExecOutcome::DegradedStale {
                 st.degraded_serves += 1;
             }
         }
+        reg.counter("tv_dataserver_client_bytes_out_total")
+            .add(wire_out);
+        if outcome == ExecOutcome::DegradedStale {
+            self.degraded_serves.fetch_add(1, Relaxed);
+            reg.counter("tv_dataserver_degraded_serves_total").inc();
+        }
         Ok((chunk, outcome))
+    }
+
+    /// Queries this session has submitted.
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Relaxed)
+    }
+
+    /// How many of this session's answers were served degraded (stale).
+    pub fn degraded_serves(&self) -> u64 {
+        self.degraded_serves.load(Relaxed)
+    }
+
+    /// The response-time profile of the most recently completed query on the
+    /// server's processor. Called right after [`ClientSession::query`]
+    /// returns, this is that query's profile: execution is synchronous, so
+    /// the caller's query is the last one recorded from this thread.
+    pub fn last_profile(&self) -> Option<tabviz_obs::QueryProfile> {
+        self.server.processor.obs.profiles.last()
     }
 }
 

@@ -1,0 +1,67 @@
+//! Observability for the tabviz stack: where does user response time go?
+//!
+//! The paper's whole argument (Sect. 3) is a decomposition of dashboard
+//! latency into pipeline stages — cache lookup, batch partitioning,
+//! connection acquire, remote execution, local post-processing. This crate
+//! makes that decomposition measurable per query:
+//!
+//! - [`span`] / [`Span`]: RAII stage guards recorded into a bounded
+//!   per-thread ring buffer ([`span::RING_CAPACITY`]), assembled into
+//!   per-query [`QueryProfile`]s with nesting, retry counts, fault
+//!   attribution and a terminal [`ProfileOutcome`].
+//! - [`Registry`]: lock-free named counters, gauges and log-scale latency
+//!   histograms (p50/p95/p99), with [`Registry::snapshot`] (stable sorted
+//!   map) and [`Registry::render_text`] (Prometheus-style exposition).
+//! - [`Obs`]: the per-processor bundle of both, threaded through pools,
+//!   caches, the simulated backend, the TDE and the data server.
+//!
+//! Offline-safe by construction: std atomics plus the vendored
+//! `parking_lot` only — no external dependencies.
+
+pub mod metrics;
+pub mod profile;
+pub mod span;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, HIST_BUCKETS,
+};
+pub use profile::{assemble, FaultTag, Obs, ProfileOutcome, ProfileStore, QueryProfile, StageSpan};
+pub use span::{
+    collect_since, dropped_events, event, mark, record, span, Span, SpanEvent, TraceMark,
+};
+
+/// Static stage names used across the workspace. Using these constants
+/// (rather than ad-hoc strings) keeps profiles joinable across crates.
+pub mod stage {
+    /// Cache probe (label: `"intelligent"` or `"literal"`).
+    pub const CACHE_LOOKUP: &str = "cache_lookup";
+    /// TQL compilation / query rewriting.
+    pub const COMPILE: &str = "compile";
+    /// Query-widening remote execution for reuse (Sect. 5.2).
+    pub const WIDEN: &str = "widen";
+    /// Batch opportunity-graph partition into zones.
+    pub const BATCH_PARTITION: &str = "batch_partition";
+    /// Query fusion pass over a batch.
+    pub const FUSION: &str = "fusion";
+    /// Waiting for / opening a pooled backend connection.
+    pub const POOL_ACQUIRE: &str = "pool_acquire";
+    /// Temporary-table setup on the remote session.
+    pub const TEMP_TABLES: &str = "temp_tables";
+    /// The remote round trip itself.
+    pub const REMOTE_EXEC: &str = "remote_exec";
+    /// Local post-processing of a cached/widened/remote result.
+    pub const POST_PROCESS: &str = "post_process";
+    /// TDE compile-optimize-plan-execute of a logical plan.
+    pub const TDE_EXEC: &str = "tde_exec";
+    /// Storing a result into the caches.
+    pub const CACHE_STORE: &str = "cache_store";
+    /// Instantaneous: a transient failure consumed one retry
+    /// (detail = attempt number).
+    pub const RETRY: &str = "retry";
+    /// Instantaneous: an injected fault fired
+    /// (label = site, detail = seed-roll ordinal).
+    pub const FAULT_INJECTED: &str = "fault_injected";
+    /// Instantaneous: a stale cache entry was served degraded
+    /// (detail = age at serve, µs).
+    pub const STALE_SERVE: &str = "stale_serve";
+}

@@ -1,0 +1,307 @@
+//! Lock-free metrics: named counters, gauges and log-scale latency
+//! histograms behind a get-or-create [`Registry`].
+//!
+//! Registration (name → handle) takes a short `RwLock` critical section and
+//! happens once per call site; every increment after that is a relaxed
+//! atomic operation on a cheap-clone handle. Names follow the
+//! `tv_<crate>_<name>` convention (see DESIGN.md §8); durations are exposed
+//! in seconds, stored internally at microsecond resolution.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+/// Monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed instantaneous value (pool sizes, queue depths, ...).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket `i` covers `(2^(i-1), 2^i]`
+/// microseconds (bucket 0 covers `[0, 1]`µs); the last bucket is +Inf.
+pub const HIST_BUCKETS: usize = 32;
+
+#[derive(Default)]
+struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+/// Fixed-bucket log2-scale latency histogram. Observations are recorded in
+/// microseconds; quantile extraction returns the upper bound of the bucket
+/// holding the requested rank, so results are exact to within one power of
+/// two — enough to tell a 2ms cache hit from a 200ms remote round trip.
+#[derive(Clone, Default)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Bucket index for a value in microseconds.
+    pub fn bucket_index(micros: u64) -> usize {
+        if micros <= 1 {
+            0
+        } else {
+            (64 - (micros - 1).leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` in microseconds
+    /// (`u64::MAX` for the overflow bucket).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i >= HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    pub fn observe(&self, d: Duration) {
+        self.observe_micros(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn observe_micros(&self, micros: u64) {
+        let inner = &*self.0;
+        inner.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_micros(&self) -> u64 {
+        self.0.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile sample,
+    /// or `None` when the histogram is empty. `q` is clamped to `[0, 1]`.
+    pub fn quantile_micros(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for i in 0..HIST_BUCKETS {
+            cum += self.0.buckets[i].load(Ordering::Relaxed);
+            if cum >= rank {
+                return Some(Self::bucket_upper(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.0.buckets[i].load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum_micros: self.sum_micros(),
+            p50_micros: self.quantile_micros(0.50),
+            p95_micros: self.quantile_micros(0.95),
+            p99_micros: self.quantile_micros(0.99),
+        }
+    }
+}
+
+/// Point-in-time view of a histogram with pre-extracted quantiles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_micros: u64,
+    pub p50_micros: Option<u64>,
+    pub p95_micros: Option<u64>,
+    pub p99_micros: Option<u64>,
+}
+
+/// One metric's value in a [`Registry::snapshot`].
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Clone)]
+enum MetricEntry {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Named metric registry. Cheap to clone (shared interior); get-or-create
+/// lookups return handles whose increments never touch the registry lock.
+///
+/// Asking for an existing name with a different kind returns a fresh
+/// *detached* handle rather than panicking: the caller's increments still
+/// work, they just aren't exported. Keeps instrumentation from ever being
+/// able to take the system down.
+#[derive(Clone, Default)]
+pub struct Registry {
+    metrics: Arc<RwLock<HashMap<String, MetricEntry>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(MetricEntry::Counter(c)) = self.metrics.read().get(name) {
+            return c.clone();
+        }
+        let mut map = self.metrics.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| MetricEntry::Counter(Counter::new()))
+        {
+            MetricEntry::Counter(c) => c.clone(),
+            _ => Counter::new(),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(MetricEntry::Gauge(g)) = self.metrics.read().get(name) {
+            return g.clone();
+        }
+        let mut map = self.metrics.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| MetricEntry::Gauge(Gauge::new()))
+        {
+            MetricEntry::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(MetricEntry::Histogram(h)) = self.metrics.read().get(name) {
+            return h.clone();
+        }
+        let mut map = self.metrics.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| MetricEntry::Histogram(Histogram::new()))
+        {
+            MetricEntry::Histogram(h) => h.clone(),
+            _ => Histogram::new(),
+        }
+    }
+
+    /// Stable, sorted point-in-time view of every registered metric.
+    pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
+        self.metrics
+            .read()
+            .iter()
+            .map(|(name, entry)| {
+                let value = match entry {
+                    MetricEntry::Counter(c) => MetricValue::Counter(c.get()),
+                    MetricEntry::Gauge(g) => MetricValue::Gauge(g.get()),
+                    MetricEntry::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Prometheus-style text exposition. Histogram buckets and sums are in
+    /// seconds, cumulative, with a final `+Inf` bucket.
+    pub fn render_text(&self) -> String {
+        let entries: BTreeMap<String, MetricEntry> = self
+            .metrics
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let mut out = String::new();
+        for (name, entry) in entries {
+            match entry {
+                MetricEntry::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                MetricEntry::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                MetricEntry::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let counts = h.bucket_counts();
+                    let mut cum = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cum += c;
+                        if *c == 0 && i < HIST_BUCKETS - 1 {
+                            continue; // keep the exposition compact
+                        }
+                        let le = if i >= HIST_BUCKETS - 1 {
+                            "+Inf".to_string()
+                        } else {
+                            format!("{}", Histogram::bucket_upper(i) as f64 / 1e6)
+                        };
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", h.sum_micros() as f64 / 1e6);
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-query response-time profiles: the paper's Sect. 3 pipeline stages
+//! (cache lookup → compile → pool acquire → remote execution → local
+//! post-processing) assembled into one timeline per query, with retry
+//! counts, injected-fault attribution, and a terminal outcome.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::metrics::Registry;
+use crate::span::SpanEvent;
+use crate::stage;
+
+/// How a query was ultimately answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProfileOutcome {
+    /// Served from a cache (intelligent or literal).
+    Hit,
+    /// Served by post-processing a widened query's remote result.
+    Derived,
+    /// Executed against the remote backend.
+    Remote,
+    /// Backend unavailable; a stale cached result was served.
+    DegradedStale,
+    /// The query returned an error.
+    Failed,
+}
+
+impl fmt::Display for ProfileOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProfileOutcome::Hit => "hit",
+            ProfileOutcome::Derived => "derived",
+            ProfileOutcome::Remote => "remote",
+            ProfileOutcome::DegradedStale => "degraded_stale",
+            ProfileOutcome::Failed => "failed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One stage in a profile's timeline.
+#[derive(Clone, Debug)]
+pub struct StageSpan {
+    pub stage: &'static str,
+    pub label: Option<&'static str>,
+    pub detail: Option<u64>,
+    /// Start offset from the beginning of the query.
+    pub offset: Duration,
+    pub dur: Duration,
+    pub depth: u32,
+}
+
+/// An injected fault that fired during this query (see `FaultPlan`):
+/// `site` names the injection site, `ordinal` is the seed-roll index —
+/// together with the plan seed they reproduce the exact fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultTag {
+    pub site: &'static str,
+    pub ordinal: u64,
+}
+
+/// The response-time profile of one query.
+#[derive(Clone, Debug)]
+pub struct QueryProfile {
+    /// Canonical query text.
+    pub query: String,
+    /// Data source name.
+    pub source: String,
+    pub outcome: ProfileOutcome,
+    pub total: Duration,
+    /// Transient-failure retries spent by this query.
+    pub retries: u64,
+    /// Timeline in entry order (parents precede children).
+    pub stages: Vec<StageSpan>,
+    /// Injected faults observed while this query ran.
+    pub faults: Vec<FaultTag>,
+}
+
+impl QueryProfile {
+    /// First stage with this name, if any.
+    pub fn stage(&self, name: &str) -> Option<&StageSpan> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    pub fn has_stage(&self, name: &str) -> bool {
+        self.stage(name).is_some()
+    }
+
+    /// Sum of durations over all stages with this name.
+    pub fn stage_total(&self, name: &str) -> Duration {
+        self.stages
+            .iter()
+            .filter(|s| s.stage == name)
+            .map(|s| s.dur)
+            .sum()
+    }
+
+    /// Human-readable timeline, one stage per line, indented by depth.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "query [{}] {:?} retries={} :: {}",
+            self.outcome, self.total, self.retries, self.query
+        );
+        for s in &self.stages {
+            let _ = write!(
+                out,
+                "  {:>9.3}ms {}{}",
+                s.offset.as_secs_f64() * 1e3,
+                "  ".repeat(s.depth as usize),
+                s.stage
+            );
+            if let Some(l) = s.label {
+                let _ = write!(out, "/{l}");
+            }
+            if let Some(d) = s.detail {
+                let _ = write!(out, " #{d}");
+            }
+            let _ = writeln!(out, " {:>9.3}ms", s.dur.as_secs_f64() * 1e3);
+        }
+        for f in &self.faults {
+            let _ = writeln!(out, "  fault {}#{}", f.site, f.ordinal);
+        }
+        out
+    }
+}
+
+/// Build a [`QueryProfile`] from the events collected since the query
+/// started. Fault events (stage [`stage::FAULT_INJECTED`]) become
+/// [`FaultTag`]s; everything else becomes a timeline stage.
+pub fn assemble(
+    query: impl Into<String>,
+    source: impl Into<String>,
+    outcome: ProfileOutcome,
+    retries: u64,
+    started: Instant,
+    total: Duration,
+    events: &[SpanEvent],
+) -> QueryProfile {
+    let mut stages = Vec::with_capacity(events.len());
+    let mut faults = Vec::new();
+    for e in events {
+        if e.stage == stage::FAULT_INJECTED {
+            faults.push(FaultTag {
+                site: e.label.unwrap_or("unknown"),
+                ordinal: e.detail.unwrap_or(0),
+            });
+        }
+        stages.push(StageSpan {
+            stage: e.stage,
+            label: e.label,
+            detail: e.detail,
+            offset: e.start.saturating_duration_since(started),
+            dur: e.dur,
+            depth: e.depth,
+        });
+    }
+    QueryProfile {
+        query: query.into(),
+        source: source.into(),
+        outcome,
+        total,
+        retries,
+        stages,
+        faults,
+    }
+}
+
+/// Bounded store of the most recent query profiles.
+pub struct ProfileStore {
+    cap: usize,
+    inner: Mutex<VecDeque<QueryProfile>>,
+}
+
+impl ProfileStore {
+    pub fn new(cap: usize) -> Self {
+        ProfileStore {
+            cap: cap.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn record(&self, profile: QueryProfile) {
+        let mut q = self.inner.lock();
+        if q.len() >= self.cap {
+            q.pop_front();
+        }
+        q.push_back(profile);
+    }
+
+    /// Most recently recorded profile.
+    pub fn last(&self) -> Option<QueryProfile> {
+        self.inner.lock().back().cloned()
+    }
+
+    /// All retained profiles, oldest first.
+    pub fn all(&self) -> Vec<QueryProfile> {
+        self.inner.lock().iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+impl Default for ProfileStore {
+    fn default() -> Self {
+        ProfileStore::new(256)
+    }
+}
+
+/// One processor's observability surface: a metrics [`Registry`] plus a
+/// bounded [`ProfileStore`]. Deliberately per-instance rather than global
+/// so concurrent processors (and tests) never pollute each other.
+#[derive(Default)]
+pub struct Obs {
+    pub registry: Registry,
+    pub profiles: ProfileStore,
+}
+
+impl Obs {
+    pub fn new() -> Self {
+        Obs::default()
+    }
+}

@@ -1,0 +1,207 @@
+//! Span tracer: RAII stage guards recorded into a bounded per-thread ring.
+//!
+//! Every pipeline stage a query passes through opens a [`Span`] with a
+//! static stage name (see [`crate::stage`]); dropping the guard records a
+//! [`SpanEvent`] carrying the entry order, nesting depth, and duration.
+//! Because a query executes wholly on one thread (batch workers run one
+//! zone per thread; retries loop in place), the caller can [`mark`] the
+//! ring before executing and [`collect_since`] afterwards to obtain exactly
+//! that query's timeline — no global collector, no locks on the hot path.
+//!
+//! The ring is bounded ([`RING_CAPACITY`] completed events per thread); on
+//! overflow the oldest events are evicted and counted, never blocking.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Completed events retained per thread before the oldest are evicted.
+pub const RING_CAPACITY: usize = 4096;
+
+/// A completed (or instantaneous) stage observation.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Static stage name (`cache_lookup`, `remote_exec`, ...).
+    pub stage: &'static str,
+    /// Optional static refinement (`"intelligent"` vs `"literal"`, ...).
+    pub label: Option<&'static str>,
+    /// Optional numeric payload (attempt number, fault ordinal, rows, ...).
+    pub detail: Option<u64>,
+    /// When the span was entered.
+    pub start: Instant,
+    /// Zero for instantaneous events.
+    pub dur: Duration,
+    /// Nesting depth at entry; 0 for a root span.
+    pub depth: u32,
+    /// Thread-local entry order. Sorting by this field reconstructs the
+    /// timeline (parents before children), whereas raw ring order is
+    /// completion order (children before parents).
+    pub enter_seq: u64,
+}
+
+struct ThreadTracer {
+    events: VecDeque<SpanEvent>,
+    next_seq: u64,
+    depth: u32,
+    dropped: u64,
+}
+
+impl ThreadTracer {
+    const fn new() -> Self {
+        ThreadTracer {
+            events: VecDeque::new(),
+            next_seq: 0,
+            depth: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: SpanEvent) {
+        if self.events.len() >= RING_CAPACITY {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+thread_local! {
+    static TRACER: RefCell<ThreadTracer> = const { RefCell::new(ThreadTracer::new()) };
+}
+
+/// RAII guard for a pipeline stage; records a [`SpanEvent`] on drop.
+pub struct Span {
+    stage: &'static str,
+    label: Option<&'static str>,
+    detail: Option<u64>,
+    start: Instant,
+    depth: u32,
+    enter_seq: u64,
+}
+
+impl Span {
+    /// Attach a static refinement label, visible in the recorded event.
+    pub fn label(&mut self, label: &'static str) {
+        self.label = Some(label);
+    }
+
+    /// Attach a numeric payload, visible in the recorded event.
+    pub fn detail(&mut self, detail: u64) {
+        self.detail = Some(detail);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        TRACER.with(|t| {
+            let mut t = t.borrow_mut();
+            t.depth = t.depth.saturating_sub(1);
+            let ev = SpanEvent {
+                stage: self.stage,
+                label: self.label,
+                detail: self.detail,
+                start: self.start,
+                dur,
+                depth: self.depth,
+                enter_seq: self.enter_seq,
+            };
+            t.push(ev);
+        });
+    }
+}
+
+/// Enter a stage. The returned guard records the span when dropped.
+pub fn span(stage: &'static str) -> Span {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let depth = t.depth;
+        let enter_seq = t.next_seq;
+        t.next_seq += 1;
+        t.depth += 1;
+        Span {
+            stage,
+            label: None,
+            detail: None,
+            start: Instant::now(),
+            depth,
+            enter_seq,
+        }
+    })
+}
+
+/// Record an instantaneous event (a retry, an injected fault, ...) at the
+/// current nesting depth.
+pub fn event(stage: &'static str, label: Option<&'static str>, detail: Option<u64>) {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let ev = SpanEvent {
+            stage,
+            label,
+            detail,
+            start: Instant::now(),
+            dur: Duration::ZERO,
+            depth: t.depth,
+            enter_seq: t.next_seq,
+        };
+        t.next_seq += 1;
+        t.push(ev);
+    })
+}
+
+/// Record a completed observation with an explicit duration — for work
+/// accumulated across many calls (e.g. an operator's busy time summed over
+/// its `next()` calls) where a RAII guard would also count time spent
+/// blocked in children.
+pub fn record(
+    stage: &'static str,
+    label: Option<&'static str>,
+    detail: Option<u64>,
+    dur: Duration,
+) {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let ev = SpanEvent {
+            stage,
+            label,
+            detail,
+            start: Instant::now(),
+            dur,
+            depth: t.depth,
+            enter_seq: t.next_seq,
+        };
+        t.next_seq += 1;
+        t.push(ev);
+    })
+}
+
+/// Position in this thread's trace; pair with [`collect_since`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceMark(u64);
+
+/// Remember the current position in this thread's trace.
+pub fn mark() -> TraceMark {
+    TRACER.with(|t| TraceMark(t.borrow().next_seq))
+}
+
+/// All events entered at or after `mark` on this thread, in entry order.
+/// Events are copied, not drained, so overlapping collections (a query
+/// profile assembled inside a batch) each see the full picture.
+pub fn collect_since(mark: &TraceMark) -> Vec<SpanEvent> {
+    TRACER.with(|t| {
+        let t = t.borrow();
+        let mut out: Vec<SpanEvent> = t
+            .events
+            .iter()
+            .filter(|e| e.enter_seq >= mark.0)
+            .cloned()
+            .collect();
+        out.sort_by_key(|e| e.enter_seq);
+        out
+    })
+}
+
+/// Events evicted from this thread's ring since thread start (diagnostic).
+pub fn dropped_events() -> u64 {
+    TRACER.with(|t| t.borrow().dropped)
+}

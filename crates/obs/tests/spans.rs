@@ -1,0 +1,129 @@
+//! Span nesting and ordering determinism: events are recorded at span
+//! *completion* (children before parents), but collection restores entry
+//! order and depths are exact.
+
+use std::time::Duration;
+use tabviz_obs::{collect_since, event, mark, span, stage};
+
+#[test]
+fn nesting_depths_and_entry_order_are_deterministic() {
+    let m = mark();
+    {
+        let _root = span(stage::REMOTE_EXEC);
+        {
+            let mut acquire = span(stage::POOL_ACQUIRE);
+            acquire.label("opened");
+        }
+        {
+            let mut post = span(stage::POST_PROCESS);
+            post.detail(42);
+            let _inner = span(stage::TDE_EXEC);
+        }
+    }
+    let events = collect_since(&m);
+    let shape: Vec<(&str, u32)> = events.iter().map(|e| (e.stage, e.depth)).collect();
+    assert_eq!(
+        shape,
+        [
+            (stage::REMOTE_EXEC, 0),
+            (stage::POOL_ACQUIRE, 1),
+            (stage::POST_PROCESS, 1),
+            (stage::TDE_EXEC, 2),
+        ]
+    );
+    assert_eq!(events[1].label, Some("opened"));
+    assert_eq!(events[2].detail, Some(42));
+    // Entry order is strictly increasing even though completion order was
+    // child-first.
+    for w in events.windows(2) {
+        assert!(w[0].enter_seq < w[1].enter_seq);
+    }
+    // The parent span encloses its children in time.
+    assert!(events[0].dur >= events[1].dur + events[3].dur);
+}
+
+#[test]
+fn instantaneous_events_interleave_in_order() {
+    let m = mark();
+    {
+        let _s = span(stage::REMOTE_EXEC);
+        event(stage::RETRY, None, Some(1));
+        event(
+            stage::FAULT_INJECTED,
+            Some("transient_query_failure"),
+            Some(7),
+        );
+    }
+    let events = collect_since(&m);
+    let stages: Vec<&str> = events.iter().map(|e| e.stage).collect();
+    assert_eq!(
+        stages,
+        [stage::REMOTE_EXEC, stage::RETRY, stage::FAULT_INJECTED]
+    );
+    assert_eq!(events[1].depth, 1);
+    assert_eq!(events[1].dur, Duration::ZERO);
+    assert_eq!(events[2].label, Some("transient_query_failure"));
+    assert_eq!(events[2].detail, Some(7));
+}
+
+#[test]
+fn marks_scope_collection_and_do_not_drain() {
+    {
+        let _old = span(stage::CACHE_LOOKUP);
+    }
+    let m1 = mark();
+    {
+        let _a = span(stage::COMPILE);
+    }
+    let m2 = mark();
+    {
+        let _b = span(stage::WIDEN);
+    }
+    // m2 sees only the later span; m1 still sees both (copy, not drain).
+    let later = collect_since(&m2);
+    assert_eq!(later.len(), 1);
+    assert_eq!(later[0].stage, stage::WIDEN);
+    let both = collect_since(&m1);
+    let stages: Vec<&str> = both.iter().map(|e| e.stage).collect();
+    assert_eq!(stages, [stage::COMPILE, stage::WIDEN]);
+}
+
+#[test]
+fn ring_is_bounded() {
+    let m = mark();
+    for _ in 0..(tabviz_obs::span::RING_CAPACITY + 100) {
+        event(stage::RETRY, None, None);
+    }
+    let events = collect_since(&m);
+    assert_eq!(events.len(), tabviz_obs::span::RING_CAPACITY);
+    assert!(tabviz_obs::dropped_events() >= 100);
+}
+
+#[test]
+fn profiles_assemble_from_events() {
+    use std::time::Instant;
+    use tabviz_obs::{assemble, ProfileOutcome};
+    let t0 = Instant::now();
+    let m = mark();
+    {
+        let _root = span(stage::REMOTE_EXEC);
+        event(stage::FAULT_INJECTED, Some("connection_drop"), Some(3));
+        event(stage::RETRY, None, Some(1));
+    }
+    let events = collect_since(&m);
+    let p = assemble(
+        "(scan flights)",
+        "faa",
+        ProfileOutcome::Remote,
+        1,
+        t0,
+        t0.elapsed(),
+        &events,
+    );
+    assert_eq!(p.outcome, ProfileOutcome::Remote);
+    assert!(p.has_stage(stage::REMOTE_EXEC));
+    assert_eq!(p.faults.len(), 1);
+    assert_eq!(p.faults[0].site, "connection_drop");
+    assert_eq!(p.faults[0].ordinal, 3);
+    assert!(p.render().contains("fault connection_drop#3"));
+}

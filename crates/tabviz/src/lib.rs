@@ -51,6 +51,7 @@ pub use tabviz_cache as cache;
 pub use tabviz_common as common;
 pub use tabviz_core as core;
 pub use tabviz_dataserver as dataserver;
+pub use tabviz_obs as obs;
 pub use tabviz_storage as storage;
 pub use tabviz_tde as tde;
 pub use tabviz_textscan as textscan;
@@ -72,6 +73,7 @@ pub mod prelude {
         QueryProcessor, Zone,
     };
     pub use tabviz_dataserver::{ClientQuery, DataServer, PublishedSource};
+    pub use tabviz_obs::{ProfileOutcome, QueryProfile, Registry};
     pub use tabviz_storage::{Database, Table};
     pub use tabviz_tde::{ExecOptions, Tde};
     pub use tabviz_textscan::{CsvOptions, ShadowExtracts};

@@ -84,11 +84,16 @@ impl Tde {
         self.execute_plan(&plan, options)
     }
 
-    /// Compile, optimize, plan and execute a logical plan.
+    /// Compile, optimize, plan and execute a logical plan. The whole
+    /// pipeline runs under a `tde_exec` span (detail = rows produced), with
+    /// per-operator timings recorded by the execution layer.
     pub fn execute_plan(&self, plan: &LogicalPlan, options: &ExecOptions) -> Result<Chunk> {
+        let mut span = tabviz_obs::span(tabviz_obs::stage::TDE_EXEC);
         let (phys, wanted) = self.plan_pipeline(plan, options)?;
         let out = execute_to_chunk(&phys)?;
-        conform(out, &wanted)
+        let out = conform(out, &wanted)?;
+        span.detail(out.len() as u64);
+        Ok(out)
     }
 
     /// The physical plan that `execute_plan` would run (for explain/tests).

@@ -27,8 +27,83 @@ pub trait PhysOp: Send {
     fn next(&mut self) -> Result<Option<Chunk>>;
 }
 
-/// Instantiate the operator tree for a physical plan.
+/// Instantiate the operator tree for a physical plan. Every operator is
+/// wrapped in a [`TimedOp`] that records its accumulated busy time (self +
+/// children, minus nothing — wall time inside `next()`) into the thread's
+/// trace when it exhausts, so query profiles show per-operator timings.
 pub fn make_op(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
+    Ok(Box::new(TimedOp::new(op_stage(plan), make_op_raw(plan)?)))
+}
+
+/// Static stage name for an operator (trace events need `&'static str`).
+fn op_stage(plan: &PhysPlan) -> &'static str {
+    match plan {
+        PhysPlan::Scan { .. } => "tde_scan",
+        PhysPlan::Filter { .. } => "tde_filter",
+        PhysPlan::Project { .. } => "tde_project",
+        PhysPlan::HashJoin { .. } => "tde_hash_join",
+        PhysPlan::HashAgg { .. } => "tde_hash_agg",
+        PhysPlan::StreamAgg { .. } => "tde_stream_agg",
+        PhysPlan::Sort { .. } => "tde_sort",
+        PhysPlan::TopN { .. } => "tde_topn",
+        PhysPlan::Exchange { .. } => "tde_exchange",
+    }
+}
+
+/// Wrapper measuring time spent inside an operator's `next()` calls and
+/// counting rows produced; records one trace event when the operator is
+/// exhausted (or dropped early).
+struct TimedOp {
+    stage: &'static str,
+    inner: Box<dyn PhysOp>,
+    busy: std::time::Duration,
+    rows: u64,
+    recorded: bool,
+}
+
+impl TimedOp {
+    fn new(stage: &'static str, inner: Box<dyn PhysOp>) -> Self {
+        TimedOp {
+            stage,
+            inner,
+            busy: std::time::Duration::ZERO,
+            rows: 0,
+            recorded: false,
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.recorded {
+            self.recorded = true;
+            tabviz_obs::record(self.stage, None, Some(self.rows), self.busy);
+        }
+    }
+}
+
+impl PhysOp for TimedOp {
+    fn schema(&self) -> SchemaRef {
+        self.inner.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        let t0 = std::time::Instant::now();
+        let out = self.inner.next();
+        self.busy += t0.elapsed();
+        match &out {
+            Ok(Some(chunk)) => self.rows += chunk.len() as u64,
+            Ok(None) | Err(_) => self.flush(),
+        }
+        out
+    }
+}
+
+impl Drop for TimedOp {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+fn make_op_raw(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
     Ok(match plan {
         PhysPlan::Scan {
             table,

@@ -1,0 +1,178 @@
+//! Per-query response-time profiles through the full stack: a cold query
+//! shows the remote pipeline stages; the warm repeat shows a cache hit and
+//! no remote work. Plus: metrics registry coverage over a dashboard batch.
+
+use std::sync::Arc;
+use tabviz::obs::{stage, MetricValue, ProfileOutcome};
+use tabviz::prelude::*;
+
+fn flights_processor(rows: usize) -> QueryProcessor {
+    let flights =
+        tabviz::workloads::generate_flights(&tabviz::workloads::FaaConfig::with_rows(rows))
+            .unwrap();
+    let db = Arc::new(Database::new("faa"));
+    db.put(Table::from_chunk("flights", &flights, &["carrier"]).unwrap())
+        .unwrap();
+    let qp = QueryProcessor::default();
+    qp.registry
+        .register(Arc::new(SimDb::new("faa", db, SimConfig::default())), 4);
+    qp
+}
+
+fn count_by_carrier() -> QuerySpec {
+    QuerySpec::new("faa", LogicalPlan::scan("flights"))
+        .group("carrier")
+        .agg(AggCall::new(AggFunc::Count, None, "n"))
+}
+
+#[test]
+fn cold_query_profiles_remote_pipeline_warm_query_profiles_hit() {
+    let qp = flights_processor(5_000);
+    let spec = count_by_carrier();
+
+    // Cold: the full remote pipeline.
+    let (_, outcome) = qp.execute(&spec).unwrap();
+    assert_eq!(outcome, ExecOutcome::Remote);
+    let cold = qp.obs.profiles.last().expect("cold profile recorded");
+    assert_eq!(cold.outcome, ProfileOutcome::Remote);
+    assert_eq!(cold.source, "faa");
+    assert_eq!(cold.retries, 0);
+    for required in [
+        stage::CACHE_LOOKUP,
+        stage::COMPILE,
+        stage::POOL_ACQUIRE,
+        stage::REMOTE_EXEC,
+        stage::POST_PROCESS,
+        stage::CACHE_STORE,
+    ] {
+        assert!(
+            cold.has_stage(required),
+            "cold profile missing stage '{required}':\n{}",
+            cold.render()
+        );
+    }
+    // The remote round trip is nested inside the query, not a root span.
+    let remote = cold.stage(stage::REMOTE_EXEC).unwrap();
+    assert!(remote.dur <= cold.total);
+
+    // Warm: answered by the intelligent cache, no remote stages at all.
+    let (_, outcome) = qp.execute(&spec).unwrap();
+    assert_eq!(outcome, ExecOutcome::IntelligentHit);
+    let warm = qp.obs.profiles.last().expect("warm profile recorded");
+    assert_eq!(warm.outcome, ProfileOutcome::Hit);
+    let lookup = warm.stage(stage::CACHE_LOOKUP).unwrap();
+    assert_eq!(lookup.label, Some("intelligent"));
+    for absent in [stage::REMOTE_EXEC, stage::POOL_ACQUIRE, stage::TEMP_TABLES] {
+        assert!(
+            !warm.has_stage(absent),
+            "warm profile must not contain '{absent}':\n{}",
+            warm.render()
+        );
+    }
+    assert_eq!(qp.obs.profiles.len(), 2);
+}
+
+#[test]
+fn dashboard_batch_produces_profiles_and_metrics() {
+    let qp = flights_processor(5_000);
+    let batch: Vec<(String, QuerySpec)> = vec![
+        (
+            "by_carrier".into(),
+            QuerySpec::new("faa", LogicalPlan::scan("flights"))
+                .group("carrier")
+                .agg(AggCall::new(AggFunc::Count, None, "n")),
+        ),
+        (
+            "by_carrier_market".into(),
+            QuerySpec::new("faa", LogicalPlan::scan("flights"))
+                .group("carrier")
+                .group("market")
+                .agg(AggCall::new(AggFunc::Count, None, "n")),
+        ),
+        (
+            "avg_delay".into(),
+            QuerySpec::new("faa", LogicalPlan::scan("flights"))
+                .group("carrier")
+                .agg(AggCall::new(AggFunc::Avg, Some(col("arr_delay")), "avg")),
+        ),
+    ];
+    let out = execute_batch(&qp, &batch, &BatchOptions::default()).unwrap();
+    assert_eq!(out.results.len(), 3);
+
+    // Every executed query left a profile; together they cover the paper's
+    // Sect. 3 stage decomposition.
+    let profiles = qp.obs.profiles.all();
+    assert!(!profiles.is_empty());
+    for required in [
+        stage::CACHE_LOOKUP,
+        stage::POOL_ACQUIRE,
+        stage::REMOTE_EXEC,
+        stage::POST_PROCESS,
+    ] {
+        assert!(
+            profiles.iter().any(|p| p.has_stage(required)),
+            "no batch profile contains stage '{required}'"
+        );
+    }
+
+    // The registry saw core, cache, pool and batch activity.
+    let snap = qp.obs.registry.snapshot();
+    for key in [
+        "tv_core_queries_total",
+        "tv_core_remote_queries_total",
+        "tv_core_query_seconds",
+        "tv_core_batches_total",
+        "tv_backend_pool_opened_total",
+        "tv_backend_pool_acquire_wait_seconds",
+        "tv_cache_intelligent_misses_total",
+    ] {
+        assert!(snap.contains_key(key), "metric '{key}' missing: {snap:?}");
+    }
+    match &snap["tv_core_queries_total"] {
+        MetricValue::Counter(n) => assert!(*n >= batch.len() as u64),
+        other => panic!("unexpected kind: {other:?}"),
+    }
+
+    // Exposition parses as text and mentions the histogram machinery.
+    let text = qp.obs.registry.render_text();
+    assert!(text.contains("# TYPE tv_core_query_seconds histogram"));
+    assert!(text.contains("tv_core_queries_total"));
+}
+
+#[test]
+fn injected_faults_are_attributed_in_profiles() {
+    let spec = count_by_carrier();
+    let flights =
+        tabviz::workloads::generate_flights(&tabviz::workloads::FaaConfig::with_rows(1_000))
+            .unwrap();
+    let db = Arc::new(Database::new("faa"));
+    db.put(Table::from_chunk("flights", &flights, &["carrier"]).unwrap())
+        .unwrap();
+    let sim = SimDb::new("faa", db, SimConfig::default());
+    let qp2 = QueryProcessor::default();
+    qp2.registry.register(Arc::new(sim.clone()), 4);
+    // Warm the cache, mark stale, then force connection drops.
+    qp2.execute(&spec).unwrap();
+    qp2.mark_source_stale("faa");
+    let mut plan = FaultPlan::seeded(11);
+    plan.connection_drop = 1.0;
+    sim.set_fault_plan(Some(plan));
+    let (_, outcome) = qp2.execute(&spec).unwrap();
+    assert_eq!(outcome, ExecOutcome::DegradedStale);
+    let prof = qp2.obs.profiles.last().unwrap();
+    assert_eq!(prof.outcome, ProfileOutcome::DegradedStale);
+    assert!(
+        !prof.faults.is_empty(),
+        "degraded profile must attribute the injected faults:\n{}",
+        prof.render()
+    );
+    assert!(prof.faults.iter().all(|f| f.site == "connection_drop"));
+    // The default retry budget was spent before degrading.
+    assert_eq!(prof.retries, 2);
+    // And the stale serve shows up in the age-at-serve histogram.
+    let snap = qp2.obs.registry.snapshot();
+    match snap.get("tv_cache_stale_age_seconds") {
+        Some(MetricValue::Histogram(h)) => assert!(h.count >= 1),
+        other => panic!("stale-age histogram missing: {other:?}"),
+    }
+}
