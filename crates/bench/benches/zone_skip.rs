@@ -1,0 +1,52 @@
+//! Criterion bench for E18: zone-map block skipping, predicate-on-codes and
+//! RLE run kernels in the compression-aware scan path.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tabviz::prelude::*;
+use tabviz_bench::faa_db;
+
+fn bench(c: &mut Criterion) {
+    let tde = Tde::new(faa_db(400_000));
+    let mut group = c.benchmark_group("zone_skip");
+    group.sample_size(10);
+
+    // Filters on the sorted dict-rle column at three selectivities: zone
+    // maps refute almost all, most, and some blocks respectively.
+    for (label, filter) in [
+        ("none", "(= carrier \"ZZ\")"),
+        ("rare", "(= carrier \"HA\")"),
+        ("common", "(= carrier \"WN\")"),
+    ] {
+        let q = format!("(aggregate () ((count as n)) (select {filter} (scan flights)))");
+        let mut pushdown = ExecOptions::serial();
+        pushdown.physical.enable_rle_index = false;
+        group.bench_with_input(BenchmarkId::new("zone_pushdown", label), &q, |b, q| {
+            b.iter(|| tde.query_with(q, &pushdown).unwrap())
+        });
+        let mut full = ExecOptions::serial();
+        full.physical.enable_rle_index = false;
+        full.physical.enable_scan_pushdown = false;
+        group.bench_with_input(BenchmarkId::new("decode_everything", label), &q, |b, q| {
+            b.iter(|| tde.query_with(q, &full).unwrap())
+        });
+    }
+
+    // Run-granularity aggregation over the RLE group column vs the per-row
+    // streaming aggregate it replaces.
+    let q_agg = "(aggregate ((carrier)) ((count as n)) (scan flights))".to_string();
+    group.bench_with_input(BenchmarkId::new("agg", "run_kernel"), &q_agg, |b, q| {
+        b.iter(|| tde.query_with(q, &ExecOptions::serial()).unwrap())
+    });
+    let mut per_row = ExecOptions::serial();
+    per_row.physical.enable_run_agg = false;
+    group.bench_with_input(BenchmarkId::new("agg", "per_row"), &q_agg, |b, q| {
+        b.iter(|| tde.query_with(q, &per_row).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

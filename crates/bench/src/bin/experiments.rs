@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates a results table for every performance
 //! claim / figure in the paper (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e17|all]`
+//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e18|all]`
 
 #![allow(clippy::field_reassign_with_default)] // options structs read better mutated
 
@@ -69,6 +69,9 @@ fn main() {
     }
     if all || which == "e17" {
         e17_observability();
+    }
+    if all || which == "e18" {
+        e18_zone_skipping();
     }
 }
 
@@ -1185,4 +1188,135 @@ fn e17_observability() {
             ),
         }
     }
+}
+
+// ---------------------------------------------------------------- E18 ----
+
+/// Compression-aware scan path: a selectivity × encoding sweep comparing the
+/// decode-everything baseline (no pushdown, no RLE index) against the
+/// zone-skipping pushdown scan (RLE index off, isolating zone maps +
+/// predicate-on-codes + run kernels) and the full default planner. The
+/// carrier filters exercise the dict-rle column (sorted, long runs — zone
+/// maps refute most blocks), the dep_hour filters the plain column (no
+/// skipping, but rows are still removed before materialization). A second
+/// table compares run-granularity aggregation against the streaming and
+/// hash aggregates it replaces.
+fn e18_zone_skipping() {
+    use tabviz::obs::MetricValue;
+
+    let rows = 1_500_000;
+    let tde = Tde::new(faa_db(rows));
+    let blocks_total = rows.div_ceil(tabviz::storage::BLOCK_ROWS) as u64;
+
+    let counter = |name: &str| -> u64 {
+        match tabviz::obs::global().snapshot().get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    };
+
+    let mut baseline = ExecOptions::serial();
+    baseline.physical.enable_scan_pushdown = false;
+    baseline.physical.enable_rle_index = false;
+    let mut zones = ExecOptions::serial();
+    zones.physical.enable_rle_index = false;
+    let default = ExecOptions::serial();
+
+    // (label, filter, encoding of the filtered column)
+    let filters: Vec<(&str, &str, &str)> = vec![
+        ("carrier = ZZ", "(= carrier \"ZZ\")", "dict-rle"),
+        ("carrier = HA", "(= carrier \"HA\")", "dict-rle"),
+        ("carrier = WN", "(= carrier \"WN\")", "dict-rle"),
+        (
+            "carrier in 4 majors",
+            "(in carrier \"WN\" \"DL\" \"AA\" \"UA\")",
+            "dict-rle",
+        ),
+        ("dep_hour >= 18", "(>= dep_hour 18)", "plain"),
+        ("dep_hour >= 0", "(>= dep_hour 0)", "plain"),
+    ];
+
+    let mut out = Vec::new();
+    let mut selective: Option<(u64, f64, f64)> = None; // (skipped, fraction, speedup)
+    for (label, filter, codec) in &filters {
+        let q = format!("(aggregate () ((count as n)) (select {filter} (scan flights)))");
+        let (out_base, t_base) = time_it(|| tde.query_with(&q, &baseline).expect("baseline"));
+        let before_skip = counter("tv_tde_blocks_skipped_total");
+        let before_pre = counter("tv_tde_rows_prefiltered_total");
+        let (out_zone, t_zone) = time_it(|| tde.query_with(&q, &zones).expect("zones"));
+        let skipped = counter("tv_tde_blocks_skipped_total") - before_skip;
+        let prefiltered = counter("tv_tde_rows_prefiltered_total") - before_pre;
+        let (_, t_default) = time_it(|| tde.query_with(&q, &default).expect("default"));
+        assert_eq!(
+            out_base.row(0)[0],
+            out_zone.row(0)[0],
+            "arms disagree on {label}"
+        );
+        let matched = out_zone.row(0)[0].as_int().unwrap_or(0);
+        let skip_frac = skipped as f64 / blocks_total as f64;
+        let speedup = t_base.as_secs_f64() / t_zone.as_secs_f64().max(1e-9);
+        // The most selective non-empty sorted-column point drives the CI
+        // regression assertions.
+        if *codec == "dict-rle" && matched > 0 && selective.is_none() {
+            selective = Some((skipped, skip_frac, speedup));
+        }
+        out.push(vec![
+            label.to_string(),
+            codec.to_string(),
+            matched.to_string(),
+            ms(t_base),
+            ms(t_zone),
+            ms(t_default),
+            format!("{skipped}/{blocks_total}"),
+            format!("{:.0}%", skip_frac * 100.0),
+            prefiltered.to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "E18 — zone-map block skipping & predicate pushdown ({rows} rows, sorted by carrier)"
+        ),
+        &[
+            "filter",
+            "codec",
+            "rows matched",
+            "baseline ms",
+            "zone+pushdown ms",
+            "default ms",
+            "blocks skipped",
+            "skip %",
+            "rows prefiltered",
+        ],
+        &out,
+    );
+
+    // Run-granularity aggregation over the RLE group column: one state
+    // update per run instead of per row.
+    let q_agg = "(aggregate ((carrier)) ((count as n)) (scan flights))";
+    let (_, t_run) = time_it(|| tde.query_with(q_agg, &default).expect("runagg"));
+    let mut no_run = ExecOptions::serial();
+    no_run.physical.enable_run_agg = false;
+    let (_, t_stream) = time_it(|| tde.query_with(q_agg, &no_run).expect("streamagg"));
+    let mut hash_only = no_run;
+    hash_only.physical.enable_streaming_agg = false;
+    let (_, t_hash) = time_it(|| tde.query_with(q_agg, &hash_only).expect("hashagg"));
+    print_table(
+        "E18 — COUNT(*) by carrier: run-granularity vs row-at-a-time aggregation",
+        &["configuration", "wall ms"],
+        &[
+            vec!["RunAgg (per RLE run)".into(), ms(t_run)],
+            vec!["StreamAgg (per row)".into(), ms(t_stream)],
+            vec!["HashAgg (per row)".into(), ms(t_hash)],
+        ],
+    );
+
+    // Machine-checkable summary lines (the CI smoke test parses these).
+    let (skipped, frac, speedup) = selective.expect("a selective dict-rle point must exist");
+    println!("e18_blocks_skipped {skipped}");
+    println!("e18_skip_fraction {frac:.3}");
+    println!("e18_speedup {speedup:.2}");
+    println!(
+        "e18_runagg_speedup {:.2}",
+        t_stream.as_secs_f64() / t_run.as_secs_f64().max(1e-9)
+    );
 }

@@ -26,6 +26,7 @@ use crate::implication::implies;
 use crate::spec::QuerySpec;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use tabviz_common::{Chunk, Result, TvError};
@@ -96,6 +97,40 @@ pub struct IntelligentStats {
     pub stale_serves: u64,
 }
 
+/// Live counters, kept OUTSIDE the entry-map mutex so hot-path bookkeeping
+/// and [`IntelligentCache::stats`] snapshots never contend with lookups
+/// holding the lock. Relaxed ordering suffices: these are monotone counts,
+/// not synchronization points.
+#[derive(Default)]
+struct AtomicStats {
+    exact_hits: AtomicU64,
+    subsumption_hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    rejected_inserts: AtomicU64,
+    evictions: AtomicU64,
+    stale_serves: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> IntelligentStats {
+        IntelligentStats {
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            subsumption_hits: self.subsumption_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            rejected_inserts: self.rejected_inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[inline]
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Cache configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
@@ -128,7 +163,6 @@ struct Inner {
     entries: HashMap<u64, Entry>,
     next_id: u64,
     bytes: usize,
-    stats: IntelligentStats,
 }
 
 /// Pre-resolved `tv_cache_intelligent_*` metric handles (see
@@ -164,6 +198,7 @@ impl CacheMetrics {
 pub struct IntelligentCache {
     config: CacheConfig,
     inner: Mutex<Inner>,
+    stats: AtomicStats,
     metrics: OnceLock<CacheMetrics>,
 }
 
@@ -182,8 +217,8 @@ impl IntelligentCache {
                 entries: HashMap::new(),
                 next_id: 0,
                 bytes: 0,
-                stats: IntelligentStats::default(),
             }),
+            stats: AtomicStats::default(),
             metrics: OnceLock::new(),
         }
     }
@@ -198,8 +233,9 @@ impl IntelligentCache {
         self.metrics.get()
     }
 
+    /// Lock-free snapshot of the live counters.
     pub fn stats(&self) -> IntelligentStats {
-        self.inner.lock().stats.clone()
+        self.stats.snapshot()
     }
 
     pub fn len(&self) -> usize {
@@ -299,10 +335,10 @@ impl IntelligentCache {
             e.last_used = Instant::now();
             if effort == 0 {
                 if allow_stale {
-                    inner.stats.stale_serves += 1;
+                    bump(&self.stats.stale_serves);
                     self.observe_stale_serve(created);
                 } else {
-                    inner.stats.exact_hits += 1;
+                    bump(&self.stats.exact_hits);
                     if let Some(m) = self.obs() {
                         m.exact_hits.inc();
                     }
@@ -312,10 +348,10 @@ impl IntelligentCache {
             match post_process(&cached_spec, cached, spec, &plan) {
                 Ok(out) => {
                     if allow_stale {
-                        inner.stats.stale_serves += 1;
+                        bump(&self.stats.stale_serves);
                         self.observe_stale_serve(created);
                     } else {
-                        inner.stats.subsumption_hits += 1;
+                        bump(&self.stats.subsumption_hits);
                         if let Some(m) = self.obs() {
                             m.subsumption_hits.inc();
                         }
@@ -326,7 +362,7 @@ impl IntelligentCache {
             }
         }
         if !allow_stale {
-            inner.stats.misses += 1;
+            bump(&self.stats.misses);
             if let Some(m) = self.obs() {
                 m.misses.inc();
             }
@@ -352,14 +388,14 @@ impl IntelligentCache {
     /// Insert a result. `cost` is what computing it took.
     pub fn put(&self, spec: QuerySpec, result: Chunk, cost: Duration) {
         let bytes = result.approx_bytes();
-        let mut inner = self.inner.lock();
         if bytes > self.config.max_entry_bytes || cost < self.config.min_cost {
-            inner.stats.rejected_inserts += 1;
+            bump(&self.stats.rejected_inserts);
             if let Some(m) = self.obs() {
                 m.rejected_inserts.inc();
             }
             return;
         }
+        let mut inner = self.inner.lock();
         let mut spec = spec;
         spec.normalize();
         let bucket = spec.bucket_key();
@@ -381,7 +417,7 @@ impl IntelligentCache {
         );
         inner.buckets.entry(bucket).or_default().push(id);
         inner.bytes += bytes;
-        inner.stats.inserts += 1;
+        bump(&self.stats.inserts);
         if let Some(m) = self.obs() {
             m.inserts.inc();
         }
@@ -403,7 +439,7 @@ impl IntelligentCache {
             let Some(id) = victim else { break };
             if let Some(e) = inner.entries.remove(&id) {
                 inner.bytes -= e.bytes;
-                inner.stats.evictions += 1;
+                bump(&self.stats.evictions);
                 if let Some(m) = self.obs() {
                     m.evictions.inc();
                 }
@@ -998,6 +1034,43 @@ mod tests {
         for r in out.to_rows() {
             assert_eq!(r[2], Value::Int(10));
         }
+    }
+
+    #[test]
+    fn concurrent_lookups_keep_stats_consistent() {
+        // Stats live outside the entry-map mutex; hammer lookups from many
+        // threads (with concurrent lock-free stats reads) and check the
+        // atomically-counted totals add up exactly.
+        let cache = StdArc::new(cache_with_entry());
+        let threads = 8;
+        let per_thread = 50;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = StdArc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        if (t + i) % 2 == 0 {
+                            assert!(cache.get(&cached_spec()).is_some());
+                        } else {
+                            let miss = QuerySpec::new("faa", LogicalPlan::scan("nowhere"))
+                                .group("carrier")
+                                .agg(AggCall::new(AggFunc::Count, None, "n"));
+                            assert!(cache.get(&miss).is_none());
+                        }
+                        // Lock-free snapshot must never block or tear.
+                        let _ = cache.stats();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let st = cache.stats();
+        let total = (threads * per_thread) as u64;
+        assert_eq!(st.exact_hits + st.misses, total);
+        assert_eq!(st.exact_hits, total / 2);
+        assert_eq!(st.misses, total / 2);
     }
 
     #[test]

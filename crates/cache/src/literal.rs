@@ -9,6 +9,7 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 use tabviz_common::Chunk;
@@ -45,10 +46,38 @@ pub struct LiteralStats {
     pub stale_serves: u64,
 }
 
+/// Live counters, outside the entry-map mutex (see the matching comment in
+/// `intelligent.rs`): stats snapshots and hot-path bumps never contend with
+/// lookups holding the lock.
+#[derive(Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    stale_serves: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> LiteralStats {
+        LiteralStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[inline]
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
 struct Inner {
     entries: HashMap<String, Entry>,
     bytes: usize,
-    stats: LiteralStats,
 }
 
 /// Pre-resolved `tv_cache_literal_*` metric handles (see
@@ -81,6 +110,7 @@ impl CacheMetrics {
 pub struct LiteralCache {
     capacity_bytes: usize,
     inner: Mutex<Inner>,
+    stats: AtomicStats,
     metrics: OnceLock<CacheMetrics>,
 }
 
@@ -97,8 +127,8 @@ impl LiteralCache {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 bytes: 0,
-                stats: LiteralStats::default(),
             }),
+            stats: AtomicStats::default(),
             metrics: OnceLock::new(),
         }
     }
@@ -125,14 +155,14 @@ impl LiteralCache {
                 e.use_count += 1;
                 e.last_used = Instant::now();
                 let out = e.result.clone();
-                inner.stats.hits += 1;
+                bump(&self.stats.hits);
                 if let Some(m) = self.obs() {
                     m.hits.inc();
                 }
                 Some(out)
             }
             _ => {
-                inner.stats.misses += 1;
+                bump(&self.stats.misses);
                 if let Some(m) = self.obs() {
                     m.misses.inc();
                 }
@@ -152,7 +182,7 @@ impl LiteralCache {
         e.last_used = Instant::now();
         let out = e.result.clone();
         let age = e.created.elapsed();
-        inner.stats.stale_serves += 1;
+        bump(&self.stats.stale_serves);
         if let Some(m) = self.obs() {
             m.stale_serves.inc();
             m.stale_age.observe(age);
@@ -185,7 +215,7 @@ impl LiteralCache {
             inner.bytes -= old.bytes;
         }
         inner.bytes += bytes;
-        inner.stats.inserts += 1;
+        bump(&self.stats.inserts);
         if let Some(m) = self.obs() {
             m.inserts.inc();
         }
@@ -203,7 +233,7 @@ impl LiteralCache {
             let Some(k) = victim else { break };
             if let Some(e) = inner.entries.remove(&k) {
                 inner.bytes -= e.bytes;
-                inner.stats.evictions += 1;
+                bump(&self.stats.evictions);
                 if let Some(m) = self.obs() {
                     m.evictions.inc();
                 }
@@ -248,8 +278,9 @@ impl LiteralCache {
         inner.bytes = 0;
     }
 
+    /// Lock-free snapshot of the live counters.
     pub fn stats(&self) -> LiteralStats {
-        self.inner.lock().stats.clone()
+        self.stats.snapshot()
     }
 
     pub fn len(&self) -> usize {

@@ -30,6 +30,15 @@ pub use span::{
     collect_since, dropped_events, event, mark, record, span, Span, SpanEvent, TraceMark,
 };
 
+/// The process-wide default [`Registry`]. Execution-layer counters with no
+/// natural [`Obs`] owner (e.g. the TDE scan's blocks-skipped / rows-prefiltered
+/// counts) register here, so experiments and tests can read them via
+/// [`Registry::snapshot`] without threading a registry through every operator.
+pub fn global() -> &'static Registry {
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
 /// Static stage names used across the workspace. Using these constants
 /// (rather than ad-hoc strings) keeps profiles joinable across crates.
 pub mod stage {

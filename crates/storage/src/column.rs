@@ -9,7 +9,7 @@
 //! optimizer may nevertheless exploit (Sect. 4.3's IndexTable is built from
 //! [`StoredColumn::rle_runs`]).
 
-use crate::stats::ColumnStats;
+use crate::stats::{compute_zone_map, BlockStats, ColumnStats};
 use std::sync::Arc;
 use tabviz_common::{
     Chunk, ColumnVec, DataType, Field, NullMask, Result, Schema, TvError, Value, Values,
@@ -110,6 +110,8 @@ pub struct StoredColumn {
     /// Present iff the column is dictionary-compressed (all `Str` columns).
     dict: Option<Arc<Vec<String>>>,
     pub stats: ColumnStats,
+    /// Zone map: per-[`crate::stats::BLOCK_ROWS`]-block min/max/null stats.
+    zones: Vec<BlockStats>,
 }
 
 /// Average run length at or above which RLE is chosen automatically.
@@ -135,6 +137,7 @@ impl StoredColumn {
         let len = col.len();
         let values: Vec<Value> = (0..len).map(|i| col.get(i)).collect();
         let stats = ColumnStats::compute(&values);
+        let zones = compute_zone_map(&values);
         let valid_bits: Vec<bool> = (0..len).map(|i| col.is_valid(i)).collect();
         let nulls = NullMask::from_valid_bits(valid_bits);
 
@@ -221,6 +224,7 @@ impl StoredColumn {
             data,
             dict,
             stats,
+            zones,
         })
     }
 
@@ -247,6 +251,22 @@ impl StoredColumn {
     /// of the column without a scan — used for filter-domain queries.
     pub fn dictionary(&self) -> Option<&Arc<Vec<String>>> {
         self.dict.as_ref()
+    }
+
+    /// The zone map: one [`BlockStats`] per [`crate::stats::BLOCK_ROWS`] rows.
+    pub fn zone_map(&self) -> &[BlockStats] {
+        &self.zones
+    }
+
+    /// The physical layout (read-only); lets the scan pick a code-compare or
+    /// run-granularity kernel without decoding.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The column's validity mask.
+    pub fn null_mask(&self) -> &NullMask {
+        &self.nulls
     }
 
     /// Enumerate RLE runs (the IndexTable of Sect. 4.3), or `None` when the
@@ -276,6 +296,102 @@ impl StoredColumn {
             }
             _ => None,
         }
+    }
+
+    /// Enumerate the RLE runs overlapping `[start, start + len)`, clipped to
+    /// that window (so `start`/`count` describe only the overlap). `None`
+    /// when the column is not run-length encoded. This is the unit of work
+    /// for run-granularity filter kernels: one predicate evaluation covers
+    /// `count` rows.
+    pub fn runs_overlapping(&self, start: usize, len: usize) -> Option<Vec<RleRun>> {
+        let ColumnData::Rle {
+            values,
+            counts,
+            starts,
+        } = &self.data
+        else {
+            return None;
+        };
+        let end = (start + len).min(self.len);
+        if start >= end {
+            return Some(Vec::new());
+        }
+        let mut k = run_index(starts, start);
+        let mut runs = Vec::new();
+        while k < starts.len() && (starts[k] as usize) < end {
+            let run_start = starts[k] as usize;
+            let run_end = run_start + counts[k] as usize;
+            let lo = run_start.max(start);
+            let hi = run_end.min(end);
+            let value = if self.nulls.is_valid(lo) {
+                self.phys_value(values, k)
+            } else {
+                Value::Null
+            };
+            runs.push(RleRun {
+                value,
+                start: lo,
+                count: hi - lo,
+            });
+            k += 1;
+        }
+        Some(runs)
+    }
+
+    /// Gather the given rows (ascending global row ids) into a decoded
+    /// column — the selection-vector materialization of a pushed-down
+    /// predicate's survivors, done in a single copy. RLE and delta data are
+    /// walked incrementally, so a sparse ascending gather never re-decodes.
+    pub fn decode_rows(&self, rows: &[usize]) -> Result<ColumnVec> {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must ascend");
+        if let Some(&last) = rows.last() {
+            if last >= self.len {
+                return Err(TvError::Storage(format!(
+                    "row {} out of bounds (len {})",
+                    last, self.len
+                )));
+            }
+        }
+        let mut out = decoded_values_builder(self.field.dtype, rows.len());
+        match &self.data {
+            ColumnData::Plain(p) => {
+                for &r in rows {
+                    append_repeat(&mut out, p, r, self.dict.as_deref(), 1);
+                }
+            }
+            ColumnData::Rle {
+                values,
+                counts,
+                starts,
+            } => {
+                let mut k = 0usize;
+                for &r in rows {
+                    while starts[k] as usize + counts[k] as usize <= r {
+                        k += 1;
+                    }
+                    append_repeat(&mut out, values, k, self.dict.as_deref(), 1);
+                }
+            }
+            ColumnData::Delta { first, deltas } => {
+                let mut idx = 0usize;
+                let mut cur = *first;
+                let mut vals = Vec::with_capacity(rows.len());
+                for &r in rows {
+                    while idx < r {
+                        cur += deltas[idx];
+                        idx += 1;
+                    }
+                    vals.push(cur);
+                }
+                out = match self.field.dtype {
+                    DataType::Int => Values::Int(vals),
+                    DataType::Date => Values::Date(vals.into_iter().map(|v| v as i32).collect()),
+                    _ => unreachable!("delta encoding only stores Int/Date"),
+                };
+            }
+        }
+        let bits: Vec<bool> = rows.iter().map(|&r| self.nulls.is_valid(r)).collect();
+        Ok(ColumnVec::new(out, NullMask::from_valid_bits(bits)))
     }
 
     fn phys_value(&self, phys: &PhysVec, i: usize) -> Value {
@@ -458,11 +574,17 @@ impl StoredColumn {
                 row_count: len,
                 sorted: false,
             },
+            zones: Vec::new(),
         };
         let col = tmp.decode()?;
         let values: Vec<Value> = (0..len).map(|i| col.get(i)).collect();
         let stats = ColumnStats::compute(&values);
-        Ok(StoredColumn { stats, ..tmp })
+        let zones = compute_zone_map(&values);
+        Ok(StoredColumn {
+            stats,
+            zones,
+            ..tmp
+        })
     }
 }
 
@@ -770,6 +892,86 @@ mod tests {
     fn type_mismatch_rejected() {
         let col = int_col(&[Some(1)]);
         assert!(StoredColumn::encode(Field::new("x", DataType::Str), &col).is_err());
+    }
+
+    #[test]
+    fn runs_overlapping_clips_to_window() {
+        let col = int_col(&[Some(7), Some(7), Some(7), None, None, Some(2)]);
+        let sc =
+            StoredColumn::encode_with(Field::new("x", DataType::Int), &col, Codec::Rle).unwrap();
+        let runs = sc.runs_overlapping(1, 3).unwrap();
+        assert_eq!(
+            runs,
+            vec![
+                RleRun {
+                    value: Value::Int(7),
+                    start: 1,
+                    count: 2
+                },
+                RleRun {
+                    value: Value::Null,
+                    start: 3,
+                    count: 1
+                },
+            ]
+        );
+        assert!(sc.runs_overlapping(0, 0).unwrap().is_empty());
+        let plain =
+            StoredColumn::encode_with(Field::new("x", DataType::Int), &col, Codec::Plain).unwrap();
+        assert!(plain.runs_overlapping(0, 6).is_none());
+    }
+
+    #[test]
+    fn decode_rows_gathers_across_codecs() {
+        let vals: Vec<Option<i64>> = (0..300)
+            .map(|i| if i % 11 == 0 { None } else { Some(i / 10) })
+            .collect();
+        let col = int_col(&vals);
+        let rows = vec![0usize, 3, 10, 150, 299];
+        for codec in [Codec::Plain, Codec::Rle] {
+            let sc =
+                StoredColumn::encode_with(Field::new("x", DataType::Int), &col, codec).unwrap();
+            let got = sc.decode_rows(&rows).unwrap();
+            for (i, &r) in rows.iter().enumerate() {
+                assert_eq!(got.get(i), col.get(r), "codec {codec:?} row {r}");
+            }
+        }
+        // Delta needs sorted, null-free data.
+        let sorted: Vec<Option<i64>> = (0..300).map(|i| Some(i * 2)).collect();
+        let scol = int_col(&sorted);
+        let sc =
+            StoredColumn::encode_with(Field::new("x", DataType::Int), &scol, Codec::Delta).unwrap();
+        assert_eq!(sc.codec_name(), "delta");
+        let got = sc.decode_rows(&rows).unwrap();
+        for (i, &r) in rows.iter().enumerate() {
+            assert_eq!(got.get(i), scol.get(r));
+        }
+        assert!(sc.decode_rows(&[300]).is_err());
+        assert_eq!(sc.decode_rows(&[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn decode_rows_gathers_strings() {
+        let vals: Vec<&str> = (0..100).map(|i| if i < 50 { "AA" } else { "WN" }).collect();
+        let col = str_col(&vals);
+        let sc = StoredColumn::encode(Field::new("s", DataType::Str), &col).unwrap();
+        assert_eq!(sc.codec_name(), "dict-rle");
+        let got = sc.decode_rows(&[0, 49, 50, 99]).unwrap();
+        assert_eq!(got.get(0), Value::Str("AA".into()));
+        assert_eq!(got.get(2), Value::Str("WN".into()));
+    }
+
+    #[test]
+    fn zone_map_present_on_encode() {
+        let vals: Vec<Option<i64>> = (0..10_000).map(Some).collect();
+        let sc = StoredColumn::encode(Field::new("x", DataType::Int), &int_col(&vals)).unwrap();
+        let zones = sc.zone_map();
+        assert_eq!(zones.len(), 10_000_usize.div_ceil(crate::stats::BLOCK_ROWS));
+        assert_eq!(zones[0].min, Some(Value::Int(0)));
+        assert_eq!(
+            zones[1].min,
+            Some(Value::Int(crate::stats::BLOCK_ROWS as i64))
+        );
     }
 
     #[test]

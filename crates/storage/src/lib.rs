@@ -24,5 +24,5 @@ pub mod table;
 
 pub use column::{ColumnData, PhysVec, RleRun, StoredColumn};
 pub use database::Database;
-pub use stats::ColumnStats;
+pub use stats::{BlockStats, ColumnStats, BLOCK_ROWS};
 pub use table::Table;

@@ -8,6 +8,63 @@
 
 use tabviz_common::Value;
 
+/// Rows per zone-map block. A divisor of the executor's chunk size so a
+/// scan window always covers whole blocks (the last block of a column may
+/// be short).
+pub const BLOCK_ROWS: usize = 4096;
+
+/// Zone-map entry: min/max/null-count over one fixed-size block of rows.
+/// A scan can skip the whole block when the pushed-down predicate cannot
+/// match anywhere in `[min, max]` (and nulls don't pass either).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStats {
+    /// Smallest non-null value in the block, if any.
+    pub min: Option<Value>,
+    /// Largest non-null value in the block.
+    pub max: Option<Value>,
+    /// Number of null rows in the block.
+    pub null_count: u32,
+    /// Rows covered by the block (`BLOCK_ROWS` except possibly the last).
+    pub rows: u32,
+}
+
+impl BlockStats {
+    fn compute(values: &[Value]) -> Self {
+        let mut min: Option<&Value> = None;
+        let mut max: Option<&Value> = None;
+        let mut null_count = 0u32;
+        for v in values {
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            if min.is_none_or(|m| v < m) {
+                min = Some(v);
+            }
+            if max.is_none_or(|m| v > m) {
+                max = Some(v);
+            }
+        }
+        BlockStats {
+            min: min.cloned(),
+            max: max.cloned(),
+            null_count,
+            rows: values.len() as u32,
+        }
+    }
+
+    /// `true` when every row in the block is null.
+    pub fn all_null(&self) -> bool {
+        self.null_count == self.rows
+    }
+}
+
+/// Compute the zone map for a column: one [`BlockStats`] per `BLOCK_ROWS`
+/// rows. Runs over the same materialized values the encoder already walks.
+pub fn compute_zone_map(values: &[Value]) -> Vec<BlockStats> {
+    values.chunks(BLOCK_ROWS).map(BlockStats::compute).collect()
+}
+
 /// Summary statistics for one stored column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
@@ -99,6 +156,44 @@ mod tests {
         let s = ColumnStats::compute(&[Value::Int(1), Value::Int(2), Value::Null]);
         assert!(s.is_unique());
         assert!((s.eq_selectivity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zone_map_blocks() {
+        let vals: Vec<Value> = (0..(BLOCK_ROWS + 10))
+            .map(|i| {
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i as i64)
+                }
+            })
+            .collect();
+        let zones = compute_zone_map(&vals);
+        assert_eq!(zones.len(), 2);
+        assert_eq!(zones[0].rows as usize, BLOCK_ROWS);
+        assert_eq!(zones[0].min, Some(Value::Int(1)));
+        // 4095 = 7 * 585 is null, so the block max is the row before it.
+        assert_eq!(zones[0].max, Some(Value::Int(BLOCK_ROWS as i64 - 2)));
+        assert_eq!(zones[1].rows, 10);
+        // 4096 % 7 != 0, so the second block's first row is non-null.
+        assert_eq!(zones[1].min, Some(Value::Int(BLOCK_ROWS as i64)));
+        assert!(zones[0].null_count > 0);
+        assert!(!zones[0].all_null());
+    }
+
+    #[test]
+    fn zone_map_all_null_block() {
+        let vals = vec![Value::Null; 8];
+        let zones = compute_zone_map(&vals);
+        assert_eq!(zones.len(), 1);
+        assert!(zones[0].all_null());
+        assert_eq!(zones[0].min, None);
+    }
+
+    #[test]
+    fn zone_map_empty() {
+        assert!(compute_zone_map(&[]).is_empty());
     }
 
     #[test]

@@ -140,6 +140,31 @@ impl Table {
         out
     }
 
+    /// Like [`Table::fractions`], but with every boundary snapped to a
+    /// multiple of `align`. Used when scans carry pushed-down predicates:
+    /// zone-map blocks of [`crate::stats::BLOCK_ROWS`] rows never straddle
+    /// two fractions, so parallel workers skip blocks independently.
+    pub fn fractions_aligned(&self, n: usize, align: usize) -> Vec<(usize, usize)> {
+        if self.row_count == 0 || n == 0 {
+            return vec![];
+        }
+        let align = align.max(1);
+        let blocks = self.row_count.div_ceil(align);
+        let n = n.min(blocks);
+        let base = blocks / n;
+        let rem = blocks % n;
+        let mut out = Vec::with_capacity(n);
+        let mut block = 0usize;
+        for i in 0..n {
+            let nblocks = base + usize::from(i < rem);
+            let start = block * align;
+            let end = ((block + nblocks) * align).min(self.row_count);
+            out.push((start, end - start));
+            block += nblocks;
+        }
+        out
+    }
+
     /// Range-partition on a prefix of the sort key: fraction boundaries are
     /// placed only *between* distinct values of the given key prefix, so
     /// every group with respect to those columns lands in exactly one
@@ -257,6 +282,19 @@ mod tests {
         assert_eq!(fr[0].0, 0);
         let fr1 = t.fractions(100); // more fractions than rows
         assert_eq!(fr1.len(), 6);
+    }
+
+    #[test]
+    fn fractions_aligned_snap_to_blocks() {
+        let t = Table::from_chunk("flights", &flights_chunk(), &[]).unwrap();
+        // align=4 over 6 rows → 2 blocks; boundaries land on multiples of 4.
+        let fr = t.fractions_aligned(3, 4);
+        assert_eq!(fr, vec![(0, 4), (4, 2)]);
+        assert_eq!(fr.iter().map(|&(_, l)| l).sum::<usize>(), 6);
+        // One worker gets everything when there is a single block.
+        assert_eq!(t.fractions_aligned(8, 100), vec![(0, 6)]);
+        // align=1 degenerates to plain fractions.
+        assert_eq!(t.fractions_aligned(4, 1), t.fractions(4));
     }
 
     #[test]

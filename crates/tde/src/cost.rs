@@ -43,6 +43,19 @@ impl CostProfile {
         by_work.clamp(1, self.max_dop)
     }
 
+    /// Like [`CostProfile::scan_dop`], but also charges the per-row cost of
+    /// predicates pushed into the scan itself: pushed conjuncts run inside
+    /// each scan worker, so they contribute to per-thread work just like the
+    /// expressions evaluated above the scan.
+    pub fn scan_dop_with_pushdown(
+        &self,
+        row_count: usize,
+        expr_cost: u32,
+        pushed_cost: u32,
+    ) -> usize {
+        self.scan_dop(row_count, expr_cost.saturating_add(pushed_cost))
+    }
+
     /// Total per-row cost of a set of expressions.
     pub fn exprs_cost(exprs: &[&Expr]) -> u32 {
         exprs.iter().map(|e| e.cost_weight()).sum()

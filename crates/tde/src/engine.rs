@@ -128,6 +128,11 @@ impl Tde {
         let compiled = compile(plan.clone(), &catalog)?;
         let optimized = optimize(compiled, &catalog, &options.optimizer)?;
         let serial = create_physical(&optimized, self.db.as_ref(), &catalog, &options.physical)?;
+        let serial = if options.physical.enable_scan_pushdown {
+            crate::optimize::push_scan_predicates(serial)
+        } else {
+            serial
+        };
         let phys = if options.disable_parallel {
             serial
         } else {
@@ -258,15 +263,66 @@ mod tests {
     }
 
     #[test]
-    fn streaming_agg_used_on_sorted_group() {
+    fn run_agg_used_on_rle_group() {
+        // carrier is sorted → dict-rle, and COUNT(*) needs no other column,
+        // so the run-granularity aggregate takes over the whole query.
         let tde = engine();
         let plan = parse_plan("(aggregate ((carrier)) ((count as n)) (scan flights))").unwrap();
         let phys = tde.plan_physical(&plan, &ExecOptions::serial()).unwrap();
+        assert!(phys.explain().contains("RunAgg"), "{}", phys.explain());
+    }
+
+    #[test]
+    fn streaming_agg_used_on_sorted_group() {
+        let tde = engine();
+        let mut opts = ExecOptions::serial();
+        opts.physical.enable_run_agg = false;
+        let plan = parse_plan("(aggregate ((carrier)) ((count as n)) (scan flights))").unwrap();
+        let phys = tde.plan_physical(&plan, &opts).unwrap();
         assert!(phys.explain().contains("StreamAgg"), "{}", phys.explain());
         // Unsorted group column falls back to hash.
         let plan2 = parse_plan("(aggregate ((origin)) ((count as n)) (scan flights))").unwrap();
-        let phys2 = tde.plan_physical(&plan2, &ExecOptions::serial()).unwrap();
+        let phys2 = tde.plan_physical(&plan2, &opts).unwrap();
         assert!(phys2.explain().contains("HashAgg"), "{}", phys2.explain());
+    }
+
+    #[test]
+    fn scan_pushdown_moves_sargable_filter_into_scan() {
+        let tde = engine();
+        let plan = parse_plan("(select (> delay 10) (scan flights))").unwrap();
+        let phys = tde.plan_physical(&plan, &ExecOptions::serial()).unwrap();
+        let text = phys.explain();
+        assert!(text.contains("pushed=["), "{text}");
+        assert!(!text.contains("Filter"), "{text}");
+        let out = tde.execute_plan(&plan, &ExecOptions::serial()).unwrap();
+        let mut opts = ExecOptions::serial();
+        opts.physical.enable_scan_pushdown = false;
+        let baseline = tde.execute_plan(&plan, &opts).unwrap();
+        assert_eq!(out.len(), baseline.len());
+        assert!(!tde
+            .plan_physical(&plan, &opts)
+            .unwrap()
+            .explain()
+            .contains("pushed=["));
+    }
+
+    #[test]
+    fn scan_pushdown_keeps_non_sargable_residual() {
+        let tde = engine();
+        // Two columns in one conjunct: not sargable, must stay in the Filter.
+        let plan = parse_plan(
+            "(select (and (> delay 10) (or (> delay 100) (= carrier \"AA\"))) (scan flights))",
+        )
+        .unwrap();
+        let phys = tde.plan_physical(&plan, &ExecOptions::serial()).unwrap();
+        let text = phys.explain();
+        assert!(text.contains("pushed=["), "{text}");
+        assert!(text.contains("Filter"), "{text}");
+        let out = tde.execute_plan(&plan, &ExecOptions::serial()).unwrap();
+        let mut opts = ExecOptions::serial();
+        opts.physical.enable_scan_pushdown = false;
+        let baseline = tde.execute_plan(&plan, &opts).unwrap();
+        assert_eq!(out.len(), baseline.len());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use tabviz_common::{Chunk, Collation, ColumnVec, Result, SchemaRef, Value};
+use tabviz_storage::Table;
 use tabviz_tql::agg::AggState;
 use tabviz_tql::expr::Expr;
 use tabviz_tql::AggCall;
@@ -240,6 +241,145 @@ impl PhysOp for StreamAggOp {
             return Ok(Some(finish_groups(&self.schema, finished)?));
         }
         self.next()
+    }
+}
+
+/// Run-granularity COUNT/SUM straight over a table's RLE runs — no row is
+/// ever decoded. The group column's runs identify the groups; aggregate
+/// arguments (also RLE, guaranteed by the planner) contribute
+/// `value × run length` per overlapping run.
+pub struct RunAggOp {
+    table: Arc<Table>,
+    ranges: Vec<(usize, usize)>,
+    group_col: usize,
+    aggs: Vec<AggCall>,
+    schema: SchemaRef,
+    done: bool,
+}
+
+impl RunAggOp {
+    pub fn new(
+        table: Arc<Table>,
+        ranges: Vec<(usize, usize)>,
+        group_col: usize,
+        aggs: Vec<AggCall>,
+        schema: SchemaRef,
+    ) -> Self {
+        RunAggOp {
+            table,
+            ranges,
+            group_col,
+            aggs,
+            schema,
+            done: false,
+        }
+    }
+}
+
+/// Feed `n` identical rows of `v` into an accumulator in O(1).
+/// Mirrors `AggState::update` exactly (COUNT/SUM only — the planner
+/// guarantees no other function reaches a RunAgg).
+fn update_run(st: &mut AggState, v: Option<&Value>, n: usize) -> Result<()> {
+    let n = n as i64;
+    match st {
+        AggState::Count(c) => match v {
+            None => *c += n,
+            Some(val) if !val.is_null() => *c += n,
+            _ => {}
+        },
+        AggState::Sum {
+            int,
+            real,
+            is_real,
+            seen,
+        } => {
+            if let Some(val) = v {
+                match val {
+                    Value::Null => {}
+                    Value::Int(i) => {
+                        *int += i * n;
+                        *real += *i as f64 * n as f64;
+                        *seen = true;
+                    }
+                    Value::Real(r) => {
+                        *real += r * n as f64;
+                        *is_real = true;
+                        *seen = true;
+                    }
+                    other => {
+                        return Err(tabviz_common::TvError::Type(format!("SUM over {other:?}")))
+                    }
+                }
+            }
+        }
+        _ => {
+            return Err(tabviz_common::TvError::Exec(
+                "RunAgg supports only COUNT/SUM".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+impl PhysOp for RunAggOp {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let non_rle =
+            || tabviz_common::TvError::Exec("RunAgg planned over a non-RLE column".into());
+        let arg_cols: Vec<Option<usize>> = self
+            .aggs
+            .iter()
+            .map(|a| match &a.arg {
+                None => Ok(None),
+                Some(Expr::Column(c)) => self.table.schema().index_of(c).map(Some),
+                Some(e) => Err(tabviz_common::TvError::Exec(format!(
+                    "RunAgg argument must be a column: {e}"
+                ))),
+            })
+            .collect::<Result<_>>()?;
+        let collation = self.schema.field(0).collation;
+        let group = self.table.column(self.group_col);
+        let mut index: HashMap<Value, usize> = HashMap::new();
+        let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
+        for &(start, len) in &self.ranges {
+            let runs = group.runs_overlapping(start, len).ok_or_else(non_rle)?;
+            for run in runs {
+                let key = normalize_key(run.value.clone(), collation);
+                let gi = *index.entry(key).or_insert_with(|| {
+                    groups.push((
+                        vec![run.value.clone()],
+                        self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    ));
+                    groups.len() - 1
+                });
+                for (ai, st) in groups[gi].1.iter_mut().enumerate() {
+                    match arg_cols[ai] {
+                        None => update_run(st, None, run.count)?,
+                        Some(ci) => {
+                            let arg_runs = self
+                                .table
+                                .column(ci)
+                                .runs_overlapping(run.start, run.count)
+                                .ok_or_else(non_rle)?;
+                            for ar in &arg_runs {
+                                update_run(st, Some(&ar.value), ar.count)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if groups.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(finish_groups(&self.schema, groups)?))
     }
 }
 

@@ -206,6 +206,7 @@ mod tests {
                 ranges: vec![r],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             })
             .collect();
         let mut op = ExchangeOp::new(&inputs).unwrap();
@@ -232,6 +233,7 @@ mod tests {
                 ranges: vec![r],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             })
             .collect();
         let mut op = ExchangeOp::new_ordered(&inputs).unwrap();
@@ -255,6 +257,7 @@ mod tests {
                 ranges: vec![(0, 10)],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             }),
             predicate: tabviz_tql::expr::col("x"), // not a bool predicate
         };
@@ -289,6 +292,7 @@ mod tests {
                 ranges: vec![r],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             })
             .collect();
         let mut op = ExchangeOp::new(&inputs).unwrap();

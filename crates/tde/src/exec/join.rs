@@ -229,6 +229,7 @@ mod tests {
             ranges: vec![(0, d.row_count())],
             projection: None,
             via_rle_index: false,
+            pushed: vec![],
         };
         let build_schema = build_plan.schema().unwrap();
         let f = fact();
@@ -238,6 +239,7 @@ mod tests {
                 ranges: vec![(0, f.row_count())],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             }),
             build: Arc::new(BuildSide::new(build_plan, build_schema, vec![0])),
             probe_keys: vec!["carrier".into()],
@@ -287,6 +289,7 @@ mod tests {
             ranges: vec![(0, 2)],
             projection: None,
             via_rle_index: false,
+            pushed: vec![],
         };
         let bs = build_plan.schema().unwrap();
         let plan = PhysPlan::HashJoin {
@@ -295,6 +298,7 @@ mod tests {
                 ranges: vec![(0, 2)],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             }),
             build: Arc::new(BuildSide::new(build_plan, bs, vec![0])),
             probe_keys: vec!["k".into()],
@@ -335,6 +339,7 @@ mod tests {
             ranges: vec![(0, 1)],
             projection: None,
             via_rle_index: false,
+            pushed: vec![],
         };
         let bs = build_plan.schema().unwrap();
         let plan = PhysPlan::HashJoin {
@@ -343,6 +348,7 @@ mod tests {
                 ranges: vec![(0, 1)],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             }),
             build: Arc::new(BuildSide::new(build_plan, bs, vec![0])),
             probe_keys: vec!["k".into()],

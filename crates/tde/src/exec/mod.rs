@@ -9,6 +9,7 @@
 pub mod agg;
 pub mod exchange;
 pub mod join;
+mod scan_filter;
 
 use std::sync::Arc;
 use tabviz_common::{Chunk, Result, SchemaRef, TvError};
@@ -39,6 +40,7 @@ pub fn make_op(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
 fn op_stage(plan: &PhysPlan) -> &'static str {
     match plan {
         PhysPlan::Scan { .. } => "tde_scan",
+        PhysPlan::RunAgg { .. } => "tde_run_agg",
         PhysPlan::Filter { .. } => "tde_filter",
         PhysPlan::Project { .. } => "tde_project",
         PhysPlan::HashJoin { .. } => "tde_hash_join",
@@ -109,12 +111,30 @@ fn make_op_raw(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
             table,
             ranges,
             projection,
+            pushed,
             ..
-        } => Box::new(ScanOp::new(
+        } => Box::new(ScanOp::with_pushdown(
             Arc::clone(table),
             ranges.clone(),
             projection.clone(),
-        )),
+            pushed,
+        )?),
+        PhysPlan::RunAgg {
+            table,
+            ranges,
+            group_col,
+            aggs,
+            ..
+        } => {
+            let schema = plan.schema()?;
+            Box::new(agg::RunAggOp::new(
+                Arc::clone(table),
+                ranges.clone(),
+                *group_col,
+                aggs.clone(),
+                schema,
+            ))
+        }
         PhysPlan::Filter { input, predicate } => Box::new(FilterOp {
             input: make_op(input)?,
             predicate: predicate.clone(),
@@ -188,12 +208,17 @@ fn make_op_raw(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
     })
 }
 
-/// Streaming scan over the assigned row ranges of a table.
+/// Streaming scan over the assigned row ranges of a table. With pushed-down
+/// predicates the scan walks zone-map blocks: blocks the zone test refutes
+/// are skipped whole, surviving blocks are filtered on codes / runs /
+/// decoded segments, and only the selected rows are materialized (one copy,
+/// via `StoredColumn::decode_rows`).
 pub struct ScanOp {
     table: Arc<Table>,
     ranges: Vec<(usize, usize)>,
     projection: Option<Vec<usize>>,
     schema: SchemaRef,
+    preds: Option<scan_filter::ScanPredicates>,
     /// (range index, offset within range)
     cursor: (usize, usize),
 }
@@ -213,8 +238,76 @@ impl ScanOp {
             ranges,
             projection,
             schema,
+            preds: None,
             cursor: (0, 0),
         }
+    }
+
+    /// A scan that evaluates the given conjuncts before materialization.
+    pub fn with_pushdown(
+        table: Arc<Table>,
+        ranges: Vec<(usize, usize)>,
+        projection: Option<Vec<usize>>,
+        pushed: &[Expr],
+    ) -> Result<Self> {
+        let preds = scan_filter::ScanPredicates::compile(&table, pushed)?;
+        Ok(ScanOp {
+            preds,
+            ..ScanOp::new(table, ranges, projection)
+        })
+    }
+
+    /// Filter one chunk-sized window through the zone maps and pushed
+    /// predicates; returns the chunk of surviving rows, or `None` when the
+    /// whole window is refuted.
+    fn filtered_window(
+        &self,
+        preds: &scan_filter::ScanPredicates,
+        wstart: usize,
+        wlen: usize,
+    ) -> Result<Option<Chunk>> {
+        let wend = wstart + wlen;
+        let mut selected: Vec<usize> = Vec::new();
+        let mut skipped = 0u64;
+        let mut pos = wstart;
+        while pos < wend {
+            let block = pos / tabviz_storage::BLOCK_ROWS;
+            let seg_end = ((block + 1) * tabviz_storage::BLOCK_ROWS).min(wend);
+            if preds.zone_allows(&self.table, block) {
+                let mask = preds.eval_segment(&self.table, pos, seg_end - pos)?;
+                selected.extend(
+                    mask.iter()
+                        .enumerate()
+                        .filter_map(|(i, &m)| m.then_some(pos + i)),
+                );
+            } else {
+                skipped += 1;
+            }
+            pos = seg_end;
+        }
+        let metrics = scan_filter::scan_metrics();
+        metrics.blocks_skipped.add(skipped);
+        metrics.rows_prefiltered.add((wlen - selected.len()) as u64);
+        if selected.is_empty() {
+            return Ok(None);
+        }
+        if selected.len() == wlen {
+            // Everything passed: plain range materialization, no gather.
+            return Ok(Some(self.table.scan_range(
+                wstart,
+                wlen,
+                self.projection.as_deref(),
+            )?));
+        }
+        let proj: Vec<usize> = match &self.projection {
+            Some(p) => p.clone(),
+            None => (0..self.table.schema().len()).collect(),
+        };
+        let cols = proj
+            .iter()
+            .map(|&ci| self.table.column(ci).decode_rows(&selected))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Some(Chunk::new(Arc::clone(&self.schema), cols)?))
     }
 }
 
@@ -234,11 +327,22 @@ impl PhysOp for ScanOp {
                 continue;
             }
             let take = (len - off).min(CHUNK_ROWS);
-            let chunk = self
-                .table
-                .scan_range(start + off, take, self.projection.as_deref())?;
             self.cursor = (ri, off + take);
-            return Ok(Some(chunk));
+            match &self.preds {
+                None => {
+                    return Ok(Some(self.table.scan_range(
+                        start + off,
+                        take,
+                        self.projection.as_deref(),
+                    )?));
+                }
+                Some(preds) => {
+                    if let Some(chunk) = self.filtered_window(preds, start + off, take)? {
+                        return Ok(Some(chunk));
+                    }
+                    // Whole window refuted: advance to the next one.
+                }
+            }
         }
     }
 }
@@ -257,6 +361,13 @@ impl PhysOp for FilterOp {
     fn next(&mut self) -> Result<Option<Chunk>> {
         while let Some(chunk) = self.input.next()? {
             let mask = self.predicate.eval_predicate(&chunk)?;
+            // All-true mask: pass the chunk through without copying columns.
+            if mask.iter().all(|&m| m) {
+                if !chunk.is_empty() {
+                    return Ok(Some(chunk));
+                }
+                continue;
+            }
             let filtered = chunk.filter(&mask)?;
             if !filtered.is_empty() {
                 return Ok(Some(filtered));
@@ -446,6 +557,7 @@ mod tests {
                 ranges: vec![(0, 3)],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             }),
             exprs: vec![(bin(BinOp::Mul, col("k"), lit(2i64)), "dbl".into())],
         };
@@ -464,6 +576,7 @@ mod tests {
                 ranges: vec![(0, 50)],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             }),
             keys: vec![SortKey::desc("k")],
         };
@@ -478,6 +591,7 @@ mod tests {
                 ranges: vec![(0, 50)],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             }),
             keys: vec![SortKey::desc("k")],
             n: 3,
@@ -498,6 +612,7 @@ mod tests {
                 ranges: vec![],
                 projection: None,
                 via_rle_index: false,
+                pushed: vec![],
             }),
             keys: vec![SortKey::asc("k")],
         };

@@ -1,0 +1,281 @@
+//! Compression-aware predicate evaluation inside the scan.
+//!
+//! Pushed-down conjuncts (see `optimize::push_scan_predicates`) are compiled
+//! once per scan against the stored table and then evaluated *before* any
+//! chunk is materialized, cheapest representation first:
+//!
+//! 1. **Zone maps** — a block whose min/max/null-count proves the predicate
+//!    unsatisfiable is skipped without touching its data.
+//! 2. **Predicate-on-codes** — for plain dictionary columns the (string)
+//!    predicate is evaluated once per dictionary entry; the per-row loop
+//!    compares `u32` codes against the resulting bitmap.
+//! 3. **Run kernels** — for RLE columns the predicate runs once per run and
+//!    the verdict is broadcast over the run's rows.
+//! 4. Everything else decodes just the block segment and evaluates the
+//!    vectorized predicate on it.
+//!
+//! Surviving row ids are gathered through `StoredColumn::decode_rows`, so a
+//! selective scan performs a single copy into the output chunk.
+
+use std::sync::{Arc, OnceLock};
+use tabviz_common::{
+    Chunk, Collation, ColumnVec, DataType, Field, Result, Schema, SchemaRef, TvError, Value,
+};
+use tabviz_obs::Counter;
+use tabviz_storage::{BlockStats, ColumnData, PhysVec, StoredColumn, Table};
+use tabviz_tql::expr::{BinOp, Expr, UnaryOp};
+
+/// Counters exported on the global obs registry: whole blocks proven
+/// unsatisfiable by zone maps, and rows removed before materialization
+/// (including the rows of skipped blocks).
+pub(crate) struct ScanMetrics {
+    pub blocks_skipped: Counter,
+    pub rows_prefiltered: Counter,
+}
+
+pub(crate) fn scan_metrics() -> &'static ScanMetrics {
+    static METRICS: OnceLock<ScanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = tabviz_obs::global();
+        ScanMetrics {
+            blocks_skipped: reg.counter("tv_tde_blocks_skipped_total"),
+            rows_prefiltered: reg.counter("tv_tde_rows_prefiltered_total"),
+        }
+    })
+}
+
+/// One pushed conjunct, compiled against the scanned table.
+struct CompiledPred {
+    expr: Expr,
+    col: usize,
+    /// Whether a NULL row satisfies the predicate (`IS NULL` does; ordinary
+    /// comparisons reject NULL).
+    pass_on_null: bool,
+    /// For plain dictionary columns: the predicate's verdict per dictionary
+    /// code, computed once at compile time.
+    code_bitmap: Option<Vec<bool>>,
+    /// Single-column schema used to evaluate `expr` over run values or
+    /// decoded segments (nullable clone of the table field).
+    eval_schema: SchemaRef,
+}
+
+/// All pushed conjuncts of one scan. Conjunct verdicts AND together, which
+/// matches `eval_predicate`'s Kleene semantics for a conjunction: a row
+/// passes iff every conjunct independently passes.
+pub(crate) struct ScanPredicates {
+    preds: Vec<CompiledPred>,
+}
+
+impl ScanPredicates {
+    /// Compile pushed conjuncts; `None` when there is nothing to push.
+    pub fn compile(table: &Table, pushed: &[Expr]) -> Result<Option<Self>> {
+        if pushed.is_empty() {
+            return Ok(None);
+        }
+        let mut preds = Vec::with_capacity(pushed.len());
+        for e in pushed {
+            let cols = e.columns();
+            if cols.len() != 1 {
+                return Err(TvError::Exec(format!(
+                    "pushed predicate must reference one column: {e}"
+                )));
+            }
+            let name = cols.iter().next().unwrap();
+            let col = table.schema().index_of(name)?;
+            let field = table.schema().field(col);
+            let eval_field =
+                Field::new(field.name.clone(), field.dtype).with_collation(field.collation);
+            let eval_schema: SchemaRef = Arc::new(Schema::new_unchecked(vec![eval_field]));
+
+            let null_col = ColumnVec::from_iter_typed(field.dtype, [&Value::Null])?;
+            let null_chunk = Chunk::new(Arc::clone(&eval_schema), vec![null_col])?;
+            let pass_on_null = e.eval_predicate(&null_chunk)?[0];
+
+            let stored = table.column(col);
+            let code_bitmap = match (stored.data(), stored.dictionary()) {
+                (ColumnData::Plain(PhysVec::Code(_)), Some(dict)) => {
+                    let entries: Vec<Value> = dict.iter().map(|s| Value::Str(s.clone())).collect();
+                    let cv = ColumnVec::from_iter_typed(DataType::Str, entries.iter())?;
+                    let chunk = Chunk::new(Arc::clone(&eval_schema), vec![cv])?;
+                    Some(e.eval_predicate(&chunk)?)
+                }
+                _ => None,
+            };
+
+            preds.push(CompiledPred {
+                expr: e.clone(),
+                col,
+                pass_on_null,
+                code_bitmap,
+                eval_schema,
+            });
+        }
+        Ok(Some(ScanPredicates { preds }))
+    }
+
+    /// Can any row of zone-map block `block` satisfy every conjunct?
+    pub fn zone_allows(&self, table: &Table, block: usize) -> bool {
+        self.preds
+            .iter()
+            .all(|p| zone_allows_pred(p, table.column(p.col), block))
+    }
+
+    /// Evaluate all conjuncts over rows `[start, start + len)`, returning the
+    /// combined pass mask. Callers segment by zone-map block, so RLE run
+    /// enumeration and fallback decodes stay block-sized.
+    pub fn eval_segment(&self, table: &Table, start: usize, len: usize) -> Result<Vec<bool>> {
+        let mut mask = vec![true; len];
+        for p in &self.preds {
+            let col = table.column(p.col);
+            match (&p.code_bitmap, col.data()) {
+                // Predicate-on-codes: u32 compare against the bitmap.
+                (Some(bitmap), ColumnData::Plain(PhysVec::Code(codes))) => {
+                    let nulls = col.null_mask();
+                    for (i, m) in mask.iter_mut().enumerate() {
+                        if !*m {
+                            continue;
+                        }
+                        let row = start + i;
+                        *m = if nulls.is_valid(row) {
+                            bitmap[codes[row] as usize]
+                        } else {
+                            p.pass_on_null
+                        };
+                    }
+                }
+                _ => match col.runs_overlapping(start, len) {
+                    // Run kernel: one verdict per run, broadcast over it.
+                    Some(runs) => {
+                        let values: Vec<Value> = runs.iter().map(|r| r.value.clone()).collect();
+                        let cv = ColumnVec::from_iter_typed(col.field.dtype, values.iter())?;
+                        let chunk = Chunk::new(Arc::clone(&p.eval_schema), vec![cv])?;
+                        let verdicts = p.expr.eval_predicate(&chunk)?;
+                        for (run, pass) in runs.iter().zip(&verdicts) {
+                            if !*pass {
+                                let lo = run.start - start;
+                                mask[lo..lo + run.count].fill(false);
+                            }
+                        }
+                    }
+                    // Fallback: decode the segment, vectorized evaluation.
+                    None => {
+                        let cv = col.decode_range(start, len)?;
+                        let chunk = Chunk::new(Arc::clone(&p.eval_schema), vec![cv])?;
+                        let passes = p.expr.eval_predicate(&chunk)?;
+                        for (m, pass) in mask.iter_mut().zip(&passes) {
+                            *m &= pass;
+                        }
+                    }
+                },
+            }
+        }
+        Ok(mask)
+    }
+}
+
+/// Zone test for a single conjunct. Must never contradict `eval_predicate`:
+/// `false` is returned only when *no* row of the block can pass.
+fn zone_allows_pred(p: &CompiledPred, col: &StoredColumn, block: usize) -> bool {
+    let Some(z) = col.zone_map().get(block) else {
+        // No zone info (e.g. legacy data): never skip.
+        return true;
+    };
+    if z.rows == 0 {
+        return false;
+    }
+    let null_pass = z.null_count > 0 && p.pass_on_null;
+    if z.all_null() {
+        return null_pass;
+    }
+    // String min/max are stored in binary order; pruning under a different
+    // query collation would be unsound.
+    if col.field.dtype == DataType::Str && col.field.collation != Collation::Binary {
+        return true;
+    }
+    let (Some(min), Some(max)) = (&z.min, &z.max) else {
+        return true;
+    };
+    non_null_may_match(&p.expr, min, max, z, col.field.collation) || null_pass
+}
+
+/// Could some non-null value in `[min, max]` satisfy the conjunct?
+/// Mirrors `eval_predicate` exactly: comparisons and BETWEEN use
+/// `cmp_collated` (where NULL sorts below everything), IN-list members that
+/// are NULL never match, and comparisons against a NULL literal match
+/// nothing. Unknown shapes conservatively return `true`.
+fn non_null_may_match(e: &Expr, min: &Value, max: &Value, z: &BlockStats, coll: Collation) -> bool {
+    use std::cmp::Ordering::{Equal, Greater, Less};
+    let le = |a: &Value, b: &Value| a.cmp_collated(b, coll) != Greater;
+    let lt = |a: &Value, b: &Value| a.cmp_collated(b, coll) == Less;
+    let eq = |a: &Value, b: &Value| a.cmp_collated(b, coll) == Equal;
+    match e {
+        Expr::Binary { op, left, right } => {
+            let (op, lit) = match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(_), Expr::Literal(v)) => (*op, v),
+                (Expr::Literal(v), Expr::Column(_)) => (flip(*op), v),
+                _ => return true,
+            };
+            if lit.is_null() {
+                return false;
+            }
+            match op {
+                BinOp::Eq => le(min, lit) && le(lit, max),
+                BinOp::Ne => !(eq(min, max) && eq(min, lit)),
+                BinOp::Lt => lt(min, lit),
+                BinOp::Le => le(min, lit),
+                BinOp::Gt => lt(lit, max),
+                BinOp::Ge => le(lit, max),
+                _ => true,
+            }
+        }
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } => {
+            if !matches!(expr.as_ref(), Expr::Column(_)) {
+                return true;
+            }
+            if *negated {
+                // NOT IN excludes everything only when the block is constant
+                // and that constant is in the list.
+                !(eq(min, max) && list.iter().any(|v| !v.is_null() && eq(v, min)))
+            } else {
+                list.iter()
+                    .any(|v| !v.is_null() && le(min, v) && le(v, max))
+            }
+        }
+        Expr::Between { expr, low, high } => {
+            if !matches!(expr.as_ref(), Expr::Column(_)) {
+                return true;
+            }
+            // cmp_collated against a NULL bound matches eval: NULL low is
+            // below everything (vacuously satisfied), NULL high above nothing.
+            le(low, max) && le(min, high)
+        }
+        Expr::Unary { op, expr } => {
+            if !matches!(expr.as_ref(), Expr::Column(_)) {
+                return true;
+            }
+            match op {
+                // Non-null rows never satisfy IS NULL (null_pass handles the
+                // nulls); some non-null row exists, so IS NOT NULL can match.
+                UnaryOp::IsNull => false,
+                UnaryOp::IsNotNull => z.null_count < z.rows,
+                _ => true,
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Mirror a comparison so the column ends up on the left.
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}

@@ -22,6 +22,7 @@ use tabviz_common::Result;
 use tabviz_tql::expr::{and_all, Expr};
 use tabviz_tql::{BinOp, Catalog, JoinType, LogicalPlan};
 
+use crate::physical::{BuildSide, PhysPlan};
 use crate::props::unique_columns;
 
 /// Optimizer switches. Defaults mirror Tableau's behavior: join culling on,
@@ -526,6 +527,127 @@ fn strip_redundant_orders(plan: LogicalPlan, order_irrelevant: bool) -> LogicalP
         },
         leaf @ LogicalPlan::TableScan { .. } => leaf,
     }
+}
+
+/// Physical-level rule (the compression-aware scan path): move sargable
+/// conjuncts from a `Filter` into the `Scan` directly beneath it. Pushed
+/// conjuncts are evaluated *before* chunk materialization — against zone
+/// maps (whole-block skip), dictionary codes, or RLE runs — so the scan
+/// only decodes surviving rows. A conjunct qualifies when it references
+/// exactly one column of the scanned table and has an IndexTable-supported
+/// shape (comparison/IN/BETWEEN against the column, or a null test).
+/// Non-sargable residue stays in the Filter; the Filter disappears when
+/// everything was pushed.
+///
+/// Runs between `create_physical` and `parallelize`, so parallel plans
+/// inherit pushed predicates in every scan branch.
+pub fn push_scan_predicates(plan: PhysPlan) -> PhysPlan {
+    match plan {
+        PhysPlan::Filter { input, predicate } => {
+            let input = push_scan_predicates(*input);
+            if let PhysPlan::Scan {
+                table,
+                ranges,
+                projection,
+                via_rle_index,
+                mut pushed,
+            } = input
+            {
+                let (push, keep): (Vec<Expr>, Vec<Expr>) = split_conjuncts(&predicate)
+                    .into_iter()
+                    .partition(|c| scan_sargable(c, &table));
+                pushed.extend(push);
+                let scan = PhysPlan::Scan {
+                    table,
+                    ranges,
+                    projection,
+                    via_rle_index,
+                    pushed,
+                };
+                if keep.is_empty() {
+                    scan
+                } else {
+                    PhysPlan::Filter {
+                        input: Box::new(scan),
+                        predicate: and_all(keep),
+                    }
+                }
+            } else {
+                PhysPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                }
+            }
+        }
+        PhysPlan::Project { input, exprs } => PhysPlan::Project {
+            input: Box::new(push_scan_predicates(*input)),
+            exprs,
+        },
+        PhysPlan::HashJoin {
+            probe,
+            build,
+            probe_keys,
+            join_type,
+        } => {
+            // The build side is wrapped in a fresh shared cell; the pass runs
+            // before any execution, so no built hash table is lost.
+            let rebuilt = BuildSide::new(
+                push_scan_predicates(build.plan.clone()),
+                std::sync::Arc::clone(&build.schema),
+                build.key_cols.clone(),
+            );
+            PhysPlan::HashJoin {
+                probe: Box::new(push_scan_predicates(*probe)),
+                build: std::sync::Arc::new(rebuilt),
+                probe_keys,
+                join_type,
+            }
+        }
+        PhysPlan::HashAgg {
+            input,
+            group_by,
+            aggs,
+            mode,
+        } => PhysPlan::HashAgg {
+            input: Box::new(push_scan_predicates(*input)),
+            group_by,
+            aggs,
+            mode,
+        },
+        PhysPlan::StreamAgg {
+            input,
+            group_by,
+            aggs,
+        } => PhysPlan::StreamAgg {
+            input: Box::new(push_scan_predicates(*input)),
+            group_by,
+            aggs,
+        },
+        PhysPlan::Sort { input, keys } => PhysPlan::Sort {
+            input: Box::new(push_scan_predicates(*input)),
+            keys,
+        },
+        PhysPlan::TopN { input, keys, n } => PhysPlan::TopN {
+            input: Box::new(push_scan_predicates(*input)),
+            keys,
+            n,
+        },
+        PhysPlan::Exchange { inputs, ordered } => PhysPlan::Exchange {
+            inputs: inputs.into_iter().map(push_scan_predicates).collect(),
+            ordered,
+        },
+        leaf @ (PhysPlan::Scan { .. } | PhysPlan::RunAgg { .. }) => leaf,
+    }
+}
+
+/// Can this conjunct be answered inside the scan of `table`?
+fn scan_sargable(e: &Expr, table: &tabviz_storage::Table) -> bool {
+    let cols = e.columns();
+    if cols.len() != 1 {
+        return false;
+    }
+    let name = cols.iter().next().unwrap();
+    table.schema().index_of(name).is_ok() && crate::physical::supported_run_predicate(e)
 }
 
 #[cfg(test)]

@@ -118,9 +118,13 @@ fn go(
             ranges,
             projection,
             via_rle_index,
+            pushed,
         } => {
             let rows: usize = ranges.iter().map(|&(_, l)| l).sum();
-            let dop = opts.profile.scan_dop(rows, expr_cost);
+            let pushed_cost: u32 = pushed.iter().map(Expr::cost_weight).sum();
+            let dop = opts
+                .profile
+                .scan_dop_with_pushdown(rows, expr_cost, pushed_cost);
             if dop <= 1 {
                 return Ok(Par::Serial(plan.clone()));
             }
@@ -140,6 +144,7 @@ fn go(
                                         ranges: vec![r],
                                         projection: projection.clone(),
                                         via_rle_index: false,
+                                        pushed: pushed.clone(),
                                     })
                                     .collect();
                                 return Ok(Par::Parallel {
@@ -168,17 +173,26 @@ fn go(
                         ranges: rs,
                         projection: projection.clone(),
                         via_rle_index: true,
+                        pushed: pushed.clone(),
                     })
                     .collect()
             } else {
-                table
-                    .fractions(dop)
+                // With pushed predicates, fractions snap to zone-map block
+                // boundaries so no two workers share a block: each worker
+                // makes its skip decisions entirely independently.
+                let fractions = if pushed.is_empty() {
+                    table.fractions(dop)
+                } else {
+                    table.fractions_aligned(dop, tabviz_storage::BLOCK_ROWS)
+                };
+                fractions
                     .into_iter()
                     .map(|r| PhysPlan::Scan {
                         table: Arc::clone(table),
                         ranges: vec![r],
                         projection: projection.clone(),
                         via_rle_index: false,
+                        pushed: pushed.clone(),
                     })
                     .collect()
             };
@@ -310,6 +324,10 @@ fn go(
                 })),
             }
         }
+
+        // Run-granularity aggregation is O(runs), not O(rows); the row count
+        // wildly overstates its work, so it stays serial.
+        PhysPlan::RunAgg { .. } => Ok(Par::Serial(plan.clone())),
 
         // Already-parallel input (shouldn't occur from the serial planner).
         PhysPlan::Exchange { .. } => Ok(Par::Serial(plan.clone())),

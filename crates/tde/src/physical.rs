@@ -84,6 +84,21 @@ pub enum PhysPlan {
         projection: Option<Vec<usize>>,
         /// True when the ranges came from the RLE IndexTable (explain/tests).
         via_rle_index: bool,
+        /// Sargable conjuncts pushed below materialization by the
+        /// compression-aware scan path: evaluated per zone-map block (skip),
+        /// per dictionary code, or per RLE run before any chunk is built.
+        pushed: Vec<Expr>,
+    },
+    /// Run-granularity aggregation straight over a table's RLE runs
+    /// (Sect. 4.1.1 meets 4.2.4): COUNT/SUM are computed from run values and
+    /// lengths without decoding a single row. Planned for a single-column
+    /// GROUP BY on an RLE column whose aggregate arguments are RLE too.
+    RunAgg {
+        table: Arc<Table>,
+        ranges: Vec<(usize, usize)>,
+        group_col: usize,
+        group_alias: String,
+        aggs: Vec<AggCall>,
     },
     Filter {
         input: Box<PhysPlan>,
@@ -144,6 +159,17 @@ impl PhysPlan {
                 None => Arc::clone(table.schema()),
                 Some(idx) => Arc::new(table.schema().project(idx)),
             }),
+            PhysPlan::RunAgg {
+                table,
+                group_col,
+                group_alias,
+                aggs,
+                ..
+            } => {
+                let name = table.schema().field(*group_col).name.clone();
+                let gb = vec![(Expr::Column(name), group_alias.clone())];
+                agg_schema(table.schema(), &gb, aggs, AggMode::Single)
+            }
             PhysPlan::Filter { input, .. } => input.schema(),
             PhysPlan::Project { input, exprs } => {
                 let in_schema = input.schema()?;
@@ -202,11 +228,16 @@ impl PhysPlan {
                 ranges,
                 projection,
                 via_rle_index,
+                pushed,
             } => {
                 let rows: usize = ranges.iter().map(|&(_, l)| l).sum();
                 let _ = write!(out, "{pad}Scan {} rows={rows}", table.name());
                 if *via_rle_index {
                     let _ = write!(out, " via-rle-index ranges={}", ranges.len());
+                }
+                if !pushed.is_empty() {
+                    let preds: Vec<String> = pushed.iter().map(|e| e.to_string()).collect();
+                    let _ = write!(out, " pushed=[{}]", preds.join(" AND "));
                 }
                 if let Some(p) = projection {
                     let names: Vec<&str> = p
@@ -216,6 +247,23 @@ impl PhysPlan {
                     let _ = write!(out, " [{}]", names.join(", "));
                 }
                 let _ = writeln!(out);
+            }
+            PhysPlan::RunAgg {
+                table,
+                ranges,
+                group_col,
+                group_alias,
+                aggs,
+            } => {
+                let rows: usize = ranges.iter().map(|&(_, l)| l).sum();
+                let ag: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}RunAgg {} rows={rows} [{} AS {group_alias}] [{}]",
+                    table.name(),
+                    table.schema().field(*group_col).name,
+                    ag.join(", ")
+                );
             }
             PhysPlan::Filter { input, predicate } => {
                 let _ = writeln!(out, "{pad}Filter {predicate}");
@@ -336,6 +384,12 @@ pub struct PhysicalOptions {
     pub rle_max_run_fraction: f64,
     /// Prefer streaming aggregates when the input order allows.
     pub enable_streaming_agg: bool,
+    /// Push sargable conjuncts into the scan: zone-map block skipping,
+    /// predicate-on-codes, and run-granularity filtering before chunk
+    /// materialization.
+    pub enable_scan_pushdown: bool,
+    /// Plan [`PhysPlan::RunAgg`]: COUNT/SUM over RLE runs without decoding.
+    pub enable_run_agg: bool,
 }
 
 impl Default for PhysicalOptions {
@@ -344,6 +398,8 @@ impl Default for PhysicalOptions {
             enable_rle_index: true,
             rle_max_run_fraction: 0.5,
             enable_streaming_agg: true,
+            enable_scan_pushdown: true,
+            enable_run_agg: true,
         }
     }
 }
@@ -383,6 +439,7 @@ pub fn create_physical(
                 ranges: vec![(0, rows)],
                 projection: proj,
                 via_rle_index: false,
+                pushed: vec![],
             })
         }
         LogicalPlan::Select { input, predicate } => {
@@ -435,6 +492,18 @@ pub fn create_physical(
             group_by,
             aggs,
         } => {
+            // Run-granularity kernel: aggregate straight over RLE runs when
+            // neither the group column nor any aggregate argument needs a
+            // decode. Checked before the streaming rewrite — it strictly
+            // dominates it (no materialization at all).
+            if options.enable_run_agg {
+                if let LogicalPlan::TableScan { table, .. } = input.as_ref() {
+                    let t = tables.table(table)?;
+                    if let Some(plan) = try_run_agg(&t, group_by, aggs) {
+                        return Ok(plan);
+                    }
+                }
+            }
             let child = create_physical(input, tables, catalog, options)?;
             // Streaming aggregate when the input arrives grouped: the sort
             // order's first k columns must be exactly the group column set.
@@ -573,6 +642,7 @@ fn try_rle_scan(
         ranges,
         projection: proj_idx,
         via_rle_index: true,
+        pushed: vec![],
     };
     // Residual conjuncts (everything except the one answered by ranges).
     let residual: Vec<Expr> = conjuncts.into_iter().filter(|c| *c != run_pred).collect();
@@ -586,9 +656,55 @@ fn try_rle_scan(
     }
 }
 
+/// Plan [`PhysPlan::RunAgg`] when every piece of the aggregate is answerable
+/// at run granularity: exactly one group column, stored RLE; aggregates are
+/// `COUNT(*)`, `COUNT(col)` or `SUM(col)` with the argument column RLE too.
+/// Anything else (plain/delta arguments, expressions, MIN/MAX/AVG/COUNTD)
+/// falls through to the ordinary decode-then-aggregate paths.
+fn try_run_agg(
+    table: &Arc<Table>,
+    group_by: &[(Expr, String)],
+    aggs: &[AggCall],
+) -> Option<PhysPlan> {
+    use tabviz_tql::agg::AggFunc;
+    let [(Expr::Column(group_name), group_alias)] = group_by else {
+        return None;
+    };
+    let group_col = table.schema().index_of(group_name).ok()?;
+    let is_rle = |idx: usize| {
+        matches!(
+            table.column(idx).data(),
+            tabviz_storage::ColumnData::Rle { .. }
+        )
+    };
+    if !is_rle(group_col) {
+        return None;
+    }
+    for a in aggs {
+        match (a.func, &a.arg) {
+            (AggFunc::Count, None) => {}
+            (AggFunc::Count | AggFunc::Sum, Some(Expr::Column(c))) => {
+                let idx = table.schema().index_of(c).ok()?;
+                if !is_rle(idx) {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    let rows = table.row_count();
+    Some(PhysPlan::RunAgg {
+        table: Arc::clone(table),
+        ranges: vec![(0, rows)],
+        group_col,
+        group_alias: group_alias.clone(),
+        aggs: aggs.to_vec(),
+    })
+}
+
 /// Predicate shapes the IndexTable can answer exactly: comparisons against
 /// literals, IN lists, ranges and null tests on the run value.
-fn supported_run_predicate(e: &Expr) -> bool {
+pub(crate) fn supported_run_predicate(e: &Expr) -> bool {
     use tabviz_tql::expr::UnaryOp;
     match e {
         Expr::Binary { op, left, right } => {

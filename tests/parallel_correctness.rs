@@ -68,6 +68,19 @@ fn configs() -> Vec<(&'static str, ExecOptions)> {
         ..Default::default()
     };
     all.push(("ordered-exchange-streaming", p6));
+    let mut p7 = ExecOptions::serial();
+    p7.physical.enable_scan_pushdown = false;
+    all.push(("no-scan-pushdown", p7));
+    let mut p8 = ExecOptions::serial();
+    p8.physical.enable_run_agg = false;
+    all.push(("no-run-agg", p8));
+    let mut p9 = ExecOptions::default();
+    p9.parallel = ParallelOptions {
+        profile: forced,
+        ..Default::default()
+    };
+    p9.physical.enable_scan_pushdown = false;
+    all.push(("parallel-no-pushdown", p9));
     all
 }
 
