@@ -28,6 +28,8 @@ pub mod sql;
 
 pub use capability::{Capabilities, Dialect, ServerArchitecture};
 pub use local::TdeDataSource;
-pub use pool::{ConnectionPool, PoolStats};
-pub use sim::{FaultPlan, LatencyModel, SimConfig, SimDb, SimStats};
+pub use pool::{BreakerState, ConnectionPool, PoolStats, RetryPolicy};
+pub use sim::{
+    fault_roll, FaultPlan, LatencyModel, SimConfig, SimDb, SimStats, SITE_CACHE_GET, SITE_CACHE_PUT,
+};
 pub use source::{Connection, DataSource, RemoteQuery};

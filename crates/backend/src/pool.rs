@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use tabviz_common::{Result, TvError};
-use tabviz_obs::{stage, Counter, Histogram, Registry};
+use tabviz_obs::{stage, Counter, Gauge, Histogram, Registry};
 
 /// Pre-resolved metric handles (`tv_backend_pool_*`), bound once via
 /// [`ConnectionPool::bind_obs`]; the hot path pays one `OnceLock` load plus
@@ -29,6 +29,9 @@ struct PoolMetrics {
     connect_retries: Counter,
     acquire_timeouts: Counter,
     acquire_wait: Histogram,
+    breaker_state: Gauge,
+    breaker_trips: Counter,
+    breaker_fast_fails: Counter,
 }
 
 impl PoolMetrics {
@@ -42,6 +45,35 @@ impl PoolMetrics {
             connect_retries: registry.counter("tv_backend_pool_connect_retries_total"),
             acquire_timeouts: registry.counter("tv_backend_pool_acquire_timeouts_total"),
             acquire_wait: registry.histogram("tv_backend_pool_acquire_wait_seconds"),
+            breaker_state: registry.gauge("tv_pool_breaker_state"),
+            breaker_trips: registry.counter("tv_pool_breaker_trips_total"),
+            breaker_fast_fails: registry.counter("tv_pool_breaker_fast_fails_total"),
+        }
+    }
+}
+
+/// Circuit-breaker position for a pool's backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; connect attempts go to the backend.
+    #[default]
+    Closed,
+    /// Cooldown elapsed; exactly one probe acquire is dialing the backend
+    /// while everyone else still fails fast.
+    HalfOpen,
+    /// Too many consecutive connect failures; acquires that would dial the
+    /// backend fail fast until the cooldown elapses.
+    Open,
+}
+
+impl BreakerState {
+    /// Value exported through the `tv_pool_breaker_state` gauge
+    /// (0 = closed, 1 = half-open, 2 = open).
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
         }
     }
 }
@@ -63,6 +95,13 @@ pub struct PoolStats {
     pub connect_retries: usize,
     /// Acquisitions that gave up because the acquire deadline elapsed.
     pub acquire_timeouts: usize,
+    /// Times the circuit breaker transitioned to open (including re-opens
+    /// after a failed half-open probe).
+    pub breaker_trips: usize,
+    /// Acquisitions rejected without dialing because the breaker was open.
+    pub breaker_fast_fails: usize,
+    /// Current breaker position.
+    pub breaker_state: BreakerState,
 }
 
 /// Retry/backoff/deadline policy for the pool.
@@ -78,6 +117,12 @@ pub struct RetryPolicy {
     /// before returning [`TvError::Timeout`]. `None` waits forever (the
     /// pre-resilience behavior).
     pub acquire_timeout: Option<Duration>,
+    /// Consecutive connect failures that trip the circuit breaker open
+    /// (0 disables the breaker).
+    pub breaker_threshold: usize,
+    /// How long an open breaker fails acquires fast before allowing a
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -87,6 +132,8 @@ impl Default for RetryPolicy {
             backoff_base: Duration::from_millis(2),
             backoff_cap: Duration::from_millis(250),
             acquire_timeout: Some(Duration::from_secs(30)),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(500),
         }
     }
 }
@@ -119,6 +166,12 @@ struct PoolInner {
     /// Connections currently handed out.
     in_use: usize,
     stats: PoolStats,
+    /// Connect failures since the last successful connect.
+    consecutive_connect_failures: usize,
+    /// When the breaker last tripped open; `None` while closed.
+    breaker_opened_at: Option<Instant>,
+    /// A half-open probe acquire is currently dialing.
+    breaker_probing: bool,
 }
 
 /// A pool of connections to one data source.
@@ -206,6 +259,9 @@ impl ConnectionPool {
                 idle: Vec::new(),
                 in_use: 0,
                 stats: PoolStats::default(),
+                consecutive_connect_failures: 0,
+                breaker_opened_at: None,
+                breaker_probing: false,
             }),
             cv: Condvar::new(),
             metrics: OnceLock::new(),
@@ -315,7 +371,14 @@ impl ConnectionPool {
             }
             // 3. Open a new one if under the cap, retrying transient connect
             //    failures with exponential backoff + deterministic jitter.
+            //    The circuit breaker gates this step only: idle connections
+            //    (steps 1–2) keep flowing while the backend's dial path is
+            //    known bad.
             if inner.in_use < self.max_size {
+                if let Err(e) = self.breaker_admit(&mut inner) {
+                    span.label("breaker_open");
+                    return Err(e);
+                }
                 inner.in_use += 1;
                 inner.stats.opened += 1;
                 drop(inner);
@@ -323,6 +386,7 @@ impl ConnectionPool {
                 loop {
                     match self.source.connect() {
                         Ok(conn) => {
+                            self.breaker_on_connect_success();
                             span.label("opened");
                             self.observe_acquire(|m| &m.opened, wait_start);
                             return Ok(PooledConnection {
@@ -331,27 +395,33 @@ impl ConnectionPool {
                                 poisoned: false,
                             });
                         }
-                        Err(e)
-                            if e.is_transient()
-                                && attempt < self.policy.connect_retries
-                                && deadline.is_none_or(|d| Instant::now() < d) =>
-                        {
-                            let salt = self.backoff_salt.fetch_add(1, Ordering::Relaxed);
-                            self.inner.lock().stats.connect_retries += 1;
-                            if let Some(m) = self.obs() {
-                                m.connect_retries.inc();
-                            }
-                            tabviz_obs::event(stage::RETRY, Some("connect"), Some(attempt as u64));
-                            std::thread::sleep(self.policy.backoff(attempt, salt));
-                            attempt += 1;
-                        }
                         Err(e) => {
-                            let mut inner = self.inner.lock();
-                            inner.in_use -= 1;
-                            inner.stats.opened -= 1;
-                            self.cv.notify_one();
-                            span.label("connect_failed");
-                            return Err(e);
+                            let tripped = self.breaker_on_connect_failure();
+                            if e.is_transient()
+                                && !tripped
+                                && attempt < self.policy.connect_retries
+                                && deadline.is_none_or(|d| Instant::now() < d)
+                            {
+                                let salt = self.backoff_salt.fetch_add(1, Ordering::Relaxed);
+                                self.inner.lock().stats.connect_retries += 1;
+                                if let Some(m) = self.obs() {
+                                    m.connect_retries.inc();
+                                }
+                                tabviz_obs::event(
+                                    stage::RETRY,
+                                    Some("connect"),
+                                    Some(attempt as u64),
+                                );
+                                std::thread::sleep(self.policy.backoff(attempt, salt));
+                                attempt += 1;
+                            } else {
+                                let mut inner = self.inner.lock();
+                                inner.in_use -= 1;
+                                inner.stats.opened -= 1;
+                                self.cv.notify_one();
+                                span.label("connect_failed");
+                                return Err(e);
+                            }
                         }
                     }
                 }
@@ -382,6 +452,83 @@ impl ConnectionPool {
                 }
             }
         }
+    }
+
+    /// Gate for step 3 (dialing the backend). While the breaker is open the
+    /// acquire fails fast with a transient error — callers fall back to
+    /// degraded serving instead of paying the connect timeout. After the
+    /// cooldown exactly one caller is let through as the half-open probe;
+    /// its outcome decides whether the breaker closes or re-opens.
+    fn breaker_admit(&self, inner: &mut PoolInner) -> Result<()> {
+        if self.policy.breaker_threshold == 0 {
+            return Ok(());
+        }
+        let Some(opened_at) = inner.breaker_opened_at else {
+            return Ok(());
+        };
+        if opened_at.elapsed() < self.policy.breaker_cooldown || inner.breaker_probing {
+            inner.stats.breaker_fast_fails += 1;
+            if let Some(m) = self.obs() {
+                m.breaker_fast_fails.inc();
+            }
+            return Err(TvError::Transient(format!(
+                "circuit breaker open for '{}' after {} consecutive connect failures",
+                self.source.name(),
+                inner.consecutive_connect_failures
+            )));
+        }
+        inner.breaker_probing = true;
+        self.set_breaker_state(inner, BreakerState::HalfOpen);
+        Ok(())
+    }
+
+    /// A physical connect succeeded: close the breaker and reset the
+    /// consecutive-failure count.
+    fn breaker_on_connect_success(&self) {
+        if self.policy.breaker_threshold == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.consecutive_connect_failures = 0;
+        inner.breaker_probing = false;
+        if inner.breaker_opened_at.take().is_some() {
+            self.set_breaker_state(&mut inner, BreakerState::Closed);
+        }
+    }
+
+    /// A physical connect failed. Trips the breaker at the threshold (or
+    /// immediately re-opens it when a half-open probe fails) and returns
+    /// whether it is now open, in which case the caller stops retrying.
+    fn breaker_on_connect_failure(&self) -> bool {
+        if self.policy.breaker_threshold == 0 {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        inner.consecutive_connect_failures += 1;
+        let failed_probe = std::mem::take(&mut inner.breaker_probing);
+        if failed_probe || inner.consecutive_connect_failures >= self.policy.breaker_threshold {
+            inner.breaker_opened_at = Some(Instant::now());
+            inner.stats.breaker_trips += 1;
+            if let Some(m) = self.obs() {
+                m.breaker_trips.inc();
+            }
+            self.set_breaker_state(&mut inner, BreakerState::Open);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn set_breaker_state(&self, inner: &mut PoolInner, state: BreakerState) {
+        inner.stats.breaker_state = state;
+        if let Some(m) = self.obs() {
+            m.breaker_state.set(state.as_gauge());
+        }
+    }
+
+    /// Current circuit-breaker position.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.inner.lock().stats.breaker_state
     }
 
     /// Record a successful acquisition: bump the path's counter and observe
@@ -552,7 +699,7 @@ mod tests {
         // backend; the cap and the accounting are the invariants)
     }
 
-    fn faulty_source(plan: FaultPlan) -> Arc<dyn DataSource> {
+    fn faulty_sim(plan: FaultPlan) -> Arc<SimDb> {
         let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]).unwrap());
         let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i)]).collect();
         let db = Arc::new(Database::new("d"));
@@ -565,12 +712,31 @@ mod tests {
         Arc::new(SimDb::new("s", db, cfg))
     }
 
+    fn faulty_source(plan: FaultPlan) -> Arc<dyn DataSource> {
+        faulty_sim(plan)
+    }
+
     fn fast_retry_policy(retries: usize) -> RetryPolicy {
         RetryPolicy {
             connect_retries: retries,
             backoff_base: Duration::from_micros(200),
             backoff_cap: Duration::from_millis(2),
             acquire_timeout: Some(Duration::from_secs(5)),
+            // These tests pin down retry-exhaustion semantics; the breaker
+            // has its own tests below.
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(500),
+        }
+    }
+
+    fn breaker_policy(threshold: usize, cooldown: Duration) -> RetryPolicy {
+        RetryPolicy {
+            connect_retries: 0, // one dial per acquire: failure counts are exact
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(2),
+            acquire_timeout: Some(Duration::from_secs(5)),
+            breaker_threshold: threshold,
+            breaker_cooldown: cooldown,
         }
     }
 
@@ -659,5 +825,118 @@ mod tests {
         }
         pool.clear();
         assert_eq!(pool.idle_count(), 0);
+    }
+
+    fn down_plan() -> FaultPlan {
+        let mut plan = FaultPlan::seeded(5);
+        plan.connect_failure = 1.0;
+        plan
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_connect_failures() {
+        let pool = ConnectionPool::new(faulty_source(down_plan()), 4)
+            .with_policy(breaker_policy(3, Duration::from_secs(60)));
+        for _ in 0..3 {
+            assert!(pool.acquire().is_err());
+        }
+        let st = pool.stats();
+        assert_eq!(st.breaker_trips, 1);
+        assert_eq!(st.breaker_state, BreakerState::Open);
+        assert_eq!(st.breaker_fast_fails, 0, "all three dialed the backend");
+        // While open, acquires fail fast without dialing.
+        let err = pool.acquire().err().expect("fast fail");
+        assert!(err.is_transient(), "got: {err}");
+        assert!(err.to_string().contains("circuit breaker open"), "{err}");
+        let st = pool.stats();
+        assert_eq!(st.breaker_fast_fails, 1);
+        assert_eq!(st.breaker_trips, 1, "fast fails do not re-trip");
+    }
+
+    #[test]
+    fn breaker_below_threshold_stays_closed() {
+        let pool = ConnectionPool::new(faulty_source(down_plan()), 4)
+            .with_policy(breaker_policy(3, Duration::from_secs(60)));
+        assert!(pool.acquire().is_err());
+        assert!(pool.acquire().is_err());
+        let st = pool.stats();
+        assert_eq!(st.breaker_trips, 0);
+        assert_eq!(st.breaker_state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_breaker() {
+        let sim = faulty_sim(down_plan());
+        let src: Arc<dyn DataSource> = Arc::clone(&sim) as _;
+        let pool =
+            ConnectionPool::new(src, 4).with_policy(breaker_policy(2, Duration::from_millis(10)));
+        assert!(pool.acquire().is_err());
+        assert!(pool.acquire().is_err());
+        assert_eq!(pool.breaker_state(), BreakerState::Open);
+        // Backend recovers; after the cooldown the next acquire is the probe.
+        sim.set_fault_plan(None);
+        std::thread::sleep(Duration::from_millis(15));
+        let c = pool.acquire().expect("half-open probe should succeed");
+        drop(c);
+        let st = pool.stats();
+        assert_eq!(st.breaker_state, BreakerState::Closed);
+        assert_eq!(st.breaker_trips, 1);
+        assert_eq!(st.opened, 1);
+        // Closed again: later failures start counting from zero.
+        sim.set_fault_plan(Some(down_plan()));
+        let _held = pool.acquire().expect("idle connection still served");
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_breaker() {
+        let pool = ConnectionPool::new(faulty_source(down_plan()), 4)
+            .with_policy(breaker_policy(2, Duration::from_millis(10)));
+        assert!(pool.acquire().is_err());
+        assert!(pool.acquire().is_err());
+        assert_eq!(pool.breaker_state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(15));
+        // The probe dials, fails, and re-opens for a fresh cooldown.
+        assert!(pool.acquire().is_err());
+        let st = pool.stats();
+        assert_eq!(st.breaker_state, BreakerState::Open);
+        assert_eq!(st.breaker_trips, 2, "re-open counts as a trip");
+        // Immediately after the failed probe we are inside the new cooldown.
+        assert!(pool.acquire().is_err());
+        assert_eq!(pool.stats().breaker_fast_fails, 1);
+    }
+
+    #[test]
+    fn open_breaker_still_serves_idle_connections() {
+        let sim = faulty_sim(FaultPlan::none());
+        let src: Arc<dyn DataSource> = Arc::clone(&sim) as _;
+        let pool =
+            ConnectionPool::new(src, 4).with_policy(breaker_policy(1, Duration::from_secs(60)));
+        let healthy = pool.acquire().unwrap();
+        // Backend dial path goes down; the next dial trips the breaker.
+        sim.set_fault_plan(Some(down_plan()));
+        assert!(pool.acquire().is_err());
+        assert_eq!(pool.breaker_state(), BreakerState::Open);
+        // A returned healthy connection is still reusable while open.
+        drop(healthy);
+        let c = pool.acquire().expect("idle reuse bypasses the breaker");
+        drop(c);
+        assert_eq!(pool.stats().reused, 1);
+    }
+
+    #[test]
+    fn breaker_exports_gauge_and_counters() {
+        let registry = Registry::new();
+        let pool = ConnectionPool::new(faulty_source(down_plan()), 4)
+            .with_policy(breaker_policy(2, Duration::from_secs(60)));
+        pool.bind_obs(&registry);
+        assert!(pool.acquire().is_err());
+        assert!(pool.acquire().is_err());
+        assert!(pool.acquire().is_err()); // fast fail
+        assert_eq!(registry.gauge("tv_pool_breaker_state").get(), 2);
+        assert_eq!(registry.counter("tv_pool_breaker_trips_total").get(), 1);
+        assert_eq!(
+            registry.counter("tv_pool_breaker_fast_fails_total").get(),
+            1
+        );
     }
 }

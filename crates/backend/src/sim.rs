@@ -119,6 +119,14 @@ pub struct FaultPlan {
     /// Probability a temp-table creation fails transiently (on top of the
     /// unconditional [`SimDb::set_fail_temp_tables`] switch).
     pub temp_table_failure: f64,
+    /// Probability a distributed-cache operation lands on an unreachable
+    /// node: gets come back empty, puts are silently dropped (exactly the
+    /// contract of a best-effort external KV layer).
+    pub cache_node_outage: f64,
+    /// Probability a distributed-cache operation hits a slow node and pays
+    /// `cache_slow_delay` on top of the normal round trip.
+    pub cache_slow_node: f64,
+    pub cache_slow_delay: Duration,
 }
 
 impl FaultPlan {
@@ -132,6 +140,9 @@ impl FaultPlan {
             slow_query_delay: Duration::ZERO,
             connection_drop: 0.0,
             temp_table_failure: 0.0,
+            cache_node_outage: 0.0,
+            cache_slow_node: 0.0,
+            cache_slow_delay: Duration::ZERO,
         }
     }
 
@@ -142,6 +153,12 @@ impl FaultPlan {
             ..FaultPlan::none()
         }
     }
+
+    /// Deterministic [0, 1) roll for this plan at decision `site`, operation
+    /// `ordinal` — the primitive every fault consumer shares.
+    pub fn roll(&self, site: u64, ordinal: u64) -> f64 {
+        fault_roll(self.seed, site, ordinal)
+    }
 }
 
 impl Default for FaultPlan {
@@ -150,15 +167,19 @@ impl Default for FaultPlan {
     }
 }
 
-/// Fault decision sites (salts for the deterministic roll).
-const SITE_CONNECT: u64 = 1;
-const SITE_QUERY_TRANSIENT: u64 = 2;
-const SITE_QUERY_SLOW: u64 = 3;
-const SITE_QUERY_DROP: u64 = 4;
-const SITE_TEMP_TABLE: u64 = 5;
+/// Fault decision sites (salts for the deterministic roll). Public so other
+/// layers (e.g. the distributed cache) draw from the same schedule without
+/// colliding with the backend's sites.
+pub const SITE_CONNECT: u64 = 1;
+pub const SITE_QUERY_TRANSIENT: u64 = 2;
+pub const SITE_QUERY_SLOW: u64 = 3;
+pub const SITE_QUERY_DROP: u64 = 4;
+pub const SITE_TEMP_TABLE: u64 = 5;
+pub const SITE_CACHE_GET: u64 = 6;
+pub const SITE_CACHE_PUT: u64 = 7;
 
 /// Uniform [0, 1) roll from `(seed, site, ordinal)` via SplitMix64 mixing.
-fn fault_roll(seed: u64, site: u64, n: u64) -> f64 {
+pub fn fault_roll(seed: u64, site: u64, n: u64) -> f64 {
     let mut z = seed ^ site.wrapping_mul(0x9E3779B97F4A7C15) ^ n.wrapping_mul(0xD1B54A32D192ED03);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);

@@ -18,6 +18,7 @@ fn bench(c: &mut Criterion) {
                 fuse: false,
                 concurrent: false,
                 cache_aware: false,
+                ..Default::default()
             },
         ),
         (
@@ -26,6 +27,7 @@ fn bench(c: &mut Criterion) {
                 fuse: false,
                 concurrent: true,
                 cache_aware: false,
+                ..Default::default()
             },
         ),
         ("full_pipeline", BatchOptions::default()),

@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates a results table for every performance
 //! claim / figure in the paper (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e18|all]`
+//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e19|all]`
 
 #![allow(clippy::field_reassign_with_default)] // options structs read better mutated
 
@@ -73,6 +73,9 @@ fn main() {
     if all || which == "e18" {
         e18_zone_skipping();
     }
+    if all || which == "e19" {
+        e19_overload_scheduling();
+    }
 }
 
 fn cores() -> usize {
@@ -102,6 +105,7 @@ fn e1_batch_strategies() {
                 fuse: false,
                 concurrent: false,
                 cache_aware: false,
+                ..Default::default()
             },
             false,
         ),
@@ -111,6 +115,7 @@ fn e1_batch_strategies() {
                 fuse: false,
                 concurrent: false,
                 cache_aware: false,
+                ..Default::default()
             },
             true,
         ),
@@ -120,6 +125,7 @@ fn e1_batch_strategies() {
                 fuse: false,
                 concurrent: true,
                 cache_aware: false,
+                ..Default::default()
             },
             true,
         ),
@@ -211,6 +217,7 @@ fn e2_query_fusion() {
             fuse,
             concurrent: false,
             cache_aware: false,
+            ..Default::default()
         };
         let (res, wall) =
             time_it(|| execute_batch(&qp, &batch("warehouse"), &opts).expect("batch"));
@@ -538,6 +545,7 @@ fn e7_connection_concurrency() {
                 fuse: false,
                 concurrent: true,
                 cache_aware: false,
+                ..Default::default()
             };
             let (_, wall) = time_it(|| execute_batch(&qp, &batch, &opts).expect("batch"));
             cells.push(ms(wall));
@@ -1319,4 +1327,179 @@ fn e18_zone_skipping() {
         "e18_runagg_speedup {:.2}",
         t_stream.as_secs_f64() / t_run.as_secs_f64().max(1e-9)
     );
+}
+
+// ---------------------------------------------------------------- E19 ----
+
+/// Workload management under overload: a pool of 4 connections serves one
+/// interactive analyst while 16 flooder threads (half Batch, half
+/// Background) saturate the backend at 4× pool capacity. With the
+/// admission scheduler, interactive queries jump the queue and the worst
+/// classes are load-shed; with unbounded FIFO everything races the pool
+/// and interactive latency collapses to batch latency.
+fn e19_overload_scheduling() {
+    use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+    const POOL: usize = 4;
+    const FLOODERS: usize = 16; // 4× pool capacity
+    const PROBES: usize = 40;
+
+    // A small table behind a chatty link: response time is dominated by
+    // simulated network/dispatch latency, not local CPU, so the experiment
+    // measures queueing policy rather than core contention.
+    let db = faa_db(3_000);
+    let link = SimConfig {
+        latency: LatencyModel {
+            connect: Duration::from_millis(20),
+            dispatch: Duration::from_millis(20),
+            scan_per_kilorow: Duration::from_micros(150),
+            transfer_per_kilorow: Duration::from_micros(400),
+        },
+        ..Default::default()
+    };
+    // Distinct filter literals so every query — probe or flood — misses the
+    // caches and needs backend work (and therefore an admission ticket).
+    let flood_seq = AtomicI64::new(1_000_000);
+    let probe_spec = |cell: i64, i: i64| {
+        QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .filter(bin(
+                BinOp::Le,
+                col("distance"),
+                lit(100_000 + cell * 1000 + i),
+            ))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"))
+    };
+    let flood_spec = |n: i64| {
+        QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Ge, col("distance"), lit(n)))
+            .group("dep_hour")
+            .agg(AggCall::new(AggFunc::Count, None, "n"))
+    };
+
+    let p95 = |durs: &mut Vec<Duration>| -> Duration {
+        durs.sort();
+        let rank = ((0.95 * durs.len() as f64).ceil() as usize).clamp(1, durs.len());
+        durs[rank - 1]
+    };
+
+    // One measurement cell: optionally schedule, optionally flood, probe.
+    let run_cell = |cell: i64, scheduled: bool, flooded: bool| {
+        let (mut qp, _sim) = processor_over(Arc::clone(&db), link.clone(), POOL);
+        if scheduled {
+            // Pool-derived concurrency with tighter shed watermarks, so a
+            // 4×-capacity flood visibly sheds Background and Batch work,
+            // plus one slot held back for interactive arrivals.
+            let mut cfg = SchedConfig::for_pool_capacity(POOL);
+            cfg.shed_depth = [16 * POOL, POOL, POOL / 2];
+            cfg.reserve_interactive = 1;
+            qp.set_scheduler(Arc::new(Scheduler::new(cfg)));
+        }
+        // Open every pooled connection up front so no measured probe pays
+        // the one-time connect cost (it would otherwise land in the p95 of
+        // whichever cell happened to dial more connections).
+        std::thread::scope(|s| {
+            for w in 0..POOL {
+                let qp = &qp;
+                s.spawn(move || {
+                    let req = AdmitRequest::interactive("warmup");
+                    qp.execute_as(&probe_spec(cell, 10_000 + w as i64), &req)
+                        .expect("warmup probe");
+                });
+            }
+        });
+        let stop = AtomicBool::new(false);
+        let mut lat = Vec::with_capacity(PROBES);
+        std::thread::scope(|s| {
+            if flooded {
+                for f in 0..FLOODERS {
+                    let qp = &qp;
+                    let stop = &stop;
+                    let flood_seq = &flood_seq;
+                    let req = if f % 2 == 0 {
+                        AdmitRequest::batch(format!("etl-{f}"))
+                    } else {
+                        AdmitRequest::background(format!("prefetch-{f}"))
+                    };
+                    s.spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            let n = flood_seq.fetch_add(1, Ordering::Relaxed);
+                            if qp.execute_as(&flood_spec(n), &req).is_err() {
+                                // Load-shed: back off instead of hammering
+                                // the admission gate in a hot loop.
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                    });
+                }
+                // Let the flood reach a steady state before probing.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            let analyst = AdmitRequest::interactive("analyst");
+            for i in 0..PROBES {
+                let (r, wall) = time_it(|| qp.execute_as(&probe_spec(cell, i as i64), &analyst));
+                r.expect("interactive probe");
+                lat.push(wall);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let sheds = qp
+            .scheduler()
+            .map(|sch| sch.stats())
+            .map(|st| {
+                [
+                    st.shed[Priority::Background.idx()]
+                        + st.deadline_shed[Priority::Background.idx()],
+                    st.shed[Priority::Batch.idx()] + st.deadline_shed[Priority::Batch.idx()],
+                    st.shed[Priority::Interactive.idx()]
+                        + st.deadline_shed[Priority::Interactive.idx()],
+                ]
+            })
+            .unwrap_or([0, 0, 0]);
+        (p95(&mut lat), sheds)
+    };
+
+    let (unloaded_p95, _) = run_cell(0, true, false);
+    let (sched_p95, sched_sheds) = run_cell(1, true, true);
+    let (fifo_p95, _) = run_cell(2, false, true);
+
+    let ratio = sched_p95.as_secs_f64() / unloaded_p95.as_secs_f64().max(1e-9);
+    let fifo_ratio = fifo_p95.as_secs_f64() / unloaded_p95.as_secs_f64().max(1e-9);
+    print_table(
+        &format!(
+            "E19 — interactive p95 over {PROBES} probes, pool of {POOL}, {FLOODERS} flooder threads"
+        ),
+        &["mode", "p95 ms", "vs unloaded", "sheds bg/batch/int"],
+        &[
+            vec![
+                "unloaded + scheduler".into(),
+                ms(unloaded_p95),
+                "1.00x".into(),
+                "-".into(),
+            ],
+            vec![
+                "4x overload + scheduler".into(),
+                ms(sched_p95),
+                format!("{ratio:.2}x"),
+                format!("{}/{}/{}", sched_sheds[0], sched_sheds[1], sched_sheds[2]),
+            ],
+            vec![
+                "4x overload, unbounded FIFO".into(),
+                ms(fifo_p95),
+                format!("{fifo_ratio:.2}x"),
+                "-".into(),
+            ],
+        ],
+    );
+
+    // Machine-checkable summary lines (the CI smoke test parses these).
+    println!("e19_unloaded_p95_ms {}", ms(unloaded_p95));
+    println!("e19_sched_p95_ms {}", ms(sched_p95));
+    println!("e19_fifo_p95_ms {}", ms(fifo_p95));
+    println!("e19_p95_ratio {ratio:.2}");
+    println!("e19_fifo_ratio {fifo_ratio:.2}");
+    println!("e19_sheds_background {}", sched_sheds[0]);
+    println!("e19_sheds_batch {}", sched_sheds[1]);
+    println!("e19_sheds_interactive {}", sched_sheds[2]);
 }

@@ -76,6 +76,13 @@ impl QueryCaches {
         self.intelligent.mark_source_stale(source) + self.literal.mark_source_stale(source)
     }
 
+    /// Stale intelligent-cache entries (spec + age), oldest first — the
+    /// revalidation lane's work list. Literal entries are not listed: a
+    /// revalidated spec refreshes the literal level as a side effect.
+    pub fn stale_entries(&self) -> Vec<(QuerySpec, std::time::Duration)> {
+        self.intelligent.stale_entries()
+    }
+
     /// Connection closed/refreshed: purge both levels for the source.
     pub fn purge_source(&self, source: &str) {
         self.intelligent.purge_source(source);

@@ -20,7 +20,9 @@ use crate::spec::QuerySpec;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use tabviz_backend::{FaultPlan, SITE_CACHE_GET, SITE_CACHE_PUT};
 use tabviz_common::{Chunk, Result};
 use tabviz_storage::pack::{pack_table, unpack_table};
 use tabviz_storage::Table;
@@ -32,6 +34,13 @@ pub struct ExternalStats {
     pub get_hits: u64,
     pub puts: u64,
     pub bytes_stored: u64,
+    /// Gets that came back empty because the targeted node was unreachable
+    /// (the value may well exist on a healthy replica).
+    pub outage_misses: u64,
+    /// Puts silently dropped by an unreachable node.
+    pub dropped_puts: u64,
+    /// Operations that paid a slow-node penalty on top of the normal RTT.
+    pub slowed_ops: u64,
 }
 
 /// The Redis/Cassandra-like shared store.
@@ -40,6 +49,12 @@ pub struct ExternalStore {
     stats: Mutex<ExternalStats>,
     /// Round-trip latency per operation.
     pub op_latency: Duration,
+    /// Deterministic fault schedule (node outage / slow node), same
+    /// mechanism as the simulated backends.
+    faults: Mutex<Option<FaultPlan>>,
+    /// Per-site operation ordinals for the fault rolls.
+    get_ordinal: AtomicU64,
+    put_ordinal: AtomicU64,
 }
 
 impl ExternalStore {
@@ -48,7 +63,17 @@ impl ExternalStore {
             map: Mutex::new(HashMap::new()),
             stats: Mutex::new(ExternalStats::default()),
             op_latency,
+            faults: Mutex::new(None),
+            get_ordinal: AtomicU64::new(0),
+            put_ordinal: AtomicU64::new(0),
         }
+    }
+
+    /// Install (or clear) a fault plan at runtime. Like the backend sims,
+    /// ordinals are not reset, so a replaced plan continues the
+    /// deterministic schedule from the current position.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.faults.lock() = plan;
     }
 
     fn simulate_rtt(&self) {
@@ -57,8 +82,32 @@ impl ExternalStore {
         }
     }
 
+    /// Fault decision for one operation at `site`: pays the slow-node
+    /// penalty inline, returns whether the node is unreachable.
+    fn roll_faults(&self, site: u64, ordinal: &AtomicU64) -> bool {
+        let plan = self.faults.lock().clone();
+        let Some(plan) = plan else {
+            return false;
+        };
+        let n = ordinal.fetch_add(1, Ordering::Relaxed);
+        if plan.cache_slow_node > 0.0 && plan.roll(site.wrapping_add(100), n) < plan.cache_slow_node
+        {
+            self.stats.lock().slowed_ops += 1;
+            if !plan.cache_slow_delay.is_zero() {
+                std::thread::sleep(plan.cache_slow_delay);
+            }
+        }
+        plan.cache_node_outage > 0.0 && plan.roll(site, n) < plan.cache_node_outage
+    }
+
     pub fn get(&self, key: &str) -> Option<Bytes> {
         self.simulate_rtt();
+        if self.roll_faults(SITE_CACHE_GET, &self.get_ordinal) {
+            let mut st = self.stats.lock();
+            st.gets += 1;
+            st.outage_misses += 1;
+            return None;
+        }
         let out = self.map.lock().get(key).cloned();
         let mut st = self.stats.lock();
         st.gets += 1;
@@ -70,6 +119,12 @@ impl ExternalStore {
 
     pub fn put(&self, key: String, value: Bytes) {
         self.simulate_rtt();
+        if self.roll_faults(SITE_CACHE_PUT, &self.put_ordinal) {
+            let mut st = self.stats.lock();
+            st.puts += 1;
+            st.dropped_puts += 1;
+            return;
+        }
         let mut st = self.stats.lock();
         st.puts += 1;
         st.bytes_stored += value.len() as u64;
@@ -237,5 +292,76 @@ mod tests {
         let t0 = std::time::Instant::now();
         external.get("missing");
         assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn node_outage_drops_puts_and_blinds_gets() {
+        let external = Arc::new(ExternalStore::new(Duration::ZERO));
+        let node = ServerNodeCache::new("n", Arc::clone(&external));
+        let mut plan = FaultPlan::seeded(9);
+        plan.cache_node_outage = 1.0;
+        external.set_fault_plan(Some(plan));
+        // The publish is dropped by the unreachable node...
+        node.store(spec(), "Q", &chunk(), Duration::from_millis(20));
+        assert!(external.is_empty());
+        assert_eq!(external.stats().dropped_puts, 1);
+        // ...and even a value that made it in earlier is invisible.
+        external.set_fault_plan(None);
+        external.put("k".into(), Bytes::from_static(b"v"));
+        let mut plan = FaultPlan::seeded(9);
+        plan.cache_node_outage = 1.0;
+        external.set_fault_plan(Some(plan));
+        assert!(external.get("k").is_none());
+        assert_eq!(external.stats().outage_misses, 1);
+        // The node-local copy from store() still answers; only the shared
+        // layer is degraded.
+        let (hit, _) = node.lookup(&spec(), "Q");
+        assert!(hit.is_some());
+        // Recovery restores the shared layer.
+        external.set_fault_plan(None);
+        assert!(external.get("k").is_some());
+    }
+
+    #[test]
+    fn outage_schedule_is_deterministic() {
+        let outcomes = |seed: u64| {
+            let external = ExternalStore::new(Duration::ZERO);
+            let mut plan = FaultPlan::seeded(seed);
+            plan.cache_node_outage = 0.5;
+            external.set_fault_plan(Some(plan));
+            external.put("k".into(), Bytes::from_static(b"v"));
+            (0..32)
+                .map(|_| {
+                    if external.get("k").is_some() {
+                        'h'
+                    } else {
+                        'm'
+                    }
+                })
+                .collect::<String>()
+        };
+        let a = outcomes(4);
+        assert_eq!(a, outcomes(4), "same seed, same schedule");
+        assert_ne!(a, outcomes(5), "different seed, different schedule");
+        assert!(
+            a.contains('h') && a.contains('m'),
+            "both outcomes fire: {a}"
+        );
+    }
+
+    #[test]
+    fn slow_node_pays_the_penalty() {
+        let external = ExternalStore::new(Duration::ZERO);
+        let mut plan = FaultPlan::seeded(2);
+        plan.cache_slow_node = 1.0;
+        plan.cache_slow_delay = Duration::from_millis(5);
+        external.set_fault_plan(Some(plan));
+        let t0 = std::time::Instant::now();
+        external.get("missing");
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(external.stats().slowed_ops, 1);
+        // Slow is not gone: values still round-trip.
+        external.put("k".into(), Bytes::from_static(b"v"));
+        assert!(external.get("k").is_some());
     }
 }

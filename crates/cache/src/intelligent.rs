@@ -399,6 +399,33 @@ impl IntelligentCache {
         let mut spec = spec;
         spec.normalize();
         let bucket = spec.bucket_key();
+        // A fresh result replaces stale entries for the same spec (the
+        // revalidation contract: "until a fresh result replaces it").
+        // Without this, a revalidated query would stay on the stale list
+        // forever and the maintenance lane would re-fetch it every pass.
+        let superseded: Vec<u64> = inner
+            .buckets
+            .get(&bucket)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|id| {
+                        inner
+                            .entries
+                            .get(id)
+                            .is_some_and(|e| e.stale && e.spec == spec)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for old in superseded {
+            if let Some(e) = inner.entries.remove(&old) {
+                inner.bytes -= e.bytes;
+            }
+            if let Some(ids) = inner.buckets.get_mut(&bucket) {
+                ids.retain(|&i| i != old);
+            }
+        }
         let id = inner.next_id;
         inner.next_id += 1;
         let now = Instant::now();
@@ -503,6 +530,23 @@ impl IntelligentCache {
         inner.buckets.clear();
         inner.entries.clear();
         inner.bytes = 0;
+    }
+
+    /// Stale entries with their age since creation, oldest first — the
+    /// work list for the background revalidation lane. (Age is measured
+    /// from entry creation: an entry that outlives the staleness budget is
+    /// overdue for a re-fetch regardless of when the refresh happened.)
+    pub fn stale_entries(&self) -> Vec<(QuerySpec, Duration)> {
+        let inner = self.inner.lock();
+        let now = Instant::now();
+        let mut out: Vec<(QuerySpec, Duration)> = inner
+            .entries
+            .values()
+            .filter(|e| e.stale)
+            .map(|e| (e.spec.clone(), now.duration_since(e.created)))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
     }
 
     /// Snapshot all entries (persistence).

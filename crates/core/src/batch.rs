@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 use tabviz_cache::{subsumes, QuerySpec};
 use tabviz_common::{Chunk, Result, TvError};
+use tabviz_sched::{AdmitRequest, Priority};
 
 /// Batch execution strategy (each combination is an E1/E2 data point).
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +33,10 @@ pub struct BatchOptions {
     /// Build the opportunity graph and run derivable queries locally
     /// (vs sending every query to the backend).
     pub cache_aware: bool,
+    /// Workload class the batch's zones are admitted under. Dashboard
+    /// batches default to [`Priority::Batch`]; prefetch submits at
+    /// [`Priority::Background`].
+    pub priority: Priority,
 }
 
 impl Default for BatchOptions {
@@ -40,6 +45,7 @@ impl Default for BatchOptions {
             fuse: true,
             concurrent: true,
             cache_aware: true,
+            priority: Priority::Batch,
         }
     }
 }
@@ -160,13 +166,14 @@ pub fn execute_batch(
     // (non-degradable) failure raises the cancel flag so queries that have
     // not started yet are abandoned instead of piling onto a broken batch.
     let cancel = AtomicBool::new(false);
+    let admit = AdmitRequest::new(options.priority, "batch");
     let run_one = |spec: &QuerySpec| -> Result<(Chunk, bool)> {
         if cancel.load(Ordering::SeqCst) {
             return Err(TvError::Cancelled(
                 "abandoned: a sibling batch query failed fatally".into(),
             ));
         }
-        match processor.execute(spec) {
+        match processor.execute_as(spec, &admit) {
             Ok((chunk, outcome)) => Ok((chunk, outcome == ExecOutcome::DegradedStale)),
             Err(e) => {
                 if !e.is_degradable() {
@@ -235,7 +242,7 @@ pub fn execute_batch(
                     stale.insert(name.clone());
                 }
             }
-            Ok((_, was_stale)) => match processor.execute(original) {
+            Ok((_, was_stale)) => match processor.execute_as(original, &admit) {
                 Ok((chunk, o)) => {
                     results.insert(name.clone(), chunk);
                     if *was_stale || o == ExecOutcome::DegradedStale {
@@ -447,6 +454,7 @@ mod tests {
             fuse: false,
             concurrent: false,
             cache_aware: false,
+            ..Default::default()
         };
         execute_batch(&qp, &batch, &opts).unwrap();
         assert_eq!(sim.stats().queries, 5);
@@ -459,16 +467,19 @@ mod tests {
                 fuse: false,
                 concurrent: false,
                 cache_aware: false,
+                ..Default::default()
             },
             BatchOptions {
                 fuse: true,
                 concurrent: false,
                 cache_aware: false,
+                ..Default::default()
             },
             BatchOptions {
                 fuse: false,
                 concurrent: true,
                 cache_aware: true,
+                ..Default::default()
             },
             BatchOptions::default(),
         ];

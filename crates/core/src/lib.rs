@@ -14,7 +14,10 @@
 //!   opportunity graph, remote/local partitioning, and concurrent
 //!   submission;
 //! * [`dashboard`] — zones, interactive filter actions, and the multi-pass
-//!   render loop of Fig. 2.
+//!   render loop of Fig. 2;
+//! * [`revalidate`] — the background maintenance lane: stale cache entries
+//!   past their staleness budget are re-fetched at `Background` priority
+//!   once their source recovers (Sect. 3.5 workload management).
 
 pub mod batch;
 pub mod compile;
@@ -23,6 +26,7 @@ pub mod fusion;
 pub mod prefetch;
 pub mod processor;
 pub mod registry;
+pub mod revalidate;
 
 pub use batch::{execute_batch, BatchOptions, BatchResult};
 pub use compile::{compile_spec, CompileOptions, CompiledQuery};
@@ -30,5 +34,7 @@ pub use dashboard::{Dashboard, DashboardState, FilterAction, RenderReport, Zone}
 pub use prefetch::{predict_states, prefetch, PrefetchReport};
 pub use processor::{ExecOutcome, QueryProcessor};
 pub use registry::{ManagedSource, SourceRegistry};
+pub use revalidate::{revalidate_pass, MaintenanceLane, RevalidateOptions, RevalidateReport};
 
 pub use tabviz_cache::QuerySpec;
+pub use tabviz_sched::{AdmitRequest, Priority, SchedConfig, Scheduler, Ticket};

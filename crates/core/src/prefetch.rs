@@ -16,6 +16,7 @@ use crate::dashboard::{Dashboard, DashboardState};
 use crate::processor::QueryProcessor;
 use std::collections::HashMap;
 use tabviz_common::{Chunk, Result, Value};
+use tabviz_sched::Priority;
 
 /// What a prefetch pass did.
 #[derive(Debug, Clone, Default)]
@@ -87,7 +88,13 @@ pub fn prefetch(
     for next in states.into_iter().take(max_states) {
         let batch = dashboard.batch(&next, false);
         let before = processor.stats().remote_queries;
-        if execute_batch(processor, &batch, &BatchOptions::default()).is_ok() {
+        // Speculative work rides the lowest class: under load it queues
+        // behind everything else and is the first to be shed.
+        let opts = BatchOptions {
+            priority: Priority::Background,
+            ..Default::default()
+        };
+        if execute_batch(processor, &batch, &opts).is_ok() {
             report.predicted_states += 1;
             report.queries_warmed += (processor.stats().remote_queries - before) as usize;
         }

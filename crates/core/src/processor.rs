@@ -16,6 +16,7 @@ use tabviz_backend::Capabilities;
 use tabviz_cache::{QueryCaches, QuerySpec};
 use tabviz_common::{Chunk, Result, TvError};
 use tabviz_obs::{stage, Counter, Histogram, Obs, ProfileOutcome};
+use tabviz_sched::{AdmitRequest, SchedConfig, Scheduler};
 
 /// How a query was answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -258,6 +259,10 @@ pub struct QueryProcessor {
     pub options: ProcessorOptions,
     /// Per-processor observability: metrics registry + recent profiles.
     pub obs: Arc<Obs>,
+    /// Optional admission controller. When set, every backend-bound query
+    /// acquires a [`tabviz_sched::Ticket`] before touching a pool; cache
+    /// hits are never queued.
+    scheduler: Option<Arc<Scheduler>>,
     stats: AtomicStats,
     metrics: CoreMetrics,
 }
@@ -280,9 +285,31 @@ impl QueryProcessor {
             caches,
             options: ProcessorOptions::default(),
             obs,
+            scheduler: None,
             stats: AtomicStats::default(),
             metrics,
         }
+    }
+
+    /// Attach a workload scheduler. All subsequent backend-bound queries
+    /// pass through its admission queue; its `tv_sched_*` metrics land in
+    /// this processor's registry.
+    pub fn set_scheduler(&mut self, scheduler: Arc<Scheduler>) {
+        scheduler.bind_obs(&self.obs.registry);
+        self.scheduler = Some(scheduler);
+    }
+
+    /// Attach a scheduler sized from the registered pools (one running
+    /// ticket per pooled connection). Call after registering sources.
+    pub fn enable_scheduler(&mut self) -> Arc<Scheduler> {
+        let capacity = self.registry.total_pool_capacity().max(1);
+        let scheduler = Arc::new(Scheduler::new(SchedConfig::for_pool_capacity(capacity)));
+        self.set_scheduler(Arc::clone(&scheduler));
+        scheduler
+    }
+
+    pub fn scheduler(&self) -> Option<&Arc<Scheduler>> {
+        self.scheduler.as_ref()
     }
 
     pub fn stats(&self) -> ProcessorStats {
@@ -297,9 +324,16 @@ impl QueryProcessor {
     /// per-query [`tabviz_obs::QueryProfile`] (timeline of stages, retry
     /// count, fault attribution, outcome) into [`Self::obs`].
     pub fn execute(&self, spec: &QuerySpec) -> Result<(Chunk, ExecOutcome)> {
+        self.execute_as(spec, &AdmitRequest::interactive("internal"))
+    }
+
+    /// [`QueryProcessor::execute`] under an explicit workload class: the
+    /// admission request names the priority, fairness session, weight and
+    /// queue deadline used if this query needs backend work.
+    pub fn execute_as(&self, spec: &QuerySpec, req: &AdmitRequest) -> Result<(Chunk, ExecOutcome)> {
         let started = Instant::now();
         let trace_mark = tabviz_obs::mark();
-        let result = self.execute_inner(spec);
+        let result = self.execute_inner(spec, req);
         let total = started.elapsed();
         self.metrics.queries.inc();
         self.metrics.query_time.observe(total);
@@ -331,7 +365,11 @@ impl QueryProcessor {
     /// The untraced pipeline body. Returns the public [`ExecOutcome`] plus
     /// the finer-grained [`ProfileOutcome`] (widened serves are `Derived`,
     /// not `Remote`).
-    fn execute_inner(&self, spec: &QuerySpec) -> Result<(Chunk, ExecOutcome, ProfileOutcome)> {
+    fn execute_inner(
+        &self,
+        spec: &QuerySpec,
+        req: &AdmitRequest,
+    ) -> Result<(Chunk, ExecOutcome, ProfileOutcome)> {
         let managed = self.registry.get(&spec.source)?;
         if self.options.use_intelligent_cache {
             let hit = {
@@ -370,7 +408,8 @@ impl QueryProcessor {
                     compile_spec(&widened, managed.capabilities(), &managed.compile_options)
                 {
                     let t0 = Instant::now();
-                    if let Ok(chunk_w) = self.run_remote_resilient(&managed, &widened, &compiled_w)
+                    if let Ok(chunk_w) =
+                        self.run_remote_admitted(&managed, &widened, &compiled_w, req)
                     {
                         let cost = t0.elapsed();
                         self.stats.remote_queries.fetch_add(1, Relaxed);
@@ -404,7 +443,7 @@ impl QueryProcessor {
             }
         }
         let t0 = Instant::now();
-        let chunk = match self.run_remote_resilient(&managed, spec, &compiled) {
+        let chunk = match self.run_remote_admitted(&managed, spec, &compiled, req) {
             Ok(chunk) => chunk,
             Err(e) if e.is_degradable() && self.options.serve_stale_on_failure => {
                 // Degraded rendering: a stale cached answer beats a failed
@@ -445,6 +484,32 @@ impl QueryProcessor {
             }
         }
         Ok((chunk, ExecOutcome::Remote, ProfileOutcome::Remote))
+    }
+
+    /// Admission-gated backend execution: with a scheduler attached, the
+    /// query queues for a concurrency slot here — a ticket shed by load
+    /// shedding or an expired queue deadline fails with
+    /// [`TvError::Timeout`] *before* any pool/backend work, which the
+    /// caller may degrade into a stale cache serve. The ticket is held
+    /// across transient retries so a retry never re-queues.
+    fn run_remote_admitted(
+        &self,
+        managed: &Arc<ManagedSource>,
+        spec: &QuerySpec,
+        compiled: &CompiledQuery,
+        req: &AdmitRequest,
+    ) -> Result<Chunk> {
+        let _ticket = match &self.scheduler {
+            Some(sched) => {
+                let mut s = tabviz_obs::span(stage::SCHED_QUEUE);
+                s.label(req.priority.name());
+                let ticket = sched.admit(req)?;
+                s.detail(ticket.queued_for().as_micros() as u64);
+                Some(ticket)
+            }
+            None => None,
+        };
+        self.run_remote_resilient(managed, spec, compiled)
     }
 
     /// [`QueryProcessor::run_remote`] with bounded retries on transient

@@ -74,6 +74,17 @@ impl SourceRegistry {
         self.sources.read().keys().cloned().collect()
     }
 
+    /// Sum of pool sizes over all registered sources — the natural global
+    /// concurrency limit for an admission scheduler (admitting more queries
+    /// than pooled connections just moves the queue into the pools).
+    pub fn total_pool_capacity(&self) -> usize {
+        self.sources
+            .read()
+            .values()
+            .map(|m| m.pool.max_size())
+            .sum()
+    }
+
     /// Close a source: drop its pooled connections (which releases remote
     /// session state). The caller is responsible for purging caches.
     pub fn close(&self, name: &str) -> Result<()> {

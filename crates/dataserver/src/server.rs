@@ -23,7 +23,10 @@ use std::sync::Arc;
 use tabviz_cache::QuerySpec;
 use tabviz_common::{Chunk, Result, TvError, Value};
 use tabviz_core::processor::QueryProcessor;
-use tabviz_core::ExecOutcome;
+use tabviz_core::revalidate::{
+    revalidate_pass, MaintenanceLane, RevalidateOptions, RevalidateReport,
+};
+use tabviz_core::{AdmitRequest, ExecOutcome, Priority};
 use tabviz_tql::expr::Expr;
 use tabviz_tql::{AggCall, SortKey};
 
@@ -92,7 +95,14 @@ pub struct DataServer {
 }
 
 impl DataServer {
+    /// Wrap a processor. A server always runs with admission control: if
+    /// the processor has no scheduler yet, one is attached sized from the
+    /// pools registered so far (register sources first).
     pub fn new(processor: QueryProcessor) -> Self {
+        let mut processor = processor;
+        if processor.scheduler().is_none() {
+            processor.enable_scheduler();
+        }
         DataServer {
             processor,
             published: RwLock::new(HashMap::new()),
@@ -144,14 +154,38 @@ impl DataServer {
         let published = self.published(published_name)?;
         // Verify the backing source exists.
         self.processor.registry.get(&published.backing)?;
+        let user = user.into();
+        let session_id = format!("{user}@{published_name}");
         Ok(ClientSession {
             server: Arc::clone(self),
             published,
-            user: user.into(),
+            user,
+            session_id,
+            priority: Priority::Interactive,
+            weight: 1.0,
             my_sets: Vec::new(),
             queries: AtomicU64::new(0),
             degraded_serves: AtomicU64::new(0),
         })
+    }
+
+    /// One synchronous stale-cache revalidation sweep (see
+    /// [`tabviz_core::revalidate_pass`]).
+    pub fn revalidate_now(&self, opts: &RevalidateOptions) -> RevalidateReport {
+        revalidate_pass(&self.processor, opts)
+    }
+
+    /// Start the background maintenance lane: a thread sweeping stale cache
+    /// entries every `interval`, re-fetching entries older than the
+    /// staleness budget at `Background` priority. Stop by dropping (or
+    /// calling [`MaintenanceLane::stop`] on) the returned handle.
+    pub fn start_maintenance(
+        self: &Arc<Self>,
+        interval: std::time::Duration,
+        opts: RevalidateOptions,
+    ) -> MaintenanceLane {
+        let server = Arc::clone(self);
+        MaintenanceLane::spawn(interval, move || revalidate_pass(&server.processor, &opts))
     }
 
     /// A published source's data was refreshed while its backing database is
@@ -216,6 +250,13 @@ pub struct ClientSession {
     server: Arc<DataServer>,
     published: Arc<PublishedSource>,
     user: String,
+    /// Admission fairness domain (user + published source): sessions share
+    /// backend capacity by deficit round-robin within their class.
+    session_id: String,
+    /// Admission class; [`Priority::Interactive`] unless demoted.
+    priority: Priority,
+    /// Fair-queuing weight within the class.
+    weight: f64,
     my_sets: Vec<String>,
     queries: AtomicU64,
     /// Queries this session had answered from stale cache entries while the
@@ -297,7 +338,9 @@ impl ClientSession {
         reg.counter("tv_dataserver_client_bytes_in_total")
             .add(wire_in);
         let spec = self.server.build_spec(&self.published, &self.user, query)?;
-        let (chunk, outcome) = self.server.processor.execute(&spec)?;
+        let admit =
+            AdmitRequest::new(self.priority, self.session_id.clone()).with_weight(self.weight);
+        let (chunk, outcome) = self.server.processor.execute_as(&spec, &admit)?;
         let wire_out = chunk.approx_bytes() as u64;
         {
             let mut st = self.server.stats.lock();
@@ -313,6 +356,18 @@ impl ClientSession {
             reg.counter("tv_dataserver_degraded_serves_total").inc();
         }
         Ok((chunk, outcome))
+    }
+
+    /// Demote (or restore) this session's admission class — e.g. a
+    /// reporting client that should yield to humans runs at
+    /// [`Priority::Batch`].
+    pub fn set_priority(&mut self, priority: Priority) {
+        self.priority = priority;
+    }
+
+    /// Set this session's fair-queuing weight (1.0 = normal share).
+    pub fn set_weight(&mut self, weight: f64) {
+        self.weight = weight;
     }
 
     /// Queries this session has submitted.

@@ -73,4 +73,7 @@ pub mod stage {
     /// Instantaneous: a stale cache entry was served degraded
     /// (detail = age at serve, µs).
     pub const STALE_SERVE: &str = "stale_serve";
+    /// Waiting in the admission controller's queue for a concurrency slot
+    /// (label = priority class).
+    pub const SCHED_QUEUE: &str = "sched_queue";
 }

@@ -52,6 +52,7 @@ pub use tabviz_common as common;
 pub use tabviz_core as core;
 pub use tabviz_dataserver as dataserver;
 pub use tabviz_obs as obs;
+pub use tabviz_sched as sched;
 pub use tabviz_storage as storage;
 pub use tabviz_tde as tde;
 pub use tabviz_textscan as textscan;
@@ -69,11 +70,12 @@ pub mod prelude {
         Chunk, Collation, DataType, Field, Result, Schema, SchemaRef, TvError, Value,
     };
     pub use tabviz_core::{
-        execute_batch, BatchOptions, Dashboard, DashboardState, ExecOutcome, FilterAction,
-        QueryProcessor, Zone,
+        execute_batch, revalidate_pass, BatchOptions, Dashboard, DashboardState, ExecOutcome,
+        FilterAction, MaintenanceLane, QueryProcessor, RevalidateOptions, Zone,
     };
     pub use tabviz_dataserver::{ClientQuery, DataServer, PublishedSource};
     pub use tabviz_obs::{ProfileOutcome, QueryProfile, Registry};
+    pub use tabviz_sched::{AdmitRequest, Priority, SchedConfig, Scheduler};
     pub use tabviz_storage::{Database, Table};
     pub use tabviz_tde::{ExecOptions, Tde};
     pub use tabviz_textscan::{CsvOptions, ShadowExtracts};

@@ -277,8 +277,9 @@ impl RunAggOp {
 }
 
 /// Feed `n` identical rows of `v` into an accumulator in O(1).
-/// Mirrors `AggState::update` exactly (COUNT/SUM only — the planner
-/// guarantees no other function reaches a RunAgg).
+/// Mirrors `AggState::update` exactly (COUNT/SUM/MIN/MAX only — the planner
+/// guarantees no other function reaches a RunAgg). For MIN/MAX the run
+/// length is irrelevant: `n` identical values have the same extremum as one.
 fn update_run(st: &mut AggState, v: Option<&Value>, n: usize) -> Result<()> {
     let n = n as i64;
     match st {
@@ -312,9 +313,23 @@ fn update_run(st: &mut AggState, v: Option<&Value>, n: usize) -> Result<()> {
                 }
             }
         }
+        AggState::Min(m) => {
+            if let Some(val) = v {
+                if !val.is_null() && m.as_ref().is_none_or(|cur| val < cur) {
+                    *m = Some(val.clone());
+                }
+            }
+        }
+        AggState::Max(m) => {
+            if let Some(val) = v {
+                if !val.is_null() && m.as_ref().is_none_or(|cur| val > cur) {
+                    *m = Some(val.clone());
+                }
+            }
+        }
         _ => {
             return Err(tabviz_common::TvError::Exec(
-                "RunAgg supports only COUNT/SUM".into(),
+                "RunAgg supports only COUNT/SUM/MIN/MAX".into(),
             ))
         }
     }

@@ -388,7 +388,8 @@ pub struct PhysicalOptions {
     /// predicate-on-codes, and run-granularity filtering before chunk
     /// materialization.
     pub enable_scan_pushdown: bool,
-    /// Plan [`PhysPlan::RunAgg`]: COUNT/SUM over RLE runs without decoding.
+    /// Plan [`PhysPlan::RunAgg`]: COUNT/SUM/MIN/MAX over RLE runs without
+    /// decoding.
     pub enable_run_agg: bool,
 }
 
@@ -658,9 +659,11 @@ fn try_rle_scan(
 
 /// Plan [`PhysPlan::RunAgg`] when every piece of the aggregate is answerable
 /// at run granularity: exactly one group column, stored RLE; aggregates are
-/// `COUNT(*)`, `COUNT(col)` or `SUM(col)` with the argument column RLE too.
-/// Anything else (plain/delta arguments, expressions, MIN/MAX/AVG/COUNTD)
-/// falls through to the ordinary decode-then-aggregate paths.
+/// `COUNT(*)`, `COUNT(col)`, `SUM(col)`, `MIN(col)` or `MAX(col)` with the
+/// argument column RLE too (for MIN/MAX each run contributes its value once —
+/// the run length cannot change an extremum). Anything else (plain/delta
+/// arguments, expressions, AVG/COUNTD) falls through to the ordinary
+/// decode-then-aggregate paths.
 fn try_run_agg(
     table: &Arc<Table>,
     group_by: &[(Expr, String)],
@@ -683,7 +686,10 @@ fn try_run_agg(
     for a in aggs {
         match (a.func, &a.arg) {
             (AggFunc::Count, None) => {}
-            (AggFunc::Count | AggFunc::Sum, Some(Expr::Column(c))) => {
+            (
+                AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max,
+                Some(Expr::Column(c)),
+            ) => {
                 let idx = table.schema().index_of(c).ok()?;
                 if !is_rle(idx) {
                     return None;

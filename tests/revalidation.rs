@@ -1,0 +1,155 @@
+//! Stale-cache revalidation end to end: a backend outage flips cache
+//! entries to degraded serving; after the source recovers, the maintenance
+//! lane re-fetches overdue entries at Background priority so dashboards go
+//! back to fresh data without waiting for an organic cache miss.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tabviz::prelude::*;
+use tabviz::workloads::{generate_flights, FaaConfig};
+
+fn setup() -> (Arc<DataServer>, SimDb) {
+    let flights = generate_flights(&FaaConfig::with_rows(20_000)).unwrap();
+    let db = Arc::new(Database::new("faa"));
+    db.put(Table::from_chunk("flights", &flights, &["carrier"]).unwrap())
+        .unwrap();
+    let sim = SimDb::new("warehouse", Arc::clone(&db), SimConfig::default());
+    let qp = QueryProcessor::default();
+    qp.registry.register(Arc::new(sim.clone()), 8);
+    let server = Arc::new(DataServer::new(qp));
+    server.publish(PublishedSource::new(
+        "flights-model",
+        "warehouse",
+        LogicalPlan::scan("flights"),
+    ));
+    (server, sim)
+}
+
+fn outage() -> FaultPlan {
+    FaultPlan {
+        connect_failure: 1.0,
+        transient_query_failure: 1.0,
+        ..FaultPlan::seeded(11)
+    }
+}
+
+fn carrier_counts() -> ClientQuery {
+    ClientQuery {
+        group_by: vec!["carrier".into()],
+        aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+        ..Default::default()
+    }
+}
+
+/// The full arc: warm cache -> outage -> degraded serving -> recovery ->
+/// revalidation sweep -> fresh serving, with no organic miss in between.
+#[test]
+fn recovered_source_is_revalidated_within_budget() {
+    let (server, sim) = setup();
+    let session = server.connect("flights-model", "analyst").unwrap();
+    let q = carrier_counts();
+
+    // Warm the caches with a healthy backend.
+    let (fresh, outcome) = session.query(&q).unwrap();
+    assert_eq!(outcome, ExecOutcome::Remote);
+
+    // The source goes down; published entries are flagged stale.
+    sim.set_fault_plan(Some(outage()));
+    let marked = server.mark_backing_stale("flights-model").unwrap();
+    assert!(marked >= 1, "expected stale-marked entries, got {marked}");
+
+    // Dashboards keep rendering, degraded, from the stale entry.
+    let (degraded, outcome) = session.query(&q).unwrap();
+    assert_eq!(outcome, ExecOutcome::DegradedStale);
+    assert_eq!(degraded.to_rows(), fresh.to_rows());
+
+    // While the source is still down, a sweep cannot refresh anything.
+    let opts = RevalidateOptions {
+        staleness_budget: Duration::ZERO,
+        ..Default::default()
+    };
+    let report = server.revalidate_now(&opts);
+    assert!(report.examined >= 1);
+    assert_eq!(report.refreshed, 0);
+    assert!(report.still_stale >= 1);
+
+    // The source recovers. One sweep refreshes every overdue entry.
+    sim.set_fault_plan(None);
+    let report = server.revalidate_now(&opts);
+    assert!(
+        report.refreshed >= 1,
+        "expected refreshes after recovery, got {report:?}"
+    );
+    assert_eq!(report.still_stale, 0);
+    assert!(
+        server.processor.caches.stale_entries().is_empty(),
+        "no entries should remain stale after a full sweep"
+    );
+
+    // The next dashboard query is served fresh again, same answer.
+    let (after, outcome) = session.query(&q).unwrap();
+    assert_ne!(outcome, ExecOutcome::DegradedStale);
+    assert_eq!(after.to_rows(), fresh.to_rows());
+}
+
+/// Entries stale for less than the budget are deliberately left alone —
+/// revalidation is for overdue entries, not a cache-wide stampede.
+#[test]
+fn entries_within_budget_are_left_alone() {
+    let (server, _sim) = setup();
+    let session = server.connect("flights-model", "analyst").unwrap();
+    session.query(&carrier_counts()).unwrap();
+    server.mark_backing_stale("flights-model").unwrap();
+
+    let opts = RevalidateOptions {
+        staleness_budget: Duration::from_secs(3600),
+        ..Default::default()
+    };
+    let report = server.revalidate_now(&opts);
+    assert!(report.examined >= 1);
+    assert_eq!(report.refreshed, 0);
+    assert_eq!(report.still_stale, 0);
+    assert_eq!(report.within_budget, report.examined);
+    assert!(
+        !server.processor.caches.stale_entries().is_empty(),
+        "entries inside the budget must stay stale until overdue"
+    );
+}
+
+/// The background lane does the same thing unattended: entries flagged
+/// stale during an outage are refreshed shortly after recovery.
+#[test]
+fn maintenance_lane_refreshes_after_recovery() {
+    let (server, sim) = setup();
+    let session = server.connect("flights-model", "analyst").unwrap();
+    session.query(&carrier_counts()).unwrap();
+
+    sim.set_fault_plan(Some(outage()));
+    server.mark_backing_stale("flights-model").unwrap();
+    let lane = server.start_maintenance(
+        Duration::from_millis(5),
+        RevalidateOptions {
+            staleness_budget: Duration::ZERO,
+            ..Default::default()
+        },
+    );
+
+    // Give the lane a few passes against the dead source: entries stay
+    // stale (and keep serving degraded) rather than being dropped.
+    std::thread::sleep(Duration::from_millis(40));
+    assert!(!server.processor.caches.stale_entries().is_empty());
+
+    sim.set_fault_plan(None);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !server.processor.caches.stale_entries().is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "maintenance lane never revalidated the stale entries"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    lane.stop();
+
+    let (_, outcome) = session.query(&carrier_counts()).unwrap();
+    assert_ne!(outcome, ExecOutcome::DegradedStale);
+}

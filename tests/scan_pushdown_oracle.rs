@@ -263,6 +263,124 @@ fn corner_predicates_match_brute_force() {
     }
 }
 
+/// RunAgg — MIN/MAX/SUM/COUNT computed at run granularity over RLE columns
+/// without decoding — must agree with a brute-force aggregation over the
+/// decoded chunk and with the decode-then-aggregate path
+/// (`enable_run_agg = false`), across all scan configs.
+#[test]
+fn run_agg_min_max_matches_brute_force() {
+    let (tde, full) = oracle_table(10_000);
+    let q = "(aggregate ((g)) \
+             ((min r as lo) (max r as hi) (sum r as s) (count r as c) (count as n)) \
+             (scan t))";
+    let plan = tabviz::tql::parse_plan(q).unwrap();
+    // The serial plan must actually take the run-granularity path — `g` is
+    // dict-rle and `r` is rle, so nothing forces a decode.
+    let phys = tde.plan_physical(&plan, &ExecOptions::serial()).unwrap();
+    assert!(phys.explain().contains("RunAgg"), "{}", phys.explain());
+
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<String, (i64, i64, i64, i64, i64)> = BTreeMap::new();
+    for row in full.to_rows() {
+        let (Value::Str(g), Value::Int(r)) = (row[0].clone(), row[3].clone()) else {
+            panic!("unexpected row shape");
+        };
+        let e = groups.entry(g).or_insert((i64::MAX, i64::MIN, 0, 0, 0));
+        e.0 = e.0.min(r);
+        e.1 = e.1.max(r);
+        e.2 += r;
+        e.3 += 1;
+        e.4 += 1;
+    }
+    let mut expected: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|(g, (lo, hi, s, c, n))| {
+            vec![
+                Value::Str(g),
+                Value::Int(lo),
+                Value::Int(hi),
+                Value::Int(s),
+                Value::Int(c),
+                Value::Int(n),
+            ]
+        })
+        .collect();
+    expected.sort();
+
+    let mut no_run = ExecOptions::serial();
+    no_run.physical.enable_run_agg = false;
+    for (name, opts) in configs().into_iter().chain([("serial-no-run-agg", no_run)]) {
+        let mut rows = tde.execute_plan(&plan, &opts).unwrap().to_rows();
+        rows.sort();
+        assert_eq!(rows, expected, "config {name} diverged");
+    }
+}
+
+/// MIN/MAX at run granularity must skip null runs exactly like the decoding
+/// aggregators: `nz` is an RLE integer column whose every other run is NULL,
+/// and one group ("none") is entirely NULL, so its MIN/MAX must come back
+/// NULL rather than a sentinel.
+#[test]
+fn run_agg_min_max_skips_null_runs() {
+    let schema = Arc::new(
+        Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("nz", DataType::Int),
+        ])
+        .unwrap(),
+    );
+    let mut data: Vec<Vec<Value>> = Vec::new();
+    for i in 0..4_000usize {
+        let k = if i < 2_000 { "some" } else { "none" };
+        // 100-row runs; in "some" every other run is NULL, "none" is all NULL.
+        let nz = if k == "none" || (i / 100) % 2 == 0 {
+            Value::Null
+        } else {
+            Value::Int((i / 100) as i64)
+        };
+        data.push(vec![Value::Str(k.into()), nz]);
+    }
+    let chunk = Chunk::from_rows(schema, &data).unwrap();
+    let db = Arc::new(Database::new("nulls"));
+    db.put(Table::from_chunk("t", &chunk, &["k"]).unwrap())
+        .unwrap();
+    let tde = Tde::new(db);
+    let q = "(aggregate ((k)) ((min nz as lo) (max nz as hi) (count nz as c)) (scan t))";
+    let plan = tabviz::tql::parse_plan(q).unwrap();
+    let phys = tde.plan_physical(&plan, &ExecOptions::serial()).unwrap();
+    assert!(phys.explain().contains("RunAgg"), "{}", phys.explain());
+    let mut rows = tde
+        .execute_plan(&plan, &ExecOptions::serial())
+        .unwrap()
+        .to_rows();
+    rows.sort();
+    let mut no_run = ExecOptions::serial();
+    no_run.physical.enable_run_agg = false;
+    let mut baseline = tde.execute_plan(&plan, &no_run).unwrap().to_rows();
+    baseline.sort();
+    assert_eq!(rows, baseline);
+    // "none" sorts first: all-NULL group aggregates to NULL / NULL / 0.
+    assert_eq!(
+        rows[0],
+        vec![
+            Value::Str("none".into()),
+            Value::Null,
+            Value::Null,
+            Value::Int(0)
+        ]
+    );
+    // Odd runs 1,3,...,19 carry values 1..=19.
+    assert_eq!(
+        rows[1],
+        vec![
+            Value::Str("some".into()),
+            Value::Int(1),
+            Value::Int(19),
+            Value::Int(1_000)
+        ]
+    );
+}
+
 /// The skip counters must actually move: a selective predicate over the
 /// sorted delta column proves most blocks unsatisfiable. (Counters are
 /// global and monotone, so concurrent tests only add to the delta.)
