@@ -348,6 +348,7 @@ impl ConnectionPool {
                     inner.in_use += 1;
                     inner.stats.reused += 1;
                     span.label("temp_affinity");
+                    span.reason(tabviz_obs::reason::POOL_TEMP_AFFINITY);
                     self.observe_acquire(|m| &m.reused, wait_start);
                     return Ok(PooledConnection {
                         pool: self,
@@ -362,6 +363,7 @@ impl ConnectionPool {
                 inner.in_use += 1;
                 inner.stats.reused += 1;
                 span.label("reused");
+                span.reason(tabviz_obs::reason::POOL_REUSED);
                 self.observe_acquire(|m| &m.reused, wait_start);
                 return Ok(PooledConnection {
                     pool: self,
@@ -377,6 +379,7 @@ impl ConnectionPool {
             if inner.in_use < self.max_size {
                 if let Err(e) = self.breaker_admit(&mut inner) {
                     span.label("breaker_open");
+                    span.reason(tabviz_obs::reason::POOL_BREAKER_OPEN);
                     return Err(e);
                 }
                 inner.in_use += 1;
@@ -388,6 +391,7 @@ impl ConnectionPool {
                         Ok(conn) => {
                             self.breaker_on_connect_success();
                             span.label("opened");
+                            span.reason(tabviz_obs::reason::POOL_DIALED);
                             self.observe_acquire(|m| &m.opened, wait_start);
                             return Ok(PooledConnection {
                                 pool: self,
@@ -420,6 +424,7 @@ impl ConnectionPool {
                                 inner.stats.opened -= 1;
                                 self.cv.notify_one();
                                 span.label("connect_failed");
+                                span.reason(tabviz_obs::reason::POOL_CONNECT_FAILED);
                                 return Err(e);
                             }
                         }
@@ -437,6 +442,7 @@ impl ConnectionPool {
                     if Instant::now() >= d {
                         inner.stats.acquire_timeouts += 1;
                         span.label("timeout");
+                        span.reason(tabviz_obs::reason::POOL_TIMEOUT);
                         if let Some(m) = self.obs() {
                             m.acquire_timeouts.inc();
                             m.acquire_wait.observe(wait_start.elapsed());

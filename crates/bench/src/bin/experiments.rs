@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates a results table for every performance
 //! claim / figure in the paper (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e19|all]`
+//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e20|all]`
 
 #![allow(clippy::field_reassign_with_default)] // options structs read better mutated
 
@@ -75,6 +75,9 @@ fn main() {
     }
     if all || which == "e19" {
         e19_overload_scheduling();
+    }
+    if all || which == "e20" {
+        e20_flight_recorder_overhead();
     }
 }
 
@@ -1129,19 +1132,26 @@ fn e17_observability() {
         let rank = ((q * durs.len() as f64).ceil() as usize).clamp(1, durs.len());
         durs[rank - 1]
     };
-    let mut rows: Vec<(Duration, Vec<String>)> = by_stage
+    let stage_stats: Vec<(&'static str, usize, Duration, Duration, Duration)> = by_stage
         .into_iter()
         .map(|(stage, mut durs)| {
             durs.sort();
             let total: Duration = durs.iter().sum();
+            let (p50, p95) = (pct(&durs, 0.5), pct(&durs, 0.95));
+            (stage, durs.len(), total, p50, p95)
+        })
+        .collect();
+    let mut rows: Vec<(Duration, Vec<String>)> = stage_stats
+        .iter()
+        .map(|&(stage, count, total, p50, p95)| {
             (
                 total,
                 vec![
                     stage.to_string(),
-                    durs.len().to_string(),
+                    count.to_string(),
                     ms(total),
-                    ms(pct(&durs, 0.5)),
-                    ms(pct(&durs, 0.95)),
+                    ms(p50),
+                    ms(p95),
                 ],
             )
         })
@@ -1183,6 +1193,16 @@ fn e17_observability() {
         "e17_warm_hit_rate {:.3}",
         warm_hits as f64 / warm_queries.max(1) as f64
     );
+    // Stage-latency table in machine form, one line per stage, so CI can
+    // assert the breakdown's shape and hold the hot stages to a band.
+    for &(stage, count, total, p50, p95) in &stage_stats {
+        println!(
+            "e17_stage {stage} count={count} total_ms={:.3} p50_ms={:.3} p95_ms={:.3}",
+            total.as_secs_f64() * 1e3,
+            p50.as_secs_f64() * 1e3,
+            p95.as_secs_f64() * 1e3,
+        );
+    }
     for (name, value) in qp.obs.registry.snapshot() {
         match value {
             MetricValue::Counter(v) => println!("e17_metric {name} {v}"),
@@ -1502,4 +1522,98 @@ fn e19_overload_scheduling() {
     println!("e19_sheds_background {}", sched_sheds[0]);
     println!("e19_sheds_batch {}", sched_sheds[1]);
     println!("e19_sheds_interactive {}", sched_sheds[2]);
+}
+
+// ---------------------------------------------------------------- E20 ----
+
+/// Flight-recorder overhead: the e17 dashboard workload with trace capture
+/// on (every query assembled into the recorder) versus globally off (spans
+/// fall back to the per-thread ring only). The paper's observability bar:
+/// always-on diagnostics must not move user response times, so the warm
+/// per-render p50 with the recorder on is held within a few percent of the
+/// off arm. Also smoke-checks that the slowest captured trace exports as a
+/// valid Chrome trace_event document.
+fn e20_flight_recorder_overhead() {
+    const RENDERS: usize = 40;
+
+    // One arm of the experiment: render the Fig. 1 dashboard cold, then
+    // `RENDERS` warm repeats (all cache hits — the latency floor where
+    // recorder overhead is proportionally largest), timing each repeat.
+    let run_arm = |capture: bool| -> (Duration, QueryProcessor) {
+        tabviz::obs::trace::set_capture(capture);
+        let db = faa_db(60_000);
+        let (qp, _sim) = processor_over(db, lan_config(), 4);
+        let dash = fig1_dashboard("warehouse", "flights");
+        let batch = dash.batch(&DashboardState::default(), true);
+        execute_batch(&qp, &batch, &BatchOptions::default()).expect("cold render");
+        let mut walls: Vec<Duration> = (0..RENDERS)
+            .map(|_| {
+                time_it(|| execute_batch(&qp, &batch, &BatchOptions::default()).expect("warm")).1
+            })
+            .collect();
+        walls.sort();
+        (walls[walls.len() / 2], qp)
+    };
+
+    let (p50_off, qp_off) = run_arm(false);
+    let (p50_on, qp_on) = run_arm(true);
+    tabviz::obs::trace::set_capture(true); // leave the global default intact
+
+    let ratio = p50_on.as_secs_f64() / p50_off.as_secs_f64().max(1e-9);
+    print_table(
+        &format!("E20 — flight recorder overhead, warm p50 over {RENDERS} dashboard renders"),
+        &["arm", "warm p50 ms", "traces", "recorder KiB", "evictions"],
+        &[
+            vec![
+                "capture off".into(),
+                ms(p50_off),
+                qp_off.obs.recorder.len().to_string(),
+                (qp_off.obs.recorder.bytes() / 1024).to_string(),
+                qp_off.obs.recorder.evictions().to_string(),
+            ],
+            vec![
+                "capture on".into(),
+                ms(p50_on),
+                qp_on.obs.recorder.len().to_string(),
+                (qp_on.obs.recorder.bytes() / 1024).to_string(),
+                qp_on.obs.recorder.evictions().to_string(),
+            ],
+        ],
+    );
+
+    // The recorder actually captured the on-arm; the off-arm stayed empty.
+    assert!(!qp_on.obs.recorder.is_empty(), "on arm must record traces");
+    assert_eq!(qp_off.obs.recorder.len(), 0, "off arm must record nothing");
+
+    // Export the slowest captured query and validate it against the Chrome
+    // trace_event schema (the same check CI runs on the printed document).
+    let slowest = &qp_on.obs.recorder.slowest(1)[0];
+    let doc = tabviz::obs::to_chrome_trace(slowest);
+    let valid = tabviz::obs::validate_chrome_trace(&doc).is_ok();
+    println!(
+        "\nslowest captured query: {} ({} events, {} lanes)",
+        ms(slowest.total),
+        slowest.events.len(),
+        slowest.lanes().len()
+    );
+    println!("\ndiagnostics excerpt:");
+    for line in qp_on.obs.recorder.slowest(3).iter().map(|t| {
+        format!(
+            "  {} {} [{}]",
+            ms(t.total),
+            t.outcome,
+            t.reasons().join(",")
+        )
+    }) {
+        println!("{line}");
+    }
+
+    // Machine-checkable summary lines (the CI smoke test parses these).
+    println!("e20_p50_on_ms {}", ms(p50_on));
+    println!("e20_p50_off_ms {}", ms(p50_off));
+    println!("e20_p50_overhead_ratio {ratio:.3}");
+    println!("e20_recorder_traces {}", qp_on.obs.recorder.len());
+    println!("e20_recorder_bytes {}", qp_on.obs.recorder.bytes());
+    println!("e20_recorder_evictions {}", qp_on.obs.recorder.evictions());
+    println!("e20_chrome_trace_valid {}", u32::from(valid));
 }

@@ -261,6 +261,14 @@ impl IntelligentCache {
     /// Set [`CacheConfig::first_match`] to reproduce the paper's shipped
     /// behavior.
     pub fn get(&self, spec: &QuerySpec) -> Option<Chunk> {
+        self.lookup(spec, false).0
+    }
+
+    /// [`IntelligentCache::get`] with decision attribution: also returns
+    /// the verdict reason code (see [`tabviz_obs::reason`]) — which kind of
+    /// hit, or for a miss *which subsumption check* rejected the closest
+    /// candidate.
+    pub fn get_explained(&self, spec: &QuerySpec) -> (Option<Chunk>, &'static str) {
         self.lookup(spec, false)
     }
 
@@ -270,13 +278,17 @@ impl IntelligentCache {
     /// as `stale_serves`; misses here do not inflate the miss counter (the
     /// normal lookup already recorded one).
     pub fn get_stale(&self, spec: &QuerySpec) -> Option<Chunk> {
-        self.lookup(spec, true)
+        self.lookup(spec, true).0
     }
 
-    fn lookup(&self, spec: &QuerySpec, allow_stale: bool) -> Option<Chunk> {
+    fn lookup(&self, spec: &QuerySpec, allow_stale: bool) -> (Option<Chunk>, &'static str) {
         let mut inner = self.inner.lock();
         let bucket = spec.bucket_key();
         let ids: Vec<u64> = inner.buckets.get(&bucket).cloned().unwrap_or_default();
+        // Decision attribution: remember the furthest-advancing rejection
+        // across candidates, so a miss names the subsumption check that
+        // failed on the *closest* entry rather than an arbitrary one.
+        let mut miss_reason = tabviz_obs::reason::CACHE_MISS_NO_CANDIDATE;
         // Collect candidate matches (most recent first — interactions tend
         // to refine the latest view, so recency breaks exact ties).
         let mut candidates: Vec<(u64, MatchPlan, u32, usize)> = Vec::new();
@@ -288,8 +300,14 @@ impl IntelligentCache {
             if entry.stale && !allow_stale {
                 continue;
             }
-            let Some(plan) = match_specs(&entry.spec, spec) else {
-                continue;
+            let plan = match match_specs_explained(&entry.spec, spec) {
+                Ok(plan) => plan,
+                Err(why) => {
+                    if miss_rank(why) > miss_rank(miss_reason) {
+                        miss_reason = why;
+                    }
+                    continue;
+                }
             };
             // Exact only if the cached chunk is column-for-column the
             // requested shape: same groups, and the SAME NUMBER of
@@ -337,26 +355,32 @@ impl IntelligentCache {
                 if allow_stale {
                     bump(&self.stats.stale_serves);
                     self.observe_stale_serve(created);
-                } else {
-                    bump(&self.stats.exact_hits);
-                    if let Some(m) = self.obs() {
-                        m.exact_hits.inc();
-                    }
+                    return (Some(cached), tabviz_obs::reason::CACHE_HIT_STALE);
                 }
-                return Some(cached);
+                bump(&self.stats.exact_hits);
+                if let Some(m) = self.obs() {
+                    m.exact_hits.inc();
+                }
+                return (Some(cached), tabviz_obs::reason::CACHE_HIT_EXACT);
             }
+            let same_grouping = plan.same_grouping;
             match post_process(&cached_spec, cached, spec, &plan) {
                 Ok(out) => {
                     if allow_stale {
                         bump(&self.stats.stale_serves);
                         self.observe_stale_serve(created);
-                    } else {
-                        bump(&self.stats.subsumption_hits);
-                        if let Some(m) = self.obs() {
-                            m.subsumption_hits.inc();
-                        }
+                        return (Some(out), tabviz_obs::reason::CACHE_HIT_STALE);
                     }
-                    return Some(out);
+                    bump(&self.stats.subsumption_hits);
+                    if let Some(m) = self.obs() {
+                        m.subsumption_hits.inc();
+                    }
+                    let why = if same_grouping {
+                        tabviz_obs::reason::CACHE_HIT_RESIDUAL
+                    } else {
+                        tabviz_obs::reason::CACHE_HIT_ROLLUP
+                    };
+                    return (Some(out), why);
                 }
                 Err(_) => continue, // be conservative: treat as non-match
             }
@@ -367,7 +391,7 @@ impl IntelligentCache {
                 m.misses.inc();
             }
         }
-        None
+        (None, miss_reason)
     }
 
     /// A stale entry was served degraded: record its age-at-serve (the data
@@ -378,10 +402,11 @@ impl IntelligentCache {
             m.stale_serves.inc();
             m.stale_age.observe(age);
         }
-        tabviz_obs::event(
+        tabviz_obs::event_with(
             stage::STALE_SERVE,
             Some("intelligent"),
             Some(age.as_micros().min(u64::MAX as u128) as u64),
+            Some(tabviz_obs::reason::CACHE_HIT_STALE),
         );
     }
 
@@ -570,23 +595,49 @@ pub fn subsumes(cached: &QuerySpec, req: &QuerySpec) -> bool {
 
 /// Try to match a cached spec against a request.
 fn match_specs(cached: &QuerySpec, req: &QuerySpec) -> Option<MatchPlan> {
+    match_specs_explained(cached, req).ok()
+}
+
+/// How far a rejection got through the subsumption checks — used to pick
+/// the most informative miss reason across candidates.
+fn miss_rank(reason: &'static str) -> u32 {
+    use tabviz_obs::reason as r;
+    match reason {
+        r::CACHE_MISS_NO_CANDIDATE => 0,
+        r::CACHE_MISS_TOPN => 1,
+        r::CACHE_MISS_GROUP_NOT_SUBSET => 2,
+        r::CACHE_MISS_FILTER_NOT_IMPLIED => 3,
+        r::CACHE_MISS_RESIDUAL_COLUMN => 4,
+        r::CACHE_MISS_AGG_NOT_DERIVABLE => 5,
+        _ => 0,
+    }
+}
+
+/// [`match_specs`] with the failed check named: `Err` carries the
+/// [`tabviz_obs::reason`] code of the first subsumption rule that rejected
+/// this candidate.
+fn match_specs_explained(
+    cached: &QuerySpec,
+    req: &QuerySpec,
+) -> std::result::Result<MatchPlan, &'static str> {
+    use tabviz_obs::reason as why;
     if cached.source != req.source {
-        return None;
+        return Err(why::CACHE_MISS_NO_CANDIDATE);
     }
     // Top-N cached results only serve identical requests.
     if cached.topn.is_some() && cached.canonical_text() != req.canonical_text() {
-        return None;
+        return Err(why::CACHE_MISS_TOPN);
     }
     // Grouping must coarsen: every requested group column is cached.
     if !req.group_by.iter().all(|g| cached.group_by.contains(g)) {
-        return None;
+        return Err(why::CACHE_MISS_GROUP_NOT_SUBSET);
     }
     let same_grouping = req.group_by.len() == cached.group_by.len();
 
     // Filters: every cached conjunct must be implied by some requested one.
     for c in &cached.filters {
         if !req.filters.iter().any(|r| implies(r, c)) {
-            return None;
+            return Err(why::CACHE_MISS_FILTER_NOT_IMPLIED);
         }
     }
     // Residual: requested conjuncts not already enforced verbatim.
@@ -601,11 +652,12 @@ fn match_specs(cached: &QuerySpec, req: &QuerySpec) -> Option<MatchPlan> {
     // they may touch cached group columns only.
     for r in &residual {
         if !r.columns().iter().all(|c| cached.group_by.contains(c)) {
-            return None;
+            return Err(why::CACHE_MISS_RESIDUAL_COLUMN);
         }
     }
 
     // Aggregates.
+    let not_derivable = why::CACHE_MISS_AGG_NOT_DERIVABLE;
     let mut sources = Vec::with_capacity(req.aggs.len());
     for a in &req.aggs {
         let found = cached
@@ -616,17 +668,17 @@ fn match_specs(cached: &QuerySpec, req: &QuerySpec) -> Option<MatchPlan> {
             (Some(c), true) => AggSource::Column(c.alias.clone()),
             (Some(c), false) => match a.func.rollup_func() {
                 Some(f) => AggSource::Rollup(f, c.alias.clone()),
-                None if a.func == AggFunc::Avg => avg_parts(cached, a)?,
-                None => return None, // COUNTD at coarser grouping
+                None if a.func == AggFunc::Avg => avg_parts(cached, a).ok_or(not_derivable)?,
+                None => return Err(not_derivable), // COUNTD at coarser grouping
             },
             // AVG derivable from cached SUM+COUNT even when AVG itself is
             // not cached (at either grouping).
-            (None, _) if a.func == AggFunc::Avg => avg_parts(cached, a)?,
-            (None, _) => return None,
+            (None, _) if a.func == AggFunc::Avg => avg_parts(cached, a).ok_or(not_derivable)?,
+            (None, _) => return Err(not_derivable),
         };
         sources.push(source);
     }
-    Some(MatchPlan {
+    Ok(MatchPlan {
         residual,
         same_grouping,
         sources,

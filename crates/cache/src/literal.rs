@@ -148,6 +148,12 @@ impl LiteralCache {
     }
 
     pub fn get(&self, source: &str, text: &str) -> Option<Chunk> {
+        self.get_explained(source, text).0
+    }
+
+    /// [`LiteralCache::get`] with decision attribution: also returns the
+    /// verdict reason code (see [`tabviz_obs::reason`]).
+    pub fn get_explained(&self, source: &str, text: &str) -> (Option<Chunk>, &'static str) {
         let mut inner = self.inner.lock();
         let key = Self::key(source, text);
         match inner.entries.get_mut(&key) {
@@ -159,14 +165,14 @@ impl LiteralCache {
                 if let Some(m) = self.obs() {
                     m.hits.inc();
                 }
-                Some(out)
+                (Some(out), tabviz_obs::reason::LITERAL_HIT)
             }
             _ => {
                 bump(&self.stats.misses);
                 if let Some(m) = self.obs() {
                     m.misses.inc();
                 }
-                None
+                (None, tabviz_obs::reason::LITERAL_MISS)
             }
         }
     }
@@ -187,10 +193,11 @@ impl LiteralCache {
             m.stale_serves.inc();
             m.stale_age.observe(age);
         }
-        tabviz_obs::event(
+        tabviz_obs::event_with(
             stage::STALE_SERVE,
             Some("literal"),
             Some(age.as_micros().min(u64::MAX as u128) as u64),
+            Some(tabviz_obs::reason::LITERAL_STALE),
         );
         Some(out)
     }

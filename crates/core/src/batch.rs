@@ -186,12 +186,23 @@ pub fn execute_batch(
 
     let mut executed: HashMap<String, Result<(Chunk, bool)>> = HashMap::with_capacity(unique.len());
     if options.concurrent && remote_idx.len() > 1 {
+        // Zone workers run on their own threads; carrying the batch
+        // caller's trace context over lets each zone query's trace record
+        // the enclosing trace as its parent.
+        let trace_ctx = tabviz_obs::TraceCtx::current();
         let outputs = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for &i in &remote_idx {
                 let spec = unique[i].clone();
                 let run_one = &run_one;
-                handles.push((i, scope.spawn(move || run_one(&spec))));
+                let ctx = trace_ctx.clone();
+                handles.push((
+                    i,
+                    scope.spawn(move || {
+                        let _trace = ctx.map(|c| c.install());
+                        run_one(&spec)
+                    }),
+                ));
             }
             handles
                 .into_iter()

@@ -86,6 +86,10 @@ pub fn prefetch(
     let mut report = PrefetchReport::default();
     let states = predict_states(dashboard, state, results, per_zone);
     for next in states.into_iter().take(max_states) {
+        // One span per warmed state, attributed as speculative so flight
+        // recorder traces distinguish prefetch work from user queries.
+        let mut pspan = tabviz_obs::span(tabviz_obs::stage::PREFETCH);
+        pspan.reason(tabviz_obs::reason::PREFETCH_SPECULATIVE);
         let batch = dashboard.batch(&next, false);
         let before = processor.stats().remote_queries;
         // Speculative work rides the lowest class: under load it queues
@@ -96,7 +100,9 @@ pub fn prefetch(
         };
         if execute_batch(processor, &batch, &opts).is_ok() {
             report.predicted_states += 1;
-            report.queries_warmed += (processor.stats().remote_queries - before) as usize;
+            let warmed = (processor.stats().remote_queries - before) as usize;
+            report.queries_warmed += warmed;
+            pspan.detail(warmed as u64);
         }
     }
     Ok(report)

@@ -332,7 +332,12 @@ impl QueryProcessor {
     /// queue deadline used if this query needs backend work.
     pub fn execute_as(&self, spec: &QuerySpec, req: &AdmitRequest) -> Result<(Chunk, ExecOutcome)> {
         let started = Instant::now();
+        // A cross-thread trace assembles this query's spans — including
+        // those recorded on morsel scan workers — into one tree. The
+        // legacy per-thread ring mark is kept as the fallback when trace
+        // capture is globally disabled (the e20 overhead experiment).
         let trace_mark = tabviz_obs::mark();
+        let trace = tabviz_obs::begin_trace();
         let result = self.execute_inner(spec, req);
         let total = started.elapsed();
         self.metrics.queries.inc();
@@ -340,7 +345,12 @@ impl QueryProcessor {
         if matches!(result, Err(TvError::Timeout(_))) {
             self.metrics.timeouts.inc();
         }
-        let events = tabviz_obs::collect_since(&trace_mark);
+        let finished = trace.finish(total);
+        let events = if finished.is_captured() {
+            finished.events.clone()
+        } else {
+            tabviz_obs::collect_since(&trace_mark)
+        };
         let outcome = match &result {
             Ok((_, _, profile_outcome)) => *profile_outcome,
             Err(_) => ProfileOutcome::Failed,
@@ -349,8 +359,9 @@ impl QueryProcessor {
             .iter()
             .filter(|e| e.stage == stage::RETRY && e.label == Some("transient"))
             .count() as u64;
+        let query_text = spec.canonical_text().replace('\u{1}', " ");
         let profile = tabviz_obs::assemble(
-            spec.canonical_text().replace('\u{1}', " "),
+            query_text.clone(),
             spec.source.clone(),
             outcome,
             retries,
@@ -359,6 +370,16 @@ impl QueryProcessor {
             &events,
         );
         self.obs.profiles.record(profile);
+        if finished.is_captured() {
+            self.obs
+                .recorder
+                .record(tabviz_obs::RecordedTrace::from_finished(
+                    finished,
+                    query_text,
+                    spec.source.clone(),
+                    outcome,
+                ));
+        }
         result.map(|(chunk, exec, _)| (chunk, exec))
     }
 
@@ -375,7 +396,9 @@ impl QueryProcessor {
             let hit = {
                 let mut s = tabviz_obs::span(stage::CACHE_LOOKUP);
                 s.label("intelligent");
-                self.caches.intelligent.get(spec)
+                let (hit, why) = self.caches.intelligent.get_explained(spec);
+                s.reason(why);
+                hit
             };
             if let Some(hit) = hit {
                 self.stats.intelligent_hits.fetch_add(1, Relaxed);
@@ -391,7 +414,12 @@ impl QueryProcessor {
             let hit = {
                 let mut s = tabviz_obs::span(stage::CACHE_LOOKUP);
                 s.label("literal");
-                self.caches.literal.get(&spec.source, &compiled.remote.text)
+                let (hit, why) = self
+                    .caches
+                    .literal
+                    .get_explained(&spec.source, &compiled.remote.text);
+                s.reason(why);
+                hit
             };
             if let Some(hit) = hit {
                 self.stats.literal_hits.fetch_add(1, Relaxed);
@@ -431,7 +459,9 @@ impl QueryProcessor {
                         let hit = {
                             let mut s = tabviz_obs::span(stage::CACHE_LOOKUP);
                             s.label("intelligent");
-                            self.caches.intelligent.get(spec)
+                            let (hit, why) = self.caches.intelligent.get_explained(spec);
+                            s.reason(why);
+                            hit
                         };
                         if let Some(hit) = hit {
                             return Ok((hit, ExecOutcome::Remote, ProfileOutcome::Derived));
@@ -505,6 +535,7 @@ impl QueryProcessor {
                 s.label(req.priority.name());
                 let ticket = sched.admit(req)?;
                 s.detail(ticket.queued_for().as_micros() as u64);
+                s.reason(ticket.grant_reason());
                 Some(ticket)
             }
             None => None,

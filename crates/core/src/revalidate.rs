@@ -70,6 +70,11 @@ pub fn revalidate_pass(processor: &QueryProcessor, opts: &RevalidateOptions) -> 
         .registry
         .counter("tv_sched_revalidation_failures_total");
     let mut report = RevalidateReport::default();
+    // The sweep is one maintenance span; each overdue refresh runs inside
+    // it, so the refresh queries' traces record this pass as their parent
+    // and carry the maintenance attribution.
+    let mut mspan = tabviz_obs::span(tabviz_obs::stage::MAINTENANCE);
+    mspan.reason(tabviz_obs::reason::MAINT_REFRESH);
     for (spec, age) in processor.caches.stale_entries() {
         report.examined += 1;
         if age < opts.staleness_budget {
@@ -97,6 +102,7 @@ pub fn revalidate_pass(processor: &QueryProcessor, opts: &RevalidateOptions) -> 
             }
         }
     }
+    mspan.detail(report.refreshed as u64);
     report
 }
 

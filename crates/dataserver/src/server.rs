@@ -143,6 +143,129 @@ impl DataServer {
         self.processor.obs.registry.snapshot()
     }
 
+    /// The server's query flight recorder: the last N completed traces plus
+    /// auto-captured slow queries (see [`tabviz_obs::FlightRecorder`]).
+    pub fn flight_recorder(&self) -> &tabviz_obs::FlightRecorder {
+        &self.processor.obs.recorder
+    }
+
+    /// Export one recorded trace as Chrome `trace_event` JSON, loadable in
+    /// `chrome://tracing` or Perfetto.
+    pub fn chrome_trace(&self, trace_id: u64) -> Option<String> {
+        self.processor
+            .obs
+            .recorder
+            .get(trace_id)
+            .map(|t| tabviz_obs::to_chrome_trace(&t))
+    }
+
+    /// Human-readable diagnostics: the top-K slowest recorded queries with
+    /// per-stage time breakdown and the decision reason codes that explain
+    /// them (why the cache missed, whether the query queued, how the pool
+    /// answered), followed by cache / scheduler / pool / scan rollups.
+    pub fn diagnostics_report(&self, top_k: usize) -> String {
+        use std::fmt::Write as _;
+        let recorder = &self.processor.obs.recorder;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== data server diagnostics: {} trace(s) held, {} KiB, {} evicted, slow >= {:?} ===",
+            recorder.len(),
+            recorder.bytes() / 1024,
+            recorder.evictions(),
+            recorder.slow_threshold(),
+        );
+        let slow = recorder.slowest(top_k);
+        if slow.is_empty() {
+            let _ = writeln!(out, "(no traces recorded yet)");
+        }
+        for (rank, trace) in slow.iter().enumerate() {
+            let query = if trace.query.chars().count() > 96 {
+                let cut: String = trace.query.chars().take(96).collect();
+                format!("{cut}…")
+            } else {
+                trace.query.clone()
+            };
+            let _ = writeln!(
+                out,
+                "#{} {:>9.3}ms [{}] trace={} source={} lanes={} :: {}",
+                rank + 1,
+                trace.total.as_secs_f64() * 1e3,
+                trace.outcome,
+                trace.trace_id,
+                trace.source,
+                trace.lanes().len(),
+                query,
+            );
+            // Stage breakdown: total busy time per stage, entry order.
+            let mut order: Vec<&'static str> = Vec::new();
+            let mut by_stage: HashMap<&'static str, (u64, std::time::Duration)> = HashMap::new();
+            for e in &trace.events {
+                let slot = by_stage.entry(e.stage).or_insert_with(|| {
+                    order.push(e.stage);
+                    (0, std::time::Duration::ZERO)
+                });
+                slot.0 += 1;
+                slot.1 += e.dur;
+            }
+            for stage in &order {
+                let (n, dur) = by_stage[stage];
+                let _ = writeln!(
+                    out,
+                    "    {:<16} x{:<3} {:>9.3}ms",
+                    stage,
+                    n,
+                    dur.as_secs_f64() * 1e3
+                );
+            }
+            let reasons = trace.reasons();
+            if !reasons.is_empty() {
+                let _ = writeln!(out, "    causes: {}", reasons.join(", "));
+            }
+            if trace.dropped_events > 0 {
+                let _ = writeln!(out, "    ({} events dropped)", trace.dropped_events);
+            }
+        }
+        // Subsystem rollups. Scan pruning counters live in the global
+        // registry (no per-processor owner); everything else is ours.
+        let snap = self.processor.obs.registry.snapshot();
+        let global = tabviz_obs::global().snapshot();
+        for (title, source, prefixes) in [
+            ("cache", &snap, &["tv_cache_"][..]),
+            ("scheduler", &snap, &["tv_sched_"][..]),
+            ("pool", &snap, &["tv_backend_"][..]),
+            ("scan", &global, &["tv_tde_"][..]),
+        ] {
+            let mut lines = Vec::new();
+            for (name, value) in source {
+                if !prefixes.iter().any(|p| name.starts_with(p)) {
+                    continue;
+                }
+                match value {
+                    tabviz_obs::MetricValue::Counter(0) => {}
+                    tabviz_obs::MetricValue::Counter(c) => lines.push(format!("{name}={c}")),
+                    tabviz_obs::MetricValue::Gauge(g) => lines.push(format!("{name}={g}")),
+                    tabviz_obs::MetricValue::Histogram(h) if h.count > 0 => {
+                        lines.push(format!(
+                            "{name}: n={} p50={}us p95={}us",
+                            h.count,
+                            h.p50_micros.unwrap_or(0),
+                            h.p95_micros.unwrap_or(0)
+                        ));
+                    }
+                    tabviz_obs::MetricValue::Histogram(_) => {}
+                }
+            }
+            if !lines.is_empty() {
+                let _ = writeln!(out, "--- {title} ---");
+                for l in lines {
+                    let _ = writeln!(out, "  {l}");
+                }
+            }
+        }
+        out
+    }
+
     /// A client connects: receives metadata (the schema of the published
     /// relation and whether temp structures are available — "this
     /// information is conveyed back to the client", Sect. 5.3).

@@ -1,0 +1,151 @@
+//! Chrome `trace_event` export: render a [`RecordedTrace`] as JSON loadable
+//! in `chrome://tracing` / Perfetto, plus a minimal schema validator used
+//! by tests and the CI smoke check.
+//!
+//! Each span becomes a complete event (`"ph":"X"`) with microsecond `ts`
+//! relative to the trace start and `tid` set to the recording thread's
+//! lane id, so one query's morsel workers render as parallel tracks.
+//! Events are emitted grouped by lane in ascending `ts` order — `ts` is
+//! monotone within every `tid` lane, which the trace viewer requires for
+//! correct nesting.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, JsonValue};
+use crate::recorder::RecordedTrace;
+
+/// Render a recorded trace as a Chrome `trace_event` JSON document
+/// (object form: `{"traceEvents": [...], ...}`).
+pub fn to_chrome_trace(trace: &RecordedTrace) -> String {
+    let mut events: Vec<&crate::span::SpanEvent> = trace.events.iter().collect();
+    events.sort_by_key(|e| {
+        (
+            e.lane,
+            e.start.saturating_duration_since(trace.started),
+            e.span_id,
+        )
+    });
+
+    let mut out = String::with_capacity(events.len() * 160 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: &str, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(s);
+    };
+
+    // Metadata: process name plus one thread name per lane.
+    emit(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"tabviz\"}}",
+        &mut out,
+    );
+    let mut lanes: Vec<u64> = events.iter().map(|e| e.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for lane in &lanes {
+        emit(
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":{lane},\
+                 \"args\":{{\"name\":\"lane-{lane}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+
+    for e in &events {
+        let ts = e.start.saturating_duration_since(trace.started).as_micros();
+        let dur = e.dur.as_micros();
+        let mut ev = String::with_capacity(160);
+        let _ = write!(
+            ev,
+            "{{\"name\":\"{}\",\"cat\":\"tabviz\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+             \"pid\":1,\"tid\":{}",
+            json::escape(e.stage),
+            e.lane
+        );
+        let _ = write!(ev, ",\"args\":{{\"span_id\":{}", e.span_id);
+        if let Some(p) = e.parent {
+            let _ = write!(ev, ",\"parent\":{p}");
+        }
+        if let Some(l) = e.label {
+            let _ = write!(ev, ",\"label\":\"{}\"", json::escape(l));
+        }
+        if let Some(d) = e.detail {
+            let _ = write!(ev, ",\"detail\":{d}");
+        }
+        if let Some(r) = e.reason {
+            let _ = write!(ev, ",\"reason\":\"{}\"", json::escape(r));
+        }
+        ev.push_str("}}");
+        emit(&ev, &mut out);
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"trace_id\":{},\"query\":\"{}\",\
+         \"source\":\"{}\",\"outcome\":\"{}\",\"total_us\":{},\"dropped_events\":{}}}}}",
+        trace.trace_id,
+        json::escape(&trace.query),
+        json::escape(&trace.source),
+        trace.outcome,
+        trace.total.as_micros(),
+        trace.dropped_events
+    );
+    out
+}
+
+/// Validate an exported document against the minimal Chrome `trace_event`
+/// schema: a JSON object with a `traceEvents` array whose members carry
+/// `name` (string), `ph` (string), `ts` (number), `pid`/`tid` (numbers),
+/// and — for complete events — a non-negative `dur`. Also checks that `ts`
+/// is monotone non-decreasing within each `tid` lane.
+pub fn validate_chrome_trace(doc: &str) -> Result<(), String> {
+    let root = json::parse(doc)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    let mut last_ts: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i} ({name}): missing ph"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i} ({name}): missing ts"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i} ({name}): missing tid"))? as i64;
+        ev.get("pid")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i} ({name}): missing pid"))?;
+        if ph == "X" {
+            let dur = ev
+                .get("dur")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("event {i} ({name}): X event missing dur"))?;
+            if dur < 0.0 {
+                return Err(format!("event {i} ({name}): negative dur"));
+            }
+            let prev = last_ts.entry(tid).or_insert(f64::MIN);
+            if ts < *prev {
+                return Err(format!(
+                    "event {i} ({name}): ts {ts} not monotone on tid {tid}"
+                ));
+            }
+            *prev = ts;
+        }
+    }
+    Ok(())
+}

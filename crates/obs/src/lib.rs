@@ -9,26 +9,46 @@
 //!   per-thread ring buffer ([`span::RING_CAPACITY`]), assembled into
 //!   per-query [`QueryProfile`]s with nesting, retry counts, fault
 //!   attribution and a terminal [`ProfileOutcome`].
+//! - [`trace`]: cross-thread trace assembly — [`begin_trace`] opens a
+//!   per-query trace, [`TraceCtx`] propagates it into morsel workers,
+//!   batch zone threads, prefetch and the maintenance lane, and
+//!   [`TraceHandle::finish`] yields one connected tree per query.
+//! - [`reason`]: the decision-attribution taxonomy — structured reason
+//!   codes spans carry to say *why* a cache missed, a query queued, a
+//!   connection dialed.
+//! - [`FlightRecorder`]: a bounded store of the last N completed traces
+//!   plus auto-captured slow queries, exportable as Chrome `trace_event`
+//!   JSON via [`to_chrome_trace`].
 //! - [`Registry`]: lock-free named counters, gauges and log-scale latency
 //!   histograms (p50/p95/p99), with [`Registry::snapshot`] (stable sorted
-//!   map) and [`Registry::render_text`] (Prometheus-style exposition).
-//! - [`Obs`]: the per-processor bundle of both, threaded through pools,
-//!   caches, the simulated backend, the TDE and the data server.
+//!   map) and [`Registry::render_text`] (Prometheus-style exposition with
+//!   HELP/TYPE lines).
+//! - [`Obs`]: the per-processor bundle of all three, threaded through
+//!   pools, caches, the simulated backend, the TDE and the data server.
 //!
 //! Offline-safe by construction: std atomics plus the vendored
 //! `parking_lot` only — no external dependencies.
 
+pub mod chrome;
+pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 pub mod span;
+pub mod trace;
 
+pub use chrome::{to_chrome_trace, validate_chrome_trace};
+pub use json::JsonValue;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, HIST_BUCKETS,
 };
 pub use profile::{assemble, FaultTag, Obs, ProfileOutcome, ProfileStore, QueryProfile, StageSpan};
+pub use recorder::{FlightRecorder, FlightRecorderConfig, RecordedTrace};
 pub use span::{
-    collect_since, dropped_events, event, mark, record, span, Span, SpanEvent, TraceMark,
+    collect_since, dropped_events, event, event_with, mark, record, span, Span, SpanEvent,
+    TraceMark,
 };
+pub use trace::{begin_trace, FinishedTrace, TraceCtx, TraceGuard, TraceHandle};
 
 /// The process-wide default [`Registry`]. Execution-layer counters with no
 /// natural [`Obs`] owner (e.g. the TDE scan's blocks-skipped / rows-prefiltered
@@ -42,6 +62,8 @@ pub fn global() -> &'static Registry {
 /// Static stage names used across the workspace. Using these constants
 /// (rather than ad-hoc strings) keeps profiles joinable across crates.
 pub mod stage {
+    /// Synthetic root span of a per-query trace (see [`crate::trace`]).
+    pub const QUERY: &str = "query";
     /// Cache probe (label: `"intelligent"` or `"literal"`).
     pub const CACHE_LOOKUP: &str = "cache_lookup";
     /// TQL compilation / query rewriting.
@@ -76,4 +98,84 @@ pub mod stage {
     /// Waiting in the admission controller's queue for a concurrency slot
     /// (label = priority class).
     pub const SCHED_QUEUE: &str = "sched_queue";
+    /// Instantaneous: per-query scan pruning counters (label =
+    /// `"blocks_skipped"` / `"blocks_total"` / `"rows_prefiltered"`,
+    /// detail = count).
+    pub const SCAN_PRUNE: &str = "scan_prune";
+    /// One maintenance-lane revalidation pass.
+    pub const MAINTENANCE: &str = "maintenance";
+    /// One speculative prefetch batch.
+    pub const PREFETCH: &str = "prefetch";
+}
+
+/// Decision reason codes: *why* a stage went the way it did, attached to
+/// spans via [`crate::Span::reason`] / [`crate::event_with`] and surfaced
+/// in profiles, flight-recorder traces and Chrome exports. Grouped by
+/// subsystem; see DESIGN.md §11 for the full taxonomy.
+pub mod reason {
+    // --- intelligent cache verdicts -------------------------------------
+    /// Exact hit: an entry matched the spec verbatim.
+    pub const CACHE_HIT_EXACT: &str = "cache_hit_exact";
+    /// Hit on a same-grouping entry with a residual filter applied.
+    pub const CACHE_HIT_RESIDUAL: &str = "cache_hit_residual";
+    /// Hit by rolling a finer-grained entry up to the requested grouping.
+    pub const CACHE_HIT_ROLLUP: &str = "cache_hit_rollup";
+    /// A stale entry was served degraded (backend unavailable).
+    pub const CACHE_HIT_STALE: &str = "cache_hit_stale";
+    /// Miss: no cached entry exists for this data source at all.
+    pub const CACHE_MISS_NO_CANDIDATE: &str = "cache_miss_no_candidate";
+    /// Miss: closest candidate had a different TOP-N / ordering clause.
+    pub const CACHE_MISS_TOPN: &str = "cache_miss_topn_mismatch";
+    /// Miss: requested group-by is not a subset of any entry's grouping.
+    pub const CACHE_MISS_GROUP_NOT_SUBSET: &str = "cache_miss_group_not_subset";
+    /// Miss: the entry's filter does not imply the requested filter.
+    pub const CACHE_MISS_FILTER_NOT_IMPLIED: &str = "cache_miss_filter_not_implied";
+    /// Miss: the residual filter touches a column absent from the entry's
+    /// grouping, so it cannot be evaluated over the cached rows.
+    pub const CACHE_MISS_RESIDUAL_COLUMN: &str = "cache_miss_residual_column";
+    /// Miss: a requested aggregate cannot be derived from the entry
+    /// (COUNTD over a coarser grouping, missing aggregate, no AVG parts).
+    pub const CACHE_MISS_AGG_NOT_DERIVABLE: &str = "cache_miss_agg_not_derivable";
+
+    // --- literal cache verdicts -----------------------------------------
+    pub const LITERAL_HIT: &str = "literal_hit";
+    pub const LITERAL_MISS: &str = "literal_miss";
+    pub const LITERAL_STALE: &str = "literal_stale";
+
+    // --- scheduler verdicts ---------------------------------------------
+    /// Admitted without queueing (slot free, queue empty).
+    pub const SCHED_ADMITTED: &str = "sched_admitted_immediate";
+    /// Admitted after waiting in the class queue.
+    pub const SCHED_QUEUED: &str = "sched_queued";
+    /// Admitted immediately by evicting lower-priority queued work.
+    pub const SCHED_ADMITTED_EVICTING: &str = "sched_admitted_evicting";
+    /// A reserved interactive slot was granted to batch work after the
+    /// configured interactive-idle window elapsed (work conservation).
+    pub const SCHED_RESERVED_GRANT: &str = "sched_reserved_grant_to_batch";
+    /// Shed on arrival: total queue depth over the class watermark.
+    pub const SCHED_SHED_WATERMARK: &str = "sched_shed_watermark";
+    /// Shed while queued: evicted to admit higher-priority work.
+    pub const SCHED_SHED_EVICTED: &str = "sched_shed_evicted";
+    /// Shed while queued: the queue deadline expired before a grant.
+    pub const SCHED_DEADLINE_EXPIRED: &str = "sched_deadline_expired";
+
+    // --- pool verdicts ---------------------------------------------------
+    /// Reused the connection that already holds this query's temp tables.
+    pub const POOL_TEMP_AFFINITY: &str = "pool_temp_affinity";
+    /// Reused an idle pooled connection.
+    pub const POOL_REUSED: &str = "pool_reused";
+    /// Dialed a fresh connection.
+    pub const POOL_DIALED: &str = "pool_dialed";
+    /// Fast-failed: the circuit breaker is open.
+    pub const POOL_BREAKER_OPEN: &str = "pool_breaker_fast_fail";
+    /// Dial failed after retries.
+    pub const POOL_CONNECT_FAILED: &str = "pool_connect_failed";
+    /// Acquire deadline expired waiting for a slot.
+    pub const POOL_TIMEOUT: &str = "pool_acquire_timeout";
+
+    // --- background lanes -------------------------------------------------
+    /// Query issued by the maintenance lane to refresh a stale entry.
+    pub const MAINT_REFRESH: &str = "maintenance_refresh";
+    /// Query issued speculatively by the prefetcher.
+    pub const PREFETCH_SPECULATIVE: &str = "prefetch_speculative";
 }

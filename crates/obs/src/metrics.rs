@@ -196,11 +196,19 @@ enum MetricEntry {
 #[derive(Clone, Default)]
 pub struct Registry {
     metrics: Arc<RwLock<HashMap<String, MetricEntry>>>,
+    help: Arc<RwLock<HashMap<String, String>>>,
 }
 
 impl Registry {
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// Attach help text to a metric name, exposed as the `# HELP` line in
+    /// [`Registry::render_text`]. Metrics never described get a generated
+    /// default so every exposed family still carries a HELP line.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help.write().insert(name.to_string(), help.to_string());
     }
 
     pub fn counter(&self, name: &str) -> Counter {
@@ -261,8 +269,10 @@ impl Registry {
             .collect()
     }
 
-    /// Prometheus-style text exposition. Histogram buckets and sums are in
-    /// seconds, cumulative, with a final `+Inf` bucket.
+    /// Prometheus-style text exposition. Every family gets `# HELP` and
+    /// `# TYPE` lines (help text set via [`Registry::describe`], or a
+    /// generated default); histogram buckets and sums are in seconds,
+    /// cumulative, with a final `+Inf` bucket.
     pub fn render_text(&self) -> String {
         let entries: BTreeMap<String, MetricEntry> = self
             .metrics
@@ -270,18 +280,29 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
+        let help = self.help.read();
+        let help_for = |name: &str| -> String {
+            help.get(name)
+                .cloned()
+                .unwrap_or_else(|| format!("tabviz metric {name}"))
+                .replace('\\', "\\\\")
+                .replace('\n', "\\n")
+        };
         let mut out = String::new();
         for (name, entry) in entries {
             match entry {
                 MetricEntry::Counter(c) => {
+                    let _ = writeln!(out, "# HELP {name} {}", help_for(&name));
                     let _ = writeln!(out, "# TYPE {name} counter");
                     let _ = writeln!(out, "{name} {}", c.get());
                 }
                 MetricEntry::Gauge(g) => {
+                    let _ = writeln!(out, "# HELP {name} {}", help_for(&name));
                     let _ = writeln!(out, "# TYPE {name} gauge");
                     let _ = writeln!(out, "{name} {}", g.get());
                 }
                 MetricEntry::Histogram(h) => {
+                    let _ = writeln!(out, "# HELP {name} {}", help_for(&name));
                     let _ = writeln!(out, "# TYPE {name} histogram");
                     let counts = h.bucket_counts();
                     let mut cum = 0u64;

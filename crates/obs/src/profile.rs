@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crate::metrics::Registry;
+use crate::recorder::{FlightRecorder, FlightRecorderConfig};
 use crate::span::SpanEvent;
 use crate::stage;
 
@@ -48,6 +49,9 @@ pub struct StageSpan {
     pub stage: &'static str,
     pub label: Option<&'static str>,
     pub detail: Option<u64>,
+    /// Decision reason code, if the stage carried one (see
+    /// [`crate::reason`]).
+    pub reason: Option<&'static str>,
     /// Start offset from the beginning of the query.
     pub offset: Duration,
     pub dur: Duration,
@@ -121,6 +125,9 @@ impl QueryProfile {
             if let Some(d) = s.detail {
                 let _ = write!(out, " #{d}");
             }
+            if let Some(r) = s.reason {
+                let _ = write!(out, " [{r}]");
+            }
             let _ = writeln!(out, " {:>9.3}ms", s.dur.as_secs_f64() * 1e3);
         }
         for f in &self.faults {
@@ -155,6 +162,7 @@ pub fn assemble(
             stage: e.stage,
             label: e.label,
             detail: e.detail,
+            reason: e.reason,
             offset: e.start.saturating_duration_since(started),
             dur: e.dur,
             depth: e.depth,
@@ -222,13 +230,26 @@ impl Default for ProfileStore {
     }
 }
 
-/// One processor's observability surface: a metrics [`Registry`] plus a
-/// bounded [`ProfileStore`]. Deliberately per-instance rather than global
-/// so concurrent processors (and tests) never pollute each other.
-#[derive(Default)]
+/// One processor's observability surface: a metrics [`Registry`], a
+/// bounded [`ProfileStore`], and the query [`FlightRecorder`].
+/// Deliberately per-instance rather than global so concurrent processors
+/// (and tests) never pollute each other.
 pub struct Obs {
     pub registry: Registry,
     pub profiles: ProfileStore,
+    pub recorder: FlightRecorder,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        let registry = Registry::new();
+        let recorder = FlightRecorder::with_registry(FlightRecorderConfig::default(), &registry);
+        Obs {
+            registry,
+            profiles: ProfileStore::default(),
+            recorder,
+        }
+    }
 }
 
 impl Obs {

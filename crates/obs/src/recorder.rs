@@ -1,0 +1,320 @@
+//! The query flight recorder: a bounded store of recently completed
+//! cross-thread traces plus automatic capture of slow queries.
+//!
+//! Recording happens once per query, after execution completes (the cold
+//! path); the hot path — spans on executing threads — never touches the
+//! recorder. Memory is bounded three ways: per-trace event caps
+//! ([`crate::trace::TRACE_EVENT_CAPACITY`]), ring capacities for the
+//! recent and slow stores, and an approximate total-bytes budget. Evicted
+//! traces increment a counter; retained bytes are exported through the
+//! `tv_obs_recorder_bytes` gauge.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::metrics::{Counter, Gauge, Registry};
+use crate::profile::ProfileOutcome;
+use crate::span::SpanEvent;
+use crate::trace::FinishedTrace;
+
+/// One completed query's flight record: identity, outcome, and the full
+/// cross-thread event tree.
+#[derive(Clone, Debug)]
+pub struct RecordedTrace {
+    pub trace_id: u64,
+    /// Enclosing trace (batch / maintenance pass), if any.
+    pub parent_trace: Option<u64>,
+    /// Canonical query text.
+    pub query: String,
+    /// Data source name.
+    pub source: String,
+    pub outcome: ProfileOutcome,
+    pub total: Duration,
+    pub started: Instant,
+    /// Entry-ordered, depth-annotated event tree (see
+    /// [`crate::trace::FinishedTrace`]).
+    pub events: Vec<SpanEvent>,
+    /// Events lost to the per-trace buffer cap.
+    pub dropped_events: u64,
+}
+
+impl RecordedTrace {
+    /// Build a record from a finished trace plus query identity.
+    pub fn from_finished(
+        finished: FinishedTrace,
+        query: impl Into<String>,
+        source: impl Into<String>,
+        outcome: ProfileOutcome,
+    ) -> Self {
+        RecordedTrace {
+            trace_id: finished.trace_id,
+            parent_trace: finished.parent_trace,
+            query: query.into(),
+            source: source.into(),
+            outcome,
+            total: finished.total,
+            started: finished.started,
+            events: finished.events,
+            dropped_events: finished.dropped,
+        }
+    }
+
+    /// Approximate retained heap footprint, used for the bytes budget.
+    pub fn approx_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>()
+            + self.query.len()
+            + self.source.len()
+            + self.events.capacity() * std::mem::size_of::<SpanEvent>()) as u64
+    }
+
+    /// All decision reason codes attributed to this query, in entry order.
+    pub fn reasons(&self) -> Vec<&'static str> {
+        self.events.iter().filter_map(|e| e.reason).collect()
+    }
+
+    /// First event for a stage, if any.
+    pub fn stage(&self, name: &str) -> Option<&SpanEvent> {
+        self.events.iter().find(|e| e.stage == name)
+    }
+
+    pub fn has_stage(&self, name: &str) -> bool {
+        self.stage(name).is_some()
+    }
+
+    /// Sum of durations over all events with this stage name.
+    pub fn stage_total(&self, name: &str) -> Duration {
+        self.events
+            .iter()
+            .filter(|e| e.stage == name)
+            .map(|e| e.dur)
+            .sum()
+    }
+
+    /// Distinct thread lanes that contributed events.
+    pub fn lanes(&self) -> Vec<u64> {
+        let mut lanes: Vec<u64> = self.events.iter().map(|e| e.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        lanes
+    }
+}
+
+/// Tunables for a [`FlightRecorder`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlightRecorderConfig {
+    /// Completed traces retained in the recent ring.
+    pub recent_capacity: usize,
+    /// Slow traces retained in the slow ring.
+    pub slow_capacity: usize,
+    /// Queries at or above this total duration are also captured in the
+    /// slow ring (surviving recent-ring eviction).
+    pub slow_threshold: Duration,
+    /// Approximate total bytes budget across both rings; oldest recent
+    /// traces are evicted first when exceeded.
+    pub max_bytes: u64,
+}
+
+impl Default for FlightRecorderConfig {
+    fn default() -> Self {
+        FlightRecorderConfig {
+            recent_capacity: 64,
+            slow_capacity: 32,
+            slow_threshold: Duration::from_millis(500),
+            max_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Bounded store of completed query traces; see the module docs.
+pub struct FlightRecorder {
+    cfg: FlightRecorderConfig,
+    enabled: AtomicBool,
+    slow_threshold_micros: AtomicU64,
+    recent: Mutex<VecDeque<Arc<RecordedTrace>>>,
+    slow: Mutex<VecDeque<Arc<RecordedTrace>>>,
+    bytes: AtomicU64,
+    bytes_gauge: Gauge,
+    evictions: Counter,
+}
+
+impl FlightRecorder {
+    pub fn new(cfg: FlightRecorderConfig) -> Self {
+        let slow_micros = cfg.slow_threshold.as_micros().min(u64::MAX as u128) as u64;
+        FlightRecorder {
+            cfg,
+            enabled: AtomicBool::new(true),
+            slow_threshold_micros: AtomicU64::new(slow_micros),
+            recent: Mutex::new(VecDeque::new()),
+            slow: Mutex::new(VecDeque::new()),
+            bytes: AtomicU64::new(0),
+            bytes_gauge: Gauge::new(),
+            evictions: Counter::new(),
+        }
+    }
+
+    /// [`FlightRecorder::new`] with the bytes gauge / eviction counter
+    /// registered on `registry` (`tv_obs_recorder_bytes`,
+    /// `tv_obs_recorder_evictions_total`).
+    pub fn with_registry(cfg: FlightRecorderConfig, registry: &Registry) -> Self {
+        let mut rec = FlightRecorder::new(cfg);
+        registry.describe(
+            "tv_obs_recorder_bytes",
+            "Approximate bytes retained by the query flight recorder",
+        );
+        registry.describe(
+            "tv_obs_recorder_evictions_total",
+            "Traces evicted from the flight recorder rings",
+        );
+        rec.bytes_gauge = registry.gauge("tv_obs_recorder_bytes");
+        rec.evictions = registry.counter("tv_obs_recorder_evictions_total");
+        rec
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_slow_threshold(&self, t: Duration) {
+        self.slow_threshold_micros.store(
+            t.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    pub fn slow_threshold(&self) -> Duration {
+        Duration::from_micros(self.slow_threshold_micros.load(Ordering::Relaxed))
+    }
+
+    /// Store a completed trace (no-op when disabled or the trace captured
+    /// nothing). Cold path: called once per query after execution.
+    pub fn record(&self, trace: RecordedTrace) {
+        if !self.enabled() || trace.trace_id == 0 {
+            return;
+        }
+        let is_slow = trace.total >= self.slow_threshold();
+        let bytes = trace.approx_bytes();
+        let trace = Arc::new(trace);
+        let mut freed = 0u64;
+        {
+            let mut recent = self.recent.lock();
+            recent.push_back(trace.clone());
+            while recent.len() > self.cfg.recent_capacity {
+                if let Some(old) = recent.pop_front() {
+                    freed += old.approx_bytes();
+                    self.evictions.inc();
+                }
+            }
+            // Bytes budget: evict oldest recent traces first.
+            let mut held = (self.bytes.load(Ordering::Relaxed) + bytes).saturating_sub(freed);
+            while held > self.cfg.max_bytes && recent.len() > 1 {
+                if let Some(old) = recent.pop_front() {
+                    let b = old.approx_bytes();
+                    freed += b;
+                    held -= b.min(held);
+                    self.evictions.inc();
+                }
+            }
+        }
+        let mut slow_bytes = 0u64;
+        if is_slow {
+            let mut slow = self.slow.lock();
+            slow.push_back(trace);
+            slow_bytes += bytes;
+            while slow.len() > self.cfg.slow_capacity {
+                if let Some(old) = slow.pop_front() {
+                    freed += old.approx_bytes();
+                    self.evictions.inc();
+                }
+            }
+        }
+        let added = bytes + slow_bytes;
+        let prev = self.bytes.load(Ordering::Relaxed);
+        let next = (prev + added).saturating_sub(freed);
+        self.bytes.store(next, Ordering::Relaxed);
+        self.bytes_gauge.set(next.min(i64::MAX as u64) as i64);
+    }
+
+    /// Retained traces, oldest first.
+    pub fn recent(&self) -> Vec<Arc<RecordedTrace>> {
+        self.recent.lock().iter().cloned().collect()
+    }
+
+    /// Auto-captured slow traces, oldest first.
+    pub fn slow(&self) -> Vec<Arc<RecordedTrace>> {
+        self.slow.lock().iter().cloned().collect()
+    }
+
+    /// Look a trace up by id (slow ring first — it outlives the recent
+    /// ring).
+    pub fn get(&self, trace_id: u64) -> Option<Arc<RecordedTrace>> {
+        if let Some(t) = self
+            .slow
+            .lock()
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+        {
+            return Some(t);
+        }
+        self.recent
+            .lock()
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Most recently recorded trace.
+    pub fn last(&self) -> Option<Arc<RecordedTrace>> {
+        self.recent.lock().back().cloned()
+    }
+
+    /// The `k` slowest retained traces (both rings, deduplicated), slowest
+    /// first.
+    pub fn slowest(&self, k: usize) -> Vec<Arc<RecordedTrace>> {
+        let mut all: Vec<Arc<RecordedTrace>> = self.recent.lock().iter().cloned().collect();
+        all.extend(self.slow.lock().iter().cloned());
+        all.sort_by(|a, b| b.total.cmp(&a.total).then(a.trace_id.cmp(&b.trace_id)));
+        all.dedup_by_key(|t| t.trace_id);
+        all.truncate(k);
+        all
+    }
+
+    pub fn len(&self) -> usize {
+        self.recent.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.recent.lock().is_empty()
+    }
+
+    /// Approximate retained bytes across both rings.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Traces evicted from either ring since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    pub fn clear(&self) {
+        self.recent.lock().clear();
+        self.slow.lock().clear();
+        self.bytes.store(0, Ordering::Relaxed);
+        self.bytes_gauge.set(0);
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(FlightRecorderConfig::default())
+    }
+}

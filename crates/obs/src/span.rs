@@ -1,19 +1,29 @@
-//! Span tracer: RAII stage guards recorded into a bounded per-thread ring.
+//! Span tracer: RAII stage guards recorded into a bounded per-thread ring
+//! and — when a trace is active — into a cross-thread per-query trace.
 //!
 //! Every pipeline stage a query passes through opens a [`Span`] with a
 //! static stage name (see [`crate::stage`]); dropping the guard records a
 //! [`SpanEvent`] carrying the entry order, nesting depth, and duration.
-//! Because a query executes wholly on one thread (batch workers run one
-//! zone per thread; retries loop in place), the caller can [`mark`] the
-//! ring before executing and [`collect_since`] afterwards to obtain exactly
-//! that query's timeline — no global collector, no locks on the hot path.
 //!
-//! The ring is bounded ([`RING_CAPACITY`] completed events per thread); on
-//! overflow the oldest events are evicted and counted, never blocking.
+//! Two collection paths coexist:
+//!
+//! - The legacy per-thread ring: for work that executes wholly on one
+//!   thread, the caller can [`mark`] the ring before executing and
+//!   [`collect_since`] afterwards to obtain exactly that thread's timeline.
+//!   The ring is bounded ([`RING_CAPACITY`] completed events per thread);
+//!   on overflow the oldest events are evicted and counted, never blocking.
+//! - The cross-thread trace (see [`crate::trace`]): when a trace is active
+//!   ([`crate::trace::begin_trace`] on this thread, or a propagated
+//!   [`crate::trace::TraceCtx`] installed on a worker), every event is
+//!   *also* written into the trace's shared buffer at completion time, so
+//!   spans recorded on short-lived worker threads survive the thread and
+//!   assemble into one tree keyed by trace id.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
+
+use crate::trace;
 
 /// Completed events retained per thread before the oldest are evicted.
 pub const RING_CAPACITY: usize = 4096;
@@ -27,16 +37,31 @@ pub struct SpanEvent {
     pub label: Option<&'static str>,
     /// Optional numeric payload (attempt number, fault ordinal, rows, ...).
     pub detail: Option<u64>,
+    /// Structured decision attribution: *why* this stage went the way it
+    /// did (see [`crate::reason`] for the taxonomy). `None` when the stage
+    /// carries no decision.
+    pub reason: Option<&'static str>,
     /// When the span was entered.
     pub start: Instant,
     /// Zero for instantaneous events.
     pub dur: Duration,
-    /// Nesting depth at entry; 0 for a root span.
+    /// Nesting depth at entry; 0 for a root span. Per-thread for ring
+    /// events; recomputed from parent links when a trace is assembled.
     pub depth: u32,
-    /// Thread-local entry order. Sorting by this field reconstructs the
-    /// timeline (parents before children), whereas raw ring order is
-    /// completion order (children before parents).
+    /// Thread-local entry order. Sorting by this field reconstructs a
+    /// single thread's timeline (parents before children), whereas raw
+    /// ring order is completion order (children before parents).
     pub enter_seq: u64,
+    /// Owning trace, or 0 when no trace was active at entry.
+    pub trace_id: u64,
+    /// Trace-wide span id, allocated at entry from the trace's counter so
+    /// that sorting by `span_id` reconstructs the cross-thread timeline
+    /// (parents before children). 0 when not in a trace.
+    pub span_id: u64,
+    /// Enclosing span id within the trace (`None` for the trace root).
+    pub parent: Option<u64>,
+    /// Stable per-thread lane id (the `tid` in Chrome exports).
+    pub lane: u64,
 }
 
 struct ThreadTracer {
@@ -74,9 +99,11 @@ pub struct Span {
     stage: &'static str,
     label: Option<&'static str>,
     detail: Option<u64>,
+    reason: Option<&'static str>,
     start: Instant,
     depth: u32,
     enter_seq: u64,
+    slot: Option<trace::Slot>,
 }
 
 impl Span {
@@ -89,30 +116,49 @@ impl Span {
     pub fn detail(&mut self, detail: u64) {
         self.detail = Some(detail);
     }
+
+    /// Attach a decision reason code (see [`crate::reason`]), visible in
+    /// the recorded event and in trace exports.
+    pub fn reason(&mut self, reason: &'static str) {
+        self.reason = Some(reason);
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let dur = self.start.elapsed();
+        let (trace_id, span_id, parent) = match &self.slot {
+            Some(s) => (s.trace_id(), s.span_id(), s.parent()),
+            None => (0, 0, None),
+        };
+        let ev = SpanEvent {
+            stage: self.stage,
+            label: self.label,
+            detail: self.detail,
+            reason: self.reason,
+            start: self.start,
+            dur,
+            depth: self.depth,
+            enter_seq: self.enter_seq,
+            trace_id,
+            span_id,
+            parent,
+            lane: trace::lane_id(),
+        };
         TRACER.with(|t| {
             let mut t = t.borrow_mut();
             t.depth = t.depth.saturating_sub(1);
-            let ev = SpanEvent {
-                stage: self.stage,
-                label: self.label,
-                detail: self.detail,
-                start: self.start,
-                dur,
-                depth: self.depth,
-                enter_seq: self.enter_seq,
-            };
-            t.push(ev);
+            t.push(ev.clone());
         });
+        if let Some(slot) = self.slot.take() {
+            trace::exit_span(slot, ev);
+        }
     }
 }
 
 /// Enter a stage. The returned guard records the span when dropped.
 pub fn span(stage: &'static str) -> Span {
+    let slot = trace::enter_span();
     TRACER.with(|t| {
         let mut t = t.borrow_mut();
         let depth = t.depth;
@@ -123,9 +169,11 @@ pub fn span(stage: &'static str) -> Span {
             stage,
             label: None,
             detail: None,
+            reason: None,
             start: Instant::now(),
             depth,
             enter_seq,
+            slot,
         }
     })
 }
@@ -133,20 +181,17 @@ pub fn span(stage: &'static str) -> Span {
 /// Record an instantaneous event (a retry, an injected fault, ...) at the
 /// current nesting depth.
 pub fn event(stage: &'static str, label: Option<&'static str>, detail: Option<u64>) {
-    TRACER.with(|t| {
-        let mut t = t.borrow_mut();
-        let ev = SpanEvent {
-            stage,
-            label,
-            detail,
-            start: Instant::now(),
-            dur: Duration::ZERO,
-            depth: t.depth,
-            enter_seq: t.next_seq,
-        };
-        t.next_seq += 1;
-        t.push(ev);
-    })
+    event_with(stage, label, detail, None);
+}
+
+/// [`event`] with a decision reason code attached (see [`crate::reason`]).
+pub fn event_with(
+    stage: &'static str,
+    label: Option<&'static str>,
+    detail: Option<u64>,
+    reason: Option<&'static str>,
+) {
+    sink(stage, label, detail, reason, Duration::ZERO);
 }
 
 /// Record a completed observation with an explicit duration — for work
@@ -159,20 +204,45 @@ pub fn record(
     detail: Option<u64>,
     dur: Duration,
 ) {
-    TRACER.with(|t| {
+    sink(stage, label, detail, None, dur);
+}
+
+fn sink(
+    stage: &'static str,
+    label: Option<&'static str>,
+    detail: Option<u64>,
+    reason: Option<&'static str>,
+    dur: Duration,
+) {
+    let slot = trace::instant_slot();
+    let (trace_id, span_id, parent) = match &slot {
+        Some(s) => (s.trace_id(), s.span_id(), s.parent()),
+        None => (0, 0, None),
+    };
+    let lane = trace::lane_id();
+    let ev = TRACER.with(|t| {
         let mut t = t.borrow_mut();
         let ev = SpanEvent {
             stage,
             label,
             detail,
+            reason,
             start: Instant::now(),
             dur,
             depth: t.depth,
             enter_seq: t.next_seq,
+            trace_id,
+            span_id,
+            parent,
+            lane,
         };
         t.next_seq += 1;
-        t.push(ev);
-    })
+        t.push(ev.clone());
+        ev
+    });
+    if let Some(slot) = slot {
+        trace::sink_instant(slot, ev);
+    }
 }
 
 /// Position in this thread's trace; pair with [`collect_since`].

@@ -1,0 +1,216 @@
+//! Prometheus text-exposition conformance for [`Registry::render_text`]:
+//! every metric family carries `# HELP` and `# TYPE` lines, histogram
+//! buckets are cumulative with a `+Inf` bucket equal to `_count`, and no
+//! series is emitted twice. Scrapers reject malformed expositions outright,
+//! so this is pinned by test rather than by eyeball.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+use tabviz_obs::Registry;
+
+/// A parsed exposition: family name -> (type, help, sample lines).
+#[derive(Default)]
+struct Exposition {
+    types: HashMap<String, String>,
+    helps: HashMap<String, String>,
+    /// Sample lines keyed by full series identity (name + labels).
+    samples: Vec<(String, f64)>,
+}
+
+fn parse(text: &str) -> Exposition {
+    let mut exp = Exposition::default();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP has name and text");
+            assert!(
+                exp.helps
+                    .insert(name.to_string(), help.to_string())
+                    .is_none(),
+                "duplicate HELP for {name}"
+            );
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest.split_once(' ').expect("TYPE has name and kind");
+            assert!(
+                matches!(ty, "counter" | "gauge" | "histogram"),
+                "unknown TYPE '{ty}' for {name}"
+            );
+            assert!(
+                exp.types.insert(name.to_string(), ty.to_string()).is_none(),
+                "duplicate TYPE for {name}"
+            );
+        } else {
+            assert!(!line.starts_with('#'), "unrecognized comment line: {line}");
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            let value: f64 = value.parse().unwrap_or_else(|_| {
+                panic!("unparsable sample value in line: {line}");
+            });
+            exp.samples.push((series.to_string(), value));
+        }
+    }
+    exp
+}
+
+/// Family a sample series belongs to: strip labels, then the histogram
+/// suffixes.
+fn family_of(series: &str) -> &str {
+    let base = series.split('{').next().unwrap();
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = base.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    base
+}
+
+fn populated_registry() -> Registry {
+    let reg = Registry::new();
+    reg.describe("tv_test_queries_total", "Queries executed.");
+    let c = reg.counter("tv_test_queries_total");
+    c.inc();
+    c.add(4);
+    reg.counter("tv_test_undocumented_total").inc();
+    let g = reg.gauge("tv_test_inflight");
+    g.set(3);
+    g.add(-1);
+    reg.describe("tv_test_latency_seconds", "End-to-end latency.");
+    let h = reg.histogram("tv_test_latency_seconds");
+    for micros in [90, 900, 9_000, 90_000, 900_000, 9_000_000] {
+        h.observe(Duration::from_micros(micros));
+    }
+    // An empty histogram must still expose a consistent family.
+    reg.histogram("tv_test_empty_seconds");
+    reg
+}
+
+#[test]
+fn every_family_has_help_and_type_lines() {
+    let text = populated_registry().render_text();
+    let exp = parse(&text);
+    let families: HashSet<&str> = exp.samples.iter().map(|(s, _)| family_of(s)).collect();
+    assert!(families.len() >= 5);
+    for family in &families {
+        assert!(
+            exp.types.contains_key(*family),
+            "family {family} missing # TYPE"
+        );
+        assert!(
+            exp.helps.contains_key(*family),
+            "family {family} missing # HELP"
+        );
+    }
+    // HELP precedes TYPE precedes samples within each family block.
+    for family in &families {
+        let help_at = text.find(&format!("# HELP {family} ")).unwrap();
+        let type_at = text.find(&format!("# TYPE {family} ")).unwrap();
+        // Anchor sample lookups to line starts: a family's default help
+        // text legitimately repeats the metric name.
+        let sample_at = text
+            .find(&format!("\n{family} "))
+            .unwrap_or(usize::MAX)
+            .min(
+                text.find(&format!("\n{family}_bucket{{"))
+                    .unwrap_or(usize::MAX),
+            );
+        assert!(help_at < type_at, "{family}: HELP must precede TYPE");
+        assert!(type_at < sample_at, "{family}: TYPE must precede samples");
+    }
+    // Described metrics expose their text; undescribed ones get a default.
+    assert_eq!(exp.helps["tv_test_queries_total"], "Queries executed.");
+    assert!(exp.helps["tv_test_undocumented_total"].contains("tv_test_undocumented_total"));
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_close_with_inf() {
+    let text = populated_registry().render_text();
+    let exp = parse(&text);
+    for family in ["tv_test_latency_seconds", "tv_test_empty_seconds"] {
+        assert_eq!(exp.types[family], "histogram");
+        let buckets: Vec<(&str, f64)> = exp
+            .samples
+            .iter()
+            .filter_map(|(s, v)| {
+                s.strip_prefix(&format!("{family}_bucket{{le=\""))
+                    .map(|rest| (rest.trim_end_matches("\"}"), *v))
+            })
+            .collect();
+        assert!(!buckets.is_empty(), "{family}: no buckets");
+        let mut prev = 0.0;
+        let mut prev_le = f64::MIN;
+        for (le, cum) in &buckets {
+            assert!(
+                *cum >= prev,
+                "{family}: bucket le={le} not cumulative ({cum} < {prev})"
+            );
+            let le_val = if *le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>().unwrap_or_else(|_| {
+                    panic!("{family}: unparsable bucket bound {le}");
+                })
+            };
+            assert!(le_val > prev_le, "{family}: bucket bounds not increasing");
+            prev = *cum;
+            prev_le = le_val;
+        }
+        let (last_le, last_cum) = buckets.last().unwrap();
+        assert_eq!(*last_le, "+Inf", "{family}: final bucket must be +Inf");
+        let count = exp
+            .samples
+            .iter()
+            .find(|(s, _)| s == &format!("{family}_count"))
+            .map(|(_, v)| *v)
+            .expect("histogram _count present");
+        let sum = exp
+            .samples
+            .iter()
+            .find(|(s, _)| s == &format!("{family}_sum"))
+            .map(|(_, v)| *v)
+            .expect("histogram _sum present");
+        assert_eq!(*last_cum, count, "{family}: +Inf bucket must equal _count");
+        assert!(sum >= 0.0);
+    }
+    // Observed values landed in finite buckets, not just +Inf.
+    let finite_nonzero = exp.samples.iter().any(|(s, v)| {
+        s.starts_with("tv_test_latency_seconds_bucket") && !s.contains("+Inf") && *v > 0.0
+    });
+    assert!(finite_nonzero, "observations must land in finite buckets");
+}
+
+#[test]
+fn no_duplicate_series_and_values_match_registry() {
+    let reg = populated_registry();
+    let text = reg.render_text();
+    let exp = parse(&text);
+    let mut seen = HashSet::new();
+    for (series, _) in &exp.samples {
+        assert!(seen.insert(series.clone()), "duplicate series {series}");
+    }
+    let value_of = |series: &str| -> f64 {
+        exp.samples
+            .iter()
+            .find(|(s, _)| s == series)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing series {series}"))
+    };
+    assert_eq!(value_of("tv_test_queries_total"), 5.0);
+    assert_eq!(value_of("tv_test_inflight"), 2.0);
+    assert_eq!(value_of("tv_test_latency_seconds_count"), 6.0);
+    assert_eq!(value_of("tv_test_empty_seconds_count"), 0.0);
+
+    // Rendering is a pure read: a second scrape is byte-identical.
+    assert_eq!(text, reg.render_text());
+}
+
+/// Help text is escaped per the exposition format, so multi-line or
+/// backslash-bearing descriptions cannot corrupt the line protocol.
+#[test]
+fn help_text_escapes_newlines_and_backslashes() {
+    let reg = Registry::new();
+    reg.describe("tv_test_escaped_total", "line one\nline two \\ done");
+    reg.counter("tv_test_escaped_total").inc();
+    let text = reg.render_text();
+    assert!(text.contains("# HELP tv_test_escaped_total line one\\nline two \\\\ done"));
+    // Still parses cleanly line-by-line.
+    parse(&text);
+}

@@ -34,7 +34,7 @@
 //! a seeded storm, no async runtime, offline-safe.
 
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 use tabviz_common::{Result, TvError};
@@ -139,10 +139,19 @@ pub struct SchedConfig {
     /// grants may not push total running tickets above
     /// `max_concurrent - reserve_interactive`, so an interactive arrival
     /// at full non-interactive load starts immediately instead of waiting
-    /// out a running query. The reservation is not work-conserving (the
-    /// reserved slots idle when no interactive work exists) and is clamped
+    /// out a running query. By default the reservation is not
+    /// work-conserving (the reserved slots idle when no interactive work
+    /// exists); see [`SchedConfig::work_conserving_after`]. It is clamped
     /// so at least one slot always remains for the other classes.
     pub reserve_interactive: usize,
+    /// Work conservation for the interactive reservation: when no
+    /// Interactive request has *arrived* for this long, reserved slots are
+    /// granted to Batch/Background work instead of idling. Such grants
+    /// carry the [`tabviz_obs::reason::SCHED_RESERVED_GRANT`] reason code.
+    /// The next Interactive arrival re-arms the reservation (running
+    /// borrowed tickets finish; new non-interactive grants are capped
+    /// again). `None` (default) keeps the reservation strict.
+    pub work_conserving_after: Option<Duration>,
 }
 
 impl SchedConfig {
@@ -156,6 +165,7 @@ impl SchedConfig {
             shed_depth: [mc * 16, mc * 4, mc * 2],
             default_deadline: None,
             reserve_interactive: 0,
+            work_conserving_after: None,
         }
     }
 
@@ -166,6 +176,13 @@ impl SchedConfig {
 
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Enable work conservation for the interactive reservation (see
+    /// [`SchedConfig::work_conserving_after`]).
+    pub fn with_work_conserving_after(mut self, window: Duration) -> Self {
+        self.work_conserving_after = Some(window);
         self
     }
 
@@ -201,6 +218,9 @@ pub struct SchedStats {
     pub shed: [u64; 3],
     /// Tickets whose deadline expired while queued, per class.
     pub deadline_shed: [u64; 3],
+    /// Reserved interactive slots granted to Batch/Background work after
+    /// the work-conserving window elapsed.
+    pub reserved_grants: u64,
     /// Currently running / queued tickets.
     pub running: usize,
     pub queued: usize,
@@ -338,8 +358,13 @@ struct State {
     next_id: u64,
     classes: [ClassQueue; 3],
     /// Tickets that have been handed a slot but whose waiter has not woken
-    /// yet. `running` already counts them.
-    granted: HashSet<u64>,
+    /// yet, mapped to the grant's reason code. `running` already counts
+    /// them.
+    granted: HashMap<u64, &'static str>,
+    /// Most recent Interactive *arrival* (not grant): the work-conserving
+    /// clock. Seeded at scheduler creation so a fresh scheduler holds its
+    /// reservation for one full window.
+    last_interactive: Option<Instant>,
     /// Tickets evicted by load shedding while queued; the waiter observes
     /// membership and returns the shed error.
     shed: HashSet<u64>,
@@ -361,6 +386,7 @@ struct SchedMetrics {
     sheds: [Counter; 3],
     deadline_sheds: Counter,
     rejections: Counter,
+    reserved_grants: Counter,
     running: Gauge,
     queued: Gauge,
 }
@@ -377,6 +403,7 @@ impl SchedMetrics {
             sheds: per_class("tv_sched_sheds_total"),
             deadline_sheds: registry.counter("tv_sched_deadline_sheds_total"),
             rejections: registry.counter("tv_sched_rejections_total"),
+            reserved_grants: registry.counter("tv_sched_reserved_grants_total"),
             running: registry.gauge("tv_sched_running"),
             queued: registry.gauge("tv_sched_queued"),
         }
@@ -394,9 +421,13 @@ pub struct Scheduler {
 
 impl Scheduler {
     pub fn new(config: SchedConfig) -> Self {
+        let state = State {
+            last_interactive: Some(Instant::now()),
+            ..State::default()
+        };
         Scheduler {
             config,
-            state: Mutex::new(State::default()),
+            state: Mutex::new(state),
             cv: Condvar::new(),
             metrics: OnceLock::new(),
         }
@@ -442,21 +473,36 @@ impl Scheduler {
             .or(self.config.default_deadline)
             .map(|d| arrived + d);
         let mut st = self.state.lock();
+        if req.priority == Priority::Interactive {
+            // Arrival (not grant) re-arms the work-conserving clock.
+            st.last_interactive = Some(arrived);
+        }
 
         // Fast path: idle queue and a free slot — no ticket churn.
-        if st.running < self.config.class_limit(req.priority) && st.queued() == 0 {
+        if st.running < self.effective_class_limit(&st, req.priority) && st.queued() == 0 {
+            let reason = if req.priority != Priority::Interactive
+                && st.running >= self.config.class_limit(req.priority)
+            {
+                self.note_reserved_grant(&mut st);
+                tabviz_obs::reason::SCHED_RESERVED_GRANT
+            } else {
+                tabviz_obs::reason::SCHED_ADMITTED
+            };
             self.grant_now(&mut st, req.priority);
-            return Ok(self.ticket(req.priority, Duration::ZERO));
+            return Ok(self.ticket(req.priority, Duration::ZERO, reason));
         }
 
         // Overload control. Evict strictly-worse queued work first
         // (Background, then Batch) while its class is over its watermark,
         // then decide the arrival's own fate against its class watermark.
+        let mut evicted_any = false;
         for victim in [Priority::Background, Priority::Batch] {
             while req.priority < victim
                 && st.queued() >= self.config.watermark(victim)
                 && self.evict_one(&mut st, victim)
-            {}
+            {
+                evicted_any = true;
+            }
         }
         if st.queued() >= self.config.watermark(req.priority) {
             st.stats.shed[req.priority.idx()] += 1;
@@ -467,6 +513,12 @@ impl Scheduler {
                     m.rejections.inc();
                 }
             }
+            tabviz_obs::event_with(
+                tabviz_obs::stage::SCHED_QUEUE,
+                Some(req.priority.name()),
+                Some(st.queued() as u64),
+                Some(tabviz_obs::reason::SCHED_SHED_WATERMARK),
+            );
             return Err(TvError::Timeout(format!(
                 "admission: {} load shed at queue depth {}",
                 req.priority.name(),
@@ -485,12 +537,23 @@ impl Scheduler {
         }
         self.dispatch(&mut st);
         loop {
-            if st.granted.remove(&id) {
+            if let Some(granted_reason) = st.granted.remove(&id) {
                 let waited = arrived.elapsed();
+                let reason = if evicted_any {
+                    tabviz_obs::reason::SCHED_ADMITTED_EVICTING
+                } else {
+                    granted_reason
+                };
                 self.note_admitted(&mut st, req.priority, waited);
-                return Ok(self.ticket(req.priority, waited));
+                return Ok(self.ticket(req.priority, waited, reason));
             }
             if st.shed.remove(&id) {
+                tabviz_obs::event_with(
+                    tabviz_obs::stage::SCHED_QUEUE,
+                    Some(req.priority.name()),
+                    Some(arrived.elapsed().as_micros() as u64),
+                    Some(tabviz_obs::reason::SCHED_SHED_EVICTED),
+                );
                 return Err(TvError::Timeout(format!(
                     "admission: {} ticket evicted by load shedding",
                     req.priority.name()
@@ -505,15 +568,45 @@ impl Scheduler {
                         m.deadline_sheds.inc();
                         m.queued.set(st.queued() as i64);
                     }
+                    tabviz_obs::event_with(
+                        tabviz_obs::stage::SCHED_QUEUE,
+                        Some(req.priority.name()),
+                        Some(arrived.elapsed().as_micros() as u64),
+                        Some(tabviz_obs::reason::SCHED_DEADLINE_EXPIRED),
+                    );
                     return Err(TvError::Timeout(format!(
                         "admission: {} ticket queue deadline expired",
                         req.priority.name()
                     )));
                 }
-                Some(d) => {
-                    self.cv.wait_until(&mut st, d);
+                _ => {
+                    // A queued non-interactive ticket also wakes when the
+                    // work-conserving window elapses, so reserved slots
+                    // are handed over promptly (no grant-side event
+                    // exists to trigger a dispatch at that instant).
+                    let mut wake = deadline;
+                    if req.priority != Priority::Interactive {
+                        if let (Some(w), Some(t)) =
+                            (self.config.work_conserving_after, st.last_interactive)
+                        {
+                            // Only a *future* handover instant is worth a
+                            // timed wake: once the window has elapsed the
+                            // dispatch below already ran relaxed, and the
+                            // next state change is a release (cv signal).
+                            let wc = t + w;
+                            if wc > Instant::now() {
+                                wake = Some(wake.map_or(wc, |d| d.min(wc)));
+                            }
+                        }
+                    }
+                    match wake {
+                        Some(d) => {
+                            self.cv.wait_until(&mut st, d);
+                        }
+                        None => self.cv.wait(&mut st),
+                    }
+                    self.dispatch(&mut st);
                 }
-                None => self.cv.wait(&mut st),
             }
         }
     }
@@ -522,19 +615,56 @@ impl Scheduler {
     /// Maintenance work uses this to stay strictly out of the way.
     pub fn try_admit(&self, req: &AdmitRequest) -> Option<Ticket<'_>> {
         let mut st = self.state.lock();
-        if st.running < self.config.class_limit(req.priority) && st.queued() == 0 {
+        if st.running < self.effective_class_limit(&st, req.priority) && st.queued() == 0 {
+            let reason = if req.priority != Priority::Interactive
+                && st.running >= self.config.class_limit(req.priority)
+            {
+                self.note_reserved_grant(&mut st);
+                tabviz_obs::reason::SCHED_RESERVED_GRANT
+            } else {
+                tabviz_obs::reason::SCHED_ADMITTED
+            };
             self.grant_now(&mut st, req.priority);
-            Some(self.ticket(req.priority, Duration::ZERO))
+            Some(self.ticket(req.priority, Duration::ZERO, reason))
         } else {
             None
         }
     }
 
-    fn ticket(&self, priority: Priority, waited: Duration) -> Ticket<'_> {
+    fn ticket(&self, priority: Priority, waited: Duration, reason: &'static str) -> Ticket<'_> {
         Ticket {
             sched: self,
             priority,
             queued_for: waited,
+            grant_reason: reason,
+        }
+    }
+
+    /// Whether the interactive reservation is currently relaxed: work
+    /// conservation is configured and no Interactive request has arrived
+    /// within the window.
+    fn reservation_relaxed(&self, st: &State) -> bool {
+        match self.config.work_conserving_after {
+            Some(window) => st.last_interactive.is_none_or(|t| t.elapsed() >= window),
+            None => false,
+        }
+    }
+
+    /// [`SchedConfig::class_limit`] with work conservation applied. Both
+    /// non-interactive classes relax together, so limits stay
+    /// non-increasing down the priority order (dispatch relies on that).
+    fn effective_class_limit(&self, st: &State, p: Priority) -> usize {
+        if p != Priority::Interactive && self.reservation_relaxed(st) {
+            self.config.max_concurrent
+        } else {
+            self.config.class_limit(p)
+        }
+    }
+
+    fn note_reserved_grant(&self, st: &mut State) {
+        st.stats.reserved_grants += 1;
+        if let Some(m) = self.metrics.get() {
+            m.reserved_grants.inc();
         }
     }
 
@@ -573,25 +703,46 @@ impl Scheduler {
     /// deficit round-robin within one, Batch/Background capped below the
     /// interactive reservation.
     fn dispatch(&self, st: &mut State) {
+        let relaxed = self.reservation_relaxed(st);
         let mut woke = false;
+        let mut reserved_grants = 0u64;
         loop {
             let running = st.running;
             let mut pick = None;
             for (ci, class) in st.classes.iter_mut().enumerate() {
-                // Class limits are non-increasing down the priority order,
+                let p = Priority::ALL[ci];
+                let limit = if relaxed && p != Priority::Interactive {
+                    self.config.max_concurrent
+                } else {
+                    self.config.class_limit(p)
+                };
+                // Class limits are non-increasing down the priority order
+                // (work conservation relaxes both lower classes together),
                 // so the first class over its limit ends the scan.
-                if running >= self.config.class_limit(Priority::ALL[ci]) {
+                if running >= limit {
                     break;
                 }
                 if let Some(id) = class.pick(self.config.quantum) {
-                    pick = Some(id);
+                    // Over the strict (reserved) limit: this grant rides a
+                    // reserved interactive slot.
+                    let reason =
+                        if p != Priority::Interactive && running >= self.config.class_limit(p) {
+                            reserved_grants += 1;
+                            tabviz_obs::reason::SCHED_RESERVED_GRANT
+                        } else {
+                            tabviz_obs::reason::SCHED_QUEUED
+                        };
+                    pick = Some((id, reason));
                     break;
                 }
             }
-            let Some(id) = pick else { break };
+            let Some((id, reason)) = pick else { break };
             st.running += 1;
-            st.granted.insert(id);
+            st.granted.insert(id, reason);
             woke = true;
+        }
+        for _ in 0..reserved_grants {
+            self.note_reserved_grant(st);
         }
         if woke {
             self.cv.notify_all();
@@ -615,6 +766,7 @@ pub struct Ticket<'a> {
     sched: &'a Scheduler,
     priority: Priority,
     queued_for: Duration,
+    grant_reason: &'static str,
 }
 
 impl std::fmt::Debug for Ticket<'_> {
@@ -622,6 +774,7 @@ impl std::fmt::Debug for Ticket<'_> {
         f.debug_struct("Ticket")
             .field("priority", &self.priority)
             .field("queued_for", &self.queued_for)
+            .field("grant_reason", &self.grant_reason)
             .finish()
     }
 }
@@ -634,6 +787,14 @@ impl Ticket<'_> {
     /// How long this ticket waited in the admission queue.
     pub fn queued_for(&self) -> Duration {
         self.queued_for
+    }
+
+    /// How the scheduler decided this grant (a
+    /// [`tabviz_obs::reason`]`::SCHED_*` code): admitted immediately,
+    /// after queueing, by evicting lower-priority work, or by riding a
+    /// reserved interactive slot under work conservation.
+    pub fn grant_reason(&self) -> &'static str {
+        self.grant_reason
     }
 }
 
@@ -702,6 +863,40 @@ mod tests {
         drop(bg);
         batch.join().unwrap();
         assert_eq!(s.stats().admitted, [1, 1, 1]);
+    }
+
+    #[test]
+    fn work_conserving_reservation_grants_to_batch_when_interactive_idle() {
+        let mut cfg = SchedConfig::new(2);
+        cfg.reserve_interactive = 1;
+        cfg.work_conserving_after = Some(Duration::from_millis(30));
+        let s = Arc::new(Scheduler::new(cfg));
+        // Non-reserved capacity is one slot.
+        let bg = s.admit(&AdmitRequest::background("bg")).unwrap();
+        assert_eq!(bg.grant_reason(), tabviz_obs::reason::SCHED_ADMITTED);
+        // A second non-interactive arrival either queues until the
+        // interactive-idle window elapses or (if the window already
+        // elapsed) is granted on the spot — both must ride the reserved
+        // slot and say so.
+        let t = s.admit(&AdmitRequest::batch("etl")).unwrap();
+        assert_eq!(
+            t.grant_reason(),
+            tabviz_obs::reason::SCHED_RESERVED_GRANT,
+            "grant over the strict limit must be attributed to the reservation"
+        );
+        assert_eq!(s.running(), 2);
+        assert!(s.stats().reserved_grants >= 1);
+        drop(t);
+        drop(bg);
+        // An interactive arrival re-arms the clock: with the reservation
+        // strict again, batch is capped below max_concurrent once more.
+        let human = s.admit(&AdmitRequest::interactive("human")).unwrap();
+        assert_eq!(human.grant_reason(), tabviz_obs::reason::SCHED_ADMITTED);
+        assert!(
+            s.try_admit(&AdmitRequest::batch("etl2")).is_none(),
+            "reservation must be strict again right after an interactive arrival"
+        );
+        drop(human);
     }
 
     #[test]

@@ -75,6 +75,11 @@ impl ExchangeOp {
         } else {
             Some(bounded::<Result<Chunk>>(CHANNEL_DEPTH * self.inputs.len()))
         };
+        // The consumer's trace context rides into every producer thread so
+        // worker-side events (scan timings, prune counters) assemble into
+        // the same per-query trace tree instead of being lost with the
+        // thread's ring buffer.
+        let trace_ctx = tabviz_obs::TraceCtx::current();
         for plan in self.inputs.drain(..) {
             let tx = match &shared {
                 Some((tx, _)) => tx.clone(),
@@ -84,7 +89,9 @@ impl ExchangeOp {
                     tx
                 }
             };
+            let ctx = trace_ctx.clone();
             let handle = std::thread::spawn(move || {
+                let _trace = ctx.map(|c| c.install());
                 // Operator construction happens on the worker thread so scan
                 // decoding and join builds overlap across pipelines.
                 let mut op = match make_op(&plan) {

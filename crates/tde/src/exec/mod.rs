@@ -221,6 +221,14 @@ pub struct ScanOp {
     preds: Option<scan_filter::ScanPredicates>,
     /// (range index, offset within range)
     cursor: (usize, usize),
+    /// Per-scan pruning tallies, reported as one `scan_prune` event trio
+    /// into the query's trace at exhaustion (the global `tv_tde_scan_*`
+    /// counters aggregate across queries; these attribute to *this* one).
+    /// Cells because `filtered_window` runs under a shared borrow.
+    blocks_skipped: std::cell::Cell<u64>,
+    blocks_total: std::cell::Cell<u64>,
+    rows_prefiltered: std::cell::Cell<u64>,
+    prune_reported: std::cell::Cell<bool>,
 }
 
 impl ScanOp {
@@ -240,6 +248,10 @@ impl ScanOp {
             schema,
             preds: None,
             cursor: (0, 0),
+            blocks_skipped: std::cell::Cell::new(0),
+            blocks_total: std::cell::Cell::new(0),
+            rows_prefiltered: std::cell::Cell::new(0),
+            prune_reported: std::cell::Cell::new(false),
         }
     }
 
@@ -251,10 +263,9 @@ impl ScanOp {
         pushed: &[Expr],
     ) -> Result<Self> {
         let preds = scan_filter::ScanPredicates::compile(&table, pushed)?;
-        Ok(ScanOp {
-            preds,
-            ..ScanOp::new(table, ranges, projection)
-        })
+        let mut op = ScanOp::new(table, ranges, projection);
+        op.preds = preds;
+        Ok(op)
     }
 
     /// Filter one chunk-sized window through the zone maps and pushed
@@ -269,10 +280,12 @@ impl ScanOp {
         let wend = wstart + wlen;
         let mut selected: Vec<usize> = Vec::new();
         let mut skipped = 0u64;
+        let mut visited = 0u64;
         let mut pos = wstart;
         while pos < wend {
             let block = pos / tabviz_storage::BLOCK_ROWS;
             let seg_end = ((block + 1) * tabviz_storage::BLOCK_ROWS).min(wend);
+            visited += 1;
             if preds.zone_allows(&self.table, block) {
                 let mask = preds.eval_segment(&self.table, pos, seg_end - pos)?;
                 selected.extend(
@@ -288,6 +301,10 @@ impl ScanOp {
         let metrics = scan_filter::scan_metrics();
         metrics.blocks_skipped.add(skipped);
         metrics.rows_prefiltered.add((wlen - selected.len()) as u64);
+        self.blocks_skipped.set(self.blocks_skipped.get() + skipped);
+        self.blocks_total.set(self.blocks_total.get() + visited);
+        self.rows_prefiltered
+            .set(self.rows_prefiltered.get() + (wlen - selected.len()) as u64);
         if selected.is_empty() {
             return Ok(None);
         }
@@ -309,6 +326,30 @@ impl ScanOp {
             .collect::<Result<Vec<_>>>()?;
         Ok(Some(Chunk::new(Arc::clone(&self.schema), cols)?))
     }
+
+    /// Attribute this scan's pruning to the current query: one
+    /// [`tabviz_obs::stage::SCAN_PRUNE`] event per counter, emitted once at
+    /// exhaustion so a trace shows how much work zone maps and pushed
+    /// predicates saved.
+    fn report_prune(&self) {
+        if self.preds.is_none() || self.prune_reported.replace(true) {
+            return;
+        }
+        for (label, n) in [
+            ("blocks_skipped", self.blocks_skipped.get()),
+            ("blocks_total", self.blocks_total.get()),
+            ("rows_prefiltered", self.rows_prefiltered.get()),
+        ] {
+            tabviz_obs::event_with(tabviz_obs::stage::SCAN_PRUNE, Some(label), Some(n), None);
+        }
+    }
+}
+
+impl Drop for ScanOp {
+    fn drop(&mut self) {
+        // Early-terminated scans (TopN, consumer gone) still report.
+        self.report_prune();
+    }
 }
 
 impl PhysOp for ScanOp {
@@ -320,6 +361,7 @@ impl PhysOp for ScanOp {
         loop {
             let (ri, off) = self.cursor;
             let Some(&(start, len)) = self.ranges.get(ri) else {
+                self.report_prune();
                 return Ok(None);
             };
             if off >= len {

@@ -1,0 +1,317 @@
+//! Flight-recorder trace assembly through the full stack: a morsel-parallel
+//! query's worker spans land in the same trace tree as the driver's spans;
+//! a multi-threaded query storm yields exactly one connected tree per query
+//! in the recorder; Chrome exports of arbitrary traces stay valid JSON with
+//! monotone timestamps per thread lane.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tabviz::obs::trace::ROOT_SPAN_ID;
+use tabviz::obs::{
+    begin_trace, stage, to_chrome_trace, validate_chrome_trace, ProfileOutcome, RecordedTrace,
+    TraceCtx,
+};
+use tabviz::prelude::*;
+use tabviz::tde::cost::CostProfile;
+use tabviz::tde::parallel::ParallelOptions;
+use tabviz::workloads::{generate_flights, FaaConfig};
+
+/// The structural invariant the flight recorder promises: every recorded
+/// trace is one connected tree.
+fn assert_connected_tree(trace: &RecordedTrace) {
+    assert!(
+        !trace.events.is_empty(),
+        "trace {} is empty",
+        trace.trace_id
+    );
+    let mut ids = std::collections::HashSet::new();
+    let mut roots = 0;
+    for ev in &trace.events {
+        assert_eq!(
+            ev.trace_id, trace.trace_id,
+            "event '{}' belongs to trace {}, found in trace {}",
+            ev.stage, ev.trace_id, trace.trace_id
+        );
+        assert!(
+            ids.insert(ev.span_id),
+            "duplicate span id {} in trace {}",
+            ev.span_id,
+            trace.trace_id
+        );
+        if ev.parent.is_none() {
+            roots += 1;
+            assert_eq!(ev.span_id, ROOT_SPAN_ID, "non-root event without parent");
+            assert_eq!(ev.stage, stage::QUERY, "root span must be the query span");
+        }
+    }
+    assert_eq!(
+        roots, 1,
+        "trace {} must have exactly one root",
+        trace.trace_id
+    );
+    // Every parent link resolves: no orphaned subtrees, even for spans
+    // recorded on worker threads that died before the query finished.
+    for ev in &trace.events {
+        if let Some(p) = ev.parent {
+            assert!(
+                ids.contains(&p),
+                "span {} ('{}') has unresolved parent {} in trace {}",
+                ev.span_id,
+                ev.stage,
+                p,
+                trace.trace_id
+            );
+        }
+    }
+    // Events are in allocation order, so parents precede children and a
+    // single pass can rebuild the tree.
+    for w in trace.events.windows(2) {
+        assert!(w[0].span_id < w[1].span_id, "events not sorted by span id");
+    }
+}
+
+fn faa_tde(rows: usize) -> Tde {
+    let flights = generate_flights(&FaaConfig {
+        rows,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap();
+    let db = Arc::new(Database::new("faa"));
+    db.put(Table::from_chunk("flights", &flights, &["carrier", "date"]).unwrap())
+        .unwrap();
+    Tde::new(db)
+}
+
+fn parallel_opts() -> ExecOptions {
+    ExecOptions {
+        parallel: ParallelOptions {
+            profile: CostProfile {
+                min_work_per_thread: 500,
+                max_dop: 4,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// A morsel-parallel scan's per-worker operator timings must assemble into
+/// the driver's trace: one connected tree spanning at least two lanes.
+#[test]
+fn morsel_parallel_scan_joins_the_query_trace() {
+    let tde = faa_tde(8_000);
+    let q = "(aggregate ((carrier)) ((sum distance as dist) (count as n))
+               (select (> distance 100) (scan flights)))";
+
+    let t0 = Instant::now();
+    let trace = begin_trace();
+    assert!(trace.is_capturing());
+    tde.query_with(q, &parallel_opts()).unwrap();
+    let finished = trace.finish(t0.elapsed());
+
+    assert!(finished.is_captured());
+    let recorded =
+        RecordedTrace::from_finished(finished, q.to_string(), "faa", ProfileOutcome::Remote);
+    assert_connected_tree(&recorded);
+
+    // Worker threads contributed: the trace spans multiple lanes, and the
+    // per-operator scan timings recorded on those (now dead) threads are
+    // present rather than lost with the per-thread rings.
+    let lanes = recorded.lanes();
+    assert!(
+        lanes.len() >= 2,
+        "parallel scan should record on >= 2 lanes, got {lanes:?}"
+    );
+    assert!(recorded.has_stage("tde_scan"), "worker scan spans missing");
+    assert!(
+        recorded.has_stage(stage::SCAN_PRUNE),
+        "scan prune attribution missing"
+    );
+    assert_eq!(recorded.dropped_events, 0);
+
+    // And the export of a genuinely multi-lane trace is schema-valid.
+    validate_chrome_trace(&to_chrome_trace(&recorded)).unwrap();
+}
+
+fn storm_processor(rows: usize) -> QueryProcessor {
+    let flights = generate_flights(&FaaConfig {
+        rows,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap();
+    let db = Arc::new(Database::new("faa"));
+    db.put(Table::from_chunk("flights", &flights, &["carrier"]).unwrap())
+        .unwrap();
+    let mut qp = QueryProcessor::default();
+    qp.registry
+        .register(Arc::new(SimDb::new("faa", db, SimConfig::default())), 4);
+    // A small concurrency limit forces real queueing during the storm, so
+    // traces capture sched_queue verdicts under contention.
+    qp.set_scheduler(Arc::new(Scheduler::new(SchedConfig::new(2))));
+    qp
+}
+
+/// Eight concurrent sessions hammer one processor; every query must come
+/// out of the flight recorder as its own connected tree with its own trace
+/// id, carrying scheduler and cache attribution.
+#[test]
+fn storm_yields_one_connected_trace_per_query() {
+    let qp = Arc::new(storm_processor(4_000));
+    let threads = 8;
+
+    std::thread::scope(|scope| {
+        for i in 0..threads {
+            let qp = Arc::clone(&qp);
+            scope.spawn(move || {
+                // Distinct filter per thread -> mutually non-derivable
+                // queries -> a cold remote query per thread, then a warm
+                // repeat answered by the cache.
+                let carrier = tabviz::workloads::faa::CARRIERS[i].0;
+                let spec = QuerySpec::new("faa", LogicalPlan::scan("flights"))
+                    .filter(bin(BinOp::Eq, col("carrier"), lit(carrier)))
+                    .group("weekday")
+                    .agg(AggCall::new(AggFunc::Count, None, "n"));
+                let req = AdmitRequest::interactive(format!("storm-{i}"));
+                let (_, cold) = qp.execute_as(&spec, &req).unwrap();
+                assert_eq!(cold, ExecOutcome::Remote);
+                let (_, warm) = qp.execute_as(&spec, &req).unwrap();
+                assert_eq!(warm, ExecOutcome::IntelligentHit);
+            });
+        }
+    });
+
+    let recent = qp.obs.recorder.recent();
+    assert_eq!(recent.len(), threads * 2, "one trace per executed query");
+    let mut trace_ids = std::collections::HashSet::new();
+    for trace in &recent {
+        assert_connected_tree(trace);
+        assert!(trace.parent_trace.is_none());
+        assert!(
+            trace_ids.insert(trace.trace_id),
+            "trace id {} reused across queries",
+            trace.trace_id
+        );
+    }
+
+    for i in 0..threads {
+        let needle = tabviz::workloads::faa::CARRIERS[i].0;
+        let mine: Vec<_> = recent.iter().filter(|t| t.query.contains(needle)).collect();
+        assert_eq!(mine.len(), 2, "thread {i}: expected cold + warm trace");
+        // Cold run went remote through the scheduler; its trace attributes
+        // the admission verdict and the cache miss.
+        // The cold run is Remote, or Derived when the processor widened
+        // the query for reuse before sending it.
+        let cold = mine
+            .iter()
+            .find(|t| matches!(t.outcome, ProfileOutcome::Remote | ProfileOutcome::Derived))
+            .expect("cold trace recorded");
+        assert!(cold.has_stage(stage::SCHED_QUEUE));
+        let verdict = cold.stage(stage::SCHED_QUEUE).unwrap().reason;
+        assert!(
+            matches!(
+                verdict,
+                Some(tabviz::obs::reason::SCHED_ADMITTED) | Some(tabviz::obs::reason::SCHED_QUEUED)
+            ),
+            "cold trace carries a scheduler verdict, got {verdict:?}"
+        );
+        assert!(cold.reasons().iter().any(|r| r.starts_with("cache_miss")));
+        // The warm repeat attributes its hit (exact, or residual/rollup
+        // when the cold run stored a widened superset).
+        let warm = mine
+            .iter()
+            .find(|t| t.outcome == ProfileOutcome::Hit)
+            .expect("warm trace recorded");
+        assert!(
+            warm.reasons().iter().any(|r| r.starts_with("cache_hit")),
+            "warm trace attributes its hit, got {:?}",
+            warm.reasons()
+        );
+    }
+}
+
+/// Build a synthetic trace with `per_lane[0]` spans on the driver thread
+/// and `per_lane[1..]` spans on freshly spawned worker threads, exercising
+/// nesting, instant events and attribution payloads.
+fn synthetic_trace(per_lane: &[usize], nest: bool, query: &str) -> RecordedTrace {
+    let t0 = Instant::now();
+    let trace = begin_trace();
+    for _ in 0..per_lane[0] {
+        let mut s = tabviz::obs::span(stage::CACHE_LOOKUP);
+        s.label("intelligent");
+        s.reason(tabviz::obs::reason::CACHE_MISS_NO_CANDIDATE);
+        if nest {
+            let mut inner = tabviz::obs::span(stage::COMPILE);
+            inner.detail(42);
+        }
+    }
+    let ctx = TraceCtx::current().expect("trace active");
+    std::thread::scope(|scope| {
+        for &n in &per_lane[1..] {
+            let ctx = ctx.clone();
+            scope.spawn(move || {
+                let _guard = ctx.install();
+                for k in 0..n {
+                    let mut s = tabviz::obs::span(stage::REMOTE_EXEC);
+                    s.detail(k as u64);
+                    tabviz::obs::event(stage::RETRY, Some("transient"), Some(k as u64));
+                }
+            });
+        }
+    });
+    let finished = trace.finish(t0.elapsed().max(Duration::from_micros(1)));
+    RecordedTrace::from_finished(finished, query, "faa", ProfileOutcome::Remote)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Any assembled trace exports to schema-valid Chrome `trace_event`
+    /// JSON: parseable, complete events with non-negative durations, and
+    /// `ts` monotone non-decreasing within every `tid` lane.
+    #[test]
+    fn chrome_export_is_valid_json_with_monotone_lanes(
+        per_lane in proptest::collection::vec(1usize..12, 1..5),
+        nest in any::<bool>(),
+        query in proptest::sample::select(vec![
+            String::new(),
+            "select carrier".to_string(),
+            "quoted \"text\" and back\\slash".to_string(),
+            "newline\nand\ttab".to_string(),
+        ]),
+    ) {
+        let recorded = synthetic_trace(&per_lane, nest, &query);
+        assert_connected_tree(&recorded);
+
+        let doc = to_chrome_trace(&recorded);
+        prop_assert!(validate_chrome_trace(&doc).is_ok(),
+            "invalid chrome trace: {:?}", validate_chrome_trace(&doc));
+
+        // Independently re-check monotonicity from the parsed document so
+        // the validator and exporter cannot agree by accident.
+        let root = tabviz::obs::json::parse(&doc).expect("valid JSON");
+        let events = root.get("traceEvents").unwrap().as_arr().unwrap();
+        let mut last: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+        let mut complete = 0;
+        for ev in events {
+            if ev.get("ph").and_then(|p| p.as_str()) != Some("X") {
+                continue;
+            }
+            complete += 1;
+            let tid = ev.get("tid").and_then(|t| t.as_f64()).unwrap() as i64;
+            let ts = ev.get("ts").and_then(|t| t.as_f64()).unwrap();
+            let prev = last.entry(tid).or_insert(f64::MIN);
+            prop_assert!(ts >= *prev, "ts regressed on tid {tid}");
+            *prev = ts;
+        }
+        prop_assert_eq!(complete, recorded.events.len());
+        let meta = root.get("otherData").unwrap();
+        prop_assert_eq!(
+            meta.get("trace_id").and_then(|t| t.as_f64()),
+            Some(recorded.trace_id as f64)
+        );
+        prop_assert_eq!(meta.get("query").and_then(|q| q.as_str()), Some(query.as_str()));
+    }
+}
