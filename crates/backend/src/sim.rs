@@ -178,13 +178,11 @@ pub const SITE_TEMP_TABLE: u64 = 5;
 pub const SITE_CACHE_GET: u64 = 6;
 pub const SITE_CACHE_PUT: u64 = 7;
 
-/// Uniform [0, 1) roll from `(seed, site, ordinal)` via SplitMix64 mixing.
+/// Uniform [0, 1) roll from `(seed, site, ordinal)` via SplitMix64 mixing
+/// (the shared [`tabviz_common::hash`] primitives — the cluster ring and
+/// traffic generator draw from the same well).
 pub fn fault_roll(seed: u64, site: u64, n: u64) -> f64 {
-    let mut z = seed ^ site.wrapping_mul(0x9E3779B97F4A7C15) ^ n.wrapping_mul(0xD1B54A32D192ED03);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^= z >> 31;
-    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    tabviz_common::hash::roll(seed, site, n)
 }
 
 /// A counting semaphore (parking_lot has none; this is the classic

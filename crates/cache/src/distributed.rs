@@ -43,7 +43,10 @@ pub struct ExternalStats {
     pub slowed_ops: u64,
 }
 
-/// The Redis/Cassandra-like shared store.
+/// The Redis/Cassandra-like shared store. In a cluster each node hosts one
+/// of these as its *shard* of the replicated peer tier; the cluster layer
+/// owns placement (which shard a key lives on) while the shard owns the KV
+/// semantics, latency and fault behavior.
 pub struct ExternalStore {
     map: Mutex<HashMap<String, Bytes>>,
     stats: Mutex<ExternalStats>,
@@ -52,6 +55,10 @@ pub struct ExternalStore {
     /// Deterministic fault schedule (node outage / slow node), same
     /// mechanism as the simulated backends.
     faults: Mutex<Option<FaultPlan>>,
+    /// Hard outage switch: a downed shard drops every get/put (the
+    /// cluster flips this when it marks the hosting node dead, on top of
+    /// any probabilistic [`FaultPlan`] outage).
+    down: std::sync::atomic::AtomicBool,
     /// Per-site operation ordinals for the fault rolls.
     get_ordinal: AtomicU64,
     put_ordinal: AtomicU64,
@@ -64,9 +71,22 @@ impl ExternalStore {
             stats: Mutex::new(ExternalStats::default()),
             op_latency,
             faults: Mutex::new(None),
+            down: std::sync::atomic::AtomicBool::new(false),
             get_ordinal: AtomicU64::new(0),
             put_ordinal: AtomicU64::new(0),
         }
+    }
+
+    /// Hard-down this shard (node death) or bring it back. Unlike a
+    /// [`FaultPlan`] outage this is total and instantaneous; the data
+    /// survives — a revived node serves its old keys again, exactly like a
+    /// Redis node rejoining with a warm RDB.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::Relaxed);
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Relaxed)
     }
 
     /// Install (or clear) a fault plan at runtime. Like the backend sims,
@@ -102,7 +122,7 @@ impl ExternalStore {
 
     pub fn get(&self, key: &str) -> Option<Bytes> {
         self.simulate_rtt();
-        if self.roll_faults(SITE_CACHE_GET, &self.get_ordinal) {
+        if self.is_down() || self.roll_faults(SITE_CACHE_GET, &self.get_ordinal) {
             let mut st = self.stats.lock();
             st.gets += 1;
             st.outage_misses += 1;
@@ -119,7 +139,7 @@ impl ExternalStore {
 
     pub fn put(&self, key: String, value: Bytes) {
         self.simulate_rtt();
-        if self.roll_faults(SITE_CACHE_PUT, &self.put_ordinal) {
+        if self.is_down() || self.roll_faults(SITE_CACHE_PUT, &self.put_ordinal) {
             let mut st = self.stats.lock();
             st.puts += 1;
             st.dropped_puts += 1;
@@ -129,6 +149,29 @@ impl ExternalStore {
         st.puts += 1;
         st.bytes_stored += value.len() as u64;
         drop(st);
+        self.map.lock().insert(key, value);
+    }
+
+    /// Every key this shard holds. Administrative (no RTT, no faults):
+    /// the cluster's rebalancer walks shards directly, the way a Redis
+    /// Cluster migration uses `SCAN` on the node rather than client gets.
+    pub fn keys(&self) -> Vec<String> {
+        self.map.lock().keys().cloned().collect()
+    }
+
+    /// Administrative raw read for key migration — bypasses RTT, fault
+    /// rolls and the hit/miss counters.
+    pub fn peek(&self, key: &str) -> Option<Bytes> {
+        self.map.lock().get(key).cloned()
+    }
+
+    /// Administrative removal (rebalance moved the key elsewhere).
+    pub fn remove(&self, key: &str) -> Option<Bytes> {
+        self.map.lock().remove(key)
+    }
+
+    /// Administrative raw write for key migration (no RTT/faults/stats).
+    pub fn insert_raw(&self, key: String, value: Bytes) {
         self.map.lock().insert(key, value);
     }
 
@@ -213,11 +256,14 @@ impl ServerNodeCache {
     }
 }
 
-fn encode_chunk(chunk: &Chunk) -> Result<Bytes> {
+/// Wire encoding for a result chunk crossing the peer tier (the pack
+/// format the extract layer already speaks).
+pub fn encode_chunk(chunk: &Chunk) -> Result<Bytes> {
     Ok(pack_table(&Table::from_chunk("__d", chunk, &[])?))
 }
 
-fn decode_chunk(bytes: &[u8]) -> Result<Chunk> {
+/// Inverse of [`encode_chunk`].
+pub fn decode_chunk(bytes: &[u8]) -> Result<Chunk> {
     unpack_table(bytes)?.scan(None)
 }
 

@@ -27,7 +27,7 @@ pub mod persist;
 pub mod spec;
 
 pub use caches::{CacheOutcome, QueryCaches};
-pub use distributed::{ExternalStore, ServerNodeCache};
+pub use distributed::{decode_chunk, encode_chunk, ExternalStore, ServerNodeCache};
 pub use intelligent::{subsumes, IntelligentCache};
 pub use literal::LiteralCache;
 pub use spec::QuerySpec;

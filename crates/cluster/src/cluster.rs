@@ -1,0 +1,654 @@
+//! The N-node simulated cluster.
+//!
+//! One [`Cluster`] owns a set of named [`DataServer`] nodes, a consistent-hash
+//! [`HashRing`] placing published sources (and cached results) on them, and a
+//! replicated [`PeerTier`] built from one [`ExternalStore`] shard per node.
+//! Client work enters through [`ClusterSession`]s, which add the two layers a
+//! standalone server does not have:
+//!
+//! - **Routing with session affinity.** A published source is owned by its
+//!   `R` ring replicas; a session deterministically rotates that owner list
+//!   by its own hash, so different sessions spread across the replicas while
+//!   any one session keeps hitting the same node (warm node-local caches).
+//!   When the affinity node is marked down, the session fails over to the
+//!   next healthy owner — and if every owner is down, to any healthy member.
+//! - **A shared result tier.** Query results are replicated to the `R` ring
+//!   owners of their *(published, user, query)* key; a routed query probes
+//!   the tier before executing so any node's prior work is reused
+//!   cluster-wide, even while the node that computed it is dead.
+//!
+//! Every routing and peer decision is attributed: the cluster opens its own
+//! trace per query (the node's internal trace nests under it via
+//! `parent_trace`), emits [`stage::CLUSTER_ROUTE`] / [`stage::PEER_CACHE`]
+//! events with [`reason`] codes, and records the finished trace in a
+//! cluster-level [`FlightRecorder`]. All placement and routing is a pure
+//! function of the cluster seed, so a fixed seed replays byte-identically.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tabviz_cache::{decode_chunk, encode_chunk, ExternalStore};
+use tabviz_common::hash::hash_str;
+use tabviz_common::{Chunk, Result, TvError};
+use tabviz_core::{ExecOutcome, Priority};
+use tabviz_dataserver::{ClientQuery, ClientSession, DataServer};
+use tabviz_obs::{
+    begin_trace, event_with, reason, stage, FlightRecorder, ProfileOutcome, RecordedTrace, Registry,
+};
+
+use crate::peer::{PeerHit, PeerTier, PeerTierStats, RebalanceReport};
+use crate::ring::HashRing;
+
+/// Cluster-wide tunables. Everything that influences placement or routing
+/// is derived from `seed`, so two clusters built with equal configs and
+/// equal node sets behave identically.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Nodes created at build time, named `node-0` … `node-{n-1}`.
+    pub nodes: usize,
+    /// Replica owners per key (published sources and peer-tier entries).
+    pub replication: usize,
+    /// Virtual nodes per member on the ring.
+    pub vnodes: usize,
+    /// Master seed for ring placement, session rotation and fault rolls.
+    pub seed: u64,
+    /// Simulated round-trip per peer-tier shard operation.
+    pub peer_op_latency: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            replication: 2,
+            vnodes: 64,
+            seed: 0,
+            peer_op_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// One member: a named [`DataServer`] plus its peer-tier shard and
+/// liveness flag.
+pub struct ClusterNode {
+    pub name: String,
+    pub server: Arc<DataServer>,
+    shard: Arc<ExternalStore>,
+    up: AtomicBool,
+    queries: AtomicU64,
+}
+
+impl ClusterNode {
+    pub fn is_up(&self) -> bool {
+        self.up.load(Relaxed)
+    }
+
+    /// Queries this node executed (routed to it and past the peer tier).
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Relaxed)
+    }
+
+    /// This node's peer-tier shard.
+    pub fn shard(&self) -> &Arc<ExternalStore> {
+        &self.shard
+    }
+}
+
+/// How a query reached its node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// The session's affinity owner answered.
+    Primary,
+    /// The affinity owner was down; a healthy replica owner took it.
+    Failover,
+    /// Every replica owner was down; any healthy member took it.
+    AllReplicasDown,
+}
+
+/// One routing decision — a pure function of `(ring, up-set, session)`.
+#[derive(Debug, Clone)]
+pub struct Route {
+    pub node: String,
+    pub kind: RouteKind,
+    /// Index into `candidates` that was chosen (0 = affinity owner).
+    pub owner_rank: usize,
+    /// The session's rotated owner list for the published source.
+    pub candidates: Vec<String>,
+}
+
+/// One answered cluster query.
+pub struct ClusterResponse {
+    pub chunk: Chunk,
+    pub outcome: ExecOutcome,
+    /// Node that served (or would have served) the query.
+    pub node: String,
+    pub route: RouteKind,
+    /// `Some` when the replicated peer tier answered before any node
+    /// executed; [`ClusterResponse::outcome`] is `LiteralHit` then.
+    pub peer_hit: Option<PeerHit>,
+}
+
+type NodeFactory = dyn Fn(&str) -> Result<Arc<DataServer>> + Send + Sync;
+
+/// The simulated multi-node Data Server deployment.
+pub struct Cluster {
+    config: ClusterConfig,
+    ring: RwLock<HashRing>,
+    nodes: RwLock<HashMap<String, Arc<ClusterNode>>>,
+    peer: RwLock<PeerTier>,
+    factory: Box<NodeFactory>,
+    /// Cluster-level flight recorder: one trace per routed query, carrying
+    /// the routing/peer events; the node's own trace nests beneath it.
+    pub recorder: FlightRecorder,
+    /// Cluster-level metrics (`tv_cluster_*`).
+    pub registry: Registry,
+}
+
+impl Cluster {
+    /// Build `config.nodes` members, each produced by `factory(name)` —
+    /// the factory registers sources and publishes on the server it
+    /// returns (identical publications per node, like a fleet provisioned
+    /// from one image).
+    pub fn build(
+        config: ClusterConfig,
+        factory: impl Fn(&str) -> Result<Arc<DataServer>> + Send + Sync + 'static,
+    ) -> Result<Arc<Cluster>> {
+        let cluster = Cluster {
+            ring: RwLock::new(HashRing::new(config.seed, config.vnodes)),
+            nodes: RwLock::new(HashMap::new()),
+            peer: RwLock::new(PeerTier::new(config.replication)),
+            factory: Box::new(factory),
+            recorder: FlightRecorder::default(),
+            registry: Registry::new(),
+            config,
+        };
+        let n = cluster.config.nodes;
+        for i in 0..n {
+            cluster.attach_node(&format!("node-{i}"))?;
+        }
+        cluster.registry.gauge("tv_cluster_nodes_up").set(n as i64);
+        Ok(Arc::new(cluster))
+    }
+
+    fn attach_node(&self, name: &str) -> Result<()> {
+        let server = (self.factory)(name)?;
+        let shard = Arc::new(ExternalStore::new(self.config.peer_op_latency));
+        self.peer.write().add_shard(name, Arc::clone(&shard));
+        self.ring.write().add_node(name);
+        self.nodes.write().insert(
+            name.to_string(),
+            Arc::new(ClusterNode {
+                name: name.to_string(),
+                server,
+                shard,
+                up: AtomicBool::new(true),
+                queries: AtomicU64::new(0),
+            }),
+        );
+        Ok(())
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn node(&self, name: &str) -> Option<Arc<ClusterNode>> {
+        self.nodes.read().get(name).cloned()
+    }
+
+    /// All members, sorted by name.
+    pub fn nodes(&self) -> Vec<Arc<ClusterNode>> {
+        let mut v: Vec<_> = self.nodes.read().values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    pub fn nodes_up(&self) -> usize {
+        self.nodes.read().values().filter(|n| n.is_up()).count()
+    }
+
+    /// Mark a node dead: routing skips it and its peer shard stops
+    /// answering. Its data survives for [`Cluster::revive`] — the model is
+    /// a crashed process, not a decommission (that is
+    /// [`Cluster::remove_node`]).
+    pub fn kill(&self, name: &str) -> bool {
+        let Some(node) = self.node(name) else {
+            return false;
+        };
+        node.up.store(false, Relaxed);
+        node.shard.set_down(true);
+        self.registry.counter("tv_cluster_kills_total").inc();
+        self.registry
+            .gauge("tv_cluster_nodes_up")
+            .set(self.nodes_up() as i64);
+        true
+    }
+
+    /// Bring a killed node back; its shard serves its old keys again.
+    pub fn revive(&self, name: &str) -> bool {
+        let Some(node) = self.node(name) else {
+            return false;
+        };
+        node.up.store(true, Relaxed);
+        node.shard.set_down(false);
+        self.registry
+            .gauge("tv_cluster_nodes_up")
+            .set(self.nodes_up() as i64);
+        true
+    }
+
+    /// Provision and join a new member, then migrate peer-tier keys so
+    /// every key lives on exactly its `R` owners under the new ring.
+    pub fn add_node(&self, name: &str) -> Result<RebalanceReport> {
+        if self.nodes.read().contains_key(name) {
+            return Err(TvError::Bind(format!("node '{name}' already exists")));
+        }
+        let old_ring = self.ring.read().clone();
+        self.attach_node(name)?;
+        let new_ring = self.ring.read().clone();
+        let report = self.peer.read().rebalance(&old_ring, &new_ring);
+        self.registry
+            .gauge("tv_cluster_nodes_up")
+            .set(self.nodes_up() as i64);
+        self.registry
+            .counter("tv_cluster_keys_migrated_total")
+            .add(report.keys_moved as u64);
+        Ok(report)
+    }
+
+    /// Gracefully decommission a member: its peer-tier keys are migrated to
+    /// the surviving owners *before* the node and its shard are dropped.
+    pub fn remove_node(&self, name: &str) -> Result<RebalanceReport> {
+        if !self.nodes.read().contains_key(name) {
+            return Err(TvError::Bind(format!("unknown node '{name}'")));
+        }
+        let old_ring = self.ring.read().clone();
+        let mut new_ring = old_ring.clone();
+        new_ring.remove_node(name);
+        if new_ring.is_empty() {
+            return Err(TvError::Unsupported(
+                "cannot remove the last cluster node".into(),
+            ));
+        }
+        // Migrate with the leaving shard still present as a source copy.
+        let report = self.peer.read().rebalance(&old_ring, &new_ring);
+        *self.ring.write() = new_ring;
+        self.peer.write().remove_shard(name);
+        self.nodes.write().remove(name);
+        self.registry
+            .gauge("tv_cluster_nodes_up")
+            .set(self.nodes_up() as i64);
+        self.registry
+            .counter("tv_cluster_keys_migrated_total")
+            .add(report.keys_moved as u64);
+        Ok(report)
+    }
+
+    /// Route one session's query on `published`: rotate the owner list by
+    /// the session hash, take the first healthy candidate, fall back to any
+    /// healthy member when all owners are down.
+    pub fn route(&self, published: &str, session_key: &str) -> Result<Route> {
+        let owners: Vec<String> = {
+            let ring = self.ring.read();
+            ring.replicas(published, self.config.replication)
+                .into_iter()
+                .map(str::to_string)
+                .collect()
+        };
+        if owners.is_empty() {
+            return Err(TvError::Exec("cluster has no nodes".into()));
+        }
+        let rot = (hash_str(self.config.seed ^ 0x5e55_10af, session_key) as usize) % owners.len();
+        let candidates: Vec<String> = (0..owners.len())
+            .map(|i| owners[(rot + i) % owners.len()].clone())
+            .collect();
+        let nodes = self.nodes.read();
+        for (rank, name) in candidates.iter().enumerate() {
+            if nodes.get(name).is_some_and(|n| n.is_up()) {
+                return Ok(Route {
+                    node: name.clone(),
+                    kind: if rank == 0 {
+                        RouteKind::Primary
+                    } else {
+                        RouteKind::Failover
+                    },
+                    owner_rank: rank,
+                    candidates,
+                });
+            }
+        }
+        // Every owner is down: deterministic sweep over all members.
+        let members: Vec<String> = self.ring.read().members().to_vec();
+        for name in &members {
+            if nodes.get(name).is_some_and(|n| n.is_up()) {
+                return Ok(Route {
+                    node: name.clone(),
+                    kind: RouteKind::AllReplicasDown,
+                    owner_rank: candidates.len(),
+                    candidates,
+                });
+            }
+        }
+        Err(TvError::Exec("no healthy node in cluster".into()))
+    }
+
+    /// Stable ordinal of a node within the sorted membership (used as the
+    /// numeric `detail` on routing trace events).
+    fn node_ordinal(&self, name: &str) -> u64 {
+        self.ring
+            .read()
+            .members()
+            .iter()
+            .position(|m| m == name)
+            .unwrap_or(usize::MAX) as u64
+    }
+
+    /// Byte-stable routing table: the full ring digest plus, per published
+    /// source, its replica owners in order. Two clusters with equal seed
+    /// and membership render identical tables — the determinism tests
+    /// compare these strings verbatim.
+    pub fn routing_table(&self) -> String {
+        use std::fmt::Write as _;
+        let ring = self.ring.read();
+        let mut out = ring.digest();
+        let mut published: Vec<String> = Vec::new();
+        for node in self.nodes.read().values() {
+            for name in node.server.published_names() {
+                if !published.contains(&name) {
+                    published.push(name);
+                }
+            }
+        }
+        published.sort();
+        for name in &published {
+            let owners = ring.replicas(name, self.config.replication);
+            let _ = writeln!(out, "published {name} -> {}", owners.join(","));
+        }
+        out
+    }
+
+    pub fn ring_digest(&self) -> String {
+        self.ring.read().digest()
+    }
+
+    pub fn peer_stats(&self) -> PeerTierStats {
+        self.peer.read().stats()
+    }
+
+    /// Per-node executed-query counts, sorted by name (load-balance checks).
+    pub fn node_query_counts(&self) -> Vec<(String, u64)> {
+        self.nodes()
+            .iter()
+            .map(|n| (n.name.clone(), n.query_count()))
+            .collect()
+    }
+
+    /// Open a cluster session for `user` on `published`. The session key
+    /// (`user@published`) is the affinity domain: it picks the rotation of
+    /// the owner list and the per-node admission session.
+    pub fn open_session(
+        self: &Arc<Self>,
+        published: &str,
+        user: impl Into<String>,
+    ) -> Result<ClusterSession> {
+        let user = user.into();
+        // Fail fast on unknown published names (any node can answer this).
+        let nodes = self.nodes();
+        let node = nodes
+            .first()
+            .ok_or_else(|| TvError::Exec("cluster has no nodes".into()))?;
+        node.server.published(published)?;
+        let session_key = format!("{user}@{published}");
+        Ok(ClusterSession {
+            cluster: Arc::clone(self),
+            published: published.to_string(),
+            user,
+            session_key,
+            priority: Priority::Interactive,
+            weight: 1.0,
+            node_sessions: Mutex::new(HashMap::new()),
+            failovers: AtomicU64::new(0),
+        })
+    }
+}
+
+/// A client's connection to the cluster: routes to the affinity node,
+/// consults the peer tier, fails over when nodes die.
+pub struct ClusterSession {
+    cluster: Arc<Cluster>,
+    published: String,
+    user: String,
+    session_key: String,
+    priority: Priority,
+    weight: f64,
+    /// Lazily opened per-node admission sessions (affinity means usually
+    /// one; failover adds more).
+    node_sessions: Mutex<HashMap<String, ClientSession>>,
+    failovers: AtomicU64,
+}
+
+impl ClusterSession {
+    pub fn session_key(&self) -> &str {
+        &self.session_key
+    }
+
+    /// The node this session is affine to while it is healthy.
+    pub fn affinity_node(&self) -> Result<String> {
+        Ok(self
+            .cluster
+            .route(&self.published, &self.session_key)?
+            .candidates[0]
+            .clone())
+    }
+
+    /// Times this session was served by a non-affinity node.
+    pub fn failover_count(&self) -> u64 {
+        self.failovers.load(Relaxed)
+    }
+
+    /// Demote/restore the admission class (applies to nodes contacted from
+    /// now on; cached per-node sessions are reopened).
+    pub fn set_priority(&mut self, priority: Priority) {
+        self.priority = priority;
+        self.node_sessions.lock().clear();
+    }
+
+    pub fn set_weight(&mut self, weight: f64) {
+        self.weight = weight;
+        self.node_sessions.lock().clear();
+    }
+
+    /// The replicated-tier key for this session's query: published name +
+    /// user (row-level security makes results user-specific) + canonical
+    /// query text.
+    pub fn peer_key(&self, query: &ClientQuery) -> String {
+        let mut key = format!("{}\u{1}{}\u{1}", self.published, self.user);
+        for f in &query.filters {
+            key.push_str(&tabviz_tql::write_expr(f));
+            key.push(';');
+        }
+        key.push('\u{1}');
+        key.push_str(&query.group_by.join(","));
+        key.push('\u{1}');
+        for a in &query.aggs {
+            key.push_str(&a.to_string());
+            key.push(';');
+        }
+        key.push('\u{1}');
+        for o in &query.order {
+            key.push_str(&o.column);
+            key.push(if o.asc { '+' } else { '-' });
+        }
+        if let Some(n) = query.topn {
+            key.push_str(&format!("\u{1}top{n}"));
+        }
+        for s in &query.set_refs {
+            key.push_str(&format!("\u{1}set:{s}"));
+        }
+        key
+    }
+
+    /// Evaluate one client query through the cluster: route → peer tier →
+    /// node execution → replicated publish; fully traced and recorded.
+    pub fn query(&self, query: &ClientQuery) -> Result<ClusterResponse> {
+        let cluster = &self.cluster;
+        let t0 = Instant::now();
+        let trace = begin_trace();
+        cluster.registry.counter("tv_cluster_queries_total").inc();
+
+        let route = match cluster.route(&self.published, &self.session_key) {
+            Ok(r) => r,
+            Err(e) => {
+                drop(trace);
+                cluster
+                    .registry
+                    .counter("tv_cluster_unroutable_total")
+                    .inc();
+                return Err(e);
+            }
+        };
+        let (label, why) = match route.kind {
+            RouteKind::Primary => ("primary", reason::ROUTE_PRIMARY),
+            RouteKind::Failover => ("failover", reason::ROUTE_FAILOVER),
+            RouteKind::AllReplicasDown => ("failover", reason::ROUTE_ALL_REPLICAS_DOWN),
+        };
+        event_with(
+            stage::CLUSTER_ROUTE,
+            Some(label),
+            Some(cluster.node_ordinal(&route.node)),
+            Some(why),
+        );
+        if route.kind != RouteKind::Primary {
+            self.failovers.fetch_add(1, Relaxed);
+            cluster.registry.counter("tv_cluster_failovers_total").inc();
+            if route.kind == RouteKind::AllReplicasDown {
+                cluster
+                    .registry
+                    .counter("tv_cluster_all_replicas_down_total")
+                    .inc();
+            }
+        }
+
+        // Shared result tier: exact-match probe against the key's replica
+        // owners before any node executes.
+        let key = self.peer_key(query);
+        let peer_probe = {
+            let ring = cluster.ring.read();
+            cluster.peer.read().get(&ring, &key)
+        };
+        if let Some((bytes, hit)) = peer_probe {
+            if let Ok(chunk) = decode_chunk(&bytes) {
+                let (why, detail) = match hit {
+                    PeerHit::Primary => (reason::PEER_HIT_PRIMARY, 0),
+                    PeerHit::Replica(i) => (reason::PEER_HIT_REPLICA, i as u64),
+                };
+                event_with(stage::PEER_CACHE, Some("get"), Some(detail), Some(why));
+                cluster.registry.counter("tv_cluster_peer_hits_total").inc();
+                if matches!(hit, PeerHit::Replica(_)) {
+                    cluster
+                        .registry
+                        .counter("tv_cluster_peer_replica_hits_total")
+                        .inc();
+                }
+                self.finish_trace(trace, t0, query, ProfileOutcome::Hit);
+                return Ok(ClusterResponse {
+                    chunk,
+                    outcome: ExecOutcome::LiteralHit,
+                    node: route.node,
+                    route: route.kind,
+                    peer_hit: Some(hit),
+                });
+            }
+        }
+        event_with(
+            stage::PEER_CACHE,
+            Some("get"),
+            None,
+            Some(reason::PEER_MISS),
+        );
+        cluster
+            .registry
+            .counter("tv_cluster_peer_misses_total")
+            .inc();
+
+        // Execute on the routed node (its own trace nests under ours).
+        let node = cluster
+            .node(&route.node)
+            .ok_or_else(|| TvError::Exec(format!("routed to unknown node '{}'", route.node)))?;
+        node.queries.fetch_add(1, Relaxed);
+        let result = self.query_on(&node, query);
+        let (chunk, outcome) = match result {
+            Ok(v) => v,
+            Err(e) => {
+                self.finish_trace(trace, t0, query, ProfileOutcome::Remote);
+                return Err(e);
+            }
+        };
+
+        // Publish fresh backend results to the key's replica owners.
+        if outcome == ExecOutcome::Remote {
+            if let Ok(bytes) = encode_chunk(&chunk) {
+                let ring = cluster.ring.read();
+                let fanout = cluster.peer.read().replication() as u64;
+                cluster.peer.read().put(&ring, &key, bytes);
+                drop(ring);
+                event_with(stage::PEER_CACHE, Some("put"), Some(fanout), None);
+            }
+        }
+
+        let profile_outcome = match outcome {
+            ExecOutcome::IntelligentHit | ExecOutcome::LiteralHit => ProfileOutcome::Hit,
+            ExecOutcome::Remote => ProfileOutcome::Remote,
+            ExecOutcome::DegradedStale => ProfileOutcome::DegradedStale,
+        };
+        self.finish_trace(trace, t0, query, profile_outcome);
+        Ok(ClusterResponse {
+            chunk,
+            outcome,
+            node: route.node,
+            route: route.kind,
+            peer_hit: None,
+        })
+    }
+
+    /// Run the query through a node's admission session, opening (and
+    /// caching) one on first contact.
+    fn query_on(&self, node: &ClusterNode, query: &ClientQuery) -> Result<(Chunk, ExecOutcome)> {
+        let mut sessions = self.node_sessions.lock();
+        if !sessions.contains_key(&node.name) {
+            let mut s = node.server.connect(&self.published, self.user.clone())?;
+            s.set_priority(self.priority);
+            s.set_weight(self.weight);
+            sessions.insert(node.name.clone(), s);
+        }
+        sessions[&node.name].query(query)
+    }
+
+    fn finish_trace(
+        &self,
+        trace: tabviz_obs::TraceHandle,
+        t0: Instant,
+        query: &ClientQuery,
+        outcome: ProfileOutcome,
+    ) {
+        let finished = trace.finish(t0.elapsed());
+        if finished.is_captured() {
+            let text = format!(
+                "[{}] group_by={:?} aggs={} filters={}",
+                self.session_key,
+                query.group_by,
+                query.aggs.len(),
+                query.filters.len()
+            );
+            self.cluster.recorder.record(RecordedTrace::from_finished(
+                finished,
+                text,
+                &self.published,
+                outcome,
+            ));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Placement is a pure function of `(seed, member names)` via the shared
+//! [`tabviz_common::hash`] primitives: two rings built from the same seed
+//! and membership are identical point-for-point, so routing tables replay
+//! byte-stable across runs — the property every cluster determinism test
+//! leans on. Virtual nodes smooth the per-node share (with `V` vnodes each,
+//! imbalance shrinks roughly as `1/√V`), and node join/leave re-maps only
+//! the keys whose nearest point changed: ~`K/N` of them, never a global
+//! reshuffle.
+
+use std::fmt::Write as _;
+use tabviz_common::hash::hash_str;
+
+/// One ring: sorted virtual-node points over the member set.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    seed: u64,
+    vnodes_per_node: usize,
+    /// `(point hash, member name)` sorted by hash; ties (astronomically
+    /// unlikely) break by name so ordering stays total and deterministic.
+    points: Vec<(u64, String)>,
+    /// Sorted unique member names.
+    members: Vec<String>,
+}
+
+impl HashRing {
+    pub fn new(seed: u64, vnodes_per_node: usize) -> Self {
+        HashRing {
+            seed,
+            vnodes_per_node: vnodes_per_node.max(1),
+            points: Vec::new(),
+            members: Vec::new(),
+        }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.members.iter().any(|m| m == name)
+    }
+
+    /// Add a member: inserts its virtual-node points. No-op if present.
+    pub fn add_node(&mut self, name: &str) {
+        if self.contains(name) {
+            return;
+        }
+        for v in 0..self.vnodes_per_node {
+            let h = hash_str(self.seed, &format!("{name}#{v}"));
+            self.points.push((h, name.to_string()));
+        }
+        self.points.sort();
+        match self.members.binary_search_by(|m| m.as_str().cmp(name)) {
+            Err(at) => self.members.insert(at, name.to_string()),
+            Ok(_) => unreachable!("checked absent above"),
+        }
+    }
+
+    /// Remove a member and its points. No-op if absent.
+    pub fn remove_node(&mut self, name: &str) {
+        self.points.retain(|(_, m)| m != name);
+        self.members.retain(|m| m != name);
+    }
+
+    /// The member owning `key`: the first point clockwise of the key hash.
+    pub fn primary(&self, key: &str) -> Option<&str> {
+        self.walk(key).next()
+    }
+
+    /// The first `r` *distinct* members clockwise of the key hash — the
+    /// key's replica owners, primary first. Fewer when the ring is smaller
+    /// than `r`.
+    pub fn replicas(&self, key: &str, r: usize) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::with_capacity(r);
+        for m in self.walk(key) {
+            if !out.contains(&m) {
+                out.push(m);
+                if out.len() == r {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Members in clockwise point order starting at the key's hash,
+    /// wrapping around; each point yields its member (duplicates included —
+    /// callers dedupe as needed).
+    fn walk<'a>(&'a self, key: &str) -> impl Iterator<Item = &'a str> {
+        let h = hash_str(self.seed, key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let n = self.points.len();
+        (0..n).map(move |i| self.points[(start + i) % n].1.as_str())
+    }
+
+    /// Byte-stable rendering of the full ring: every point in order. Two
+    /// runs with identical seed and membership produce identical digests —
+    /// the determinism tests compare these strings verbatim.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "ring seed={} vnodes={} members={}",
+            self.seed,
+            self.vnodes_per_node,
+            self.members.join(",")
+        );
+        for (h, m) in &self.points {
+            let _ = writeln!(out, "{h:016x} {m}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(seed: u64, n: usize) -> HashRing {
+        let mut r = HashRing::new(seed, 64);
+        for i in 0..n {
+            r.add_node(&format!("node-{i}"));
+        }
+        r
+    }
+
+    #[test]
+    fn same_seed_same_ring() {
+        assert_eq!(ring(7, 5).digest(), ring(7, 5).digest());
+        assert_ne!(ring(7, 5).digest(), ring(8, 5).digest());
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_led_by_primary() {
+        let r = ring(3, 6);
+        for k in 0..200 {
+            let key = format!("dash-{k}");
+            let reps = r.replicas(&key, 3);
+            assert_eq!(reps.len(), 3);
+            assert_eq!(reps[0], r.primary(&key).unwrap());
+            let mut uniq = reps.clone();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn join_moves_roughly_one_nth_of_keys() {
+        let keys: Vec<String> = (0..2_000).map(|k| format!("k{k}")).collect();
+        let before = ring(11, 4);
+        let mut after = before.clone();
+        after.add_node("node-4");
+        let moved = keys
+            .iter()
+            .filter(|k| before.primary(k) != after.primary(k))
+            .count();
+        // Expectation K/5; allow 2x + slack for vnode variance.
+        assert!(
+            moved <= 2 * keys.len() / 5 + 50,
+            "join re-mapped too much: {moved}/{}",
+            keys.len()
+        );
+        // Everything that moved landed on the new node.
+        for k in &keys {
+            if before.primary(k) != after.primary(k) {
+                assert_eq!(after.primary(k), Some("node-4"));
+            }
+        }
+    }
+
+    #[test]
+    fn vnodes_balance_the_share() {
+        let r = ring(5, 4);
+        let mut counts = std::collections::HashMap::new();
+        for k in 0..4_000 {
+            *counts
+                .entry(r.primary(&format!("k{k}")).unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        let min = counts.values().min().unwrap();
+        assert!(
+            *max < 2 * *min + 200,
+            "vnode balance off: min={min} max={max}"
+        );
+    }
+}

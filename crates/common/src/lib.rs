@@ -12,6 +12,7 @@
 pub mod chunk;
 pub mod collation;
 pub mod error;
+pub mod hash;
 pub mod schema;
 pub mod value;
 

@@ -303,7 +303,14 @@ impl QueryProcessor {
     /// ticket per pooled connection). Call after registering sources.
     pub fn enable_scheduler(&mut self) -> Arc<Scheduler> {
         let capacity = self.registry.total_pool_capacity().max(1);
-        let scheduler = Arc::new(Scheduler::new(SchedConfig::for_pool_capacity(capacity)));
+        let mut config = SchedConfig::for_pool_capacity(capacity);
+        // Per-source ceilings at each backend's pool size: one saturated
+        // backend queues its own tickets while the rest of the global
+        // budget keeps serving healthy backends.
+        for (name, cap) in self.registry.pool_capacities() {
+            config = config.with_source_limit(name, cap.max(1));
+        }
+        let scheduler = Arc::new(Scheduler::new(config));
         self.set_scheduler(Arc::clone(&scheduler));
         scheduler
     }
@@ -533,6 +540,15 @@ impl QueryProcessor {
             Some(sched) => {
                 let mut s = tabviz_obs::span(stage::SCHED_QUEUE);
                 s.label(req.priority.name());
+                // Name the backend so the per-source gate applies; an
+                // explicitly sourced request keeps its own attribution.
+                let sourced;
+                let req = if req.source.is_none() {
+                    sourced = req.clone().with_source(spec.source.clone());
+                    &sourced
+                } else {
+                    req
+                };
                 let ticket = sched.admit(req)?;
                 s.detail(ticket.queued_for().as_micros() as u64);
                 s.reason(ticket.grant_reason());

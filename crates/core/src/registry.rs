@@ -85,6 +85,20 @@ impl SourceRegistry {
             .sum()
     }
 
+    /// Per-source pool sizes — the natural per-source admission limits
+    /// (one running ticket per pooled connection *per backend*, so a
+    /// saturated backend queues its own work instead of the whole server).
+    pub fn pool_capacities(&self) -> Vec<(String, usize)> {
+        let mut caps: Vec<(String, usize)> = self
+            .sources
+            .read()
+            .values()
+            .map(|m| (m.name.clone(), m.pool.max_size()))
+            .collect();
+        caps.sort();
+        caps
+    }
+
     /// Close a source: drop its pooled connections (which releases remote
     /// session state). The caller is responsible for purging caches.
     pub fn close(&self, name: &str) -> Result<()> {

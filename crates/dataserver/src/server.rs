@@ -92,6 +92,10 @@ pub struct DataServer {
     /// "If desired, in-memory temporary tables on Data Server can be
     /// disabled."
     pub enable_memory_temp_tables: bool,
+    /// This server's identity within a cluster ("node-0", …). Standalone
+    /// servers are simply "server"; the cluster layer names its members so
+    /// diagnostics and routing traces attribute work to a node.
+    node_name: String,
 }
 
 impl DataServer {
@@ -99,6 +103,11 @@ impl DataServer {
     /// the processor has no scheduler yet, one is attached sized from the
     /// pools registered so far (register sources first).
     pub fn new(processor: QueryProcessor) -> Self {
+        Self::named(processor, "server")
+    }
+
+    /// [`DataServer::new`] with a cluster node identity.
+    pub fn named(processor: QueryProcessor, node_name: impl Into<String>) -> Self {
         let mut processor = processor;
         if processor.scheduler().is_none() {
             processor.enable_scheduler();
@@ -109,7 +118,13 @@ impl DataServer {
             sets: Mutex::new(HashMap::new()),
             stats: Mutex::new(ServerStats::default()),
             enable_memory_temp_tables: true,
+            node_name: node_name.into(),
         }
+    }
+
+    /// This server's node identity ("server" when standalone).
+    pub fn node_name(&self) -> &str {
+        &self.node_name
     }
 
     pub fn publish(&self, source: PublishedSource) -> Arc<PublishedSource> {
@@ -118,6 +133,13 @@ impl DataServer {
             .write()
             .insert(arc.name.clone(), Arc::clone(&arc));
         arc
+    }
+
+    /// Names of every published source on this server, sorted.
+    pub fn published_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.published.read().keys().cloned().collect();
+        names.sort();
+        names
     }
 
     pub fn published(&self, name: &str) -> Result<Arc<PublishedSource>> {
@@ -169,7 +191,8 @@ impl DataServer {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "=== data server diagnostics: {} trace(s) held, {} KiB, {} evicted, slow >= {:?} ===",
+            "=== data server diagnostics [{}]: {} trace(s) held, {} KiB, {} evicted, slow >= {:?} ===",
+            self.node_name,
             recorder.len(),
             recorder.bytes() / 1024,
             recorder.evictions(),

@@ -106,6 +106,12 @@ pub mod stage {
     pub const MAINTENANCE: &str = "maintenance";
     /// One speculative prefetch batch.
     pub const PREFETCH: &str = "prefetch";
+    /// Cluster routing decision for one client query (label =
+    /// `"primary"` / `"failover"`, detail = chosen node index).
+    pub const CLUSTER_ROUTE: &str = "cluster_route";
+    /// Replicated peer-cache tier probe (label = `"get"` / `"put"`,
+    /// detail = replica fan-out consulted).
+    pub const PEER_CACHE: &str = "peer_cache";
 }
 
 /// Decision reason codes: *why* a stage went the way it did, attached to
@@ -178,4 +184,22 @@ pub mod reason {
     pub const MAINT_REFRESH: &str = "maintenance_refresh";
     /// Query issued speculatively by the prefetcher.
     pub const PREFETCH_SPECULATIVE: &str = "prefetch_speculative";
+
+    // --- cluster routing / peer cache tier -------------------------------
+    /// Routed to the session's affinity node (a healthy replica owner).
+    pub const ROUTE_PRIMARY: &str = "route_primary";
+    /// Affinity node down: failed over to the next healthy replica.
+    pub const ROUTE_FAILOVER: &str = "route_failover";
+    /// Every replica owner down: walked the ring to any healthy node.
+    pub const ROUTE_ALL_REPLICAS_DOWN: &str = "route_all_replicas_down";
+    /// Peer cache tier answered from the key's primary shard.
+    pub const PEER_HIT_PRIMARY: &str = "peer_hit_primary";
+    /// Primary shard unreachable/empty; a replica shard answered.
+    pub const PEER_HIT_REPLICA: &str = "peer_hit_replica";
+    /// No peer shard held the key; the owning node must execute.
+    pub const PEER_MISS: &str = "peer_miss";
+
+    // --- scheduler per-source gate ---------------------------------------
+    /// A grant waited because its backend was at its per-source limit.
+    pub const SCHED_SOURCE_SATURATED: &str = "sched_source_saturated";
 }

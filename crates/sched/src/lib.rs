@@ -83,6 +83,13 @@ pub struct AdmitRequest {
     /// Maximum time this ticket may wait in the queue. `None` falls back to
     /// [`SchedConfig::default_deadline`].
     pub deadline: Option<Duration>,
+    /// The backend data source this query will run against. When the
+    /// scheduler has a per-source limit for it
+    /// ([`SchedConfig::source_limits`]), the grant additionally waits for
+    /// that source's running count to drop below the limit — so a
+    /// saturated backend queues *its own* work without consuming the
+    /// global admission budget that other backends' queries need.
+    pub source: Option<String>,
 }
 
 impl AdmitRequest {
@@ -92,6 +99,7 @@ impl AdmitRequest {
             session: session.into(),
             weight: 1.0,
             deadline: None,
+            source: None,
         }
     }
 
@@ -114,6 +122,11 @@ impl AdmitRequest {
 
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = Some(source.into());
         self
     }
 }
@@ -152,6 +165,15 @@ pub struct SchedConfig {
     /// borrowed tickets finish; new non-interactive grants are capped
     /// again). `None` (default) keeps the reservation strict.
     pub work_conserving_after: Option<Duration>,
+    /// Per-source concurrency ceilings, normally each source's pool size.
+    /// A ticket whose request names one of these sources is granted only
+    /// while fewer than `limit` tickets for that source are running;
+    /// otherwise it waits in its class queue while *other* sources' tickets
+    /// are dispatched past it. Without this, `max_concurrent` (the sum of
+    /// all pool sizes) lets one slow backend's queries occupy every global
+    /// slot and starve healthy backends behind it. Sources without an
+    /// entry are bounded only by `max_concurrent`.
+    pub source_limits: HashMap<String, usize>,
 }
 
 impl SchedConfig {
@@ -166,6 +188,7 @@ impl SchedConfig {
             default_deadline: None,
             reserve_interactive: 0,
             work_conserving_after: None,
+            source_limits: HashMap::new(),
         }
     }
 
@@ -183,6 +206,12 @@ impl SchedConfig {
     /// [`SchedConfig::work_conserving_after`]).
     pub fn with_work_conserving_after(mut self, window: Duration) -> Self {
         self.work_conserving_after = Some(window);
+        self
+    }
+
+    /// Cap one source's running tickets (see [`SchedConfig::source_limits`]).
+    pub fn with_source_limit(mut self, source: impl Into<String>, limit: usize) -> Self {
+        self.source_limits.insert(source.into(), limit.max(1));
         self
     }
 
@@ -316,7 +345,14 @@ impl ClassQueue {
     /// cursor stays, so a high-weight session drains its credit in
     /// consecutive picks); otherwise the cursor advances and the credit is
     /// kept for the next round.
-    fn pick(&mut self, quantum: f64) -> Option<u64> {
+    ///
+    /// `eligible` is the per-source gate: a ticket it rejects (its backend
+    /// is at its concurrency limit) is passed over — within a session the
+    /// first eligible ticket is served, and a session holding only blocked
+    /// tickets is skipped without topping up its deficit. Returns `None`
+    /// when every queued ticket is blocked, so lower classes still get a
+    /// chance at the free slot.
+    fn pick(&mut self, quantum: f64, eligible: &dyn Fn(u64) -> bool) -> Option<u64> {
         if self.sessions.is_empty() {
             return None;
         }
@@ -324,10 +360,20 @@ impl ClassQueue {
         // least quantum × MIN_WEIGHT, so this terminates well inside the
         // guard; the guard only protects against pathological weights.
         let mut visits = 0usize;
+        let mut blocked_streak = 0usize;
         let max_visits = self.sessions.len() * (1 + (1.0 / (quantum * MIN_WEIGHT)).ceil() as usize);
         loop {
+            if blocked_streak >= self.sessions.len() {
+                return None;
+            }
             self.cursor %= self.sessions.len();
             let sq = &mut self.sessions[self.cursor];
+            let Some(pos) = sq.tickets.iter().position(|&t| eligible(t)) else {
+                blocked_streak += 1;
+                self.cursor = (self.cursor + 1) % self.sessions.len();
+                continue;
+            };
+            blocked_streak = 0;
             if sq.deficit < 1.0 {
                 sq.deficit += quantum * sq.weight.max(MIN_WEIGHT);
             }
@@ -335,8 +381,8 @@ impl ClassQueue {
                 sq.deficit = (sq.deficit - 1.0).max(0.0);
                 let id = sq
                     .tickets
-                    .pop_front()
-                    .expect("sessions hold only queued tickets");
+                    .remove(pos)
+                    .expect("position found in this session's queue");
                 let exhausted = sq.deficit < 1.0;
                 if sq.tickets.is_empty() {
                     let at = self.cursor;
@@ -368,6 +414,11 @@ struct State {
     /// Tickets evicted by load shedding while queued; the waiter observes
     /// membership and returns the shed error.
     shed: HashSet<u64>,
+    /// Source of each *queued* ticket whose source carries a limit; moved
+    /// into `running_by_source` at grant time.
+    queued_sources: HashMap<u64, String>,
+    /// Running tickets per limited source (the per-source gate).
+    running_by_source: HashMap<String, usize>,
     /// Classes of shed/evicted tickets in the order the scheduler dropped
     /// them — lets tests assert Background goes before Batch.
     shed_log: Vec<Priority>,
@@ -472,14 +523,26 @@ impl Scheduler {
             .deadline
             .or(self.config.default_deadline)
             .map(|d| arrived + d);
+        // Only sources with a configured limit are tracked; everything else
+        // rides the global budget alone.
+        let tracked = req
+            .source
+            .as_ref()
+            .filter(|s| self.config.source_limits.contains_key(*s))
+            .cloned();
         let mut st = self.state.lock();
         if req.priority == Priority::Interactive {
             // Arrival (not grant) re-arms the work-conserving clock.
             st.last_interactive = Some(arrived);
         }
 
-        // Fast path: idle queue and a free slot — no ticket churn.
-        if st.running < self.effective_class_limit(&st, req.priority) && st.queued() == 0 {
+        // Fast path: idle queue, a free slot, and source headroom — no
+        // ticket churn.
+        let source_saturated = !self.source_headroom(&st, tracked.as_deref());
+        if st.running < self.effective_class_limit(&st, req.priority)
+            && st.queued() == 0
+            && !source_saturated
+        {
             let reason = if req.priority != Priority::Interactive
                 && st.running >= self.config.class_limit(req.priority)
             {
@@ -488,8 +551,8 @@ impl Scheduler {
             } else {
                 tabviz_obs::reason::SCHED_ADMITTED
             };
-            self.grant_now(&mut st, req.priority);
-            return Ok(self.ticket(req.priority, Duration::ZERO, reason));
+            self.grant_now(&mut st, req.priority, tracked.as_deref());
+            return Ok(self.ticket(req.priority, Duration::ZERO, reason, tracked));
         }
 
         // Overload control. Evict strictly-worse queued work first
@@ -529,6 +592,9 @@ impl Scheduler {
         // Enqueue and wait for a grant.
         st.next_id += 1;
         let id = st.next_id;
+        if let Some(src) = &tracked {
+            st.queued_sources.insert(id, src.clone());
+        }
         st.classes[req.priority.idx()].enqueue(id, &req.session, req.weight);
         let q = st.queued();
         st.stats.peak_queued = st.stats.peak_queued.max(q);
@@ -541,11 +607,16 @@ impl Scheduler {
                 let waited = arrived.elapsed();
                 let reason = if evicted_any {
                     tabviz_obs::reason::SCHED_ADMITTED_EVICTING
+                } else if source_saturated {
+                    // The wait (or part of it) was its own backend's fault,
+                    // not global load — attribution the flight recorder
+                    // surfaces per query.
+                    tabviz_obs::reason::SCHED_SOURCE_SATURATED
                 } else {
                     granted_reason
                 };
                 self.note_admitted(&mut st, req.priority, waited);
-                return Ok(self.ticket(req.priority, waited, reason));
+                return Ok(self.ticket(req.priority, waited, reason, tracked));
             }
             if st.shed.remove(&id) {
                 tabviz_obs::event_with(
@@ -563,6 +634,7 @@ impl Scheduler {
                 Some(d) if Instant::now() >= d => {
                     // Still queued (not granted, not shed): withdraw.
                     st.classes[req.priority.idx()].remove_ticket(id);
+                    st.queued_sources.remove(&id);
                     st.stats.deadline_shed[req.priority.idx()] += 1;
                     if let Some(m) = self.metrics.get() {
                         m.deadline_sheds.inc();
@@ -614,8 +686,16 @@ impl Scheduler {
     /// Non-blocking admission: grant only if a slot is free right now.
     /// Maintenance work uses this to stay strictly out of the way.
     pub fn try_admit(&self, req: &AdmitRequest) -> Option<Ticket<'_>> {
+        let tracked = req
+            .source
+            .as_ref()
+            .filter(|s| self.config.source_limits.contains_key(*s))
+            .cloned();
         let mut st = self.state.lock();
-        if st.running < self.effective_class_limit(&st, req.priority) && st.queued() == 0 {
+        if st.running < self.effective_class_limit(&st, req.priority)
+            && st.queued() == 0
+            && self.source_headroom(&st, tracked.as_deref())
+        {
             let reason = if req.priority != Priority::Interactive
                 && st.running >= self.config.class_limit(req.priority)
             {
@@ -624,20 +704,35 @@ impl Scheduler {
             } else {
                 tabviz_obs::reason::SCHED_ADMITTED
             };
-            self.grant_now(&mut st, req.priority);
-            Some(self.ticket(req.priority, Duration::ZERO, reason))
+            self.grant_now(&mut st, req.priority, tracked.as_deref());
+            Some(self.ticket(req.priority, Duration::ZERO, reason, tracked))
         } else {
             None
         }
     }
 
-    fn ticket(&self, priority: Priority, waited: Duration, reason: &'static str) -> Ticket<'_> {
+    fn ticket(
+        &self,
+        priority: Priority,
+        waited: Duration,
+        reason: &'static str,
+        source: Option<String>,
+    ) -> Ticket<'_> {
         Ticket {
             sched: self,
             priority,
             queued_for: waited,
             grant_reason: reason,
+            source,
         }
+    }
+
+    /// Whether `source` (already filtered to limited sources) may start
+    /// another ticket right now.
+    fn source_headroom(&self, st: &State, source: Option<&str>) -> bool {
+        let Some(src) = source else { return true };
+        let limit = self.config.source_limits.get(src).copied().unwrap_or(0);
+        st.running_by_source.get(src).copied().unwrap_or(0) < limit
     }
 
     /// Whether the interactive reservation is currently relaxed: work
@@ -668,8 +763,11 @@ impl Scheduler {
         }
     }
 
-    fn grant_now(&self, st: &mut State, priority: Priority) {
+    fn grant_now(&self, st: &mut State, priority: Priority, source: Option<&str>) {
         st.running += 1;
+        if let Some(src) = source {
+            *st.running_by_source.entry(src.to_string()).or_insert(0) += 1;
+        }
         self.note_admitted(st, priority, Duration::ZERO);
     }
 
@@ -688,6 +786,7 @@ impl Scheduler {
         let Some(id) = st.classes[class.idx()].evict_newest() else {
             return false;
         };
+        st.queued_sources.remove(&id);
         st.shed.insert(id);
         st.stats.shed[class.idx()] += 1;
         st.shed_log.push(class);
@@ -709,35 +808,58 @@ impl Scheduler {
         loop {
             let running = st.running;
             let mut pick = None;
-            for (ci, class) in st.classes.iter_mut().enumerate() {
-                let p = Priority::ALL[ci];
-                let limit = if relaxed && p != Priority::Interactive {
-                    self.config.max_concurrent
-                } else {
-                    self.config.class_limit(p)
+            {
+                // Disjoint field borrows: the class queues are walked
+                // mutably while the eligibility closure reads the
+                // per-source occupancy maps.
+                let State {
+                    classes,
+                    queued_sources,
+                    running_by_source,
+                    ..
+                } = &mut *st;
+                let limits = &self.config.source_limits;
+                let eligible = |id: u64| match queued_sources.get(&id) {
+                    Some(src) => {
+                        let limit = limits.get(src).copied().unwrap_or(usize::MAX);
+                        running_by_source.get(src).copied().unwrap_or(0) < limit
+                    }
+                    None => true,
                 };
-                // Class limits are non-increasing down the priority order
-                // (work conservation relaxes both lower classes together),
-                // so the first class over its limit ends the scan.
-                if running >= limit {
-                    break;
-                }
-                if let Some(id) = class.pick(self.config.quantum) {
-                    // Over the strict (reserved) limit: this grant rides a
-                    // reserved interactive slot.
-                    let reason =
-                        if p != Priority::Interactive && running >= self.config.class_limit(p) {
+                for (ci, class) in classes.iter_mut().enumerate() {
+                    let p = Priority::ALL[ci];
+                    let limit = if relaxed && p != Priority::Interactive {
+                        self.config.max_concurrent
+                    } else {
+                        self.config.class_limit(p)
+                    };
+                    // Class limits are non-increasing down the priority order
+                    // (work conservation relaxes both lower classes together),
+                    // so the first class over its limit ends the scan.
+                    if running >= limit {
+                        break;
+                    }
+                    if let Some(id) = class.pick(self.config.quantum, &eligible) {
+                        // Over the strict (reserved) limit: this grant rides a
+                        // reserved interactive slot.
+                        let reason = if p != Priority::Interactive
+                            && running >= self.config.class_limit(p)
+                        {
                             reserved_grants += 1;
                             tabviz_obs::reason::SCHED_RESERVED_GRANT
                         } else {
                             tabviz_obs::reason::SCHED_QUEUED
                         };
-                    pick = Some((id, reason));
-                    break;
+                        pick = Some((id, reason));
+                        break;
+                    }
                 }
             }
             let Some((id, reason)) = pick else { break };
             st.running += 1;
+            if let Some(src) = st.queued_sources.remove(&id) {
+                *st.running_by_source.entry(src).or_insert(0) += 1;
+            }
             st.granted.insert(id, reason);
             woke = true;
         }
@@ -749,9 +871,14 @@ impl Scheduler {
         }
     }
 
-    fn release(&self) {
+    fn release(&self, source: Option<&str>) {
         let mut st = self.state.lock();
         st.running = st.running.saturating_sub(1);
+        if let Some(src) = source {
+            if let Some(c) = st.running_by_source.get_mut(src) {
+                *c = c.saturating_sub(1);
+            }
+        }
         if let Some(m) = self.metrics.get() {
             m.running.set(st.running as i64);
         }
@@ -767,6 +894,9 @@ pub struct Ticket<'a> {
     priority: Priority,
     queued_for: Duration,
     grant_reason: &'static str,
+    /// Set only when the source carries a per-source limit: the slot this
+    /// ticket holds against [`SchedConfig::source_limits`].
+    source: Option<String>,
 }
 
 impl std::fmt::Debug for Ticket<'_> {
@@ -800,7 +930,7 @@ impl Ticket<'_> {
 
 impl Drop for Ticket<'_> {
     fn drop(&mut self) {
-        self.sched.release();
+        self.sched.release(self.source.as_deref());
     }
 }
 
@@ -975,7 +1105,7 @@ mod tests {
             cq.enqueue(900 + i, "light", 0.25);
         }
         let mut picks = Vec::new();
-        while let Some(id) = cq.pick(1.0) {
+        while let Some(id) = cq.pick(1.0, &|_| true) {
             picks.push(id);
         }
         assert_eq!(picks.len(), 50);
@@ -991,6 +1121,87 @@ mod tests {
             (4..=7).contains(&light_in_first_half),
             "light session share drifted: {light_in_first_half}/25"
         );
+    }
+
+    #[test]
+    fn source_limit_gates_only_its_own_source() {
+        // Global budget 4; source "slow" capped at 2. Two running "slow"
+        // tickets leave its third queued, while "fast" tickets sail
+        // through on the remaining global slots.
+        let cfg = SchedConfig::new(4).with_source_limit("slow", 2);
+        let s = Arc::new(Scheduler::new(cfg));
+        let a = s
+            .admit(&AdmitRequest::batch("s1").with_source("slow"))
+            .unwrap();
+        let b = s
+            .admit(&AdmitRequest::batch("s2").with_source("slow"))
+            .unwrap();
+        assert!(
+            s.try_admit(&AdmitRequest::batch("s3").with_source("slow"))
+                .is_none(),
+            "third slow ticket must wait at the per-source limit"
+        );
+        // A different source still has global headroom.
+        let f = s
+            .admit(&AdmitRequest::batch("f1").with_source("fast"))
+            .unwrap();
+        assert_eq!(s.running(), 3);
+        // A queued slow ticket is granted as soon as a slow slot frees.
+        let s2 = Arc::clone(&s);
+        let waiter = std::thread::spawn(move || {
+            let t = s2
+                .admit(&AdmitRequest::batch("s3").with_source("slow"))
+                .unwrap();
+            assert_eq!(
+                t.grant_reason(),
+                tabviz_obs::reason::SCHED_SOURCE_SATURATED,
+                "wait must be attributed to the saturated backend"
+            );
+            drop(t);
+        });
+        spin_until(|| s.queued() == 1);
+        drop(a);
+        waiter.join().unwrap();
+        drop(b);
+        drop(f);
+        assert_eq!(s.running(), 0);
+    }
+
+    #[test]
+    fn saturated_source_does_not_consume_global_budget() {
+        // Global budget 3, "slow" capped at 1 and holding its slot; a
+        // burst of queued slow tickets must not stop fast work from using
+        // the other two slots (the pre-fix starvation).
+        let cfg = SchedConfig::new(3).with_source_limit("slow", 1);
+        let s = Arc::new(Scheduler::new(cfg));
+        let gate = s
+            .admit(&AdmitRequest::batch("s0").with_source("slow"))
+            .unwrap();
+        let mut waiters = Vec::new();
+        for i in 0..4 {
+            let s2 = Arc::clone(&s);
+            waiters.push(std::thread::spawn(move || {
+                s2.admit(&AdmitRequest::batch(format!("sq{i}")).with_source("slow"))
+                    .map(drop)
+            }));
+        }
+        spin_until(|| s.queued() == 4);
+        // Fast work is dispatched past the four blocked slow tickets.
+        let f1 = s
+            .admit(&AdmitRequest::batch("f1").with_source("fast"))
+            .unwrap();
+        let f2 = s
+            .admit(&AdmitRequest::batch("f2").with_source("fast"))
+            .unwrap();
+        assert_eq!(s.running(), 3);
+        drop(f1);
+        drop(f2);
+        drop(gate);
+        for w in waiters {
+            w.join().unwrap().unwrap();
+        }
+        assert_eq!(s.running(), 0);
+        assert_eq!(s.stats().admitted[Priority::Batch.idx()], 7);
     }
 
     #[test]

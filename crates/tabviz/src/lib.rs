@@ -48,6 +48,7 @@
 
 pub use tabviz_backend as backend;
 pub use tabviz_cache as cache;
+pub use tabviz_cluster as cluster;
 pub use tabviz_common as common;
 pub use tabviz_core as core;
 pub use tabviz_dataserver as dataserver;
@@ -66,6 +67,7 @@ pub mod prelude {
         ServerArchitecture, SimConfig, SimDb, TdeDataSource,
     };
     pub use tabviz_cache::{CacheOutcome, QueryCaches, QuerySpec};
+    pub use tabviz_cluster::{Cluster, ClusterConfig, ClusterSession, HashRing, RouteKind};
     pub use tabviz_common::{
         Chunk, Collation, DataType, Field, Result, Schema, SchemaRef, TvError, Value,
     };

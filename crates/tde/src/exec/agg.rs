@@ -245,13 +245,16 @@ impl PhysOp for StreamAggOp {
 }
 
 /// Run-granularity COUNT/SUM straight over a table's RLE runs — no row is
-/// ever decoded. The group column's runs identify the groups; aggregate
+/// ever decoded. The group columns' runs identify the groups: with one
+/// group column each run is a segment; with several the executor
+/// merge-walks the intersected run boundaries, so every segment is a
+/// maximal row range where all group columns are constant. Aggregate
 /// arguments (also RLE, guaranteed by the planner) contribute
 /// `value × run length` per overlapping run.
 pub struct RunAggOp {
     table: Arc<Table>,
     ranges: Vec<(usize, usize)>,
-    group_col: usize,
+    group_cols: Vec<usize>,
     aggs: Vec<AggCall>,
     schema: SchemaRef,
     done: bool,
@@ -261,14 +264,14 @@ impl RunAggOp {
     pub fn new(
         table: Arc<Table>,
         ranges: Vec<(usize, usize)>,
-        group_col: usize,
+        group_cols: Vec<usize>,
         aggs: Vec<AggCall>,
         schema: SchemaRef,
     ) -> Self {
         RunAggOp {
             table,
             ranges,
-            group_col,
+            group_cols,
             aggs,
             schema,
             done: false,
@@ -359,29 +362,63 @@ impl PhysOp for RunAggOp {
                 ))),
             })
             .collect::<Result<_>>()?;
-        let collation = self.schema.field(0).collation;
-        let group = self.table.column(self.group_col);
-        let mut index: HashMap<Value, usize> = HashMap::new();
+        let collations: Vec<_> = (0..self.group_cols.len())
+            .map(|i| self.schema.field(i).collation)
+            .collect();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
         let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
         for &(start, len) in &self.ranges {
-            let runs = group.runs_overlapping(start, len).ok_or_else(non_rle)?;
-            for run in runs {
-                let key = normalize_key(run.value.clone(), collation);
+            // Window-clipped runs for every group column; the walk below
+            // segments the range at the union of their boundaries, so each
+            // segment has one constant value per group column.
+            let col_runs: Vec<Vec<_>> = self
+                .group_cols
+                .iter()
+                .map(|&ci| {
+                    self.table
+                        .column(ci)
+                        .runs_overlapping(start, len)
+                        .ok_or_else(non_rle)
+                })
+                .collect::<Result<_>>()?;
+            let mut cursors = vec![0usize; col_runs.len()];
+            let end = (start + len).min(self.table.row_count());
+            let mut pos = start;
+            while pos < end {
+                let mut seg_end = end;
+                let mut raw = Vec::with_capacity(col_runs.len());
+                for (c, runs) in col_runs.iter().enumerate() {
+                    while runs
+                        .get(cursors[c])
+                        .is_some_and(|r| r.start + r.count <= pos)
+                    {
+                        cursors[c] += 1;
+                    }
+                    let run = runs.get(cursors[c]).ok_or_else(non_rle)?;
+                    raw.push(run.value.clone());
+                    seg_end = seg_end.min(run.start + run.count);
+                }
+                let seg_len = seg_end - pos;
+                let key: Vec<Value> = raw
+                    .iter()
+                    .zip(&collations)
+                    .map(|(v, &coll)| normalize_key(v.clone(), coll))
+                    .collect();
                 let gi = *index.entry(key).or_insert_with(|| {
                     groups.push((
-                        vec![run.value.clone()],
+                        raw.clone(),
                         self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
                     ));
                     groups.len() - 1
                 });
                 for (ai, st) in groups[gi].1.iter_mut().enumerate() {
                     match arg_cols[ai] {
-                        None => update_run(st, None, run.count)?,
+                        None => update_run(st, None, seg_len)?,
                         Some(ci) => {
                             let arg_runs = self
                                 .table
                                 .column(ci)
-                                .runs_overlapping(run.start, run.count)
+                                .runs_overlapping(pos, seg_len)
                                 .ok_or_else(non_rle)?;
                             for ar in &arg_runs {
                                 update_run(st, Some(&ar.value), ar.count)?;
@@ -389,6 +426,7 @@ impl PhysOp for RunAggOp {
                         }
                     }
                 }
+                pos = seg_end;
             }
         }
         if groups.is_empty() {

@@ -122,7 +122,7 @@ fn make_op_raw(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
         PhysPlan::RunAgg {
             table,
             ranges,
-            group_col,
+            group_cols,
             aggs,
             ..
         } => {
@@ -130,7 +130,7 @@ fn make_op_raw(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
             Box::new(agg::RunAggOp::new(
                 Arc::clone(table),
                 ranges.clone(),
-                *group_col,
+                group_cols.clone(),
                 aggs.clone(),
                 schema,
             ))

@@ -91,13 +91,14 @@ pub enum PhysPlan {
     },
     /// Run-granularity aggregation straight over a table's RLE runs
     /// (Sect. 4.1.1 meets 4.2.4): COUNT/SUM are computed from run values and
-    /// lengths without decoding a single row. Planned for a single-column
-    /// GROUP BY on an RLE column whose aggregate arguments are RLE too.
+    /// lengths without decoding a single row. Planned for a GROUP BY whose
+    /// columns are all RLE (multi-column groups walk the intersected run
+    /// boundaries) and whose aggregate arguments are RLE too.
     RunAgg {
         table: Arc<Table>,
         ranges: Vec<(usize, usize)>,
-        group_col: usize,
-        group_alias: String,
+        group_cols: Vec<usize>,
+        group_aliases: Vec<String>,
         aggs: Vec<AggCall>,
     },
     Filter {
@@ -161,13 +162,19 @@ impl PhysPlan {
             }),
             PhysPlan::RunAgg {
                 table,
-                group_col,
-                group_alias,
+                group_cols,
+                group_aliases,
                 aggs,
                 ..
             } => {
-                let name = table.schema().field(*group_col).name.clone();
-                let gb = vec![(Expr::Column(name), group_alias.clone())];
+                let gb: Vec<(Expr, String)> = group_cols
+                    .iter()
+                    .zip(group_aliases)
+                    .map(|(&ci, alias)| {
+                        let name = table.schema().field(ci).name.clone();
+                        (Expr::Column(name), alias.clone())
+                    })
+                    .collect();
                 agg_schema(table.schema(), &gb, aggs, AggMode::Single)
             }
             PhysPlan::Filter { input, .. } => input.schema(),
@@ -251,17 +258,22 @@ impl PhysPlan {
             PhysPlan::RunAgg {
                 table,
                 ranges,
-                group_col,
-                group_alias,
+                group_cols,
+                group_aliases,
                 aggs,
             } => {
                 let rows: usize = ranges.iter().map(|&(_, l)| l).sum();
+                let gb: Vec<String> = group_cols
+                    .iter()
+                    .zip(group_aliases)
+                    .map(|(&ci, alias)| format!("{} AS {alias}", table.schema().field(ci).name))
+                    .collect();
                 let ag: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
                 let _ = writeln!(
                     out,
-                    "{pad}RunAgg {} rows={rows} [{} AS {group_alias}] [{}]",
+                    "{pad}RunAgg {} rows={rows} [{}] [{}]",
                     table.name(),
-                    table.schema().field(*group_col).name,
+                    gb.join(", "),
                     ag.join(", ")
                 );
             }
@@ -658,30 +670,40 @@ fn try_rle_scan(
 }
 
 /// Plan [`PhysPlan::RunAgg`] when every piece of the aggregate is answerable
-/// at run granularity: exactly one group column, stored RLE; aggregates are
+/// at run granularity: one or more group columns, each stored RLE (the
+/// executor walks their intersected run boundaries); aggregates are
 /// `COUNT(*)`, `COUNT(col)`, `SUM(col)`, `MIN(col)` or `MAX(col)` with the
 /// argument column RLE too (for MIN/MAX each run contributes its value once —
 /// the run length cannot change an extremum). Anything else (plain/delta
-/// arguments, expressions, AVG/COUNTD) falls through to the ordinary
-/// decode-then-aggregate paths.
+/// arguments, expressions, AVG/COUNTD, global aggregates) falls through to
+/// the ordinary decode-then-aggregate paths.
 fn try_run_agg(
     table: &Arc<Table>,
     group_by: &[(Expr, String)],
     aggs: &[AggCall],
 ) -> Option<PhysPlan> {
     use tabviz_tql::agg::AggFunc;
-    let [(Expr::Column(group_name), group_alias)] = group_by else {
+    if group_by.is_empty() {
         return None;
-    };
-    let group_col = table.schema().index_of(group_name).ok()?;
+    }
     let is_rle = |idx: usize| {
         matches!(
             table.column(idx).data(),
             tabviz_storage::ColumnData::Rle { .. }
         )
     };
-    if !is_rle(group_col) {
-        return None;
+    let mut group_cols = Vec::with_capacity(group_by.len());
+    let mut group_aliases = Vec::with_capacity(group_by.len());
+    for (expr, alias) in group_by {
+        let Expr::Column(name) = expr else {
+            return None;
+        };
+        let idx = table.schema().index_of(name).ok()?;
+        if !is_rle(idx) {
+            return None;
+        }
+        group_cols.push(idx);
+        group_aliases.push(alias.clone());
     }
     for a in aggs {
         match (a.func, &a.arg) {
@@ -702,8 +724,8 @@ fn try_run_agg(
     Some(PhysPlan::RunAgg {
         table: Arc::clone(table),
         ranges: vec![(0, rows)],
-        group_col,
-        group_alias: group_alias.clone(),
+        group_cols,
+        group_aliases,
         aggs: aggs.to_vec(),
     })
 }

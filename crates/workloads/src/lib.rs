@@ -15,8 +15,13 @@
 
 pub mod dashboards;
 pub mod faa;
+pub mod storm;
 pub mod traffic;
 
 pub use dashboards::{fig1_dashboard, fig2_dashboard};
 pub use faa::{carriers_dim, generate_flights, FaaConfig};
+pub use storm::{
+    expected_top1pct_share, generate_storm, schedule_digest, storm_stats, Arrival, StormConfig,
+    StormStats, StormStep,
+};
 pub use traffic::{exploration_session, public_traffic, Interaction};

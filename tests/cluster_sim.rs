@@ -1,0 +1,274 @@
+//! Deterministic cluster harness: same seed ⇒ identical routing tables and
+//! per-query node assignment; node kill mid-storm ⇒ sessions fail over and
+//! complete; ring membership changes re-map a bounded fraction of keys.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tabviz::cluster::{Cluster, ClusterConfig, HashRing, RouteKind};
+use tabviz::prelude::*;
+use tabviz::workloads::{generate_storm, schedule_digest, StormConfig, StormStep};
+
+const DASHBOARDS: usize = 12;
+
+fn sample_db() -> Arc<Database> {
+    let flights =
+        tabviz::workloads::generate_flights(&tabviz::workloads::FaaConfig::with_rows(2_000))
+            .expect("generate");
+    let db = Arc::new(Database::new("faa"));
+    db.put(Table::from_chunk("flights", &flights, &["carrier"]).expect("table"))
+        .expect("put");
+    db
+}
+
+fn build_cluster(db: &Arc<Database>, nodes: usize, seed: u64) -> Arc<Cluster> {
+    let db = Arc::clone(db);
+    Cluster::build(
+        ClusterConfig {
+            nodes,
+            replication: 2,
+            vnodes: 32,
+            seed,
+            peer_op_latency: std::time::Duration::ZERO,
+        },
+        move |name| {
+            let sim = SimDb::new("warehouse", Arc::clone(&db), SimConfig::default());
+            let qp = QueryProcessor::default();
+            qp.registry.register(Arc::new(sim), 4);
+            let server = Arc::new(DataServer::named(qp, name));
+            for d in 0..DASHBOARDS {
+                server.publish(PublishedSource::new(
+                    format!("dash-{d}"),
+                    "warehouse",
+                    LogicalPlan::scan("flights"),
+                ));
+            }
+            Ok(server)
+        },
+    )
+    .expect("build cluster")
+}
+
+fn query_for(kind: &StormStep) -> ClientQuery {
+    match kind {
+        StormStep::Load => ClientQuery {
+            group_by: vec!["carrier".into()],
+            aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+            ..Default::default()
+        },
+        StormStep::Drill { dimension } => ClientQuery {
+            group_by: vec![["carrier", "dep_hour", "origin_state", "weekday"]
+                [*dimension as usize % 4]
+                .into()],
+            aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+            ..Default::default()
+        },
+        StormStep::Filter { selector } => ClientQuery {
+            filters: vec![bin(
+                BinOp::Le,
+                col("distance"),
+                lit(200 + (*selector as i64 % 2200)),
+            )],
+            group_by: vec!["carrier".into()],
+            aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+            ..Default::default()
+        },
+        StormStep::TopN { n } => ClientQuery {
+            group_by: vec!["market".into()],
+            aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+            order: vec![SortKey {
+                column: "n".into(),
+                asc: false,
+            }],
+            topn: Some(*n as usize),
+            ..Default::default()
+        },
+    }
+}
+
+fn small_storm(seed: u64) -> StormConfig {
+    StormConfig {
+        sessions: 40,
+        dashboards: DASHBOARDS,
+        zipf_s: 1.1,
+        horizon_ms: 1_000,
+        diurnal_amplitude: 0.4,
+        steps_per_session: 3,
+        mean_think_ms: 50.0,
+        seed,
+    }
+}
+
+/// Same seed, same membership ⇒ the full routing table (ring points plus
+/// per-published owner lists) and every per-query node assignment replay
+/// byte-identically; a different seed produces a different placement.
+#[test]
+fn routing_is_deterministic_per_seed() {
+    let db = sample_db();
+    let a = build_cluster(&db, 4, 7);
+    let b = build_cluster(&db, 4, 7);
+    assert_eq!(a.routing_table(), b.routing_table());
+    assert_eq!(a.ring_digest(), b.ring_digest());
+
+    let schedule = generate_storm(&small_storm(7));
+    assert_eq!(schedule_digest(&schedule), schedule_digest(&schedule));
+    let assignments = |cluster: &Arc<Cluster>| -> Vec<String> {
+        schedule
+            .iter()
+            .map(|arr| {
+                let published = format!("dash-{}", arr.dashboard);
+                let session_key = format!("viewer-{}@{published}", arr.session % 4);
+                cluster.route(&published, &session_key).expect("route").node
+            })
+            .collect()
+    };
+    assert_eq!(assignments(&a), assignments(&b));
+
+    let c = build_cluster(&db, 4, 8);
+    assert_ne!(a.routing_table(), c.routing_table());
+}
+
+/// Kill a node mid-storm: every remaining query still completes (served by
+/// a replica owner — degraded is allowed, lost answers are not), failovers
+/// are attributed, and the routing decisions skip the dead node entirely.
+#[test]
+fn node_kill_mid_storm_fails_over_and_completes() {
+    let db = sample_db();
+    let cluster = build_cluster(&db, 4, 11);
+    let schedule = generate_storm(&small_storm(11));
+    let kill_index = schedule.len() / 3;
+
+    // The victim: whichever node the first post-kill arrival is affine to,
+    // so the kill provably forces at least one failover.
+    let victim = {
+        let arr = &schedule[kill_index];
+        let published = format!("dash-{}", arr.dashboard);
+        let session_key = format!("viewer-{}@{published}", arr.session % 4);
+        cluster.route(&published, &session_key).expect("route").node
+    };
+
+    let mut failovers = 0usize;
+    let mut completed = 0usize;
+    let mut sessions: std::collections::HashMap<u32, tabviz::cluster::ClusterSession> =
+        std::collections::HashMap::new();
+    for (i, arr) in schedule.iter().enumerate() {
+        if i == kill_index {
+            assert!(cluster.kill(&victim));
+            assert_eq!(cluster.nodes_up(), 3);
+        }
+        let session = sessions.entry(arr.session).or_insert_with(|| {
+            cluster
+                .open_session(
+                    &format!("dash-{}", arr.dashboard),
+                    format!("viewer-{}", arr.session % 4),
+                )
+                .expect("open")
+        });
+        let resp = session.query(&query_for(&arr.kind)).expect("cluster query");
+        if arr.kind == StormStep::Load {
+            assert!(!resp.chunk.is_empty(), "no lost zones: loads render");
+        }
+        if i >= kill_index {
+            assert_ne!(resp.node, victim, "dead node must not serve");
+            if resp.route != RouteKind::Primary {
+                failovers += 1;
+            }
+        }
+        completed += 1;
+    }
+    assert_eq!(completed, schedule.len(), "every arrival completes");
+    assert!(failovers > 0, "kill must force failovers");
+    let snapshot = cluster.registry.snapshot();
+    match snapshot.get("tv_cluster_failovers_total") {
+        Some(tabviz::obs::MetricValue::Counter(n)) => {
+            assert!(*n >= failovers as u64, "failovers attributed in metrics")
+        }
+        other => panic!("missing failover counter: {other:?}"),
+    }
+
+    // Revive: the node serves its affinity sessions again.
+    assert!(cluster.revive(&victim));
+    assert_eq!(cluster.nodes_up(), 4);
+    let arr = &schedule[kill_index];
+    let session = &sessions[&arr.session];
+    let resp = session.query(&query_for(&arr.kind)).expect("post-revive");
+    assert_eq!(resp.node, victim, "affinity returns to the revived node");
+    assert_eq!(resp.route, RouteKind::Primary);
+}
+
+/// The cluster-level flight recorder attributes routing decisions: traces
+/// carry `cluster_route` events with primary/failover reason codes.
+#[test]
+fn flight_recorder_attributes_routing() {
+    let db = sample_db();
+    let cluster = build_cluster(&db, 3, 5);
+    let session = cluster.open_session("dash-0", "alice").expect("open");
+    session
+        .query(&query_for(&StormStep::Load))
+        .expect("healthy query");
+    let affinity = session.affinity_node().expect("affinity");
+    cluster.kill(&affinity);
+    session
+        .query(&query_for(&StormStep::Load))
+        .expect("failover query");
+    cluster.revive(&affinity);
+
+    let traces = cluster.recorder.recent();
+    assert!(traces.len() >= 2, "cluster traces recorded");
+    let mut reasons: Vec<&str> = traces.iter().flat_map(|t| t.reasons()).collect();
+    reasons.sort_unstable();
+    assert!(
+        reasons.contains(&"route_primary"),
+        "primary route attributed: {reasons:?}"
+    );
+    assert!(
+        reasons.contains(&"route_failover"),
+        "failover attributed: {reasons:?}"
+    );
+    assert!(
+        traces.iter().any(|t| t.has_stage("cluster_route")),
+        "cluster_route stage present"
+    );
+    assert!(
+        traces.iter().any(|t| t.has_stage("peer_cache")),
+        "peer_cache stage present"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Consistent hashing's re-mapping bound, over ring sizes and seeds: a
+    /// join moves at most ~K/N_new primary assignments (generous 2x + slack
+    /// tolerance for vnode variance), and keys that do move all land on the
+    /// joining node.
+    #[test]
+    fn join_remaps_bounded_key_fraction(nodes in 2usize..8, seed in 0u64..1_000) {
+        let mut before = HashRing::new(seed, 48);
+        for i in 0..nodes {
+            before.add_node(&format!("node-{i}"));
+        }
+        let mut after = before.clone();
+        after.add_node("joiner");
+
+        const KEYS: usize = 600;
+        let mut moved = 0usize;
+        for k in 0..KEYS {
+            let key = format!("key-{k}");
+            let (p0, p1) = (before.primary(&key).unwrap(), after.primary(&key).unwrap());
+            if p0 != p1 {
+                prop_assert_eq!(p1, "joiner", "moved keys land on the joiner");
+                moved += 1;
+            }
+        }
+        let bound = 2 * KEYS / (nodes + 1) + KEYS / 20;
+        prop_assert!(moved <= bound, "join moved {}/{} keys (bound {})", moved, KEYS, bound);
+
+        // Leave is symmetric: removing the joiner restores the old map.
+        let mut restored = after.clone();
+        restored.remove_node("joiner");
+        for k in 0..KEYS {
+            let key = format!("key-{k}");
+            prop_assert_eq!(before.primary(&key), restored.primary(&key));
+        }
+    }
+}

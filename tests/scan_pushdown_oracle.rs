@@ -381,6 +381,130 @@ fn run_agg_min_max_skips_null_runs() {
     );
 }
 
+/// Multi-column RunAgg: a GROUP BY over several RLE columns whose run
+/// boundaries do NOT align (runs of 300 and 700 rows) must walk the
+/// intersected segments and agree with both a brute-force aggregation over
+/// decoded rows and the decode-then-aggregate path. Aggregate arguments are
+/// RLE columns with their own misaligned runs, one with periodic NULL runs.
+#[test]
+fn run_agg_multi_column_groups_match_brute_force() {
+    const ROWS: usize = 6_300; // 3 × lcm(300, 700): boundaries interleave
+    let schema = Arc::new(
+        Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::Int),
+            Field::new("val", DataType::Int),
+            Field::new("w", DataType::Int),
+        ])
+        .unwrap(),
+    );
+    let mut data: Vec<Vec<Value>> = Vec::with_capacity(ROWS);
+    for i in 0..ROWS {
+        let a = format!("a{}", (i / 300) % 5);
+        let b = (i / 700) as i64;
+        // Runs of 90; every third run is NULL so run-granularity COUNT/SUM
+        // must skip null runs exactly like the decoding aggregators.
+        let val = if (i / 90) % 3 == 0 {
+            Value::Null
+        } else {
+            Value::Int((i / 90) as i64 - 20)
+        };
+        let w = Value::Int((i / 110) as i64 % 13);
+        data.push(vec![Value::Str(a), Value::Int(b), val, w]);
+    }
+    let chunk = Chunk::from_rows(schema, &data).unwrap();
+    let db = Arc::new(Database::new("multi"));
+    db.put(Table::from_chunk("t", &chunk, &[]).unwrap())
+        .unwrap();
+    let tde = Tde::new(db);
+
+    for q in [
+        // Two group columns, misaligned boundaries.
+        "(aggregate ((a) (b)) \
+         ((count as n) (count val as c) (sum val as s) (min val as lo) (max w as hi)) \
+         (scan t))",
+        // Three group columns: w's 110-row runs cut the segments finer.
+        "(aggregate ((a) (b) (w)) ((count as n) (sum val as s)) (scan t))",
+    ] {
+        let plan = tabviz::tql::parse_plan(q).unwrap();
+        let phys = tde.plan_physical(&plan, &ExecOptions::serial()).unwrap();
+        assert!(phys.explain().contains("RunAgg"), "{}", phys.explain());
+
+        // Brute force over decoded rows via the generic hash-agg path.
+        let mut no_run = ExecOptions::serial();
+        no_run.physical.enable_run_agg = false;
+        let no_run_phys = tde.plan_physical(&plan, &no_run).unwrap();
+        assert!(
+            !no_run_phys.explain().contains("RunAgg"),
+            "{}",
+            no_run_phys.explain()
+        );
+        let mut expected = tde.execute_plan(&plan, &no_run).unwrap().to_rows();
+        expected.sort();
+        assert!(!expected.is_empty());
+
+        for (name, opts) in configs() {
+            let mut rows = tde.execute_plan(&plan, &opts).unwrap().to_rows();
+            rows.sort();
+            assert_eq!(rows, expected, "config {name} diverged on {q}");
+        }
+    }
+}
+
+/// Planner guard: a multi-column group with any non-RLE member must fall
+/// through to the ordinary aggregate paths (here `s` is dict with plain
+/// codes), while an all-RLE pair over the oracle table takes RunAgg and
+/// still matches the decode path.
+#[test]
+fn run_agg_multi_column_requires_all_rle() {
+    let (tde, full) = oracle_table(10_000);
+    let mixed = tabviz::tql::parse_plan("(aggregate ((g) (s)) ((count as n)) (scan t))").unwrap();
+    let phys = tde.plan_physical(&mixed, &ExecOptions::serial()).unwrap();
+    assert!(
+        !phys.explain().contains("RunAgg"),
+        "non-RLE group member must disable RunAgg: {}",
+        phys.explain()
+    );
+
+    let all_rle = tabviz::tql::parse_plan(
+        "(aggregate ((g) (r)) ((count as n) (sum r as s) (min r as lo)) (scan t))",
+    )
+    .unwrap();
+    let phys = tde.plan_physical(&all_rle, &ExecOptions::serial()).unwrap();
+    assert!(phys.explain().contains("RunAgg"), "{}", phys.explain());
+
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, i64), (i64, i64, i64)> = BTreeMap::new();
+    for row in full.to_rows() {
+        let (Value::Str(g), Value::Int(r)) = (row[0].clone(), row[3].clone()) else {
+            panic!("unexpected row shape");
+        };
+        let e = groups.entry((g, r)).or_insert((0, 0, i64::MAX));
+        e.0 += 1;
+        e.1 += r;
+        e.2 = e.2.min(r);
+    }
+    let mut expected: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|((g, r), (n, s, lo))| {
+            vec![
+                Value::Str(g),
+                Value::Int(r),
+                Value::Int(n),
+                Value::Int(s),
+                Value::Int(lo),
+            ]
+        })
+        .collect();
+    expected.sort();
+    let mut rows = tde
+        .execute_plan(&all_rle, &ExecOptions::serial())
+        .unwrap()
+        .to_rows();
+    rows.sort();
+    assert_eq!(rows, expected);
+}
+
 /// The skip counters must actually move: a selective predicate over the
 /// sorted delta column proves most blocks unsatisfiable. (Counters are
 /// global and monotone, so concurrent tests only add to the delta.)

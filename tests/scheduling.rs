@@ -345,3 +345,99 @@ fn seeded_storm_conserves_tickets_and_respects_capacity() {
         "interactive is only rejected past the hard watermark, not at these depths"
     );
 }
+
+/// Per-source admission limits (two-source starvation): a saturated slow
+/// backend queues its own tickets at its pool ceiling while the rest of
+/// the global budget keeps serving the healthy backend. Without the
+/// per-source gate, five slow "lake" queries would consume the whole
+/// global budget and the interactive "mart" probe would wait behind them.
+#[test]
+fn saturated_backend_does_not_starve_other_sources() {
+    let flights = generate_flights(&FaaConfig::with_rows(3_000)).unwrap();
+    let db = Arc::new(Database::new("faa"));
+    db.put(Table::from_chunk("flights", &flights, &["carrier"]).unwrap())
+        .unwrap();
+
+    // The lake: one pooled connection, every query slowed hard.
+    let mut plan = FaultPlan::seeded(5);
+    plan.slow_query = 1.0;
+    plan.slow_query_delay = Duration::from_millis(60);
+    let lake = SimDb::new(
+        "lake",
+        Arc::clone(&db),
+        SimConfig {
+            faults: Some(plan),
+            ..Default::default()
+        },
+    );
+    // The mart: three pooled connections, no faults.
+    let mart = SimDb::new("mart", Arc::clone(&db), SimConfig::default());
+
+    let mut qp = QueryProcessor::default();
+    qp.registry.register(Arc::new(lake.clone()), 1);
+    qp.registry.register(Arc::new(mart.clone()), 3);
+    let sched = qp.enable_scheduler();
+    assert_eq!(sched.config().max_concurrent, 4, "sum of pool capacities");
+    let qp = Arc::new(qp);
+
+    // Flood the lake: five batch queries with distinct filters (cache
+    // misses, so each needs a ticket and a pooled connection).
+    let lake_done = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for i in 0..5i64 {
+            let qp = Arc::clone(&qp);
+            let lake_done = Arc::clone(&lake_done);
+            s.spawn(move || {
+                let spec = QuerySpec::new("lake", LogicalPlan::scan("flights"))
+                    .filter(bin(BinOp::Ge, col("distance"), lit(10 + i)))
+                    .group("carrier")
+                    .agg(AggCall::new(AggFunc::Count, None, "n"));
+                qp.execute_as(&spec, &AdmitRequest::batch(format!("etl-{i}")))
+                    .unwrap();
+                lake_done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Wait until the lake is saturated: one running, the rest queued
+        // behind its per-source limit rather than the global budget.
+        wait_until("lake saturated", || {
+            sched.running() == 1 && sched.queued() == 4
+        });
+
+        // Interactive probes on the healthy mart must sail through the
+        // spare global budget while the lake queue is still deep.
+        for i in 0..3i64 {
+            let spec = QuerySpec::new("mart", LogicalPlan::scan("flights"))
+                .filter(bin(BinOp::Ge, col("distance"), lit(100 + i)))
+                .group("carrier")
+                .agg(AggCall::new(AggFunc::Count, None, "n"));
+            let t0 = Instant::now();
+            qp.execute_as(&spec, &AdmitRequest::interactive("analyst"))
+                .unwrap();
+            let wall = t0.elapsed();
+            // Five serialized 60ms+ lake queries take 300ms+; a starved
+            // probe would wait for them. A gated one never does.
+            assert!(
+                wall < Duration::from_millis(150),
+                "mart probe {i} starved behind the lake flood: {wall:?}"
+            );
+            assert!(
+                lake_done.load(Ordering::Relaxed) < 5,
+                "flood must still be draining while probes run"
+            );
+        }
+    });
+
+    let st = sched.stats();
+    assert_eq!(st.admitted[Priority::Batch.idx()], 5, "lake flood all ran");
+    assert_eq!(
+        st.admitted[Priority::Interactive.idx()],
+        3,
+        "mart probes all ran"
+    );
+    assert_eq!(st.shed, [0, 0, 0], "nothing was shed, only gated");
+    assert_eq!(
+        lake.stats().queries + mart.stats().queries,
+        8,
+        "every query reached its own backend"
+    );
+}

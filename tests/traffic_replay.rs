@@ -1,0 +1,108 @@
+//! Replayable traffic generator: one seed ⇒ one byte-identical arrival
+//! timeline and aggregate statistics; the Zipf popularity model
+//! concentrates traffic the way the analytic weights say it should.
+
+use tabviz::workloads::{
+    expected_top1pct_share, generate_storm, schedule_digest, storm_stats, StormConfig, StormStep,
+};
+
+fn storm(seed: u64) -> StormConfig {
+    StormConfig {
+        sessions: 1_500,
+        dashboards: 150,
+        zipf_s: 1.2,
+        horizon_ms: 30_000,
+        diurnal_amplitude: 0.6,
+        steps_per_session: 4,
+        mean_think_ms: 800.0,
+        seed,
+    }
+}
+
+/// Two runs with one seed produce identical timelines — element-for-element
+/// equality, digest equality, and identical aggregate statistics. A
+/// different seed diverges.
+#[test]
+fn same_seed_replays_identical_timeline_and_stats() {
+    let cfg = storm(99);
+    let a = generate_storm(&cfg);
+    let b = generate_storm(&cfg);
+    assert_eq!(a, b, "timelines must replay byte-identically");
+    assert_eq!(schedule_digest(&a), schedule_digest(&b));
+    assert_eq!(storm_stats(&cfg, &a), storm_stats(&cfg, &b));
+
+    let other = generate_storm(&storm(100));
+    assert_ne!(
+        schedule_digest(&a),
+        schedule_digest(&other),
+        "different seeds must diverge"
+    );
+}
+
+/// Generation is order-independent: the schedule is a pure function of the
+/// config, not of how many schedules were generated before it.
+#[test]
+fn generation_has_no_hidden_state() {
+    let cfg = storm(7);
+    let fresh = generate_storm(&cfg);
+    // Interleave other generations, then regenerate.
+    let _noise1 = generate_storm(&storm(8));
+    let _noise2 = generate_storm(&storm(9));
+    let again = generate_storm(&cfg);
+    assert_eq!(fresh, again);
+}
+
+/// Zipf skew concentrates mass: the top-1% most popular dashboards receive
+/// the analytically expected share of arrivals, within tolerance — and far
+/// more than a uniform spread would give them.
+#[test]
+fn zipf_concentrates_on_popular_dashboards() {
+    let cfg = storm(3);
+    let schedule = generate_storm(&cfg);
+    let stats = storm_stats(&cfg, &schedule);
+    let expected = expected_top1pct_share(&cfg);
+    assert!(
+        (stats.top1pct_share - expected).abs() < 0.04,
+        "top-1% share {} should be within tolerance of analytic {expected}",
+        stats.top1pct_share
+    );
+    let uniform_share = cfg.dashboards.div_ceil(100) as f64 / cfg.dashboards as f64;
+    assert!(
+        stats.top1pct_share > 4.0 * uniform_share,
+        "skew {} must beat uniform {uniform_share}",
+        stats.top1pct_share
+    );
+}
+
+/// Structural invariants of the schedule: sorted arrivals, every session
+/// starts with a load, step counts match, and the diurnal curve places more
+/// arrivals mid-horizon than at the edges.
+#[test]
+fn schedule_shape_invariants() {
+    let cfg = storm(21);
+    let schedule = generate_storm(&cfg);
+    assert_eq!(schedule.len(), cfg.sessions * cfg.steps_per_session);
+    assert!(
+        schedule.windows(2).all(|w| {
+            (w[0].at_ms, w[0].session, w[0].step) <= (w[1].at_ms, w[1].session, w[1].step)
+        }),
+        "arrivals sorted by (time, session, step)"
+    );
+    for s in 0..cfg.sessions as u32 {
+        let steps: Vec<_> = schedule.iter().filter(|a| a.session == s).collect();
+        assert_eq!(steps.len(), cfg.steps_per_session);
+        let first = steps.iter().min_by_key(|a| a.step).unwrap();
+        assert_eq!(first.kind, StormStep::Load, "session {s} starts with load");
+        assert!(
+            steps.iter().all(|a| a.dashboard == first.dashboard),
+            "a session stays on its dashboard"
+        );
+    }
+    let stats = storm_stats(&cfg, &schedule);
+    let edges = stats.per_decile[0] + stats.per_decile[9];
+    let middle = stats.per_decile[4] + stats.per_decile[5];
+    assert!(
+        middle > edges,
+        "diurnal curve: middle {middle} vs edges {edges}"
+    );
+}
