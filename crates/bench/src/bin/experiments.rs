@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates a results table for every performance
 //! claim / figure in the paper (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e21|all]`
+//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e22|all]`
 
 #![allow(clippy::field_reassign_with_default)] // options structs read better mutated
 
@@ -81,6 +81,9 @@ fn main() {
     }
     if all || which == "e21" {
         e21_cluster_storm();
+    }
+    if all || which == "e22" {
+        e22_slo_brownout();
     }
 }
 
@@ -1739,8 +1742,8 @@ fn e21_cluster_storm() {
     let schedule = generate_storm(&storm);
     let digest = schedule_digest(&schedule);
     let stats = storm_stats(&storm, &schedule);
-    let kill_at_ms = storm.horizon_ms * 2 / 5;
-    let revive_at_ms = storm.horizon_ms * 3 / 4;
+    let kill_at_ms = storm.at_fraction(2, 5);
+    let revive_at_ms = storm.at_fraction(3, 4);
 
     let build_cluster = || -> Arc<Cluster> {
         let db = Arc::clone(&db);
@@ -2070,4 +2073,409 @@ fn e21_cluster_storm() {
     println!("e21_peer_hit_rate {peer_hit_rate:.3}");
     println!("e21_schedule_digest {digest:016x}");
     println!("e21_json_emitted 1");
+}
+
+// ---------------------------------------------------------------- E22 ----
+
+/// Brown-out SLO drill: the e21 storm again, but instead of killing the
+/// busiest node we make its backend 150ms-slow mid-storm (it keeps
+/// answering — the failure mode hard kills don't cover). The run asserts
+/// the full SLO plane end to end: the EWMA health scorer demotes the sick
+/// node from latency alone, health-aware routing steers sessions around it
+/// (keeping cluster p95 near the healthy baseline), the burn-rate tracker
+/// fires exactly the latency objective, and once the fault clears sparse
+/// probes restore the node. Emits `e22_*` machine lines for CI bands.
+fn e22_slo_brownout() {
+    use std::sync::mpsc;
+    use std::time::Instant;
+    use tabviz::cluster::{Cluster, ClusterConfig, ClusterSession, RouteKind};
+    use tabviz::obs::{Objective, SloConfig};
+    use tabviz::workloads::{generate_storm, schedule_digest, StormConfig, StormStep};
+
+    const NODES: usize = 4;
+    const DASHBOARDS: usize = 40;
+    const USERS: u32 = 4;
+    const WORKERS: usize = 16;
+    const SPEED: u64 = 4; // virtual ms per real ms
+    const SEED: u64 = 42;
+    const BROWNOUT_DELAY: Duration = Duration::from_millis(150);
+
+    let db = faa_db(8_000);
+    let storm = StormConfig {
+        sessions: 240,
+        dashboards: DASHBOARDS,
+        zipf_s: 1.1,
+        horizon_ms: 4_000,
+        diurnal_amplitude: 0.5,
+        steps_per_session: 3,
+        mean_think_ms: 250.0,
+        seed: SEED,
+    };
+    let schedule = generate_storm(&storm);
+    let digest = schedule_digest(&schedule);
+    let fault_at_ms = storm.at_fraction(3, 10);
+    let clear_at_ms = storm.at_fraction(11, 20);
+
+    // The factory stashes each node's SimDb so the dispatcher can flip the
+    // victim's fault plan at runtime.
+    type DbMap = parking_lot::Mutex<std::collections::HashMap<String, Arc<SimDb>>>;
+    let build_cluster = |dbs: &Arc<DbMap>| -> Arc<Cluster> {
+        let db = Arc::clone(&db);
+        let dbs = Arc::clone(dbs);
+        Cluster::build(
+            ClusterConfig {
+                nodes: NODES,
+                replication: 2,
+                vnodes: 64,
+                seed: SEED,
+                peer_op_latency: Duration::from_micros(200),
+            },
+            move |name| {
+                let sim = Arc::new(SimDb::new("warehouse", Arc::clone(&db), lan_config()));
+                dbs.lock().insert(name.to_string(), Arc::clone(&sim));
+                let qp = QueryProcessor::default();
+                qp.registry.register(Arc::clone(&sim) as Arc<_>, 4);
+                let server = Arc::new(DataServer::named(qp, name));
+                for d in 0..DASHBOARDS {
+                    server.publish(PublishedSource::new(
+                        format!("dash-{d}"),
+                        "warehouse",
+                        LogicalPlan::scan("flights"),
+                    ));
+                }
+                Ok(server)
+            },
+        )
+        .expect("cluster build")
+    };
+
+    let count = || AggCall::new(AggFunc::Count, None, "n");
+    let query_for = |kind: &StormStep| -> (ClientQuery, &'static str) {
+        let dims = ["carrier", "dep_hour", "origin_state", "weekday"];
+        match kind {
+            StormStep::Load => (
+                ClientQuery {
+                    group_by: vec!["carrier".into()],
+                    aggs: vec![count()],
+                    ..Default::default()
+                },
+                "load",
+            ),
+            StormStep::Drill { dimension } => (
+                ClientQuery {
+                    group_by: vec![dims[*dimension as usize % dims.len()].into()],
+                    aggs: vec![count()],
+                    ..Default::default()
+                },
+                "drill",
+            ),
+            StormStep::Filter { selector } => (
+                ClientQuery {
+                    filters: vec![bin(
+                        BinOp::Le,
+                        col("distance"),
+                        lit(200 + (*selector as i64 % 2200)),
+                    )],
+                    group_by: vec!["carrier".into()],
+                    aggs: vec![count()],
+                    ..Default::default()
+                },
+                "filter",
+            ),
+            StormStep::TopN { n } => (
+                ClientQuery {
+                    group_by: vec!["market".into()],
+                    aggs: vec![count()],
+                    order: vec![SortKey {
+                        column: "n".into(),
+                        asc: false,
+                    }],
+                    topn: Some(*n as usize),
+                    ..Default::default()
+                },
+                "topn",
+            ),
+        }
+    };
+
+    struct Done {
+        node: String,
+        failover: bool,
+        ok: bool,
+        wall: Duration,
+    }
+
+    struct BrownoutMarks {
+        faulted_at: Option<Instant>,
+        cleared_at: Option<Instant>,
+        demoted_at: Option<Instant>,
+        restored_at: Option<Instant>,
+        flaps: u32,
+    }
+
+    // Replay the schedule open-loop; optionally brown out the victim's
+    // backend mid-storm, watching its routing state from the dispatcher.
+    let run_storm = |cluster: &Arc<Cluster>,
+                     dbs: &Arc<DbMap>,
+                     victim: Option<&str>|
+     -> (Vec<Done>, BrownoutMarks) {
+        let sessions: parking_lot::Mutex<std::collections::HashMap<u32, Arc<ClusterSession>>> =
+            parking_lot::Mutex::new(std::collections::HashMap::new());
+        let done: parking_lot::Mutex<Vec<Done>> = parking_lot::Mutex::new(Vec::new());
+        let (tx, rx) = mpsc::channel::<usize>();
+        let rx = parking_lot::Mutex::new(rx);
+        let mut marks = BrownoutMarks {
+            faulted_at: None,
+            cleared_at: None,
+            demoted_at: None,
+            restored_at: None,
+            flaps: 0,
+        };
+        std::thread::scope(|s| {
+            for _ in 0..WORKERS {
+                let rx = &rx;
+                let sessions = &sessions;
+                let done = &done;
+                let schedule = &schedule;
+                s.spawn(move || loop {
+                    let idx = { rx.lock().recv() };
+                    let Ok(idx) = idx else { break };
+                    let a = &schedule[idx];
+                    let session = {
+                        let mut map = sessions.lock();
+                        if let Some(sess) = map.get(&a.session) {
+                            Arc::clone(sess)
+                        } else {
+                            let user = format!("viewer-{}", a.session % USERS);
+                            let sess = Arc::new(
+                                cluster
+                                    .open_session(&format!("dash-{}", a.dashboard), user)
+                                    .expect("open session"),
+                            );
+                            map.insert(a.session, Arc::clone(&sess));
+                            sess
+                        }
+                    };
+                    let (query, _class) = query_for(&a.kind);
+                    let t0 = Instant::now();
+                    let result = session.query(&query);
+                    let wall = t0.elapsed();
+                    let (node, failover, ok) = match &result {
+                        Ok(r) => (r.node.clone(), r.route != RouteKind::Primary, true),
+                        Err(_) => (String::new(), false, false),
+                    };
+                    done.lock().push(Done {
+                        node,
+                        failover,
+                        ok,
+                        wall,
+                    });
+                });
+            }
+            // Open-loop dispatcher: fire arrivals at their virtual times,
+            // flipping the victim's fault plan and watching its health
+            // state as a sideline.
+            let t_start = Instant::now();
+            let mut was_demoted = false;
+            for (idx, a) in schedule.iter().enumerate() {
+                let target = t_start + Duration::from_millis(a.at_ms / SPEED);
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                if let Some(victim) = victim {
+                    if marks.faulted_at.is_none() && a.at_ms >= fault_at_ms {
+                        dbs.lock()[victim].set_fault_plan(Some(FaultPlan {
+                            slow_query: 1.0,
+                            slow_query_delay: BROWNOUT_DELAY,
+                            ..Default::default()
+                        }));
+                        marks.faulted_at = Some(Instant::now());
+                    }
+                    if marks.faulted_at.is_some()
+                        && marks.cleared_at.is_none()
+                        && a.at_ms >= clear_at_ms
+                    {
+                        dbs.lock()[victim].set_fault_plan(None);
+                        marks.cleared_at = Some(Instant::now());
+                    }
+                    let demoted = cluster
+                        .node(victim)
+                        .map(|n| n.is_demoted())
+                        .unwrap_or(false);
+                    if demoted != was_demoted {
+                        marks.flaps += 1;
+                        was_demoted = demoted;
+                        if demoted && marks.demoted_at.is_none() {
+                            marks.demoted_at = Some(Instant::now());
+                        }
+                        if !demoted && marks.cleared_at.is_some() && marks.restored_at.is_none() {
+                            marks.restored_at = Some(Instant::now());
+                        }
+                    }
+                }
+                tx.send(idx).expect("dispatch");
+            }
+            drop(tx);
+        });
+        (done.into_inner(), marks)
+    };
+
+    let pct = |durs: &mut Vec<Duration>, q: f64| -> Duration {
+        if durs.is_empty() {
+            return Duration::ZERO;
+        }
+        durs.sort();
+        let rank = ((q * durs.len() as f64).ceil() as usize).clamp(1, durs.len());
+        durs[rank - 1]
+    };
+
+    // Calibration run: healthy baseline p95 and the victim (busiest node).
+    let healthy_dbs: Arc<DbMap> = Arc::new(parking_lot::Mutex::new(Default::default()));
+    let healthy = build_cluster(&healthy_dbs);
+    let (healthy_done, _) = run_storm(&healthy, &healthy_dbs, None);
+    let mut healthy_lat: Vec<Duration> = healthy_done
+        .iter()
+        .filter(|d| d.ok)
+        .map(|d| d.wall)
+        .collect();
+    let healthy_p95 = pct(&mut healthy_lat, 0.95);
+    let mut by_node: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for d in &healthy_done {
+        *by_node.entry(d.node.as_str()).or_insert(0) += 1;
+    }
+    let victim = by_node
+        .iter()
+        .max_by_key(|(name, n)| (**n, std::cmp::Reverse(**name)))
+        .map(|(name, _)| name.to_string())
+        .expect("healthy run routed traffic");
+
+    // Brown-out run: fresh cluster with SLO objectives scaled to this
+    // machine's healthy baseline. The latency bound sits at 1.5× healthy
+    // p95 so the natural tail burns ~1× budget (under the fire threshold)
+    // and the 150ms brown-out burns far past it.
+    let bound_micros = ((healthy_p95.as_micros() as u64 * 3) / 2).clamp(8_000, 60_000);
+    let dbs: Arc<DbMap> = Arc::new(parking_lot::Mutex::new(Default::default()));
+    let cluster = build_cluster(&dbs);
+    cluster.configure_slo(
+        SloConfig {
+            bucket_ms: 50,
+            fast_window_ms: 200,
+            slow_window_ms: 300,
+            // The natural tail above the 1.5x-p95 bound burns ~0.5x budget;
+            // the brown-out burns 1.5-3x. Firing at 1.25 keeps a wide margin
+            // on both sides even when a loaded host inflates the calibration.
+            fire_burn: 1.25,
+            clear_burn: 0.9,
+            min_events: 8,
+        },
+        vec![
+            Objective::latency_p95("interactive_p95", bound_micros),
+            Objective::availability("availability", 0.999),
+            Objective::degraded_fraction("degraded", 0.05),
+        ],
+    );
+    let (done, marks) = run_storm(&cluster, &dbs, Some(&victim));
+
+    let completed = done.iter().filter(|d| d.ok).count();
+    let errors = done.len() - completed;
+    let mut lat: Vec<Duration> = done.iter().filter(|d| d.ok).map(|d| d.wall).collect();
+    let brownout_p95 = pct(&mut lat, 0.95);
+    let p95_ratio = brownout_p95.as_secs_f64() / healthy_p95.as_secs_f64().max(1e-9);
+    let reroutes = done
+        .iter()
+        .filter(|d| d.ok && d.failover && d.node != victim)
+        .count();
+
+    let demote_ms = match (marks.faulted_at, marks.demoted_at) {
+        (Some(f), Some(d)) => Some((d - f).as_secs_f64() * 1e3),
+        _ => None,
+    };
+    let restore_ms = match (marks.cleared_at, marks.restored_at) {
+        (Some(c), Some(r)) => Some((r - c).as_secs_f64() * 1e3),
+        _ => None,
+    };
+
+    // SLO verdicts: lifetime fire counts per objective after the storm.
+    let fired: std::collections::HashMap<&str, u64> = cluster
+        .slo_status()
+        .into_iter()
+        .map(|s| (s.name, s.times_fired))
+        .collect();
+    let latency_alerts = *fired.get("interactive_p95").unwrap_or(&0);
+    let availability_alerts = *fired.get("availability").unwrap_or(&0);
+    let degraded_alerts = *fired.get("degraded").unwrap_or(&0);
+
+    // Exercise the federation + diagnostics surface the operator would use.
+    let metrics = cluster.metrics_text();
+    let node_series = metrics.lines().filter(|l| l.contains("node=\"")).count();
+    let diag = cluster.diagnostics_report(3);
+
+    let health_rows: Vec<Vec<String>> = cluster
+        .health_scores()
+        .into_iter()
+        .map(|(name, score, state)| {
+            vec![
+                name.clone(),
+                format!("{score:.1}"),
+                format!("{state:?}"),
+                if name == victim {
+                    "victim".into()
+                } else {
+                    String::new()
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "E22 — brown-out {victim} at {fault_at_ms}ms ({}ms backend delay), clear at {clear_at_ms}ms",
+            BROWNOUT_DELAY.as_millis()
+        ),
+        &["node", "health", "state", ""],
+        &health_rows,
+    );
+    print_table(
+        "E22 — SLO objectives after the storm",
+        &["objective", "fired", "firing"],
+        &cluster
+            .slo_status()
+            .into_iter()
+            .map(|s| {
+                vec![
+                    s.name.to_string(),
+                    s.times_fired.to_string(),
+                    s.firing.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("\n{diag}");
+
+    println!("e22_arrivals {}", schedule.len());
+    println!("e22_completed {completed}");
+    println!("e22_errors {errors}");
+    println!("e22_victim {victim}");
+    println!("e22_healthy_p95_ms {}", ms(healthy_p95));
+    println!("e22_brownout_p95_ms {}", ms(brownout_p95));
+    println!("e22_p95_ratio {p95_ratio:.2}");
+    println!("e22_slo_bound_ms {:.2}", bound_micros as f64 / 1e3);
+    println!("e22_demoted {}", u32::from(marks.demoted_at.is_some()));
+    println!(
+        "e22_demote_ms {}",
+        demote_ms.map_or("-1".into(), |v| format!("{v:.2}"))
+    );
+    println!("e22_restored {}", u32::from(marks.restored_at.is_some()));
+    println!(
+        "e22_restore_ms {}",
+        restore_ms.map_or("-1".into(), |v| format!("{v:.2}"))
+    );
+    println!("e22_flaps {}", marks.flaps);
+    println!("e22_reroutes {reroutes}");
+    println!("e22_latency_alerts {latency_alerts}");
+    println!("e22_availability_alerts {availability_alerts}");
+    println!("e22_degraded_alerts {degraded_alerts}");
+    println!("e22_metrics_node_series {node_series}");
+    println!("e22_diag_bytes {}", diag.len());
+    println!("e22_schedule_digest {digest:016x}");
 }

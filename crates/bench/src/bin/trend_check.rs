@@ -1,0 +1,85 @@
+//! `trend_check` — the CI-facing bench regression sentinel.
+//!
+//! Usage: `trend_check [CURRENT] [BASELINE]`
+//! (defaults: `BENCH_cluster.json` vs `BASELINE_cluster.json`).
+//!
+//! Prints a delta table for every tracked key and exits:
+//! - `0` — no regressions (Ok/Info rows only)
+//! - `1` — at least one key broke its tolerance band
+//! - `2` — a report was missing or unparseable
+//!
+//! Intentional perf/workload changes update the committed baseline:
+//! run the experiment, inspect the diff, `cp BENCH_cluster.json
+//! BASELINE_cluster.json`, and commit it alongside the change.
+
+use tabviz_bench::print_table;
+use tabviz_bench::trend::{compare_reports, regressions, TrendConfig, Verdict};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let current_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_cluster.json");
+    let baseline_path = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("BASELINE_cluster.json");
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("trend_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let current = read(current_path);
+    let baseline = read(baseline_path);
+
+    let deltas = match compare_reports(&baseline, &current, &TrendConfig::default()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trend_check: parse error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let rows: Vec<Vec<String>> = deltas
+        .iter()
+        .map(|d| {
+            vec![
+                d.key.clone(),
+                d.baseline.clone(),
+                d.current.clone(),
+                match d.verdict {
+                    Verdict::Ok => "ok".into(),
+                    Verdict::Info => "info".into(),
+                    Verdict::Regression => "REGRESSION".into(),
+                },
+                d.rule.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("trend_check — {current_path} vs {baseline_path}"),
+        &["key", "baseline", "current", "verdict", "rule"],
+        &rows,
+    );
+
+    let regs = regressions(&deltas);
+    let checked = deltas.iter().filter(|d| d.verdict != Verdict::Info).count();
+    println!("\ntrend_check_keys {}", deltas.len());
+    println!("trend_check_bounded {checked}");
+    println!("trend_check_regressions {}", regs.len());
+    if regs.is_empty() {
+        println!("trend_check_verdict pass");
+    } else {
+        println!("trend_check_verdict FAIL");
+        for r in &regs {
+            eprintln!(
+                "REGRESSION {}: baseline={} current={} ({})",
+                r.key, r.baseline, r.current, r.rule
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -50,6 +50,8 @@ pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
+pub mod trend;
+
 /// Print an aligned text table (the harness's "paper table" output).
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}");

@@ -1,0 +1,368 @@
+//! The bench regression sentinel: diff a fresh `BENCH_*.json` against the
+//! committed `BASELINE_*.json` under per-key tolerance bands.
+//!
+//! Every experiment that emits a machine-readable JSON report gets its
+//! perf trajectory guarded across PRs by comparing each flattened key to
+//! the committed baseline. Keys fall into classes:
+//!
+//! - **identity** (`experiment`, `schedule_digest`, `victim`, …): must be
+//!   byte-equal — a digest drift means the workload itself changed, which
+//!   is a baseline update, not noise.
+//! - **structural** (`nodes`, `arrivals`, `completed`, `*.count`, …):
+//!   exact integer equality — the schedule is deterministic, so any
+//!   difference is a behavior change.
+//! - **bounded** (`errors`, `shed_rate`, `p95_ratio`, `balance_ratio`,
+//!   `*hit_rate`): one-sided bands with absolute slack.
+//! - **timing** (`*_ms`): wall-clock, CI-runner noisy — generous ratio
+//!   band (default 2.5×) plus absolute slack so micro-latencies don't
+//!   trip on scheduler jitter.
+//! - everything else: informational, never a regression.
+//!
+//! The comparison is pure (`compare`) so tests drive it directly; the
+//! `trend_check` bin wraps it with file IO and a delta table.
+
+use tabviz::obs::json::{self, JsonValue};
+
+/// One-sided tolerance shape for `timing` keys.
+#[derive(Debug, Clone)]
+pub struct TrendConfig {
+    /// `current <= baseline * timing_ratio + timing_slack_ms` passes.
+    pub timing_ratio: f64,
+    pub timing_slack_ms: f64,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig {
+            timing_ratio: 2.5,
+            timing_slack_ms: 5.0,
+        }
+    }
+}
+
+/// Verdict for one compared key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Ok,
+    /// Tracked but unbounded (fan-out counters, informational keys).
+    Info,
+    Regression,
+}
+
+/// One row of the delta report.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    pub key: String,
+    pub baseline: String,
+    pub current: String,
+    pub verdict: Verdict,
+    /// Human-readable rule that produced the verdict.
+    pub rule: String,
+}
+
+/// Flatten a JSON tree into dotted-path leaves. Arrays index numerically
+/// (`a.0.b`); objects use key names. Null leaves are kept (experiments
+/// emit `null` for "did not happen this run").
+pub fn flatten(value: &JsonValue) -> Vec<(String, JsonValue)> {
+    fn walk(prefix: &str, v: &JsonValue, out: &mut Vec<(String, JsonValue)>) {
+        match v {
+            JsonValue::Obj(map) => {
+                for (k, child) in map {
+                    let path = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    walk(&path, child, out);
+                }
+            }
+            JsonValue::Arr(items) => {
+                for (i, child) in items.iter().enumerate() {
+                    walk(&format!("{prefix}.{i}"), child, out);
+                }
+            }
+            leaf => out.push((prefix.to_string(), leaf.clone())),
+        }
+    }
+    let mut out = Vec::new();
+    walk("", value, &mut out);
+    out
+}
+
+fn render(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".into(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        JsonValue::Str(s) => s.clone(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn last_segment(key: &str) -> &str {
+    key.rsplit('.').next().unwrap_or(key)
+}
+
+/// Key classes, most specific first.
+fn classify(key: &str) -> KeyClass {
+    let leaf = last_segment(key);
+    match leaf {
+        "experiment" | "schedule_digest" | "victim" => KeyClass::Identity,
+        "nodes" | "replication" | "seed" | "arrivals" | "sessions" | "completed" | "count" => {
+            KeyClass::Structural
+        }
+        "errors" => KeyClass::ErrorCount,
+        "shed_rate" => KeyClass::ShedRate,
+        "p95_ratio" => KeyClass::P95Ratio,
+        "balance_ratio" => KeyClass::BalanceRatio,
+        _ if leaf.ends_with("hit_rate") => KeyClass::HitRate,
+        _ if leaf.ends_with("_ms") => KeyClass::Timing,
+        _ => KeyClass::Info,
+    }
+}
+
+enum KeyClass {
+    Identity,
+    Structural,
+    ErrorCount,
+    ShedRate,
+    P95Ratio,
+    BalanceRatio,
+    HitRate,
+    Timing,
+    Info,
+}
+
+fn num(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::Num(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Compare `current` against `baseline`, producing one [`Delta`] per key
+/// in either report. Keys present in the baseline but missing from the
+/// current run are regressions (a metric silently vanished); new keys in
+/// the current run are informational.
+pub fn compare(baseline: &JsonValue, current: &JsonValue, config: &TrendConfig) -> Vec<Delta> {
+    let base: Vec<(String, JsonValue)> = flatten(baseline);
+    let cur: std::collections::BTreeMap<String, JsonValue> = flatten(current).into_iter().collect();
+    let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (key, bval) in &base {
+        seen.insert(key.as_str());
+        let Some(cval) = cur.get(key) else {
+            out.push(Delta {
+                key: key.clone(),
+                baseline: render(bval),
+                current: "<missing>".into(),
+                verdict: Verdict::Regression,
+                rule: "key vanished from current report".into(),
+            });
+            continue;
+        };
+        out.push(compare_one(key, bval, cval, config));
+    }
+    for (key, cval) in &cur {
+        if !seen.contains(key.as_str()) {
+            out.push(Delta {
+                key: key.clone(),
+                baseline: "<new>".into(),
+                current: render(cval),
+                verdict: Verdict::Info,
+                rule: "new key (absent from baseline)".into(),
+            });
+        }
+    }
+    out
+}
+
+fn compare_one(key: &str, bval: &JsonValue, cval: &JsonValue, config: &TrendConfig) -> Delta {
+    let mk = |verdict: Verdict, rule: String| Delta {
+        key: key.to_string(),
+        baseline: render(bval),
+        current: render(cval),
+        verdict,
+        rule,
+    };
+    // A `null` on either side means "did not happen this run" (e.g. no
+    // recovery observed) — that is a behavior note, not a timing number.
+    if matches!(bval, JsonValue::Null) || matches!(cval, JsonValue::Null) {
+        return mk(Verdict::Info, "null on one side".into());
+    }
+    match classify(key) {
+        KeyClass::Identity | KeyClass::Structural => {
+            let equal = match (bval, cval) {
+                (JsonValue::Num(a), JsonValue::Num(b)) => a == b,
+                (JsonValue::Str(a), JsonValue::Str(b)) => a == b,
+                (JsonValue::Bool(a), JsonValue::Bool(b)) => a == b,
+                _ => false,
+            };
+            if equal {
+                mk(Verdict::Ok, "exact match".into())
+            } else {
+                mk(Verdict::Regression, "must match baseline exactly".into())
+            }
+        }
+        KeyClass::ErrorCount => match (num(bval), num(cval)) {
+            (Some(b), Some(c)) if c <= b => mk(Verdict::Ok, format!("errors <= {b}")),
+            (Some(b), Some(_)) => mk(Verdict::Regression, format!("errors must stay <= {b}")),
+            _ => mk(Verdict::Regression, "non-numeric errors".into()),
+        },
+        KeyClass::ShedRate => bounded_above(mk, bval, cval, num(bval).unwrap_or(0.0) + 0.02),
+        KeyClass::P95Ratio => {
+            let b = num(bval).unwrap_or(1.0);
+            bounded_above(mk, bval, cval, (b * 1.5).max(b + 1.0))
+        }
+        KeyClass::BalanceRatio => bounded_above(mk, bval, cval, num(bval).unwrap_or(1.0) + 0.75),
+        KeyClass::HitRate => {
+            let floor = num(bval).unwrap_or(0.0) - 0.15;
+            match (num(bval), num(cval)) {
+                (Some(_), Some(c)) if c >= floor => mk(Verdict::Ok, format!("rate >= {floor:.3}")),
+                (Some(_), Some(_)) => {
+                    mk(Verdict::Regression, format!("rate must stay >= {floor:.3}"))
+                }
+                _ => mk(Verdict::Regression, "non-numeric rate".into()),
+            }
+        }
+        KeyClass::Timing => {
+            let (Some(b), Some(c)) = (num(bval), num(cval)) else {
+                return mk(Verdict::Regression, "non-numeric timing".into());
+            };
+            let bound = b * config.timing_ratio + config.timing_slack_ms;
+            if c <= bound {
+                mk(Verdict::Ok, format!("<= {bound:.2}ms band"))
+            } else {
+                mk(
+                    Verdict::Regression,
+                    format!(
+                        "{c:.2}ms over band ({:.1}x baseline + {:.0}ms = {bound:.2}ms)",
+                        config.timing_ratio, config.timing_slack_ms
+                    ),
+                )
+            }
+        }
+        KeyClass::Info => mk(Verdict::Info, "tracked, unbounded".into()),
+    }
+}
+
+fn bounded_above(
+    mk: impl FnOnce(Verdict, String) -> Delta,
+    _bval: &JsonValue,
+    cval: &JsonValue,
+    bound: f64,
+) -> Delta {
+    match num(cval) {
+        Some(c) if c <= bound => mk(Verdict::Ok, format!("<= {bound:.3}")),
+        Some(_) => mk(Verdict::Regression, format!("must stay <= {bound:.3}")),
+        None => mk(Verdict::Regression, "non-numeric value".into()),
+    }
+}
+
+/// Parse both reports and compare. `Err` on malformed JSON.
+pub fn compare_reports(
+    baseline_text: &str,
+    current_text: &str,
+    config: &TrendConfig,
+) -> Result<Vec<Delta>, String> {
+    let baseline = json::parse(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let current = json::parse(current_text).map_err(|e| format!("current: {e}"))?;
+    Ok(compare(&baseline, &current, config))
+}
+
+pub fn regressions(deltas: &[Delta]) -> Vec<&Delta> {
+    deltas
+        .iter()
+        .filter(|d| d.verdict == Verdict::Regression)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+        "experiment": "e21_cluster_storm",
+        "schedule_digest": "abc123",
+        "arrivals": 720,
+        "completed": 720,
+        "errors": 0,
+        "shed_rate": 0.0,
+        "p95_ratio": 1.4,
+        "balance_ratio": 1.6,
+        "kill_p95_ms": 40.0,
+        "failovers": 25,
+        "peer": {"gets": 100, "hit_rate": 0.5}
+    }"#;
+
+    fn check(current: &str) -> Vec<Delta> {
+        compare_reports(BASE, current, &TrendConfig::default()).expect("parse")
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let deltas = check(BASE);
+        assert!(regressions(&deltas).is_empty(), "{deltas:?}");
+    }
+
+    #[test]
+    fn digest_drift_is_regression() {
+        let cur = BASE.replace("abc123", "def456");
+        let regs = check(&cur)
+            .into_iter()
+            .filter(|d| d.verdict == Verdict::Regression)
+            .map(|d| d.key)
+            .collect::<Vec<_>>();
+        assert_eq!(regs, vec!["schedule_digest".to_string()]);
+    }
+
+    #[test]
+    fn timing_within_band_passes_but_blowup_fails() {
+        let ok = BASE.replace("\"kill_p95_ms\": 40.0", "\"kill_p95_ms\": 90.0");
+        assert!(regressions(&check(&ok)).is_empty(), "2.25x is inside band");
+        let bad = BASE.replace("\"kill_p95_ms\": 40.0", "\"kill_p95_ms\": 140.0");
+        let regs = check(&bad);
+        assert_eq!(regressions(&regs).len(), 1, "{regs:?}");
+        assert_eq!(regressions(&regs)[0].key, "kill_p95_ms");
+    }
+
+    #[test]
+    fn new_errors_are_regressions() {
+        let cur = BASE.replace("\"errors\": 0", "\"errors\": 3");
+        assert_eq!(regressions(&check(&cur)).len(), 1);
+    }
+
+    #[test]
+    fn missing_key_is_regression_and_new_key_is_info() {
+        let cur = BASE.replace("\"failovers\": 25,", "\"novel_metric\": 7,");
+        let deltas = check(&cur);
+        let missing = deltas.iter().find(|d| d.key == "failovers").unwrap();
+        assert_eq!(missing.verdict, Verdict::Regression);
+        let fresh = deltas.iter().find(|d| d.key == "novel_metric").unwrap();
+        assert_eq!(fresh.verdict, Verdict::Info);
+    }
+
+    #[test]
+    fn unbounded_counters_never_regress() {
+        // Failover count halves: informational, not a failure.
+        let cur = BASE.replace("\"failovers\": 25", "\"failovers\": 11");
+        let deltas = check(&cur);
+        let d = deltas.iter().find(|d| d.key == "failovers").unwrap();
+        assert_eq!(d.verdict, Verdict::Info);
+        assert!(regressions(&deltas).is_empty());
+    }
+
+    #[test]
+    fn hit_rate_floor_enforced() {
+        let ok = BASE.replace("\"hit_rate\": 0.5", "\"hit_rate\": 0.42");
+        assert!(regressions(&check(&ok)).is_empty());
+        let bad = BASE.replace("\"hit_rate\": 0.5", "\"hit_rate\": 0.2");
+        assert_eq!(regressions(&check(&bad)).len(), 1);
+    }
+}

@@ -36,7 +36,9 @@ use tabviz_common::{Chunk, Result, TvError};
 use tabviz_core::{ExecOutcome, Priority};
 use tabviz_dataserver::{ClientQuery, ClientSession, DataServer};
 use tabviz_obs::{
-    begin_trace, event_with, reason, stage, FlightRecorder, ProfileOutcome, RecordedTrace, Registry,
+    begin_trace, event_with, reason, stage, Federation, FlightRecorder, HealthConfig, HealthScorer,
+    HealthState, Objective, ProfileOutcome, RecordedTrace, Registry, ServeEvent, ServeKind,
+    SloConfig, SloStatus, SloTracker,
 };
 
 use crate::peer::{PeerHit, PeerTier, PeerTierStats, RebalanceReport};
@@ -71,14 +73,27 @@ impl Default for ClusterConfig {
     }
 }
 
-/// One member: a named [`DataServer`] plus its peer-tier shard and
-/// liveness flag.
+/// How often routing deliberately sends a query *through* a demoted owner
+/// so its health score keeps receiving fresh observations — without the
+/// probe, a demoted node would starve of traffic and never be restored.
+const HEALTH_PROBE_EVERY: u64 = 8;
+
+/// One member: a named [`DataServer`] plus its peer-tier shard, liveness
+/// flag and brown-out health scorer.
 pub struct ClusterNode {
     pub name: String,
     pub server: Arc<DataServer>,
     shard: Arc<ExternalStore>,
     up: AtomicBool,
     queries: AtomicU64,
+    degraded_serves: AtomicU64,
+    /// EWMA anomaly scorer over this node's serves.
+    health: Mutex<HealthScorer>,
+    /// Routing-visible mirror of the scorer's state (lock-free read on
+    /// the route hot path).
+    demoted: AtomicBool,
+    /// Round-robin tick deciding which skipped routes probe the node.
+    probe_rr: AtomicU64,
 }
 
 impl ClusterNode {
@@ -86,9 +101,24 @@ impl ClusterNode {
         self.up.load(Relaxed)
     }
 
+    /// Health-demoted: answering, but anomalously slow or error-prone.
+    pub fn is_demoted(&self) -> bool {
+        self.demoted.load(Relaxed)
+    }
+
+    /// Current 0–100 health score.
+    pub fn health_score(&self) -> f64 {
+        self.health.lock().score()
+    }
+
     /// Queries this node executed (routed to it and past the peer tier).
     pub fn query_count(&self) -> u64 {
         self.queries.load(Relaxed)
+    }
+
+    /// Serves this node answered degraded (stale data).
+    pub fn degraded_count(&self) -> u64 {
+        self.degraded_serves.load(Relaxed)
     }
 
     /// This node's peer-tier shard.
@@ -108,7 +138,8 @@ pub enum RouteKind {
     AllReplicasDown,
 }
 
-/// One routing decision — a pure function of `(ring, up-set, session)`.
+/// One routing decision — a pure function of `(ring, up-set, health-set,
+/// session, probe ticks)`.
 #[derive(Debug, Clone)]
 pub struct Route {
     pub node: String,
@@ -117,6 +148,12 @@ pub struct Route {
     pub owner_rank: usize,
     /// The session's rotated owner list for the published source.
     pub candidates: Vec<String>,
+    /// Owners skipped because their health score demoted them (up, but
+    /// browned out) — the pre-death failover the SLO plane exists for.
+    pub demoted_skipped: usize,
+    /// This route deliberately passed through a demoted owner to keep its
+    /// health score fed (1 in [`HEALTH_PROBE_EVERY`] skips).
+    pub probe: bool,
 }
 
 /// One answered cluster query.
@@ -145,6 +182,13 @@ pub struct Cluster {
     pub recorder: FlightRecorder,
     /// Cluster-level metrics (`tv_cluster_*`).
     pub registry: Registry,
+    /// SLO tracker over every serve the cluster answers (sim-time driven
+    /// off `epoch`).
+    slo: Mutex<SloTracker>,
+    /// Health-scorer tuning applied to every node (existing and joined).
+    health_config: HealthConfig,
+    /// Cluster birth; `epoch.elapsed()` is the SLO plane's clock.
+    epoch: Instant,
 }
 
 impl Cluster {
@@ -156,13 +200,25 @@ impl Cluster {
         config: ClusterConfig,
         factory: impl Fn(&str) -> Result<Arc<DataServer>> + Send + Sync + 'static,
     ) -> Result<Arc<Cluster>> {
+        let registry = Registry::new();
+        let mut slo = SloTracker::new(
+            SloConfig::default(),
+            vec![
+                Objective::availability("availability", 0.999),
+                Objective::degraded_fraction("degraded", 0.05),
+            ],
+        );
+        slo.bind_obs(&registry);
         let cluster = Cluster {
             ring: RwLock::new(HashRing::new(config.seed, config.vnodes)),
             nodes: RwLock::new(HashMap::new()),
             peer: RwLock::new(PeerTier::new(config.replication)),
             factory: Box::new(factory),
             recorder: FlightRecorder::default(),
-            registry: Registry::new(),
+            registry,
+            slo: Mutex::new(slo),
+            health_config: HealthConfig::default(),
+            epoch: Instant::now(),
             config,
         };
         let n = cluster.config.nodes;
@@ -171,6 +227,33 @@ impl Cluster {
         }
         cluster.registry.gauge("tv_cluster_nodes_up").set(n as i64);
         Ok(Arc::new(cluster))
+    }
+
+    /// Replace the SLO tracker (window shape + objectives). Experiments
+    /// call this right after build, before traffic, so the sim-time
+    /// windows match their compressed horizon.
+    pub fn configure_slo(&self, config: SloConfig, objectives: Vec<Objective>) {
+        let mut tracker = SloTracker::new(config, objectives);
+        tracker.bind_obs(&self.registry);
+        *self.slo.lock() = tracker;
+    }
+
+    /// Add one objective to the live tracker (e.g. a latency bound
+    /// calibrated from a healthy baseline run).
+    pub fn add_objective(&self, objective: Objective) {
+        self.slo
+            .lock()
+            .add_objective(objective, Some(&self.registry));
+    }
+
+    /// Milliseconds since the cluster was built — the SLO plane's clock.
+    pub fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Current SLO status for every objective (no alert transitions).
+    pub fn slo_status(&self) -> Vec<SloStatus> {
+        self.slo.lock().status(self.now_ms())
     }
 
     fn attach_node(&self, name: &str) -> Result<()> {
@@ -186,6 +269,10 @@ impl Cluster {
                 shard,
                 up: AtomicBool::new(true),
                 queries: AtomicU64::new(0),
+                degraded_serves: AtomicU64::new(0),
+                health: Mutex::new(HealthScorer::new(self.health_config.clone())),
+                demoted: AtomicBool::new(false),
+                probe_rr: AtomicU64::new(0),
             }),
         );
         Ok(())
@@ -288,8 +375,20 @@ impl Cluster {
     }
 
     /// Route one session's query on `published`: rotate the owner list by
-    /// the session hash, take the first healthy candidate, fall back to any
-    /// healthy member when all owners are down.
+    /// the session hash, take the first *healthy* candidate — up **and**
+    /// not health-demoted — then fall back in order of preference: any
+    /// healthy non-owner member (cold caches beat a browned-out node),
+    /// an up-but-demoted owner (slow beats unavailable), any up member.
+    ///
+    /// The owner list is recomputed from the live ring on every call —
+    /// affinity is *lazily* derived, never cached on the session — so a
+    /// node joined after a session opened absorbs that session on its very
+    /// next query (see `join_absorbs_existing_sessions` in
+    /// `tests/cluster_sim.rs`).
+    ///
+    /// Demoted owners still see 1 in [`HEALTH_PROBE_EVERY`] of the routes
+    /// that would have skipped them (`probe = true`), so their scores keep
+    /// getting observations and recovery is detectable.
     pub fn route(&self, published: &str, session_key: &str) -> Result<Route> {
         let owners: Vec<String> = {
             let ring = self.ring.read();
@@ -306,30 +405,95 @@ impl Cluster {
             .map(|i| owners[(rot + i) % owners.len()].clone())
             .collect();
         let nodes = self.nodes.read();
-        for (rank, name) in candidates.iter().enumerate() {
-            if nodes.get(name).is_some_and(|n| n.is_up()) {
-                return Ok(Route {
-                    node: name.clone(),
-                    kind: if rank == 0 {
-                        RouteKind::Primary
-                    } else {
-                        RouteKind::Failover
-                    },
-                    owner_rank: rank,
-                    candidates,
-                });
+        let kind_for = |rank: usize| {
+            if rank == 0 {
+                RouteKind::Primary
+            } else {
+                RouteKind::Failover
             }
+        };
+        let mut demoted_skipped = 0usize;
+        let mut first_up_demoted: Option<usize> = None;
+        for (rank, name) in candidates.iter().enumerate() {
+            let Some(node) = nodes.get(name) else {
+                continue;
+            };
+            if !node.is_up() {
+                continue;
+            }
+            if node.is_demoted() {
+                if node.probe_rr.fetch_add(1, Relaxed) % HEALTH_PROBE_EVERY == 0 {
+                    return Ok(Route {
+                        node: name.clone(),
+                        kind: kind_for(rank),
+                        owner_rank: rank,
+                        candidates,
+                        demoted_skipped,
+                        probe: true,
+                    });
+                }
+                first_up_demoted.get_or_insert(rank);
+                demoted_skipped += 1;
+                continue;
+            }
+            return Ok(Route {
+                node: name.clone(),
+                kind: kind_for(rank),
+                owner_rank: rank,
+                candidates,
+                demoted_skipped,
+                probe: false,
+            });
         }
-        // Every owner is down: deterministic sweep over all members.
         let members: Vec<String> = self.ring.read().members().to_vec();
-        for name in &members {
-            if nodes.get(name).is_some_and(|n| n.is_up()) {
-                return Ok(Route {
-                    node: name.clone(),
-                    kind: RouteKind::AllReplicasDown,
-                    owner_rank: candidates.len(),
-                    candidates,
-                });
+        if let Some(rank) = first_up_demoted {
+            // Owners exist but are browned out: prefer a healthy
+            // non-owner, accept the demoted owner only as last resort.
+            for name in &members {
+                if candidates.contains(name) {
+                    continue;
+                }
+                if nodes
+                    .get(name)
+                    .is_some_and(|n| n.is_up() && !n.is_demoted())
+                {
+                    return Ok(Route {
+                        node: name.clone(),
+                        kind: RouteKind::Failover,
+                        owner_rank: candidates.len(),
+                        candidates,
+                        demoted_skipped,
+                        probe: false,
+                    });
+                }
+            }
+            let name = candidates[rank].clone();
+            return Ok(Route {
+                node: name,
+                kind: kind_for(rank),
+                owner_rank: rank,
+                candidates,
+                demoted_skipped: demoted_skipped.saturating_sub(1),
+                probe: false,
+            });
+        }
+        // Every owner is down: deterministic sweep over all members,
+        // healthy ones first.
+        for demoted_ok in [false, true] {
+            for name in &members {
+                if nodes
+                    .get(name)
+                    .is_some_and(|n| n.is_up() && (demoted_ok || !n.is_demoted()))
+                {
+                    return Ok(Route {
+                        node: name.clone(),
+                        kind: RouteKind::AllReplicasDown,
+                        owner_rank: candidates.len(),
+                        candidates,
+                        demoted_skipped,
+                        probe: false,
+                    });
+                }
             }
         }
         Err(TvError::Exec("no healthy node in cluster".into()))
@@ -384,6 +548,220 @@ impl Cluster {
             .iter()
             .map(|n| (n.name.clone(), n.query_count()))
             .collect()
+    }
+
+    /// Per-node health scores, sorted by name.
+    pub fn health_scores(&self) -> Vec<(String, f64, HealthState)> {
+        self.nodes()
+            .iter()
+            .map(|n| {
+                let h = n.health.lock();
+                (n.name.clone(), h.score(), h.state())
+            })
+            .collect()
+    }
+
+    /// Fold one serve into the SLO plane: the node's health scorer (when a
+    /// node actually executed) and the cluster SLO windows. Emits
+    /// `node_health` / `slo_check` events onto the current trace on every
+    /// transition, so brown-out detection is attributable per query.
+    fn observe_serve(&self, executed_on: Option<&str>, latency: Duration, kind: ServeKind) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        if let Some(name) = executed_on {
+            if let Some(node) = self.node(name) {
+                if kind == ServeKind::Degraded {
+                    node.degraded_serves.fetch_add(1, Relaxed);
+                }
+                let transition = {
+                    let mut health = node.health.lock();
+                    let t = health.observe(micros, kind);
+                    if t.is_some() {
+                        node.demoted
+                            .store(health.state() == HealthState::Demoted, Relaxed);
+                    }
+                    t.map(|state| (state, health.score()))
+                };
+                if let Some((state, score)) = transition {
+                    match state {
+                        HealthState::Demoted => {
+                            self.registry
+                                .counter("tv_cluster_health_demotions_total")
+                                .inc();
+                            event_with(
+                                stage::NODE_HEALTH,
+                                Some("demoted"),
+                                Some(score as u64),
+                                Some(reason::ROUTE_HEALTH_DEMOTED),
+                            );
+                        }
+                        HealthState::Healthy => {
+                            self.registry
+                                .counter("tv_cluster_health_restorations_total")
+                                .inc();
+                            event_with(
+                                stage::NODE_HEALTH,
+                                Some("restored"),
+                                Some(score as u64),
+                                None,
+                            );
+                        }
+                    }
+                }
+                self.registry
+                    .gauge(&format!(
+                        "tv_cluster_health_{}_score",
+                        name.replace('-', "_")
+                    ))
+                    .set(node.health.lock().score() as i64);
+            }
+        }
+        let now_ms = self.now_ms();
+        let mut slo = self.slo.lock();
+        slo.record(
+            now_ms,
+            ServeEvent {
+                latency_micros: micros,
+                ok: kind != ServeKind::Error,
+                degraded: kind == ServeKind::Degraded,
+            },
+        );
+        for (i, status) in slo.evaluate(now_ms, false).into_iter().enumerate() {
+            if status.just_fired {
+                event_with(
+                    stage::SLO_CHECK,
+                    Some(status.name),
+                    Some(i as u64),
+                    Some(reason::SLO_BURN_ALERT),
+                );
+            } else if status.just_cleared {
+                event_with(
+                    stage::SLO_CHECK,
+                    Some(status.name),
+                    Some(i as u64),
+                    Some(reason::SLO_ALERT_CLEARED),
+                );
+            }
+        }
+    }
+
+    /// A [`Federation`] over every node's registry (rebuilt per call so
+    /// membership changes are always reflected).
+    pub fn federation(&self) -> Federation {
+        let mut fed = Federation::new();
+        for node in self.nodes() {
+            fed.add_node(&node.name, node.server.registry());
+        }
+        fed
+    }
+
+    /// Prometheus text exposition for the whole cluster: the cluster's own
+    /// `tv_cluster_*` / `tv_slo_*` series, then every node's series with a
+    /// `node` label plus merged cluster-scope aggregates.
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.registry.render_text();
+        out.push_str(&self.federation().render_text());
+        out
+    }
+
+    /// One-call cluster state: membership and health, routing and peer
+    /// tier counters, SLO status, federated latency quantiles, and the
+    /// slowest recorded cluster traces.
+    pub fn diagnostics_report(&self, top_k: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== cluster diagnostics: {} nodes ({} up) ===",
+            self.nodes().len(),
+            self.nodes_up()
+        );
+        for node in self.nodes() {
+            let health = node.health.lock();
+            let _ = writeln!(
+                out,
+                "  {}: {} health={:.0} ({:?}) queries={} degraded={}",
+                node.name,
+                if node.is_up() { "up" } else { "DOWN" },
+                health.score(),
+                health.state(),
+                node.query_count(),
+                node.degraded_count(),
+            );
+        }
+        let snap = self.registry.snapshot();
+        let counter = |name: &str| match snap.get(name) {
+            Some(tabviz_obs::MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        let _ = writeln!(
+            out,
+            "routing: queries={} failovers={} all_replicas_down={} health_reroutes={} probes={}",
+            counter("tv_cluster_queries_total"),
+            counter("tv_cluster_failovers_total"),
+            counter("tv_cluster_all_replicas_down_total"),
+            counter("tv_cluster_health_reroutes_total"),
+            counter("tv_cluster_health_probes_total"),
+        );
+        let peer = self.peer_stats();
+        let _ = writeln!(
+            out,
+            "peer tier: gets={} primary_hits={} replica_hits={} misses={} puts={} fanout={}",
+            peer.gets,
+            peer.primary_hits,
+            peer.replica_hits,
+            peer.misses,
+            peer.puts,
+            peer.put_fanout,
+        );
+        for status in self.slo_status() {
+            let _ = writeln!(
+                out,
+                "slo {}: {} fast_burn={:.2} slow_burn={:.2} fired={} window_p95={}",
+                status.name,
+                if status.firing { "FIRING" } else { "ok" },
+                status.fast_burn,
+                status.slow_burn,
+                status.times_fired,
+                status
+                    .window_p95_micros
+                    .map(|us| format!("{:.1}ms", us as f64 / 1e3))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        if let Some(h) = self.federation().merged_histogram("tv_core_query_seconds") {
+            let s = h.snapshot();
+            let fmt = |us: Option<u64>| {
+                us.map(|us| format!("{:.1}ms", us as f64 / 1e3))
+                    .unwrap_or_else(|| "-".into())
+            };
+            let _ = writeln!(
+                out,
+                "federated query latency: count={} p50={} p95={} p99={}",
+                s.count,
+                fmt(s.p50_micros),
+                fmt(s.p95_micros),
+                fmt(s.p99_micros),
+            );
+        }
+        let traces = self.recorder.slowest(top_k);
+        if !traces.is_empty() {
+            let _ = writeln!(out, "--- {} slowest cluster traces ---", traces.len());
+            for (rank, t) in traces.iter().enumerate() {
+                let mut reasons = t.reasons();
+                reasons.dedup();
+                let _ = writeln!(
+                    out,
+                    "#{} {:>9.3}ms [{}] trace={} source={} reasons={}",
+                    rank + 1,
+                    t.total.as_secs_f64() * 1e3,
+                    t.outcome,
+                    t.trace_id,
+                    t.source,
+                    reasons.join(","),
+                );
+            }
+        }
+        out
     }
 
     /// Open a cluster session for `user` on `published`. The session key
@@ -507,6 +885,7 @@ impl ClusterSession {
                     .registry
                     .counter("tv_cluster_unroutable_total")
                     .inc();
+                cluster.observe_serve(None, t0.elapsed(), ServeKind::Error);
                 return Err(e);
             }
         };
@@ -521,6 +900,30 @@ impl ClusterSession {
             Some(cluster.node_ordinal(&route.node)),
             Some(why),
         );
+        if route.demoted_skipped > 0 {
+            cluster
+                .registry
+                .counter("tv_cluster_health_reroutes_total")
+                .inc();
+            event_with(
+                stage::CLUSTER_ROUTE,
+                Some("health"),
+                Some(route.demoted_skipped as u64),
+                Some(reason::ROUTE_HEALTH_DEMOTED),
+            );
+        }
+        if route.probe {
+            cluster
+                .registry
+                .counter("tv_cluster_health_probes_total")
+                .inc();
+            event_with(
+                stage::CLUSTER_ROUTE,
+                Some("probe"),
+                Some(cluster.node_ordinal(&route.node)),
+                Some(reason::ROUTE_HEALTH_PROBE),
+            );
+        }
         if route.kind != RouteKind::Primary {
             self.failovers.fetch_add(1, Relaxed);
             cluster.registry.counter("tv_cluster_failovers_total").inc();
@@ -553,6 +956,9 @@ impl ClusterSession {
                         .counter("tv_cluster_peer_replica_hits_total")
                         .inc();
                 }
+                // Peer-tier serves count toward the cluster SLO but not
+                // toward any node's health — no node executed.
+                cluster.observe_serve(None, t0.elapsed(), ServeKind::Ok);
                 self.finish_trace(trace, t0, query, ProfileOutcome::Hit);
                 return Ok(ClusterResponse {
                     chunk,
@@ -583,10 +989,20 @@ impl ClusterSession {
         let (chunk, outcome) = match result {
             Ok(v) => v,
             Err(e) => {
+                cluster.observe_serve(Some(&route.node), t0.elapsed(), ServeKind::Error);
                 self.finish_trace(trace, t0, query, ProfileOutcome::Remote);
                 return Err(e);
             }
         };
+        cluster.observe_serve(
+            Some(&route.node),
+            t0.elapsed(),
+            if outcome == ExecOutcome::DegradedStale {
+                ServeKind::Degraded
+            } else {
+                ServeKind::Ok
+            },
+        );
 
         // Publish fresh backend results to the key's replica owners.
         if outcome == ExecOutcome::Remote {

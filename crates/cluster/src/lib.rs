@@ -23,6 +23,13 @@
 //! fixed seed replays byte-identically — the cluster test harness asserts
 //! this by comparing routing tables and per-query node assignments across
 //! runs.
+//!
+//! PR 7 adds the **SLO plane** on top: per-node health scorers
+//! ([`tabviz_obs::HealthScorer`]) feed a health-aware router that demotes
+//! browned-out nodes before they die, a cluster [`tabviz_obs::SloTracker`]
+//! fires multi-window burn-rate alerts, and [`Cluster::metrics_text`] /
+//! [`Cluster::diagnostics_report`] federate every node's registry into one
+//! cluster-scope exposition ([`tabviz_obs::Federation`]).
 
 pub mod cluster;
 pub mod peer;

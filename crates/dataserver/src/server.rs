@@ -154,6 +154,15 @@ impl DataServer {
         self.stats.lock().clone()
     }
 
+    /// The node's live metrics registry — the federation hook: a cluster
+    /// scrapes each member through this accessor and merges the snapshots
+    /// (see `tabviz_obs::Federation`). Handles are cheap clones over shared
+    /// atomics, so a federation holding this registry always reads current
+    /// values, never a stale copy.
+    pub fn registry(&self) -> &tabviz_obs::Registry {
+        &self.processor.obs.registry
+    }
+
     /// Prometheus-style exposition of every metric the server's processor
     /// (and the pools, caches and backends beneath it) has registered.
     pub fn metrics_text(&self) -> String {

@@ -30,20 +30,27 @@
 //! `parking_lot` only — no external dependencies.
 
 pub mod chrome;
+pub mod federation;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
 pub use chrome::{to_chrome_trace, validate_chrome_trace};
+pub use federation::{Federation, MergedHistogram};
+pub use health::{HealthConfig, HealthScorer, HealthState, ServeKind};
 pub use json::JsonValue;
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, HIST_BUCKETS,
+    escape_label_value, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry,
+    TextEmitter, HIST_BUCKETS,
 };
 pub use profile::{assemble, FaultTag, Obs, ProfileOutcome, ProfileStore, QueryProfile, StageSpan};
 pub use recorder::{FlightRecorder, FlightRecorderConfig, RecordedTrace};
+pub use slo::{Objective, ObjectiveKind, ServeEvent, SloConfig, SloStatus, SloTracker};
 pub use span::{
     collect_since, dropped_events, event, event_with, mark, record, span, Span, SpanEvent,
     TraceMark,
@@ -112,6 +119,13 @@ pub mod stage {
     /// Replicated peer-cache tier probe (label = `"get"` / `"put"`,
     /// detail = replica fan-out consulted).
     pub const PEER_CACHE: &str = "peer_cache";
+    /// Instantaneous: an SLO evaluation produced an alert transition
+    /// (reason = `slo_burn_alert` / `slo_alert_cleared`, detail =
+    /// objective ordinal).
+    pub const SLO_CHECK: &str = "slo_check";
+    /// Instantaneous: a node's health score crossed the demote/restore
+    /// band (detail = score at transition).
+    pub const NODE_HEALTH: &str = "node_health";
 }
 
 /// Decision reason codes: *why* a stage went the way it did, attached to
@@ -202,4 +216,15 @@ pub mod reason {
     // --- scheduler per-source gate ---------------------------------------
     /// A grant waited because its backend was at its per-source limit.
     pub const SCHED_SOURCE_SATURATED: &str = "sched_source_saturated";
+
+    // --- SLO plane / health routing ---------------------------------------
+    /// A burn-rate alert fired: both windows burned over the fire bound.
+    pub const SLO_BURN_ALERT: &str = "slo_burn_alert";
+    /// A firing alert cleared: both windows back under the clear bound.
+    pub const SLO_ALERT_CLEARED: &str = "slo_alert_cleared";
+    /// Routing skipped a health-demoted owner (brown-out avoidance).
+    pub const ROUTE_HEALTH_DEMOTED: &str = "route_health_demoted";
+    /// Routing deliberately sent a probe through a demoted owner so its
+    /// score keeps getting fresh observations (recovery detection).
+    pub const ROUTE_HEALTH_PROBE: &str = "route_health_probe";
 }

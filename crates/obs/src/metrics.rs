@@ -142,7 +142,10 @@ impl Histogram {
         Some(u64::MAX)
     }
 
-    fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+    /// Raw per-bucket counts (non-cumulative). Public so the federation
+    /// layer can merge histograms bucket-wise — exact, because every
+    /// histogram in the workspace shares the same log2 bucket edges.
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
         let mut out = [0u64; HIST_BUCKETS];
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = self.0.buckets[i].load(Ordering::Relaxed);
@@ -180,10 +183,97 @@ pub enum MetricValue {
 }
 
 #[derive(Clone)]
-enum MetricEntry {
+pub(crate) enum MetricEntry {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+}
+
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double-quote and newline must be escaped inside the quoted
+/// value (the same rules HELP text follows, plus the quote).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Streaming writer for the Prometheus text format that understands
+/// labels. Emits each family's `# HELP` / `# TYPE` header exactly once and
+/// drops duplicate samples (same name + label set), which matters once
+/// federation folds several per-node registries into one exposition.
+pub struct TextEmitter {
+    out: String,
+    families: std::collections::HashSet<String>,
+    seen: std::collections::HashSet<String>,
+    /// Samples dropped because an identical series was already emitted.
+    duplicates: usize,
+}
+
+impl Default for TextEmitter {
+    fn default() -> Self {
+        TextEmitter::new()
+    }
+}
+
+impl TextEmitter {
+    pub fn new() -> Self {
+        TextEmitter {
+            out: String::new(),
+            families: std::collections::HashSet::new(),
+            seen: std::collections::HashSet::new(),
+            duplicates: 0,
+        }
+    }
+
+    /// Emit the `# HELP` / `# TYPE` header for `family` once; repeat calls
+    /// are no-ops so interleaved emitters can stay simple.
+    pub fn family(&mut self, family: &str, kind: &str, help: &str) {
+        if !self.families.insert(family.to_string()) {
+            return;
+        }
+        let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+        let _ = writeln!(self.out, "# HELP {family} {help}");
+        let _ = writeln!(self.out, "# TYPE {family} {kind}");
+    }
+
+    /// Emit one sample line. Label values are escaped here; `value` is
+    /// pre-formatted by the caller (counters/gauges as integers, histogram
+    /// series following [`Registry::render_text`]'s conventions). Returns
+    /// `false` when the series (name + labels) was already written — the
+    /// duplicate is suppressed rather than emitted twice.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) -> bool {
+        let series = if labels.is_empty() {
+            name.to_string()
+        } else {
+            let body: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+                .collect();
+            format!("{name}{{{}}}", body.join(","))
+        };
+        if !self.seen.insert(series.clone()) {
+            self.duplicates += 1;
+            return false;
+        }
+        let _ = writeln!(self.out, "{series} {value}");
+        true
+    }
+
+    pub fn duplicates(&self) -> usize {
+        self.duplicates
+    }
+
+    pub fn into_text(self) -> String {
+        self.out
+    }
 }
 
 /// Named metric registry. Cheap to clone (shared interior); get-or-create
@@ -269,60 +359,101 @@ impl Registry {
             .collect()
     }
 
-    /// Prometheus-style text exposition. Every family gets `# HELP` and
-    /// `# TYPE` lines (help text set via [`Registry::describe`], or a
-    /// generated default); histogram buckets and sums are in seconds,
-    /// cumulative, with a final `+Inf` bucket.
-    pub fn render_text(&self) -> String {
-        let entries: BTreeMap<String, MetricEntry> = self
-            .metrics
+    /// Sorted clone of the entry map — the federation layer walks this to
+    /// merge several registries without holding any registry lock.
+    pub(crate) fn entries(&self) -> BTreeMap<String, MetricEntry> {
+        self.metrics
             .read()
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
-        let help = self.help.read();
-        let help_for = |name: &str| -> String {
-            help.get(name)
-                .cloned()
-                .unwrap_or_else(|| format!("tabviz metric {name}"))
-                .replace('\\', "\\\\")
-                .replace('\n', "\\n")
-        };
-        let mut out = String::new();
-        for (name, entry) in entries {
+            .collect()
+    }
+
+    /// HELP text for `name` (described, or the generated default), raw —
+    /// escaping is the emitter's job.
+    pub(crate) fn help_for(&self, name: &str) -> String {
+        self.help
+            .read()
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| format!("tabviz metric {name}"))
+    }
+
+    /// Prometheus-style text exposition. Every family gets `# HELP` and
+    /// `# TYPE` lines (help text set via [`Registry::describe`], or a
+    /// generated default); histogram buckets and sums are in seconds,
+    /// cumulative, with a final `+Inf` bucket. Label values (when a caller
+    /// routes labeled series through the shared [`TextEmitter`]) are
+    /// escaped and duplicate series dropped.
+    pub fn render_text(&self) -> String {
+        let mut emitter = TextEmitter::new();
+        self.render_into(&mut emitter, &[]);
+        emitter.into_text()
+    }
+
+    /// Render every metric into `emitter`, attaching `labels` to each
+    /// sample. `render_text` calls this with no labels; federation calls
+    /// it once per node with `[("node", name)]`.
+    pub(crate) fn render_into(&self, emitter: &mut TextEmitter, labels: &[(&str, &str)]) {
+        for (name, entry) in self.entries() {
+            let help = self.help_for(&name);
             match entry {
                 MetricEntry::Counter(c) => {
-                    let _ = writeln!(out, "# HELP {name} {}", help_for(&name));
-                    let _ = writeln!(out, "# TYPE {name} counter");
-                    let _ = writeln!(out, "{name} {}", c.get());
+                    emitter.family(&name, "counter", &help);
+                    emitter.sample(&name, labels, &c.get().to_string());
                 }
                 MetricEntry::Gauge(g) => {
-                    let _ = writeln!(out, "# HELP {name} {}", help_for(&name));
-                    let _ = writeln!(out, "# TYPE {name} gauge");
-                    let _ = writeln!(out, "{name} {}", g.get());
+                    emitter.family(&name, "gauge", &help);
+                    emitter.sample(&name, labels, &g.get().to_string());
                 }
                 MetricEntry::Histogram(h) => {
-                    let _ = writeln!(out, "# HELP {name} {}", help_for(&name));
-                    let _ = writeln!(out, "# TYPE {name} histogram");
-                    let counts = h.bucket_counts();
-                    let mut cum = 0u64;
-                    for (i, c) in counts.iter().enumerate() {
-                        cum += c;
-                        if *c == 0 && i < HIST_BUCKETS - 1 {
-                            continue; // keep the exposition compact
-                        }
-                        let le = if i >= HIST_BUCKETS - 1 {
-                            "+Inf".to_string()
-                        } else {
-                            format!("{}", Histogram::bucket_upper(i) as f64 / 1e6)
-                        };
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
-                    }
-                    let _ = writeln!(out, "{name}_sum {}", h.sum_micros() as f64 / 1e6);
-                    let _ = writeln!(out, "{name}_count {}", h.count());
+                    emitter.family(&name, "histogram", &help);
+                    emit_histogram_series(
+                        emitter,
+                        &name,
+                        labels,
+                        &h.bucket_counts(),
+                        h.sum_micros(),
+                        h.count(),
+                    );
                 }
             }
         }
-        out
     }
+}
+
+/// Shared histogram exposition: cumulative buckets in seconds (zero-count
+/// buckets skipped for compactness, `+Inf` always closing the family),
+/// then `_sum` / `_count`. Used by both [`Registry::render_text`] and the
+/// federation's merged series so the two stay byte-compatible.
+pub(crate) fn emit_histogram_series(
+    emitter: &mut TextEmitter,
+    name: &str,
+    labels: &[(&str, &str)],
+    counts: &[u64; HIST_BUCKETS],
+    sum_micros: u64,
+    count: u64,
+) {
+    let bucket_name = format!("{name}_bucket");
+    let mut cum = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        cum += c;
+        if *c == 0 && i < HIST_BUCKETS - 1 {
+            continue; // keep the exposition compact
+        }
+        let le = if i >= HIST_BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            format!("{}", Histogram::bucket_upper(i) as f64 / 1e6)
+        };
+        let mut all_labels: Vec<(&str, &str)> = labels.to_vec();
+        all_labels.push(("le", le.as_str()));
+        emitter.sample(&bucket_name, &all_labels, &cum.to_string());
+    }
+    emitter.sample(
+        &format!("{name}_sum"),
+        labels,
+        &format!("{}", sum_micros as f64 / 1e6),
+    );
+    emitter.sample(&format!("{name}_count"), labels, &count.to_string());
 }

@@ -202,6 +202,45 @@ fn no_duplicate_series_and_values_match_registry() {
     assert_eq!(text, reg.render_text());
 }
 
+/// Label values are escaped per the exposition format (`\\`, `\"`, `\n`)
+/// and a series identity (name + label set) is emitted at most once per
+/// scrape, no matter how many writers try to emit it.
+#[test]
+fn label_values_escape_and_series_dedup() {
+    use tabviz_obs::{escape_label_value, TextEmitter};
+
+    assert_eq!(escape_label_value("plain"), "plain");
+    assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+    assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+    assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+
+    let mut em = TextEmitter::new();
+    em.family("tv_test_labeled_total", "counter", "Labeled counter.");
+    let hostile = "node\"0\"\\\nend";
+    assert!(em.sample("tv_test_labeled_total", &[("node", hostile)], "1"));
+    // Same identity again: suppressed, counted as a duplicate.
+    assert!(!em.sample("tv_test_labeled_total", &[("node", hostile)], "2"));
+    // A different label value is a different series.
+    assert!(em.sample("tv_test_labeled_total", &[("node", "node-1")], "3"));
+    assert_eq!(em.duplicates(), 1);
+    let text = em.into_text();
+
+    // The hostile value round-trips as one well-formed line.
+    let expected = "tv_test_labeled_total{node=\"node\\\"0\\\"\\\\\\nend\"} 1";
+    assert!(
+        text.lines().any(|l| l == expected),
+        "escaped series line present:\n{text}"
+    );
+    parse(&text);
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.starts_with("tv_test_labeled_total{"))
+            .count(),
+        2,
+        "exactly two distinct series:\n{text}"
+    );
+}
+
 /// Help text is escaped per the exposition format, so multi-line or
 /// backslash-bearing descriptions cannot corrupt the line protocol.
 #[test]

@@ -262,6 +262,22 @@ impl SchedStats {
     pub fn total_shed(&self) -> u64 {
         self.shed.iter().sum()
     }
+
+    /// Fraction of tickets that got a slot: admitted over every arrival
+    /// the scheduler decided on (admitted + sheds + deadline expiries).
+    /// This is the scheduler-side feed for an availability SLO objective
+    /// (`tabviz_obs::Objective::availability`): a shed is an unanswered
+    /// user, exactly what the error budget meters. 1.0 when idle.
+    pub fn availability(&self) -> f64 {
+        let admitted: u64 = self.admitted.iter().sum();
+        let denied = self.total_shed() + self.deadline_shed.iter().sum::<u64>();
+        let total = admitted + denied;
+        if total == 0 {
+            1.0
+        } else {
+            admitted as f64 / total as f64
+        }
+    }
 }
 
 const MIN_WEIGHT: f64 = 0.01;
@@ -939,6 +955,26 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+
+    #[test]
+    fn availability_meters_sheds_against_admissions() {
+        let idle = SchedStats::default();
+        assert_eq!(
+            idle.availability(),
+            1.0,
+            "no decisions yet: fully available"
+        );
+
+        let stats = SchedStats {
+            admitted: [90, 5, 0],
+            shed: [3, 1, 0],
+            deadline_shed: [1, 0, 0],
+            ..SchedStats::default()
+        };
+        // 95 admitted out of 100 decided-on arrivals.
+        assert!((stats.availability() - 0.95).abs() < 1e-12);
+        assert_eq!(stats.total_shed(), 4);
+    }
 
     fn spin_until(pred: impl Fn() -> bool) {
         let start = Instant::now();

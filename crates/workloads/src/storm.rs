@@ -44,6 +44,17 @@ pub struct StormConfig {
     pub seed: u64,
 }
 
+impl StormConfig {
+    /// Virtual timestamp at `num/den` of the horizon — the idiom fault
+    /// drivers use to place mid-storm events ("kill at 2/5, revive at
+    /// 3/4") so the scenario rescales with the horizon instead of baking
+    /// in absolute times.
+    pub fn at_fraction(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0, "fraction denominator must be positive");
+        self.horizon_ms * num / den
+    }
+}
+
 impl Default for StormConfig {
     fn default() -> Self {
         StormConfig {
@@ -230,6 +241,18 @@ pub fn storm_stats(cfg: &StormConfig, schedule: &[Arrival]) -> StormStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn at_fraction_scales_with_horizon() {
+        let cfg = StormConfig {
+            horizon_ms: 4_000,
+            ..Default::default()
+        };
+        assert_eq!(cfg.at_fraction(2, 5), 1_600);
+        assert_eq!(cfg.at_fraction(3, 4), 3_000);
+        assert_eq!(cfg.at_fraction(0, 7), 0);
+        assert_eq!(cfg.at_fraction(1, 1), cfg.horizon_ms);
+    }
 
     #[test]
     fn schedule_is_sorted_and_sized() {

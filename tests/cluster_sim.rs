@@ -234,6 +234,178 @@ fn flight_recorder_attributes_routing() {
     );
 }
 
+/// Affinity is *lazily* recomputed: `route()` reads the live ring on every
+/// call, so a node joined after sessions opened absorbs its share of them
+/// on their very next query — no reopen, no pinned stale owner lists.
+#[test]
+fn join_absorbs_existing_sessions() {
+    let db = sample_db();
+    let cluster = build_cluster(&db, 3, 9);
+    let sessions: Vec<_> = (0..DASHBOARDS)
+        .map(|d| {
+            cluster
+                .open_session(&format!("dash-{d}"), "alice")
+                .expect("open")
+        })
+        .collect();
+    let serve_nodes = |sessions: &[tabviz::cluster::ClusterSession]| -> Vec<String> {
+        sessions
+            .iter()
+            .map(|s| s.query(&query_for(&StormStep::Load)).expect("query").node)
+            .collect()
+    };
+    let before = serve_nodes(&sessions);
+    assert!(!before.iter().any(|n| n == "node-3"));
+
+    cluster.add_node("node-3").expect("join");
+    assert_eq!(cluster.nodes_up(), 4);
+
+    // No session was reopened, yet the next query of each routes on the
+    // new ring: the joiner picks up every session whose owner moved.
+    let after = serve_nodes(&sessions);
+    assert!(
+        after.iter().any(|n| n == "node-3"),
+        "joiner absorbs existing sessions: {after:?}"
+    );
+    for (session, node) in sessions.iter().zip(&after) {
+        assert_eq!(
+            &session.affinity_node().expect("affinity"),
+            node,
+            "served node matches live-ring affinity"
+        );
+    }
+    // Consistent hashing keeps the move bounded: most sessions stay where
+    // their caches are warm.
+    let unchanged = before.iter().zip(&after).filter(|(b, a)| b == a).count();
+    assert!(
+        unchanged * 2 > DASHBOARDS,
+        "a join must not reshuffle most sessions ({unchanged}/{DASHBOARDS} unchanged)"
+    );
+}
+
+/// Brown-out (no hard kill): the victim's backend turns 40ms-slow but keeps
+/// answering. The EWMA health scorer demotes it from latency alone, routing
+/// steers the session to a healthy replica, 1-in-8 probes keep the victim
+/// observed, and once the fault clears those probes restore it to Primary.
+#[test]
+fn brownout_demotes_reroutes_then_probes_restore() {
+    let db = sample_db();
+    let dbs: Arc<std::sync::Mutex<std::collections::HashMap<String, Arc<SimDb>>>> =
+        Arc::new(std::sync::Mutex::new(std::collections::HashMap::new()));
+    let cluster = {
+        let db = Arc::clone(&db);
+        let dbs = Arc::clone(&dbs);
+        Cluster::build(
+            ClusterConfig {
+                nodes: 3,
+                replication: 2,
+                vnodes: 32,
+                seed: 5,
+                peer_op_latency: std::time::Duration::ZERO,
+            },
+            move |name| {
+                let sim = Arc::new(SimDb::new(
+                    "warehouse",
+                    Arc::clone(&db),
+                    SimConfig::default(),
+                ));
+                dbs.lock()
+                    .unwrap()
+                    .insert(name.to_string(), Arc::clone(&sim));
+                let qp = QueryProcessor::default();
+                qp.registry.register(Arc::clone(&sim) as Arc<_>, 4);
+                let server = Arc::new(DataServer::named(qp, name));
+                for d in 0..DASHBOARDS {
+                    server.publish(PublishedSource::new(
+                        format!("dash-{d}"),
+                        "warehouse",
+                        LogicalPlan::scan("flights"),
+                    ));
+                }
+                Ok(server)
+            },
+        )
+        .expect("build cluster")
+    };
+    let session = cluster.open_session("dash-0", "alice").expect("open");
+    let victim = session.affinity_node().expect("affinity");
+    let filter_q = |selector: i64| ClientQuery {
+        filters: vec![bin(BinOp::Le, col("distance"), lit(200 + selector % 2200))],
+        group_by: vec!["carrier".into()],
+        aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+        ..Default::default()
+    };
+
+    // Warm the victim's baseline with fast serves (distinct selectors force
+    // backend hits, so the scorer sees real latencies, not cache echoes).
+    for i in 0..20 {
+        let resp = session.query(&filter_q(i)).expect("warm query");
+        assert_eq!(resp.node, victim);
+    }
+    assert!(!cluster.node(&victim).expect("node").is_demoted());
+
+    // Brown-out: every backend query on the victim now takes 40ms.
+    dbs.lock().unwrap()[&victim].set_fault_plan(Some(FaultPlan {
+        slow_query: 1.0,
+        slow_query_delay: std::time::Duration::from_millis(40),
+        ..Default::default()
+    }));
+    let mut demoted_after = None;
+    for i in 0..30 {
+        session.query(&filter_q(1_000 + i)).expect("brownout query");
+        if cluster.node(&victim).expect("node").is_demoted() {
+            demoted_after = Some(i + 1);
+            break;
+        }
+    }
+    let demoted_after = demoted_after.expect("brown-out must demote the victim");
+    assert!(demoted_after <= 10, "demoted after {demoted_after} serves");
+
+    // While demoted, routes avoid the victim except the 1-in-8 probes.
+    let mut on_victim = 0usize;
+    let mut elsewhere = 0usize;
+    for i in 0..24 {
+        let resp = session.query(&filter_q(2_000 + i)).expect("demoted query");
+        if resp.node == victim {
+            on_victim += 1;
+        } else {
+            assert_ne!(resp.route, RouteKind::Primary, "reroute is attributed");
+            elsewhere += 1;
+        }
+    }
+    assert!(elsewhere >= 18, "routing steers around the sick node");
+    assert!(
+        (1..=5).contains(&on_victim),
+        "probes keep observing the victim ({on_victim}/24)"
+    );
+    let snapshot = cluster.registry.snapshot();
+    for counter in [
+        "tv_cluster_health_reroutes_total",
+        "tv_cluster_health_probes_total",
+    ] {
+        match snapshot.get(counter) {
+            Some(tabviz::obs::MetricValue::Counter(n)) => assert!(*n > 0, "{counter} counted"),
+            other => panic!("missing {counter}: {other:?}"),
+        }
+    }
+
+    // Clear the fault: fast probe serves decay the EWMA and restore the
+    // node; the session's very next query is Primary on it again.
+    dbs.lock().unwrap()[&victim].set_fault_plan(None);
+    let mut restored = false;
+    for i in 0..400 {
+        session.query(&filter_q(3_000 + i)).expect("recovery query");
+        if !cluster.node(&victim).expect("node").is_demoted() {
+            restored = true;
+            break;
+        }
+    }
+    assert!(restored, "cleared fault must restore the victim");
+    let resp = session.query(&filter_q(9_999)).expect("post-restore");
+    assert_eq!(resp.node, victim);
+    assert_eq!(resp.route, RouteKind::Primary);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 

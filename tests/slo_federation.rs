@@ -1,0 +1,187 @@
+//! SLO-plane properties: federated histogram merges are exact (quantiles
+//! equal the merged stream's), and burn-rate alerting is well-behaved at
+//! the edges — empty windows, 100% error storms, boundary-riding burns.
+
+use proptest::prelude::*;
+use tabviz::obs::{Federation, Histogram, Objective, Registry, ServeEvent, SloConfig, SloTracker};
+
+fn serve(latency_micros: u64, ok: bool) -> ServeEvent {
+    ServeEvent {
+        latency_micros,
+        ok,
+        degraded: false,
+    }
+}
+
+fn tracker(objectives: Vec<Objective>) -> SloTracker {
+    SloTracker::new(
+        SloConfig {
+            bucket_ms: 100,
+            fast_window_ms: 500,
+            slow_window_ms: 2_000,
+            fire_burn: 2.0,
+            clear_burn: 1.0,
+            min_events: 4,
+        },
+        objectives,
+    )
+}
+
+/// An empty window is not an outage: with no events recorded at all, no
+/// objective may fire no matter how often the tracker is evaluated.
+#[test]
+fn empty_window_never_fires() {
+    let mut t = tracker(vec![
+        Objective::availability("availability", 0.999),
+        Objective::latency_p95("latency", 10_000),
+    ]);
+    for now_ms in (0..10_000).step_by(100) {
+        t.evaluate(now_ms, true);
+    }
+    for st in t.status(10_000) {
+        assert!(!st.firing, "{} fired on an empty window", st.name);
+        assert_eq!(st.times_fired, 0);
+        assert_eq!(st.fast_events, 0);
+    }
+}
+
+/// A 100% error storm is the worst representable burn: availability fires
+/// as soon as both windows have evidence, and the burn rate equals the
+/// budget's reciprocal (every event is bad).
+#[test]
+fn total_error_storm_fires_at_max_burn() {
+    let mut t = tracker(vec![Objective::availability("availability", 0.999)]);
+    let mut fired_at = None;
+    for i in 0..100u64 {
+        let now_ms = i * 50;
+        t.record(now_ms, serve(1_000, false));
+        t.evaluate(now_ms, true);
+        if fired_at.is_none() && t.status(now_ms)[0].firing {
+            fired_at = Some(now_ms);
+        }
+    }
+    let fired_at = fired_at.expect("100% errors must fire");
+    assert!(fired_at <= 2_000, "fired late: {fired_at}ms");
+    let st = &t.status(5_000 - 1)[0];
+    let budget = 1.0 - 0.999;
+    assert!(
+        (st.fast_burn - 1.0 / budget).abs() < 1e-6,
+        "all-bad burn is 1/budget: {}",
+        st.fast_burn
+    );
+}
+
+/// Alert-state hysteresis: a burn that rides the fire threshold — dipping
+/// just under and over it bucket after bucket — may fire once, but must
+/// not flap, because clearing requires dropping under the (lower) clear
+/// threshold, not just under the fire threshold.
+#[test]
+fn boundary_riding_burn_fires_once_not_flaps() {
+    // 5% budget, 12.5% errors evenly spread: the burn hovers at ~2.5×,
+    // wobbling around the 2.0 fire line as window alignment shifts the
+    // per-window bad count, but never dropping near the 1.0 clear line.
+    let mut t = tracker(vec![Objective::availability("availability", 0.95)]);
+    let mut fires = 0u32;
+    let mut clears = 0u32;
+    for i in 0..4_000u64 {
+        let now_ms = i * 10;
+        t.record(now_ms, serve(500, i % 8 != 0));
+        for st in t.evaluate(now_ms, true) {
+            fires += u32::from(st.just_fired);
+            clears += u32::from(st.just_cleared);
+        }
+    }
+    assert_eq!(fires, 1, "sustained over-budget burn fires exactly once");
+    assert_eq!(clears, 0, "burn never near the clear line: no flapping");
+}
+
+/// Recovery clears: a hard error burst fires, then a long clean stretch
+/// drains both windows and the alert clears exactly once.
+#[test]
+fn recovery_clears_exactly_once() {
+    let mut t = tracker(vec![Objective::availability("availability", 0.999)]);
+    for i in 0..50u64 {
+        t.record(i * 10, serve(1_000, false));
+        t.evaluate(i * 10, true);
+    }
+    assert!(t.status(500)[0].firing, "burst fires");
+    let mut clears = 0u32;
+    for i in 0..1_000u64 {
+        let now_ms = 500 + i * 10;
+        t.record(now_ms, serve(1_000, true));
+        if t.evaluate(now_ms, true)[0].just_cleared {
+            clears += 1;
+        }
+    }
+    assert_eq!(clears, 1, "alert clears exactly once");
+    assert!(!t.status(10_500)[0].firing);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Federation is exact, not approximate: because every node shares the
+    /// same log2 bucket edges, bucket-wise merging loses nothing — every
+    /// quantile of the federated histogram equals the same quantile of one
+    /// histogram fed the concatenated stream.
+    #[test]
+    fn federated_quantiles_equal_merged_stream(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(1u64..50_000_000, 0..40),
+            1..5,
+        ),
+        q in 0.0f64..1.0,
+    ) {
+        let mut fed = Federation::new();
+        let registries: Vec<Registry> = streams.iter().map(|_| Registry::new()).collect();
+        let reference = Histogram::new();
+        for (i, (stream, reg)) in streams.iter().zip(&registries).enumerate() {
+            let h = reg.histogram("tv_core_query_seconds");
+            for &v in stream {
+                h.observe_micros(v);
+                reference.observe_micros(v);
+            }
+            fed.add_node(&format!("node-{i}"), reg);
+        }
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let merged = fed.merged_histogram("tv_core_query_seconds");
+        if total == 0 {
+            prop_assert!(merged.is_none() || merged.unwrap().count == 0);
+        } else {
+            let merged = merged.expect("merged histogram");
+            prop_assert_eq!(merged.count, total as u64);
+            prop_assert_eq!(merged.sum_micros, reference.sum_micros());
+            for q in [q, 0.0, 0.5, 0.95, 0.99, 1.0] {
+                prop_assert_eq!(merged.quantile_micros(q), reference.quantile_micros(q));
+            }
+        }
+    }
+
+    /// Burn rates are scale-invariant in event count and bounded by the
+    /// all-bad worst case: for any mix of good/bad events in one window,
+    /// 0 ≤ burn ≤ 1/budget, and all-good traffic stays strictly under the
+    /// clear threshold.
+    #[test]
+    fn burn_rate_bounded_and_clean_traffic_clears(
+        bad_every in 1u64..40,
+        n in 8u64..200,
+    ) {
+        let mut t = tracker(vec![Objective::availability("availability", 0.999)]);
+        for i in 0..n {
+            t.record(i, serve(1_000, i % bad_every != 0));
+        }
+        t.evaluate(n, true);
+        let st = &t.status(n)[0];
+        let max_burn = 1.0 / (1.0 - 0.999);
+        prop_assert!(st.fast_burn >= 0.0 && st.fast_burn <= max_burn + 1e-9);
+        prop_assert!(st.slow_burn >= 0.0 && st.slow_burn <= max_burn + 1e-9);
+
+        let mut clean = tracker(vec![Objective::availability("availability", 0.999)]);
+        for i in 0..n {
+            clean.record(i, serve(1_000, true));
+        }
+        clean.evaluate(n, true);
+        let st = &clean.status(n)[0];
+        prop_assert!(st.fast_burn == 0.0 && !st.firing);
+    }
+}
