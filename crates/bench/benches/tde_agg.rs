@@ -26,6 +26,14 @@ fn bench(c: &mut Criterion) {
     group.bench_function("serial_hash", |b| {
         b.iter(|| tde.query_with(q, &hash_only).unwrap())
     });
+    // Same HashAgg plan with the vectorized kernels disabled: isolates the
+    // packed-key + typed-state win from the plan-shape comparisons above.
+    let mut hash_no_kernels = ExecOptions::serial();
+    hash_no_kernels.physical.enable_streaming_agg = false;
+    hash_no_kernels.physical.enable_vector_kernels = false;
+    group.bench_function("serial_hash_no_kernels", |b| {
+        b.iter(|| tde.query_with(q, &hash_no_kernels).unwrap())
+    });
     let mut lg = ExecOptions::default();
     lg.parallel = ParallelOptions {
         profile: forced,

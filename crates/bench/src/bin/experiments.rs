@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates a results table for every performance
 //! claim / figure in the paper (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e22|all]`
+//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e23|all]`
 
 #![allow(clippy::field_reassign_with_default)] // options structs read better mutated
 
@@ -84,6 +84,9 @@ fn main() {
     }
     if all || which == "e22" {
         e22_slo_brownout();
+    }
+    if all || which == "e23" {
+        e23_vector_kernels();
     }
 }
 
@@ -2452,6 +2455,23 @@ fn e22_slo_brownout() {
     );
     println!("\n{diag}");
 
+    // Machine-readable report for the trend sentinel (same contract as
+    // BENCH_cluster.json: identity keys exact, *_ms banded, errors bounded).
+    let json = format!(
+        "{{\n  \"experiment\": \"e22_slo_brownout\",\n  \"nodes\": {NODES},\n  \"seed\": {SEED},\n  \"schedule_digest\": \"{digest:016x}\",\n  \"arrivals\": {},\n  \"completed\": {completed},\n  \"errors\": {errors},\n  \"victim\": \"{victim}\",\n  \"healthy_p95_ms\": {},\n  \"brownout_p95_ms\": {},\n  \"p95_ratio\": {p95_ratio:.2},\n  \"slo_bound_ms\": {:.2},\n  \"demoted\": {},\n  \"demote_ms\": {},\n  \"restored\": {},\n  \"restore_ms\": {},\n  \"flaps\": {},\n  \"reroutes\": {reroutes},\n  \"latency_alerts\": {latency_alerts},\n  \"availability_alerts\": {availability_alerts},\n  \"degraded_alerts\": {degraded_alerts},\n  \"metrics_node_series\": {node_series},\n  \"diag_bytes\": {}\n}}\n",
+        schedule.len(),
+        ms(healthy_p95),
+        ms(brownout_p95),
+        bound_micros as f64 / 1e3,
+        u32::from(marks.demoted_at.is_some()),
+        demote_ms.map_or("null".into(), |v| format!("{v:.2}")),
+        u32::from(marks.restored_at.is_some()),
+        restore_ms.map_or("null".into(), |v| format!("{v:.2}")),
+        marks.flaps,
+        diag.len(),
+    );
+    std::fs::write("BENCH_slo.json", &json).expect("write BENCH_slo.json");
+
     println!("e22_arrivals {}", schedule.len());
     println!("e22_completed {completed}");
     println!("e22_errors {errors}");
@@ -2478,4 +2498,135 @@ fn e22_slo_brownout() {
     println!("e22_metrics_node_series {node_series}");
     println!("e22_diag_bytes {}", diag.len());
     println!("e22_schedule_digest {digest:016x}");
+}
+
+// ---------------------------------------------------------------- E23 ----
+
+/// Type-specialized vectorized kernels (DESIGN.md §14): packed-key group
+/// tables and join indexes with typed accumulator loops, vs the retained
+/// `Value`-row fallback, on the two keyed hot paths — hash aggregation and
+/// hash join build+probe. Also checks kernel-selection attribution: on
+/// these schemas every keyed operator must pick the fast path when kernels
+/// are enabled and the fallback when disabled.
+fn e23_vector_kernels() {
+    use tabviz::obs::MetricValue;
+
+    let rows = 1_000_000;
+    // Unsorted so the planner cannot sidestep HashAgg via Stream/RunAgg.
+    let tde = Tde::new(faa_db_unsorted(rows));
+
+    let counter = |name: &str| -> u64 {
+        match tabviz::obs::global().snapshot().get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    };
+
+    let mut fallback = ExecOptions::serial();
+    fallback.physical.enable_vector_kernels = false;
+    let fast = ExecOptions::serial();
+
+    // Best-of-5 wall clock: the arms allocate hash tables in the tens of MB,
+    // so a single run is allocator-noise sensitive.
+    let best = |q: &str, opts: &ExecOptions| -> (Chunk, Duration) {
+        let (mut out, mut t) = time_it(|| tde.query_with(q, opts).expect("query"));
+        for _ in 0..4 {
+            let (o, d) = time_it(|| tde.query_with(q, opts).expect("query"));
+            if d < t {
+                t = d;
+                out = o;
+            }
+        }
+        (out, t)
+    };
+
+    let sorted_rows = |c: &Chunk| -> Vec<Vec<Value>> {
+        let mut rows = c.to_rows();
+        rows.sort();
+        rows
+    };
+
+    // Hash aggregation: two-column string+int key, the full typed-state
+    // spread (COUNT / SUM / MIN / MAX / AVG).
+    let q_agg = "(aggregate ((carrier) (weekday))
+                   ((count as n) (sum distance as dist)
+                    (min arr_delay as lo) (max arr_delay as hi)
+                    (avg dep_delay as d))
+                   (scan flights))";
+    let (out_slow, t_agg_fallback) = best(q_agg, &fallback);
+    let (out_fast, t_agg_fast) = best(q_agg, &fast);
+    assert_eq!(
+        sorted_rows(&out_slow),
+        sorted_rows(&out_fast),
+        "agg arms disagree"
+    );
+    let agg_speedup = t_agg_fallback.as_secs_f64() / t_agg_fast.as_secs_f64().max(1e-9);
+
+    // Hash join build+probe: fact-dim join keyed on a string column,
+    // grouped on the dimension side so culling cannot remove it. The dim is
+    // filtered (the dashboard-filter case) so the probe — not the joined
+    // output's materialization, identical in both arms — dominates.
+    let q_join = "(aggregate ((name)) ((count as n) (sum distance as dist))
+                    (join inner ((carrier code))
+                      (scan flights)
+                      (select (in code \"HA\") (scan carriers))))";
+    let (join_slow, t_join_fallback) = best(q_join, &fallback);
+    let (join_fast, t_join_fast) = best(q_join, &fast);
+    assert_eq!(
+        sorted_rows(&join_slow),
+        sorted_rows(&join_fast),
+        "join arms disagree"
+    );
+    let join_speedup = t_join_fallback.as_secs_f64() / t_join_fast.as_secs_f64().max(1e-9);
+
+    // Kernel-selection attribution: count one fast-path run of each query
+    // and one forced-fallback run of each.
+    let before_fast = counter("tv_tde_kernel_fastpath_total");
+    let before_fall = counter("tv_tde_kernel_fallback_total");
+    tde.query_with(q_agg, &fast).expect("agg fast");
+    tde.query_with(q_join, &fast).expect("join fast");
+    let mid_fast = counter("tv_tde_kernel_fastpath_total");
+    let mid_fall = counter("tv_tde_kernel_fallback_total");
+    tde.query_with(q_agg, &fallback).expect("agg fallback");
+    tde.query_with(q_join, &fallback).expect("join fallback");
+    let after_fast = counter("tv_tde_kernel_fastpath_total");
+    let after_fall = counter("tv_tde_kernel_fallback_total");
+
+    let fastpath_selected = mid_fast - before_fast;
+    let fastpath_leaked = mid_fall - before_fall;
+    let fallback_selected = after_fall - mid_fall;
+    let fallback_leaked = after_fast - mid_fast;
+    let fastpath_rate =
+        fastpath_selected as f64 / (fastpath_selected + fastpath_leaked).max(1) as f64;
+
+    print_table(
+        &format!("E23 — vectorized kernels vs Value-row fallback ({rows} rows, unsorted)"),
+        &["hot path", "fallback ms", "kernels ms", "speedup"],
+        &[
+            vec![
+                "hash agg (2-col key, 5 aggs)".into(),
+                ms(t_agg_fallback),
+                ms(t_agg_fast),
+                format!("{agg_speedup:.2}x"),
+            ],
+            vec![
+                "hash join build+probe".into(),
+                ms(t_join_fallback),
+                ms(t_join_fast),
+                format!("{join_speedup:.2}x"),
+            ],
+        ],
+    );
+
+    // Machine-checkable summary lines (the CI smoke test parses these).
+    println!("e23_agg_fallback_ms {}", ms(t_agg_fallback));
+    println!("e23_agg_kernels_ms {}", ms(t_agg_fast));
+    println!("e23_agg_speedup {agg_speedup:.2}");
+    println!("e23_join_fallback_ms {}", ms(t_join_fallback));
+    println!("e23_join_kernels_ms {}", ms(t_join_fast));
+    println!("e23_join_speedup {join_speedup:.2}");
+    println!("e23_fastpath_selected {fastpath_selected}");
+    println!("e23_fallback_selected {fallback_selected}");
+    println!("e23_fallback_leaked {fallback_leaked}");
+    println!("e23_fastpath_rate {fastpath_rate:.2}");
 }

@@ -23,6 +23,8 @@ pub fn faa_db_unsorted(rows: usize) -> Arc<Database> {
     let db = Arc::new(Database::new("faa"));
     db.put(Table::from_chunk("flights", &flights, &[]).expect("flights"))
         .expect("put flights");
+    db.put(Table::from_chunk("carriers", &carriers_dim().expect("dim"), &["code"]).expect("dim"))
+        .expect("put carriers");
     db
 }
 

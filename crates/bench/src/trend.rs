@@ -118,6 +118,11 @@ fn classify(key: &str) -> KeyClass {
             KeyClass::Structural
         }
         "errors" => KeyClass::ErrorCount,
+        // Probe-schedule-dependent: how fast a demoted node is restored
+        // hinges on which 1-in-8 probe routes land after the fault clears
+        // (observed 50-350ms across healthy runs). e22's awk bands guard
+        // the detection side (demote_ms); restore latency is tracked only.
+        "restore_ms" => KeyClass::Info,
         "shed_rate" => KeyClass::ShedRate,
         "p95_ratio" => KeyClass::P95Ratio,
         "balance_ratio" => KeyClass::BalanceRatio,

@@ -8,6 +8,7 @@
 use crate::collation::Collation;
 use crate::error::{Result, TvError};
 use crate::schema::SchemaRef;
+use crate::selvec::SelVec;
 use crate::value::{DataType, Value};
 use std::cmp::Ordering;
 use std::fmt;
@@ -115,6 +116,44 @@ impl Values {
             DataType::Real => Values::Real(Vec::with_capacity(cap)),
             DataType::Str => Values::Str(Vec::with_capacity(cap)),
             DataType::Date => Values::Date(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Typed views: the raw dense slice when the variant matches, else
+    /// `None`. Kernels pair these with [`NullMask::valid_bits`] to iterate
+    /// columns without materializing a [`Value`] per row.
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match self {
+            Values::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            Values::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_real(&self) -> Option<&[f64]> {
+        match self {
+            Values::Real(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_date(&self) -> Option<&[i32]> {
+        match self {
+            Values::Date(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str_slice(&self) -> Option<&[String]> {
+        match self {
+            Values::Str(v) => Some(v),
+            _ => None,
         }
     }
 
@@ -270,6 +309,51 @@ impl ColumnVec {
         ColumnVec {
             values: self.values.take(indices),
             nulls: self.nulls.take(indices),
+        }
+    }
+
+    /// Gather with optional sources: `None` produces a NULL row. This is the
+    /// outer-join output shape — unmatched probe rows pad the build columns
+    /// with NULLs — built column-at-a-time without a `Value` per cell.
+    pub fn take_opt(&self, indices: &[Option<u32>]) -> Self {
+        let mut bits = Vec::with_capacity(indices.len());
+        for idx in indices {
+            bits.push(idx.is_some_and(|i| self.nulls.is_valid(i as usize)));
+        }
+        macro_rules! gather {
+            ($src:expr, $variant:ident, $default:expr) => {
+                Values::$variant(
+                    indices
+                        .iter()
+                        .map(|idx| match idx {
+                            Some(i) => $src[*i as usize].clone(),
+                            None => $default,
+                        })
+                        .collect(),
+                )
+            };
+        }
+        let values = match &self.values {
+            Values::Bool(v) => gather!(v, Bool, false),
+            Values::Int(v) => gather!(v, Int, 0),
+            Values::Real(v) => gather!(v, Real, 0.0),
+            Values::Str(v) => gather!(v, Str, String::new()),
+            Values::Date(v) => gather!(v, Date, 0),
+        };
+        ColumnVec {
+            values,
+            nulls: NullMask::from_valid_bits(bits),
+        }
+    }
+
+    /// Gather the rows a [`SelVec`] selects. `All` clones the column.
+    pub fn take_sel(&self, sel: &SelVec) -> Self {
+        match sel {
+            SelVec::All(_) => self.clone(),
+            SelVec::Ids(ids) => {
+                let indices: Vec<usize> = ids.iter().map(|&i| i as usize).collect();
+                self.take(&indices)
+            }
         }
     }
 
@@ -456,6 +540,18 @@ impl Chunk {
             schema: Arc::clone(&self.schema),
             columns: self.columns.iter().map(|c| c.take(indices)).collect(),
             len: indices.len(),
+        }
+    }
+
+    /// Keep the rows a [`SelVec`] selects. The all-rows form is free (the
+    /// chunk moves through untouched); a partial selection gathers once.
+    pub fn take_sel(self, sel: &SelVec) -> Self {
+        match sel {
+            SelVec::All(_) => self,
+            SelVec::Ids(ids) => {
+                let indices: Vec<usize> = ids.iter().map(|&i| i as usize).collect();
+                self.take(&indices)
+            }
         }
     }
 

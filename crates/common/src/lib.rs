@@ -14,10 +14,12 @@ pub mod collation;
 pub mod error;
 pub mod hash;
 pub mod schema;
+pub mod selvec;
 pub mod value;
 
 pub use chunk::{Chunk, ColumnVec, NullMask, Values};
 pub use collation::Collation;
 pub use error::{Result, TvError};
 pub use schema::{Field, Schema, SchemaRef};
+pub use selvec::SelVec;
 pub use value::{DataType, Value};

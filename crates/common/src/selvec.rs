@@ -1,0 +1,156 @@
+//! Selection vectors: the qualifying-row set a predicate produces.
+//!
+//! A [`SelVec`] is either the compact "every row qualifies" form or a sorted
+//! list of qualifying row ids (`u32`, matching the chunk row-count bound).
+//! Operators evaluate predicates into a `SelVec` and iterate the survivors
+//! directly, so an all-true residual costs nothing and a partial one costs
+//! one id list instead of a rematerialized chunk.
+//!
+//! Contract:
+//! * ids are strictly increasing and `< len` of the chunk they select from;
+//! * `All(n)` and `Ids(0..n)` are semantically equal — producers should
+//!   collapse to `All` when every row qualifies (see [`SelVec::from_mask`])
+//!   so consumers can branch on [`SelVec::is_all`] for the no-copy path.
+
+/// Qualifying rows of one chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelVec {
+    /// All rows `0..n` qualify.
+    All(usize),
+    /// Sorted, deduplicated qualifying row ids.
+    Ids(Vec<u32>),
+}
+
+impl SelVec {
+    /// Every row of an `n`-row chunk.
+    pub fn all(n: usize) -> Self {
+        SelVec::All(n)
+    }
+
+    /// No rows.
+    pub fn none() -> Self {
+        SelVec::Ids(Vec::new())
+    }
+
+    /// Collapse a boolean mask into a selection vector (`true` = keep).
+    pub fn from_mask(mask: &[bool]) -> Self {
+        let count = mask.iter().filter(|&&b| b).count();
+        if count == mask.len() {
+            return SelVec::All(mask.len());
+        }
+        let mut ids = Vec::with_capacity(count);
+        for (i, &keep) in mask.iter().enumerate() {
+            if keep {
+                ids.push(i as u32);
+            }
+        }
+        SelVec::Ids(ids)
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        match self {
+            SelVec::All(n) => *n,
+            SelVec::Ids(ids) => ids.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when every row of the source chunk is selected.
+    pub fn is_all(&self) -> bool {
+        matches!(self, SelVec::All(_))
+    }
+
+    /// The raw `&[u32]` id view, or `None` in the compact all-rows form.
+    pub fn ids(&self) -> Option<&[u32]> {
+        match self {
+            SelVec::All(_) => None,
+            SelVec::Ids(ids) => Some(ids),
+        }
+    }
+
+    /// Iterate the selected row indices.
+    pub fn iter(&self) -> SelIter<'_> {
+        match self {
+            SelVec::All(n) => SelIter::All(0..*n),
+            SelVec::Ids(ids) => SelIter::Ids(ids.iter()),
+        }
+    }
+
+    /// Expand back into a boolean mask over an `n`-row chunk.
+    pub fn to_mask(&self, n: usize) -> Vec<bool> {
+        match self {
+            SelVec::All(_) => vec![true; n],
+            SelVec::Ids(ids) => {
+                let mut mask = vec![false; n];
+                for &i in ids {
+                    mask[i as usize] = true;
+                }
+                mask
+            }
+        }
+    }
+}
+
+/// Iterator over the selected row indices of a [`SelVec`].
+pub enum SelIter<'a> {
+    All(std::ops::Range<usize>),
+    Ids(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for SelIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            SelIter::All(r) => r.next(),
+            SelIter::Ids(it) => it.next().map(|&i| i as usize),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            SelIter::All(r) => r.size_hint(),
+            SelIter::Ids(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for SelIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_collapses_to_all() {
+        assert_eq!(SelVec::from_mask(&[true, true]), SelVec::All(2));
+        assert_eq!(
+            SelVec::from_mask(&[true, false, true]),
+            SelVec::Ids(vec![0, 2])
+        );
+        assert_eq!(SelVec::from_mask(&[]), SelVec::All(0));
+    }
+
+    #[test]
+    fn roundtrips_through_mask() {
+        let mask = [true, false, false, true, true];
+        let sel = SelVec::from_mask(&mask);
+        assert_eq!(sel.len(), 3);
+        assert!(!sel.is_all());
+        assert_eq!(sel.to_mask(5), mask.to_vec());
+        assert_eq!(sel.iter().collect::<Vec<_>>(), vec![0, 3, 4]);
+        assert_eq!(sel.ids(), Some(&[0u32, 3, 4][..]));
+    }
+
+    #[test]
+    fn all_iterates_every_row() {
+        let sel = SelVec::all(3);
+        assert_eq!(sel.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(sel.ids(), None);
+        assert!(SelVec::none().is_empty());
+    }
+}

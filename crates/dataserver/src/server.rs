@@ -164,9 +164,17 @@ impl DataServer {
     }
 
     /// Prometheus-style exposition of every metric the server's processor
-    /// (and the pools, caches and backends beneath it) has registered.
+    /// (and the pools, caches and backends beneath it) has registered, plus
+    /// the process-wide registry (the TDE's kernel-selection counters
+    /// `tv_tde_kernel_fastpath_total` / `tv_tde_kernel_fallback_total` live
+    /// there — executor code has no handle to a per-server registry).
     pub fn metrics_text(&self) -> String {
-        self.processor.obs.registry.render_text()
+        let mut text = self.processor.obs.registry.render_text();
+        let global = tabviz_obs::global().render_text();
+        if !global.is_empty() {
+            text.push_str(&global);
+        }
+        text
     }
 
     /// Stable sorted snapshot of the same metrics, for programmatic checks.

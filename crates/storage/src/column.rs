@@ -402,7 +402,10 @@ impl StoredColumn {
             PhysVec::Date(v) => Value::Date(v[i]),
             PhysVec::Code(v) => {
                 let dict = self.dict.as_ref().expect("code vector without dictionary");
-                Value::Str(dict[v[i] as usize].clone())
+                // Null rows carry placeholder code 0, which an all-null
+                // column's empty dictionary cannot resolve; the null mask
+                // governs what the row means, so decode a placeholder.
+                Value::Str(dict.get(v[i] as usize).cloned().unwrap_or_default())
             }
         }
     }
@@ -505,10 +508,12 @@ impl StoredColumn {
             PhysVec::Date(v) => Values::Date(v[start..start + len].to_vec()),
             PhysVec::Code(v) => {
                 let dict = self.dict.as_ref().expect("code vector without dictionary");
+                // Placeholder codes on null rows may fall outside an all-null
+                // column's empty dictionary; the null mask masks them out.
                 Values::Str(
                     v[start..start + len]
                         .iter()
-                        .map(|&c| dict[c as usize].clone())
+                        .map(|&c| dict.get(c as usize).cloned().unwrap_or_default())
                         .collect(),
                 )
             }
@@ -697,8 +702,14 @@ fn append_repeat(
         (Values::Real(o), PhysVec::Real(v)) => o.extend(std::iter::repeat_n(v[k], n)),
         (Values::Date(o), PhysVec::Date(v)) => o.extend(std::iter::repeat_n(v[k], n)),
         (Values::Str(o), PhysVec::Code(v)) => {
-            let s = &dict.expect("code vector without dictionary")[v[k] as usize];
-            o.extend(std::iter::repeat_n(s.clone(), n));
+            // Null runs carry placeholder code 0 even when the dictionary is
+            // empty (all-null column); the null mask masks the value out.
+            let s = dict
+                .expect("code vector without dictionary")
+                .get(v[k] as usize)
+                .cloned()
+                .unwrap_or_default();
+            o.extend(std::iter::repeat_n(s, n));
         }
         _ => unreachable!("mismatched decode target"),
     }

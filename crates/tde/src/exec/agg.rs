@@ -8,13 +8,16 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use tabviz_common::{Chunk, Collation, ColumnVec, Result, SchemaRef, Value};
+use tabviz_common::{
+    Chunk, Collation, ColumnVec, DataType, NullMask, Result, SchemaRef, SelVec, Value, Values,
+};
 use tabviz_storage::Table;
-use tabviz_tql::agg::AggState;
+use tabviz_tql::agg::{AggFunc, AggState};
 use tabviz_tql::expr::Expr;
 use tabviz_tql::AggCall;
 
 use super::join::normalize_key;
+use super::key::{self, GroupTable, KeyLayout};
 use super::PhysOp;
 
 /// Evaluate group expressions and aggregate arguments for one chunk.
@@ -40,24 +43,422 @@ fn group_collations(schema: &SchemaRef, n_groups: usize) -> Vec<Collation> {
     (0..n_groups).map(|i| schema.field(i).collation).collect()
 }
 
-/// Assemble the output chunk from per-group representative values + states.
+/// Assemble the output chunk from per-group representative values + states,
+/// column-at-a-time: each output column is built directly (group
+/// representatives first, then finished aggregates) — no intermediate
+/// row-major `Vec<Vec<Value>>`.
 fn finish_groups(schema: &SchemaRef, groups: Vec<(Vec<Value>, Vec<AggState>)>) -> Result<Chunk> {
-    let rows: Vec<Vec<Value>> = groups
-        .into_iter()
-        .map(|(mut reps, states)| {
-            reps.extend(states.iter().map(AggState::finish));
-            reps
+    let n_group_cols = groups.first().map_or(0, |(reps, _)| reps.len());
+    let mut cols = Vec::with_capacity(schema.len());
+    for ci in 0..schema.len() {
+        let dtype = schema.field(ci).dtype;
+        let vals: Vec<Value> = if ci < n_group_cols {
+            groups.iter().map(|(reps, _)| reps[ci].clone()).collect()
+        } else {
+            groups
+                .iter()
+                .map(|(_, states)| states[ci - n_group_cols].finish())
+                .collect()
+        };
+        cols.push(ColumnVec::from_iter_typed(dtype, vals.iter())?);
+    }
+    Chunk::new(Arc::clone(schema), cols)
+}
+
+/// Typed columnar accumulator for one aggregate call across all groups.
+///
+/// The variant is chosen once at operator construction from the declared
+/// argument type; `update_batch` then runs a tight loop over the typed
+/// slice. If a chunk ever delivers a different `Values` variant than the
+/// declared type promised (exotic expressions, untyped NULL literals), the
+/// accumulated state migrates losslessly into the row-wise [`AggState`]
+/// fallback (`Rows`) and processing continues — never an error the old
+/// row path would not have raised.
+enum AggStateCol {
+    CountStar {
+        counts: Vec<i64>,
+    },
+    CountCol {
+        counts: Vec<i64>,
+    },
+    SumInt {
+        sums: Vec<i64>,
+        seen: Vec<bool>,
+    },
+    SumReal {
+        sums: Vec<f64>,
+        seen: Vec<bool>,
+    },
+    MinMaxInt {
+        vals: Vec<i64>,
+        seen: Vec<bool>,
+        is_min: bool,
+    },
+    MinMaxReal {
+        vals: Vec<f64>,
+        seen: Vec<bool>,
+        is_min: bool,
+    },
+    AvgNum {
+        sums: Vec<f64>,
+        counts: Vec<i64>,
+    },
+    Rows {
+        func: AggFunc,
+        states: Vec<AggState>,
+    },
+}
+
+impl AggStateCol {
+    fn new(call: &AggCall, input_schema: &SchemaRef) -> Self {
+        let arg_dtype = call
+            .arg
+            .as_ref()
+            .and_then(|e| e.data_type(input_schema).ok());
+        match (call.func, call.arg.is_some(), arg_dtype) {
+            (AggFunc::Count, false, _) => AggStateCol::CountStar { counts: Vec::new() },
+            (AggFunc::Count, true, _) => AggStateCol::CountCol { counts: Vec::new() },
+            (AggFunc::Sum, _, Some(DataType::Int)) => AggStateCol::SumInt {
+                sums: Vec::new(),
+                seen: Vec::new(),
+            },
+            (AggFunc::Sum, _, Some(DataType::Real)) => AggStateCol::SumReal {
+                sums: Vec::new(),
+                seen: Vec::new(),
+            },
+            (AggFunc::Min, _, Some(DataType::Int)) | (AggFunc::Max, _, Some(DataType::Int)) => {
+                AggStateCol::MinMaxInt {
+                    vals: Vec::new(),
+                    seen: Vec::new(),
+                    is_min: call.func == AggFunc::Min,
+                }
+            }
+            (AggFunc::Min, _, Some(DataType::Real)) | (AggFunc::Max, _, Some(DataType::Real)) => {
+                AggStateCol::MinMaxReal {
+                    vals: Vec::new(),
+                    seen: Vec::new(),
+                    is_min: call.func == AggFunc::Min,
+                }
+            }
+            (AggFunc::Avg, _, Some(DataType::Int | DataType::Real)) => AggStateCol::AvgNum {
+                sums: Vec::new(),
+                counts: Vec::new(),
+            },
+            (func, _, _) => AggStateCol::Rows {
+                func,
+                states: Vec::new(),
+            },
+        }
+    }
+
+    /// Grow every per-group slot to `n` groups (identity elements).
+    fn resize(&mut self, n: usize) {
+        match self {
+            AggStateCol::CountStar { counts } | AggStateCol::CountCol { counts } => {
+                counts.resize(n, 0)
+            }
+            AggStateCol::SumInt { sums, seen } => {
+                sums.resize(n, 0);
+                seen.resize(n, false);
+            }
+            AggStateCol::SumReal { sums, seen } => {
+                sums.resize(n, 0.0);
+                seen.resize(n, false);
+            }
+            AggStateCol::MinMaxInt { vals, seen, .. } => {
+                vals.resize(n, 0);
+                seen.resize(n, false);
+            }
+            AggStateCol::MinMaxReal { vals, seen, .. } => {
+                vals.resize(n, 0.0);
+                seen.resize(n, false);
+            }
+            AggStateCol::AvgNum { sums, counts } => {
+                sums.resize(n, 0.0);
+                counts.resize(n, 0);
+            }
+            AggStateCol::Rows { func, states } => {
+                let f = *func;
+                states.resize_with(n, || AggState::new(f));
+            }
+        }
+    }
+
+    fn update_batch(&mut self, arg: Option<&ColumnVec>, sel: &SelVec, gids: &[u32]) -> Result<()> {
+        if self.try_update_typed(arg, sel, gids)? {
+            return Ok(());
+        }
+        // Declared type and delivered Values variant disagree: migrate the
+        // accumulated state into the row-wise path and retry (always taken).
+        self.migrate_to_rows();
+        self.try_update_typed(arg, sel, gids)?;
+        Ok(())
+    }
+
+    /// One chunk's worth of updates. `gids[k]` is the group of the k-th
+    /// *selected* row (parallel to `sel.iter()`). Returns `false` when the
+    /// typed variant does not match the delivered column.
+    fn try_update_typed(
+        &mut self,
+        arg: Option<&ColumnVec>,
+        sel: &SelVec,
+        gids: &[u32],
+    ) -> Result<bool> {
+        match self {
+            AggStateCol::CountStar { counts } => {
+                for &g in gids {
+                    counts[g as usize] += 1;
+                }
+            }
+            AggStateCol::CountCol { counts } => {
+                let col = arg.expect("COUNT(col) has an argument");
+                match col.nulls.valid_bits() {
+                    None => {
+                        for &g in gids {
+                            counts[g as usize] += 1;
+                        }
+                    }
+                    Some(valid) => {
+                        for (row, &g) in sel.iter().zip(gids) {
+                            if valid[row] {
+                                counts[g as usize] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            AggStateCol::SumInt { sums, seen } => {
+                let col = arg.expect("SUM has an argument");
+                let Some(xs) = col.values.as_int() else {
+                    return Ok(false);
+                };
+                let valid = col.nulls.valid_bits();
+                for (row, &g) in sel.iter().zip(gids) {
+                    if valid.is_none_or(|v| v[row]) {
+                        sums[g as usize] += xs[row];
+                        seen[g as usize] = true;
+                    }
+                }
+            }
+            AggStateCol::SumReal { sums, seen } => {
+                let col = arg.expect("SUM has an argument");
+                let Some(xs) = col.values.as_real() else {
+                    return Ok(false);
+                };
+                let valid = col.nulls.valid_bits();
+                for (row, &g) in sel.iter().zip(gids) {
+                    if valid.is_none_or(|v| v[row]) {
+                        sums[g as usize] += xs[row];
+                        seen[g as usize] = true;
+                    }
+                }
+            }
+            AggStateCol::MinMaxInt { vals, seen, is_min } => {
+                let col = arg.expect("MIN/MAX has an argument");
+                let Some(xs) = col.values.as_int() else {
+                    return Ok(false);
+                };
+                let valid = col.nulls.valid_bits();
+                let is_min = *is_min;
+                for (row, &g) in sel.iter().zip(gids) {
+                    if valid.is_none_or(|v| v[row]) {
+                        let g = g as usize;
+                        let x = xs[row];
+                        if !seen[g] || (is_min && x < vals[g]) || (!is_min && x > vals[g]) {
+                            vals[g] = x;
+                            seen[g] = true;
+                        }
+                    }
+                }
+            }
+            AggStateCol::MinMaxReal { vals, seen, is_min } => {
+                let col = arg.expect("MIN/MAX has an argument");
+                let Some(xs) = col.values.as_real() else {
+                    return Ok(false);
+                };
+                let valid = col.nulls.valid_bits();
+                let is_min = *is_min;
+                for (row, &g) in sel.iter().zip(gids) {
+                    if valid.is_none_or(|v| v[row]) {
+                        let g = g as usize;
+                        let x = xs[row];
+                        let better = if is_min {
+                            x.total_cmp(&vals[g]).is_lt()
+                        } else {
+                            x.total_cmp(&vals[g]).is_gt()
+                        };
+                        if !seen[g] || better {
+                            vals[g] = x;
+                            seen[g] = true;
+                        }
+                    }
+                }
+            }
+            AggStateCol::AvgNum { sums, counts } => {
+                let col = arg.expect("AVG has an argument");
+                let valid = col.nulls.valid_bits();
+                if let Some(xs) = col.values.as_int() {
+                    for (row, &g) in sel.iter().zip(gids) {
+                        if valid.is_none_or(|v| v[row]) {
+                            sums[g as usize] += xs[row] as f64;
+                            counts[g as usize] += 1;
+                        }
+                    }
+                } else if let Some(xs) = col.values.as_real() {
+                    for (row, &g) in sel.iter().zip(gids) {
+                        if valid.is_none_or(|v| v[row]) {
+                            sums[g as usize] += xs[row];
+                            counts[g as usize] += 1;
+                        }
+                    }
+                } else {
+                    return Ok(false);
+                }
+            }
+            AggStateCol::Rows { states, .. } => {
+                for (row, &g) in sel.iter().zip(gids) {
+                    match arg {
+                        None => states[g as usize].update(None)?,
+                        Some(col) => {
+                            let v = col.get(row);
+                            states[g as usize].update(Some(&v))?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Convert accumulated typed state into equivalent [`AggState`]s.
+    fn migrate_to_rows(&mut self) {
+        let (func, states): (AggFunc, Vec<AggState>) = match self {
+            AggStateCol::CountStar { counts } | AggStateCol::CountCol { counts } => (
+                AggFunc::Count,
+                counts.iter().map(|&c| AggState::Count(c)).collect(),
+            ),
+            AggStateCol::SumInt { sums, seen } => (
+                AggFunc::Sum,
+                sums.iter()
+                    .zip(seen.iter())
+                    .map(|(&s, &sn)| AggState::Sum {
+                        int: s,
+                        real: s as f64,
+                        is_real: false,
+                        seen: sn,
+                    })
+                    .collect(),
+            ),
+            AggStateCol::SumReal { sums, seen } => (
+                AggFunc::Sum,
+                sums.iter()
+                    .zip(seen.iter())
+                    .map(|(&s, &sn)| AggState::Sum {
+                        int: 0,
+                        real: s,
+                        is_real: sn,
+                        seen: sn,
+                    })
+                    .collect(),
+            ),
+            AggStateCol::MinMaxInt { vals, seen, is_min } => {
+                let f = if *is_min { AggFunc::Min } else { AggFunc::Max };
+                let mk = |v: Option<Value>| {
+                    if *is_min {
+                        AggState::Min(v)
+                    } else {
+                        AggState::Max(v)
+                    }
+                };
+                (
+                    f,
+                    vals.iter()
+                        .zip(seen.iter())
+                        .map(|(&v, &sn)| mk(sn.then_some(Value::Int(v))))
+                        .collect(),
+                )
+            }
+            AggStateCol::MinMaxReal { vals, seen, is_min } => {
+                let f = if *is_min { AggFunc::Min } else { AggFunc::Max };
+                let mk = |v: Option<Value>| {
+                    if *is_min {
+                        AggState::Min(v)
+                    } else {
+                        AggState::Max(v)
+                    }
+                };
+                (
+                    f,
+                    vals.iter()
+                        .zip(seen.iter())
+                        .map(|(&v, &sn)| mk(sn.then_some(Value::Real(v))))
+                        .collect(),
+                )
+            }
+            AggStateCol::AvgNum { sums, counts } => (
+                AggFunc::Avg,
+                sums.iter()
+                    .zip(counts.iter())
+                    .map(|(&s, &c)| AggState::Avg { sum: s, count: c })
+                    .collect(),
+            ),
+            AggStateCol::Rows { .. } => return,
+        };
+        *self = AggStateCol::Rows { func, states };
+    }
+
+    /// Build the output column directly — no per-group `Value` round trip
+    /// for the typed variants.
+    fn finish_column(self, dtype: DataType) -> Result<ColumnVec> {
+        Ok(match self {
+            AggStateCol::CountStar { counts } | AggStateCol::CountCol { counts } => {
+                ColumnVec::from_values(Values::Int(counts))
+            }
+            AggStateCol::SumInt { sums, seen } => {
+                ColumnVec::new(Values::Int(sums), NullMask::from_valid_bits(seen))
+            }
+            AggStateCol::SumReal { sums, seen } => {
+                ColumnVec::new(Values::Real(sums), NullMask::from_valid_bits(seen))
+            }
+            AggStateCol::MinMaxInt { vals, seen, .. } => {
+                ColumnVec::new(Values::Int(vals), NullMask::from_valid_bits(seen))
+            }
+            AggStateCol::MinMaxReal { vals, seen, .. } => {
+                ColumnVec::new(Values::Real(vals), NullMask::from_valid_bits(seen))
+            }
+            AggStateCol::AvgNum { sums, counts } => {
+                let valid: Vec<bool> = counts.iter().map(|&c| c > 0).collect();
+                let avgs: Vec<f64> = sums
+                    .iter()
+                    .zip(counts.iter())
+                    .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+                    .collect();
+                ColumnVec::new(Values::Real(avgs), NullMask::from_valid_bits(valid))
+            }
+            AggStateCol::Rows { states, .. } => {
+                let vals: Vec<Value> = states.iter().map(AggState::finish).collect();
+                ColumnVec::from_iter_typed(dtype, vals.iter())?
+            }
         })
-        .collect();
-    Chunk::from_rows(Arc::clone(schema), &rows)
+    }
 }
 
 /// Stop-and-go hash aggregation.
+///
+/// Two execution paths, chosen once per operator (see `key::fallback_reason`
+/// and DESIGN.md §14): the packed-key fast path encodes group keys into
+/// fixed-width words ([`GroupTable`]) and updates typed columnar accumulators
+/// ([`AggStateCol`]); the retained fallback keys a hash map with
+/// `Vec<Value>` rows. An optional fused residual predicate (absorbed from a
+/// child `Filter` by `make_op_raw`) is evaluated to a [`SelVec`] so the
+/// fast path never rematerializes filtered chunks.
 pub struct HashAggOp {
     input: Box<dyn PhysOp>,
     group_by: Vec<(Expr, String)>,
     aggs: Vec<AggCall>,
     schema: SchemaRef,
+    kernels: bool,
+    residual: Option<Expr>,
     done: bool,
 }
 
@@ -73,27 +474,112 @@ impl HashAggOp {
             group_by,
             aggs,
             schema,
+            kernels: true,
+            residual: None,
             done: false,
         }
     }
-}
 
-impl PhysOp for HashAggOp {
-    fn schema(&self) -> SchemaRef {
-        Arc::clone(&self.schema)
+    pub fn with_kernels(mut self, kernels: bool) -> Self {
+        self.kernels = kernels;
+        self
     }
 
-    fn next(&mut self) -> Result<Option<Chunk>> {
-        if self.done {
-            return Ok(None);
+    pub fn with_residual(mut self, predicate: Expr) -> Self {
+        self.residual = Some(predicate);
+        self
+    }
+
+    /// Packed-key fast path: fixed-width group keys, dense group ids,
+    /// typed columnar accumulators, direct output-column assembly.
+    fn drain_fast(&mut self) -> Result<Option<Chunk>> {
+        let n_keys = self.group_by.len();
+        let dtypes: Vec<DataType> = (0..n_keys).map(|i| self.schema.field(i).dtype).collect();
+        let collations = group_collations(&self.schema, n_keys);
+        let mut table = GroupTable::new(KeyLayout::new(dtypes, collations));
+        // Group representative columns, grown in first-seen group order.
+        let mut reps: Vec<ColumnVec> = (0..n_keys)
+            .map(|i| ColumnVec::from_values(Values::with_capacity(self.schema.field(i).dtype, 0)))
+            .collect();
+        let input_schema = self.input.schema();
+        let mut states: Vec<AggStateCol> = self
+            .aggs
+            .iter()
+            .map(|a| AggStateCol::new(a, &input_schema))
+            .collect();
+        let mut gids: Vec<u32> = Vec::new();
+        while let Some(chunk) = self.input.next()? {
+            if chunk.is_empty() {
+                continue;
+            }
+            let sel = match &self.residual {
+                None => SelVec::all(chunk.len()),
+                Some(p) => p.eval_predicate_sel(&chunk)?,
+            };
+            if sel.is_empty() {
+                continue;
+            }
+            let ev = eval_set(&chunk, &self.group_by, &self.aggs)?;
+            let gcols: Vec<&ColumnVec> = ev.groups.iter().collect();
+            let keys = table.encode(&gcols, chunk.len());
+            gids.clear();
+            let mut fresh: Vec<usize> = Vec::new();
+            for row in sel.iter() {
+                let (gid, new) = table.lookup_or_insert(&keys, row);
+                gids.push(gid);
+                if new {
+                    fresh.push(row);
+                }
+            }
+            if !fresh.is_empty() {
+                for (ci, rep) in reps.iter_mut().enumerate() {
+                    append_coerced(
+                        rep,
+                        &ev.groups[ci].take(&fresh),
+                        self.schema.field(ci).dtype,
+                    )?;
+                }
+            }
+            let n_groups = table.n_groups();
+            for (st, arg) in states.iter_mut().zip(&ev.args) {
+                st.resize(n_groups);
+                st.update_batch(arg.as_ref(), &sel, &gids)?;
+            }
         }
-        self.done = true;
+        if table.n_groups() == 0 {
+            if !self.group_by.is_empty() {
+                return Ok(None);
+            }
+            // Global aggregate on empty input still emits one row.
+            for st in states.iter_mut() {
+                st.resize(1);
+            }
+        }
+        let mut cols = reps;
+        for (ai, st) in states.into_iter().enumerate() {
+            cols.push(st.finish_column(self.schema.field(n_keys + ai).dtype)?);
+        }
+        Ok(Some(Chunk::new(Arc::clone(&self.schema), cols)?))
+    }
+
+    /// Retained `Vec<Value>`-keyed path (disabled kernels, wide keys).
+    fn drain_fallback(&mut self) -> Result<Option<Chunk>> {
         let collations = group_collations(&self.schema, self.group_by.len());
         // key → (representative raw values, states)
         let mut table: HashMap<Vec<Value>, (Vec<Value>, Vec<AggState>)> = HashMap::new();
         // Preserve first-seen group order for deterministic output.
         let mut order: Vec<Vec<Value>> = Vec::new();
         while let Some(chunk) = self.input.next()? {
+            let chunk = match &self.residual {
+                None => chunk,
+                Some(p) => {
+                    let sel = p.eval_predicate_sel(&chunk)?;
+                    chunk.take_sel(&sel)
+                }
+            };
+            if chunk.is_empty() {
+                continue;
+            }
             let ev = eval_set(&chunk, &self.group_by, &self.aggs)?;
             for row in 0..chunk.len() {
                 let mut key = Vec::with_capacity(ev.groups.len());
@@ -131,6 +617,37 @@ impl PhysOp for HashAggOp {
             .map(|k| table.remove(&k).expect("ordered key present"))
             .collect();
         Ok(Some(finish_groups(&self.schema, groups)?))
+    }
+}
+
+/// Append `src` to `dst`, coercing through `Value`s only when the evaluated
+/// variant differs from the schema dtype (e.g. an Int-valued expression in a
+/// Real-typed field).
+fn append_coerced(dst: &mut ColumnVec, src: &ColumnVec, dtype: DataType) -> Result<()> {
+    if src.values.data_type() == dtype {
+        dst.append(src)
+    } else {
+        let vals: Vec<Value> = (0..src.len()).map(|i| src.get(i)).collect();
+        dst.append(&ColumnVec::from_iter_typed(dtype, vals.iter())?)
+    }
+}
+
+impl PhysOp for HashAggOp {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> Result<Option<Chunk>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let fallback = key::fallback_reason(self.group_by.len(), self.kernels);
+        key::report_kernel_choice("tde_hash_agg", fallback);
+        match fallback {
+            None => self.drain_fast(),
+            Some(_) => self.drain_fallback(),
+        }
     }
 }
 

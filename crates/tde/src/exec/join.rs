@@ -10,9 +10,10 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use tabviz_common::{Chunk, Collation, Result, SchemaRef, TvError, Value};
+use tabviz_common::{Chunk, Collation, ColumnVec, DataType, Result, SchemaRef, TvError, Value};
 use tabviz_tql::JoinType;
 
+use super::key::{self, KeyLayout, PackedJoinIndex};
 use super::PhysOp;
 use crate::physical::BuildSide;
 
@@ -26,20 +27,41 @@ pub fn normalize_key(v: Value, collation: Collation) -> Value {
 }
 
 /// The materialized build side of a hash join: the build chunk plus an index
-/// from normalized key to row numbers.
+/// over its key columns. Exactly one index form is populated, decided by
+/// `key::fallback_reason` at build time: the packed fixed-width form
+/// ([`PackedJoinIndex`], hashes batched column-at-a-time) or the retained
+/// `Vec<Value>`-keyed map.
 pub struct JoinBuild {
     pub chunk: Chunk,
     pub index: HashMap<Vec<Value>, Vec<u32>>,
     pub key_collations: Vec<Collation>,
+    pub(crate) packed: Option<PackedJoinIndex>,
 }
 
 impl JoinBuild {
     /// Build the hash table over `key_cols` of `chunk`.
-    pub fn build(chunk: Chunk, key_cols: &[usize], schema: &SchemaRef) -> Result<Self> {
+    pub fn build(
+        chunk: Chunk,
+        key_cols: &[usize],
+        schema: &SchemaRef,
+        kernels: bool,
+    ) -> Result<Self> {
         let key_collations: Vec<Collation> = key_cols
             .iter()
             .map(|&i| schema.field(i).collation)
             .collect();
+        if key::fallback_reason(key_cols.len(), kernels).is_none() {
+            let dtypes: Vec<DataType> = key_cols.iter().map(|&i| schema.field(i).dtype).collect();
+            let layout = KeyLayout::new(dtypes, key_collations.clone());
+            let cols: Vec<&ColumnVec> = key_cols.iter().map(|&i| chunk.column(i)).collect();
+            let packed = PackedJoinIndex::build(layout, &cols, chunk.len());
+            return Ok(JoinBuild {
+                chunk,
+                index: HashMap::new(),
+                key_collations,
+                packed: Some(packed),
+            });
+        }
         let mut index: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(chunk.len());
         for row in 0..chunk.len() {
             let mut key = Vec::with_capacity(key_cols.len());
@@ -61,6 +83,7 @@ impl JoinBuild {
             chunk,
             index,
             key_collations,
+            packed: None,
         })
     }
 }
@@ -88,6 +111,12 @@ impl HashJoinOp {
             .iter()
             .map(|k| probe_schema.index_of(k))
             .collect::<Result<Vec<_>>>()?;
+        // Same decision JoinBuild::build makes for the index form, attributed
+        // once per probe operator.
+        key::report_kernel_choice(
+            "tde_hash_join",
+            key::fallback_reason(build_side.key_cols.len(), build_side.kernels),
+        );
         Ok(HashJoinOp {
             probe,
             build_side,
@@ -95,6 +124,30 @@ impl HashJoinOp {
             probe_key_idx,
             join_type,
             schema,
+        })
+    }
+
+    /// Gather the output chunk: probe columns by `probe_rows`, build columns
+    /// by `build_rows` (`None` ⇒ NULL for left-join misses) — columns are
+    /// built directly, no per-value round trip.
+    fn assemble(
+        &self,
+        probe_chunk: &Chunk,
+        build_chunk: &Chunk,
+        probe_rows: &[usize],
+        build_rows: &[Option<u32>],
+    ) -> Result<Chunk> {
+        let probe_part = probe_chunk.take(probe_rows);
+        let mut cols = probe_part.columns().to_vec();
+        for ci in 0..build_chunk.num_columns() {
+            cols.push(build_chunk.column(ci).take_opt(build_rows));
+        }
+        debug_assert_eq!(cols.len(), self.schema.len());
+        Chunk::new(Arc::clone(&self.schema), cols).map_err(|e| {
+            TvError::Exec(format!(
+                "join output assembly failed: {e} (rows {})",
+                probe_rows.len()
+            ))
         })
     }
 }
@@ -114,34 +167,57 @@ impl PhysOp for HashJoinOp {
                 return Ok(None);
             };
             let mut probe_rows: Vec<usize> = Vec::new();
-            let mut build_rows: Vec<Option<usize>> = Vec::new();
-            for row in 0..probe_chunk.len() {
-                let mut key = Vec::with_capacity(self.probe_key_idx.len());
-                let mut has_null = false;
-                for (k, &ci) in self.probe_key_idx.iter().enumerate() {
-                    let v = probe_chunk.column(ci).get(row);
-                    if v.is_null() {
-                        has_null = true;
-                        break;
+            let mut build_rows: Vec<Option<u32>> = Vec::new();
+            if let Some(packed) = &build.packed {
+                // Packed fast path: encode the whole probe chunk's keys
+                // column-at-a-time, then walk hash matches per row.
+                let cols: Vec<&ColumnVec> = self
+                    .probe_key_idx
+                    .iter()
+                    .map(|&ci| probe_chunk.column(ci))
+                    .collect();
+                let keys = packed.encode_probe(&cols, probe_chunk.len());
+                for row in 0..probe_chunk.len() {
+                    let mut matched = false;
+                    for br in packed.matches(&keys, row) {
+                        matched = true;
+                        probe_rows.push(row);
+                        build_rows.push(Some(br));
                     }
-                    key.push(normalize_key(v, build.key_collations[k]));
+                    if !matched && self.join_type == JoinType::Left {
+                        probe_rows.push(row);
+                        build_rows.push(None);
+                    }
                 }
-                let matches = if has_null {
-                    None
-                } else {
-                    build.index.get(&key)
-                };
-                match matches {
-                    Some(rows) => {
-                        for &br in rows {
-                            probe_rows.push(row);
-                            build_rows.push(Some(br as usize));
+            } else {
+                for row in 0..probe_chunk.len() {
+                    let mut key = Vec::with_capacity(self.probe_key_idx.len());
+                    let mut has_null = false;
+                    for (k, &ci) in self.probe_key_idx.iter().enumerate() {
+                        let v = probe_chunk.column(ci).get(row);
+                        if v.is_null() {
+                            has_null = true;
+                            break;
                         }
+                        key.push(normalize_key(v, build.key_collations[k]));
                     }
-                    None => {
-                        if self.join_type == JoinType::Left {
-                            probe_rows.push(row);
-                            build_rows.push(None);
+                    let matches = if has_null {
+                        None
+                    } else {
+                        build.index.get(&key)
+                    };
+                    match matches {
+                        Some(rows) => {
+                            for &br in rows {
+                                probe_rows.push(row);
+                                build_rows.push(Some(br));
+                            }
+                        }
+                        None => {
+                            if self.join_type == JoinType::Left {
+                                probe_rows.push(row);
+                                build_rows.push(None);
+                            }
                         }
                     }
                 }
@@ -149,32 +225,12 @@ impl PhysOp for HashJoinOp {
             if probe_rows.is_empty() {
                 continue;
             }
-            // Assemble: probe columns gathered by probe_rows, build columns
-            // gathered by build_rows (None ⇒ NULL for left-join misses).
-            let probe_part = probe_chunk.take(&probe_rows);
-            let n_out = probe_rows.len();
-            let mut cols = probe_part.columns().to_vec();
-            let build_chunk = &build.chunk;
-            for ci in 0..build_chunk.num_columns() {
-                let src = build_chunk.column(ci);
-                let values: Vec<Value> = build_rows
-                    .iter()
-                    .map(|br| match br {
-                        Some(r) => src.get(*r),
-                        None => Value::Null,
-                    })
-                    .collect();
-                let dtype = self.schema.field(probe_part.num_columns() + ci).dtype;
-                cols.push(tabviz_common::ColumnVec::from_iter_typed(
-                    dtype,
-                    values.iter(),
-                )?);
-            }
-            debug_assert_eq!(cols.len(), self.schema.len());
-            let out = Chunk::new(Arc::clone(&self.schema), cols).map_err(|e| {
-                TvError::Exec(format!("join output assembly failed: {e} (rows {n_out})"))
-            })?;
-            return Ok(Some(out));
+            return Ok(Some(self.assemble(
+                &probe_chunk,
+                &build.chunk,
+                &probe_rows,
+                &build_rows,
+            )?));
         }
     }
 }

@@ -9,6 +9,7 @@
 pub mod agg;
 pub mod exchange;
 pub mod join;
+pub(crate) mod key;
 mod scan_filter;
 
 use std::sync::Arc;
@@ -166,15 +167,29 @@ fn make_op_raw(plan: &PhysPlan) -> Result<Box<dyn PhysOp>> {
             input,
             group_by,
             aggs,
+            kernels,
             ..
         } => {
             let schema = plan.schema()?;
-            Box::new(agg::HashAggOp::new(
-                make_op(input)?,
-                group_by.clone(),
-                aggs.clone(),
-                schema,
-            ))
+            // Filter fusion: a residual Filter directly under the aggregate
+            // is absorbed as a selection vector — surviving rows feed the
+            // grouping kernel without rematerializing a chunk.
+            let (child, residual) = match (input.as_ref(), *kernels) {
+                (
+                    PhysPlan::Filter {
+                        input: finput,
+                        predicate,
+                    },
+                    true,
+                ) => (make_op(finput)?, Some(predicate.clone())),
+                _ => (make_op(input)?, None),
+            };
+            let mut op = agg::HashAggOp::new(child, group_by.clone(), aggs.clone(), schema)
+                .with_kernels(*kernels);
+            if let Some(pred) = residual {
+                op = op.with_residual(pred);
+            }
+            Box::new(op)
         }
         PhysPlan::StreamAgg {
             input,
@@ -402,15 +417,13 @@ impl PhysOp for FilterOp {
 
     fn next(&mut self) -> Result<Option<Chunk>> {
         while let Some(chunk) = self.input.next()? {
-            let mask = self.predicate.eval_predicate(&chunk)?;
-            // All-true mask: pass the chunk through without copying columns.
-            if mask.iter().all(|&m| m) {
-                if !chunk.is_empty() {
-                    return Ok(Some(chunk));
-                }
+            let sel = self.predicate.eval_predicate_sel(&chunk)?;
+            if sel.is_empty() {
                 continue;
             }
-            let filtered = chunk.filter(&mask)?;
+            // The all-rows selection moves the chunk through untouched; a
+            // partial one gathers once off the id list.
+            let filtered = chunk.take_sel(&sel);
             if !filtered.is_empty() {
                 return Ok(Some(filtered));
             }

@@ -246,11 +246,14 @@ fn go(
             join_type,
         } => {
             let built_plan = parallelize(&build.plan, opts)?;
-            let shared = Arc::new(BuildSide::new(
-                built_plan,
-                Arc::clone(&build.schema),
-                build.key_cols.clone(),
-            ));
+            let shared = Arc::new(
+                BuildSide::new(
+                    built_plan,
+                    Arc::clone(&build.schema),
+                    build.key_cols.clone(),
+                )
+                .with_kernels(build.kernels),
+            );
             let child = go(probe, opts, expr_cost + 2, agg_groups)?;
             // Conservative: a join may introduce build-side group columns,
             // so the partition guarantee is dropped.
@@ -278,13 +281,14 @@ fn go(
             input,
             group_by,
             aggs,
+            kernels,
             ..
-        } => parallel_aggregate(input, group_by, aggs, false, opts, expr_cost),
+        } => parallel_aggregate(input, group_by, aggs, false, *kernels, opts, expr_cost),
         PhysPlan::StreamAgg {
             input,
             group_by,
             aggs,
-        } => parallel_aggregate(input, group_by, aggs, true, opts, expr_cost),
+        } => parallel_aggregate(input, group_by, aggs, true, true, opts, expr_cost),
 
         // Stop-and-go: close parallelism below.
         PhysPlan::Sort { input, keys } => {
@@ -375,6 +379,7 @@ fn parallel_aggregate(
     group_by: &[(Expr, String)],
     aggs: &[AggCall],
     input_was_streaming: bool,
+    kernels: bool,
     opts: &ParallelOptions,
     expr_cost: u32,
 ) -> Result<Par> {
@@ -415,6 +420,7 @@ fn parallel_aggregate(
                     group_by: group_by.to_vec(),
                     aggs: aggs.to_vec(),
                     mode: AggMode::Single,
+                    kernels,
                 }
             };
             Ok(Par::Serial(node))
@@ -444,6 +450,7 @@ fn parallel_aggregate(
                                 group_by: group_by.to_vec(),
                                 aggs: aggs.to_vec(),
                                 mode: AggMode::Single,
+                                kernels,
                             }
                         }
                     })
@@ -483,12 +490,13 @@ fn parallel_aggregate(
                     group_by: group_by.to_vec(),
                     aggs: aggs.to_vec(),
                     mode: AggMode::Single,
+                    kernels,
                 };
                 return Ok(Par::Serial(node));
             }
 
             // Local/global split.
-            let plan = build_local_global(branches, group_by, aggs);
+            let plan = build_local_global(branches, group_by, aggs, kernels);
             Ok(Par::Serial(plan))
         }
     }
@@ -500,6 +508,7 @@ fn build_local_global(
     branches: Vec<PhysPlan>,
     group_by: &[(Expr, String)],
     aggs: &[AggCall],
+    kernels: bool,
 ) -> PhysPlan {
     let mut partial_calls: Vec<AggCall> = Vec::new();
     let mut final_calls: Vec<AggCall> = Vec::new();
@@ -535,6 +544,7 @@ fn build_local_global(
             group_by: group_by.to_vec(),
             aggs: partial_calls.clone(),
             mode: AggMode::Partial,
+            kernels,
         })
         .collect();
 
@@ -551,6 +561,7 @@ fn build_local_global(
         group_by: final_groups,
         aggs: final_calls,
         mode: AggMode::Final,
+        kernels,
     };
 
     if !needs_recombine {

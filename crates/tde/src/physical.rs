@@ -37,6 +37,9 @@ pub struct BuildSide {
     pub plan: PhysPlan,
     pub schema: SchemaRef,
     pub key_cols: Vec<usize>,
+    /// Allow the packed-key probe kernel (set from
+    /// [`PhysicalOptions::enable_vector_kernels`]).
+    pub kernels: bool,
     cell: OnceLock<Result<Arc<JoinBuild>>>,
 }
 
@@ -46,8 +49,14 @@ impl BuildSide {
             plan,
             schema,
             key_cols,
+            kernels: true,
             cell: OnceLock::new(),
         }
+    }
+
+    pub fn with_kernels(mut self, kernels: bool) -> Self {
+        self.kernels = kernels;
+        self
     }
 
     /// Execute the build plan (once) and return the shared hash table.
@@ -59,6 +68,7 @@ impl BuildSide {
                     chunk,
                     &self.key_cols,
                     &self.schema,
+                    self.kernels,
                 )?))
             })
             .clone()
@@ -121,6 +131,9 @@ pub enum PhysPlan {
         group_by: Vec<(Expr, String)>,
         aggs: Vec<AggCall>,
         mode: AggMode,
+        /// Allow the packed-key / typed-state aggregation kernel (set from
+        /// [`PhysicalOptions::enable_vector_kernels`]).
+        kernels: bool,
     },
     /// Streaming aggregate over input sorted by the group columns
     /// (Sect. 4.2.4: "if the data is grouped according to the group by
@@ -199,6 +212,7 @@ impl PhysPlan {
                 group_by,
                 aggs,
                 mode,
+                ..
             } => {
                 let s = input.schema()?;
                 agg_schema(s.as_ref(), group_by, aggs, *mode)
@@ -306,6 +320,7 @@ impl PhysPlan {
                 group_by,
                 aggs,
                 mode,
+                ..
             } => {
                 let gb: Vec<String> = group_by
                     .iter()
@@ -403,6 +418,10 @@ pub struct PhysicalOptions {
     /// Plan [`PhysPlan::RunAgg`]: COUNT/SUM/MIN/MAX over RLE runs without
     /// decoding.
     pub enable_run_agg: bool,
+    /// Use the type-specialized vectorized kernels (packed composite keys,
+    /// batched hashing, typed aggregate-state loops) in hash agg / hash
+    /// join. Off forces the retained `Value`-row fallback everywhere.
+    pub enable_vector_kernels: bool,
 }
 
 impl Default for PhysicalOptions {
@@ -413,6 +432,7 @@ impl Default for PhysicalOptions {
             enable_streaming_agg: true,
             enable_scan_pushdown: true,
             enable_run_agg: true,
+            enable_vector_kernels: true,
         }
     }
 }
@@ -495,7 +515,10 @@ pub fn create_physical(
             let probe_keys: Vec<String> = on.iter().map(|(l, _)| l.clone()).collect();
             Ok(PhysPlan::HashJoin {
                 probe: Box::new(probe),
-                build: Arc::new(BuildSide::new(build_plan, build_schema, key_cols)),
+                build: Arc::new(
+                    BuildSide::new(build_plan, build_schema, key_cols)
+                        .with_kernels(options.enable_vector_kernels),
+                ),
                 probe_keys,
                 join_type: *join_type,
             })
@@ -532,6 +555,7 @@ pub fn create_physical(
                 group_by: group_by.clone(),
                 aggs: aggs.clone(),
                 mode: AggMode::Single,
+                kernels: options.enable_vector_kernels,
             })
         }
         LogicalPlan::Order { input, keys } => Ok(PhysPlan::Sort {

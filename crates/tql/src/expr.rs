@@ -15,7 +15,7 @@ use crate::datefn;
 use std::collections::BTreeSet;
 use std::fmt;
 use tabviz_common::{
-    Chunk, Collation, ColumnVec, DataType, NullMask, Result, Schema, TvError, Value, Values,
+    Chunk, Collation, ColumnVec, DataType, NullMask, Result, Schema, SelVec, TvError, Value, Values,
 };
 
 /// Unary operators.
@@ -458,6 +458,76 @@ impl Expr {
             .map(|i| matches!(out.get(i), Value::Bool(true)))
             .collect())
     }
+
+    /// Evaluate as a filter predicate into a selection vector. Semantics
+    /// match [`Expr::eval_predicate`] (NULL ⇒ row rejected), but an all-true
+    /// result collapses to [`SelVec::All`] so consumers can skip the gather,
+    /// and simple column-vs-literal comparisons build the id list straight
+    /// from the typed column slice.
+    pub fn eval_predicate_sel(&self, chunk: &Chunk) -> Result<SelVec> {
+        if let Expr::Binary { op, left, right } = self {
+            if op.is_comparison() {
+                if let (Expr::Column(name), Expr::Literal(litv)) = (left.as_ref(), right.as_ref()) {
+                    let colv = chunk.column_by_name(name)?;
+                    if let Some(sel) = typed_cmp_sel(*op, colv, litv) {
+                        return Ok(sel);
+                    }
+                }
+            }
+        }
+        let out = self.eval(chunk)?;
+        let Some(bits) = out.values.as_bool() else {
+            return Err(TvError::Type(format!(
+                "predicate evaluates to {}, expected bool",
+                out.data_type()
+            )));
+        };
+        match out.nulls.valid_bits() {
+            None => Ok(SelVec::from_mask(bits)),
+            Some(valid) => {
+                let mut ids = Vec::new();
+                for (i, (&b, &v)) in bits.iter().zip(valid).enumerate() {
+                    if b && v {
+                        ids.push(i as u32);
+                    }
+                }
+                if ids.len() == bits.len() {
+                    return Ok(SelVec::all(bits.len()));
+                }
+                Ok(SelVec::Ids(ids))
+            }
+        }
+    }
+}
+
+/// Typed selection-vector builder for `column <cmp> literal` over the typed
+/// slice combinations [`eval_binary`]'s fast paths cover (Int/Int, Real/Real).
+/// Returns `None` when the combination needs the generic evaluator.
+fn typed_cmp_sel(op: BinOp, col: &ColumnVec, litv: &Value) -> Option<SelVec> {
+    let n = col.len();
+    let valid = col.nulls.valid_bits();
+    let mut ids = Vec::new();
+    match (&col.values, litv) {
+        (Values::Int(a), Value::Int(b)) => {
+            for (i, x) in a.iter().enumerate() {
+                if valid.is_none_or(|v| v[i]) && cmp_holds(op, x.cmp(b)) {
+                    ids.push(i as u32);
+                }
+            }
+        }
+        (Values::Real(a), Value::Real(b)) => {
+            for (i, x) in a.iter().enumerate() {
+                if valid.is_none_or(|v| v[i]) && cmp_holds(op, x.total_cmp(b)) {
+                    ids.push(i as u32);
+                }
+            }
+        }
+        _ => return None,
+    }
+    if ids.len() == n {
+        return Some(SelVec::all(n));
+    }
+    Some(SelVec::Ids(ids))
 }
 
 /// Collation to use when comparing the results of two sub-expressions: if
@@ -921,6 +991,24 @@ mod tests {
         let pred = bin(BinOp::Gt, col("delay"), lit(0i64));
         let mask = pred.eval_predicate(&c).unwrap();
         assert_eq!(mask, vec![true, false, false]); // NULL ⇒ rejected
+    }
+
+    #[test]
+    fn predicate_sel_matches_mask() {
+        let c = chunk();
+        let preds = vec![
+            bin(BinOp::Gt, col("delay"), lit(0i64)), // typed Int fast path
+            bin(BinOp::Ge, col("dist"), lit(0.0)),   // typed Real fast path
+            bin(BinOp::Eq, col("carrier"), lit("AA")), // generic path
+            lit(true),                               // no null mask at all
+        ];
+        for p in preds {
+            let mask = p.eval_predicate(&c).unwrap();
+            let sel = p.eval_predicate_sel(&c).unwrap();
+            assert_eq!(sel.to_mask(c.len()), mask, "{p}");
+        }
+        // All-true collapses to the compact form.
+        assert!(lit(true).eval_predicate_sel(&c).unwrap().is_all());
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Vectorized-kernel oracle: every aggregation and join runs twice — once
+//! through the type-specialized fast path (packed keys, batch hashing, typed
+//! aggregate states, selection vectors) and once through the retained
+//! Value-row fallback (`enable_vector_kernels = false`) — and the two arms
+//! must produce identical result sets. The generated tables cover every
+//! `DataType`, null-heavy columns, inline (≤ 7 byte) and interned long
+//! strings, case-insensitive collation, empty inputs, and group keys wide
+//! enough to force the fallback on its own.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tabviz::prelude::*;
+use tabviz::tql::expr::{bin, col, lit};
+
+const SHORT: [&str; 6] = ["ak", "ca", "ny", "tx", "wa", "or"];
+const LONG: [&str; 5] = [
+    "north-region-alpha",
+    "south-region-bravo",
+    "east-region-charlie",
+    "west-region-delta",
+    "central-region-echo",
+];
+// Pairs differing only by case: under CI collation they must land in the
+// same group / join partition, under the kernels and the fallback alike.
+const CASED: [&str; 6] = ["Alpha", "alpha", "BETA", "beta", "Gamma", "GAMMA"];
+
+/// Fact table exercising every value type the packed-key encoder handles:
+/// * `b`   Bool with scattered nulls;
+/// * `i`   small Int with scattered nulls;
+/// * `s`   short Str (≤ 7 bytes → inline-word fast path) with nulls;
+/// * `ls`  long Str (> 7 bytes → interner dict codes) with nulls;
+/// * `ci`  case-insensitively collated Str (mixed-case spellings);
+/// * `d`   Date with nulls;
+/// * `nh`  Int, ~90% null;
+/// * `v`   Int aggregate argument (small range — overflow-free);
+/// * `w`   Real aggregate argument (negatives and fractions).
+fn fact_schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(vec![
+            Field::new("b", DataType::Bool),
+            Field::new("i", DataType::Int),
+            Field::new("s", DataType::Str),
+            Field::new("ls", DataType::Str),
+            Field::new("ci", DataType::Str).with_collation(Collation::CaseInsensitive),
+            Field::new("d", DataType::Date),
+            Field::new("nh", DataType::Int),
+            Field::new("v", DataType::Int),
+            Field::new("w", DataType::Real),
+        ])
+        .unwrap(),
+    )
+}
+
+fn fact_rows(rows: usize) -> Vec<Vec<Value>> {
+    let mut data = Vec::with_capacity(rows);
+    for row in 0..rows {
+        // Deterministic pseudo-random stream (no external RNG needed).
+        let h = (row as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33;
+        let null_every = |k: u64| h.is_multiple_of(k);
+        let b = if null_every(13) {
+            Value::Null
+        } else {
+            Value::Bool(h & 1 == 0)
+        };
+        let i = if null_every(11) {
+            Value::Null
+        } else {
+            Value::Int((h % 7) as i64 - 3)
+        };
+        let s = if null_every(17) {
+            Value::Null
+        } else {
+            Value::Str(SHORT[(h % 6) as usize].into())
+        };
+        let ls = if null_every(19) {
+            Value::Null
+        } else {
+            Value::Str(LONG[(h % 5) as usize].into())
+        };
+        let ci = Value::Str(CASED[(h % 6) as usize].into());
+        let d = if null_every(23) {
+            Value::Null
+        } else {
+            Value::Date((h % 90) as i32 - 30)
+        };
+        let nh = if h.is_multiple_of(10) {
+            Value::Int((h % 4) as i64)
+        } else {
+            Value::Null
+        };
+        let v = if null_every(29) {
+            Value::Null
+        } else {
+            Value::Int((h % 2_001) as i64 - 1_000)
+        };
+        let w = if null_every(31) {
+            Value::Null
+        } else {
+            Value::Real((h % 997) as f64 / 8.0 - 60.0)
+        };
+        data.push(vec![b, i, s, ls, ci, d, nh, v, w]);
+    }
+    data
+}
+
+/// Dimension table joinable against the fact on four different key types.
+/// Each key column deliberately omits some fact-side values (unmatched probe
+/// rows; for long strings this exercises the frozen-interner miss path) and
+/// includes one value the fact never produces (unmatched build rows).
+fn dim_chunk() -> Chunk {
+    let schema = Arc::new(
+        Schema::new(vec![
+            Field::new("code", DataType::Str),
+            Field::new("lcode", DataType::Str),
+            Field::new("cicode", DataType::Str).with_collation(Collation::CaseInsensitive),
+            Field::new("k", DataType::Int),
+            Field::new("label", DataType::Str),
+            Field::new("weight", DataType::Real),
+        ])
+        .unwrap(),
+    );
+    let rows: Vec<Vec<Value>> = vec![
+        // (code, lcode, cicode, k, label, weight)
+        vec![
+            Value::Str("ak".into()),
+            Value::Str("north-region-alpha".into()),
+            Value::Str("ALPHA".into()),
+            Value::Int(-2),
+            Value::Str("first".into()),
+            Value::Real(1.5),
+        ],
+        vec![
+            Value::Str("ny".into()),
+            Value::Str("east-region-charlie".into()),
+            Value::Str("beta".into()),
+            Value::Int(0),
+            Value::Null,
+            Value::Real(-0.25),
+        ],
+        vec![
+            Value::Str("tx".into()),
+            Value::Str("west-region-delta".into()),
+            Value::Str("gAmMa".into()),
+            Value::Int(2),
+            Value::Str("third".into()),
+            Value::Null,
+        ],
+        // Values the fact never produces: build rows with zero matches.
+        vec![
+            Value::Str("zz".into()),
+            Value::Str("phantom-region-zulu".into()),
+            Value::Str("Delta".into()),
+            Value::Int(99),
+            Value::Str("ghost".into()),
+            Value::Real(9.0),
+        ],
+    ];
+    Chunk::from_rows(schema, &rows).unwrap()
+}
+
+fn oracle_tde(rows: usize) -> Tde {
+    let db = Arc::new(Database::new("kernel_oracle"));
+    let fact = Chunk::from_rows(fact_schema(), &fact_rows(rows)).unwrap();
+    // Unsorted so the planner cannot sidestep HashAgg via Stream/RunAgg.
+    db.put(Table::from_chunk("t", &fact, &[]).unwrap()).unwrap();
+    db.put(Table::from_chunk("dim", &dim_chunk(), &[]).unwrap())
+        .unwrap();
+    Tde::new(db)
+}
+
+/// The two arms under comparison. Streaming/run aggregation is disabled in
+/// BOTH so every aggregate actually goes through HashAgg — the operator the
+/// kernels specialize — rather than an order-exploiting plan shape.
+fn arms() -> Vec<(&'static str, ExecOptions)> {
+    let mut fast = ExecOptions::serial();
+    fast.physical.enable_streaming_agg = false;
+    fast.physical.enable_run_agg = false;
+    let mut slow = fast.clone();
+    slow.physical.enable_vector_kernels = false;
+    vec![("kernels", fast), ("value-row-fallback", slow)]
+}
+
+fn check_arms_agree(tde: &Tde, plan: &LogicalPlan) {
+    let mut results = Vec::new();
+    for (name, opts) in arms() {
+        let mut rows = tde.execute_plan(plan, &opts).unwrap().to_rows();
+        rows.sort();
+        results.push((name, rows));
+    }
+    let (base_name, expected) = &results[0];
+    for (name, rows) in &results[1..] {
+        assert_eq!(
+            rows, expected,
+            "arm {name} diverged from {base_name} on {plan}"
+        );
+    }
+}
+
+/// The full aggregate spread: typed fast-path states (COUNT, COUNT(col),
+/// SUM int/real, MIN/MAX int/real, AVG) plus calls that stay on the
+/// Value-row state even under the kernels (MIN over Str, MAX over Date).
+fn agg_calls() -> Vec<AggCall> {
+    vec![
+        AggCall::new(AggFunc::Count, None, "n"),
+        AggCall::new(AggFunc::Count, Some(col("v")), "cv"),
+        AggCall::new(AggFunc::Sum, Some(col("v")), "sv"),
+        AggCall::new(AggFunc::Sum, Some(col("w")), "sw"),
+        AggCall::new(AggFunc::Min, Some(col("v")), "lov"),
+        AggCall::new(AggFunc::Max, Some(col("v")), "hiv"),
+        AggCall::new(AggFunc::Min, Some(col("w")), "low"),
+        AggCall::new(AggFunc::Max, Some(col("w")), "hiw"),
+        AggCall::new(AggFunc::Avg, Some(col("v")), "av"),
+        AggCall::new(AggFunc::Min, Some(col("s")), "los"),
+        AggCall::new(AggFunc::Max, Some(col("d")), "hid"),
+    ]
+}
+
+fn group_plan(group_cols: &[&str]) -> LogicalPlan {
+    let group_by = group_cols
+        .iter()
+        .map(|c| (col(*c), (*c).to_string()))
+        .collect();
+    LogicalPlan::scan("t").aggregate(group_by, agg_calls())
+}
+
+fn groupable_col() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(vec!["b", "i", "s", "ls", "ci", "d", "nh"])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Randomized GROUP BY over 1-3 mixed-type key columns.
+    #[test]
+    fn grouped_agg_arms_agree(
+        cols in proptest::collection::vec(groupable_col(), 1..=3),
+        rows in proptest::sample::select(vec![1usize, 257, 4_096]),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let mut cols = cols;
+        cols.retain(|c| seen.insert(*c));
+        let tde = oracle_tde(rows);
+        check_arms_agree(&tde, &group_plan(&cols));
+    }
+
+    /// A residual (non-sargable-into-scan) filter under the aggregate: the
+    /// kernels evaluate it into a selection vector and fuse it into the
+    /// HashAgg; the fallback rematerializes. Results must not differ.
+    #[test]
+    fn filtered_agg_arms_agree(
+        gcol in groupable_col(),
+        bound in -3i64..=3i64,
+        ge in any::<bool>(),
+    ) {
+        let tde = oracle_tde(2_048);
+        let pred = if ge {
+            bin(BinOp::Ge, col("i"), lit(bound))
+        } else {
+            bin(BinOp::Lt, col("i"), lit(bound))
+        };
+        let plan = LogicalPlan::scan("t").select(pred).aggregate(
+            vec![(col(gcol), gcol.to_string())],
+            agg_calls(),
+        );
+        check_arms_agree(&tde, &plan);
+    }
+
+    /// Joins on each key type (inline Str, interned long Str, CI-collated
+    /// Str, Int), inner and left. Null probe keys must never match; left
+    /// misses must null-fill; CI keys must match across case spellings.
+    #[test]
+    fn join_arms_agree(
+        key in proptest::sample::select(vec![
+            ("s", "code"),
+            ("ls", "lcode"),
+            ("ci", "cicode"),
+            ("i", "k"),
+        ]),
+        left in any::<bool>(),
+        rows in proptest::sample::select(vec![1usize, 513, 3_000]),
+    ) {
+        let tde = oracle_tde(rows);
+        let jt = if left { JoinType::Left } else { JoinType::Inner };
+        let plan = LogicalPlan::scan("t").join(
+            LogicalPlan::scan("dim"),
+            vec![(key.0.to_string(), key.1.to_string())],
+            jt,
+        );
+        check_arms_agree(&tde, &plan);
+    }
+}
+
+/// Group keys wider than the packed-key budget (`MAX_KEY_COLS = 8`) make the
+/// kernels' own selection logic fall back; 8 columns is the widest fast-path
+/// key. Both widths must agree across arms.
+#[test]
+fn wide_keys_agree_at_and_past_the_fastpath_limit() {
+    let tde = oracle_tde(1_500);
+    // Exactly at the limit: fast path vs forced fallback.
+    check_arms_agree(
+        &tde,
+        &group_plan(&["b", "i", "s", "ls", "ci", "d", "nh", "v"]),
+    );
+    // Past the limit: the kernels arm itself selects the fallback.
+    check_arms_agree(
+        &tde,
+        &group_plan(&["b", "i", "s", "ls", "ci", "d", "nh", "v", "w"]),
+    );
+}
+
+/// Empty inputs: a grouped aggregate yields no rows, a global aggregate
+/// yields exactly one row of identity values, and a join yields nothing —
+/// identically in both arms.
+#[test]
+fn empty_input_arms_agree() {
+    let tde = oracle_tde(0);
+    check_arms_agree(&tde, &group_plan(&["s", "i"]));
+    check_arms_agree(&tde, &LogicalPlan::scan("t").aggregate(vec![], agg_calls()));
+    for jt in [JoinType::Inner, JoinType::Left] {
+        let plan = LogicalPlan::scan("t").join(
+            LogicalPlan::scan("dim"),
+            vec![("s".to_string(), "code".to_string())],
+            jt,
+        );
+        check_arms_agree(&tde, &plan);
+    }
+}
+
+/// Join followed by aggregation over the dimension payload — the e23 shape:
+/// probe-side kernels feed a packed-key aggregate over build-side columns.
+#[test]
+fn join_then_agg_arms_agree() {
+    let tde = oracle_tde(3_000);
+    for (probe, build) in [("s", "code"), ("ls", "lcode"), ("i", "k")] {
+        let plan = LogicalPlan::scan("t")
+            .join(
+                LogicalPlan::scan("dim"),
+                vec![(probe.to_string(), build.to_string())],
+                JoinType::Inner,
+            )
+            .aggregate(
+                vec![(col("label"), "label".into())],
+                vec![
+                    AggCall::new(AggFunc::Count, None, "n"),
+                    AggCall::new(AggFunc::Sum, Some(col("v")), "sv"),
+                    AggCall::new(AggFunc::Min, Some(col("weight")), "lo"),
+                ],
+            );
+        check_arms_agree(&tde, &plan);
+    }
+}
+
+/// Case-insensitive grouping must merge case variants into one group — and
+/// produce the same representative set in both arms.
+#[test]
+fn ci_grouping_merges_case_variants() {
+    let tde = oracle_tde(1_200);
+    let plan = group_plan(&["ci"]);
+    for (name, opts) in arms() {
+        let out = tde.execute_plan(&plan, &opts).unwrap();
+        // CASED holds 3 distinct names under CI collation.
+        assert_eq!(out.len(), 3, "arm {name} group count");
+    }
+    check_arms_agree(&tde, &plan);
+}

@@ -151,6 +151,12 @@ fn storm_processor(rows: usize) -> QueryProcessor {
     // A small concurrency limit forces real queueing during the storm, so
     // traces capture sched_queue verdicts under contention.
     qp.set_scheduler(Arc::new(Scheduler::new(SchedConfig::new(2))));
+    // Widening would converge every thread's spec onto the same widened
+    // query, so whichever thread stores its result first turns the other
+    // threads' cold runs into intelligent hits — a race this test is not
+    // about. Disable it so the per-thread filters stay mutually
+    // non-derivable and every cold run is deterministically Remote.
+    qp.options.widen_for_reuse = false;
     qp
 }
 
