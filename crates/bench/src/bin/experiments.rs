@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates a results table for every performance
 //! claim / figure in the paper (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e23|all]`
+//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e24|all]`
 
 #![allow(clippy::field_reassign_with_default)] // options structs read better mutated
 
@@ -87,6 +87,9 @@ fn main() {
     }
     if all || which == "e23" {
         e23_vector_kernels();
+    }
+    if all || which == "e24" {
+        e24_cache_hierarchy();
     }
 }
 
@@ -2629,4 +2632,359 @@ fn e23_vector_kernels() {
     println!("e23_fallback_selected {fallback_selected}");
     println!("e23_fallback_leaked {fallback_leaked}");
     println!("e23_fastpath_rate {fastpath_rate:.2}");
+}
+
+// ---------------------------------------------------------------- E24 ----
+
+/// Cache-hierarchy drill: the cross-dashboard storm again, this time read
+/// through the full L1 → L2 tier. Twelve dashboards share six tables, so
+/// distinct dashboards produce identical canonical queries — the shared
+/// ring-routed L2 turns one node's backend round trip into every other
+/// node's promote-on-hit. The run then refreshes ONE table (targeted tag
+/// purge — the fraction of the cached population it touches is the
+/// headline), demonstrates SWR grace serving with a Background
+/// revalidation sweep, and joins a node to measure cache warming. Emits
+/// `BENCH_cache.json` for the trend sentinel.
+fn e24_cache_hierarchy() {
+    use std::collections::HashMap;
+    use std::time::Instant;
+    use tabviz::cache::intelligent::CacheConfig;
+    use tabviz::cluster::{Cluster, ClusterConfig, ClusterSession};
+    use tabviz::workloads::{generate_storm, schedule_digest, StormConfig, StormStep};
+
+    const NODES: usize = 4;
+    const TABLES: usize = 6;
+    const DASHBOARDS: usize = 12;
+    const USERS: u32 = 4;
+    const SEED: u64 = 42;
+
+    // One physical dataset cloned into six logical tables: a refresh of one
+    // table can only ever touch ~1/6 of the cached population, which is what
+    // makes the targeted-purge fraction meaningful.
+    let flights = generate_flights(&FaaConfig::with_rows(6_000)).expect("generate");
+    let db = Arc::new(Database::new("faa"));
+    for t in 0..TABLES {
+        db.put(
+            Table::from_chunk(format!("flights_{t}"), &flights, &["carrier", "date"])
+                .expect("table"),
+        )
+        .expect("put table");
+    }
+
+    let cluster = {
+        let db = Arc::clone(&db);
+        Cluster::build(
+            ClusterConfig {
+                nodes: NODES,
+                replication: 2,
+                vnodes: 64,
+                seed: SEED,
+                peer_op_latency: Duration::from_micros(200),
+            },
+            move |name| {
+                let sim = SimDb::new("warehouse", Arc::clone(&db), lan_config());
+                let caches = QueryCaches::new(
+                    CacheConfig {
+                        swr_grace: Duration::from_secs(120),
+                        ..Default::default()
+                    },
+                    1 << 22,
+                );
+                let qp = QueryProcessor::new(caches);
+                qp.registry.register(Arc::new(sim), 4);
+                let server = Arc::new(DataServer::named(qp, name));
+                for d in 0..DASHBOARDS {
+                    server.publish(PublishedSource::new(
+                        format!("dash-{d}"),
+                        "warehouse",
+                        LogicalPlan::scan(format!("flights_{}", d % TABLES)),
+                    ));
+                }
+                Ok(server)
+            },
+        )
+        .expect("cluster build")
+    };
+
+    let storm = StormConfig {
+        sessions: 160,
+        dashboards: DASHBOARDS,
+        zipf_s: 1.1,
+        horizon_ms: 4_000,
+        diurnal_amplitude: 0.5,
+        steps_per_session: 4,
+        mean_think_ms: 250.0,
+        seed: SEED,
+    };
+    let schedule = generate_storm(&storm);
+    let digest = schedule_digest(&schedule);
+
+    let count = || AggCall::new(AggFunc::Count, None, "n");
+    let query_for = |kind: &StormStep| -> ClientQuery {
+        let dims = ["carrier", "dep_hour", "origin_state", "weekday"];
+        match kind {
+            StormStep::Load => ClientQuery {
+                group_by: vec!["carrier".into()],
+                aggs: vec![count()],
+                ..Default::default()
+            },
+            StormStep::Drill { dimension } => ClientQuery {
+                group_by: vec![dims[*dimension as usize % dims.len()].into()],
+                aggs: vec![count()],
+                ..Default::default()
+            },
+            StormStep::Filter { selector } => ClientQuery {
+                filters: vec![bin(
+                    BinOp::Le,
+                    col("distance"),
+                    lit(200 + (*selector as i64 % 2200)),
+                )],
+                group_by: vec!["carrier".into()],
+                aggs: vec![count()],
+                ..Default::default()
+            },
+            StormStep::TopN { n } => ClientQuery {
+                group_by: vec!["market".into()],
+                aggs: vec![count()],
+                order: vec![SortKey {
+                    column: "n".into(),
+                    asc: false,
+                }],
+                topn: Some(*n as usize),
+                ..Default::default()
+            },
+        }
+    };
+
+    // Closed-loop replay (latency buckets per serve path, not tail-under-
+    // load — e21/e22 own that): every query lands in exactly one bucket.
+    let mut sessions: HashMap<u32, (u32, ClusterSession)> = HashMap::new();
+    let (mut l1, mut l2, mut peer, mut backend) = (
+        Vec::<Duration>::new(),
+        Vec::<Duration>::new(),
+        Vec::<Duration>::new(),
+        Vec::<Duration>::new(),
+    );
+    let mut errors = 0usize;
+    for a in &schedule {
+        let (_, sess) = sessions.entry(a.session).or_insert_with(|| {
+            let user = format!("viewer-{}", a.session % USERS);
+            (
+                a.dashboard,
+                cluster
+                    .open_session(&format!("dash-{}", a.dashboard), user)
+                    .expect("open session"),
+            )
+        });
+        let query = query_for(&a.kind);
+        let t0 = Instant::now();
+        match sess.query(&query) {
+            Ok(r) => {
+                let wall = t0.elapsed();
+                match r.outcome {
+                    ExecOutcome::IntelligentHit => l1.push(wall),
+                    ExecOutcome::L2Hit => l2.push(wall),
+                    ExecOutcome::LiteralHit if r.peer_hit.is_some() => peer.push(wall),
+                    ExecOutcome::LiteralHit => l1.push(wall),
+                    ExecOutcome::Remote => backend.push(wall),
+                    _ => {}
+                }
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let completed = schedule.len() - errors;
+
+    let median = |durs: &mut Vec<Duration>| -> Duration {
+        if durs.is_empty() {
+            return Duration::ZERO;
+        }
+        durs.sort();
+        durs[(durs.len() - 1) / 2]
+    };
+    let (l1_n, l2_n, peer_n, backend_n) = (l1.len(), l2.len(), peer.len(), backend.len());
+    let l1_median = median(&mut l1);
+    let l2_median = median(&mut l2);
+    let peer_median = median(&mut peer);
+    let backend_median = median(&mut backend);
+    let l2_over_backend = l2_median.as_secs_f64() / backend_median.as_secs_f64().max(1e-9);
+
+    // Tier-seam counters summed across the members.
+    let tier_sum = |cluster: &Arc<Cluster>| {
+        let mut sum = tabviz::cache::TierStats::default();
+        for node in cluster.nodes() {
+            let t = node.server.processor.caches.tier_stats();
+            sum.l2_hits += t.l2_hits;
+            sum.l2_misses += t.l2_misses;
+            sum.promotes += t.promotes;
+            sum.l2_stores += t.l2_stores;
+            sum.tag_purged += t.tag_purged;
+            sum.warmed += t.warmed;
+        }
+        sum
+    };
+    let tier = tier_sum(&cluster);
+    let l2_hit_rate = tier.l2_hits as f64 / ((tier.l2_hits + tier.l2_misses) as f64).max(1.0);
+
+    // Targeted invalidation: refresh ONE of the six tables and compare what
+    // the tag purge removed against the whole cached population (node L1s
+    // plus every replicated shard entry).
+    let census = |cluster: &Arc<Cluster>| -> usize {
+        cluster
+            .nodes()
+            .iter()
+            .map(|n| {
+                n.server.processor.caches.intelligent.len()
+                    + n.server.processor.caches.literal.len()
+                    + n.shard().len()
+            })
+            .sum()
+    };
+    let entries_before = census(&cluster);
+    // flights_3 sits mid-Zipf: refreshing it measures tag precision on a
+    // typically-popular table rather than the head dashboard's hot spot.
+    let purged = cluster.refresh_table("warehouse", "flights_3");
+    let purge_fraction = purged as f64 / entries_before.max(1) as f64;
+
+    // SWR: demote flights_1's dependents to stale (still inside the grace
+    // window), then replay each affected dashboard's load query through its
+    // original session. The peer/L2 copies are gone (purged by tag), so the
+    // route lands on the session's affinity node — whose stale L1 entry
+    // answers immediately, flagged as an SWR serve.
+    let swr_before: u64 = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.server.processor.caches.intelligent.stats().swr_serves)
+        .sum();
+    let stale_marked: usize = cluster
+        .nodes()
+        .iter()
+        .map(|n| {
+            n.server
+                .processor
+                .mark_table_stale("warehouse", "flights_1")
+        })
+        .sum();
+    let mut swr_queries = 0usize;
+    for (dash, sess) in sessions.values() {
+        if *dash as usize % TABLES != 1 {
+            continue;
+        }
+        sess.query(&query_for(&StormStep::Load)).expect("swr serve");
+        swr_queries += 1;
+    }
+    let swr_serves: u64 = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.server.processor.caches.intelligent.stats().swr_serves)
+        .sum::<u64>()
+        - swr_before;
+    // The Background sweep refreshes what SWR kept serving; Background
+    // requests see through the grace window, so the refresh is real.
+    let mut revalidated = 0usize;
+    for node in cluster.nodes() {
+        let report = revalidate_pass(
+            &node.server.processor,
+            &RevalidateOptions {
+                staleness_budget: Duration::ZERO,
+                ..Default::default()
+            },
+        );
+        revalidated += report.refreshed;
+    }
+    let stale_left: usize = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.server.processor.caches.stale_entries().len())
+        .sum();
+
+    // Node join: the newcomer's L1 is warmed from the members' hot sets.
+    let report = cluster.add_node("node-warm").expect("add node");
+    let joiner = cluster.node("node-warm").expect("joiner");
+    let warmed = joiner.server.processor.caches.tier_stats().warmed;
+
+    // The federated exposition carries the tier counters.
+    let metrics_text = cluster.metrics_text();
+    let tier_metric_names = [
+        "tv_cache_tier_l2_hits_total",
+        "tv_cache_tier_promotes_total",
+        "tv_cache_tier_stores_total",
+        "tv_cache_tier_tag_purged_total",
+        "tv_cache_tier_warmed_total",
+    ];
+    let tier_metrics_present = tier_metric_names
+        .iter()
+        .filter(|m| metrics_text.contains(*m))
+        .count();
+
+    print_table(
+        &format!(
+            "E24 — {NODES}-node tiered cache, {} arrivals over {DASHBOARDS} dashboards / {TABLES} tables",
+            schedule.len(),
+        ),
+        &["serve path", "n", "median ms"],
+        &[
+            vec!["L1 hit (intelligent/literal)".into(), l1_n.to_string(), ms(l1_median)],
+            vec!["peer exact hit".into(), peer_n.to_string(), ms(peer_median)],
+            vec!["L1 miss → L2 hit".into(), l2_n.to_string(), ms(l2_median)],
+            vec!["backend round trip".into(), backend_n.to_string(), ms(backend_median)],
+        ],
+    );
+    print_table(
+        "E24 — invalidation, SWR, warm start",
+        &["event", "value"],
+        &[
+            vec![
+                "cached entries before refresh".into(),
+                entries_before.to_string(),
+            ],
+            vec!["purged by flights_3 refresh".into(), purged.to_string()],
+            vec![
+                "targeted-purge fraction".into(),
+                format!("{purge_fraction:.3}"),
+            ],
+            vec!["stale-marked (flights_1)".into(), stale_marked.to_string()],
+            vec!["SWR grace serves".into(), swr_serves.to_string()],
+            vec!["revalidated in background".into(), revalidated.to_string()],
+            vec!["entries warmed into joiner".into(), warmed.to_string()],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e24_cache_hierarchy\",\n  \"nodes\": {NODES},\n  \"tables\": {TABLES},\n  \"dashboards\": {DASHBOARDS},\n  \"seed\": {SEED},\n  \"schedule_digest\": \"{digest:016x}\",\n  \"arrivals\": {},\n  \"completed\": {completed},\n  \"errors\": {errors},\n  \"serve_paths\": {{\n    \"l1\": {{\"count\": {l1_n}, \"median_ms\": {}}},\n    \"peer\": {{\"count\": {peer_n}, \"median_ms\": {}}},\n    \"l2\": {{\"count\": {l2_n}, \"median_ms\": {}}},\n    \"backend\": {{\"count\": {backend_n}, \"median_ms\": {}}}\n  }},\n  \"l2_over_backend\": {l2_over_backend:.3},\n  \"tier\": {{\"l2_hits\": {}, \"l2_misses\": {}, \"promotes\": {}, \"l2_stores\": {}, \"l2_hit_rate\": {l2_hit_rate:.3}}},\n  \"entries_before_refresh\": {entries_before},\n  \"purged\": {purged},\n  \"purge_fraction\": {purge_fraction:.4},\n  \"stale_marked\": {stale_marked},\n  \"swr_queries\": {swr_queries},\n  \"swr_serves\": {swr_serves},\n  \"revalidated\": {revalidated},\n  \"stale_after_revalidation\": {stale_left},\n  \"join_keys_moved\": {},\n  \"warmed\": {warmed},\n  \"tier_metrics_present\": {tier_metrics_present}\n}}\n",
+        schedule.len(),
+        ms(l1_median),
+        ms(peer_median),
+        ms(l2_median),
+        ms(backend_median),
+        tier.l2_hits,
+        tier.l2_misses,
+        tier.promotes,
+        tier.l2_stores,
+        report.keys_moved,
+    );
+    std::fs::write("BENCH_cache.json", &json).expect("write BENCH_cache.json");
+
+    // Machine-checkable summary lines (the CI smoke test parses these).
+    println!("e24_arrivals {}", schedule.len());
+    println!("e24_completed {completed}");
+    println!("e24_errors {errors}");
+    println!("e24_l1_median_ms {}", ms(l1_median));
+    println!("e24_l2_median_ms {}", ms(l2_median));
+    println!("e24_peer_median_ms {}", ms(peer_median));
+    println!("e24_backend_median_ms {}", ms(backend_median));
+    println!("e24_l2_over_backend {l2_over_backend:.3}");
+    println!("e24_l2_hits {}", tier.l2_hits);
+    println!("e24_l2_hit_rate {l2_hit_rate:.3}");
+    println!("e24_promotes {}", tier.promotes);
+    println!("e24_purged {purged}");
+    println!("e24_purge_fraction {purge_fraction:.4}");
+    println!("e24_stale_marked {stale_marked}");
+    println!("e24_swr_serves {swr_serves}");
+    println!("e24_revalidated {revalidated}");
+    println!("e24_stale_after_revalidation {stale_left}");
+    println!("e24_warmed {warmed}");
+    println!("e24_tier_metrics_present {tier_metrics_present}");
+    println!("e24_schedule_digest {digest:016x}");
+    println!("e24_json_emitted 1");
 }

@@ -126,7 +126,14 @@ fn classify(key: &str) -> KeyClass {
         "shed_rate" => KeyClass::ShedRate,
         "p95_ratio" => KeyClass::P95Ratio,
         "balance_ratio" => KeyClass::BalanceRatio,
+        // Tier-effectiveness counters (e24): the workload is deterministic,
+        // but the exact counts shift with routing/eviction details — guard
+        // against collapse with a halving floor, not exact equality.
+        "promotes" | "l2_hits" | "swr_serves" | "warmed" => KeyClass::CountFloor,
         _ if leaf.ends_with("hit_rate") => KeyClass::HitRate,
+        // Precision fractions (e.g. `purge_fraction`): "how much of the
+        // cached population did a targeted event touch" — must stay low.
+        _ if leaf.ends_with("_fraction") => KeyClass::FractionCeiling,
         _ if leaf.ends_with("_ms") => KeyClass::Timing,
         _ => KeyClass::Info,
     }
@@ -139,6 +146,8 @@ enum KeyClass {
     ShedRate,
     P95Ratio,
     BalanceRatio,
+    CountFloor,
+    FractionCeiling,
     HitRate,
     Timing,
     Info,
@@ -226,6 +235,17 @@ fn compare_one(key: &str, bval: &JsonValue, cval: &JsonValue, config: &TrendConf
             bounded_above(mk, bval, cval, (b * 1.5).max(b + 1.0))
         }
         KeyClass::BalanceRatio => bounded_above(mk, bval, cval, num(bval).unwrap_or(1.0) + 0.75),
+        KeyClass::CountFloor => {
+            let floor = (num(bval).unwrap_or(0.0) * 0.5).floor();
+            match (num(bval), num(cval)) {
+                (Some(_), Some(c)) if c >= floor => mk(Verdict::Ok, format!("count >= {floor}")),
+                (Some(_), Some(_)) => {
+                    mk(Verdict::Regression, format!("count must stay >= {floor}"))
+                }
+                _ => mk(Verdict::Regression, "non-numeric count".into()),
+            }
+        }
+        KeyClass::FractionCeiling => bounded_above(mk, bval, cval, num(bval).unwrap_or(0.0) + 0.05),
         KeyClass::HitRate => {
             let floor = num(bval).unwrap_or(0.0) - 0.15;
             match (num(bval), num(cval)) {
@@ -369,5 +389,41 @@ mod tests {
         assert!(regressions(&check(&ok)).is_empty());
         let bad = BASE.replace("\"hit_rate\": 0.5", "\"hit_rate\": 0.2");
         assert_eq!(regressions(&check(&bad)).len(), 1);
+    }
+
+    const CACHE_BASE: &str = r#"{
+        "experiment": "e24_cache_hierarchy",
+        "schedule_digest": "abc123",
+        "tier": {"l2_hits": 50, "promotes": 50, "l2_hit_rate": 0.178},
+        "purge_fraction": 0.09,
+        "swr_serves": 37,
+        "warmed": 16
+    }"#;
+
+    fn check_cache(current: &str) -> Vec<Delta> {
+        compare_reports(CACHE_BASE, current, &TrendConfig::default()).expect("parse")
+    }
+
+    #[test]
+    fn tier_count_halving_floor_enforced() {
+        // Mild drift passes; collapsing below half the baseline trips.
+        let ok = CACHE_BASE.replace("\"promotes\": 50", "\"promotes\": 30");
+        assert!(regressions(&check_cache(&ok)).is_empty());
+        let bad = CACHE_BASE.replace("\"promotes\": 50", "\"promotes\": 10");
+        let regs = check_cache(&bad);
+        assert_eq!(regressions(&regs).len(), 1, "{regs:?}");
+        assert_eq!(regressions(&regs)[0].key, "tier.promotes");
+    }
+
+    #[test]
+    fn purge_fraction_ceiling_enforced() {
+        // Targeted invalidation must stay targeted: a small drift is noise,
+        // a jump toward wholesale purging is a regression.
+        let ok = CACHE_BASE.replace("\"purge_fraction\": 0.09", "\"purge_fraction\": 0.12");
+        assert!(regressions(&check_cache(&ok)).is_empty());
+        let bad = CACHE_BASE.replace("\"purge_fraction\": 0.09", "\"purge_fraction\": 0.35");
+        let regs = check_cache(&bad);
+        assert_eq!(regressions(&regs).len(), 1, "{regs:?}");
+        assert_eq!(regressions(&regs)[0].key, "purge_fraction");
     }
 }

@@ -4,12 +4,23 @@
 //! first; if that fails the query is compiled to text and the literal cache
 //! is consulted; only then does the query go to the backend. Both levels are
 //! populated on the way back.
+//!
+//! Together the pair forms **L1** of the multi-tier hierarchy. An optional
+//! shared **L2** ([`crate::tier::L2Cache`]) can be attached with
+//! [`QueryCaches::set_l2`]: the processor consults it after both L1 probes
+//! miss, promotes L2 hits into L1, and publishes fresh backend results to
+//! both tiers with dependency tags (see [`crate::tags`]).
 
 use crate::intelligent::{CacheConfig, IntelligentCache, IntelligentStats};
 use crate::literal::{LiteralCache, LiteralStats};
 use crate::spec::QuerySpec;
+use crate::tier::L2Cache;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 use tabviz_common::Chunk;
+use tabviz_obs::{Counter, Registry};
 
 /// Where an answer came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,11 +30,79 @@ pub enum CacheOutcome {
     Miss,
 }
 
-/// Intelligent + literal cache pair.
+/// Lock-free snapshot of the tier-boundary counters: traffic crossing the
+/// L1→L2 seam plus precise-invalidation and warm-start work.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TierStats {
+    /// L2 probes that returned (and decoded) a value.
+    pub l2_hits: u64,
+    /// L2 probes that came back empty (or undecodable).
+    pub l2_misses: u64,
+    /// L2 hits copied forward into L1.
+    pub promotes: u64,
+    /// Fresh backend results published to L2.
+    pub l2_stores: u64,
+    /// Entries removed by tag-scoped purges (both tiers summed).
+    pub tag_purged: u64,
+    /// Entries seeded into L1 by cache warming (node join / restart).
+    pub warmed: u64,
+}
+
+#[derive(Default)]
+struct AtomicTierStats {
+    l2_hits: AtomicU64,
+    l2_misses: AtomicU64,
+    promotes: AtomicU64,
+    l2_stores: AtomicU64,
+    tag_purged: AtomicU64,
+    warmed: AtomicU64,
+}
+
+impl AtomicTierStats {
+    fn snapshot(&self) -> TierStats {
+        TierStats {
+            l2_hits: self.l2_hits.load(Ordering::Relaxed),
+            l2_misses: self.l2_misses.load(Ordering::Relaxed),
+            promotes: self.promotes.load(Ordering::Relaxed),
+            l2_stores: self.l2_stores.load(Ordering::Relaxed),
+            tag_purged: self.tag_purged.load(Ordering::Relaxed),
+            warmed: self.warmed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Pre-resolved `tv_cache_tier_*` metric handles (see
+/// [`QueryCaches::bind_obs`]).
+struct TierMetrics {
+    l2_hits: Counter,
+    l2_misses: Counter,
+    promotes: Counter,
+    l2_stores: Counter,
+    tag_purged: Counter,
+    warmed: Counter,
+}
+
+impl TierMetrics {
+    fn bind(registry: &Registry) -> Self {
+        TierMetrics {
+            l2_hits: registry.counter("tv_cache_tier_l2_hits_total"),
+            l2_misses: registry.counter("tv_cache_tier_l2_misses_total"),
+            promotes: registry.counter("tv_cache_tier_promotes_total"),
+            l2_stores: registry.counter("tv_cache_tier_stores_total"),
+            tag_purged: registry.counter("tv_cache_tier_tag_purged_total"),
+            warmed: registry.counter("tv_cache_tier_warmed_total"),
+        }
+    }
+}
+
+/// Intelligent + literal cache pair (L1), with an optional shared L2 tier.
 #[derive(Default)]
 pub struct QueryCaches {
     pub intelligent: IntelligentCache,
     pub literal: LiteralCache,
+    l2: RwLock<Option<Arc<dyn L2Cache>>>,
+    tier_stats: AtomicTierStats,
+    tier_metrics: OnceLock<TierMetrics>,
 }
 
 impl QueryCaches {
@@ -31,14 +110,150 @@ impl QueryCaches {
         QueryCaches {
             intelligent: IntelligentCache::new(config),
             literal: LiteralCache::new(literal_capacity),
+            l2: RwLock::new(None),
+            tier_stats: AtomicTierStats::default(),
+            tier_metrics: OnceLock::new(),
         }
     }
 
-    /// Resolve both levels' `tv_cache_*` metrics against a registry.
-    /// Idempotent; the first binding wins.
+    /// Resolve both levels' `tv_cache_*` metrics (plus the `tv_cache_tier_*`
+    /// seam counters) against a registry. Idempotent; the first binding wins.
     pub fn bind_obs(&self, registry: &tabviz_obs::Registry) {
         self.intelligent.bind_obs(registry);
         self.literal.bind_obs(registry);
+        let _ = self.tier_metrics.set(TierMetrics::bind(registry));
+    }
+
+    /// Attach (or replace) the shared L2 tier. Standalone deployments use
+    /// [`crate::tier::SingleStoreL2`]; the cluster injects its ring-routed
+    /// peer tier at node attach time.
+    pub fn set_l2(&self, l2: Arc<dyn L2Cache>) {
+        *self.l2.write() = Some(l2);
+    }
+
+    /// The attached L2 tier, if any.
+    pub fn l2(&self) -> Option<Arc<dyn L2Cache>> {
+        self.l2.read().clone()
+    }
+
+    pub fn has_l2(&self) -> bool {
+        self.l2.read().is_some()
+    }
+
+    /// The L2 key for a spec: its full canonical text (source included).
+    /// RLS is preserved because [`QuerySpec`] carries the user's row-level
+    /// filters folded into `filters` — users with different entitlements
+    /// canonicalize to different keys, equivalent ones share.
+    pub fn l2_key(spec: &QuerySpec) -> String {
+        spec.canonical_text()
+    }
+
+    /// Probe L2 for an exact canonical match. Counts a hit only when the
+    /// payload also decodes; transport faults and codec damage both read as
+    /// misses so the caller can fall through to the backend.
+    pub fn l2_lookup(&self, spec: &QuerySpec) -> Option<Chunk> {
+        let l2 = self.l2()?;
+        match l2
+            .get(&Self::l2_key(spec))
+            .and_then(|raw| crate::distributed::decode_chunk(&raw).ok())
+        {
+            Some(chunk) => {
+                self.tier_stats.l2_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.tier_metrics.get() {
+                    m.l2_hits.inc();
+                }
+                Some(chunk)
+            }
+            None => {
+                self.tier_stats.l2_misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.tier_metrics.get() {
+                    m.l2_misses.inc();
+                }
+                None
+            }
+        }
+    }
+
+    /// Copy an L2 hit forward into both L1 levels so the next request on
+    /// this node is answered locally (and subsumption can reuse it).
+    pub fn l2_promote(&self, spec: QuerySpec, text: &str, result: &Chunk, cost: Duration) {
+        self.tier_stats.promotes.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.tier_metrics.get() {
+            m.promotes.inc();
+        }
+        self.store(spec, text, result, cost);
+    }
+
+    /// Publish a fresh backend result to L2 under its canonical key, tagged
+    /// with its source + table dependencies. No-op without an attached L2.
+    pub fn l2_store(&self, spec: &QuerySpec, result: &Chunk) {
+        let Some(l2) = self.l2() else { return };
+        let Ok(raw) = crate::distributed::encode_chunk(result) else {
+            return;
+        };
+        l2.put(&Self::l2_key(spec), raw, &crate::tags::tags_for_spec(spec));
+        self.tier_stats.l2_stores.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.tier_metrics.get() {
+            m.l2_stores.inc();
+        }
+    }
+
+    /// Seed L1 with an entry replayed from another node's hot set (cache
+    /// warming on node join). Counted separately from organic stores.
+    pub fn warm(&self, spec: QuerySpec, result: &Chunk, cost: Duration) {
+        self.tier_stats.warmed.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.tier_metrics.get() {
+            m.warmed.inc();
+        }
+        self.intelligent.put(spec, result.clone(), cost);
+    }
+
+    /// Purge every entry (both tiers) that depends on `source.table` —
+    /// the precise replacement for wholesale source purges when a single
+    /// table refreshes. Returns entries removed.
+    pub fn purge_table(&self, source: &str, table: &str) -> usize {
+        self.purge_tag(&crate::tags::table_tag(source, table))
+    }
+
+    /// Demote (to stale) every L1 entry depending on `source.table`,
+    /// keeping it available for degraded/SWR serving, and purge the L2
+    /// copies (L2 has no stale state — a dropped entry is just a miss).
+    pub fn mark_table_stale(&self, source: &str, table: &str) -> usize {
+        let tag = crate::tags::table_tag(source, table);
+        let marked = self.intelligent.mark_tag_stale(&tag) + self.literal.mark_tag_stale(&tag);
+        if let Some(l2) = self.l2() {
+            let purged = l2.purge_tag(&tag);
+            self.count_tag_purged(purged);
+        }
+        marked
+    }
+
+    /// Purge every entry carrying `tag` from both tiers. Returns entries
+    /// removed.
+    pub fn purge_tag(&self, tag: &str) -> usize {
+        let mut purged = self.intelligent.purge_tag(tag) + self.literal.purge_tag(tag);
+        if let Some(l2) = self.l2() {
+            purged += l2.purge_tag(tag);
+        }
+        self.count_tag_purged(purged);
+        purged
+    }
+
+    fn count_tag_purged(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.tier_stats
+            .tag_purged
+            .fetch_add(n as u64, Ordering::Relaxed);
+        if let Some(m) = self.tier_metrics.get() {
+            m.tag_purged.add(n as u64);
+        }
+    }
+
+    /// Tier-boundary counters snapshot.
+    pub fn tier_stats(&self) -> TierStats {
+        self.tier_stats.snapshot()
     }
 
     /// Two-level lookup. `text` is the compiled query text (produced anyway
@@ -53,9 +268,12 @@ impl QueryCaches {
         (None, CacheOutcome::Miss)
     }
 
-    /// Record a freshly computed result in both levels.
+    /// Record a freshly computed result in both levels, tagged with the
+    /// spec's source + table dependencies so either tag scope can find it.
     pub fn store(&self, spec: QuerySpec, text: &str, result: &Chunk, cost: Duration) {
-        self.literal.put(&spec.source, text, result.clone(), cost);
+        let tags = crate::tags::tags_for_spec(&spec);
+        self.literal
+            .put_tagged(&spec.source, text, result.clone(), cost, tags);
         self.intelligent.put(spec, result.clone(), cost);
     }
 
@@ -83,10 +301,15 @@ impl QueryCaches {
         self.intelligent.stale_entries()
     }
 
-    /// Connection closed/refreshed: purge both levels for the source.
+    /// Connection closed/refreshed: purge both L1 levels for the source,
+    /// and the shared L2 via its source tag.
     pub fn purge_source(&self, source: &str) {
         self.intelligent.purge_source(source);
         self.literal.purge_source(source);
+        if let Some(l2) = self.l2() {
+            let purged = l2.purge_tag(&crate::tags::source_tag(source));
+            self.count_tag_purged(purged);
+        }
     }
 
     pub fn clear(&self) {
@@ -220,6 +443,68 @@ mod tests {
         assert!(c.get_stale("s", "Q").is_some());
         assert!(c.get_stale("s", "missing").is_none());
         assert_eq!(c.stats().stale_serves, 1);
+    }
+
+    #[test]
+    fn l2_round_trip_promote_and_tag_purge() {
+        use crate::distributed::ExternalStore;
+        use crate::tier::SingleStoreL2;
+        let caches = QueryCaches::new(
+            CacheConfig {
+                min_cost: Duration::ZERO,
+                ..Default::default()
+            },
+            1 << 20,
+        );
+        // No L2 attached: probe is a no-op, not a counted miss.
+        assert!(caches.l2_lookup(&spec()).is_none());
+        assert_eq!(caches.tier_stats(), TierStats::default());
+
+        let store = Arc::new(ExternalStore::new(Duration::ZERO));
+        caches.set_l2(Arc::new(SingleStoreL2::new(store)));
+        assert!(caches.l2_lookup(&spec()).is_none());
+        assert_eq!(caches.tier_stats().l2_misses, 1);
+
+        caches.l2_store(&spec(), &chunk());
+        let hit = caches.l2_lookup(&spec()).expect("published to L2");
+        assert_eq!(hit.row(0)[1], Value::Int(7));
+        caches.l2_promote(spec(), "SQL", &hit, Duration::from_millis(5));
+        let (l1, outcome) = caches.lookup(&spec(), "SQL");
+        assert!(l1.is_some());
+        assert_eq!(outcome, CacheOutcome::IntelligentHit);
+        let stats = caches.tier_stats();
+        assert_eq!((stats.l2_hits, stats.l2_stores, stats.promotes), (1, 1, 1));
+
+        // A table-scoped purge clears both tiers.
+        assert!(caches.purge_table("faa", "flights") >= 2);
+        assert!(caches.l2_lookup(&spec()).is_none());
+        let (l1, _) = caches.lookup(&spec(), "SQL");
+        assert!(l1.is_none());
+        assert!(caches.tier_stats().tag_purged >= 2);
+    }
+
+    #[test]
+    fn mark_table_stale_keeps_l1_for_degraded_serving() {
+        use crate::distributed::ExternalStore;
+        use crate::tier::SingleStoreL2;
+        let caches = QueryCaches::new(
+            CacheConfig {
+                min_cost: Duration::ZERO,
+                ..Default::default()
+            },
+            1 << 20,
+        );
+        caches.set_l2(Arc::new(SingleStoreL2::new(Arc::new(ExternalStore::new(
+            Duration::ZERO,
+        )))));
+        caches.store(spec(), "SQL", &chunk(), Duration::from_millis(5));
+        caches.l2_store(&spec(), &chunk());
+        assert_eq!(caches.mark_table_stale("faa", "flights"), 2);
+        // L1 demoted, still reachable degraded; L2 copy dropped outright.
+        let (hit, _) = caches.lookup(&spec(), "SQL");
+        assert!(hit.is_none());
+        assert!(caches.lookup_stale(&spec(), "SQL").is_some());
+        assert!(caches.l2_lookup(&spec()).is_none());
     }
 
     #[test]

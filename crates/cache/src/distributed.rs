@@ -49,6 +49,10 @@ pub struct ExternalStats {
 /// semantics, latency and fault behavior.
 pub struct ExternalStore {
     map: Mutex<HashMap<String, Bytes>>,
+    /// Dependency tags per key (see [`crate::tags`]): the shard-local half
+    /// of tag-based invalidation. Only tagged keys participate in
+    /// [`ExternalStore::purge_tag`].
+    tags: Mutex<HashMap<String, Vec<String>>>,
     stats: Mutex<ExternalStats>,
     /// Round-trip latency per operation.
     pub op_latency: Duration,
@@ -68,6 +72,7 @@ impl ExternalStore {
     pub fn new(op_latency: Duration) -> Self {
         ExternalStore {
             map: Mutex::new(HashMap::new()),
+            tags: Mutex::new(HashMap::new()),
             stats: Mutex::new(ExternalStats::default()),
             op_latency,
             faults: Mutex::new(None),
@@ -152,6 +157,57 @@ impl ExternalStore {
         self.map.lock().insert(key, value);
     }
 
+    /// [`ExternalStore::put`] plus dependency-tag registration. Tags are
+    /// recorded only when the value actually landed (a dropped put must not
+    /// leave a phantom tag entry).
+    pub fn put_tagged(&self, key: String, value: Bytes, tags: &[String]) {
+        self.simulate_rtt();
+        if self.is_down() || self.roll_faults(SITE_CACHE_PUT, &self.put_ordinal) {
+            let mut st = self.stats.lock();
+            st.puts += 1;
+            st.dropped_puts += 1;
+            return;
+        }
+        let mut st = self.stats.lock();
+        st.puts += 1;
+        st.bytes_stored += value.len() as u64;
+        drop(st);
+        self.tags.lock().insert(key.clone(), tags.to_vec());
+        self.map.lock().insert(key, value);
+    }
+
+    /// Remove every key carrying `tag`; returns how many were removed.
+    /// Administrative (no RTT, no faults) — invalidation is a control-plane
+    /// event fanned out by the owner, not a client operation.
+    pub fn purge_tag(&self, tag: &str) -> usize {
+        let mut tags = self.tags.lock();
+        let victims: Vec<String> = tags
+            .iter()
+            .filter(|(_, ts)| ts.iter().any(|t| t == tag))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut map = self.map.lock();
+        for key in &victims {
+            tags.remove(key);
+            map.remove(key);
+        }
+        victims.len()
+    }
+
+    /// Administrative read of a key's tags (rebalance carries them along
+    /// with the value so invalidation survives migration).
+    pub fn peek_tags(&self, key: &str) -> Vec<String> {
+        self.tags.lock().get(key).cloned().unwrap_or_default()
+    }
+
+    /// Administrative raw write including tags (key migration).
+    pub fn insert_raw_tagged(&self, key: String, value: Bytes, tags: Vec<String>) {
+        if !tags.is_empty() {
+            self.tags.lock().insert(key.clone(), tags);
+        }
+        self.map.lock().insert(key, value);
+    }
+
     /// Every key this shard holds. Administrative (no RTT, no faults):
     /// the cluster's rebalancer walks shards directly, the way a Redis
     /// Cluster migration uses `SCAN` on the node rather than client gets.
@@ -167,6 +223,7 @@ impl ExternalStore {
 
     /// Administrative removal (rebalance moved the key elsewhere).
     pub fn remove(&self, key: &str) -> Option<Bytes> {
+        self.tags.lock().remove(key);
         self.map.lock().remove(key)
     }
 

@@ -70,6 +70,12 @@ struct Entry {
     /// the entry no longer serves normal lookups but remains available for
     /// degraded (stale) serving until a fresh result replaces it.
     stale: bool,
+    /// When the entry went stale. Within [`CacheConfig::swr_grace`] of this
+    /// instant, a stale entry still serves *normal* lookups
+    /// (stale-while-revalidate) while the maintenance lane refreshes it.
+    stale_since: Option<Instant>,
+    /// Dependency tags (see [`crate::tags`]) for precise invalidation.
+    tags: Vec<String>,
 }
 
 impl Entry {
@@ -95,6 +101,9 @@ pub struct IntelligentStats {
     pub evictions: u64,
     /// Degraded lookups answered from an entry marked stale.
     pub stale_serves: u64,
+    /// Normal lookups answered from a stale entry inside the SWR grace
+    /// window (served immediately, refreshed in the background).
+    pub swr_serves: u64,
 }
 
 /// Live counters, kept OUTSIDE the entry-map mutex so hot-path bookkeeping
@@ -110,6 +119,7 @@ struct AtomicStats {
     rejected_inserts: AtomicU64,
     evictions: AtomicU64,
     stale_serves: AtomicU64,
+    swr_serves: AtomicU64,
 }
 
 impl AtomicStats {
@@ -122,6 +132,7 @@ impl AtomicStats {
             rejected_inserts: self.rejected_inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             stale_serves: self.stale_serves.load(Ordering::Relaxed),
+            swr_serves: self.swr_serves.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,6 +155,13 @@ pub struct CacheConfig {
     /// Accept the first match instead of ranking by post-processing effort
     /// (the paper's shipped 9.0 behavior; ranking is its stated plan).
     pub first_match: bool,
+    /// Stale-while-revalidate grace window: a stale entry younger (as
+    /// stale) than this still answers normal lookups immediately — flagged
+    /// with the `cache_swr_serve` reason — while the Background-priority
+    /// revalidation lane refreshes it. `ZERO` disables SWR: stale entries
+    /// then only serve the explicit degraded path, the pre-hierarchy
+    /// behavior.
+    pub swr_grace: Duration,
 }
 
 impl Default for CacheConfig {
@@ -153,6 +171,7 @@ impl Default for CacheConfig {
             max_entry_bytes: 8 << 20,
             min_cost: Duration::from_micros(50),
             first_match: false,
+            swr_grace: Duration::ZERO,
         }
     }
 }
@@ -176,6 +195,7 @@ struct CacheMetrics {
     rejected_inserts: Counter,
     evictions: Counter,
     stale_serves: Counter,
+    swr_serves: Counter,
     stale_age: Histogram,
 }
 
@@ -189,6 +209,7 @@ impl CacheMetrics {
             rejected_inserts: registry.counter("tv_cache_intelligent_rejected_inserts_total"),
             evictions: registry.counter("tv_cache_intelligent_evictions_total"),
             stale_serves: registry.counter("tv_cache_intelligent_stale_serves_total"),
+            swr_serves: registry.counter("tv_cache_intelligent_swr_serves_total"),
             stale_age: registry.histogram("tv_cache_stale_age_seconds"),
         }
     }
@@ -261,7 +282,7 @@ impl IntelligentCache {
     /// Set [`CacheConfig::first_match`] to reproduce the paper's shipped
     /// behavior.
     pub fn get(&self, spec: &QuerySpec) -> Option<Chunk> {
-        self.lookup(spec, false).0
+        self.lookup(spec, false, false).0
     }
 
     /// [`IntelligentCache::get`] with decision attribution: also returns
@@ -269,7 +290,17 @@ impl IntelligentCache {
     /// hit, or for a miss *which subsumption check* rejected the closest
     /// candidate.
     pub fn get_explained(&self, spec: &QuerySpec) -> (Option<Chunk>, &'static str) {
-        self.lookup(spec, false)
+        self.lookup(spec, false, false)
+    }
+
+    /// [`IntelligentCache::get_explained`] with stale-within-grace (SWR)
+    /// serving disabled: only genuinely fresh entries answer. This is the
+    /// lookup the Background revalidation lane must use — it *is* the
+    /// refresh SWR serving counts on, so letting a grace-window entry
+    /// answer it would mark stale data fresh and the entry would never
+    /// actually revalidate.
+    pub fn get_explained_fresh_only(&self, spec: &QuerySpec) -> (Option<Chunk>, &'static str) {
+        self.lookup(spec, false, true)
     }
 
     /// Degraded-path lookup: also considers entries marked stale by
@@ -278,10 +309,15 @@ impl IntelligentCache {
     /// as `stale_serves`; misses here do not inflate the miss counter (the
     /// normal lookup already recorded one).
     pub fn get_stale(&self, spec: &QuerySpec) -> Option<Chunk> {
-        self.lookup(spec, true).0
+        self.lookup(spec, true, false).0
     }
 
-    fn lookup(&self, spec: &QuerySpec, allow_stale: bool) -> (Option<Chunk>, &'static str) {
+    fn lookup(
+        &self,
+        spec: &QuerySpec,
+        allow_stale: bool,
+        fresh_only: bool,
+    ) -> (Option<Chunk>, &'static str) {
         let mut inner = self.inner.lock();
         let bucket = spec.bucket_key();
         let ids: Vec<u64> = inner.buckets.get(&bucket).cloned().unwrap_or_default();
@@ -290,14 +326,22 @@ impl IntelligentCache {
         // failed on the *closest* entry rather than an arbitrary one.
         let mut miss_reason = tabviz_obs::reason::CACHE_MISS_NO_CANDIDATE;
         // Collect candidate matches (most recent first — interactions tend
-        // to refine the latest view, so recency breaks exact ties).
-        let mut candidates: Vec<(u64, MatchPlan, u32, usize)> = Vec::new();
+        // to refine the latest view, so recency breaks exact ties). The
+        // final bool marks SWR candidates: stale, but inside the grace
+        // window, so servable on the normal path while revalidation runs.
+        let grace = self.config.swr_grace;
+        let mut candidates: Vec<(u64, MatchPlan, u32, usize, bool)> = Vec::new();
         for &id in ids.iter().rev() {
             let entry = match inner.entries.get(&id) {
                 Some(e) => e,
                 None => continue,
             };
-            if entry.stale && !allow_stale {
+            let swr = entry.stale
+                && !allow_stale
+                && !fresh_only
+                && !grace.is_zero()
+                && entry.stale_since.is_some_and(|t| t.elapsed() <= grace);
+            if entry.stale && !allow_stale && !swr {
                 continue;
             }
             let plan = match match_specs_explained(&entry.spec, spec) {
@@ -331,15 +375,16 @@ impl IntelligentCache {
             } else {
                 3 + u32::from(!plan.residual.is_empty())
             };
-            candidates.push((id, plan, effort, entry.result.len()));
-            if self.config.first_match || effort == 0 {
+            candidates.push((id, plan, effort, entry.result.len(), swr));
+            if self.config.first_match || (effort == 0 && !swr) {
                 break;
             }
         }
-        // Least post-processing first; among equals, the smaller input.
-        candidates.sort_by_key(|&(_, _, effort, rows)| (effort, rows));
+        // Fresh entries before SWR ones, then least post-processing first;
+        // among equals, the smaller input.
+        candidates.sort_by_key(|&(_, _, effort, rows, swr)| (swr, effort, rows));
 
-        for (id, plan, effort, _) in candidates {
+        for (id, plan, effort, _, swr) in candidates {
             let entry = match inner.entries.get(&id) {
                 Some(e) => e,
                 None => continue,
@@ -357,6 +402,11 @@ impl IntelligentCache {
                     self.observe_stale_serve(created);
                     return (Some(cached), tabviz_obs::reason::CACHE_HIT_STALE);
                 }
+                if swr {
+                    bump(&self.stats.swr_serves);
+                    self.observe_swr_serve(created);
+                    return (Some(cached), tabviz_obs::reason::CACHE_SWR_SERVE);
+                }
                 bump(&self.stats.exact_hits);
                 if let Some(m) = self.obs() {
                     m.exact_hits.inc();
@@ -370,6 +420,11 @@ impl IntelligentCache {
                         bump(&self.stats.stale_serves);
                         self.observe_stale_serve(created);
                         return (Some(out), tabviz_obs::reason::CACHE_HIT_STALE);
+                    }
+                    if swr {
+                        bump(&self.stats.swr_serves);
+                        self.observe_swr_serve(created);
+                        return (Some(out), tabviz_obs::reason::CACHE_SWR_SERVE);
                     }
                     bump(&self.stats.subsumption_hits);
                     if let Some(m) = self.obs() {
@@ -410,6 +465,23 @@ impl IntelligentCache {
         );
     }
 
+    /// A stale-within-grace entry answered a normal lookup (SWR): the serve
+    /// is immediate, the entry stays on the stale list so the maintenance
+    /// lane revalidates it in the Background class.
+    fn observe_swr_serve(&self, created: Instant) {
+        let age = created.elapsed();
+        if let Some(m) = self.obs() {
+            m.swr_serves.inc();
+            m.stale_age.observe(age);
+        }
+        tabviz_obs::event_with(
+            stage::STALE_SERVE,
+            Some("swr"),
+            Some(age.as_micros().min(u64::MAX as u128) as u64),
+            Some(tabviz_obs::reason::CACHE_SWR_SERVE),
+        );
+    }
+
     /// Insert a result. `cost` is what computing it took.
     pub fn put(&self, spec: QuerySpec, result: Chunk, cost: Duration) {
         let bytes = result.approx_bytes();
@@ -424,22 +496,18 @@ impl IntelligentCache {
         let mut spec = spec;
         spec.normalize();
         let bucket = spec.bucket_key();
-        // A fresh result replaces stale entries for the same spec (the
-        // revalidation contract: "until a fresh result replaces it").
-        // Without this, a revalidated query would stay on the stale list
-        // forever and the maintenance lane would re-fetch it every pass.
+        // A fresh result replaces ANY existing entry for the same spec:
+        // stale ones by the revalidation contract ("until a fresh result
+        // replaces it"), fresh ones so concurrent threads racing to store
+        // the same (e.g. widened) result converge on one entry instead of
+        // accumulating duplicates — put is idempotent per spec.
         let superseded: Vec<u64> = inner
             .buckets
             .get(&bucket)
             .map(|ids| {
                 ids.iter()
                     .copied()
-                    .filter(|id| {
-                        inner
-                            .entries
-                            .get(id)
-                            .is_some_and(|e| e.stale && e.spec == spec)
-                    })
+                    .filter(|id| inner.entries.get(id).is_some_and(|e| e.spec == spec))
                     .collect()
             })
             .unwrap_or_default();
@@ -454,6 +522,7 @@ impl IntelligentCache {
         let id = inner.next_id;
         inner.next_id += 1;
         let now = Instant::now();
+        let tags = crate::tags::tags_for_spec(&spec);
         inner.entries.insert(
             id,
             Entry {
@@ -465,6 +534,8 @@ impl IntelligentCache {
                 use_count: 0,
                 cost,
                 stale: false,
+                stale_since: None,
+                tags,
             },
         );
         inner.buckets.entry(bucket).or_default().push(id);
@@ -517,15 +588,63 @@ impl IntelligentCache {
             .flat_map(|(_, ids)| ids.iter().copied())
             .collect();
         let mut marked = 0;
+        let now = Instant::now();
         for id in ids {
             if let Some(e) = inner.entries.get_mut(&id) {
                 if !e.stale {
                     e.stale = true;
+                    e.stale_since = Some(now);
                     marked += 1;
                 }
             }
         }
         marked
+    }
+
+    /// Mark every entry carrying `tag` stale (see [`crate::tags`]) — the
+    /// SWR-friendly half of tag invalidation: dependents keep serving
+    /// inside the grace window while revalidation refreshes them. Returns
+    /// how many entries were newly marked.
+    pub fn mark_tag_stale(&self, tag: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        let mut marked = 0;
+        for e in inner.entries.values_mut() {
+            if !e.stale && e.tags.iter().any(|t| t == tag) {
+                e.stale = true;
+                e.stale_since = Some(now);
+                marked += 1;
+            }
+        }
+        marked
+    }
+
+    /// Remove every entry carrying `tag`; returns how many were removed.
+    /// This is the precise replacement for wholesale [`purge_source`]: a
+    /// table refresh purges exactly its dependents.
+    ///
+    /// [`purge_source`]: IntelligentCache::purge_source
+    pub fn purge_tag(&self, tag: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let victims: Vec<u64> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.tags.iter().any(|t| t == tag))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &victims {
+            if let Some(e) = inner.entries.remove(id) {
+                inner.bytes -= e.bytes;
+                let bucket = e.spec.bucket_key();
+                if let Some(ids) = inner.buckets.get_mut(&bucket) {
+                    ids.retain(|i| i != id);
+                    if ids.is_empty() {
+                        inner.buckets.remove(&bucket);
+                    }
+                }
+            }
+        }
+        victims.len()
     }
 
     /// Purge every entry belonging to a source ("entries are also purged
@@ -580,6 +699,26 @@ impl IntelligentCache {
         inner
             .entries
             .values()
+            .map(|e| (e.spec.clone(), e.result.clone(), e.cost))
+            .collect()
+    }
+
+    /// The top-`k` fresh entries by use count (ties: higher eviction score
+    /// first) — the popularity list cache warming replays into a joining
+    /// node's L1.
+    pub fn hot_entries(&self, k: usize) -> Vec<(QuerySpec, Chunk, Duration)> {
+        let inner = self.inner.lock();
+        let now = Instant::now();
+        let mut hot: Vec<&Entry> = inner.entries.values().filter(|e| !e.stale).collect();
+        hot.sort_by(|a, b| {
+            b.use_count.cmp(&a.use_count).then(
+                b.score(now)
+                    .partial_cmp(&a.score(now))
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        hot.truncate(k);
+        hot.iter()
             .map(|e| (e.spec.clone(), e.result.clone(), e.cost))
             .collect()
     }
@@ -1027,6 +1166,7 @@ mod tests {
             max_entry_bytes: 64,
             min_cost: Duration::from_millis(1),
             first_match: false,
+            swr_grace: Duration::ZERO,
         });
         cache.put(cached_spec(), detail_chunk(), Duration::from_micros(1)); // too cheap
         assert_eq!(cache.len(), 0);
@@ -1042,6 +1182,7 @@ mod tests {
             max_entry_bytes: 1 << 20,
             min_cost: Duration::ZERO,
             first_match: false,
+            swr_grace: Duration::ZERO,
         });
         for i in 0..10 {
             let spec = QuerySpec::new("faa", LogicalPlan::scan(format!("t{i}")))
@@ -1167,6 +1308,52 @@ mod tests {
         assert_eq!(st.exact_hits + st.misses, total);
         assert_eq!(st.exact_hits, total / 2);
         assert_eq!(st.misses, total / 2);
+    }
+
+    #[test]
+    fn put_is_idempotent_per_spec() {
+        let cache = cache_with_entry();
+        assert_eq!(cache.len(), 1);
+        // Concurrent threads racing to store the same result must converge
+        // on one entry, not accumulate duplicates.
+        cache.put(cached_spec(), detail_chunk(), Duration::from_millis(100));
+        cache.put(cached_spec(), detail_chunk(), Duration::from_millis(100));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn swr_grace_serves_stale_then_hides() {
+        let cache = IntelligentCache::new(CacheConfig {
+            min_cost: Duration::ZERO,
+            swr_grace: Duration::from_millis(80),
+            ..Default::default()
+        });
+        cache.put(cached_spec(), detail_chunk(), Duration::from_millis(100));
+        assert_eq!(cache.mark_source_stale("faa"), 1);
+        // Inside the grace window the NORMAL path serves, flagged SWR.
+        let (hit, why) = cache.get_explained(&cached_spec());
+        assert!(hit.is_some());
+        assert_eq!(why, tabviz_obs::reason::CACHE_SWR_SERVE);
+        assert_eq!(cache.stats().swr_serves, 1);
+        // The entry stays on the revalidation work list meanwhile.
+        assert_eq!(cache.stale_entries().len(), 1);
+        std::thread::sleep(Duration::from_millis(100));
+        // Past the grace window: normal lookups miss, degraded still works.
+        assert!(cache.get(&cached_spec()).is_none());
+        assert!(cache.get_stale(&cached_spec()).is_some());
+    }
+
+    #[test]
+    fn tag_purge_hits_only_dependents() {
+        let cache = cache_with_entry(); // reads faa / flights
+        let other = QuerySpec::new("faa", LogicalPlan::scan("airports"))
+            .group("carrier")
+            .agg(AggCall::new(AggFunc::Count, None, "n"));
+        cache.put(other.clone(), detail_chunk(), Duration::from_millis(10));
+        let purged = cache.purge_tag(&crate::tags::table_tag("faa", "flights"));
+        assert_eq!(purged, 1);
+        assert!(cache.get(&cached_spec()).is_none());
+        assert!(cache.get(&other).is_some(), "airports entry must survive");
     }
 
     #[test]

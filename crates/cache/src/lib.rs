@@ -16,7 +16,11 @@
 //! * [`caches`] — the two levels combined, with shared eviction policy;
 //! * [`persist`] — Desktop-style cache persistence across sessions;
 //! * [`distributed`] — the Server-style external (Redis/Cassandra-like)
-//!   layer with node-local memory.
+//!   layer with node-local memory;
+//! * [`tier`] — the L2 abstraction composing the node-local caches with a
+//!   shared store into a true L1 → L2 hierarchy;
+//! * [`tags`] — dependency tags (source + table) for precise invalidation
+//!   across both tiers.
 
 pub mod caches;
 pub mod distributed;
@@ -25,12 +29,16 @@ pub mod intelligent;
 pub mod literal;
 pub mod persist;
 pub mod spec;
+pub mod tags;
+pub mod tier;
 
-pub use caches::{CacheOutcome, QueryCaches};
+pub use caches::{CacheOutcome, QueryCaches, TierStats};
 pub use distributed::{decode_chunk, encode_chunk, ExternalStore, ServerNodeCache};
 pub use intelligent::{subsumes, IntelligentCache};
 pub use literal::LiteralCache;
 pub use spec::QuerySpec;
+pub use tags::{source_tag, table_tag, tables_of, tags_for_spec};
+pub use tier::{L2Cache, SingleStoreL2};
 
 use tabviz_tql::expr::Expr;
 use tabviz_tql::BinOp;

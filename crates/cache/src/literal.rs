@@ -25,6 +25,8 @@ struct Entry {
     /// Marked by [`LiteralCache::mark_source_stale`]: hidden from normal
     /// lookups, still available for degraded serving.
     stale: bool,
+    /// Dependency tags (see [`crate::tags`]) for precise invalidation.
+    tags: Vec<String>,
 }
 
 impl Entry {
@@ -203,6 +205,26 @@ impl LiteralCache {
     }
 
     pub fn put(&self, source: &str, text: &str, result: Chunk, cost: Duration) {
+        self.put_tagged(
+            source,
+            text,
+            result,
+            cost,
+            vec![crate::tags::source_tag(source)],
+        );
+    }
+
+    /// [`LiteralCache::put`] with explicit dependency tags (the caller
+    /// knows which tables the query reads; a bare `put` only carries the
+    /// source tag).
+    pub fn put_tagged(
+        &self,
+        source: &str,
+        text: &str,
+        result: Chunk,
+        cost: Duration,
+        tags: Vec<String>,
+    ) {
         let bytes = result.approx_bytes();
         let mut inner = self.inner.lock();
         let key = Self::key(source, text);
@@ -217,6 +239,7 @@ impl LiteralCache {
                 use_count: 0,
                 cost,
                 stale: false,
+                tags,
             },
         ) {
             inner.bytes -= old.bytes;
@@ -277,6 +300,37 @@ impl LiteralCache {
                 inner.bytes -= e.bytes;
             }
         }
+    }
+
+    /// Mark every entry carrying `tag` stale. Returns how many were newly
+    /// marked.
+    pub fn mark_tag_stale(&self, tag: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let mut marked = 0;
+        for e in inner.entries.values_mut() {
+            if !e.stale && e.tags.iter().any(|t| t == tag) {
+                e.stale = true;
+                marked += 1;
+            }
+        }
+        marked
+    }
+
+    /// Remove every entry carrying `tag`; returns how many were removed.
+    pub fn purge_tag(&self, tag: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let keys: Vec<String> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.tags.iter().any(|t| t == tag))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &keys {
+            if let Some(e) = inner.entries.remove(k) {
+                inner.bytes -= e.bytes;
+            }
+        }
+        keys.len()
     }
 
     pub fn clear(&self) {

@@ -1,0 +1,98 @@
+//! Dependency tags for precise cache invalidation.
+//!
+//! Every cached result depends on the data of one source and the set of
+//! tables its relation reads. Tagging entries with those dependencies at
+//! store time turns invalidation from "connection closed — purge the whole
+//! source" into "table `flights` refreshed — purge exactly its dependents",
+//! across both the node-local L1 and the shared L2 tier.
+//!
+//! Tags are plain strings with two namespaces:
+//!
+//! - `src:{source}` — every entry derived from the source (superset tag;
+//!   purging it is the old wholesale behaviour, kept for source removal).
+//! - `tbl:{source}\u{1}{table}` — entries reading a specific table, the
+//!   granularity a refresh event actually has.
+
+use tabviz_tql::LogicalPlan;
+
+use crate::spec::QuerySpec;
+
+/// Tag carried by every entry of `source` (wholesale-purge superset).
+pub fn source_tag(source: &str) -> String {
+    format!("src:{source}")
+}
+
+/// Tag carried by entries reading `table` of `source`.
+pub fn table_tag(source: &str, table: &str) -> String {
+    format!("tbl:{source}\u{1}{table}")
+}
+
+/// Every table a relation tree reads, sorted and deduplicated.
+pub fn tables_of(plan: &LogicalPlan) -> Vec<String> {
+    fn walk(plan: &LogicalPlan, out: &mut Vec<String>) {
+        match plan {
+            LogicalPlan::TableScan { table, .. } => {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Order { input, .. }
+            | LogicalPlan::TopN { input, .. }
+            | LogicalPlan::Distinct { input } => walk(input, out),
+            LogicalPlan::Join { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out.sort();
+    out
+}
+
+/// The full dependency tag set of a query spec: its source tag plus one
+/// table tag per table its relation reads.
+pub fn tags_for_spec(spec: &QuerySpec) -> Vec<String> {
+    let mut tags = vec![source_tag(&spec.source)];
+    for table in tables_of(&spec.relation) {
+        tags.push(table_tag(&spec.source, &table));
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabviz_tql::JoinType;
+
+    #[test]
+    fn tags_cover_source_and_every_table() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::scan("flights")),
+            right: Box::new(LogicalPlan::scan("carriers")),
+            on: vec![("carrier".into(), "code".into())],
+            join_type: JoinType::Inner,
+        };
+        let spec = QuerySpec::new("faa", plan);
+        let tags = tags_for_spec(&spec);
+        assert_eq!(tags[0], source_tag("faa"));
+        assert!(tags.contains(&table_tag("faa", "flights")));
+        assert!(tags.contains(&table_tag("faa", "carriers")));
+        assert_eq!(tags.len(), 3);
+    }
+
+    #[test]
+    fn nested_plans_dedup_tables() {
+        let plan = LogicalPlan::Select {
+            input: Box::new(LogicalPlan::Distinct {
+                input: Box::new(LogicalPlan::scan("flights")),
+            }),
+            predicate: tabviz_tql::expr::col("carrier"),
+        };
+        assert_eq!(tables_of(&plan), vec!["flights".to_string()]);
+    }
+}

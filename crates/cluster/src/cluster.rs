@@ -30,7 +30,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tabviz_cache::{decode_chunk, encode_chunk, ExternalStore};
+use bytes::Bytes;
+use tabviz_cache::{
+    decode_chunk, encode_chunk, source_tag, table_tag, tables_of, ExternalStore, L2Cache,
+};
 use tabviz_common::hash::hash_str;
 use tabviz_common::{Chunk, Result, TvError};
 use tabviz_core::{ExecOutcome, Priority};
@@ -77,6 +80,40 @@ impl Default for ClusterConfig {
 /// so its health score keeps receiving fresh observations — without the
 /// probe, a demoted node would starve of traffic and never be restored.
 const HEALTH_PROBE_EVERY: u64 = 8;
+
+/// How many hot L1 entries cache warming replays into a joining node
+/// (top-K by use count across the existing members).
+const WARM_TOP_K: usize = 16;
+
+/// The cluster's shared L2 cache tier: entries are ring-placed onto their
+/// `R` owner shards and reachable from every node. One instance per node is
+/// injected into that node's processor caches at attach time; all instances
+/// share the same ring + peer tier, so a result computed anywhere is an L2
+/// hit everywhere (and one tag purge clears every shard).
+struct ClusterL2 {
+    ring: Arc<RwLock<HashRing>>,
+    peer: Arc<RwLock<PeerTier>>,
+}
+
+impl L2Cache for ClusterL2 {
+    fn get(&self, key: &str) -> Option<Bytes> {
+        let ring = self.ring.read();
+        self.peer.read().get(&ring, key).map(|(bytes, _)| bytes)
+    }
+
+    fn put(&self, key: &str, value: Bytes, tags: &[String]) {
+        let ring = self.ring.read();
+        self.peer.read().put_tagged(&ring, key, value, tags);
+    }
+
+    fn purge_tag(&self, tag: &str) -> usize {
+        self.peer.read().purge_tag(tag)
+    }
+
+    fn entry_count(&self) -> usize {
+        self.peer.read().entry_count()
+    }
+}
 
 /// One member: a named [`DataServer`] plus its peer-tier shard, liveness
 /// flag and brown-out health scorer.
@@ -173,9 +210,9 @@ type NodeFactory = dyn Fn(&str) -> Result<Arc<DataServer>> + Send + Sync;
 /// The simulated multi-node Data Server deployment.
 pub struct Cluster {
     config: ClusterConfig,
-    ring: RwLock<HashRing>,
+    ring: Arc<RwLock<HashRing>>,
     nodes: RwLock<HashMap<String, Arc<ClusterNode>>>,
-    peer: RwLock<PeerTier>,
+    peer: Arc<RwLock<PeerTier>>,
     factory: Box<NodeFactory>,
     /// Cluster-level flight recorder: one trace per routed query, carrying
     /// the routing/peer events; the node's own trace nests beneath it.
@@ -210,9 +247,9 @@ impl Cluster {
         );
         slo.bind_obs(&registry);
         let cluster = Cluster {
-            ring: RwLock::new(HashRing::new(config.seed, config.vnodes)),
+            ring: Arc::new(RwLock::new(HashRing::new(config.seed, config.vnodes))),
             nodes: RwLock::new(HashMap::new()),
-            peer: RwLock::new(PeerTier::new(config.replication)),
+            peer: Arc::new(RwLock::new(PeerTier::new(config.replication))),
             factory: Box::new(factory),
             recorder: FlightRecorder::default(),
             registry,
@@ -261,6 +298,12 @@ impl Cluster {
         let shard = Arc::new(ExternalStore::new(self.config.peer_op_latency));
         self.peer.write().add_shard(name, Arc::clone(&shard));
         self.ring.write().add_node(name);
+        // Make the replicated peer tier this node's L2: both L1 levels miss
+        // → ring-routed probe, promote on hit, tagged publish on store.
+        server.processor.caches.set_l2(Arc::new(ClusterL2 {
+            ring: Arc::clone(&self.ring),
+            peer: Arc::clone(&self.peer),
+        }));
         self.nodes.write().insert(
             name.to_string(),
             Arc::new(ClusterNode {
@@ -328,11 +371,13 @@ impl Cluster {
     }
 
     /// Provision and join a new member, then migrate peer-tier keys so
-    /// every key lives on exactly its `R` owners under the new ring.
+    /// every key lives on exactly its `R` owners under the new ring, and
+    /// warm the joiner's L1 from the existing members' hot sets.
     pub fn add_node(&self, name: &str) -> Result<RebalanceReport> {
         if self.nodes.read().contains_key(name) {
             return Err(TvError::Bind(format!("node '{name}' already exists")));
         }
+        let donors = self.nodes();
         let old_ring = self.ring.read().clone();
         self.attach_node(name)?;
         let new_ring = self.ring.read().clone();
@@ -343,7 +388,82 @@ impl Cluster {
         self.registry
             .counter("tv_cluster_keys_migrated_total")
             .add(report.keys_moved as u64);
+        let warmed = self.warm_node(name, &donors);
+        self.registry
+            .counter("tv_cluster_entries_warmed_total")
+            .add(warmed as u64);
         Ok(report)
+    }
+
+    /// Cache warming: replay the existing members' hottest intelligent-cache
+    /// entries (top-[`WARM_TOP_K`] by use count, deduplicated by canonical
+    /// text) into a joining node's L1 so its first dashboards hit locally
+    /// instead of walking to L2 or the backend. Returns entries seeded.
+    fn warm_node(&self, name: &str, donors: &[Arc<ClusterNode>]) -> usize {
+        let Some(target) = self.node(name) else {
+            return 0;
+        };
+        // Gather each donor's ranked hot list, then merge by interleaving
+        // rank order — rank r from every donor before rank r+1 anywhere —
+        // so the global top-K approximates popularity without raw counts.
+        let lists: Vec<_> = donors
+            .iter()
+            .filter(|d| d.name != name)
+            .map(|d| {
+                d.server
+                    .processor
+                    .caches
+                    .intelligent
+                    .hot_entries(WARM_TOP_K)
+            })
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut warmed = 0usize;
+        let max_rank = lists.iter().map(Vec::len).max().unwrap_or(0);
+        'outer: for rank in 0..max_rank {
+            for list in &lists {
+                let Some((spec, chunk, cost)) = list.get(rank) else {
+                    continue;
+                };
+                if !seen.insert(spec.canonical_text()) {
+                    continue;
+                }
+                target
+                    .server
+                    .processor
+                    .caches
+                    .warm(spec.clone(), chunk, *cost);
+                warmed += 1;
+                if warmed >= WARM_TOP_K {
+                    break 'outer;
+                }
+            }
+        }
+        if warmed > 0 {
+            event_with(stage::CACHE_TIER, Some("warm"), Some(warmed as u64), None);
+        }
+        warmed
+    }
+
+    /// One table refreshed at its source: purge only the tagged dependents
+    /// — every node's L1 plus the shared L2 — instead of flushing whole
+    /// sources. Returns entries removed cluster-wide.
+    pub fn refresh_table(&self, source: &str, table: &str) -> usize {
+        let mut purged = 0usize;
+        for node in self.nodes() {
+            purged += node.server.processor.refresh_table(source, table);
+        }
+        self.registry.counter("tv_cluster_tag_purges_total").inc();
+        self.registry
+            .counter("tv_cluster_tag_purged_entries_total")
+            .add(purged as u64);
+        event_with(
+            stage::CACHE_TIER,
+            Some("purge"),
+            Some(purged as u64),
+            Some(reason::CACHE_TAG_PURGE),
+        );
+        purged
     }
 
     /// Gracefully decommission a member: its peer-tier keys are migrated to
@@ -1004,19 +1124,31 @@ impl ClusterSession {
             },
         );
 
-        // Publish fresh backend results to the key's replica owners.
+        // Publish fresh backend results to the key's replica owners, tagged
+        // with the published source so close/refresh can purge them.
         if outcome == ExecOutcome::Remote {
             if let Ok(bytes) = encode_chunk(&chunk) {
+                // Source tag plus one table tag per table the published
+                // relation reads: a table refresh then purges peer-tier
+                // copies as precisely as it purges L1 and canonical L2.
+                let mut tags = vec![source_tag(&self.published)];
+                if let Ok(published) = node.server.published(&self.published) {
+                    for table in tables_of(&published.relation) {
+                        tags.push(table_tag(&published.backing, &table));
+                    }
+                }
                 let ring = cluster.ring.read();
                 let fanout = cluster.peer.read().replication() as u64;
-                cluster.peer.read().put(&ring, &key, bytes);
+                cluster.peer.read().put_tagged(&ring, &key, bytes, &tags);
                 drop(ring);
                 event_with(stage::PEER_CACHE, Some("put"), Some(fanout), None);
             }
         }
 
         let profile_outcome = match outcome {
-            ExecOutcome::IntelligentHit | ExecOutcome::LiteralHit => ProfileOutcome::Hit,
+            ExecOutcome::IntelligentHit | ExecOutcome::LiteralHit | ExecOutcome::L2Hit => {
+                ProfileOutcome::Hit
+            }
             ExecOutcome::Remote => ProfileOutcome::Remote,
             ExecOutcome::DegradedStale => ProfileOutcome::DegradedStale,
         };

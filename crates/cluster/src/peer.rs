@@ -84,6 +84,12 @@ impl PeerTier {
     /// Downed/faulted owners drop their copy silently (their shard counts a
     /// dropped put) — exactly why reads probe the whole owner set.
     pub fn put(&self, ring: &HashRing, key: &str, value: Bytes) {
+        self.put_tagged(ring, key, value, &[]);
+    }
+
+    /// [`PeerTier::put`] carrying dependency tags; every owner shard
+    /// registers them so a later [`PeerTier::purge_tag`] finds the copies.
+    pub fn put_tagged(&self, ring: &HashRing, key: &str, value: Bytes, tags: &[String]) {
         let owners = ring.replicas(key, self.replication);
         let mut st = self.stats.lock();
         st.puts += 1;
@@ -91,9 +97,21 @@ impl PeerTier {
         drop(st);
         for owner in owners {
             if let Some(shard) = self.shards.get(owner) {
-                shard.put(key.to_string(), value.clone());
+                shard.put_tagged(key.to_string(), value.clone(), tags);
             }
         }
+    }
+
+    /// Administrative tier-wide purge of every entry carrying `tag`.
+    /// Returns entries removed summed over shards (a key replicated to `R`
+    /// owners counts `R` times).
+    pub fn purge_tag(&self, tag: &str) -> usize {
+        self.shards.values().map(|s| s.purge_tag(tag)).sum()
+    }
+
+    /// Entries held across all shards (replicas count once per shard).
+    pub fn entry_count(&self) -> usize {
+        self.shards.values().map(|s| s.len()).sum()
     }
 
     /// Owner-order read: primary first, then replicas. The first shard that
@@ -128,13 +146,15 @@ impl PeerTier {
     /// it. `old_primary` is evaluated against `old_ring` to report how many
     /// primaries actually changed — the K/N property under test.
     pub fn rebalance(&self, old_ring: &HashRing, ring: &HashRing) -> RebalanceReport {
-        // Collect the union of keys with one surviving source copy each.
-        let mut values: HashMap<String, Bytes> = HashMap::new();
+        // Collect the union of keys with one surviving source copy each
+        // (value + dependency tags, so migration preserves purgeability).
+        let mut values: HashMap<String, (Bytes, Vec<String>)> = HashMap::new();
         for shard in self.shards.values() {
             for key in shard.keys() {
                 if let std::collections::hash_map::Entry::Vacant(e) = values.entry(key) {
                     if let Some(v) = shard.peek(e.key()) {
-                        e.insert(v);
+                        let tags = shard.peek_tags(e.key());
+                        e.insert((v, tags));
                     }
                 }
             }
@@ -155,7 +175,8 @@ impl PeerTier {
                 let owns = owners.contains(&name.as_str());
                 let has = shard.peek(key).is_some();
                 if owns && !has {
-                    shard.insert_raw(key.clone(), values[key].clone());
+                    let (value, tags) = &values[key];
+                    shard.insert_raw_tagged(key.clone(), value.clone(), tags.clone());
                     changed = true;
                 } else if !owns && has {
                     shard.remove(key);

@@ -16,13 +16,16 @@ use tabviz_backend::Capabilities;
 use tabviz_cache::{QueryCaches, QuerySpec};
 use tabviz_common::{Chunk, Result, TvError};
 use tabviz_obs::{stage, Counter, Histogram, Obs, ProfileOutcome};
-use tabviz_sched::{AdmitRequest, SchedConfig, Scheduler};
+use tabviz_sched::{AdmitRequest, Priority, SchedConfig, Scheduler};
 
 /// How a query was answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecOutcome {
     IntelligentHit,
     LiteralHit,
+    /// Both L1 levels missed but the shared L2 tier held the canonical
+    /// result; it was promoted into L1 on the way back.
+    L2Hit,
     Remote,
     /// The backend was unavailable; the answer came from a cache entry
     /// marked stale. Degraded but rendered — the caller should flag it.
@@ -35,6 +38,8 @@ pub enum ExecOutcome {
 pub struct ProcessorStats {
     pub intelligent_hits: u64,
     pub literal_hits: u64,
+    /// Queries answered from the shared L2 tier after both L1 levels missed.
+    pub l2_hits: u64,
     pub remote_queries: u64,
     /// Remote queries that were widened for reuse before dispatch.
     pub widened_queries: u64,
@@ -52,6 +57,7 @@ pub struct ProcessorStats {
 struct AtomicStats {
     intelligent_hits: AtomicU64,
     literal_hits: AtomicU64,
+    l2_hits: AtomicU64,
     remote_queries: AtomicU64,
     widened_queries: AtomicU64,
     temp_table_fallbacks: AtomicU64,
@@ -65,6 +71,7 @@ impl AtomicStats {
         ProcessorStats {
             intelligent_hits: self.intelligent_hits.load(Relaxed),
             literal_hits: self.literal_hits.load(Relaxed),
+            l2_hits: self.l2_hits.load(Relaxed),
             remote_queries: self.remote_queries.load(Relaxed),
             widened_queries: self.widened_queries.load(Relaxed),
             temp_table_fallbacks: self.temp_table_fallbacks.load(Relaxed),
@@ -77,6 +84,7 @@ impl AtomicStats {
     fn reset(&self) {
         self.intelligent_hits.store(0, Relaxed);
         self.literal_hits.store(0, Relaxed);
+        self.l2_hits.store(0, Relaxed);
         self.remote_queries.store(0, Relaxed);
         self.widened_queries.store(0, Relaxed);
         self.temp_table_fallbacks.store(0, Relaxed);
@@ -94,6 +102,7 @@ struct CoreMetrics {
     queries: Counter,
     intelligent_hits: Counter,
     literal_hits: Counter,
+    l2_hits: Counter,
     remote_queries: Counter,
     widened_queries: Counter,
     transient_retries: Counter,
@@ -110,6 +119,7 @@ impl CoreMetrics {
             queries: registry.counter("tv_core_queries_total"),
             intelligent_hits: registry.counter("tv_core_intelligent_hits_total"),
             literal_hits: registry.counter("tv_core_literal_hits_total"),
+            l2_hits: registry.counter("tv_core_l2_hits_total"),
             remote_queries: registry.counter("tv_core_remote_queries_total"),
             widened_queries: registry.counter("tv_core_widened_queries_total"),
             transient_retries: registry.counter("tv_core_transient_retries_total"),
@@ -127,6 +137,9 @@ impl CoreMetrics {
 pub struct ProcessorOptions {
     pub use_intelligent_cache: bool,
     pub use_literal_cache: bool,
+    /// Consult the shared L2 tier (when one is attached) after both L1
+    /// levels miss, and publish fresh backend results to it.
+    pub use_l2_cache: bool,
     /// Sect. 3.2: "The query processor might choose to adjust queries before
     /// sending, in order to make the results more useful for future reuse."
     /// On a miss, single-value-set filters are folded into the grouping of
@@ -151,6 +164,7 @@ impl Default for ProcessorOptions {
         ProcessorOptions {
             use_intelligent_cache: true,
             use_literal_cache: true,
+            use_l2_cache: true,
             widen_for_reuse: true,
             widen_max_extra_columns: 2,
             query_timeout: Some(Duration::from_secs(30)),
@@ -252,6 +266,37 @@ fn widen_spec(spec: &QuerySpec, max_extra: usize) -> Option<QuerySpec> {
     Some(widened)
 }
 
+/// RAII slot in the single-flight widen set: acquired when this thread is
+/// the first in flight for a widened canonical text, released (even on
+/// panic or early return) when dropped.
+struct WidenGate<'a> {
+    set: &'a std::sync::Mutex<std::collections::HashSet<String>>,
+    key: String,
+}
+
+impl<'a> WidenGate<'a> {
+    fn try_acquire(
+        set: &'a std::sync::Mutex<std::collections::HashSet<String>>,
+        key: String,
+    ) -> Option<Self> {
+        let mut guard = set.lock().unwrap_or_else(|p| p.into_inner());
+        if guard.insert(key.clone()) {
+            Some(WidenGate { set, key })
+        } else {
+            None
+        }
+    }
+}
+
+impl Drop for WidenGate<'_> {
+    fn drop(&mut self) {
+        self.set
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&self.key);
+    }
+}
+
 /// The query processor: sources + caches + observability.
 pub struct QueryProcessor {
     pub registry: SourceRegistry,
@@ -263,6 +308,11 @@ pub struct QueryProcessor {
     /// acquires a [`tabviz_sched::Ticket`] before touching a pool; cache
     /// hits are never queued.
     scheduler: Option<Arc<Scheduler>>,
+    /// Widened canonical texts currently being computed. Concurrent misses
+    /// on the same reusable shape elect one widener; the rest run their
+    /// original query directly instead of racing duplicate widened scans
+    /// against the backend.
+    widen_inflight: std::sync::Mutex<std::collections::HashSet<String>>,
     stats: AtomicStats,
     metrics: CoreMetrics,
 }
@@ -286,6 +336,7 @@ impl QueryProcessor {
             options: ProcessorOptions::default(),
             obs,
             scheduler: None,
+            widen_inflight: std::sync::Mutex::new(std::collections::HashSet::new()),
             stats: AtomicStats::default(),
             metrics,
         }
@@ -403,13 +454,26 @@ impl QueryProcessor {
             let hit = {
                 let mut s = tabviz_obs::span(stage::CACHE_LOOKUP);
                 s.label("intelligent");
-                let (hit, why) = self.caches.intelligent.get_explained(spec);
+                // Background work is the revalidation lane SWR serving
+                // depends on: it must see through grace-window entries to
+                // the backend, or stale data would revalidate itself.
+                let (hit, why) = if req.priority == Priority::Background {
+                    self.caches.intelligent.get_explained_fresh_only(spec)
+                } else {
+                    self.caches.intelligent.get_explained(spec)
+                };
                 s.reason(why);
                 hit
             };
             if let Some(hit) = hit {
                 self.stats.intelligent_hits.fetch_add(1, Relaxed);
                 self.metrics.intelligent_hits.inc();
+                tabviz_obs::event_with(
+                    stage::CACHE_TIER,
+                    Some("l1"),
+                    Some(hit.len() as u64),
+                    Some(tabviz_obs::reason::CACHE_L1_HIT),
+                );
                 return Ok((hit, ExecOutcome::IntelligentHit, ProfileOutcome::Hit));
             }
         }
@@ -431,50 +495,102 @@ impl QueryProcessor {
             if let Some(hit) = hit {
                 self.stats.literal_hits.fetch_add(1, Relaxed);
                 self.metrics.literal_hits.inc();
+                tabviz_obs::event_with(
+                    stage::CACHE_TIER,
+                    Some("l1"),
+                    Some(hit.len() as u64),
+                    Some(tabviz_obs::reason::CACHE_L1_HIT),
+                );
                 return Ok((hit, ExecOutcome::LiteralHit, ProfileOutcome::Hit));
+            }
+        }
+        // Both L1 levels missed: consult the shared L2 tier before paying
+        // the backend round trip, and promote a hit into L1 for next time.
+        if self.options.use_l2_cache && self.caches.has_l2() {
+            let hit = {
+                let mut s = tabviz_obs::span(stage::CACHE_TIER);
+                s.label("get");
+                match self.caches.l2_lookup(spec) {
+                    Some(chunk) => {
+                        s.detail(chunk.len() as u64);
+                        s.reason(tabviz_obs::reason::CACHE_L2_HIT);
+                        Some(chunk)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(chunk) = hit {
+                self.stats.l2_hits.fetch_add(1, Relaxed);
+                self.metrics.l2_hits.inc();
+                {
+                    let mut s = tabviz_obs::span(stage::CACHE_TIER);
+                    s.label("promote");
+                    s.reason(tabviz_obs::reason::CACHE_L2_PROMOTE);
+                    // Nominal insert cost: the entry already proved itself
+                    // worth caching when the producing node stored it.
+                    self.caches.l2_promote(
+                        spec.clone(),
+                        &compiled.remote.text,
+                        &chunk,
+                        Duration::from_millis(1),
+                    );
+                }
+                return Ok((chunk, ExecOutcome::L2Hit, ProfileOutcome::Hit));
             }
         }
         // Widening: send a more reusable remote query and answer this (and
         // future filter variations) from its cached result.
         if self.options.widen_for_reuse && self.options.use_intelligent_cache {
             if let Some(widened) = widen_spec(spec, self.options.widen_max_extra_columns) {
-                let _w = tabviz_obs::span(stage::WIDEN);
-                if let Ok(compiled_w) =
-                    compile_spec(&widened, managed.capabilities(), &managed.compile_options)
-                {
-                    let t0 = Instant::now();
-                    if let Ok(chunk_w) =
-                        self.run_remote_admitted(&managed, &widened, &compiled_w, req)
+                // Single-flight: only one concurrent miss per widened shape
+                // runs the widened query; losers fall through to a direct
+                // remote execution of their original spec.
+                let gate = WidenGate::try_acquire(&self.widen_inflight, widened.canonical_text());
+                if gate.is_some() {
+                    let _w = tabviz_obs::span(stage::WIDEN);
+                    if let Ok(compiled_w) =
+                        compile_spec(&widened, managed.capabilities(), &managed.compile_options)
                     {
-                        let cost = t0.elapsed();
-                        self.stats.remote_queries.fetch_add(1, Relaxed);
-                        self.stats.widened_queries.fetch_add(1, Relaxed);
-                        self.stats
-                            .remote_time_nanos
-                            .fetch_add(cost.as_nanos() as u64, Relaxed);
-                        self.metrics.remote_queries.inc();
-                        self.metrics.widened_queries.inc();
-                        self.metrics.remote_time.observe(cost);
+                        let t0 = Instant::now();
+                        if let Ok(chunk_w) =
+                            self.run_remote_admitted(&managed, &widened, &compiled_w, req)
                         {
-                            let _s = tabviz_obs::span(stage::CACHE_STORE);
-                            self.caches.intelligent.put(
-                                widened,
-                                chunk_w,
-                                cost.max(Duration::from_millis(1)),
-                            );
+                            let cost = t0.elapsed();
+                            self.stats.remote_queries.fetch_add(1, Relaxed);
+                            self.stats.widened_queries.fetch_add(1, Relaxed);
+                            self.stats
+                                .remote_time_nanos
+                                .fetch_add(cost.as_nanos() as u64, Relaxed);
+                            self.metrics.remote_queries.inc();
+                            self.metrics.widened_queries.inc();
+                            self.metrics.remote_time.observe(cost);
+                            {
+                                let _s = tabviz_obs::span(stage::CACHE_STORE);
+                                self.caches.intelligent.put(
+                                    widened.clone(),
+                                    chunk_w.clone(),
+                                    cost.max(Duration::from_millis(1)),
+                                );
+                            }
+                            if self.options.use_l2_cache && self.caches.has_l2() {
+                                let mut s = tabviz_obs::span(stage::CACHE_TIER);
+                                s.label("put");
+                                s.detail(chunk_w.len() as u64);
+                                self.caches.l2_store(&widened, &chunk_w);
+                            }
+                            let hit = {
+                                let mut s = tabviz_obs::span(stage::CACHE_LOOKUP);
+                                s.label("intelligent");
+                                let (hit, why) = self.caches.intelligent.get_explained(spec);
+                                s.reason(why);
+                                hit
+                            };
+                            if let Some(hit) = hit {
+                                return Ok((hit, ExecOutcome::Remote, ProfileOutcome::Derived));
+                            }
+                            // Fall through: the widened entry unexpectedly failed
+                            // to cover the original; execute it directly.
                         }
-                        let hit = {
-                            let mut s = tabviz_obs::span(stage::CACHE_LOOKUP);
-                            s.label("intelligent");
-                            let (hit, why) = self.caches.intelligent.get_explained(spec);
-                            s.reason(why);
-                            hit
-                        };
-                        if let Some(hit) = hit {
-                            return Ok((hit, ExecOutcome::Remote, ProfileOutcome::Derived));
-                        }
-                        // Fall through: the widened entry unexpectedly failed
-                        // to cover the original; execute it directly.
                     }
                 }
             }
@@ -510,15 +626,28 @@ impl QueryProcessor {
         if self.options.use_literal_cache || self.options.use_intelligent_cache {
             let _s = tabviz_obs::span(stage::CACHE_STORE);
             if self.options.use_literal_cache {
-                self.caches
-                    .literal
-                    .put(&spec.source, &compiled.remote.text, chunk.clone(), cost);
+                // Tagged with source + table dependencies so a table
+                // refresh purges literal entries as precisely as
+                // intelligent ones.
+                self.caches.literal.put_tagged(
+                    &spec.source,
+                    &compiled.remote.text,
+                    chunk.clone(),
+                    cost,
+                    tabviz_cache::tags_for_spec(spec),
+                );
             }
             if self.options.use_intelligent_cache {
                 self.caches
                     .intelligent
                     .put(spec.clone(), chunk.clone(), cost);
             }
+        }
+        if self.options.use_l2_cache && self.caches.has_l2() {
+            let mut s = tabviz_obs::span(stage::CACHE_TIER);
+            s.label("put");
+            s.detail(chunk.len() as u64);
+            self.caches.l2_store(spec, &chunk);
         }
         Ok((chunk, ExecOutcome::Remote, ProfileOutcome::Remote))
     }
@@ -665,6 +794,27 @@ impl QueryProcessor {
         self.registry.close(name)?;
         self.caches.purge_source(name);
         Ok(())
+    }
+
+    /// One table refreshed at the source: purge only its tagged dependents
+    /// — across both tiers — instead of the wholesale source purge a
+    /// connection close performs. Returns entries removed.
+    pub fn refresh_table(&self, source: &str, table: &str) -> usize {
+        let purged = self.caches.purge_table(source, table);
+        tabviz_obs::event_with(
+            stage::CACHE_TIER,
+            Some("purge"),
+            Some(purged as u64),
+            Some(tabviz_obs::reason::CACHE_TAG_PURGE),
+        );
+        purged
+    }
+
+    /// [`QueryProcessor::refresh_table`] in degraded form: demote L1
+    /// dependents to stale (still servable under SWR or outage) and drop
+    /// the L2 copies. Returns entries marked.
+    pub fn mark_table_stale(&self, source: &str, table: &str) -> usize {
+        self.caches.mark_table_stale(source, table)
     }
 }
 

@@ -130,6 +130,10 @@ pub mod stage {
     /// kernel implementation at construction (reason =
     /// `kernel_fastpath` / `kernel_fallback_*`, label = operator stage).
     pub const KERNEL_SELECT: &str = "kernel_select";
+    /// Shared L2 result-tier interaction on the node-local lookup path
+    /// (label = `"get"` / `"put"` / `"promote"` / `"purge"` / `"warm"`,
+    /// detail = payload bytes or purged-entry count).
+    pub const CACHE_TIER: &str = "cache_tier";
 }
 
 /// Decision reason codes: *why* a stage went the way it did, attached to
@@ -241,4 +245,18 @@ pub mod reason {
     /// Fallback to the `Value`-row path: the composite key is wider than
     /// the packed-key column budget.
     pub const KERNEL_FALLBACK_WIDE_KEY: &str = "kernel_fallback_wide_key";
+
+    // --- multi-tier cache hierarchy ---------------------------------------
+    /// Served from the node-local L1 (intelligent or literal) cache.
+    pub const CACHE_L1_HIT: &str = "cache_l1_hit";
+    /// L1 missed; the shared, ring-routed L2 tier held the result.
+    pub const CACHE_L2_HIT: &str = "cache_l2_hit";
+    /// An L2 hit was copied into this node's L1 for future local serves.
+    pub const CACHE_L2_PROMOTE: &str = "cache_l2_promote";
+    /// A stale-within-grace entry was served immediately while a
+    /// Background-priority revalidation refreshes it (SWR).
+    pub const CACHE_SWR_SERVE: &str = "cache_swr_serve";
+    /// A tag-scoped invalidation purged dependent entries (detail =
+    /// entries removed across tiers).
+    pub const CACHE_TAG_PURGE: &str = "cache_tag_purge";
 }

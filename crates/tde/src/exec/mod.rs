@@ -10,7 +10,7 @@ pub mod agg;
 pub mod exchange;
 pub mod join;
 pub(crate) mod key;
-mod scan_filter;
+pub(crate) mod scan_filter;
 
 use std::sync::Arc;
 use tabviz_common::{Chunk, Result, SchemaRef, TvError};

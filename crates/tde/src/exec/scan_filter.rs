@@ -210,21 +210,33 @@ fn non_null_may_match(e: &Expr, min: &Value, max: &Value, z: &BlockStats, coll: 
     let eq = |a: &Value, b: &Value| a.cmp_collated(b, coll) == Equal;
     match e {
         Expr::Binary { op, left, right } => {
-            let (op, lit) = match (left.as_ref(), right.as_ref()) {
-                (Expr::Column(_), Expr::Literal(v)) => (*op, v),
-                (Expr::Literal(v), Expr::Column(_)) => (flip(*op), v),
+            let (op, lit, target) = match (left.as_ref(), right.as_ref()) {
+                (t, Expr::Literal(v)) => (*op, v, t),
+                (Expr::Literal(v), t) => (flip(*op), v, t),
                 _ => return true,
             };
             if lit.is_null() {
                 return false;
             }
+            // For a bare column the value interval is the zone's [min, max];
+            // for a monotone arithmetic composition over the column it is the
+            // image of that interval under the expression.
+            let (lo, hi) = match target {
+                Expr::Column(_) => (min.clone(), max.clone()),
+                _ => match arith_interval(target, min, max, coll) {
+                    Some(bounds) => bounds,
+                    None => return true,
+                },
+            };
             match op {
-                BinOp::Eq => le(min, lit) && le(lit, max),
-                BinOp::Ne => !(eq(min, max) && eq(min, lit)),
-                BinOp::Lt => lt(min, lit),
-                BinOp::Le => le(min, lit),
-                BinOp::Gt => lt(lit, max),
-                BinOp::Ge => le(lit, max),
+                BinOp::Eq => le(&lo, lit) && le(lit, &hi),
+                // Sound for the arith case too: a monotone map over a
+                // constant block is itself constant.
+                BinOp::Ne => !(eq(&lo, &hi) && eq(&lo, lit)),
+                BinOp::Lt => lt(&lo, lit),
+                BinOp::Le => le(&lo, lit),
+                BinOp::Gt => lt(lit, &hi),
+                BinOp::Ge => le(lit, &hi),
                 _ => true,
             }
         }
@@ -269,6 +281,145 @@ fn non_null_may_match(e: &Expr, min: &Value, max: &Value, z: &BlockStats, coll: 
     }
 }
 
+/// Image of the block's `[min, max]` under a single-column monotone
+/// arithmetic composition (e.g. `a + 1`, `(a - 2) * 3`, `a / 4`).
+///
+/// Soundness: each supported step (`± literal`, `* literal`, `col / nonzero
+/// literal`, `literal ∓/× col`) is monotone in its column-derived operand,
+/// so every composition prefix is monotone and every interior row's
+/// intermediate value lies between the two endpoints' intermediates. The
+/// endpoint evaluations use *checked* integer arithmetic and finite-only
+/// float arithmetic: if both endpoints evaluate without overflow at every
+/// step, so does every interior value, and the engine's wrapping ops agree
+/// with exact arithmetic over the whole block. Any failure (overflow,
+/// non-finite, unsupported shape, NULL) returns `None` — no pruning.
+fn arith_interval(e: &Expr, min: &Value, max: &Value, coll: Collation) -> Option<(Value, Value)> {
+    let a = arith_endpoint(e, min)?;
+    let b = arith_endpoint(e, max)?;
+    // Decreasing steps (negative multipliers, `lit - col`) may flip the
+    // interval's orientation; a monotone map sends [min, max] into the
+    // sorted endpoint pair either way.
+    if a.cmp_collated(&b, coll) == std::cmp::Ordering::Greater {
+        Some((b, a))
+    } else {
+        Some((a, b))
+    }
+}
+
+/// Evaluate the composition at one endpoint value, mirroring
+/// `eval_columns`' type promotion but with checked/finite arithmetic.
+fn arith_endpoint(e: &Expr, v: &Value) -> Option<Value> {
+    match e {
+        Expr::Column(_) => match v {
+            Value::Int(_) | Value::Real(_) => Some(v.clone()),
+            _ => None,
+        },
+        Expr::Binary { op, left, right } if op.is_arithmetic() => {
+            match (left.as_ref(), right.as_ref()) {
+                (sub, Expr::Literal(lit)) => {
+                    let a = arith_endpoint(sub, v)?;
+                    arith_step(*op, &a, lit)
+                }
+                (Expr::Literal(lit), sub) => {
+                    // `lit / col` is not monotone across zero; excluded.
+                    if *op == BinOp::Div {
+                        return None;
+                    }
+                    let a = arith_endpoint(sub, v)?;
+                    arith_step(*op, lit, &a)
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// One checked arithmetic step with the engine's promotion rule: the result
+/// is Real when either operand is Real or the op is division; integer ops
+/// must not overflow (the engine wraps — a checked success means wrapping
+/// and exact arithmetic agree); float results must be finite.
+fn arith_step(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
+    let as_real = |v: &Value| match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Real(f) => Some(*f),
+        _ => None,
+    };
+    if matches!(l, Value::Real(_)) || matches!(r, Value::Real(_)) || op == BinOp::Div {
+        let (a, b) = (as_real(l)?, as_real(r)?);
+        let out = match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => {
+                if b == 0.0 {
+                    return None;
+                }
+                a / b
+            }
+            _ => return None,
+        };
+        out.is_finite().then_some(Value::Real(out))
+    } else {
+        let (Value::Int(a), Value::Int(b)) = (l, r) else {
+            return None;
+        };
+        let out = match op {
+            BinOp::Add => a.checked_add(*b)?,
+            BinOp::Sub => a.checked_sub(*b)?,
+            BinOp::Mul => a.checked_mul(*b)?,
+            _ => return None,
+        };
+        Some(Value::Int(out))
+    }
+}
+
+/// Optimizer-side shape test: `f(col) cmp literal` (either operand order)
+/// where `f` is an arithmetic composition `arith_interval` can bound and the
+/// column is numeric. Such a conjunct is safe to push: segments evaluate it
+/// through the full engine evaluator, and zone maps prune via the interval.
+/// Bare `col cmp literal` is `supported_run_predicate`'s job, not ours.
+pub fn arith_comparison_sargable(e: &Expr, dtype: DataType) -> bool {
+    if !matches!(dtype, DataType::Int | DataType::Real) {
+        return false;
+    }
+    let Expr::Binary { op, left, right } = e else {
+        return false;
+    };
+    if !op.is_comparison() {
+        return false;
+    }
+    let target = match (left.as_ref(), right.as_ref()) {
+        (t, Expr::Literal(_)) => t,
+        (Expr::Literal(_), t) => t,
+        _ => return false,
+    };
+    matches!(target, Expr::Binary { .. }) && monotone_arith_shape(target)
+}
+
+/// Is `e` a composition of monotone arithmetic steps over a single column?
+fn monotone_arith_shape(e: &Expr) -> bool {
+    let numeric = |v: &Value| matches!(v, Value::Int(_) | Value::Real(_));
+    match e {
+        Expr::Column(_) => true,
+        Expr::Binary { op, left, right } if op.is_arithmetic() => {
+            match (left.as_ref(), right.as_ref()) {
+                (sub, Expr::Literal(lit)) => {
+                    let zero_div = *op == BinOp::Div
+                        && (matches!(lit, Value::Int(0))
+                            || matches!(lit, Value::Real(f) if *f == 0.0));
+                    numeric(lit) && !zero_div && monotone_arith_shape(sub)
+                }
+                (Expr::Literal(lit), sub) => {
+                    *op != BinOp::Div && numeric(lit) && monotone_arith_shape(sub)
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
 /// Mirror a comparison so the column ends up on the left.
 fn flip(op: BinOp) -> BinOp {
     match op {
@@ -277,5 +428,105 @@ fn flip(op: BinOp) -> BinOp {
         BinOp::Gt => BinOp::Lt,
         BinOp::Ge => BinOp::Le,
         other => other,
+    }
+}
+
+#[cfg(test)]
+mod arith_tests {
+    use super::*;
+    use tabviz_tql::expr::{bin, col, lit};
+
+    fn iv(e: &Expr, min: i64, max: i64) -> Option<(Value, Value)> {
+        arith_interval(e, &Value::Int(min), &Value::Int(max), Collation::Binary)
+    }
+
+    #[test]
+    fn add_shifts_interval() {
+        let e = bin(BinOp::Add, col("a"), lit(10i64));
+        assert_eq!(iv(&e, 0, 5), Some((Value::Int(10), Value::Int(15))));
+    }
+
+    #[test]
+    fn negative_multiplier_flips_orientation() {
+        let e = bin(BinOp::Mul, col("a"), lit(-2i64));
+        assert_eq!(iv(&e, 1, 4), Some((Value::Int(-8), Value::Int(-2))));
+        // lit - col is decreasing too.
+        let e = bin(BinOp::Sub, lit(100i64), col("a"));
+        assert_eq!(iv(&e, 10, 30), Some((Value::Int(70), Value::Int(90))));
+    }
+
+    #[test]
+    fn composition_applies_in_order() {
+        // (a - 2) * 3 over [2, 5] → [0, 9]
+        let e = bin(BinOp::Mul, bin(BinOp::Sub, col("a"), lit(2i64)), lit(3i64));
+        assert_eq!(iv(&e, 2, 5), Some((Value::Int(0), Value::Int(9))));
+    }
+
+    #[test]
+    fn division_promotes_to_real() {
+        let e = bin(BinOp::Div, col("a"), lit(4i64));
+        assert_eq!(iv(&e, 8, 16), Some((Value::Real(2.0), Value::Real(4.0))));
+        // Negative divisor flips.
+        let e = bin(BinOp::Div, col("a"), lit(-4i64));
+        assert_eq!(iv(&e, 8, 16), Some((Value::Real(-4.0), Value::Real(-2.0))));
+    }
+
+    #[test]
+    fn overflow_near_i64_max_bails() {
+        let e = bin(BinOp::Add, col("a"), lit(10i64));
+        assert_eq!(iv(&e, 0, i64::MAX - 5), None);
+        let e = bin(BinOp::Mul, col("a"), lit(3i64));
+        assert_eq!(iv(&e, i64::MIN / 2, 0), None);
+    }
+
+    #[test]
+    fn unsupported_shapes_bail() {
+        // lit / col: not monotone across zero.
+        assert_eq!(iv(&bin(BinOp::Div, lit(1i64), col("a")), 1, 2), None);
+        // col + col references the column twice; strictly one literal side.
+        assert_eq!(iv(&bin(BinOp::Add, col("a"), col("a")), 1, 2), None);
+    }
+
+    #[test]
+    fn sargable_shape_gate() {
+        let arith_gt = bin(BinOp::Gt, bin(BinOp::Add, col("a"), lit(1i64)), lit(10i64));
+        assert!(arith_comparison_sargable(&arith_gt, DataType::Int));
+        assert!(arith_comparison_sargable(&arith_gt, DataType::Real));
+        // Str columns never: endpoint arithmetic is numeric-only.
+        assert!(!arith_comparison_sargable(&arith_gt, DataType::Str));
+        // Bare col cmp lit belongs to supported_run_predicate.
+        let plain = bin(BinOp::Gt, col("a"), lit(10i64));
+        assert!(!arith_comparison_sargable(&plain, DataType::Int));
+        // Division by literal zero is all-NULL in the engine; don't claim it.
+        let div0 = bin(BinOp::Gt, bin(BinOp::Div, col("a"), lit(0i64)), lit(10i64));
+        assert!(!arith_comparison_sargable(&div0, DataType::Int));
+    }
+
+    #[test]
+    fn zone_rules_use_mapped_interval() {
+        // Block [0, 9]; predicate a + 10 > 25 can't match (image [10, 19]).
+        let e = bin(BinOp::Gt, bin(BinOp::Add, col("a"), lit(10i64)), lit(25i64));
+        let z = BlockStats {
+            rows: 10,
+            null_count: 0,
+            min: Some(Value::Int(0)),
+            max: Some(Value::Int(9)),
+        };
+        assert!(!non_null_may_match(
+            &e,
+            &Value::Int(0),
+            &Value::Int(9),
+            &z,
+            Collation::Binary
+        ));
+        // a + 10 > 15 can match (image straddles the bound).
+        let e = bin(BinOp::Gt, bin(BinOp::Add, col("a"), lit(10i64)), lit(15i64));
+        assert!(non_null_may_match(
+            &e,
+            &Value::Int(0),
+            &Value::Int(9),
+            &z,
+            Collation::Binary
+        ));
     }
 }

@@ -643,14 +643,22 @@ pub fn push_scan_predicates(plan: PhysPlan) -> PhysPlan {
     }
 }
 
-/// Can this conjunct be answered inside the scan of `table`?
+/// Can this conjunct be answered inside the scan of `table`? Either a run
+/// predicate (`col cmp literal` and friends) or a monotone arithmetic
+/// comparison (`col + 1 > k`) over a numeric column — the latter evaluates
+/// through the full engine inside the scan and prunes blocks via interval
+/// arithmetic on the zone maps.
 fn scan_sargable(e: &Expr, table: &tabviz_storage::Table) -> bool {
     let cols = e.columns();
     if cols.len() != 1 {
         return false;
     }
     let name = cols.iter().next().unwrap();
-    table.schema().index_of(name).is_ok() && crate::physical::supported_run_predicate(e)
+    let Ok(idx) = table.schema().index_of(name) else {
+        return false;
+    };
+    crate::physical::supported_run_predicate(e)
+        || crate::exec::scan_filter::arith_comparison_sargable(e, table.schema().field(idx).dtype)
 }
 
 #[cfg(test)]

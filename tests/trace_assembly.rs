@@ -151,12 +151,10 @@ fn storm_processor(rows: usize) -> QueryProcessor {
     // A small concurrency limit forces real queueing during the storm, so
     // traces capture sched_queue verdicts under contention.
     qp.set_scheduler(Arc::new(Scheduler::new(SchedConfig::new(2))));
-    // Widening would converge every thread's spec onto the same widened
-    // query, so whichever thread stores its result first turns the other
-    // threads' cold runs into intelligent hits — a race this test is not
-    // about. Disable it so the per-thread filters stay mutually
-    // non-derivable and every cold run is deterministically Remote.
-    qp.options.widen_for_reuse = false;
+    // Widening stays on (the default): every thread's spec converges onto
+    // the same widened query, the single-flight gate elects one widener,
+    // and idempotent stores make the racing threads' outcomes converge to
+    // either a direct Remote or an IntelligentHit off the widened entry.
     qp
 }
 
@@ -181,8 +179,14 @@ fn storm_yields_one_connected_trace_per_query() {
                     .group("weekday")
                     .agg(AggCall::new(AggFunc::Count, None, "n"));
                 let req = AdmitRequest::interactive(format!("storm-{i}"));
+                // Cold: Remote when this thread raced ahead of the elected
+                // widener, IntelligentHit when the widened superset landed
+                // first. Never an error, never a duplicate widened scan.
                 let (_, cold) = qp.execute_as(&spec, &req).unwrap();
-                assert_eq!(cold, ExecOutcome::Remote);
+                assert!(
+                    matches!(cold, ExecOutcome::Remote | ExecOutcome::IntelligentHit),
+                    "cold outcome: {cold:?}"
+                );
                 let (_, warm) = qp.execute_as(&spec, &req).unwrap();
                 assert_eq!(warm, ExecOutcome::IntelligentHit);
             });
@@ -202,28 +206,39 @@ fn storm_yields_one_connected_trace_per_query() {
         );
     }
 
+    // At least one thread actually went to the backend (the elected
+    // widener, and any thread that outran it). The rest converged onto the
+    // shared widened entry.
+    let remotes = recent
+        .iter()
+        .filter(|t| matches!(t.outcome, ProfileOutcome::Remote | ProfileOutcome::Derived))
+        .count();
+    assert!(remotes >= 1, "no thread reached the backend");
+
     for i in 0..threads {
         let needle = tabviz::workloads::faa::CARRIERS[i].0;
         let mine: Vec<_> = recent.iter().filter(|t| t.query.contains(needle)).collect();
         assert_eq!(mine.len(), 2, "thread {i}: expected cold + warm trace");
-        // Cold run went remote through the scheduler; its trace attributes
-        // the admission verdict and the cache miss.
-        // The cold run is Remote, or Derived when the processor widened
-        // the query for reuse before sending it.
-        let cold = mine
+        // When this thread's cold run went remote (Remote, or Derived via
+        // the widened superset it computed itself), its trace attributes
+        // the admission verdict and the cache miss. Threads whose cold run
+        // landed after the widener record two Hit traces instead.
+        if let Some(cold) = mine
             .iter()
             .find(|t| matches!(t.outcome, ProfileOutcome::Remote | ProfileOutcome::Derived))
-            .expect("cold trace recorded");
-        assert!(cold.has_stage(stage::SCHED_QUEUE));
-        let verdict = cold.stage(stage::SCHED_QUEUE).unwrap().reason;
-        assert!(
-            matches!(
-                verdict,
-                Some(tabviz::obs::reason::SCHED_ADMITTED) | Some(tabviz::obs::reason::SCHED_QUEUED)
-            ),
-            "cold trace carries a scheduler verdict, got {verdict:?}"
-        );
-        assert!(cold.reasons().iter().any(|r| r.starts_with("cache_miss")));
+        {
+            assert!(cold.has_stage(stage::SCHED_QUEUE));
+            let verdict = cold.stage(stage::SCHED_QUEUE).unwrap().reason;
+            assert!(
+                matches!(
+                    verdict,
+                    Some(tabviz::obs::reason::SCHED_ADMITTED)
+                        | Some(tabviz::obs::reason::SCHED_QUEUED)
+                ),
+                "cold trace carries a scheduler verdict, got {verdict:?}"
+            );
+            assert!(cold.reasons().iter().any(|r| r.starts_with("cache_miss")));
+        }
         // The warm repeat attributes its hit (exact, or residual/rollup
         // when the cold run stored a widened superset).
         let warm = mine
