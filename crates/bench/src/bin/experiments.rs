@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates a results table for every performance
 //! claim / figure in the paper (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e24|all]`
+//! Usage: `cargo run --release -p tabviz-bench --bin experiments [e1..e25|all]`
 
 #![allow(clippy::field_reassign_with_default)] // options structs read better mutated
 
@@ -90,6 +90,9 @@ fn main() {
     }
     if all || which == "e24" {
         e24_cache_hierarchy();
+    }
+    if all || which == "e25" {
+        e25_attribution_drill();
     }
 }
 
@@ -2987,4 +2990,276 @@ fn e24_cache_hierarchy() {
     println!("e24_tier_metrics_present {tier_metrics_present}");
     println!("e24_schedule_digest {digest:016x}");
     println!("e24_json_emitted 1");
+}
+
+// ---------------------------------------------------------------- E25 ----
+
+/// Tail-latency attribution drill: three scripted slowness injections —
+/// an admission-queue flood, a backend stall, and a cache purge storm —
+/// each with a known root cause, scored on whether `obs::analyze`'s
+/// slow-query verdicts name that cause on the slowest traces. Also
+/// measures the analyze-pass overhead (fingerprint folding on the warm
+/// render path, on vs off) and proves every exemplar trace id exposed by
+/// a small cluster's metrics resolves to a recorded trace.
+fn e25_attribution_drill() {
+    use tabviz::cluster::{Cluster, ClusterConfig};
+    use tabviz::obs::{analyze, diagnose, scrape_exemplars, Verdict};
+
+    const SEED: u64 = 42;
+    const TOP_K: usize = 5;
+
+    let db = faa_db(3_000);
+    let unique_spec = |n: i64| {
+        QuerySpec::new("warehouse", LogicalPlan::scan("flights"))
+            .filter(bin(BinOp::Ge, col("distance"), lit(n)))
+            .group("dep_hour")
+            .agg(AggCall::new(AggFunc::Count, None, "n"))
+    };
+
+    // Diagnose the slowest traces the way `DataServer::slow_query_verdicts`
+    // does — against the class baseline learned on the same processor —
+    // and count how many name the injected cause.
+    let score = |qp: &QueryProcessor, expect: Verdict| -> (usize, usize) {
+        let traces = qp.obs.recorder.slowest(TOP_K);
+        let hits = traces
+            .iter()
+            .filter(|t| {
+                let baseline = qp.obs.baselines.get(&t.class);
+                diagnose(t, baseline.as_ref()).verdict == expect
+            })
+            .count();
+        (hits, traces.len())
+    };
+
+    // Scenario 1 — admission-queue flood: a pool of 2 with pool-derived
+    // scheduler concurrency, hit by 12 concurrent cache-missing queries.
+    // Everything past the first wave spends its time queued, so the tail
+    // verdict must be queue_wait, not backend_slow.
+    let slow_link = |dispatch_ms: u64| SimConfig {
+        latency: LatencyModel {
+            connect: Duration::from_millis(2),
+            dispatch: Duration::from_millis(dispatch_ms),
+            scan_per_kilorow: Duration::from_micros(150),
+            transfer_per_kilorow: Duration::from_micros(400),
+        },
+        ..Default::default()
+    };
+    let (mut qp, _sim) = processor_over(Arc::clone(&db), slow_link(10), 2);
+    qp.set_scheduler(Arc::new(Scheduler::new(SchedConfig::for_pool_capacity(2))));
+    std::thread::scope(|s| {
+        for i in 0..12i64 {
+            let qp = &qp;
+            s.spawn(move || {
+                let req = AdmitRequest::interactive(format!("flood-{i}"));
+                qp.execute_as(&unique_spec(1_000 + i), &req).expect("flood");
+            });
+        }
+    });
+    let (queue_hits, queue_n) = score(&qp, Verdict::QueueWait);
+
+    // Scenario 2 — backend stall: an uncontended pool of 4 behind a link
+    // whose dispatch latency dominates. Misses are routine for this class
+    // (its baseline is built from these same remote round trips), so the
+    // verdict must be backend_slow, not a cache complaint.
+    let (qp, _sim) = processor_over(Arc::clone(&db), slow_link(25), 4);
+    for i in 0..6i64 {
+        qp.execute(&unique_spec(2_000 + i)).expect("stall probe");
+    }
+    let (backend_hits, backend_n) = score(&qp, Verdict::BackendSlow);
+
+    // Scenario 3 — cache purge storm: one query class warmed until its
+    // baseline says "this serves from cache", then the cache is purged
+    // before each repeat. The repeats go remote *because* the cache was
+    // emptied — cache_miss_storm, not backend_slow. The baseline is
+    // frozen (analyze gate off) during the storm, as a healthy-traffic
+    // fingerprint would be.
+    let (qp, _sim) = processor_over(Arc::clone(&db), slow_link(10), 4);
+    let hot = unique_spec(3_000);
+    for _ in 0..40 {
+        qp.execute(&hot).expect("warm");
+    }
+    qp.obs.recorder.clear();
+    analyze::set_enabled(false);
+    for _ in 0..TOP_K {
+        qp.refresh_table("warehouse", "flights");
+        qp.execute(&hot).expect("storm repeat");
+    }
+    analyze::set_enabled(true);
+    let (purge_hits, purge_n) = score(&qp, Verdict::CacheMissStorm);
+
+    let rate = |hits: usize, n: usize| hits as f64 / n.max(1) as f64;
+    let queue_rate = rate(queue_hits, queue_n);
+    let backend_rate = rate(backend_hits, backend_n);
+    let purge_rate = rate(purge_hits, purge_n);
+    let verdict_rate = rate(
+        queue_hits + backend_hits + purge_hits,
+        queue_n + backend_n + purge_n,
+    );
+
+    // Analyze-pass overhead: the e20 warm-render floor with the baseline
+    // fold on vs off. The fold is a lock + eight running means per query;
+    // the bar is that it stays invisible next to even a cache-hit render.
+    const RENDERS: usize = 30;
+    let run_arm = |analyze_on: bool| -> Duration {
+        analyze::set_enabled(analyze_on);
+        let db = faa_db(20_000);
+        let (qp, _sim) = processor_over(db, lan_config(), 4);
+        let dash = fig1_dashboard("warehouse", "flights");
+        let batch = dash.batch(&DashboardState::default(), true);
+        execute_batch(&qp, &batch, &BatchOptions::default()).expect("cold render");
+        let mut walls: Vec<Duration> = (0..RENDERS)
+            .map(|_| {
+                time_it(|| execute_batch(&qp, &batch, &BatchOptions::default()).expect("warm")).1
+            })
+            .collect();
+        walls.sort();
+        walls[walls.len() / 2]
+    };
+    let p50_off = run_arm(false);
+    let p50_on = run_arm(true);
+    analyze::set_enabled(true); // leave the global default intact
+    let overhead_ratio = p50_on.as_secs_f64() / p50_off.as_secs_f64().max(1e-9);
+
+    // Exemplar resolvability: a 2-node cluster serves a short mixed
+    // workload; every trace id its merged exposition cites must resolve
+    // to a trace in the cluster or node flight recorders.
+    let cluster = {
+        let db = Arc::clone(&db);
+        Cluster::build(
+            ClusterConfig {
+                nodes: 2,
+                replication: 2,
+                vnodes: 32,
+                seed: SEED,
+                peer_op_latency: Duration::ZERO,
+            },
+            move |name| {
+                let sim = SimDb::new("warehouse", Arc::clone(&db), lan_config());
+                let qp = QueryProcessor::default();
+                qp.registry.register(Arc::new(sim), 4);
+                let server = Arc::new(DataServer::named(qp, name));
+                server.publish(PublishedSource::new(
+                    "dash-0",
+                    "warehouse",
+                    LogicalPlan::scan("flights"),
+                ));
+                Ok(server)
+            },
+        )
+        .expect("cluster build")
+    };
+    let session = cluster.open_session("dash-0", "viewer").expect("session");
+    for i in 0..8i64 {
+        session
+            .query(&ClientQuery {
+                filters: vec![bin(BinOp::Le, col("distance"), lit(500 + i % 3))],
+                group_by: vec!["carrier".into()],
+                aggs: vec![AggCall::new(AggFunc::Count, None, "n")],
+                ..Default::default()
+            })
+            .expect("cluster query");
+    }
+    let text = cluster.metrics_text();
+    let scraped = scrape_exemplars(&text);
+    let resolved = scraped
+        .iter()
+        .filter(|(_, id)| {
+            cluster.recorder.get(*id).is_some()
+                || cluster
+                    .nodes()
+                    .iter()
+                    .any(|n| n.server.flight_recorder().get(*id).is_some())
+        })
+        .count();
+    let unresolved = scraped.len() - resolved;
+    // Histogram families that saw traffic vs families citing an exemplar.
+    let families_with_traffic: std::collections::BTreeSet<String> = text
+        .lines()
+        .filter_map(|l| {
+            let (name, v) = l.split_once(' ')?;
+            let base = name.split('{').next()?.strip_suffix("_count")?;
+            (base.ends_with("_seconds") && v.trim().parse::<f64>().ok()? > 0.0)
+                .then(|| base.to_string())
+        })
+        .collect();
+    let families_with_exemplar: std::collections::BTreeSet<String> = scraped
+        .iter()
+        .filter_map(|(series, _)| {
+            Some(
+                series
+                    .split('{')
+                    .next()?
+                    .trim_end_matches("_bucket")
+                    .to_string(),
+            )
+        })
+        .collect();
+    let covered = families_with_traffic
+        .iter()
+        .filter(|f| families_with_exemplar.contains(*f))
+        .count();
+
+    print_table(
+        &format!("E25 — verdict precision on the slowest {TOP_K} traces per injected cause"),
+        &["scenario", "expected verdict", "hits", "precision"],
+        &[
+            vec![
+                "admission-queue flood".into(),
+                "queue_wait".into(),
+                format!("{queue_hits}/{queue_n}"),
+                format!("{queue_rate:.2}"),
+            ],
+            vec![
+                "backend stall".into(),
+                "backend_slow".into(),
+                format!("{backend_hits}/{backend_n}"),
+                format!("{backend_rate:.2}"),
+            ],
+            vec![
+                "cache purge storm".into(),
+                "cache_miss_storm".into(),
+                format!("{purge_hits}/{purge_n}"),
+                format!("{purge_rate:.2}"),
+            ],
+        ],
+    );
+    print_table(
+        "E25 — analyze-pass overhead and exemplar resolvability",
+        &["measure", "value"],
+        &[
+            vec!["warm p50, analyze off".into(), ms(p50_off)],
+            vec!["warm p50, analyze on".into(), ms(p50_on)],
+            vec!["overhead ratio".into(), format!("{overhead_ratio:.3}")],
+            vec!["exemplars cited".into(), scraped.len().to_string()],
+            vec!["exemplars resolved".into(), resolved.to_string()],
+            vec![
+                "latency families covered".into(),
+                format!("{covered}/{}", families_with_traffic.len()),
+            ],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e25_attribution_drill\",\n  \"seed\": {SEED},\n  \"top_k\": {TOP_K},\n  \"queue_hit_rate\": {queue_rate:.3},\n  \"backend_hit_rate\": {backend_rate:.3},\n  \"purge_hit_rate\": {purge_rate:.3},\n  \"verdict_hit_rate\": {verdict_rate:.3},\n  \"analyze_on_p50_ms\": {},\n  \"analyze_off_p50_ms\": {},\n  \"overhead_ratio\": {overhead_ratio:.3},\n  \"exemplars\": {{\n    \"cited\": {},\n    \"resolved\": {resolved},\n    \"errors\": {unresolved},\n    \"families_with_traffic\": {},\n    \"families_covered\": {covered}\n  }}\n}}\n",
+        ms(p50_on),
+        ms(p50_off),
+        scraped.len(),
+        families_with_traffic.len(),
+    );
+    std::fs::write("BENCH_analyze.json", &json).expect("write BENCH_analyze.json");
+
+    // Machine-checkable summary lines (the CI smoke test parses these).
+    println!("e25_queue_hit_rate {queue_rate:.3}");
+    println!("e25_backend_hit_rate {backend_rate:.3}");
+    println!("e25_purge_hit_rate {purge_rate:.3}");
+    println!("e25_verdict_hit_rate {verdict_rate:.3}");
+    println!("e25_p50_on_ms {}", ms(p50_on));
+    println!("e25_p50_off_ms {}", ms(p50_off));
+    println!("e25_overhead_ratio {overhead_ratio:.3}");
+    println!("e25_exemplars_cited {}", scraped.len());
+    println!("e25_exemplars_resolved {resolved}");
+    println!("e25_exemplars_unresolved {unresolved}");
+    println!("e25_families_with_traffic {}", families_with_traffic.len());
+    println!("e25_families_covered {covered}");
+    println!("e25_json_emitted 1");
 }

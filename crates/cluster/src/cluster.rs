@@ -39,9 +39,10 @@ use tabviz_common::{Chunk, Result, TvError};
 use tabviz_core::{ExecOutcome, Priority};
 use tabviz_dataserver::{ClientQuery, ClientSession, DataServer};
 use tabviz_obs::{
-    begin_trace, event_with, reason, stage, Federation, FlightRecorder, HealthConfig, HealthScorer,
-    HealthState, Objective, ProfileOutcome, RecordedTrace, Registry, ServeEvent, ServeKind,
-    SloConfig, SloStatus, SloTracker,
+    begin_trace, diagnose, event_with, reason, stage, ClassBaselines, Diagnosis, Federation,
+    FlightRecorder, FlightRecorderConfig, HealthConfig, HealthScorer, HealthState, Objective,
+    ProfileOutcome, RecordedTrace, Registry, ServeEvent, ServeKind, SloConfig, SloStatus,
+    SloTracker,
 };
 
 use crate::peer::{PeerHit, PeerTier, PeerTierStats, RebalanceReport};
@@ -219,6 +220,9 @@ pub struct Cluster {
     pub recorder: FlightRecorder,
     /// Cluster-level metrics (`tv_cluster_*`).
     pub registry: Registry,
+    /// Streaming per-class fingerprints over cluster-scope serves (used to
+    /// diagnose peer-tier serves, which never reach a node pipeline).
+    pub baselines: ClassBaselines,
     /// SLO tracker over every serve the cluster answers (sim-time driven
     /// off `epoch`).
     slo: Mutex<SloTracker>,
@@ -246,13 +250,18 @@ impl Cluster {
             ],
         );
         slo.bind_obs(&registry);
+        // The recorder adopts the cluster registry's exemplar slots as its
+        // pin set: a trace id exported from a cluster-scope histogram
+        // (e.g. `tv_slo_serve_latency_seconds`) stays resolvable here.
+        let recorder = FlightRecorder::with_registry(FlightRecorderConfig::default(), &registry);
         let cluster = Cluster {
             ring: Arc::new(RwLock::new(HashRing::new(config.seed, config.vnodes))),
             nodes: RwLock::new(HashMap::new()),
             peer: Arc::new(RwLock::new(PeerTier::new(config.replication))),
             factory: Box::new(factory),
-            recorder: FlightRecorder::default(),
+            recorder,
             registry,
+            baselines: ClassBaselines::new(),
             slo: Mutex::new(slo),
             health_config: HealthConfig::default(),
             epoch: Instant::now(),
@@ -880,8 +889,41 @@ impl Cluster {
                     reasons.join(","),
                 );
             }
+            // The slow-query log: each tail trace classified with a
+            // structured verdict (see `obs::analyze`).
+            let _ = writeln!(out, "--- slow-query verdicts ---");
+            for (rank, t) in traces.iter().enumerate() {
+                let d = self.diagnose_trace(t);
+                let _ = writeln!(
+                    out,
+                    "#{} trace={} {:>9.3}ms {}",
+                    rank + 1,
+                    t.trace_id,
+                    t.total.as_secs_f64() * 1e3,
+                    d.render(),
+                );
+            }
         }
         out
+    }
+
+    /// Root-cause one recorded cluster trace. The node that executed the
+    /// query opened its *own* trace (linked back via `parent_trace`), and
+    /// that child holds the pipeline stages — so the join walks node
+    /// recorders for the child and diagnoses it against the node's class
+    /// baseline. Peer-tier serves have no child and are diagnosed from
+    /// the cluster trace itself (routing + peer spans).
+    pub fn diagnose_trace(&self, t: &RecordedTrace) -> Diagnosis {
+        for node in self.nodes() {
+            let rec = node.server.flight_recorder();
+            let child = rec.get_child_of(t.trace_id);
+            if let Some(child) = child {
+                let baseline = node.server.processor.obs.baselines.get(&child.class);
+                return diagnose(&child, baseline.as_ref());
+            }
+        }
+        let baseline = self.baselines.get(&t.class);
+        diagnose(t, baseline.as_ref())
     }
 
     /// Open a cluster session for `user` on `published`. The session key
@@ -1182,7 +1224,8 @@ impl ClusterSession {
         query: &ClientQuery,
         outcome: ProfileOutcome,
     ) {
-        let finished = trace.finish(t0.elapsed());
+        let total = t0.elapsed();
+        let finished = trace.finish(total);
         if finished.is_captured() {
             let text = format!(
                 "[{}] group_by={:?} aggs={} filters={}",
@@ -1191,12 +1234,24 @@ impl ClusterSession {
                 query.aggs.len(),
                 query.filters.len()
             );
-            self.cluster.recorder.record(RecordedTrace::from_finished(
-                finished,
-                text,
-                &self.published,
-                outcome,
-            ));
+            // Same shape key as the node-side class (filters excluded):
+            // cluster-scope fingerprints cover peer-tier serves, which
+            // never reach a node pipeline.
+            let class = format!(
+                "{}|g:{}|a:{}",
+                self.published,
+                query.group_by.join(","),
+                query.aggs.len()
+            );
+            if tabviz_obs::analyze::enabled() {
+                self.cluster
+                    .baselines
+                    .observe(&class, &finished.events, total);
+            }
+            self.cluster.recorder.record(
+                RecordedTrace::from_finished(finished, text, &self.published, outcome)
+                    .with_class(class),
+            );
         }
     }
 }

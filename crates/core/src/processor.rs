@@ -378,6 +378,20 @@ impl QueryProcessor {
         self.stats.reset();
     }
 
+    /// The query-class key used for latency-fingerprint baselines: the
+    /// dashboard-zone shape (source + grouping + aggregate aliases),
+    /// excluding filter literals — so interactions over the same zone
+    /// (filter sliders, cross-filters) share one class.
+    pub fn query_class(spec: &QuerySpec) -> String {
+        let aggs: Vec<&str> = spec.aggs.iter().map(|a| a.alias.as_str()).collect();
+        format!(
+            "{}|g:{}|a:{}",
+            spec.source,
+            spec.group_by.join(","),
+            aggs.join(",")
+        )
+    }
+
     /// Execute one internal query through the full pipeline, recording a
     /// per-query [`tabviz_obs::QueryProfile`] (timeline of stages, retry
     /// count, fault attribution, outcome) into [`Self::obs`].
@@ -428,15 +442,23 @@ impl QueryProcessor {
             &events,
         );
         self.obs.profiles.record(profile);
+        // Fold this query into its class's latency fingerprint so the
+        // root-cause analyzer can diff tail outliers against the class's
+        // normal stage shape (gated for the e25 overhead arms).
+        let class = Self::query_class(spec);
+        if tabviz_obs::analyze::enabled() {
+            self.obs.baselines.observe(&class, &events, total);
+        }
         if finished.is_captured() {
-            self.obs
-                .recorder
-                .record(tabviz_obs::RecordedTrace::from_finished(
+            self.obs.recorder.record(
+                tabviz_obs::RecordedTrace::from_finished(
                     finished,
                     query_text,
                     spec.source.clone(),
                     outcome,
-                ));
+                )
+                .with_class(class),
+            );
         }
         result.map(|(chunk, exec, _)| (chunk, exec))
     }

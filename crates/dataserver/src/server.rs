@@ -198,6 +198,52 @@ impl DataServer {
             .map(|t| tabviz_obs::to_chrome_trace(&t))
     }
 
+    /// Root-cause one recorded trace: the structured verdict, the
+    /// self-time-attributed critical path, and the class baseline it was
+    /// diffed against. `None` when the id no longer resolves. This is the
+    /// operator's "why was my query slow?" call — feed it a trace id from
+    /// a histogram exemplar or the slow-query log.
+    pub fn why_slow(&self, trace_id: u64) -> Option<String> {
+        let trace = self.processor.obs.recorder.get(trace_id)?;
+        let baseline = self.processor.obs.baselines.get(&trace.class);
+        let d = tabviz_obs::diagnose(&trace, baseline.as_ref());
+        Some(format!(
+            "trace={} {:.3}ms [{}] source={} {}",
+            trace.trace_id,
+            trace.total.as_secs_f64() * 1e3,
+            trace.outcome,
+            trace.source,
+            d.render(),
+        ))
+    }
+
+    /// The node-local slow-query log: the top-K slowest retained traces,
+    /// each with its root-cause verdict.
+    pub fn slow_query_verdicts(&self, top_k: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (rank, t) in self
+            .processor
+            .obs
+            .recorder
+            .slowest(top_k)
+            .iter()
+            .enumerate()
+        {
+            let baseline = self.processor.obs.baselines.get(&t.class);
+            let d = tabviz_obs::diagnose(t, baseline.as_ref());
+            let _ = writeln!(
+                out,
+                "#{} trace={} {:>9.3}ms {}",
+                rank + 1,
+                t.trace_id,
+                t.total.as_secs_f64() * 1e3,
+                d.render(),
+            );
+        }
+        out
+    }
+
     /// Human-readable diagnostics: the top-K slowest recorded queries with
     /// per-stage time breakdown and the decision reason codes that explain
     /// them (why the cache missed, whether the query queued, how the pool

@@ -217,7 +217,25 @@ impl Federation {
         for (name, m) in hists {
             let (kind, h) = &help[&name];
             emitter.family(&name, kind, h);
-            emit_histogram_series(&mut emitter, &name, &[], &m.buckets, m.sum_micros, m.count);
+            // Merged exemplar: first node holding a stamped slot for the
+            // bucket wins — any exported id resolves on exactly one node.
+            let exemplar_at = |i: usize| {
+                self.sources
+                    .iter()
+                    .find_map(|(_, r)| match r.entries().get(&name) {
+                        Some(MetricEntry::Histogram(h)) => h.exemplar(i),
+                        _ => None,
+                    })
+            };
+            emit_histogram_series(
+                &mut emitter,
+                &name,
+                &[],
+                &m.buckets,
+                m.sum_micros,
+                m.count,
+                &exemplar_at,
+            );
         }
         emitter.into_text()
     }

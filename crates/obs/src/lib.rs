@@ -29,7 +29,9 @@
 //! Offline-safe by construction: std atomics plus the vendored
 //! `parking_lot` only — no external dependencies.
 
+pub mod analyze;
 pub mod chrome;
+pub mod exemplar;
 pub mod federation;
 pub mod health;
 pub mod json;
@@ -40,7 +42,12 @@ pub mod slo;
 pub mod span;
 pub mod trace;
 
+pub use analyze::{
+    critical_path, diagnose, ClassBaselines, CriticalPath, Diagnosis, Fingerprint, PathStep,
+    Verdict,
+};
 pub use chrome::{to_chrome_trace, validate_chrome_trace};
+pub use exemplar::{scrape_exemplars, Exemplar};
 pub use federation::{Federation, MergedHistogram};
 pub use health::{HealthConfig, HealthScorer, HealthState, ServeKind};
 pub use json::JsonValue;

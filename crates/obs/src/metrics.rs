@@ -72,6 +72,7 @@ struct HistInner {
     buckets: [AtomicU64; HIST_BUCKETS],
     count: AtomicU64,
     sum_micros: AtomicU64,
+    exemplars: crate::exemplar::ExemplarSlots,
 }
 
 /// Fixed-bucket log2-scale latency histogram. Observations are recorded in
@@ -111,9 +112,16 @@ impl Histogram {
 
     pub fn observe_micros(&self, micros: u64) {
         let inner = &*self.0;
-        inner.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        let bucket = Self::bucket_index(micros);
+        inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        // Exemplar capture: observations made inside a query trace stamp
+        // their bucket with the trace id; untraced observations (startup,
+        // tests, maintenance outside a trace) leave the slots empty.
+        if let Some(trace_id) = crate::trace::active_trace_id() {
+            inner.exemplars.record(bucket, trace_id, micros);
+        }
     }
 
     pub fn count(&self) -> u64 {
@@ -161,6 +169,24 @@ impl Histogram {
             p95_micros: self.quantile_micros(0.95),
             p99_micros: self.quantile_micros(0.99),
         }
+    }
+
+    /// The exemplar stamped on bucket `i`, if any traced observation
+    /// landed there.
+    pub fn exemplar(&self, i: usize) -> Option<crate::exemplar::Exemplar> {
+        self.0.exemplars.get(i)
+    }
+
+    /// Exemplar for the bucket holding the `q`-quantile sample — the
+    /// "show me a trace that *is* the p99" accessor.
+    pub fn quantile_exemplar(&self, q: f64) -> Option<crate::exemplar::Exemplar> {
+        let upper = self.quantile_micros(q)?;
+        let bucket = if upper == u64::MAX {
+            HIST_BUCKETS - 1
+        } else {
+            Self::bucket_index(upper)
+        };
+        self.exemplar(bucket)
     }
 }
 
@@ -369,6 +395,19 @@ impl Registry {
             .collect()
     }
 
+    /// Distinct trace ids currently referenced by any histogram exemplar
+    /// slot in this registry. The flight recorder uses this as the pin
+    /// set: a trace whose id is exported here must stay resolvable.
+    pub fn exemplar_trace_ids(&self) -> std::collections::HashSet<u64> {
+        let mut out = std::collections::HashSet::new();
+        for entry in self.metrics.read().values() {
+            if let MetricEntry::Histogram(h) = entry {
+                h.0.exemplars.trace_ids(&mut out);
+            }
+        }
+        out
+    }
+
     /// HELP text for `name` (described, or the generated default), raw —
     /// escaping is the emitter's job.
     pub(crate) fn help_for(&self, name: &str) -> String {
@@ -415,6 +454,7 @@ impl Registry {
                         &h.bucket_counts(),
                         h.sum_micros(),
                         h.count(),
+                        &|i| h.exemplar(i),
                     );
                 }
             }
@@ -426,6 +466,10 @@ impl Registry {
 /// buckets skipped for compactness, `+Inf` always closing the family),
 /// then `_sum` / `_count`. Used by both [`Registry::render_text`] and the
 /// federation's merged series so the two stay byte-compatible.
+///
+/// `exemplar_at` supplies the per-bucket exemplar (if any): an occupied
+/// bucket's line gains an OpenMetrics-style ` # {trace_id="..."} <secs>`
+/// suffix linking that latency band to a flight-recorder trace.
 pub(crate) fn emit_histogram_series(
     emitter: &mut TextEmitter,
     name: &str,
@@ -433,6 +477,7 @@ pub(crate) fn emit_histogram_series(
     counts: &[u64; HIST_BUCKETS],
     sum_micros: u64,
     count: u64,
+    exemplar_at: &dyn Fn(usize) -> Option<crate::exemplar::Exemplar>,
 ) {
     let bucket_name = format!("{name}_bucket");
     let mut cum = 0u64;
@@ -448,7 +493,13 @@ pub(crate) fn emit_histogram_series(
         };
         let mut all_labels: Vec<(&str, &str)> = labels.to_vec();
         all_labels.push(("le", le.as_str()));
-        emitter.sample(&bucket_name, &all_labels, &cum.to_string());
+        let mut value = cum.to_string();
+        if *c > 0 {
+            if let Some(ex) = exemplar_at(i) {
+                value.push_str(&ex.suffix());
+            }
+        }
+        emitter.sample(&bucket_name, &all_labels, &value);
     }
     emitter.sample(
         &format!("{name}_sum"),

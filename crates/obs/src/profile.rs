@@ -238,6 +238,9 @@ pub struct Obs {
     pub registry: Registry,
     pub profiles: ProfileStore,
     pub recorder: FlightRecorder,
+    /// Streaming per-query-class latency fingerprints; the root-cause
+    /// analyzer diffs a slow trace against its class baseline.
+    pub baselines: crate::analyze::ClassBaselines,
 }
 
 impl Default for Obs {
@@ -248,6 +251,7 @@ impl Default for Obs {
             registry,
             profiles: ProfileStore::default(),
             recorder,
+            baselines: crate::analyze::ClassBaselines::new(),
         }
     }
 }

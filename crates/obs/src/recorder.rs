@@ -32,6 +32,9 @@ pub struct RecordedTrace {
     pub query: String,
     /// Data source name.
     pub source: String,
+    /// Query-class key for baseline fingerprint joins (see
+    /// [`crate::analyze::ClassBaselines`]); empty when unclassified.
+    pub class: String,
     pub outcome: ProfileOutcome,
     pub total: Duration,
     pub started: Instant,
@@ -55,6 +58,7 @@ impl RecordedTrace {
             parent_trace: finished.parent_trace,
             query: query.into(),
             source: source.into(),
+            class: String::new(),
             outcome,
             total: finished.total,
             started: finished.started,
@@ -63,11 +67,18 @@ impl RecordedTrace {
         }
     }
 
+    /// Attach the query-class key used for baseline fingerprint joins.
+    pub fn with_class(mut self, class: impl Into<String>) -> Self {
+        self.class = class.into();
+        self
+    }
+
     /// Approximate retained heap footprint, used for the bytes budget.
     pub fn approx_bytes(&self) -> u64 {
         (std::mem::size_of::<Self>()
             + self.query.len()
             + self.source.len()
+            + self.class.len()
             + self.events.capacity() * std::mem::size_of::<SpanEvent>()) as u64
     }
 
@@ -136,8 +147,15 @@ pub struct FlightRecorder {
     slow_threshold_micros: AtomicU64,
     recent: Mutex<VecDeque<Arc<RecordedTrace>>>,
     slow: Mutex<VecDeque<Arc<RecordedTrace>>>,
+    /// Traces evicted from a ring while a histogram exemplar still exports
+    /// their id (see [`Registry::exemplar_trace_ids`]): parked here so the
+    /// exported id keeps resolving, released when the exemplar rotates out.
+    pinned: Mutex<std::collections::HashMap<u64, Arc<RecordedTrace>>>,
+    /// Registry whose exemplar slots define the pin set.
+    pin_registry: Option<Registry>,
     bytes: AtomicU64,
     bytes_gauge: Gauge,
+    pinned_gauge: Gauge,
     evictions: Counter,
 }
 
@@ -150,15 +168,22 @@ impl FlightRecorder {
             slow_threshold_micros: AtomicU64::new(slow_micros),
             recent: Mutex::new(VecDeque::new()),
             slow: Mutex::new(VecDeque::new()),
+            pinned: Mutex::new(std::collections::HashMap::new()),
+            pin_registry: None,
             bytes: AtomicU64::new(0),
             bytes_gauge: Gauge::new(),
+            pinned_gauge: Gauge::new(),
             evictions: Counter::new(),
         }
     }
 
-    /// [`FlightRecorder::new`] with the bytes gauge / eviction counter
-    /// registered on `registry` (`tv_obs_recorder_bytes`,
-    /// `tv_obs_recorder_evictions_total`).
+    /// [`FlightRecorder::new`] with the bytes / pinned gauges and the
+    /// eviction counter registered on `registry` (`tv_obs_recorder_bytes`,
+    /// `tv_obs_recorder_pinned`, `tv_obs_recorder_evictions_total`), and —
+    /// the other direction of the same contract — `registry`'s histogram
+    /// exemplar slots adopted as this recorder's pin set: a trace whose id
+    /// those slots export survives ring eviction until the exemplar
+    /// rotates out.
     pub fn with_registry(cfg: FlightRecorderConfig, registry: &Registry) -> Self {
         let mut rec = FlightRecorder::new(cfg);
         registry.describe(
@@ -169,8 +194,14 @@ impl FlightRecorder {
             "tv_obs_recorder_evictions_total",
             "Traces evicted from the flight recorder rings",
         );
+        registry.describe(
+            "tv_obs_recorder_pinned",
+            "Evicted traces kept alive because a histogram exemplar still references them",
+        );
         rec.bytes_gauge = registry.gauge("tv_obs_recorder_bytes");
         rec.evictions = registry.counter("tv_obs_recorder_evictions_total");
+        rec.pinned_gauge = registry.gauge("tv_obs_recorder_pinned");
+        rec.pin_registry = Some(registry.clone());
         rec
     }
 
@@ -193,23 +224,62 @@ impl FlightRecorder {
         Duration::from_micros(self.slow_threshold_micros.load(Ordering::Relaxed))
     }
 
+    /// The current pin set: trace ids a registry exemplar slot exports.
+    fn pin_set(&self) -> std::collections::HashSet<u64> {
+        self.pin_registry
+            .as_ref()
+            .map(|r| r.exemplar_trace_ids())
+            .unwrap_or_default()
+    }
+
     /// Store a completed trace (no-op when disabled or the trace captured
     /// nothing). Cold path: called once per query after execution.
     pub fn record(&self, trace: RecordedTrace) {
         if !self.enabled() || trace.trace_id == 0 {
             return;
         }
+        // A ring-evicted trace still referenced by an exemplar is parked
+        // (bytes stay held, id stays resolvable) instead of dropped.
+        fn park_or_free(
+            pins: &std::collections::HashSet<u64>,
+            pinned: &mut std::collections::HashMap<u64, Arc<RecordedTrace>>,
+            freed: &mut u64,
+            old: Arc<RecordedTrace>,
+        ) {
+            let b = old.approx_bytes();
+            if pins.contains(&old.trace_id) {
+                // A second ring's copy of an already-parked trace frees
+                // its share; the park holds exactly one copy's bytes.
+                if pinned.insert(old.trace_id, old).is_some() {
+                    *freed += b;
+                }
+            } else {
+                *freed += b;
+            }
+        }
         let is_slow = trace.total >= self.slow_threshold();
         let bytes = trace.approx_bytes();
         let trace = Arc::new(trace);
+        let pins = self.pin_set();
         let mut freed = 0u64;
+        let mut pinned = self.pinned.lock();
+        // Exemplar rotation: a parked trace whose id left every exemplar
+        // slot is no longer reachable from any exposition — release it.
+        pinned.retain(|id, t| {
+            if pins.contains(id) {
+                true
+            } else {
+                freed += t.approx_bytes();
+                false
+            }
+        });
         {
             let mut recent = self.recent.lock();
             recent.push_back(trace.clone());
             while recent.len() > self.cfg.recent_capacity {
                 if let Some(old) = recent.pop_front() {
-                    freed += old.approx_bytes();
                     self.evictions.inc();
+                    park_or_free(&pins, &mut pinned, &mut freed, old);
                 }
             }
             // Bytes budget: evict oldest recent traces first.
@@ -217,9 +287,10 @@ impl FlightRecorder {
             while held > self.cfg.max_bytes && recent.len() > 1 {
                 if let Some(old) = recent.pop_front() {
                     let b = old.approx_bytes();
-                    freed += b;
-                    held -= b.min(held);
                     self.evictions.inc();
+                    let before = freed;
+                    park_or_free(&pins, &mut pinned, &mut freed, old);
+                    held -= (freed - before).min(held).min(b);
                 }
             }
         }
@@ -230,11 +301,13 @@ impl FlightRecorder {
             slow_bytes += bytes;
             while slow.len() > self.cfg.slow_capacity {
                 if let Some(old) = slow.pop_front() {
-                    freed += old.approx_bytes();
                     self.evictions.inc();
+                    park_or_free(&pins, &mut pinned, &mut freed, old);
                 }
             }
         }
+        self.pinned_gauge.set(pinned.len() as i64);
+        drop(pinned);
         let added = bytes + slow_bytes;
         let prev = self.bytes.load(Ordering::Relaxed);
         let next = (prev + added).saturating_sub(freed);
@@ -253,7 +326,7 @@ impl FlightRecorder {
     }
 
     /// Look a trace up by id (slow ring first — it outlives the recent
-    /// ring).
+    /// ring; the exemplar-pinned park outlives both).
     pub fn get(&self, trace_id: u64) -> Option<Arc<RecordedTrace>> {
         if let Some(t) = self
             .slow
@@ -264,16 +337,51 @@ impl FlightRecorder {
         {
             return Some(t);
         }
-        self.recent
+        if let Some(t) = self
+            .recent
             .lock()
             .iter()
             .find(|t| t.trace_id == trace_id)
             .cloned()
+        {
+            return Some(t);
+        }
+        self.pinned.lock().get(&trace_id).cloned()
     }
 
     /// Most recently recorded trace.
     pub fn last(&self) -> Option<Arc<RecordedTrace>> {
         self.recent.lock().back().cloned()
+    }
+
+    /// Most recent retained trace whose `parent_trace` links to
+    /// `trace_id` — e.g. the node-side child of a cluster trace.
+    pub fn get_child_of(&self, trace_id: u64) -> Option<Arc<RecordedTrace>> {
+        if let Some(t) = self
+            .slow
+            .lock()
+            .iter()
+            .rev()
+            .find(|t| t.parent_trace == Some(trace_id))
+            .cloned()
+        {
+            return Some(t);
+        }
+        if let Some(t) = self
+            .recent
+            .lock()
+            .iter()
+            .rev()
+            .find(|t| t.parent_trace == Some(trace_id))
+            .cloned()
+        {
+            return Some(t);
+        }
+        self.pinned
+            .lock()
+            .values()
+            .find(|t| t.parent_trace == Some(trace_id))
+            .cloned()
     }
 
     /// The `k` slowest retained traces (both rings, deduplicated), slowest
@@ -305,9 +413,16 @@ impl FlightRecorder {
         self.evictions.get()
     }
 
+    /// Evicted-but-exemplar-referenced traces currently parked.
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.lock().len()
+    }
+
     pub fn clear(&self) {
         self.recent.lock().clear();
         self.slow.lock().clear();
+        self.pinned.lock().clear();
+        self.pinned_gauge.set(0);
         self.bytes.store(0, Ordering::Relaxed);
         self.bytes_gauge.set(0);
     }

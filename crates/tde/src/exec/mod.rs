@@ -295,13 +295,19 @@ impl ScanOp {
         let wend = wstart + wlen;
         let mut selected: Vec<usize> = Vec::new();
         let mut skipped = 0u64;
+        let mut range_pruned = 0u64;
         let mut visited = 0u64;
+        // Blocks outside the sorted-column interval (established once per
+        // scan by binary search over the zone maps) are refuted without even
+        // consulting their zone entries.
+        let interval = preds.block_interval();
         let mut pos = wstart;
         while pos < wend {
             let block = pos / tabviz_storage::BLOCK_ROWS;
             let seg_end = ((block + 1) * tabviz_storage::BLOCK_ROWS).min(wend);
             visited += 1;
-            if preds.zone_allows(&self.table, block) {
+            let in_range = interval.is_none_or(|(lo, hi)| block >= lo && block < hi);
+            if in_range && preds.zone_allows(&self.table, block) {
                 let mask = preds.eval_segment(&self.table, pos, seg_end - pos)?;
                 selected.extend(
                     mask.iter()
@@ -310,11 +316,15 @@ impl ScanOp {
                 );
             } else {
                 skipped += 1;
+                if !in_range {
+                    range_pruned += 1;
+                }
             }
             pos = seg_end;
         }
         let metrics = scan_filter::scan_metrics();
         metrics.blocks_skipped.add(skipped);
+        metrics.sorted_range_pruned.add(range_pruned);
         metrics.rows_prefiltered.add((wlen - selected.len()) as u64);
         self.blocks_skipped.set(self.blocks_skipped.get() + skipped);
         self.blocks_total.set(self.blocks_total.get() + visited);

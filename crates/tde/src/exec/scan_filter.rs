@@ -31,6 +31,9 @@ use tabviz_tql::expr::{BinOp, Expr, UnaryOp};
 pub(crate) struct ScanMetrics {
     pub blocks_skipped: Counter,
     pub rows_prefiltered: Counter,
+    /// Blocks refuted by the sorted-column binary search alone, i.e. without
+    /// consulting their zone map entry.
+    pub sorted_range_pruned: Counter,
 }
 
 pub(crate) fn scan_metrics() -> &'static ScanMetrics {
@@ -40,6 +43,7 @@ pub(crate) fn scan_metrics() -> &'static ScanMetrics {
         ScanMetrics {
             blocks_skipped: reg.counter("tv_tde_blocks_skipped_total"),
             rows_prefiltered: reg.counter("tv_tde_rows_prefiltered_total"),
+            sorted_range_pruned: reg.counter("tv_tde_sorted_range_prunes_total"),
         }
     })
 }
@@ -64,6 +68,11 @@ struct CompiledPred {
 /// passes iff every conjunct independently passes.
 pub(crate) struct ScanPredicates {
     preds: Vec<CompiledPred>,
+    /// Half-open block interval `[lo, hi)` outside which no row can satisfy
+    /// the conjunction, established once at compile time by binary-searching
+    /// the zone maps of *sorted* columns (see [`sorted_block_interval`]).
+    /// `None` when no conjunct constrains a sorted column.
+    block_interval: Option<(usize, usize)>,
 }
 
 impl ScanPredicates {
@@ -110,7 +119,18 @@ impl ScanPredicates {
                 eval_schema,
             });
         }
-        Ok(Some(ScanPredicates { preds }))
+        let block_interval = sorted_block_interval(table, &preds);
+        Ok(Some(ScanPredicates {
+            preds,
+            block_interval,
+        }))
+    }
+
+    /// The precomputed sorted-column block interval, if any conjunct
+    /// established one. Blocks outside `[lo, hi)` cannot contain a matching
+    /// row and may be skipped without consulting their zone entries.
+    pub fn block_interval(&self) -> Option<(usize, usize)> {
+        self.block_interval
     }
 
     /// Can any row of zone-map block `block` satisfy every conjunct?
@@ -196,6 +216,124 @@ fn zone_allows_pred(p: &CompiledPred, col: &StoredColumn, block: usize) -> bool 
         return true;
     };
     non_null_may_match(&p.expr, min, max, z, col.field.collation) || null_pass
+}
+
+/// Binary search over the zone maps of sorted columns: intersect, across all
+/// conjuncts of shape `col cmp literal` / `col BETWEEN lo AND hi` on columns
+/// whose [`tabviz_storage::ColumnStats::sorted`] flag holds, the half-open
+/// block intervals that could contain a matching row. A sorted column's
+/// per-block minima and maxima are non-decreasing (with an all-null prefix,
+/// nulls sorting first), so each bound resolves to one `partition_point`
+/// instead of a linear zone-map walk. Returns `None` when no conjunct
+/// qualifies; the scan then falls back to per-block zone tests alone.
+fn sorted_block_interval(table: &Table, preds: &[CompiledPred]) -> Option<(usize, usize)> {
+    let mut interval: Option<(usize, usize)> = None;
+    for p in preds {
+        let col = table.column(p.col);
+        if let Some((lo, hi)) = sorted_pred_interval(p, col) {
+            interval = Some(match interval {
+                Some((a, b)) => (a.max(lo), b.min(hi)),
+                None => (lo, hi),
+            });
+        }
+    }
+    interval.map(|(lo, hi)| (lo, hi.max(lo)))
+}
+
+/// The half-open block interval that could satisfy one conjunct, or `None`
+/// when the conjunct cannot be bounded this way. Soundness mirrors
+/// [`zone_allows_pred`]: the interval must be a superset of every block
+/// containing a matching row, so the guards are strictly conservative —
+/// unsorted column, NULL-passing predicate, non-binary string collation,
+/// missing or truncated zone map, or an unsupported expression shape all
+/// decline rather than prune.
+fn sorted_pred_interval(p: &CompiledPred, col: &StoredColumn) -> Option<(usize, usize)> {
+    use std::cmp::Ordering::{Greater, Less};
+    if p.pass_on_null || !col.stats.sorted {
+        // NULL rows pass the conjunct and live in the all-null block prefix
+        // of a nulls-first sort order; an interval would cut them off.
+        return None;
+    }
+    // String zone endpoints are binary-ordered; other collations would make
+    // the partition points unsound (same guard as `zone_allows_pred`).
+    if col.field.dtype == DataType::Str && col.field.collation != Collation::Binary {
+        return None;
+    }
+    let zones = col.zone_map();
+    if zones.is_empty() || zones.len() < col.stats.row_count.div_ceil(tabviz_storage::BLOCK_ROWS) {
+        // Legacy data without a full zone map: never prune.
+        return None;
+    }
+    // A lower/upper bound on matching non-null values: `(value, strict)`.
+    type Bound<'a> = Option<(&'a Value, bool)>;
+    let (lower, upper): (Bound, Bound) = match &p.expr {
+        Expr::Binary { op, left, right } => {
+            let (op, lit) = match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(_), Expr::Literal(v)) => (*op, v),
+                (Expr::Literal(v), Expr::Column(_)) => (flip(*op), v),
+                _ => return None,
+            };
+            if lit.is_null() {
+                // `col cmp NULL` matches nothing: empty interval.
+                return Some((0, 0));
+            }
+            match op {
+                BinOp::Eq => (Some((lit, false)), Some((lit, false))),
+                BinOp::Lt => (None, Some((lit, true))),
+                BinOp::Le => (None, Some((lit, false))),
+                BinOp::Gt => (Some((lit, true)), None),
+                BinOp::Ge => (Some((lit, false)), None),
+                _ => return None,
+            }
+        }
+        Expr::Between { expr, low, high } => {
+            if !matches!(expr.as_ref(), Expr::Column(_)) {
+                return None;
+            }
+            if high.is_null() {
+                // `col <= NULL` holds for no non-null row (NULL sorts below
+                // everything under `cmp_collated`): empty interval.
+                return Some((0, 0));
+            }
+            let lower = (!low.is_null()).then_some((low, false));
+            (lower, Some((high, false)))
+        }
+        _ => return None,
+    };
+    let coll = col.field.collation;
+    // Blocks strictly *below* the lower bound form a prefix: the all-null
+    // blocks (max = None, nulls first) plus those whose max falls short.
+    let start = match lower {
+        Some((v, strict)) => zones.partition_point(|z| match &z.max {
+            None => true,
+            Some(mx) => {
+                let ord = mx.cmp_collated(v, coll);
+                if strict {
+                    ord != Greater
+                } else {
+                    ord == Less
+                }
+            }
+        }),
+        None => zones.partition_point(|z| z.max.is_none()),
+    };
+    // Blocks strictly *above* the upper bound form a suffix: those whose min
+    // already exceeds it.
+    let end = match upper {
+        Some((v, strict)) => zones.partition_point(|z| match &z.min {
+            None => true,
+            Some(mn) => {
+                let ord = mn.cmp_collated(v, coll);
+                if strict {
+                    ord == Less
+                } else {
+                    ord != Greater
+                }
+            }
+        }),
+        None => zones.len(),
+    };
+    Some((start, end.max(start)))
 }
 
 /// Could some non-null value in `[min, max]` satisfy the conjunct?
@@ -500,6 +638,117 @@ mod arith_tests {
         // Division by literal zero is all-NULL in the engine; don't claim it.
         let div0 = bin(BinOp::Gt, bin(BinOp::Div, col("a"), lit(0i64)), lit(10i64));
         assert!(!arith_comparison_sargable(&div0, DataType::Int));
+    }
+
+    // Two and a half blocks of rows: `a` ascending (delta-friendly, sorted),
+    // `n` nulls-first then ascending (sorted with an all-null prefix), `u`
+    // pseudo-random (unsorted).
+    fn sorted_table() -> Table {
+        let rows = tabviz_storage::BLOCK_ROWS * 2 + tabviz_storage::BLOCK_ROWS / 2;
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("n", DataType::Int),
+                Field::new("u", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let data: Vec<Vec<Value>> = (0..rows)
+            .map(|i| {
+                let n = if i < tabviz_storage::BLOCK_ROWS + 7 {
+                    Value::Null
+                } else {
+                    Value::Int(i as i64)
+                };
+                vec![
+                    Value::Int(i as i64),
+                    n,
+                    Value::Int(((i as u64).wrapping_mul(2654435761) % 1000) as i64),
+                ]
+            })
+            .collect();
+        let chunk = Chunk::from_rows(schema, &data).unwrap();
+        Table::from_chunk("t", &chunk, &[]).unwrap()
+    }
+
+    fn interval_for(table: &Table, pred: Expr) -> Option<(usize, usize)> {
+        ScanPredicates::compile(table, &[pred])
+            .unwrap()
+            .unwrap()
+            .block_interval()
+    }
+
+    #[test]
+    fn sorted_interval_binary_searches_range_predicates() {
+        let t = sorted_table();
+        let b = tabviz_storage::BLOCK_ROWS as i64;
+        // d > last-block boundary → only the final block.
+        let p = bin(BinOp::Gt, col("a"), lit(2 * b + 5));
+        assert_eq!(interval_for(&t, p), Some((2, 3)));
+        // Flipped literal side normalizes.
+        let p = bin(BinOp::Lt, lit(2 * b + 5), col("a"));
+        assert_eq!(interval_for(&t, p), Some((2, 3)));
+        // Upper bound keeps a prefix.
+        let p = bin(BinOp::Lt, col("a"), lit(b));
+        assert_eq!(interval_for(&t, p), Some((0, 1)));
+        // Le includes the boundary row's block.
+        let p = bin(BinOp::Le, col("a"), lit(b));
+        assert_eq!(interval_for(&t, p), Some((0, 2)));
+        // Eq pins the one block containing the value.
+        let p = bin(BinOp::Eq, col("a"), lit(b + 1));
+        assert_eq!(interval_for(&t, p), Some((1, 2)));
+        // Between intersects both bounds.
+        let p = Expr::Between {
+            expr: Box::new(col("a")),
+            low: Value::Int(b + 1),
+            high: Value::Int(b + 2),
+        };
+        assert_eq!(interval_for(&t, p), Some((1, 2)));
+        // Out-of-range value → empty interval.
+        let p = bin(BinOp::Gt, col("a"), lit(100 * b));
+        assert_eq!(interval_for(&t, p), Some((3, 3)));
+        // NULL comparison literal matches nothing.
+        let p = bin(BinOp::Gt, col("a"), Expr::Literal(Value::Null));
+        assert_eq!(interval_for(&t, p), Some((0, 0)));
+    }
+
+    #[test]
+    fn sorted_interval_conjuncts_intersect() {
+        let t = sorted_table();
+        let b = tabviz_storage::BLOCK_ROWS as i64;
+        let lo = bin(BinOp::Ge, col("a"), lit(b + 1));
+        let hi = bin(BinOp::Lt, col("a"), lit(2 * b - 1));
+        let preds = ScanPredicates::compile(&t, &[lo, hi]).unwrap().unwrap();
+        assert_eq!(preds.block_interval(), Some((1, 2)));
+    }
+
+    #[test]
+    fn sorted_interval_skips_leading_all_null_blocks() {
+        let t = sorted_table();
+        // `n` is NULL through block 0 (and a bit of block 1); a non-null
+        // comparison can never match the all-null prefix.
+        let p = bin(BinOp::Ge, col("n"), lit(0i64));
+        assert_eq!(interval_for(&t, p), Some((1, 3)));
+    }
+
+    #[test]
+    fn sorted_interval_declines_unsound_cases() {
+        let t = sorted_table();
+        // Unsorted column: no interval.
+        let p = bin(BinOp::Gt, col("u"), lit(500i64));
+        assert_eq!(interval_for(&t, p), None);
+        // NULL-passing predicate: nulls live in the prefix we would cut off.
+        let p = Expr::Unary {
+            op: UnaryOp::IsNull,
+            expr: Box::new(col("n")),
+        };
+        assert_eq!(interval_for(&t, p), None);
+        // Ne constrains nothing.
+        let p = bin(BinOp::Ne, col("a"), lit(5i64));
+        assert_eq!(interval_for(&t, p), None);
+        // Arithmetic compositions fall back to per-block zone tests.
+        let p = bin(BinOp::Gt, bin(BinOp::Add, col("a"), lit(1i64)), lit(100i64));
+        assert_eq!(interval_for(&t, p), None);
     }
 
     #[test]
